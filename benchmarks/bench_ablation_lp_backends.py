@@ -1,0 +1,45 @@
+"""Ablation `abl-lp`: built-in simplex vs scipy HiGHS on the paper's LPs.
+
+DESIGN.md calls out the LP backend as a swappable design choice; this bench
+quantifies the cost of the self-contained simplex against scipy on exactly
+the LPs the reproduction solves (support points of the HBC region), and
+asserts the two agree to LP tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.bounds import hbc_inner
+from repro.core.optimize import max_sum_rate, support_point
+from repro.experiments.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def evaluated(paper_channel_high):
+    return paper_channel_high.evaluate(hbc_inner())
+
+
+def test_backends_agree_on_paper_lp(evaluated):
+    rows = []
+    for mu in ((1.0, 1.0), (1.0, 0.0), (0.0, 1.0), (2.0, 1.0), (1.0, 3.0)):
+        scipy_point = support_point(evaluated, *mu, backend="scipy")
+        simplex_point = support_point(evaluated, *mu, backend="simplex")
+        rows.append([f"{mu}", scipy_point.ra, scipy_point.rb,
+                     simplex_point.ra, simplex_point.rb])
+        assert scipy_point.ra == pytest.approx(simplex_point.ra, abs=1e-6)
+        assert scipy_point.rb == pytest.approx(simplex_point.rb, abs=1e-6)
+    emit(render_table(
+        ["mu", "scipy Ra", "scipy Rb", "simplex Ra", "simplex Rb"],
+        rows, title="abl-lp: backend agreement on HBC support points"))
+
+
+def test_bench_scipy_backend(benchmark, evaluated):
+    point = benchmark(max_sum_rate, evaluated, backend="scipy")
+    assert point.sum_rate > 0
+
+
+def test_bench_simplex_backend(benchmark, evaluated):
+    point = benchmark(max_sum_rate, evaluated, backend="simplex")
+    assert point.sum_rate > 0

@@ -1,0 +1,77 @@
+"""Ablation `abl-randcode`: the Theorem-2 phase transition, empirically.
+
+Runs the paper's random-coding construction at increasing block lengths
+for one rate pair inside the Theorem-2 region and one outside it. Inside,
+the error rate falls with block length (the achievability direction);
+outside, it stays pinned near one (the converse direction) — the two
+halves of the theorem, observed in Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.channels.binary_relay import BinaryRelayChannel
+from repro.experiments.tables import render_table
+from repro.simulation.random_coding import (
+    mabc_rate_pair_feasible,
+    simulate_mabc_random_coding,
+)
+
+CHANNEL = BinaryRelayChannel(pab=0.4, par=0.05, pbr=0.05)
+BLOCKS = (16, 32, 64)
+INSIDE = {"bits_a": 3, "bits_b": 3}      # 6 bits; capacity ~0.71/use
+OUTSIDE = {"bits_a": 8, "bits_b": 8}     # 16 bits through 16-use MAC: out
+
+
+@pytest.fixture(scope="module")
+def transition():
+    rows = {}
+    for n in BLOCKS:
+        inside = simulate_mabc_random_coding(
+            CHANNEL, n_mac=n, n_broadcast=n, n_trials=40,
+            rng=np.random.default_rng(100 + n), **INSIDE,
+        )
+        rows[n] = inside
+    outside = simulate_mabc_random_coding(
+        CHANNEL, n_mac=16, n_broadcast=16, n_trials=40,
+        rng=np.random.default_rng(999), **OUTSIDE,
+    )
+    return rows, outside
+
+
+def test_phase_transition_table(transition):
+    inside_rows, outside = transition
+    rows = []
+    for n, report in inside_rows.items():
+        rows.append([f"inside, n_mac={n}", report.relay_error_rate,
+                     report.max_error_rate])
+    rows.append(["outside, n_mac=16", outside.relay_error_rate,
+                 outside.max_error_rate])
+    emit(render_table(
+        ["configuration", "relay pair error", "end-to-end error"],
+        rows, title="abl-randcode: Theorem 2 random coding phase transition"))
+
+
+def test_inside_rates_improve_with_block_length(transition):
+    inside_rows, _ = transition
+    errors = [report.max_error_rate for report in inside_rows.values()]
+    assert errors[-1] <= errors[0] + 1e-9
+    assert errors[-1] <= 0.1
+
+
+def test_outside_rate_fails(transition):
+    _, outside = transition
+    assert not mabc_rate_pair_feasible(CHANNEL, 16, 16, **OUTSIDE)
+    assert outside.relay_error_rate >= 0.5
+
+
+def test_bench_random_coding_trial(benchmark):
+    report = benchmark(
+        simulate_mabc_random_coding, CHANNEL,
+        n_mac=32, n_broadcast=32, bits_a=3, bits_b=3, n_trials=5,
+        rng=np.random.default_rng(7),
+    )
+    assert report.n_trials == 5

@@ -1,0 +1,79 @@
+"""Ablation `abl-placement`: winner map vs relay position and path loss.
+
+How sensitive is the Fig. 3 picture to the reconstruction choices (relay
+position, path-loss exponent)? This bench sweeps both, prints the winning
+protocol per cell, and asserts the structural claims hold across the grid:
+HBC never loses, and the MABC/TDBC ordering flips across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.channels.pathloss import linear_relay_gains
+from repro.core.capacity import compare_protocols
+from repro.core.gaussian import GaussianChannel
+from repro.core.protocols import Protocol
+from repro.experiments.config import FIG3_DEFAULT
+from repro.experiments.tables import render_table
+
+POSITIONS = (0.2, 0.35, 0.5, 0.65, 0.8)
+EXPONENTS = (2.0, 3.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def winner_grid():
+    grid = {}
+    for exponent in EXPONENTS:
+        for position in POSITIONS:
+            channel = GaussianChannel(
+                gains=linear_relay_gains(position, exponent=exponent),
+                power=FIG3_DEFAULT.power,
+            )
+            grid[(exponent, position)] = compare_protocols(channel)
+    return grid
+
+
+def test_winner_map_printed(winner_grid):
+    rows = []
+    for exponent in EXPONENTS:
+        row = [f"alpha={exponent:g}"]
+        for position in POSITIONS:
+            comparison = winner_grid[(exponent, position)]
+            rates = comparison.as_row()
+            mabc_vs_tdbc = "M" if rates["MABC"] >= rates["TDBC"] else "T"
+            row.append(f"{rates['HBC']:.2f}({mabc_vs_tdbc})")
+        rows.append(row)
+    emit(render_table(
+        ["exponent"] + [f"d={p:g}" for p in POSITIONS], rows,
+        title=("abl-placement: HBC sum rate (M/T = better of MABC/TDBC) "
+               f"at P={FIG3_DEFAULT.power_db:g} dB")))
+
+
+def test_hbc_never_loses_across_grid(winner_grid):
+    for comparison in winner_grid.values():
+        rates = comparison.as_row()
+        assert rates["HBC"] >= rates["MABC"] - 1e-7
+        assert rates["HBC"] >= rates["TDBC"] - 1e-7
+
+
+def test_mabc_tdbc_ordering_depends_on_geometry(winner_grid):
+    """Both orderings must appear somewhere on the grid."""
+    mabc_wins = tdbc_wins = False
+    for comparison in winner_grid.values():
+        rates = comparison.as_row()
+        if rates["MABC"] > rates["TDBC"] + 1e-6:
+            mabc_wins = True
+        if rates["TDBC"] > rates["MABC"] + 1e-6:
+            tdbc_wins = True
+    assert mabc_wins and tdbc_wins
+
+
+def test_bench_one_grid_cell(benchmark):
+    channel = GaussianChannel(
+        gains=linear_relay_gains(0.65, exponent=3.0),
+        power=FIG3_DEFAULT.power,
+    )
+    comparison = benchmark(compare_protocols, channel)
+    assert comparison.sum_rates[Protocol.HBC].sum_rate > 0

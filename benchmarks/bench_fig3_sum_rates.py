@@ -1,0 +1,59 @@
+"""Bench `fig3`: regenerate the paper's Fig. 3 (optimal sum rates).
+
+Regenerates both reconstructed sweeps (relay placement and symmetric relay
+gain) at the paper's parameters ``P = 15 dB, G_ab = 0 dB``, prints the
+series, asserts the paper's qualitative claims, and times one full sweep
+point (four LP optimizations, one per protocol).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.capacity import compare_protocols
+from repro.core.gaussian import GaussianChannel
+from repro.channels.pathloss import linear_relay_gains
+from repro.experiments.config import FIG3_DEFAULT, Fig3Config
+from repro.experiments.fig3 import fig3_shape_checks, run_fig3
+from repro.experiments.runner import fig3_report
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(FIG3_DEFAULT)
+
+
+def test_fig3_full_report(fig3_result):
+    """Regenerate and print the complete Fig. 3 tables (not timed)."""
+    report = fig3_report(fig3_result)
+    emit(report.render())
+    assert report.all_checks_pass()
+
+
+def test_fig3_shape_claims(fig3_result):
+    checks = fig3_shape_checks(fig3_result)
+    failing = [name for name, ok in checks.items() if not ok]
+    assert not failing, f"paper claims not reproduced: {failing}"
+
+
+def test_bench_fig3_single_sweep_point(benchmark):
+    """Time the per-point work of Fig. 3: four duration-optimization LPs."""
+    channel = GaussianChannel(
+        gains=linear_relay_gains(0.65, exponent=3.0),
+        power=FIG3_DEFAULT.power,
+    )
+
+    result = benchmark(compare_protocols, channel)
+    assert result.best_protocol().name == "HBC"
+
+
+def test_bench_fig3_full_placement_sweep(benchmark):
+    """Time the whole placement sweep at reduced resolution."""
+    config = Fig3Config(
+        relay_fractions=tuple(i / 10 for i in range(1, 10)),
+        symmetric_gains_db=(),
+    )
+
+    result = benchmark(run_fig3, config)
+    assert len(result.placement_rows) == 9

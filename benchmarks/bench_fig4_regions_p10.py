@@ -1,0 +1,51 @@
+"""Bench `fig4b`: regenerate Fig. 4 bottom panel (rate regions at P = 10 dB).
+
+The paper's headline lives in this panel: achievable HBC points outside the
+outer bounds of both MABC and TDBC. The bench asserts the set is non-empty,
+prints it, and times the full panel regeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.experiments.config import FIG4_P10
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.runner import fig4_report
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return run_fig4(FIG4_P10)
+
+
+def test_fig4b_full_report(panel):
+    report = fig4_report(FIG4_P10, "fig4b", result=panel)
+    emit(report.render())
+    assert report.all_checks_pass(), report.checks
+
+
+def test_fig4b_headline_hbc_outside_both(panel):
+    assert panel.hbc_points_outside_both, (
+        "expected achievable HBC points outside both the MABC capacity "
+        "region and the TDBC outer bound at P = 10 dB"
+    )
+    for ra, rb in panel.hbc_points_outside_both:
+        assert ra > 0 and rb > 0
+
+
+def test_fig4b_high_snr_ordering(panel):
+    # TDBC overtakes MABC in region area and single-user corner ...
+    assert panel.traces["TDBC inner"].area > panel.traces["MABC"].area
+    assert panel.traces["TDBC inner"].max_ra > panel.traces["MABC"].max_ra
+    # ... while MABC keeps the better sum rate at these gains.
+    assert panel.traces["MABC"].max_sum_rate > \
+        panel.traces["TDBC inner"].max_sum_rate
+
+
+def test_bench_fig4b_full_panel(benchmark):
+    """Time the entire bottom-panel regeneration (5 region traces)."""
+    result = benchmark(run_fig4, FIG4_P10)
+    assert set(result.traces) == {"DT", "MABC", "TDBC inner",
+                                  "TDBC outer", "HBC"}

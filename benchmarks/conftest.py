@@ -1,0 +1,43 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates a paper artifact (or an ablation of one) and
+*prints* the series it produced, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's tables/figures as text while timing the computation
+that generates them. Printed output is captured by pytest unless ``-s`` is
+given; the numbers are asserted either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the shared test helpers importable when running `pytest benchmarks/`.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def emit(report_text: str) -> None:
+    """Print a rendered experiment report block (visible with -s)."""
+    print()
+    print(report_text)
+
+
+@pytest.fixture(scope="session")
+def paper_channel_low():
+    """Fig. 4 top-panel channel (P = 0 dB)."""
+    from repro.experiments.config import FIG4_P0
+
+    return FIG4_P0.channel()
+
+
+@pytest.fixture(scope="session")
+def paper_channel_high():
+    """Fig. 4 bottom-panel channel (P = 10 dB)."""
+    from repro.experiments.config import FIG4_P10
+
+    return FIG4_P10.channel()

@@ -1,0 +1,64 @@
+"""Quasi-static fading: ergodic and outage sum rates for every protocol.
+
+Run with::
+
+    python examples/fading_outage.py
+
+Section IV models each link as quasi-static fading with full CSI: the
+channel is constant for one protocol execution and the nodes re-optimize
+phase durations per realization. This example draws Rayleigh ensembles
+around the Fig. 4 path-loss gains across a power sweep and reports
+
+* the **ergodic** (ensemble-average) optimal sum rate, and
+* the **10%-outage** sum rate (the rate guaranteed in 90% of fades),
+
+for DT, MABC, TDBC and HBC — the quantities a system designer would use to
+pick a protocol for a fading cell.
+"""
+
+import numpy as np
+
+from repro.channels.gains import LinkGains
+from repro.core.protocols import Protocol
+from repro.experiments.tables import render_table
+from repro.information.functions import db_to_linear
+from repro.simulation.montecarlo import ergodic_sum_rate
+
+MEAN_GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
+POWERS_DB = (0.0, 5.0, 10.0, 15.0)
+N_DRAWS = 200
+SEED = 2026
+
+
+def main() -> None:
+    for power_db in POWERS_DB:
+        power = db_to_linear(power_db)
+        rows = []
+        for protocol in Protocol:
+            stats = ergodic_sum_rate(
+                protocol, MEAN_GAINS, power, N_DRAWS,
+                np.random.default_rng(SEED),  # common randomness: paired
+            )
+            rows.append([
+                protocol.name,
+                stats.mean,
+                stats.std_error,
+                stats.quantile(0.10),
+                stats.quantile(0.50),
+            ])
+        print(render_table(
+            ["protocol", "ergodic", "std err", "10%-outage", "median"],
+            rows,
+            title=(f"Rayleigh fading, P={power_db:g} dB, "
+                   f"{N_DRAWS} quasi-static draws "
+                   "(mean gains: G_ab=-7, G_ar=0, G_br=5 dB)"),
+        ))
+        print()
+
+    print("reading: HBC's ergodic rate dominates at every power; the")
+    print("low-SNR ergodic gap between MABC and TDBC mirrors the static")
+    print("Fig. 4 ordering, and outage rates show the protocols' fade margin.")
+
+
+if __name__ == "__main__":
+    main()

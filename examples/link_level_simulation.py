@@ -1,0 +1,78 @@
+"""Operational decode-and-forward: run the actual coded system.
+
+Run with::
+
+    python examples/link_level_simulation.py
+
+Everything in the other examples evaluates *bounds*. This one runs the
+operational system those bounds are about: CRC-16 framed payloads, the
+NASA rate-1/2 constraint-length-7 convolutional code, BPSK over the
+half-duplex Gaussian medium, successive interference cancellation at the
+relay for the MABC/HBC MAC phases, XOR network coding at the relay, and
+side-information decoding at the terminals.
+
+It sweeps transmit power and reports, per protocol, the frame error rates
+and the goodput in bits/symbol next to the analytic capacity bound — the
+operational system tracks the bound's ordering and stays below it.
+"""
+
+import numpy as np
+
+from repro.channels.gains import LinkGains
+from repro.core.capacity import optimal_sum_rate
+from repro.core.gaussian import GaussianChannel
+from repro.core.protocols import Protocol
+from repro.experiments.tables import render_table
+from repro.information.functions import db_to_linear
+from repro.simulation.linkcodec import default_codec
+from repro.simulation.montecarlo import simulate_protocol
+
+GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
+POWERS_DB = (6.0, 9.0, 12.0, 15.0)
+N_ROUNDS = 40
+PAYLOAD_BITS = 128
+
+
+def main() -> None:
+    codec = default_codec(PAYLOAD_BITS)
+    print(f"codec: {PAYLOAD_BITS}-bit payloads + CRC-16, K=7 rate-1/2 "
+          f"convolutional code, BPSK ({codec.n_symbols} symbols/frame, "
+          f"{codec.rate:.3f} info bits/symbol)\n")
+
+    for power_db in POWERS_DB:
+        power = db_to_linear(power_db)
+        rows = []
+        for protocol in Protocol:
+            report = simulate_protocol(
+                protocol, GAINS, power, N_ROUNDS,
+                np.random.default_rng(7), codec=codec,
+            )
+            bound = optimal_sum_rate(
+                protocol, GaussianChannel(gains=GAINS, power=power)
+            ).sum_rate
+            rows.append([
+                protocol.name,
+                report.a_to_b.fer,
+                report.b_to_a.fer,
+                report.sum_goodput,
+                bound,
+                f"{100 * report.sum_goodput / bound:.0f}%",
+            ])
+        print(render_table(
+            ["protocol", "FER a->b", "FER b->a", "goodput [b/sym]",
+             "capacity bound", "efficiency"],
+            rows,
+            title=f"link-level campaign at P={power_db:g} dB "
+                  f"({N_ROUNDS} rounds)",
+        ))
+        print()
+
+    print("reading: once the power is high enough for the fixed-rate codec,")
+    print("MABC delivers 1.5x TDBC's goodput (2 frames per exchange instead")
+    print("of 3 — the network-coding gain), and every goodput stays below")
+    print("its protocol's capacity bound, at the distance set by the")
+    print("rate-1/2 code and BPSK.")
+
+
+if __name__ == "__main__":
+    main()

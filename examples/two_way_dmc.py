@@ -1,0 +1,85 @@
+"""Discrete-channel bounds: the Section II formulation on binary channels.
+
+Run with::
+
+    python examples/two_way_dmc.py
+
+The paper states Lemma 1 and Theorems 2-6 for *discrete memoryless*
+channels; the Gaussian case is a specialization. This example evaluates
+the MABC and TDBC outer bounds on a fully discrete bidirectional relay
+channel:
+
+* each point-to-point link ``i-j`` is a binary symmetric channel with
+  crossover ``p_ij`` (capacity ``1 - h(p_ij)``, computed two ways: closed
+  form and Blahut-Arimoto);
+* the MABC multiple-access phase is the binary XOR MAC
+  ``Y_r = X_a ⊕ X_b ⊕ Z`` — the relay observes a noisy XOR, so the sum
+  constraint collapses onto the individual ones (a nice structural
+  difference from the Gaussian MAC);
+* the Lemma-1 cut-set engine generates the outer-bound constraints
+  mechanically from the protocol schedules and a discrete
+  mutual-information oracle built on :mod:`repro.information.discrete`;
+* phase durations are then optimized with the same LP machinery the
+  Gaussian evaluation uses.
+"""
+
+import numpy as np
+
+from repro.channels.binary_relay import BinaryRelayChannel
+from repro.core.cutset_lp import cutset_max_sum_rate
+from repro.core.protocols import Protocol, protocol_schedule
+from repro.experiments.tables import render_table
+from repro.information.blahut_arimoto import blahut_arimoto
+from repro.information.functions import binary_entropy
+from repro.network.cutset import cutset_outer_bound
+from repro.network.model import bidirectional_relay_network
+
+#: Crossover probabilities of the three links (direct link is the worst).
+CHANNEL = BinaryRelayChannel(pab=0.20, par=0.05, pbr=0.02)
+
+
+def main() -> None:
+    # Link capacities, twice: closed form and Blahut-Arimoto.
+    rows = []
+    for link in (("a", "b"), ("a", "r"), ("b", "r")):
+        p = CHANNEL.crossover(*link)
+        matrix = np.array([[1 - p, p], [p, 1 - p]])
+        ba = blahut_arimoto(matrix)
+        rows.append(["-".join(link), p, 1 - binary_entropy(p), ba.capacity])
+    print(render_table(
+        ["link", "crossover", "1 - h(p)", "Blahut-Arimoto"],
+        rows, title="BSC link capacities", float_format=".6f"))
+    print()
+
+    network = bidirectional_relay_network()
+    oracle = CHANNEL.oracle()
+    summary = []
+    for protocol in (Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC):
+        schedule = protocol_schedule(protocol)
+        constraints = cutset_outer_bound(network, schedule, oracle)
+        print(f"{protocol.name} outer-bound constraints (Lemma-1 engine):")
+        for constraint in constraints:
+            terms = " + ".join(
+                f"{mi:.4f}·Δ{phase + 1}"
+                for phase, mi in enumerate(constraint.phase_mi) if mi > 0
+            )
+            print(f"  {' + '.join(constraint.message_names):8s} <= {terms}")
+        point = cutset_max_sum_rate(constraints, schedule.n_phases)
+        summary.append([
+            protocol.name, point.sum_rate,
+            str(tuple(round(float(d), 4) for d in point.durations)),
+        ])
+        print()
+
+    print(render_table(
+        ["protocol", "outer-bound sum rate", "optimal durations"],
+        summary, title="LP-optimized outer bounds on the binary channel"))
+    print()
+    print("reading: on the XOR MAC the MABC sum constraint adds nothing")
+    print("beyond the individual relay-decoding constraints, and the weak")
+    print("direct link (p=0.2) limits how much TDBC's side information")
+    print("can contribute.")
+
+
+if __name__ == "__main__":
+    main()

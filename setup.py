@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All real metadata lives in pyproject.toml's [project] table; setuptools >= 61
+reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — bidirectional coded cooperation: performance bounds and simulation.
+
+A production-quality reproduction of *"Performance Bounds for Bidirectional
+Coded Cooperation Protocols"* (Kim, Mitran, Tarokh): capacity inner/outer
+bounds for the DT, MABC, TDBC and HBC half-duplex relaying protocols,
+LP-exact rate-region geometry, a Lemma-1 cut-set engine, quasi-static
+fading Monte Carlo, and an operational link-level decode-and-forward
+simulator with XOR network coding.
+
+Quickstart::
+
+    from repro import GaussianChannel, Protocol, achievable_region
+
+    channel = GaussianChannel.from_db(power_db=10, gab_db=-7, gar_db=0, gbr_db=5)
+    region = achievable_region(Protocol.HBC, channel)
+    best = region.max_sum_rate()
+    print(f"HBC sum rate {best.sum_rate:.3f} bits at durations {best.durations.values}")
+"""
+
+from .channels.gains import LinkGains
+from .core.capacity import (
+    ProtocolComparison,
+    achievable_region,
+    compare_protocols,
+    optimal_sum_rate,
+    outer_bound_region,
+)
+from .core.gaussian import GaussianChannel
+from .core.protocols import PhaseDurations, Protocol
+from .core.regions import RateRegion
+from .exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkGains",
+    "ProtocolComparison",
+    "achievable_region",
+    "compare_protocols",
+    "optimal_sum_rate",
+    "outer_bound_region",
+    "GaussianChannel",
+    "PhaseDurations",
+    "Protocol",
+    "RateRegion",
+    "ReproError",
+    "__version__",
+]

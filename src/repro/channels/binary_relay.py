@@ -1,0 +1,161 @@
+"""A fully discrete bidirectional relay channel (BSC links + XOR MAC).
+
+The paper's Section II states everything for discrete memoryless channels;
+this module provides the canonical binary instantiation used by the
+discrete examples and tests:
+
+* every point-to-point link ``i–j`` is a binary symmetric channel with
+  crossover probability ``p_ij`` (reciprocal, like the Gaussian gains);
+* simultaneous transmission (the MABC/HBC MAC phase) reaches the relay as
+  the **binary XOR MAC** ``Y_r = X_a ⊕ X_b ⊕ Z`` with ``Z ~ Bern(p_mac)``
+  — the natural binary analogue of signal superposition, and exactly the
+  algebra the relay wants to forward anyway.
+
+:class:`BinaryRelayOracle` implements the
+:class:`~repro.network.cutset.MutualInformationOracle` protocol, so the
+Lemma-1 engine can generate outer bounds for *any* schedule on this
+channel, mirroring what :class:`~repro.network.cutset.GaussianMIOracle`
+does for Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..information.discrete import (
+    conditional_mutual_information,
+    mutual_information,
+    validate_distribution,
+)
+from ..information.functions import binary_entropy
+
+__all__ = ["BinaryRelayChannel", "BinaryRelayOracle"]
+
+
+def _bsc_joint(crossovers) -> np.ndarray:
+    """Joint ``p(x, y_1, .., y_k)`` of one uniform bit through k parallel BSCs."""
+    n_outputs = len(crossovers)
+    joint = np.zeros((2,) + (2,) * n_outputs)
+    for x in (0, 1):
+        for outputs in np.ndindex(*(2,) * n_outputs):
+            prob = 0.5
+            for y, p in zip(outputs, crossovers):
+                prob *= (1 - p) if y == x else p
+            joint[(x,) + outputs] = prob
+    return validate_distribution(joint)
+
+
+def _xor_mac_joint(p_noise: float) -> np.ndarray:
+    """Joint ``p(x_a, x_b, y_r)`` of the noisy XOR MAC with uniform inputs."""
+    joint = np.zeros((2, 2, 2))
+    for xa in (0, 1):
+        for xb in (0, 1):
+            clean = xa ^ xb
+            joint[xa, xb, clean] = 0.25 * (1 - p_noise)
+            joint[xa, xb, 1 - clean] = 0.25 * p_noise
+    return validate_distribution(joint)
+
+
+@dataclass(frozen=True)
+class BinaryRelayChannel:
+    """Crossover probabilities of the three reciprocal binary links.
+
+    Attributes
+    ----------
+    pab, par, pbr:
+        BSC crossover probabilities of the ``a–b``, ``a–r`` and ``b–r``
+        links, each in ``[0, 1/2]`` (beyond 1/2 relabel the output).
+    p_mac:
+        Noise of the XOR MAC phase; defaults to the ``a–r`` crossover.
+    """
+
+    pab: float
+    par: float
+    pbr: float
+    p_mac: float | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("pab", self.pab), ("par", self.par),
+                            ("pbr", self.pbr)):
+            if not 0.0 <= value <= 0.5:
+                raise InvalidParameterError(
+                    f"crossover {name} must lie in [0, 1/2], got {value}"
+                )
+        if self.p_mac is None:
+            object.__setattr__(self, "p_mac", self.par)
+        elif not 0.0 <= self.p_mac <= 0.5:
+            raise InvalidParameterError(
+                f"MAC noise must lie in [0, 1/2], got {self.p_mac}"
+            )
+
+    def crossover(self, node_i: str, node_j: str) -> float:
+        """Crossover of the (reciprocal) link between two nodes."""
+        key = frozenset((node_i, node_j))
+        table = {
+            frozenset(("a", "b")): self.pab,
+            frozenset(("a", "r")): self.par,
+            frozenset(("b", "r")): self.pbr,
+        }
+        if key not in table:
+            raise InvalidParameterError(
+                f"unknown link {node_i!r} -- {node_j!r}; nodes are 'a', 'b', 'r'"
+            )
+        return table[key]
+
+    def link_capacity(self, node_i: str, node_j: str) -> float:
+        """Point-to-point capacity ``1 - h(p_ij)`` of one link."""
+        return 1.0 - binary_entropy(self.crossover(node_i, node_j))
+
+    def oracle(self) -> "BinaryRelayOracle":
+        """A Lemma-1 mutual-information oracle for this channel."""
+        return BinaryRelayOracle(channel=self)
+
+
+@dataclass(frozen=True)
+class BinaryRelayOracle:
+    """Discrete MI oracle over a :class:`BinaryRelayChannel`.
+
+    Uniform (capacity-achieving for symmetric channels) inputs throughout:
+
+    * one transmitter, listeners ``B``: the transmitter's bit through
+      ``|B|`` parallel BSCs (a discrete SIMO cut);
+    * two transmitters to the relay: the noisy XOR MAC, with conditioning
+      on one input reducing it to a clean BSC of the other.
+    """
+
+    channel: BinaryRelayChannel
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def mutual_information(self, phase_index: int, sources: frozenset,
+                           listeners: frozenset,
+                           conditioned: frozenset) -> float:
+        """See :class:`~repro.network.cutset.MutualInformationOracle`."""
+        if not sources or not listeners:
+            return 0.0
+        key = (tuple(sorted(sources)), tuple(sorted(listeners)),
+               bool(conditioned))
+        if key in self._cache:
+            return self._cache[key]
+        if len(sources) == 2:
+            # Both terminals inside the cut: the full XOR MAC sum term.
+            joint = _xor_mac_joint(self.channel.p_mac)
+            value = mutual_information(joint, [0, 1], [2])
+        elif conditioned:
+            # One terminal in the cut, the other transmitting on the far
+            # side and conditioned away: I(X_src; Y_r | X_other), i.e. the
+            # XOR MAC collapses to a BSC of the remaining input with the
+            # MAC noise. (Unconditioned, the XOR MAC leaks nothing about
+            # either input individually.)
+            joint = _xor_mac_joint(self.channel.p_mac)
+            value = conditional_mutual_information(joint, [0], [2], [1])
+        else:
+            (source,) = sources
+            crossovers = [self.channel.crossover(source, dst)
+                          for dst in sorted(listeners)]
+            joint = _bsc_joint(crossovers)
+            value = mutual_information(joint, [0], list(range(1, joint.ndim)))
+        self._cache[key] = value
+        return value

@@ -1,0 +1,111 @@
+"""Discrete memoryless channels (BSC, BEC, arbitrary matrices).
+
+Section II of the paper states its theorems for *discrete memoryless*
+channels; the Gaussian results of Section IV are a specialization. This
+module supplies the discrete substrate: transition-matrix containers,
+standard channel families, composition, and sampling — consumed by the
+discrete examples and by the Blahut–Arimoto capacity code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidDistributionError, InvalidParameterError
+from ..information.blahut_arimoto import blahut_arimoto
+from ..information.discrete import joint_from_channel, mutual_information
+
+__all__ = [
+    "DiscreteMemorylessChannel",
+    "binary_symmetric_channel",
+    "binary_erasure_channel",
+    "z_channel",
+]
+
+
+@dataclass(frozen=True)
+class DiscreteMemorylessChannel:
+    """A DMC defined by its row-stochastic transition matrix ``W[x, y]``.
+
+    Attributes
+    ----------
+    matrix:
+        ``P(y | x)``, shape ``(|X|, |Y|)``.
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.matrix, dtype=float)
+        if w.ndim != 2 or w.size == 0:
+            raise InvalidDistributionError("transition matrix must be 2-D and non-empty")
+        if np.any(w < 0) or not np.allclose(w.sum(axis=1), 1.0, atol=1e-8):
+            raise InvalidDistributionError("rows of the transition matrix must be distributions")
+        object.__setattr__(self, "matrix", w)
+
+    @property
+    def n_inputs(self) -> int:
+        """Input alphabet size."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_outputs(self) -> int:
+        """Output alphabet size."""
+        return self.matrix.shape[1]
+
+    def transmit(self, symbols: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Pass input symbol indices through the channel."""
+        x = np.asarray(symbols, dtype=int)
+        if np.any((x < 0) | (x >= self.n_inputs)):
+            raise InvalidParameterError(
+                f"input symbols must index an alphabet of size {self.n_inputs}"
+            )
+        u = rng.random(x.shape)
+        cdf = np.cumsum(self.matrix, axis=1)
+        return (u[..., None] > cdf[x]).sum(axis=-1).astype(int)
+
+    def compose(self, second: "DiscreteMemorylessChannel") -> "DiscreteMemorylessChannel":
+        """Cascade: this channel followed by ``second`` (output feeds input)."""
+        if self.n_outputs != second.n_inputs:
+            raise InvalidParameterError(
+                f"cannot cascade: {self.n_outputs} outputs into {second.n_inputs} inputs"
+            )
+        return DiscreteMemorylessChannel(self.matrix @ second.matrix)
+
+    def mutual_information(self, p_input: np.ndarray) -> float:
+        """``I(X; Y)`` in bits at the given input distribution."""
+        joint = joint_from_channel(p_input, self.matrix)
+        return mutual_information(joint, [0], [1])
+
+    def capacity(self, *, tol: float = 1e-10) -> float:
+        """Channel capacity in bits (Blahut–Arimoto)."""
+        return blahut_arimoto(self.matrix, tol=tol).capacity
+
+
+def binary_symmetric_channel(crossover: float) -> DiscreteMemorylessChannel:
+    """BSC with crossover probability ``crossover`` (capacity ``1 - h(p)``)."""
+    p = float(crossover)
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"crossover probability must be in [0, 1], got {p}")
+    return DiscreteMemorylessChannel(np.array([[1 - p, p], [p, 1 - p]]))
+
+
+def binary_erasure_channel(erasure: float) -> DiscreteMemorylessChannel:
+    """BEC with erasure probability ``erasure``; output 2 is the erasure flag.
+
+    Capacity is ``1 - erasure``.
+    """
+    e = float(erasure)
+    if not 0.0 <= e <= 1.0:
+        raise InvalidParameterError(f"erasure probability must be in [0, 1], got {e}")
+    return DiscreteMemorylessChannel(np.array([[1 - e, 0.0, e], [0.0, 1 - e, e]]))
+
+
+def z_channel(flip_one_to_zero: float) -> DiscreteMemorylessChannel:
+    """Z-channel: ``0`` is noiseless, ``1`` flips to ``0`` with the given rate."""
+    p = float(flip_one_to_zero)
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"flip probability must be in [0, 1], got {p}")
+    return DiscreteMemorylessChannel(np.array([[1.0, 0.0], [p, 1.0 - p]]))

@@ -1,0 +1,170 @@
+"""Half-duplex shared-medium simulator.
+
+Section II-A of the paper gives the half-duplex channel model: each node
+``i`` has input alphabet ``X_i ∪ {∅}`` and output alphabet ``Y_i ∪ {∅}``
+where ``∅`` marks "no input/no output", and **a node may not transmit and
+receive at the same time** (``X_i = ∅`` iff ``Y_i ≠ ∅``). This module
+implements that medium for the Gaussian case: in each phase, a set of nodes
+transmits and every silent node receives the superposition of all
+transmissions weighted by the pairwise complex gains, plus unit-power AWGN.
+
+The returned :class:`PhaseOutput` uses ``None`` as the ``∅`` symbol: a
+transmitting node's received entry is ``None``, faithfully encoding the
+half-duplex constraint rather than silently handing transmitters a copy of
+the channel output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import HalfDuplexViolationError, InvalidParameterError
+from .awgn import ComplexAwgn
+from .gains import LinkGains
+
+__all__ = ["HalfDuplexMedium", "PhaseOutput", "complex_gains_from_powers"]
+
+_NODES = ("a", "b", "r")
+
+
+def complex_gains_from_powers(gains: LinkGains,
+                              rng: np.random.Generator | None = None,
+                              *, random_phases: bool = False) -> dict[frozenset, complex]:
+    """Lift power gains ``G_ij`` to complex amplitudes ``g_ij``.
+
+    With ``random_phases=False`` the amplitudes are the positive square
+    roots (a coherent, phase-aligned world — the usual choice when nodes
+    have full CSI, as the paper assumes). With ``random_phases=True`` each
+    link gets an independent uniform phase, drawn once (quasi-static) from
+    ``rng``; reciprocity is preserved because phases attach to links.
+    """
+    phases = {}
+    for pair in (("a", "b"), ("a", "r"), ("b", "r")):
+        if random_phases:
+            if rng is None:
+                raise InvalidParameterError("rng required when random_phases=True")
+            phases[frozenset(pair)] = float(rng.uniform(0.0, 2.0 * np.pi))
+        else:
+            phases[frozenset(pair)] = 0.0
+    return {
+        frozenset(("a", "b")): np.sqrt(gains.gab) * np.exp(1j * phases[frozenset(("a", "b"))]),
+        frozenset(("a", "r")): np.sqrt(gains.gar) * np.exp(1j * phases[frozenset(("a", "r"))]),
+        frozenset(("b", "r")): np.sqrt(gains.gbr) * np.exp(1j * phases[frozenset(("b", "r"))]),
+    }
+
+
+@dataclass(frozen=True)
+class PhaseOutput:
+    """Received signals of one phase.
+
+    Attributes
+    ----------
+    received:
+        Mapping node -> complex sample vector for listeners, ``None`` (the
+        ``∅`` symbol) for transmitters.
+    transmitters:
+        The nodes that transmitted during the phase.
+    """
+
+    received: dict
+    transmitters: frozenset
+
+    def signal_at(self, node: str) -> np.ndarray:
+        """The received vector at ``node``; raises if the node transmitted."""
+        if node in self.transmitters:
+            raise HalfDuplexViolationError(
+                f"node {node!r} transmitted in this phase; it has no received signal"
+            )
+        return self.received[node]
+
+
+@dataclass
+class HalfDuplexMedium:
+    """A three-node half-duplex Gaussian broadcast medium.
+
+    Attributes
+    ----------
+    gains:
+        Power gains of the three links.
+    noise:
+        Noise source at every listener (unit power by default, matching the
+        paper's normalization).
+    complex_gains:
+        Optional explicit complex amplitudes per link; derived coherently
+        from ``gains`` when omitted.
+    """
+
+    gains: LinkGains
+    noise: ComplexAwgn = field(default_factory=ComplexAwgn)
+    complex_gains: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.complex_gains is None:
+            self.complex_gains = complex_gains_from_powers(self.gains)
+        for pair in (("a", "b"), ("a", "r"), ("b", "r")):
+            key = frozenset(pair)
+            if key not in self.complex_gains:
+                raise InvalidParameterError(f"missing complex gain for link {sorted(pair)}")
+            amplitude = abs(self.complex_gains[key]) ** 2
+            expected = self.gains.gain(*pair)
+            if abs(amplitude - expected) > 1e-6 * max(1.0, expected):
+                raise InvalidParameterError(
+                    f"complex gain for {sorted(pair)} has power {amplitude}, "
+                    f"inconsistent with G={expected}"
+                )
+
+    def run_phase(self, transmissions: dict, rng: np.random.Generator) -> PhaseOutput:
+        """Execute one phase.
+
+        Parameters
+        ----------
+        transmissions:
+            Mapping node -> complex symbol vector for every transmitting
+            node. All vectors must share a length. Nodes absent from the
+            mapping are listeners.
+        rng:
+            Random generator for the noise draws.
+
+        Returns
+        -------
+        PhaseOutput
+            Received vectors at all listeners; ``None`` at transmitters.
+
+        Raises
+        ------
+        HalfDuplexViolationError
+            If a node appears as transmitter with a ``None`` payload (a
+            programming error that would amount to transmitting ``∅``).
+        InvalidParameterError
+            For unknown nodes or mismatched block lengths.
+        """
+        for node in transmissions:
+            if node not in _NODES:
+                raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
+            if transmissions[node] is None:
+                raise HalfDuplexViolationError(
+                    f"node {node!r} listed as transmitter but supplied no signal"
+                )
+        tx_nodes = frozenset(transmissions)
+        if not tx_nodes:
+            raise InvalidParameterError("at least one node must transmit in a phase")
+        lengths = {np.asarray(x).shape for x in transmissions.values()}
+        if len(lengths) != 1:
+            raise InvalidParameterError(
+                f"simultaneous transmissions must share a shape, got {lengths}"
+            )
+        (shape,) = lengths
+
+        received: dict = {}
+        for node in _NODES:
+            if node in tx_nodes:
+                received[node] = None  # the ∅ output symbol
+                continue
+            y = self.noise.sample(rng, shape).astype(complex)
+            for tx, x in transmissions.items():
+                gain = self.complex_gains[frozenset((tx, node))]
+                y = y + gain * np.asarray(x)
+            received[node] = y
+        return PhaseOutput(received=received, transmitters=tx_nodes)

@@ -1,0 +1,169 @@
+"""Path-loss models and node geometry for the cellular scenario.
+
+The paper motivates the bidirectional relay channel with a cellular
+deployment: ``a`` is a mobile user, ``b`` a base station and ``r`` a relay
+station assisting the exchange ("This case is of interest in cellular
+systems", Section I/IV). This module supplies the geometry-to-gain mapping
+used by the figure-3 relay-placement sweep:
+
+* :class:`Position` — 2-D coordinates,
+* :class:`LogDistancePathLoss` — the classical ``G = (d / d0)^(-alpha)``
+  power law, normalized so a reference distance has a reference gain,
+* :class:`RelayGeometry` — converts three node positions into
+  :class:`~repro.channels.gains.LinkGains`,
+* :func:`linear_relay_gains` — the canonical 1-D sweep with the relay on the
+  segment between the terminals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from .gains import LinkGains
+
+__all__ = [
+    "Position",
+    "LogDistancePathLoss",
+    "FreeSpacePathLoss",
+    "RelayGeometry",
+    "linear_relay_gains",
+]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the plane (arbitrary length units)."""
+
+    x: float
+    y: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to another position."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance power law ``G(d) = G_ref * (d / d_ref)^(-exponent)``.
+
+    Attributes
+    ----------
+    exponent:
+        Path-loss exponent ``alpha`` (2 = free space, 3–4 = urban cellular).
+    reference_distance:
+        Distance ``d_ref`` at which the gain equals ``reference_gain``.
+    reference_gain:
+        Linear gain at the reference distance.
+    minimum_distance:
+        Distances are clamped below at this value so co-located nodes do not
+        produce infinite gains.
+    """
+
+    exponent: float = 3.0
+    reference_distance: float = 1.0
+    reference_gain: float = 1.0
+    minimum_distance: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise InvalidParameterError(f"exponent must be positive, got {self.exponent}")
+        if self.reference_distance <= 0:
+            raise InvalidParameterError(
+                f"reference distance must be positive, got {self.reference_distance}"
+            )
+        if self.reference_gain <= 0:
+            raise InvalidParameterError(
+                f"reference gain must be positive, got {self.reference_gain}"
+            )
+        if self.minimum_distance <= 0:
+            raise InvalidParameterError(
+                f"minimum distance must be positive, got {self.minimum_distance}"
+            )
+
+    def gain(self, distance: float) -> float:
+        """Linear power gain at the given distance."""
+        if distance < 0:
+            raise InvalidParameterError(f"distance must be non-negative, got {distance}")
+        d = max(distance, self.minimum_distance)
+        return self.reference_gain * (d / self.reference_distance) ** (-self.exponent)
+
+
+def FreeSpacePathLoss(reference_distance: float = 1.0,
+                      reference_gain: float = 1.0) -> LogDistancePathLoss:
+    """Free-space propagation: a log-distance law with exponent 2."""
+    return LogDistancePathLoss(
+        exponent=2.0,
+        reference_distance=reference_distance,
+        reference_gain=reference_gain,
+    )
+
+
+@dataclass(frozen=True)
+class RelayGeometry:
+    """Positions of the three nodes plus a path-loss law.
+
+    Converts geometry into the :class:`LinkGains` consumed by the bound
+    machinery. Reciprocity holds by construction since gains depend only on
+    distances.
+    """
+
+    terminal_a: Position
+    terminal_b: Position
+    relay: Position
+    path_loss: LogDistancePathLoss
+
+    def link_gains(self) -> LinkGains:
+        """Gains of the three links induced by the geometry."""
+        return LinkGains(
+            gab=self.path_loss.gain(self.terminal_a.distance_to(self.terminal_b)),
+            gar=self.path_loss.gain(self.terminal_a.distance_to(self.relay)),
+            gbr=self.path_loss.gain(self.terminal_b.distance_to(self.relay)),
+        )
+
+
+def linear_relay_gains(relay_fraction: float, *, exponent: float = 3.0,
+                       terminal_distance: float = 1.0) -> LinkGains:
+    """Gains with the relay on the ``a``–``b`` segment.
+
+    ``a`` sits at 0, ``b`` at ``terminal_distance`` and the relay at
+    ``relay_fraction * terminal_distance``. The path-loss law is normalized
+    so the direct link has unit gain (0 dB), matching the figure-3 setup
+    ``G_ab = 0 dB``.
+
+    Parameters
+    ----------
+    relay_fraction:
+        Relay position as a fraction of the terminal separation, in (0, 1).
+    exponent:
+        Path-loss exponent.
+    terminal_distance:
+        Distance between the terminals.
+
+    Returns
+    -------
+    LinkGains
+        With ``gab == 1``; the paper's regime ``G_ab <= G_ar <= G_br`` holds
+        for ``relay_fraction >= 1/2`` (relay closer to ``b``).
+    """
+    if not 0.0 < relay_fraction < 1.0:
+        raise InvalidParameterError(
+            f"relay fraction must lie strictly inside (0, 1), got {relay_fraction}"
+        )
+    if terminal_distance <= 0:
+        raise InvalidParameterError(
+            f"terminal distance must be positive, got {terminal_distance}"
+        )
+    law = LogDistancePathLoss(
+        exponent=exponent,
+        reference_distance=terminal_distance,
+        reference_gain=1.0,
+    )
+    geometry = RelayGeometry(
+        terminal_a=Position(0.0),
+        terminal_b=Position(terminal_distance),
+        relay=Position(relay_fraction * terminal_distance),
+        path_loss=law,
+    )
+    return geometry.link_gains()

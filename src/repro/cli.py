@@ -1,0 +1,309 @@
+"""Command-line interface: ``repro <subcommand>`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``fig3`` / ``fig4`` — regenerate the paper's evaluation figures as text
+  tables, ASCII plots and optional CSVs.
+* ``region`` — trace any protocol's rate region on any channel.
+* ``sumrate`` — LP-optimal sum rates of all protocols on one channel.
+* ``simulate`` — run the operational link-level simulator.
+* ``diagrams`` — print the protocol timelines (paper Figs. 1–2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .channels.gains import LinkGains
+from .core.capacity import achievable_region, compare_protocols, outer_bound_region
+from .core.gaussian import GaussianChannel
+from .core.protocols import Protocol
+from .experiments.config import FIG4_P0, FIG4_P10, Fig4Config
+from .experiments.diagrams import all_protocol_diagrams
+from .experiments.runner import fig3_report, fig4_report, run_experiment
+from .experiments.tables import render_table
+from .information.functions import db_to_linear
+
+__all__ = ["main", "build_parser"]
+
+
+def _channel_from_args(args) -> GaussianChannel:
+    return GaussianChannel(
+        gains=LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db),
+        power=db_to_linear(args.power_db),
+    )
+
+
+def _add_channel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--power-db", type=float, default=10.0,
+                        help="per-node transmit power P in dB (default 10)")
+    parser.add_argument("--gab-db", type=float, default=-7.0,
+                        help="direct-link gain G_ab in dB (default -7)")
+    parser.add_argument("--gar-db", type=float, default=0.0,
+                        help="a-relay gain G_ar in dB (default 0)")
+    parser.add_argument("--gbr-db", type=float, default=5.0,
+                        help="b-relay gain G_br in dB (default 5)")
+
+
+def _cmd_fig3(args) -> int:
+    report = fig3_report()
+    print(report.render())
+    if args.csv_dir:
+        for path in report.write_csvs(args.csv_dir):
+            print(f"wrote {path}")
+    return 0 if report.all_checks_pass() else 1
+
+
+def _cmd_fig4(args) -> int:
+    if args.power_db is None:
+        ok = True
+        for experiment_id in ("fig4a", "fig4b"):
+            report = run_experiment(experiment_id)
+            print(report.render())
+            if args.csv_dir:
+                for path in report.write_csvs(args.csv_dir):
+                    print(f"wrote {path}")
+            ok = ok and report.all_checks_pass()
+        return 0 if ok else 1
+    config = Fig4Config(power_db=args.power_db)
+    experiment_id = "fig4a" if args.power_db < 5 else "fig4b"
+    if config.power_db not in (FIG4_P0.power_db, FIG4_P10.power_db):
+        experiment_id = f"fig4(P={args.power_db:g}dB)"
+    report = fig4_report(config, experiment_id)
+    print(report.render())
+    if args.csv_dir:
+        for path in report.write_csvs(args.csv_dir):
+            print(f"wrote {path}")
+    return 0 if report.all_checks_pass() else 1
+
+
+def _cmd_region(args) -> int:
+    channel = _channel_from_args(args)
+    protocol = Protocol.from_name(args.protocol)
+    region = (outer_bound_region(protocol, channel) if args.outer
+              else achievable_region(protocol, channel))
+    boundary = region.boundary(args.points)
+    rows = [[float(ra), float(rb)] for ra, rb in boundary]
+    title = (f"{protocol.name} {'outer bound' if args.outer else 'achievable'} "
+             f"region boundary — {channel.describe()}")
+    print(render_table(["Ra", "Rb"], rows, title=title))
+    best = region.max_sum_rate()
+    print(f"\nmax sum rate {best.sum_rate:.4f} bits/use at "
+          f"Ra={best.ra:.4f}, Rb={best.rb:.4f}, "
+          f"durations={tuple(round(d, 4) for d in best.durations)}")
+    return 0
+
+
+def _cmd_sumrate(args) -> int:
+    channel = _channel_from_args(args)
+    comparison = compare_protocols(channel)
+    rows = []
+    for protocol, point in comparison.sum_rates.items():
+        rows.append([protocol.name, point.sum_rate, point.ra, point.rb,
+                     str(tuple(round(d, 4) for d in point.durations))])
+    print(render_table(
+        ["protocol", "sum rate", "Ra", "Rb", "durations"],
+        rows,
+        title=f"LP-optimal sum rates — {channel.describe()}",
+    ))
+    print(f"\nbest protocol: {comparison.best_protocol().name}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .simulation.linkcodec import default_codec
+    from .simulation.montecarlo import simulate_protocol
+
+    protocol = Protocol.from_name(args.protocol)
+    gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
+    rng = np.random.default_rng(args.seed)
+    report = simulate_protocol(
+        protocol, gains, db_to_linear(args.power_db), args.rounds, rng,
+        codec=default_codec(args.payload_bits),
+    )
+    rows = [
+        ["a->b", report.a_to_b.fer, report.a_to_b.ber,
+         report.throughput.direction_throughput("a->b")],
+        ["b->a", report.b_to_a.fer, report.b_to_a.ber,
+         report.throughput.direction_throughput("b->a")],
+    ]
+    print(render_table(
+        ["direction", "FER", "BER", "goodput [bits/symbol]"],
+        rows,
+        title=(f"link-level simulation: {protocol.name}, "
+               f"{args.rounds} rounds, P={args.power_db:g} dB"),
+        float_format=".5f",
+    ))
+    print(f"\nsum goodput {report.sum_goodput:.5f} bits/symbol; "
+          f"relay failures {report.relay_failures}/{report.n_rounds}")
+    return 0
+
+
+def _cmd_diagrams(_args) -> int:
+    print(all_protocol_diagrams())
+    return 0
+
+
+def _cmd_fairness(args) -> int:
+    from .core.fairness import fairness_report
+
+    channel = _channel_from_args(args)
+    rows = []
+    for row in fairness_report(channel):
+        rows.append([
+            row.protocol.name,
+            row.sum_optimal.sum_rate,
+            row.sum_point_fairness,
+            row.equal_rate.ra,
+            row.fairness_cost,
+        ])
+    print(render_table(
+        ["protocol", "max sum rate", "Jain idx @ optimum",
+         "max equal rate", "cost of symmetry"],
+        rows,
+        title=f"fairness analysis — {channel.describe()}",
+    ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.sweeps import power_sweep, protocol_crossover_power
+
+    if args.step_db <= 0:
+        print("error: --step-db must be positive")
+        return 2
+    if args.max_db < args.min_db:
+        print("error: --max-db must be >= --min-db")
+        return 2
+    gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
+    powers = [args.min_db + i * args.step_db
+              for i in range(int((args.max_db - args.min_db) / args.step_db) + 1)]
+    rows = []
+    for row in power_sweep(gains, powers):
+        ordered = [row.power_db] + [
+            row.sum_rates[p] for p in
+            (Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC,
+             Protocol.HBC)
+        ] + [row.winner().name]
+        rows.append(ordered)
+    print(render_table(
+        ["P [dB]", "DT", "NAIVE4", "MABC", "TDBC", "HBC", "best"],
+        rows,
+        title=(f"power sweep — G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
+               f"G_br={args.gbr_db:g} dB"),
+    ))
+    crossover = protocol_crossover_power(
+        gains, Protocol.MABC, Protocol.TDBC,
+        low_db=args.min_db, high_db=args.max_db,
+    )
+    if crossover is None:
+        print("\nno MABC/TDBC sum-rate crossover on this range")
+    else:
+        print(f"\nMABC/TDBC sum-rate crossover at P = {crossover:.3f} dB")
+    return 0
+
+
+def _cmd_adaptive(args) -> int:
+    from .simulation.adaptive import adaptive_sum_rate
+
+    gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
+    report = adaptive_sum_rate(
+        gains, db_to_linear(args.power_db), args.draws,
+        np.random.default_rng(args.seed),
+    )
+    rows = [[p.name, mean, report.selection_frequency(p)]
+            for p, mean in report.fixed_means.items()]
+    rows.append(["ADAPTIVE", report.adaptive_mean, 1.0])
+    print(render_table(
+        ["strategy", "ergodic sum rate", "selection freq"],
+        rows,
+        title=(f"per-fade protocol selection — P={args.power_db:g} dB, "
+               f"{args.draws} Rayleigh draws"),
+    ))
+    print(f"\nadaptivity gain over best fixed protocol: "
+          f"{report.adaptivity_gain:.4f} bits/use")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bidirectional coded cooperation: bounds and simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig3 = sub.add_parser("fig3", help="regenerate the paper's Fig. 3")
+    p_fig3.add_argument("--csv-dir", default=None, help="also write CSV tables here")
+    p_fig3.set_defaults(func=_cmd_fig3)
+
+    p_fig4 = sub.add_parser("fig4", help="regenerate the paper's Fig. 4")
+    p_fig4.add_argument("--power-db", type=float, default=None,
+                        help="panel power in dB (omit to run both panels)")
+    p_fig4.add_argument("--csv-dir", default=None, help="also write CSV tables here")
+    p_fig4.set_defaults(func=_cmd_fig4)
+
+    p_region = sub.add_parser("region", help="trace a protocol's rate region")
+    p_region.add_argument("--protocol", required=True,
+                          choices=[p.value for p in Protocol])
+    p_region.add_argument("--outer", action="store_true",
+                          help="trace the outer bound instead of the inner")
+    p_region.add_argument("--points", type=int, default=17,
+                          help="number of boundary directions (default 17)")
+    _add_channel_arguments(p_region)
+    p_region.set_defaults(func=_cmd_region)
+
+    p_sumrate = sub.add_parser("sumrate", help="optimal sum rate of every protocol")
+    _add_channel_arguments(p_sumrate)
+    p_sumrate.set_defaults(func=_cmd_sumrate)
+
+    p_sim = sub.add_parser("simulate", help="run the link-level simulator")
+    p_sim.add_argument("--protocol", required=True,
+                       choices=[p.value for p in Protocol])
+    p_sim.add_argument("--rounds", type=int, default=100)
+    p_sim.add_argument("--payload-bits", type=int, default=128)
+    p_sim.add_argument("--seed", type=int, default=0)
+    _add_channel_arguments(p_sim)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_diag = sub.add_parser("diagrams", help="print the protocol timelines")
+    p_diag.set_defaults(func=_cmd_diagrams)
+
+    p_sweep = sub.add_parser("sweep", help="sum rates across a power sweep")
+    p_sweep.add_argument("--min-db", type=float, default=-5.0)
+    p_sweep.add_argument("--max-db", type=float, default=20.0)
+    p_sweep.add_argument("--step-db", type=float, default=2.5)
+    p_sweep.add_argument("--gab-db", type=float, default=-7.0)
+    p_sweep.add_argument("--gar-db", type=float, default=0.0)
+    p_sweep.add_argument("--gbr-db", type=float, default=5.0)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_adaptive = sub.add_parser(
+        "adaptive", help="per-fade protocol selection under Rayleigh fading"
+    )
+    p_adaptive.add_argument("--draws", type=int, default=100)
+    p_adaptive.add_argument("--seed", type=int, default=0)
+    _add_channel_arguments(p_adaptive)
+    p_adaptive.set_defaults(func=_cmd_adaptive)
+
+    p_fair = sub.add_parser(
+        "fairness", help="symmetric-rate points and fairness indices"
+    )
+    _add_channel_arguments(p_fair)
+    p_fair.set_defaults(func=_cmd_fairness)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Constraint builders for the paper's Theorems 2–6 (plus direct transmission).
+
+Each function returns a channel-agnostic :class:`~repro.core.terms.BoundSpec`
+transcribing one theorem. The numeric step (assigning a value to each
+:class:`~repro.core.terms.MiKey`) happens in
+:mod:`repro.core.gaussian`; the LP step (optimizing phase durations) in
+:mod:`repro.core.optimize` / :mod:`repro.core.regions`.
+
+Phase indexing is 0-based, matching
+:func:`repro.core.protocols.protocol_phases`:
+
+* DT:    0 = ``a``,   1 = ``b``
+* MABC:  0 = ``a+b``, 1 = ``r``
+* TDBC:  0 = ``a``,   1 = ``b``, 2 = ``r``
+* HBC:   0 = ``a``,   1 = ``b``, 2 = ``a+b``, 3 = ``r``
+
+The unit tests cross-check every *outer* bound here against the output of
+the mechanical Lemma-1 engine (:func:`repro.network.cutset.cutset_outer_bound`)
+on random channels; the two derivations agree term by term.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+from .protocols import Protocol
+from .terms import BoundConstraint, BoundKind, BoundSpec, LinearForm, MiKey
+
+__all__ = [
+    "dt_capacity",
+    "naive4_inner",
+    "naive4_outer",
+    "mabc_inner",
+    "mabc_outer",
+    "tdbc_inner",
+    "tdbc_outer",
+    "hbc_inner",
+    "hbc_outer",
+    "bound_for",
+    "ALL_BOUNDS",
+]
+
+
+def _form(*terms) -> LinearForm:
+    return LinearForm(terms)
+
+
+def dt_capacity() -> BoundSpec:
+    """Direct transmission capacity region (Section II-C, Fig. 2 "DT").
+
+    ``Ra <= Δ1·C_ab`` and ``Rb <= Δ2·C_ab``; exact because each phase is a
+    point-to-point memoryless channel.
+    """
+    constraints = (
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB))),
+    )
+    return BoundSpec(Protocol.DT, BoundKind.INNER, 2, constraints,
+                     "Direct transmission (exact)")
+
+
+def naive4_inner() -> BoundSpec:
+    """Fig. 1(ii) baseline: four-phase store-and-forward relaying.
+
+    The relay decodes ``a``'s message in phase 1 and re-transmits it to
+    ``b`` in phase 2, then the mirror image for ``b``. No network coding,
+    and the overheard direct-link receptions are deliberately ignored —
+    this is the strawman whose inefficiency motivates the coded protocols,
+    so its region is the plain cascade of the four point-to-point phases.
+    """
+    constraints = (
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",), _form((1, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((3, MiKey.LINK_AR))),
+    )
+    return BoundSpec(Protocol.NAIVE4, BoundKind.INNER, 4, constraints,
+                     "Naive four-phase relaying (Fig. 1(ii) baseline)")
+
+
+def naive4_outer() -> BoundSpec:
+    """Cut-set outer bound for the naive four-phase schedule.
+
+    Unlike the inner bound, the converse *must* credit the overheard
+    receptions (node ``b`` hears phase 1, node ``a`` hears phase 3) and
+    the ``S = {a, b}`` sum-rate cut; the terms below are exactly what the
+    Lemma-1 engine generates for this schedule (cross-checked in tests).
+    """
+    constraints = (
+        BoundConstraint(("Ra",), _form((0, MiKey.CUT_A_RB))),
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (1, MiKey.LINK_BR),
+                                       (3, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((2, MiKey.CUT_B_RA))),
+        BoundConstraint(("Rb",), _form((2, MiKey.LINK_AB), (1, MiKey.LINK_AR),
+                                       (3, MiKey.LINK_AR))),
+        BoundConstraint(("Ra", "Rb"),
+                        _form((0, MiKey.LINK_AR), (2, MiKey.LINK_BR))),
+    )
+    return BoundSpec(Protocol.NAIVE4, BoundKind.OUTER, 4, constraints,
+                     "Naive four-phase cut-set outer bound")
+
+
+def mabc_inner() -> BoundSpec:
+    """Theorem 2 — MABC capacity region (achievability direction).
+
+    Phase 1 is a MAC into the relay (individual + sum constraints); phase 2
+    a network-coded broadcast where each terminal's side information (its
+    own message) reduces the relay codebook to the partner's cardinality,
+    giving the cross constraints ``Ra <= Δ2·I(X_r; Y_b)`` and
+    ``Rb <= Δ2·I(X_r; Y_a)``.
+    """
+    constraints = (
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",), _form((1, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((0, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_AR))),
+        BoundConstraint(("Ra", "Rb"), _form((0, MiKey.MAC_SUM))),
+    )
+    return BoundSpec(Protocol.MABC, BoundKind.INNER, 2, constraints,
+                     "MABC achievable region (Theorem 2)")
+
+
+def mabc_outer() -> BoundSpec:
+    """Theorem 2 — MABC converse. Identical to the inner bound (tight)."""
+    inner = mabc_inner()
+    return BoundSpec(Protocol.MABC, BoundKind.OUTER, inner.n_phases,
+                     inner.constraints, "MABC outer bound (Theorem 2, tight)")
+
+
+def tdbc_inner() -> BoundSpec:
+    """Theorem 3 — TDBC achievable region.
+
+    The relay must decode each message in its dedicated phase
+    (``Ra <= Δ1·I(X_a; Y_r)``); each terminal decodes from its overheard
+    side information **plus** the relay broadcast
+    (``Ra <= Δ1·I(X_a; Y_b) + Δ3·I(X_r; Y_b)``), via random binning.
+    Notably there is no sum-rate constraint in the achievable region.
+    """
+    constraints = (
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB), (2, MiKey.LINK_AR))),
+    )
+    return BoundSpec(Protocol.TDBC, BoundKind.INNER, 3, constraints,
+                     "TDBC achievable region (Theorem 3)")
+
+
+def tdbc_outer() -> BoundSpec:
+    """Theorem 4 — TDBC outer bound (cut-set, DF relay).
+
+    The relay-decoding terms widen to full cuts
+    (``I(X_a; Y_r, Y_b)``, a SIMO term), and the ``S = {a, b}`` cut adds the
+    sum-rate constraint ``Ra + Rb <= Δ1·I(X_a; Y_r) + Δ2·I(X_b; Y_r)``.
+    """
+    constraints = (
+        BoundConstraint(("Ra",), _form((0, MiKey.CUT_A_RB))),
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.CUT_B_RA))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB), (2, MiKey.LINK_AR))),
+        BoundConstraint(("Ra", "Rb"),
+                        _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR))),
+    )
+    return BoundSpec(Protocol.TDBC, BoundKind.OUTER, 3, constraints,
+                     "TDBC outer bound (Theorem 4)")
+
+
+def hbc_inner() -> BoundSpec:
+    """Theorem 5 — HBC achievable region.
+
+    The relay accumulates information about each message across the
+    dedicated phase *and* the MAC phase; terminals decode from first/second
+    phase side information plus the relay broadcast. The MAC phase
+    contributes a sum constraint through the relay.
+    """
+    constraints = (
+        BoundConstraint(("Ra",),
+                        _form((0, MiKey.LINK_AR), (2, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",),
+                        _form((0, MiKey.LINK_AB), (3, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",),
+                        _form((1, MiKey.LINK_BR), (2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",),
+                        _form((1, MiKey.LINK_AB), (3, MiKey.LINK_AR))),
+        BoundConstraint(("Ra", "Rb"),
+                        _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR),
+                              (2, MiKey.MAC_SUM))),
+    )
+    return BoundSpec(Protocol.HBC, BoundKind.INNER, 4, constraints,
+                     "HBC achievable region (Theorem 5)")
+
+
+def hbc_outer() -> BoundSpec:
+    """Theorem 6 — HBC outer bound, **independent-input evaluation**.
+
+    The theorem allows a correlated phase-3 input ``p^(3)(x_a, x_b | q)``;
+    for the Gaussian channel the optimal joint law is unknown and the paper
+    declines to evaluate the bound numerically. This spec transcribes the
+    constraint *structure* exactly; evaluating it with the independent-input
+    Gaussian values of :class:`~repro.core.gaussian.GaussianChannel` yields
+    a proxy that is exact for independent inputs but not a proven outer
+    bound for the channel. Use accordingly (the experiment harness never
+    plots it as a paper artifact, matching the paper).
+    """
+    constraints = (
+        BoundConstraint(("Ra",),
+                        _form((0, MiKey.CUT_A_RB), (2, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",),
+                        _form((0, MiKey.LINK_AB), (3, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",),
+                        _form((1, MiKey.CUT_B_RA), (2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",),
+                        _form((1, MiKey.LINK_AB), (3, MiKey.LINK_AR))),
+        BoundConstraint(("Ra", "Rb"),
+                        _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR),
+                              (2, MiKey.MAC_SUM))),
+    )
+    return BoundSpec(Protocol.HBC, BoundKind.OUTER, 4, constraints,
+                     "HBC outer bound (Theorem 6, independent-input proxy)")
+
+
+#: Registry of all bound builders keyed by (protocol, kind).
+ALL_BOUNDS = {
+    (Protocol.DT, BoundKind.INNER): dt_capacity,
+    (Protocol.DT, BoundKind.OUTER): dt_capacity,
+    (Protocol.NAIVE4, BoundKind.INNER): naive4_inner,
+    (Protocol.NAIVE4, BoundKind.OUTER): naive4_outer,
+    (Protocol.MABC, BoundKind.INNER): mabc_inner,
+    (Protocol.MABC, BoundKind.OUTER): mabc_outer,
+    (Protocol.TDBC, BoundKind.INNER): tdbc_inner,
+    (Protocol.TDBC, BoundKind.OUTER): tdbc_outer,
+    (Protocol.HBC, BoundKind.INNER): hbc_inner,
+    (Protocol.HBC, BoundKind.OUTER): hbc_outer,
+}
+
+
+def bound_for(protocol: Protocol, kind: BoundKind) -> BoundSpec:
+    """Look up the bound spec for a protocol and direction."""
+    try:
+        builder = ALL_BOUNDS[(protocol, kind)]
+    except KeyError:
+        raise InvalidParameterError(
+            f"no bound registered for {protocol!r}/{kind!r}"
+        ) from None
+    return builder()

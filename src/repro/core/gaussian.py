@@ -1,0 +1,163 @@
+"""Gaussian (AWGN + path loss) evaluation of the symbolic bounds.
+
+Section IV of the paper: all nodes transmit with power ``P``, noise is
+unit-power circularly-symmetric complex Gaussian, link gains are
+``G_ij = |g_ij|^2`` and ``C(x) = log2(1 + x)``. A per-phase Gaussian input
+maximizes each mutual-information term individually (the paper's
+justification for taking ``|Q| = 1`` in (22)–(23)), giving the closed-form
+table implemented by :meth:`GaussianChannel.mi_value`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.gains import LinkGains
+from ..exceptions import InvalidParameterError
+from ..information.functions import db_to_linear, gaussian_capacity
+from .terms import BoundSpec, MiKey
+
+__all__ = ["GaussianChannel", "EvaluatedBound", "EvaluatedConstraint"]
+
+
+@dataclass(frozen=True)
+class EvaluatedConstraint:
+    """A numeric constraint ``sum(rates) <= coefficients @ Δ``.
+
+    Attributes
+    ----------
+    rates:
+        Rate names on the left-hand side.
+    coefficients:
+        Per-phase numeric MI coefficients (bits), length = protocol phases.
+    """
+
+    rates: tuple
+    coefficients: tuple
+
+    def bound_at(self, durations) -> float:
+        """Right-hand side value at concrete durations."""
+        durations = tuple(durations)
+        if len(durations) != len(self.coefficients):
+            raise InvalidParameterError(
+                f"expected {len(self.coefficients)} durations, got {len(durations)}"
+            )
+        return float(sum(d * c for d, c in zip(durations, self.coefficients)))
+
+
+@dataclass(frozen=True)
+class EvaluatedBound:
+    """A bound spec with numeric per-phase coefficients for one channel.
+
+    Produced by :meth:`GaussianChannel.evaluate`; consumed by the region and
+    optimization code in :mod:`repro.core.regions` /
+    :mod:`repro.core.optimize`.
+    """
+
+    spec: BoundSpec
+    constraints: tuple
+
+    @property
+    def n_phases(self) -> int:
+        """Number of protocol phases (= length of the duration vector)."""
+        return self.spec.n_phases
+
+    def constraints_for(self, rates: tuple) -> list[EvaluatedConstraint]:
+        """All constraints whose left-hand side is exactly ``rates``."""
+        target = tuple(sorted(rates))
+        return [c for c in self.constraints if tuple(sorted(c.rates)) == target]
+
+    def rate_caps(self, durations) -> dict:
+        """``{"Ra": cap, "Rb": cap, "Ra+Rb": cap}`` at fixed durations.
+
+        Missing constraint families yield ``inf`` caps (e.g. DT has no
+        sum-rate constraint).
+        """
+        caps = {"Ra": float("inf"), "Rb": float("inf"), "Ra+Rb": float("inf")}
+        for constraint in self.constraints:
+            key = "+".join(sorted(constraint.rates))
+            value = constraint.bound_at(durations)
+            caps[key] = min(caps.get(key, float("inf")), value)
+        return caps
+
+
+@dataclass(frozen=True)
+class GaussianChannel:
+    """An AWGN bidirectional relay channel instance: gains plus power.
+
+    Attributes
+    ----------
+    gains:
+        Reciprocal link gains ``G_ab, G_ar, G_br`` (linear).
+    power:
+        Common per-node transmit power ``P`` (linear; noise power is one).
+    """
+
+    gains: LinkGains
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise InvalidParameterError(f"power must be non-negative, got {self.power}")
+
+    @classmethod
+    def from_db(cls, *, power_db: float, gab_db: float, gar_db: float,
+                gbr_db: float) -> "GaussianChannel":
+        """Construct with every quantity in decibels."""
+        return cls(
+            gains=LinkGains.from_db(gab_db, gar_db, gbr_db),
+            power=db_to_linear(power_db),
+        )
+
+    def snr(self, link: MiKey) -> float:
+        """Receive SNR of the term's effective channel (linear)."""
+        p = self.power
+        g = self.gains
+        table = {
+            MiKey.LINK_AR: p * g.gar,
+            MiKey.LINK_BR: p * g.gbr,
+            MiKey.LINK_AB: p * g.gab,
+            MiKey.MAC_SUM: p * (g.gar + g.gbr),
+            MiKey.CUT_A_RB: p * (g.gar + g.gab),
+            MiKey.CUT_B_RA: p * (g.gbr + g.gab),
+        }
+        return table[link]
+
+    def mi_value(self, key: MiKey) -> float:
+        """Per-phase mutual information (bits/use) of a symbolic term."""
+        return gaussian_capacity(self.snr(key))
+
+    def mi_values(self) -> dict:
+        """All term values as a dict keyed by :class:`MiKey`."""
+        return {key: self.mi_value(key) for key in MiKey}
+
+    def evaluate(self, spec: BoundSpec) -> EvaluatedBound:
+        """Assign Gaussian values to a symbolic bound."""
+        values = self.mi_values()
+        evaluated = tuple(
+            EvaluatedConstraint(
+                rates=c.rates,
+                coefficients=tuple(c.form.coefficients(spec.n_phases, values)),
+            )
+            for c in spec.constraints
+        )
+        return EvaluatedBound(spec=spec, constraints=evaluated)
+
+    def with_power(self, power: float) -> "GaussianChannel":
+        """The same channel at a different transmit power."""
+        return GaussianChannel(gains=self.gains, power=power)
+
+    def with_gains(self, gains: LinkGains) -> "GaussianChannel":
+        """The same power applied to different link gains (fading draws)."""
+        return GaussianChannel(gains=gains, power=self.power)
+
+    def describe(self) -> str:
+        """One-line summary with dB quantities for reports."""
+        gab_db, gar_db, gbr_db = self.gains.to_db()
+        power_db = 10.0 * np.log10(self.power) if self.power > 0 else float("-inf")
+        return (
+            f"P={power_db:.1f} dB, G_ab={gab_db:.1f} dB, "
+            f"G_ar={gar_db:.1f} dB, G_br={gbr_db:.1f} dB"
+        )

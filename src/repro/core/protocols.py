@@ -1,0 +1,176 @@
+"""Protocol descriptors for the four bidirectional cooperation schemes.
+
+The paper's protocols (Section II-C, Fig. 2) are fixed sequences of
+*contiguous* phases; in each phase a known subset of nodes transmits while
+everyone else listens (half-duplex). This module gives each protocol a
+first-class description — phase transmitter sets, labels, duration
+containers — consumed by the bound builders, the cut-set engine and the
+link-level simulator alike, so that all three views of a protocol share one
+source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import InvalidProtocolError
+from ..network.cutset import PhaseSpec, ProtocolSchedule
+
+__all__ = ["Protocol", "PhaseDurations", "protocol_schedule", "protocol_phases"]
+
+_NODES = ("a", "b", "r")
+
+
+class Protocol(enum.Enum):
+    """The protocols of the paper's Figs. 1–2.
+
+    * ``DT`` — direct transmission (no relay): ``a`` then ``b``.
+    * ``NAIVE4`` — the four-phase strawman of Fig. 1(ii): ``a → r``,
+      ``r → b``, ``b → r``, ``r → a``, with no network coding and no use of
+      overheard side information. Included as the baseline that motivates
+      coded bidirectional cooperation.
+    * ``MABC`` — multiple access broadcast: ``{a, b}`` jointly, then ``r``.
+    * ``TDBC`` — time division broadcast: ``a``, ``b``, then ``r``.
+    * ``HBC`` — hybrid broadcast: ``a``, ``b``, ``{a, b}``, then ``r``.
+    """
+
+    DT = "dt"
+    NAIVE4 = "naive4"
+    MABC = "mabc"
+    TDBC = "tdbc"
+    HBC = "hbc"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Protocol":
+        """Parse a protocol from a case-insensitive string."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            raise InvalidProtocolError(
+                f"unknown protocol {name!r}; choose from "
+                f"{[p.value for p in cls]}"
+            ) from None
+
+    @property
+    def uses_relay(self) -> bool:
+        """Whether the protocol involves the relay node at all."""
+        return self is not Protocol.DT
+
+
+_PHASE_TABLE: dict[Protocol, tuple[frozenset, ...]] = {
+    Protocol.DT: (frozenset("a"), frozenset("b")),
+    Protocol.NAIVE4: (
+        frozenset("a"),
+        frozenset("r"),
+        frozenset("b"),
+        frozenset("r"),
+    ),
+    Protocol.MABC: (frozenset(("a", "b")), frozenset("r")),
+    Protocol.TDBC: (frozenset("a"), frozenset("b"), frozenset("r")),
+    Protocol.HBC: (
+        frozenset("a"),
+        frozenset("b"),
+        frozenset(("a", "b")),
+        frozenset("r"),
+    ),
+}
+
+_PHASE_LABELS: dict[Protocol, tuple[str, ...]] = {
+    Protocol.DT: ("a transmits", "b transmits"),
+    Protocol.NAIVE4: (
+        "a transmits",
+        "relay forwards to b",
+        "b transmits",
+        "relay forwards to a",
+    ),
+    Protocol.MABC: ("a+b multiple access", "relay broadcast"),
+    Protocol.TDBC: ("a transmits", "b transmits", "relay broadcast"),
+    Protocol.HBC: (
+        "a transmits",
+        "b transmits",
+        "a+b multiple access",
+        "relay broadcast",
+    ),
+}
+
+
+def protocol_phases(protocol: Protocol) -> tuple[frozenset, ...]:
+    """Transmitter sets of the protocol's phases, in order."""
+    return _PHASE_TABLE[protocol]
+
+
+def protocol_schedule(protocol: Protocol) -> ProtocolSchedule:
+    """The protocol as a :class:`~repro.network.cutset.ProtocolSchedule`.
+
+    This is the representation consumed by the Lemma-1 cut-set engine.
+    """
+    phases = tuple(
+        PhaseSpec(transmitters, label)
+        for transmitters, label in zip(_PHASE_TABLE[protocol], _PHASE_LABELS[protocol])
+    )
+    return ProtocolSchedule(nodes=_NODES, phases=phases)
+
+
+@dataclass(frozen=True)
+class PhaseDurations:
+    """Relative phase durations ``Δ_ℓ >= 0`` with ``sum Δ_ℓ = 1``.
+
+    The paper denotes these ``Δ_ℓ`` and requires them to sum to one
+    (Section II-A). Instances validate both properties on construction.
+    """
+
+    values: tuple
+
+    def __init__(self, values) -> None:
+        value_tuple = tuple(float(v) for v in values)
+        object.__setattr__(self, "values", value_tuple)
+        if not value_tuple:
+            raise InvalidProtocolError("at least one phase duration required")
+        if any(v < -1e-12 for v in value_tuple):
+            raise InvalidProtocolError(f"durations must be non-negative: {value_tuple}")
+        total = sum(value_tuple)
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidProtocolError(f"durations must sum to 1, got {total}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+    @classmethod
+    def uniform(cls, n_phases: int) -> "PhaseDurations":
+        """Equal split across ``n_phases`` phases."""
+        if n_phases < 1:
+            raise InvalidProtocolError(f"need at least one phase, got {n_phases}")
+        return cls([1.0 / n_phases] * n_phases)
+
+    @classmethod
+    def for_protocol(cls, protocol: Protocol, values) -> "PhaseDurations":
+        """Validate that the duration count matches the protocol's phases."""
+        durations = cls(values)
+        expected = len(_PHASE_TABLE[protocol])
+        if len(durations) != expected:
+            raise InvalidProtocolError(
+                f"{protocol.name} has {expected} phases, got {len(durations)} durations"
+            )
+        return durations
+
+
+def describe(protocol: Protocol) -> str:
+    """A one-paragraph textual description of the protocol's phase plan."""
+    lines = [f"{protocol.name}: {len(_PHASE_TABLE[protocol])} phases"]
+    for index, (transmitters, label) in enumerate(
+        zip(_PHASE_TABLE[protocol], _PHASE_LABELS[protocol]), start=1
+    ):
+        listeners = [n for n in _NODES if n not in transmitters]
+        lines.append(
+            f"  phase {index}: {label} "
+            f"(tx={{{', '.join(sorted(transmitters))}}}, "
+            f"rx={{{', '.join(listeners)}}})"
+        )
+    return "\n".join(lines)

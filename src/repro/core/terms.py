@@ -1,0 +1,176 @@
+"""Symbolic linear forms for the theorem bounds.
+
+Every bound in Theorems 2–6 has the shape::
+
+    (sum of some rates)  <=  min over forms of  sum_ℓ Δ_ℓ · I_term(ℓ)
+
+where each ``I_term`` is one of a small vocabulary of per-phase mutual
+informations. This module fixes that vocabulary (:class:`MiKey`) and the
+symbolic containers (:class:`LinearForm`, :class:`BoundConstraint`,
+:class:`BoundSpec`). Numbers enter only later, when a
+:class:`~repro.core.gaussian.GaussianChannel` (or any other evaluator)
+assigns a value to each key — keeping the theorem statements themselves
+channel-agnostic, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from .protocols import Protocol
+
+__all__ = ["MiKey", "LinearForm", "BoundConstraint", "BoundSpec", "BoundKind"]
+
+
+class MiKey(enum.Enum):
+    """The per-phase mutual-information terms appearing in Theorems 2–6.
+
+    Values are chosen for readable reports. Reciprocity (``g_ij = g_ji``)
+    means a single key covers both directions of a link.
+    """
+
+    #: Single link between a terminal and the relay: ``I(X_a; Y_r | ...)`` or
+    #: the reverse broadcast direction ``I(X_r; Y_a | ...)``.
+    LINK_AR = "a-r"
+    #: Single link between ``b`` and the relay.
+    LINK_BR = "b-r"
+    #: The direct terminal-to-terminal link.
+    LINK_AB = "a-b"
+    #: Multiple-access sum at the relay: ``I(X_a, X_b; Y_r)``.
+    MAC_SUM = "ab-r"
+    #: Cut from ``a`` to both listeners: ``I(X_a; Y_r, Y_b)`` (SIMO).
+    CUT_A_RB = "a-rb"
+    #: Cut from ``b`` to both listeners: ``I(X_b; Y_r, Y_a)`` (SIMO).
+    CUT_B_RA = "b-ra"
+
+
+class BoundKind(enum.Enum):
+    """Whether a bound is achievable (inner) or a converse (outer)."""
+
+    INNER = "inner"
+    OUTER = "outer"
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """A symbolic expression ``sum_ℓ Δ_ℓ · value(term_ℓ)``.
+
+    Attributes
+    ----------
+    terms:
+        Tuple of ``(phase_index, MiKey)`` pairs. A phase may appear at most
+        once (the theorems never need repeated phases within one form).
+    """
+
+    terms: tuple
+
+    def __init__(self, terms) -> None:
+        term_tuple = tuple((int(p), k) for p, k in terms)
+        object.__setattr__(self, "terms", term_tuple)
+        if not term_tuple:
+            raise InvalidParameterError("a linear form needs at least one term")
+        phases = [p for p, _ in term_tuple]
+        if len(set(phases)) != len(phases):
+            raise InvalidParameterError(f"repeated phase index in {term_tuple!r}")
+        for p, k in term_tuple:
+            if p < 0:
+                raise InvalidParameterError(f"negative phase index {p}")
+            if not isinstance(k, MiKey):
+                raise InvalidParameterError(f"{k!r} is not an MiKey")
+
+    def max_phase(self) -> int:
+        """Largest phase index referenced."""
+        return max(p for p, _ in self.terms)
+
+    def coefficients(self, n_phases: int, values: dict) -> list[float]:
+        """Numeric per-phase coefficients given MI values per key."""
+        if self.max_phase() >= n_phases:
+            raise InvalidParameterError(
+                f"form references phase {self.max_phase()} but protocol has "
+                f"{n_phases} phases"
+            )
+        coeffs = [0.0] * n_phases
+        for p, k in self.terms:
+            coeffs[p] += float(values[k])
+        return coeffs
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``Δ1·I[a-r] + Δ3·I[b-r]``."""
+        parts = [f"Δ{p + 1}·I[{k.value}]" for p, k in self.terms]
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class BoundConstraint:
+    """``sum of rates <= linear form``; a min() contributes several of these.
+
+    Attributes
+    ----------
+    rates:
+        The rate names on the left-hand side (``("Ra",)``, ``("Rb",)`` or
+        ``("Ra", "Rb")`` for the sum constraint).
+    form:
+        The right-hand side.
+    """
+
+    rates: tuple
+    form: LinearForm
+
+    def __init__(self, rates, form: LinearForm) -> None:
+        rate_tuple = tuple(rates)
+        object.__setattr__(self, "rates", rate_tuple)
+        object.__setattr__(self, "form", form)
+        if not rate_tuple:
+            raise InvalidParameterError("constraint must bound at least one rate")
+        for r in rate_tuple:
+            if r not in ("Ra", "Rb"):
+                raise InvalidParameterError(f"unknown rate name {r!r}")
+        if len(set(rate_tuple)) != len(rate_tuple):
+            raise InvalidParameterError(f"duplicate rates in {rate_tuple!r}")
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``Ra + Rb <= Δ1·I[ab-r]``."""
+        return f"{' + '.join(self.rates)} <= {self.form.describe()}"
+
+
+@dataclass(frozen=True)
+class BoundSpec:
+    """A full theorem bound: protocol, inner/outer, and its constraints.
+
+    Instances are produced by :mod:`repro.core.bounds` (one builder per
+    theorem) and consumed by
+    :meth:`repro.core.gaussian.GaussianChannel.evaluate`.
+    """
+
+    protocol: Protocol
+    kind: BoundKind
+    n_phases: int
+    constraints: tuple
+    label: str
+
+    def __init__(self, protocol: Protocol, kind: BoundKind, n_phases: int,
+                 constraints, label: str) -> None:
+        constraint_tuple = tuple(constraints)
+        object.__setattr__(self, "protocol", protocol)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "n_phases", int(n_phases))
+        object.__setattr__(self, "constraints", constraint_tuple)
+        object.__setattr__(self, "label", label)
+        if self.n_phases < 1:
+            raise InvalidParameterError(f"n_phases must be >= 1, got {n_phases}")
+        if not constraint_tuple:
+            raise InvalidParameterError("a bound needs at least one constraint")
+        for c in constraint_tuple:
+            if c.form.max_phase() >= self.n_phases:
+                raise InvalidParameterError(
+                    f"constraint {c.describe()!r} references a phase beyond "
+                    f"{self.n_phases}"
+                )
+
+    def describe(self) -> str:
+        """Multi-line rendering of the whole bound."""
+        lines = [f"{self.label} ({self.kind.value}, {self.n_phases} phases):"]
+        lines.extend("  " + c.describe() for c in self.constraints)
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain."""
+
+
+class InvalidDistributionError(InvalidParameterError):
+    """A probability vector/matrix is malformed (negative or not normalized)."""
+
+
+class InvalidProtocolError(InvalidParameterError):
+    """A protocol description violates its structural invariants.
+
+    Examples: phase durations that do not sum to one, a node scheduled to
+    transmit and receive in the same phase (half-duplex violation), or an
+    unknown protocol name.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """An optimization problem admits no feasible point."""
+
+
+class UnboundedProblemError(ReproError):
+    """An optimization problem is unbounded in the improving direction."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration budget."""
+
+
+class SimulationError(ReproError):
+    """A link-level simulation was configured inconsistently."""
+
+
+class HalfDuplexViolationError(SimulationError):
+    """A node attempted to transmit and receive simultaneously."""

@@ -1,0 +1,74 @@
+"""Terminal line/scatter plots (matplotlib is not available offline).
+
+Renders one or more ``(x, y)`` series onto a character grid with a marker
+per series, axis ranges and a legend — enough to eyeball the shapes the
+paper's figures show (crossovers, dominance, region nesting) directly in a
+terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(series: dict, *, width: int = 72, height: int = 22,
+               title: str = "", x_label: str = "x", y_label: str = "y") -> str:
+    """Plot named series of points as ASCII art.
+
+    Parameters
+    ----------
+    series:
+        Mapping name -> array-like of shape ``(n, 2)`` (columns: x, y).
+    width, height:
+        Plot area size in characters (excluding axes).
+    title, x_label, y_label:
+        Annotations.
+    """
+    if not series:
+        raise InvalidParameterError("at least one series required")
+    if width < 8 or height < 4:
+        raise InvalidParameterError(f"plot area too small: {width}x{height}")
+    arrays = {}
+    for name, pts in series.items():
+        arr = np.asarray(pts, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] == 0:
+            raise InvalidParameterError(
+                f"series {name!r} must be a non-empty (n, 2) array, got {arr.shape}"
+            )
+        arrays[name] = arr
+    all_pts = np.vstack(list(arrays.values()))
+    x_min, x_max = float(all_pts[:, 0].min()), float(all_pts[:, 0].max())
+    y_min, y_max = float(all_pts[:, 1].min()), float(all_pts[:, 1].max())
+    x_min = min(x_min, 0.0)
+    y_min = min(y_min, 0.0)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, arr) in enumerate(arrays.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in arr:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (max {y_max:.3f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: [{x_min:.3f}, {x_max:.3f}]")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(arrays)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

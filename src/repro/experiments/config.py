@@ -1,0 +1,73 @@
+"""Experiment configurations: the paper's evaluation parameters.
+
+Single source of truth for every figure's parameters, including the two
+OCR-reading decisions documented in DESIGN.md:
+
+* **Fig. 3**: ``P = 15 dB``, ``G_ab = 0 dB``; the swept variable is
+  reconstructed as (i) relay position on the ``a``–``b`` line under a
+  log-distance path-loss law and (ii) a symmetric relay-gain sweep.
+* **Fig. 4**: ``P = 0 dB`` (top) / ``P = 10 dB`` (bottom) with the gain
+  triple read as ``G_ar = 0 dB, G_br = 5 dB, G_ab = -7 dB`` — the only
+  assignment of the OCR'd values ``{0, 5, -7}`` consistent with the
+  paper's standing assumption ``G_ab <= G_ar <= G_br``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.gains import LinkGains
+from ..core.gaussian import GaussianChannel
+from ..information.functions import db_to_linear
+
+__all__ = ["Fig3Config", "Fig4Config", "FIG3_DEFAULT", "FIG4_P0", "FIG4_P10"]
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Parameters of the Fig. 3 sum-rate sweeps."""
+
+    power_db: float = 15.0
+    gab_db: float = 0.0
+    #: Relay positions (fraction of the a--b distance) for the placement sweep.
+    relay_fractions: tuple = tuple(np.round(np.linspace(0.1, 0.9, 17), 4))
+    #: Path-loss exponent of the placement sweep.
+    path_loss_exponent: float = 3.0
+    #: Symmetric relay gains (dB) for the secondary sweep (G_ar = G_br = G).
+    symmetric_gains_db: tuple = tuple(range(0, 21, 2))
+
+    @property
+    def power(self) -> float:
+        """Transmit power in linear units."""
+        return db_to_linear(self.power_db)
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Parameters of one Fig. 4 panel (rate regions at fixed gains)."""
+
+    power_db: float
+    gab_db: float = -7.0
+    gar_db: float = 0.0
+    gbr_db: float = 5.0
+    #: Number of weight directions for boundary tracing.
+    boundary_points: int = 33
+
+    def channel(self) -> GaussianChannel:
+        """The configured Gaussian channel."""
+        return GaussianChannel(
+            gains=LinkGains.from_db(self.gab_db, self.gar_db, self.gbr_db),
+            power=db_to_linear(self.power_db),
+        )
+
+
+#: The default Fig. 3 configuration (paper parameters).
+FIG3_DEFAULT = Fig3Config()
+
+#: Fig. 4 top panel: low SNR.
+FIG4_P0 = Fig4Config(power_db=0.0)
+
+#: Fig. 4 bottom panel: high SNR.
+FIG4_P10 = Fig4Config(power_db=10.0)

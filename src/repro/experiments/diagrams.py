@@ -1,0 +1,42 @@
+"""Text renderings of the paper's protocol diagrams (Figs. 1 and 2).
+
+Figures 1 and 2 of the paper are explanatory timelines, not measurements;
+these renderers reproduce them as documentation aids for the README and
+the CLI's ``diagrams`` subcommand.
+"""
+
+from __future__ import annotations
+
+from ..core.protocols import Protocol, protocol_phases
+
+__all__ = ["phase_timeline", "all_protocol_diagrams"]
+
+_NODES = ("a", "b", "r")
+
+
+def phase_timeline(protocol: Protocol, *, cell_width: int = 14) -> str:
+    """One protocol as a node-by-phase transmit/listen timeline.
+
+    Shaded cells of the paper's Fig. 2 become ``TX``; listeners become
+    ``rx``; the relay row is omitted for DT (no relay involved).
+    """
+    phases = protocol_phases(protocol)
+    nodes = _NODES if protocol.uses_relay else ("a", "b")
+    header = "node".ljust(6) + "".join(
+        f"phase {i + 1}".center(cell_width) for i in range(len(phases))
+    )
+    lines = [f"{protocol.name}", header, "-" * len(header)]
+    for node in nodes:
+        cells = []
+        for transmitters in phases:
+            cells.append(("TX" if node in transmitters else "rx").center(cell_width))
+        lines.append(node.ljust(6) + "".join(cells))
+    return "\n".join(lines)
+
+
+def all_protocol_diagrams() -> str:
+    """Every protocol timeline, separated by blank lines (Figs. 1–2 analogue)."""
+    blocks = [phase_timeline(p) for p in
+              (Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC,
+               Protocol.HBC)]
+    return "\n\n".join(blocks)

@@ -1,0 +1,167 @@
+"""Fig. 4 regeneration: achievable rate regions and outer bounds.
+
+The paper's Fig. 4 plots, at ``G_ar = 0 dB, G_br = 5 dB, G_ab = -7 dB``:
+
+* top panel, ``P = 0 dB`` (low SNR): MABC dominates TDBC;
+* bottom panel, ``P = 10 dB`` (high SNR): TDBC overtakes MABC in part of
+  the region, and — the paper's headline — **some achievable HBC points
+  lie outside the outer bounds of both MABC and TDBC**.
+
+This module traces the boundary of every region with the weighted-sum LP
+(exact for these convex regions) and extracts the headline set of HBC
+points explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.capacity import achievable_region, outer_bound_region
+from ..core.protocols import Protocol
+from ..core.regions import RateRegion, region_dominates
+from ..optimize.linprog import DEFAULT_BACKEND
+from .config import FIG4_P0, FIG4_P10, Fig4Config
+
+__all__ = ["RegionTrace", "Fig4Result", "run_fig4", "fig4_shape_checks"]
+
+#: The curves the paper draws in each panel, in legend order.
+TRACE_KEYS = ("DT", "MABC", "TDBC inner", "TDBC outer", "HBC")
+
+
+@dataclass(frozen=True)
+class RegionTrace:
+    """One plotted curve: its Pareto boundary and summary scalars."""
+
+    label: str
+    boundary: np.ndarray
+    max_sum_rate: float
+    max_ra: float
+    max_rb: float
+    area: float
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """One panel of Fig. 4 (one power level)."""
+
+    config: Fig4Config
+    traces: dict
+    #: Achievable HBC boundary points outside both the MABC capacity region
+    #: and the TDBC outer bound (empty at low SNR, non-empty at high SNR).
+    hbc_points_outside_both: tuple
+
+    def trace(self, key: str) -> RegionTrace:
+        """Look up one curve by its legend key."""
+        return self.traces[key]
+
+
+def _trace(label: str, region: RateRegion, n_points: int) -> RegionTrace:
+    boundary = region.boundary(n_points)
+    best = region.max_sum_rate()
+    return RegionTrace(
+        label=label,
+        boundary=boundary,
+        max_sum_rate=best.sum_rate,
+        max_ra=float(boundary[-1, 0]),
+        max_rb=float(boundary[0, 1]),
+        area=region.area(n_points),
+    )
+
+
+def run_fig4(config: Fig4Config, *, backend: str = DEFAULT_BACKEND) -> Fig4Result:
+    """Trace every Fig. 4 curve for one panel."""
+    channel = config.channel()
+    n = config.boundary_points
+    regions = {
+        "DT": achievable_region(Protocol.DT, channel, backend=backend),
+        "MABC": achievable_region(Protocol.MABC, channel, backend=backend),
+        "TDBC inner": achievable_region(Protocol.TDBC, channel, backend=backend),
+        "TDBC outer": outer_bound_region(Protocol.TDBC, channel, backend=backend),
+        "HBC": achievable_region(Protocol.HBC, channel, backend=backend),
+    }
+    traces = {key: _trace(key, region, n) for key, region in regions.items()}
+
+    outside = []
+    mabc = regions["MABC"]
+    tdbc_outer = regions["TDBC outer"]
+    for ra, rb in traces["HBC"].boundary:
+        if ra <= 1e-6 or rb <= 1e-6:
+            continue
+        if not mabc.contains(ra, rb) and not tdbc_outer.contains(ra, rb):
+            outside.append((float(ra), float(rb)))
+    return Fig4Result(
+        config=config,
+        traces=traces,
+        hbc_points_outside_both=tuple(outside),
+    )
+
+
+def fig4_shape_checks(low_snr: Fig4Result, high_snr: Fig4Result, *,
+                      backend: str = DEFAULT_BACKEND) -> dict:
+    """The paper's Fig. 4 claims as named boolean checks.
+
+    * ``mabc_inner_equals_outer`` — Theorem 2 is tight: the MABC inner and
+      outer regions coincide (checked by area and mutual containment);
+    * ``tdbc_inner_within_outer`` — Theorem 3 region sits inside the
+      Theorem 4 bound (both panels);
+    * ``low_snr_mabc_beats_tdbc`` — at ``P = 0 dB`` MABC beats TDBC in both
+      region area and optimal sum rate ("in the low SNR regime, the MABC
+      protocol dominates the TDBC protocol"; note strict set containment
+      does *not* hold — TDBC's side information always buys it a slightly
+      larger single-user corner — so the paper's "dominates" is read as
+      the aggregate comparison the figure displays);
+    * ``high_snr_tdbc_beats_mabc`` — at ``P = 10 dB`` TDBC has the larger
+      region area and the larger single-user corner ("the latter is better
+      in the high SNR regime"), even though MABC retains the better sum
+      rate;
+    * ``high_snr_tdbc_wins_somewhere`` — at ``P = 10 dB`` TDBC achieves
+      points outside the MABC capacity region;
+    * ``hbc_outside_other_outer_bounds`` — at ``P = 10 dB`` some HBC
+      achievable points fall outside both other protocols' outer bounds
+      (the paper's headline observation).
+    """
+    checks = {}
+
+    low_channel = low_snr.config.channel()
+    high_channel = high_snr.config.channel()
+
+    def _regions(channel):
+        return {
+            "mabc_in": achievable_region(Protocol.MABC, channel, backend=backend),
+            "mabc_out": outer_bound_region(Protocol.MABC, channel, backend=backend),
+            "tdbc_in": achievable_region(Protocol.TDBC, channel, backend=backend),
+            "tdbc_out": outer_bound_region(Protocol.TDBC, channel, backend=backend),
+        }
+
+    low = _regions(low_channel)
+    high = _regions(high_channel)
+
+    checks["mabc_inner_equals_outer"] = all(
+        region_dominates(r["mabc_out"], r["mabc_in"])
+        and region_dominates(r["mabc_in"], r["mabc_out"])
+        for r in (low, high)
+    )
+    checks["tdbc_inner_within_outer"] = all(
+        region_dominates(r["tdbc_out"], r["tdbc_in"]) for r in (low, high)
+    )
+    checks["low_snr_mabc_beats_tdbc"] = (
+        low_snr.trace("MABC").area > low_snr.trace("TDBC inner").area
+        and low_snr.trace("MABC").max_sum_rate
+        > low_snr.trace("TDBC inner").max_sum_rate
+    )
+    checks["high_snr_tdbc_beats_mabc"] = (
+        high_snr.trace("TDBC inner").area > high_snr.trace("MABC").area
+        and high_snr.trace("TDBC inner").max_ra > high_snr.trace("MABC").max_ra
+    )
+    high_tdbc_boundary = high_snr.trace("TDBC inner").boundary
+    checks["high_snr_tdbc_wins_somewhere"] = any(
+        not high["mabc_in"].contains(ra, rb)
+        for ra, rb in high_tdbc_boundary
+        if ra > 0
+    )
+    checks["hbc_outside_other_outer_bounds"] = (
+        len(high_snr.hbc_points_outside_both) > 0
+    )
+    return checks

@@ -1,0 +1,65 @@
+"""Plain-text tables and CSV output for experiment reports."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["render_table", "write_csv"]
+
+
+def _format_cell(value, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def render_table(headers, rows, *, float_format: str = ".4f",
+                 title: str | None = None) -> str:
+    """Render a list-of-rows table as aligned monospace text.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences (values may be any type; floats honour
+        ``float_format``).
+    float_format:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional heading printed above the table.
+    """
+    header_list = [str(h) for h in headers]
+    body = [[_format_cell(v, float_format) for v in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_list):
+            raise InvalidParameterError(
+                f"row width {len(row)} != header width {len(header_list)}"
+            )
+    widths = [len(h) for h in header_list]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header_list, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(path, headers, rows) -> Path:
+    """Write a table to a CSV file, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target

@@ -1,0 +1,83 @@
+"""Information-theoretic primitives (substrate).
+
+Public surface:
+
+* :func:`repro.information.gaussian_capacity` and friends — scalar closed
+  forms for the Gaussian evaluation of Section IV.
+* :mod:`repro.information.discrete` — entropies and (conditional) mutual
+  information of finite joint distributions, used by the discrete
+  formulation of Section II and by the Lemma-1 cut-set engine.
+* :func:`repro.information.blahut_arimoto` — DMC capacity.
+* :class:`repro.information.MacPentagon` — two-user MAC regions.
+* :mod:`repro.information.typicality` — weak-typicality verification tools.
+"""
+
+from .blahut_arimoto import BlahutArimotoResult, blahut_arimoto, channel_capacity
+from .discrete import (
+    conditional_entropy,
+    conditional_mutual_information,
+    entropy,
+    joint_entropy,
+    joint_from_channel,
+    kl_divergence,
+    marginal,
+    mutual_information,
+    normalize_distribution,
+    product_distribution,
+    validate_distribution,
+)
+from .functions import (
+    awgn_ber_bpsk,
+    binary_entropy,
+    db_to_linear,
+    gaussian_capacity,
+    inverse_binary_entropy,
+    inverse_gaussian_capacity,
+    linear_to_db,
+    q_function,
+    q_function_inverse,
+    snr_for_bpsk_ber,
+)
+from .mac import MacPentagon, discrete_mac_pentagon, gaussian_mac_pentagon
+from .typicality import (
+    empirical_log_likelihood,
+    is_jointly_typical,
+    is_weakly_typical,
+    typical_set_size,
+    typicality_probability,
+)
+
+__all__ = [
+    "BlahutArimotoResult",
+    "blahut_arimoto",
+    "channel_capacity",
+    "conditional_entropy",
+    "conditional_mutual_information",
+    "entropy",
+    "joint_entropy",
+    "joint_from_channel",
+    "kl_divergence",
+    "marginal",
+    "mutual_information",
+    "normalize_distribution",
+    "product_distribution",
+    "validate_distribution",
+    "awgn_ber_bpsk",
+    "binary_entropy",
+    "db_to_linear",
+    "gaussian_capacity",
+    "inverse_binary_entropy",
+    "inverse_gaussian_capacity",
+    "linear_to_db",
+    "q_function",
+    "q_function_inverse",
+    "snr_for_bpsk_ber",
+    "MacPentagon",
+    "discrete_mac_pentagon",
+    "gaussian_mac_pentagon",
+    "empirical_log_likelihood",
+    "is_jointly_typical",
+    "is_weakly_typical",
+    "typical_set_size",
+    "typicality_probability",
+]

@@ -1,0 +1,128 @@
+"""Blahut–Arimoto computation of discrete memoryless channel capacity.
+
+The general (pre-Gaussian) formulation of the paper's bounds maximizes
+mutual-information expressions over input distributions. For single-input
+discrete channels that maximization is exactly the channel capacity problem,
+solved here with the classical Blahut–Arimoto alternating-maximization
+algorithm.
+
+The implementation follows the standard iteration:
+
+.. math::
+
+    q_{t}(x|y) \\propto p_t(x) W(y|x), \\qquad
+    p_{t+1}(x) \\propto \\exp\\Big(\\sum_y W(y|x) \\ln q_t(x|y)\\Big)
+
+with capacity bracketing via the standard lower/upper bounds
+(max over ``x`` of the divergence gives an upper bound, the current mutual
+information a lower bound), so convergence is certified, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, InvalidDistributionError
+from .discrete import joint_from_channel, mutual_information
+
+__all__ = ["BlahutArimotoResult", "blahut_arimoto", "channel_capacity"]
+
+
+@dataclass(frozen=True)
+class BlahutArimotoResult:
+    """Outcome of a Blahut–Arimoto run.
+
+    Attributes
+    ----------
+    capacity:
+        Channel capacity in bits per channel use.
+    input_distribution:
+        Capacity-achieving input distribution.
+    iterations:
+        Number of iterations performed.
+    gap:
+        Final certified gap between the upper and lower capacity bounds.
+    """
+
+    capacity: float
+    input_distribution: np.ndarray
+    iterations: int
+    gap: float
+
+
+def blahut_arimoto(channel: np.ndarray, *, tol: float = 1e-10,
+                   max_iter: int = 10_000) -> BlahutArimotoResult:
+    """Compute the capacity of a DMC with transition matrix ``W[x, y]``.
+
+    Parameters
+    ----------
+    channel:
+        Row-stochastic transition matrix, shape ``(|X|, |Y|)``.
+    tol:
+        Certified absolute gap (in bits) at which to stop.
+    max_iter:
+        Iteration budget; :class:`~repro.exceptions.ConvergenceError` is
+        raised if the gap has not closed by then.
+
+    Returns
+    -------
+    BlahutArimotoResult
+    """
+    w = np.asarray(channel, dtype=float)
+    if w.ndim != 2:
+        raise InvalidDistributionError(f"channel must be a matrix, got ndim={w.ndim}")
+    if np.any(w < 0) or not np.allclose(w.sum(axis=1), 1.0, atol=1e-8):
+        raise InvalidDistributionError("channel rows must be probability vectors")
+    n_inputs = w.shape[0]
+    p = np.full(n_inputs, 1.0 / n_inputs)
+
+    # Precompute W log W rows (natural log for numerical convenience).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w_log_w = np.where(w > 0, w * np.log(w), 0.0).sum(axis=1)
+
+    last_lower = 0.0
+    for iteration in range(1, max_iter + 1):
+        q_y = p @ w  # output distribution
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_q_y = np.where(q_y > 0, np.log(q_y), 0.0)
+        # d[x] = D(W(.|x) || q) in nats: sum_y W(y|x) ln(W(y|x)/q(y))
+        d = w_log_w - (w * log_q_y[None, :]).sum(axis=1)
+        # Bounds (converted to bits): lower = I(p, W), upper = max_x d[x].
+        lower = float(np.dot(p, d)) / np.log(2.0)
+        upper = float(np.max(d)) / np.log(2.0)
+        last_lower = lower
+        if upper - lower < tol:
+            return BlahutArimotoResult(
+                capacity=lower,
+                input_distribution=p.copy(),
+                iterations=iteration,
+                gap=upper - lower,
+            )
+        # Multiplicative update; subtract max(d) for numerical stability.
+        scaled = p * np.exp(d - np.max(d))
+        p = scaled / scaled.sum()
+
+    raise ConvergenceError(
+        f"Blahut–Arimoto did not converge to tol={tol} in {max_iter} iterations "
+        f"(last lower bound {last_lower:.12f} bits)"
+    )
+
+
+def channel_capacity(channel: np.ndarray, *, tol: float = 1e-10,
+                     max_iter: int = 10_000) -> float:
+    """Capacity in bits of the DMC ``channel``; thin wrapper over BA.
+
+    The result is cross-checkable against :func:`mutual_information` with the
+    returned input distribution; tests do exactly that.
+    """
+    result = blahut_arimoto(channel, tol=tol, max_iter=max_iter)
+    # Defensive cross-check: MI of the returned distribution must match.
+    joint = joint_from_channel(result.input_distribution, np.asarray(channel, dtype=float))
+    mi = mutual_information(joint, [0], [1])
+    if abs(mi - result.capacity) > 1e-6:
+        raise ConvergenceError(
+            f"BA self-check failed: MI={mi} vs capacity={result.capacity}"
+        )
+    return result.capacity

@@ -1,0 +1,203 @@
+"""Scalar information-theoretic functions used throughout the library.
+
+This module collects the closed-form quantities that the paper's Gaussian
+evaluation (Section IV) relies on:
+
+* :func:`gaussian_capacity` — the paper's ``C(x) = log2(1 + x)``,
+* decibel conversions (:func:`db_to_linear`, :func:`linear_to_db`),
+* the binary entropy function and its inverse,
+* Gaussian tail probability helpers used by the link-level simulator.
+
+All functions accept scalars or numpy arrays and are vectorized.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "gaussian_capacity",
+    "inverse_gaussian_capacity",
+    "db_to_linear",
+    "linear_to_db",
+    "binary_entropy",
+    "inverse_binary_entropy",
+    "q_function",
+    "q_function_inverse",
+    "awgn_ber_bpsk",
+    "snr_for_bpsk_ber",
+]
+
+#: Natural-log to bits conversion factor (1 / ln 2).
+LOG2E = 1.0 / math.log(2.0)
+
+
+def gaussian_capacity(snr):
+    """Shannon capacity ``C(x) = log2(1 + x)`` of a complex AWGN channel.
+
+    The paper defines ``C(x) := log2(1 + x)`` for a circularly-symmetric
+    complex Gaussian channel with signal-to-noise ratio ``x`` (Section IV).
+
+    Parameters
+    ----------
+    snr:
+        Linear (not dB) signal-to-noise ratio, ``snr >= 0``. Scalar or array.
+
+    Returns
+    -------
+    Capacity in bits per channel use, same shape as the input.
+
+    Raises
+    ------
+    InvalidParameterError
+        If any SNR value is negative.
+    """
+    snr_arr = np.asarray(snr, dtype=float)
+    if np.any(snr_arr < 0):
+        raise InvalidParameterError(f"SNR must be non-negative, got {snr!r}")
+    result = np.log1p(snr_arr) * LOG2E
+    if np.isscalar(snr) or snr_arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def inverse_gaussian_capacity(rate):
+    """Inverse of :func:`gaussian_capacity`: the SNR needed for ``rate`` bits.
+
+    Satisfies ``gaussian_capacity(inverse_gaussian_capacity(r)) == r``.
+
+    Parameters
+    ----------
+    rate:
+        Rate in bits per channel use, ``rate >= 0``.
+    """
+    rate_arr = np.asarray(rate, dtype=float)
+    if np.any(rate_arr < 0):
+        raise InvalidParameterError(f"rate must be non-negative, got {rate!r}")
+    result = np.expm1(rate_arr / LOG2E)
+    if np.isscalar(rate) or rate_arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def db_to_linear(value_db):
+    """Convert a power quantity from decibels to linear scale."""
+    value_arr = np.asarray(value_db, dtype=float)
+    result = np.power(10.0, value_arr / 10.0)
+    if np.isscalar(value_db) or value_arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def linear_to_db(value):
+    """Convert a positive power quantity from linear scale to decibels."""
+    value_arr = np.asarray(value, dtype=float)
+    if np.any(value_arr <= 0):
+        raise InvalidParameterError(
+            f"linear power must be strictly positive for dB conversion, got {value!r}"
+        )
+    result = 10.0 * np.log10(value_arr)
+    if np.isscalar(value) or value_arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def binary_entropy(p):
+    """Binary entropy ``h(p) = -p log2 p - (1-p) log2 (1-p)`` in bits.
+
+    Defined by continuity as 0 at ``p in {0, 1}``.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    if np.any((p_arr < 0) | (p_arr > 1)):
+        raise InvalidParameterError(f"probability must lie in [0, 1], got {p!r}")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = -p_arr * np.log2(p_arr) - (1.0 - p_arr) * np.log2(1.0 - p_arr)
+    result = np.where((p_arr == 0) | (p_arr == 1), 0.0, terms)
+    if np.isscalar(p) or p_arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def inverse_binary_entropy(h, tol: float = 1e-12, max_iter: int = 200) -> float:
+    """Inverse binary entropy on the branch ``p in [0, 1/2]``.
+
+    Solves ``binary_entropy(p) == h`` by bisection.
+
+    Parameters
+    ----------
+    h:
+        Entropy value in ``[0, 1]`` bits.
+    tol:
+        Absolute tolerance on ``p``.
+    max_iter:
+        Bisection iteration budget.
+    """
+    h = float(h)
+    if not 0.0 <= h <= 1.0:
+        raise InvalidParameterError(f"entropy must lie in [0, 1], got {h}")
+    if h == 0.0:
+        return 0.0
+    if h == 1.0:
+        return 0.5
+    lo, hi = 0.0, 0.5
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if binary_entropy(mid) < h:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def q_function(x):
+    """Gaussian tail probability ``Q(x) = P[N(0,1) > x]``."""
+    x_arr = np.asarray(x, dtype=float)
+    result = 0.5 * np.array(erfc_vec(x_arr / math.sqrt(2.0)))
+    if np.isscalar(x) or x_arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def erfc_vec(x):
+    """Vectorized complementary error function (thin wrapper over math/scipy)."""
+    from scipy.special import erfc
+
+    return erfc(x)
+
+
+def q_function_inverse(p: float) -> float:
+    """Inverse of the Gaussian tail probability :func:`q_function`."""
+    from scipy.special import erfcinv
+
+    p = float(p)
+    if not 0.0 < p < 1.0:
+        raise InvalidParameterError(f"tail probability must lie in (0, 1), got {p}")
+    return math.sqrt(2.0) * float(erfcinv(2.0 * p))
+
+
+def awgn_ber_bpsk(snr):
+    """Uncoded BPSK bit error rate on a real AWGN channel: ``Q(sqrt(2*snr))``.
+
+    Used by the link-level simulator's sanity checks (the Monte-Carlo BER of
+    the :mod:`repro.simulation` stack must track this curve in the uncoded
+    configuration).
+    """
+    snr_arr = np.asarray(snr, dtype=float)
+    if np.any(snr_arr < 0):
+        raise InvalidParameterError(f"SNR must be non-negative, got {snr!r}")
+    result = q_function(np.sqrt(2.0 * snr_arr))
+    return result
+
+
+def snr_for_bpsk_ber(ber: float) -> float:
+    """SNR at which uncoded BPSK achieves the target bit error rate."""
+    ber = float(ber)
+    if not 0.0 < ber < 0.5:
+        raise InvalidParameterError(f"BPSK BER must lie in (0, 0.5), got {ber}")
+    return q_function_inverse(ber) ** 2 / 2.0

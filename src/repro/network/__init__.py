@@ -1,0 +1,32 @@
+"""Network model substrate: nodes, messages, cuts, Lemma-1 engine, groups."""
+
+from .cuts import cuts_with_crossing_rate, enumerate_cuts
+from .cutset import (
+    CutConstraint,
+    GaussianMIOracle,
+    MutualInformationOracle,
+    PhaseSpec,
+    ProtocolSchedule,
+    cutset_outer_bound,
+)
+from .groups import CyclicGroup, RandomBinning, XorGroup, relay_combine, relay_resolve
+from .model import Message, NetworkModel, bidirectional_relay_network
+
+__all__ = [
+    "cuts_with_crossing_rate",
+    "enumerate_cuts",
+    "CutConstraint",
+    "GaussianMIOracle",
+    "MutualInformationOracle",
+    "PhaseSpec",
+    "ProtocolSchedule",
+    "cutset_outer_bound",
+    "CyclicGroup",
+    "RandomBinning",
+    "XorGroup",
+    "relay_combine",
+    "relay_resolve",
+    "Message",
+    "NetworkModel",
+    "bidirectional_relay_network",
+]

@@ -1,0 +1,129 @@
+"""The m-node network model of Section II-A.
+
+Nodes form a set ``M = {1, ..., m}``; node ``i`` holds a message ``W_{i,j}``
+for node ``j``. In the decode-and-forward protocols the same terminal
+message is demanded by *several* nodes (the opposite terminal **and** the
+relay — Section II-C sets ``W_{a,r} = W_a``), so messages here carry a
+source and a *set* of destinations. ``R_{S,S^c}`` then counts each message
+whose source lies in ``S`` and that has at least one destination outside
+``S`` exactly once, which is what makes the Lemma-1 sum-rate constraint for
+the cut ``S = {a, b}`` appear (and disappear when the relay is not required
+to decode, exactly as the paper's remarks state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Message", "NetworkModel", "bidirectional_relay_network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An independent message in the network.
+
+    Attributes
+    ----------
+    name:
+        Identifier used as the rate-variable key (e.g. ``"Ra"``).
+    source:
+        Originating node.
+    destinations:
+        Nodes that must decode the message (non-empty, source excluded).
+    """
+
+    name: str
+    source: str
+    destinations: frozenset
+
+    def __init__(self, name: str, source: str, destinations) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "destinations", frozenset(destinations))
+        if not self.name:
+            raise InvalidParameterError("message name must be non-empty")
+        if not self.destinations:
+            raise InvalidParameterError(f"message {name!r} needs at least one destination")
+        if self.source in self.destinations:
+            raise InvalidParameterError(
+                f"message {name!r} cannot be destined to its own source {source!r}"
+            )
+
+    def crosses_cut(self, cut: frozenset) -> bool:
+        """Whether the message must cross from ``cut`` to its complement.
+
+        True iff the source is inside the cut and some destination is
+        outside it.
+        """
+        return self.source in cut and not self.destinations <= cut
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A set of nodes and the independent messages exchanged between them."""
+
+    nodes: tuple
+    messages: tuple = field(default_factory=tuple)
+
+    def __init__(self, nodes, messages) -> None:
+        node_tuple = tuple(nodes)
+        message_tuple = tuple(messages)
+        object.__setattr__(self, "nodes", node_tuple)
+        object.__setattr__(self, "messages", message_tuple)
+        if len(set(node_tuple)) != len(node_tuple):
+            raise InvalidParameterError(f"duplicate nodes in {node_tuple!r}")
+        if len(node_tuple) < 2:
+            raise InvalidParameterError("a network needs at least two nodes")
+        names = [m.name for m in message_tuple]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"duplicate message names in {names!r}")
+        node_set = set(node_tuple)
+        for m in message_tuple:
+            if m.source not in node_set or not m.destinations <= node_set:
+                raise InvalidParameterError(
+                    f"message {m.name!r} references nodes outside the network"
+                )
+
+    @property
+    def node_set(self) -> frozenset:
+        """The node set as a frozenset."""
+        return frozenset(self.nodes)
+
+    def message_by_name(self, name: str) -> Message:
+        """Look up a message by its rate-variable name."""
+        for m in self.messages:
+            if m.name == name:
+                return m
+        raise InvalidParameterError(f"no message named {name!r}")
+
+    def crossing_messages(self, cut) -> tuple:
+        """Messages whose rate appears in ``R_{S,S^c}`` for ``S = cut``."""
+        cut_set = frozenset(cut)
+        if not cut_set <= self.node_set:
+            raise InvalidParameterError(f"cut {sorted(cut_set)!r} contains unknown nodes")
+        return tuple(m for m in self.messages if m.crosses_cut(cut_set))
+
+
+def bidirectional_relay_network(*, relay_decodes: bool = True) -> NetworkModel:
+    """The paper's three-node bidirectional relay network.
+
+    Parameters
+    ----------
+    relay_decodes:
+        ``True`` (decode-and-forward, the paper's protocols): each terminal
+        message is demanded by both the opposite terminal and the relay,
+        which activates the ``S = {a, b}`` sum-rate cut. ``False``: only the
+        opposite terminal must decode, matching the paper's remarks about
+        dropping the sum-rate constraint.
+    """
+    destinations_a = {"b", "r"} if relay_decodes else {"b"}
+    destinations_b = {"a", "r"} if relay_decodes else {"a"}
+    return NetworkModel(
+        nodes=("a", "b", "r"),
+        messages=(
+            Message("Ra", "a", destinations_a),
+            Message("Rb", "b", destinations_b),
+        ),
+    )

@@ -1,0 +1,23 @@
+"""Optimization substrate: LP solvers and scalar search."""
+
+from .linprog import DEFAULT_BACKEND, LinearProgram, LpResult, solve_lp
+from .search import (
+    ScalarSearchResult,
+    find_crossover,
+    golden_section_maximize,
+    grid_maximize,
+)
+from .simplex import SimplexSolution, simplex_solve
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "LinearProgram",
+    "LpResult",
+    "solve_lp",
+    "ScalarSearchResult",
+    "find_crossover",
+    "golden_section_maximize",
+    "grid_maximize",
+    "SimplexSolution",
+    "simplex_solve",
+]

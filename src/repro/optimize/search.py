@@ -1,0 +1,123 @@
+"""Scalar search utilities (golden-section and refining grid search).
+
+Used for one-dimensional trade-off studies (e.g. finding the relay position
+that maximizes a protocol's sum rate, or the crossover point where TDBC
+overtakes MABC) where the objective is cheap but not linear in the search
+variable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["ScalarSearchResult", "golden_section_maximize", "grid_maximize", "find_crossover"]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class ScalarSearchResult:
+    """Argmax and value found by a scalar search."""
+
+    x: float
+    value: float
+    evaluations: int
+
+
+def golden_section_maximize(fn: Callable[[float], float], lo: float, hi: float,
+                            *, tol: float = 1e-9,
+                            max_iter: int = 200) -> ScalarSearchResult:
+    """Maximize a unimodal function on ``[lo, hi]`` by golden-section search.
+
+    For non-unimodal objectives the result is a local maximum; use
+    :func:`grid_maximize` first to bracket the global one.
+    """
+    if not lo < hi:
+        raise InvalidParameterError(f"need lo < hi, got [{lo}, {hi}]")
+    if tol <= 0:
+        raise InvalidParameterError(f"tol must be positive, got {tol}")
+    a, b = float(lo), float(hi)
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc, fd = fn(c), fn(d)
+    evaluations = 2
+    for _ in range(max_iter):
+        if b - a < tol:
+            break
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = fn(d)
+        evaluations += 1
+    x = c if fc > fd else d
+    return ScalarSearchResult(x=x, value=max(fc, fd), evaluations=evaluations)
+
+
+def grid_maximize(fn: Callable[[float], float], lo: float, hi: float,
+                  *, n_points: int = 101, refinements: int = 3) -> ScalarSearchResult:
+    """Maximize on ``[lo, hi]`` by iteratively refined uniform grids.
+
+    Each refinement zooms into the two grid cells surrounding the incumbent
+    best point, so after ``r`` rounds the bracket width is
+    ``(hi - lo) * (2 / (n_points - 1))^r``.
+    """
+    if not lo < hi:
+        raise InvalidParameterError(f"need lo < hi, got [{lo}, {hi}]")
+    if n_points < 3:
+        raise InvalidParameterError(f"need at least 3 grid points, got {n_points}")
+    if refinements < 0:
+        raise InvalidParameterError(f"refinements must be >= 0, got {refinements}")
+    a, b = float(lo), float(hi)
+    best_x, best_v = a, -math.inf
+    evaluations = 0
+    for _ in range(refinements + 1):
+        step = (b - a) / (n_points - 1)
+        for i in range(n_points):
+            x = a + i * step
+            v = fn(x)
+            evaluations += 1
+            if v > best_v:
+                best_x, best_v = x, v
+        a = max(lo, best_x - step)
+        b = min(hi, best_x + step)
+        if b <= a:
+            break
+    return ScalarSearchResult(x=best_x, value=best_v, evaluations=evaluations)
+
+
+def find_crossover(fn: Callable[[float], float], lo: float, hi: float,
+                   *, tol: float = 1e-9, max_iter: int = 200) -> float:
+    """Find a sign change of ``fn`` on ``[lo, hi]`` by bisection.
+
+    Used to locate protocol crossover points, e.g. the SNR where
+    ``sum_rate_TDBC - sum_rate_MABC`` changes sign. Requires
+    ``fn(lo)`` and ``fn(hi)`` to have opposite signs.
+    """
+    f_lo, f_hi = fn(lo), fn(hi)
+    if f_lo == 0.0:
+        return float(lo)
+    if f_hi == 0.0:
+        return float(hi)
+    if (f_lo > 0) == (f_hi > 0):
+        raise InvalidParameterError(
+            f"no sign change on [{lo}, {hi}]: f(lo)={f_lo}, f(hi)={f_hi}"
+        )
+    a, b = float(lo), float(hi)
+    for _ in range(max_iter):
+        mid = 0.5 * (a + b)
+        f_mid = fn(mid)
+        if f_mid == 0.0 or (b - a) < tol:
+            return mid
+        if (f_mid > 0) == (f_lo > 0):
+            a = mid
+        else:
+            b = mid
+    return 0.5 * (a + b)

@@ -1,0 +1,219 @@
+"""A dense two-phase simplex solver, written from scratch.
+
+The paper optimizes phase durations with linear programming ("Linear
+programming may then be used to find optimal time durations",
+Section IV). scipy provides an industrial LP solver, but a self-contained
+implementation keeps the library dependency-light at its core and gives the
+test suite an independent oracle: every LP solved in this package is
+cross-checked between this solver and ``scipy.optimize.linprog`` by the
+property tests.
+
+Problem form (matching :class:`repro.optimize.linprog.LinearProgram`):
+
+    minimize    c @ x
+    subject to  a_ub @ x <= b_ub
+                a_eq @ x == b_eq
+                x >= 0
+
+Implementation notes
+--------------------
+* Tableau-based, two-phase (artificial variables for a starting basis).
+* Bland's anti-cycling pivot rule — slower than Dantzig but guarantees
+  termination; the LPs here are tiny (a handful of variables), so
+  robustness wins over speed.
+* All arithmetic is double precision with explicit tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InfeasibleProblemError, InvalidParameterError, UnboundedProblemError
+
+__all__ = ["SimplexSolution", "simplex_solve"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SimplexSolution:
+    """Optimal point and value returned by :func:`simplex_solve`."""
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Pivot the tableau in place on (row, col) and update the basis."""
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > 0:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _run_simplex(tableau: np.ndarray, basis: np.ndarray, n_cols: int,
+                 max_iter: int) -> int:
+    """Run simplex iterations on a tableau whose last row is the objective.
+
+    The objective row stores reduced costs; we minimize, so we pivot while a
+    reduced cost is negative. Returns the iteration count.
+    """
+    iterations = 0
+    m = tableau.shape[0] - 1  # constraint rows
+    while True:
+        reduced = tableau[-1, :n_cols]
+        # Bland's rule: smallest index with a negative reduced cost.
+        entering = -1
+        for j in range(n_cols):
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return iterations
+        # Ratio test, Bland tie-break on smallest basis variable index.
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            coeff = tableau[i, entering]
+            if coeff > _TOL:
+                ratio = tableau[i, -1] / coeff
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            raise UnboundedProblemError(
+                "objective is unbounded below along a feasible ray"
+            )
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+        if iterations > max_iter:
+            raise InfeasibleProblemError(
+                f"simplex exceeded {max_iter} iterations (possible numerical cycling)"
+            )
+
+
+def simplex_solve(c: np.ndarray, a_ub: np.ndarray | None = None,
+                  b_ub: np.ndarray | None = None,
+                  a_eq: np.ndarray | None = None,
+                  b_eq: np.ndarray | None = None,
+                  *, max_iter: int = 10_000) -> SimplexSolution:
+    """Minimize ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``, ``x >= 0``.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no feasible point exists.
+    UnboundedProblemError
+        If the objective is unbounded below on the feasible set.
+    """
+    c = np.atleast_1d(np.asarray(c, dtype=float))
+    n = c.shape[0]
+    if n == 0:
+        raise InvalidParameterError("objective must have at least one variable")
+
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    n_slack = 0
+    slack_rows: list[int] = []
+
+    if a_ub is not None:
+        a_ub = np.atleast_2d(np.asarray(a_ub, dtype=float))
+        b_ub = np.atleast_1d(np.asarray(b_ub, dtype=float))
+        if a_ub.shape != (b_ub.shape[0], n):
+            raise InvalidParameterError(
+                f"a_ub shape {a_ub.shape} inconsistent with n={n}, b_ub={b_ub.shape}"
+            )
+        for i in range(a_ub.shape[0]):
+            rows.append(a_ub[i])
+            rhs.append(float(b_ub[i]))
+            slack_rows.append(len(rows) - 1)
+            n_slack += 1
+    if a_eq is not None:
+        a_eq = np.atleast_2d(np.asarray(a_eq, dtype=float))
+        b_eq = np.atleast_1d(np.asarray(b_eq, dtype=float))
+        if a_eq.shape != (b_eq.shape[0], n):
+            raise InvalidParameterError(
+                f"a_eq shape {a_eq.shape} inconsistent with n={n}, b_eq={b_eq.shape}"
+            )
+        for i in range(a_eq.shape[0]):
+            rows.append(a_eq[i])
+            rhs.append(float(b_eq[i]))
+
+    m = len(rows)
+    if m == 0:
+        # Unconstrained except x >= 0: optimum is x = 0 unless some cost is
+        # negative, in which case the problem is unbounded.
+        if np.any(c < -_TOL):
+            raise UnboundedProblemError("no constraints and a negative cost coefficient")
+        return SimplexSolution(x=np.zeros(n), objective=0.0, iterations=0)
+
+    # Assemble [A | slack | artificial | rhs]; one slack per <= row, one
+    # artificial per row (simpler and uniformly correct; phase 1 drives all
+    # artificials out).
+    slack_of_row = {row: idx for idx, row in enumerate(slack_rows)}
+    total_cols = n + n_slack + m
+    tableau = np.zeros((m + 1, total_cols + 1))
+    basis = np.zeros(m, dtype=int)
+    for i in range(m):
+        coeffs = rows[i]
+        b_val = rhs[i]
+        sign = 1.0
+        if b_val < 0:
+            sign = -1.0
+            b_val = -b_val
+        tableau[i, :n] = sign * coeffs
+        if i in slack_of_row:
+            tableau[i, n + slack_of_row[i]] = sign
+        tableau[i, n + n_slack + i] = 1.0
+        tableau[i, -1] = b_val
+        basis[i] = n + n_slack + i
+
+    # Phase 1: minimize the sum of artificials.
+    tableau[-1, n + n_slack:n + n_slack + m] = 1.0
+    for i in range(m):
+        tableau[-1] -= tableau[i]
+    it1 = _run_simplex(tableau, basis, total_cols, max_iter)
+    if tableau[-1, -1] < -_TOL * max(1.0, np.abs(rhs).max() if rhs else 1.0):
+        raise InfeasibleProblemError(
+            f"phase-1 objective {-tableau[-1, -1]:.3e} > 0: constraints are infeasible"
+        )
+
+    # Drive any artificial variables still in the basis out (degenerate rows).
+    for i in range(m):
+        if basis[i] >= n + n_slack:
+            pivot_col = -1
+            for j in range(n + n_slack):
+                if abs(tableau[i, j]) > _TOL:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, i, pivot_col)
+            # else: the row is all zeros (redundant constraint) — harmless.
+
+    # Phase 2: restore the true objective, zero out artificial columns.
+    n_usable = n + n_slack
+    tableau[:, n_usable:n_usable + m] = 0.0  # forbid artificials from re-entering
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = c
+    for i in range(m):
+        var = basis[i]
+        if var < n_usable and abs(tableau[-1, var]) > 0:
+            tableau[-1] -= tableau[-1, var] * tableau[i]
+    it2 = _run_simplex(tableau, basis, n_usable, max_iter)
+
+    x = np.zeros(total_cols)
+    for i in range(m):
+        x[basis[i]] = tableau[i, -1]
+    solution = x[:n]
+    return SimplexSolution(
+        x=solution,
+        objective=float(c @ solution),
+        iterations=it1 + it2,
+    )

@@ -1,0 +1,188 @@
+"""Asymmetric-rate MABC: unequal message sizes via the group ``L = max``.
+
+Theorem 2 does not require ``Ra = Rb``: the relay combines the two
+messages in the additive group of cardinality
+``L = max(⌊2^{nRa}⌋, ⌊2^{nRb}⌋)`` — the smaller message set embeds into
+the larger one. Operationally (this module):
+
+* terminal ``b``'s shorter frame is transmitted as a shorter burst in the
+  MAC phase (its tail carries no energy);
+* the relay XORs the shorter decoded frame, zero-padded, into the longer
+  one and broadcasts a single frame dimensioned for the *longer* message;
+* each terminal XORs its own (padded) frame out of the broadcast and
+  CRC-checks the recovered partner frame; terminal ``a`` additionally
+  checks that the embedding padding came back as zeros — a free integrity
+  signal the group structure provides.
+
+The relay runs successive interference cancellation with the stronger
+link decoded first (as in the equal-length engine); noise estimates are
+conservative — the interferer's full power is assumed even where the
+shorter burst is silent — trading a little SNR for per-sample weighting
+simplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.halfduplex import HalfDuplexMedium
+from ..exceptions import InvalidParameterError
+from .bits import as_bits, hamming_distance, pad_bits, xor_bits
+from .linkcodec import LinkCodec
+
+__all__ = ["AsymmetricRoundResult", "run_mabc_asymmetric_round"]
+
+
+@dataclass(frozen=True)
+class AsymmetricRoundResult:
+    """Outcome of one asymmetric MABC round.
+
+    Attributes
+    ----------
+    success_a_to_b / success_b_to_a:
+        Payload recovered bit-exactly with a verified CRC.
+    bit_errors_a_to_b / bit_errors_b_to_a:
+        Payload bit errors per direction.
+    payload_bits_a / payload_bits_b:
+        The (unequal) payload sizes.
+    n_symbols:
+        Total channel symbols spent (MAC phase + broadcast phase).
+    relay_ok:
+        Whether the relay decoded both frames with valid CRCs.
+    """
+
+    success_a_to_b: bool
+    success_b_to_a: bool
+    bit_errors_a_to_b: int
+    bit_errors_b_to_a: int
+    payload_bits_a: int
+    payload_bits_b: int
+    n_symbols: int
+    relay_ok: bool
+
+
+def run_mabc_asymmetric_round(medium: HalfDuplexMedium, codec_long: LinkCodec,
+                              codec_short: LinkCodec, power: float,
+                              payload_a, payload_b,
+                              rng: np.random.Generator) -> AsymmetricRoundResult:
+    """One MABC exchange with ``len(payload_a) >= len(payload_b)``.
+
+    Parameters
+    ----------
+    medium:
+        The half-duplex Gaussian medium.
+    codec_long / codec_short:
+        Frame pipelines for the longer (``a``) and shorter (``b``)
+        payloads; must share the CRC, code and modulation so frame-level
+        XOR embedding is well-defined.
+    power:
+        Per-node transmit power (linear).
+    payload_a / payload_b:
+        Payload bits; ``a``'s must match ``codec_long``, ``b``'s
+        ``codec_short``.
+    """
+    if power <= 0:
+        raise InvalidParameterError(f"power must be positive, got {power}")
+    if codec_long.payload_bits < codec_short.payload_bits:
+        raise InvalidParameterError(
+            "codec_long must carry the longer payload "
+            f"({codec_long.payload_bits} < {codec_short.payload_bits})"
+        )
+    if (codec_long.crc != codec_short.crc
+            or codec_long.code is not codec_short.code):
+        raise InvalidParameterError(
+            "the two codecs must share the CRC and convolutional code"
+        )
+    wa = as_bits(payload_a)
+    wb = as_bits(payload_b)
+    if wa.size != codec_long.payload_bits:
+        raise InvalidParameterError(
+            f"payload_a must be {codec_long.payload_bits} bits, got {wa.size}"
+        )
+    if wb.size != codec_short.payload_bits:
+        raise InvalidParameterError(
+            f"payload_b must be {codec_short.payload_bits} bits, got {wb.size}"
+        )
+    amp = float(np.sqrt(power))
+    noise_power = medium.noise.noise_power
+    gain_ar = medium.complex_gains[frozenset(("a", "r"))]
+    gain_br = medium.complex_gains[frozenset(("b", "r"))]
+
+    frame_a = codec_long.crc.append(wa)
+    frame_b = codec_short.crc.append(wb)
+    symbols_a = codec_long.encode_frame_bits(frame_a)
+    symbols_b_short = codec_short.encode_frame_bits(frame_b)
+    # b transmits a shorter burst; the tail of the MAC phase is silent.
+    symbols_b = np.concatenate([
+        symbols_b_short,
+        np.zeros(symbols_a.size - symbols_b_short.size, dtype=complex),
+    ])
+
+    out1 = medium.run_phase({"a": amp * symbols_a, "b": amp * symbols_b}, rng)
+    y_r = out1.signal_at("r")
+
+    # SIC at the relay, stronger link first (as in the equal-length case).
+    # Noise estimates are conservative: the interferer's full power is
+    # added even where the shorter burst is silent.
+    power_a = power * abs(gain_ar) ** 2
+    power_b = power * abs(gain_br) ** 2
+    n_short = symbols_b_short.size
+    if power_a >= power_b:
+        a_at_r = codec_long.decode(y_r, gain_ar, noise_power + power_b,
+                                   amplitude=amp)
+        residual = y_r - amp * gain_ar * codec_long.encode_frame_bits(
+            a_at_r.frame_bits)
+        b_at_r = codec_short.decode(residual[:n_short], gain_br,
+                                    noise_power, amplitude=amp)
+    else:
+        b_at_r = codec_short.decode(y_r[:n_short], gain_br,
+                                    noise_power + power_a, amplitude=amp)
+        residual = y_r.copy()
+        residual[:n_short] -= amp * gain_br * codec_short.encode_frame_bits(
+            b_at_r.frame_bits)
+        a_at_r = codec_long.decode(residual, gain_ar, noise_power,
+                                   amplitude=amp)
+    relay_ok = a_at_r.crc_ok and b_at_r.crc_ok
+
+    # Broadcast: embed the shorter frame into the longer one by zero
+    # padding (the group-L embedding) and XOR.
+    combined = xor_bits(a_at_r.frame_bits,
+                        pad_bits(b_at_r.frame_bits, frame_a.size))
+    out2 = medium.run_phase(
+        {"r": amp * codec_long.encode_frame_bits(combined)}, rng
+    )
+
+    # Terminal a: strip own frame, truncate to the short frame, CRC-check;
+    # the embedding tail must come back as zeros.
+    relay_at_a = codec_long.decode(out2.signal_at("a"), gain_ar, noise_power,
+                                   amplitude=amp)
+    partner_padded = xor_bits(relay_at_a.frame_bits, frame_a)
+    short_len = frame_b.size
+    frame_b_hat = partner_padded[:short_len]
+    padding_clean = int(partner_padded[short_len:].sum()) == 0
+    b_ok = (relay_at_a.crc_ok and padding_clean
+            and codec_short.crc.check(frame_b_hat))
+    wb_hat = codec_short.crc.strip(frame_b_hat)
+
+    # Terminal b: pad its own frame, strip, CRC-check the long frame.
+    relay_at_b = codec_long.decode(out2.signal_at("b"), gain_br, noise_power,
+                                   amplitude=amp)
+    frame_a_hat = xor_bits(relay_at_b.frame_bits,
+                           pad_bits(frame_b, frame_a.size))
+    a_ok = relay_at_b.crc_ok and codec_long.crc.check(frame_a_hat)
+    wa_hat = codec_long.crc.strip(frame_a_hat)
+
+    err_ab = hamming_distance(wa, wa_hat)
+    err_ba = hamming_distance(wb, wb_hat)
+    return AsymmetricRoundResult(
+        success_a_to_b=a_ok and err_ab == 0,
+        success_b_to_a=b_ok and err_ba == 0,
+        bit_errors_a_to_b=err_ab,
+        bit_errors_b_to_a=err_ba,
+        payload_bits_a=wa.size,
+        payload_bits_b=wb.size,
+        n_symbols=2 * codec_long.n_symbols,
+        relay_ok=relay_ok,
+    )

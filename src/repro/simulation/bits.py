@@ -1,0 +1,102 @@
+"""Bit-array utilities for the link-level simulator.
+
+Bits are represented as 1-D ``numpy.uint8`` arrays with values in ``{0, 1}``
+throughout the simulation stack; these helpers centralize conversion,
+generation and comparison so the rest of the code never hand-rolls them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "as_bits",
+    "random_bits",
+    "bits_to_int",
+    "int_to_bits",
+    "xor_bits",
+    "pad_bits",
+    "hamming_distance",
+    "bit_error_rate",
+]
+
+
+def as_bits(values) -> np.ndarray:
+    """Coerce a sequence into a validated uint8 bit array."""
+    arr = np.asarray(values)
+    arr = arr.astype(np.uint8, copy=True)
+    if arr.ndim != 1:
+        raise InvalidParameterError(f"bit arrays must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise InvalidParameterError("bit arrays may contain only 0s and 1s")
+    return arr
+
+
+def random_bits(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` i.i.d. uniform bits."""
+    if n < 0:
+        raise InvalidParameterError(f"bit count must be non-negative, got {n}")
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def bits_to_int(bits) -> int:
+    """Interpret a bit array as a big-endian unsigned integer."""
+    arr = as_bits(bits)
+    value = 0
+    for bit in arr:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Big-endian binary expansion of ``value`` into ``width`` bits."""
+    if width < 0:
+        raise InvalidParameterError(f"width must be non-negative, got {width}")
+    if value < 0 or (width < value.bit_length()):
+        raise InvalidParameterError(
+            f"value {value} does not fit in {width} bits"
+        )
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=np.uint8)
+
+
+def xor_bits(x, y) -> np.ndarray:
+    """Component-wise XOR of two equal-length bit arrays.
+
+    This is the relay's network-coding combine for equal-length frames; use
+    :func:`pad_bits` first when lengths differ (the paper's group ``L`` has
+    the cardinality of the *larger* message set).
+    """
+    a, b = as_bits(x), as_bits(y)
+    if a.shape != b.shape:
+        raise InvalidParameterError(
+            f"XOR needs equal lengths, got {a.shape[0]} and {b.shape[0]}"
+        )
+    return np.bitwise_xor(a, b)
+
+
+def pad_bits(bits, length: int) -> np.ndarray:
+    """Zero-pad a bit array up to ``length`` (no-op when already that long)."""
+    arr = as_bits(bits)
+    if length < arr.size:
+        raise InvalidParameterError(
+            f"cannot pad length {arr.size} down to {length}"
+        )
+    if length == arr.size:
+        return arr
+    return np.concatenate([arr, np.zeros(length - arr.size, dtype=np.uint8)])
+
+
+def hamming_distance(x, y) -> int:
+    """Number of positions where two equal-length bit arrays differ."""
+    return int(xor_bits(x, y).sum())
+
+
+def bit_error_rate(sent, received) -> float:
+    """Fraction of differing bits between two equal-length arrays."""
+    a = as_bits(sent)
+    if a.size == 0:
+        raise InvalidParameterError("cannot compute BER of empty arrays")
+    return hamming_distance(sent, received) / a.size

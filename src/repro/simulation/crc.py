@@ -1,0 +1,99 @@
+"""Cyclic redundancy checks over bit arrays.
+
+Frames in the simulator carry a CRC so decoders can *detect* failures —
+the operational stand-in for the error events ``E_{i,j}`` of the paper's
+analysis, and the mechanism terminals use to arbitrate between the direct
+path and the relay (network-coded) path in the TDBC decoder.
+
+The registers are initialized to **zero** deliberately: with zero init (and
+no output XOR) the CRC is linear over GF(2), i.e.
+``crc(a XOR b) == crc(a) XOR crc(b)``. Linearity means a relay that XORs
+two *CRC-protected* frames produces a bit string that is itself a valid
+CRC-protected frame — so terminals can check integrity of the combined
+frame before resolving their partner's message. The property tests pin
+this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .bits import as_bits
+
+__all__ = ["CrcCode", "CRC16_CCITT", "CRC32", "CRC8"]
+
+
+@dataclass(frozen=True)
+class CrcCode:
+    """A CRC defined by its generator polynomial (MSB-first, implicit top bit).
+
+    Attributes
+    ----------
+    polynomial:
+        Generator polynomial without the leading ``x^n`` term, e.g.
+        ``0x1021`` for CRC-16-CCITT.
+    n_bits:
+        CRC width in bits.
+    """
+
+    polynomial: int
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise InvalidParameterError(f"CRC width must be >= 1, got {self.n_bits}")
+        if not 0 < self.polynomial < (1 << self.n_bits):
+            raise InvalidParameterError(
+                f"polynomial 0x{self.polynomial:x} does not fit in {self.n_bits} bits"
+            )
+
+    def checksum(self, payload) -> np.ndarray:
+        """CRC bits (length ``n_bits``) of a payload bit array."""
+        bits = as_bits(payload)
+        register = 0
+        top = 1 << (self.n_bits - 1)
+        mask = (1 << self.n_bits) - 1
+        for bit in bits:
+            feedback = ((register & top) != 0) ^ bool(bit)
+            register = (register << 1) & mask
+            if feedback:
+                register ^= self.polynomial
+        return np.array(
+            [(register >> (self.n_bits - 1 - i)) & 1 for i in range(self.n_bits)],
+            dtype=np.uint8,
+        )
+
+    def append(self, payload) -> np.ndarray:
+        """Payload with its CRC appended (a *frame*)."""
+        bits = as_bits(payload)
+        return np.concatenate([bits, self.checksum(bits)])
+
+    def check(self, frame) -> bool:
+        """Verify a frame produced by :meth:`append`."""
+        bits = as_bits(frame)
+        if bits.size < self.n_bits:
+            return False
+        payload, received = bits[: -self.n_bits], bits[-self.n_bits:]
+        return bool(np.array_equal(self.checksum(payload), received))
+
+    def strip(self, frame) -> np.ndarray:
+        """Remove the CRC field, returning the payload (no verification)."""
+        bits = as_bits(frame)
+        if bits.size < self.n_bits:
+            raise InvalidParameterError(
+                f"frame of {bits.size} bits is shorter than the {self.n_bits}-bit CRC"
+            )
+        return bits[: -self.n_bits]
+
+
+#: CRC-16-CCITT (x^16 + x^12 + x^5 + 1), zero-init for GF(2) linearity.
+CRC16_CCITT = CrcCode(polynomial=0x1021, n_bits=16)
+
+#: CRC-32 (IEEE 802.3 polynomial), zero-init for GF(2) linearity.
+CRC32 = CrcCode(polynomial=0x04C11DB7, n_bits=32)
+
+#: CRC-8 (ATM HEC polynomial), for short test frames.
+CRC8 = CrcCode(polynomial=0x07, n_bits=8)

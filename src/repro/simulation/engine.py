@@ -1,0 +1,418 @@
+"""Protocol execution engine: one full exchange over the half-duplex medium.
+
+Runs an operational decode-and-forward round of each protocol from
+Section II-C against the Gaussian half-duplex medium of
+:mod:`repro.channels.halfduplex`:
+
+* **DT** — two point-to-point frames, no relay.
+* **MABC** — joint MAC phase (relay SIC-decodes both), then a single
+  network-coded (XOR) relay broadcast; terminals resolve their partner's
+  frame with own-message side information.
+* **TDBC** — two dedicated phases (relay *and* opposite terminal listen),
+  then the XOR broadcast; terminals arbitrate between the relay path and
+  their overheard direct path via CRC.
+* **HBC** — the four-phase hybrid: each message is split into a dedicated
+  half (TDBC-like, overheard by the partner) and a MAC half (MABC-like),
+  and the relay broadcasts both XOR-combined halves.
+
+Every round reports per-direction success, bit errors and the exact number
+of channel symbols spent, so campaign goodput (bits/symbol) is directly
+comparable to the analytic bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.halfduplex import HalfDuplexMedium
+from ..exceptions import InvalidParameterError
+from .bits import as_bits, hamming_distance
+from .linkcodec import LinkCodec
+from .relay import sic_decode_mac, xor_forward
+from .terminals import arbitrate_paths
+
+__all__ = ["RoundResult", "ProtocolEngine"]
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of one protocol round.
+
+    Attributes
+    ----------
+    success_a_to_b / success_b_to_a:
+        Whether the full payload was recovered bit-exactly (and the
+        accepted estimate's CRC verified) in each direction.
+    bit_errors_a_to_b / bit_errors_b_to_a:
+        Payload bit errors in each direction.
+    payload_bits:
+        Payload size per direction in this round.
+    n_symbols:
+        Total channel symbols consumed by all phases.
+    relay_ok:
+        Whether the relay decoded everything it needed (``None`` for DT).
+    """
+
+    success_a_to_b: bool
+    success_b_to_a: bool
+    bit_errors_a_to_b: int
+    bit_errors_b_to_a: int
+    payload_bits: int
+    n_symbols: int
+    relay_ok: bool | None
+
+
+@dataclass(frozen=True)
+class ProtocolEngine:
+    """Executes protocol rounds on a fixed medium with a fixed codec.
+
+    Attributes
+    ----------
+    medium:
+        The half-duplex Gaussian medium (owns gains and noise).
+    codec:
+        Frame pipeline for full-size payloads (DT/MABC/TDBC). HBC derives a
+        half-payload codec internally.
+    power:
+        Per-node transmit power ``P`` (linear); amplitude ``sqrt(P)`` is
+        applied to the unit-energy modulated symbols.
+    """
+
+    medium: HalfDuplexMedium
+    codec: LinkCodec
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.power <= 0:
+            raise InvalidParameterError(f"power must be positive, got {self.power}")
+
+    @property
+    def _amplitude(self) -> float:
+        return float(np.sqrt(self.power))
+
+    @property
+    def _noise_power(self) -> float:
+        return self.medium.noise.noise_power
+
+    def _gain(self, node_i: str, node_j: str) -> complex:
+        return self.medium.complex_gains[frozenset((node_i, node_j))]
+
+    def _check_payload(self, payload, codec: LinkCodec) -> np.ndarray:
+        bits = as_bits(payload)
+        if bits.size != codec.payload_bits:
+            raise InvalidParameterError(
+                f"payload must be {codec.payload_bits} bits, got {bits.size}"
+            )
+        return bits
+
+    def _direction_result(self, sent, estimate) -> tuple[bool, int]:
+        errors = hamming_distance(sent, estimate.payload)
+        success = bool(estimate.crc_ok) and errors == 0
+        return success, errors
+
+    def run_dt_round(self, payload_a, payload_b,
+                     rng: np.random.Generator) -> RoundResult:
+        """Direct transmission: ``a -> b`` then ``b -> a``."""
+        codec = self.codec
+        wa = self._check_payload(payload_a, codec)
+        wb = self._check_payload(payload_b, codec)
+        amp = self._amplitude
+
+        out1 = self.medium.run_phase({"a": amp * codec.encode(wa)}, rng)
+        frame_at_b = codec.decode(out1.signal_at("b"), self._gain("a", "b"),
+                                  self._noise_power, amplitude=amp)
+        out2 = self.medium.run_phase({"b": amp * codec.encode(wb)}, rng)
+        frame_at_a = codec.decode(out2.signal_at("a"), self._gain("a", "b"),
+                                  self._noise_power, amplitude=amp)
+
+        err_ab = hamming_distance(wa, frame_at_b.payload)
+        err_ba = hamming_distance(wb, frame_at_a.payload)
+        return RoundResult(
+            success_a_to_b=frame_at_b.crc_ok and err_ab == 0,
+            success_b_to_a=frame_at_a.crc_ok and err_ba == 0,
+            bit_errors_a_to_b=err_ab,
+            bit_errors_b_to_a=err_ba,
+            payload_bits=codec.payload_bits,
+            n_symbols=2 * codec.n_symbols,
+            relay_ok=None,
+        )
+
+    def run_naive4_round(self, payload_a, payload_b,
+                         rng: np.random.Generator) -> RoundResult:
+        """Naive four-phase store-and-forward (Fig. 1(ii) baseline).
+
+        The relay decodes each terminal's frame in its dedicated phase and
+        re-transmits it verbatim in the next; terminals use only the relay
+        re-transmission (the overheard direct receptions are deliberately
+        ignored — that inefficiency is what this baseline demonstrates).
+        """
+        codec = self.codec
+        wa = self._check_payload(payload_a, codec)
+        wb = self._check_payload(payload_b, codec)
+        amp = self._amplitude
+        frame_a = codec.crc.append(wa)
+        frame_b = codec.crc.append(wb)
+
+        # Phase 1: a -> relay; phase 2: relay -> b.
+        out1 = self.medium.run_phase(
+            {"a": amp * codec.encode_frame_bits(frame_a)}, rng
+        )
+        a_at_r = codec.decode(out1.signal_at("r"), self._gain("a", "r"),
+                              self._noise_power, amplitude=amp)
+        out2 = self.medium.run_phase(
+            {"r": amp * codec.encode_frame_bits(a_at_r.frame_bits)}, rng
+        )
+        a_at_b = codec.decode(out2.signal_at("b"), self._gain("b", "r"),
+                              self._noise_power, amplitude=amp)
+
+        # Phase 3: b -> relay; phase 4: relay -> a.
+        out3 = self.medium.run_phase(
+            {"b": amp * codec.encode_frame_bits(frame_b)}, rng
+        )
+        b_at_r = codec.decode(out3.signal_at("r"), self._gain("b", "r"),
+                              self._noise_power, amplitude=amp)
+        out4 = self.medium.run_phase(
+            {"r": amp * codec.encode_frame_bits(b_at_r.frame_bits)}, rng
+        )
+        b_at_a = codec.decode(out4.signal_at("a"), self._gain("a", "r"),
+                              self._noise_power, amplitude=amp)
+
+        err_ab = hamming_distance(wa, a_at_b.payload)
+        err_ba = hamming_distance(wb, b_at_a.payload)
+        return RoundResult(
+            success_a_to_b=a_at_b.crc_ok and err_ab == 0,
+            success_b_to_a=b_at_a.crc_ok and err_ba == 0,
+            bit_errors_a_to_b=err_ab,
+            bit_errors_b_to_a=err_ba,
+            payload_bits=codec.payload_bits,
+            n_symbols=4 * codec.n_symbols,
+            relay_ok=a_at_r.crc_ok and b_at_r.crc_ok,
+        )
+
+    def run_mabc_round(self, payload_a, payload_b,
+                       rng: np.random.Generator) -> RoundResult:
+        """MABC: MAC phase into the relay, then one XOR broadcast."""
+        codec = self.codec
+        wa = self._check_payload(payload_a, codec)
+        wb = self._check_payload(payload_b, codec)
+        amp = self._amplitude
+        frame_a = codec.crc.append(wa)
+        frame_b = codec.crc.append(wb)
+
+        # Phase 1: simultaneous transmission; only the relay listens.
+        out1 = self.medium.run_phase(
+            {"a": amp * codec.encode_frame_bits(frame_a),
+             "b": amp * codec.encode_frame_bits(frame_b)},
+            rng,
+        )
+        mac = sic_decode_mac(
+            codec, out1.signal_at("r"),
+            gain_a=self._gain("a", "r"), gain_b=self._gain("b", "r"),
+            noise_power=self._noise_power, amplitude=amp,
+        )
+
+        # Phase 2: relay broadcasts the XOR of its two decoded frames.
+        relay_frame = xor_forward(mac.frame_a.frame_bits, mac.frame_b.frame_bits)
+        out2 = self.medium.run_phase(
+            {"r": amp * codec.encode_frame_bits(relay_frame)}, rng
+        )
+        relay_at_a = codec.decode(out2.signal_at("a"), self._gain("a", "r"),
+                                  self._noise_power, amplitude=amp)
+        relay_at_b = codec.decode(out2.signal_at("b"), self._gain("b", "r"),
+                                  self._noise_power, amplitude=amp)
+
+        est_b_at_a = arbitrate_paths(codec, relay_frame=relay_at_a,
+                                     own_frame_bits=frame_a, direct_frame=None)
+        est_a_at_b = arbitrate_paths(codec, relay_frame=relay_at_b,
+                                     own_frame_bits=frame_b, direct_frame=None)
+        success_ab, err_ab = self._direction_result(wa, est_a_at_b)
+        success_ba, err_ba = self._direction_result(wb, est_b_at_a)
+        return RoundResult(
+            success_a_to_b=success_ab,
+            success_b_to_a=success_ba,
+            bit_errors_a_to_b=err_ab,
+            bit_errors_b_to_a=err_ba,
+            payload_bits=codec.payload_bits,
+            n_symbols=2 * codec.n_symbols,
+            relay_ok=mac.both_ok,
+        )
+
+    def run_tdbc_round(self, payload_a, payload_b,
+                       rng: np.random.Generator) -> RoundResult:
+        """TDBC: dedicated phases (overheard by the partner), XOR broadcast."""
+        codec = self.codec
+        wa = self._check_payload(payload_a, codec)
+        wb = self._check_payload(payload_b, codec)
+        amp = self._amplitude
+        frame_a = codec.crc.append(wa)
+        frame_b = codec.crc.append(wb)
+
+        # Phase 1: a transmits; relay and b listen.
+        out1 = self.medium.run_phase(
+            {"a": amp * codec.encode_frame_bits(frame_a)}, rng
+        )
+        a_at_r = codec.decode(out1.signal_at("r"), self._gain("a", "r"),
+                              self._noise_power, amplitude=amp)
+        a_at_b_direct = codec.decode(out1.signal_at("b"), self._gain("a", "b"),
+                                     self._noise_power, amplitude=amp)
+
+        # Phase 2: b transmits; relay and a listen.
+        out2 = self.medium.run_phase(
+            {"b": amp * codec.encode_frame_bits(frame_b)}, rng
+        )
+        b_at_r = codec.decode(out2.signal_at("r"), self._gain("b", "r"),
+                              self._noise_power, amplitude=amp)
+        b_at_a_direct = codec.decode(out2.signal_at("a"), self._gain("a", "b"),
+                                     self._noise_power, amplitude=amp)
+
+        # Phase 3: relay broadcasts the XOR of its two frame estimates.
+        relay_frame = xor_forward(a_at_r.frame_bits, b_at_r.frame_bits)
+        out3 = self.medium.run_phase(
+            {"r": amp * codec.encode_frame_bits(relay_frame)}, rng
+        )
+        relay_at_a = codec.decode(out3.signal_at("a"), self._gain("a", "r"),
+                                  self._noise_power, amplitude=amp)
+        relay_at_b = codec.decode(out3.signal_at("b"), self._gain("b", "r"),
+                                  self._noise_power, amplitude=amp)
+
+        est_b_at_a = arbitrate_paths(codec, relay_frame=relay_at_a,
+                                     own_frame_bits=frame_a,
+                                     direct_frame=b_at_a_direct)
+        est_a_at_b = arbitrate_paths(codec, relay_frame=relay_at_b,
+                                     own_frame_bits=frame_b,
+                                     direct_frame=a_at_b_direct)
+        success_ab, err_ab = self._direction_result(wa, est_a_at_b)
+        success_ba, err_ba = self._direction_result(wb, est_b_at_a)
+        return RoundResult(
+            success_a_to_b=success_ab,
+            success_b_to_a=success_ba,
+            bit_errors_a_to_b=err_ab,
+            bit_errors_b_to_a=err_ba,
+            payload_bits=codec.payload_bits,
+            n_symbols=3 * codec.n_symbols,
+            relay_ok=a_at_r.crc_ok and b_at_r.crc_ok,
+        )
+
+    def _half_codec(self) -> LinkCodec:
+        if self.codec.payload_bits % 2 != 0:
+            raise InvalidParameterError(
+                "HBC needs an even payload size to split across phases, "
+                f"got {self.codec.payload_bits}"
+            )
+        return LinkCodec(
+            payload_bits=self.codec.payload_bits // 2,
+            code=self.codec.code,
+            crc=self.codec.crc,
+            modulation=self.codec.modulation,
+            interleaver_seed=self.codec.interleaver_seed,
+        )
+
+    def run_hbc_round(self, payload_a, payload_b,
+                      rng: np.random.Generator) -> RoundResult:
+        """HBC: dedicated halves (overheard), MAC halves, double broadcast."""
+        full = self.codec
+        wa = self._check_payload(payload_a, full)
+        wb = self._check_payload(payload_b, full)
+        half = self._half_codec()
+        amp = self._amplitude
+        k = half.payload_bits
+        wa1, wa2 = wa[:k], wa[k:]
+        wb1, wb2 = wb[:k], wb[k:]
+        frame_a1, frame_a2 = half.crc.append(wa1), half.crc.append(wa2)
+        frame_b1, frame_b2 = half.crc.append(wb1), half.crc.append(wb2)
+
+        # Phase 1: a sends its dedicated half; relay and b listen.
+        out1 = self.medium.run_phase(
+            {"a": amp * half.encode_frame_bits(frame_a1)}, rng
+        )
+        a1_at_r = half.decode(out1.signal_at("r"), self._gain("a", "r"),
+                              self._noise_power, amplitude=amp)
+        a1_at_b_direct = half.decode(out1.signal_at("b"), self._gain("a", "b"),
+                                     self._noise_power, amplitude=amp)
+
+        # Phase 2: b sends its dedicated half; relay and a listen.
+        out2 = self.medium.run_phase(
+            {"b": amp * half.encode_frame_bits(frame_b1)}, rng
+        )
+        b1_at_r = half.decode(out2.signal_at("r"), self._gain("b", "r"),
+                              self._noise_power, amplitude=amp)
+        b1_at_a_direct = half.decode(out2.signal_at("a"), self._gain("a", "b"),
+                                     self._noise_power, amplitude=amp)
+
+        # Phase 3: MAC halves; only the relay listens.
+        out3 = self.medium.run_phase(
+            {"a": amp * half.encode_frame_bits(frame_a2),
+             "b": amp * half.encode_frame_bits(frame_b2)},
+            rng,
+        )
+        mac = sic_decode_mac(
+            half, out3.signal_at("r"),
+            gain_a=self._gain("a", "r"), gain_b=self._gain("b", "r"),
+            noise_power=self._noise_power, amplitude=amp,
+        )
+
+        # Phase 4: relay broadcasts both XOR-combined halves back to back.
+        relay_frame_1 = xor_forward(a1_at_r.frame_bits, b1_at_r.frame_bits)
+        relay_frame_2 = xor_forward(mac.frame_a.frame_bits, mac.frame_b.frame_bits)
+        symbols_4 = np.concatenate([
+            half.encode_frame_bits(relay_frame_1),
+            half.encode_frame_bits(relay_frame_2),
+        ])
+        out4 = self.medium.run_phase({"r": amp * symbols_4}, rng)
+        n_half = half.n_symbols
+
+        def _decode_broadcast(node: str):
+            y = out4.signal_at(node)
+            gain = self._gain(node, "r")
+            first = half.decode(y[:n_half], gain, self._noise_power, amplitude=amp)
+            second = half.decode(y[n_half:], gain, self._noise_power, amplitude=amp)
+            return first, second
+
+        relay1_at_a, relay2_at_a = _decode_broadcast("a")
+        relay1_at_b, relay2_at_b = _decode_broadcast("b")
+
+        est_b1_at_a = arbitrate_paths(half, relay_frame=relay1_at_a,
+                                      own_frame_bits=frame_a1,
+                                      direct_frame=b1_at_a_direct)
+        est_b2_at_a = arbitrate_paths(half, relay_frame=relay2_at_a,
+                                      own_frame_bits=frame_a2, direct_frame=None)
+        est_a1_at_b = arbitrate_paths(half, relay_frame=relay1_at_b,
+                                      own_frame_bits=frame_b1,
+                                      direct_frame=a1_at_b_direct)
+        est_a2_at_b = arbitrate_paths(half, relay_frame=relay2_at_b,
+                                      own_frame_bits=frame_b2, direct_frame=None)
+
+        err_ab = (hamming_distance(wa1, est_a1_at_b.payload)
+                  + hamming_distance(wa2, est_a2_at_b.payload))
+        err_ba = (hamming_distance(wb1, est_b1_at_a.payload)
+                  + hamming_distance(wb2, est_b2_at_a.payload))
+        success_ab = est_a1_at_b.crc_ok and est_a2_at_b.crc_ok and err_ab == 0
+        success_ba = est_b1_at_a.crc_ok and est_b2_at_a.crc_ok and err_ba == 0
+        relay_ok = (a1_at_r.crc_ok and b1_at_r.crc_ok and mac.both_ok)
+        return RoundResult(
+            success_a_to_b=success_ab,
+            success_b_to_a=success_ba,
+            bit_errors_a_to_b=err_ab,
+            bit_errors_b_to_a=err_ba,
+            payload_bits=full.payload_bits,
+            n_symbols=5 * n_half,
+            relay_ok=relay_ok,
+        )
+
+    def run_round(self, protocol, payload_a, payload_b,
+                  rng: np.random.Generator) -> RoundResult:
+        """Dispatch one round of the named protocol."""
+        from ..core.protocols import Protocol
+
+        runners = {
+            Protocol.DT: self.run_dt_round,
+            Protocol.NAIVE4: self.run_naive4_round,
+            Protocol.MABC: self.run_mabc_round,
+            Protocol.TDBC: self.run_tdbc_round,
+            Protocol.HBC: self.run_hbc_round,
+        }
+        if protocol not in runners:
+            raise InvalidParameterError(f"unknown protocol {protocol!r}")
+        return runners[protocol](payload_a, payload_b, rng)

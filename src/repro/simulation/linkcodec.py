@@ -1,0 +1,166 @@
+"""The link codec: CRC + convolutional code + interleaver + modulation.
+
+One :class:`LinkCodec` instance is the shared "codebook" of the system —
+every node (terminals and relay) encodes and decodes frames with the same
+pipeline, mirroring the shared random codebooks of the paper's
+achievability proofs::
+
+    payload bits
+      └─ CRC append              (error detection / path arbitration)
+         └─ convolutional encode (zero-terminated, rate 1/n)
+            └─ interleave        (whiten SIC residuals)
+               └─ modulate       (BPSK or QPSK, unit energy)
+
+Decoding inverts the pipeline from soft channel LLRs and reports CRC
+validity alongside the payload estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .bits import as_bits
+from .convolutional import NASA_CODE, ConvolutionalCode
+from .crc import CRC16_CCITT, CrcCode
+from .interleaver import RandomInterleaver
+from .modulation import Bpsk
+
+__all__ = ["LinkCodec", "DecodedFrame", "default_codec"]
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """Result of decoding one frame.
+
+    Attributes
+    ----------
+    payload:
+        Estimated payload bits (CRC stripped).
+    frame_bits:
+        Estimated full frame (payload + CRC), before stripping — needed by
+        the relay, which re-encodes and XOR-combines whole frames.
+    crc_ok:
+        Whether the CRC verified.
+    """
+
+    payload: np.ndarray
+    frame_bits: np.ndarray
+    crc_ok: bool
+
+
+@dataclass(frozen=True)
+class LinkCodec:
+    """A fixed encode/decode pipeline shared by all nodes.
+
+    Attributes
+    ----------
+    payload_bits:
+        Payload size this codec is dimensioned for (constant per link —
+        frames are fixed-length, as the relay's XOR combine requires).
+    code:
+        The convolutional code.
+    crc:
+        The CRC code (zero-init, GF(2)-linear).
+    modulation:
+        BPSK by default.
+    interleaver_seed:
+        Seed of the shared random interleaver.
+    """
+
+    payload_bits: int
+    code: ConvolutionalCode = NASA_CODE
+    crc: CrcCode = CRC16_CCITT
+    modulation: Bpsk = field(default_factory=Bpsk)
+    interleaver_seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 1:
+            raise InvalidParameterError(
+                f"payload must be at least one bit, got {self.payload_bits}"
+            )
+
+    @property
+    def frame_bits(self) -> int:
+        """Payload plus CRC length."""
+        return self.payload_bits + self.crc.n_bits
+
+    @property
+    def coded_bits(self) -> int:
+        """Coded bits per frame (after zero termination)."""
+        return self.code.n_coded_bits(self.frame_bits)
+
+    @property
+    def n_symbols(self) -> int:
+        """Channel symbols per frame."""
+        return self.modulation.symbols_for_bits(self.coded_bits)
+
+    @property
+    def rate(self) -> float:
+        """Information bits per channel symbol (payload only)."""
+        return self.payload_bits / self.n_symbols
+
+    def _interleaver(self) -> RandomInterleaver:
+        return RandomInterleaver(self.interleaver_seed)
+
+    def encode_frame_bits(self, frame_bits) -> np.ndarray:
+        """Encode an already-CRC'd frame to symbols (the relay path)."""
+        frame = as_bits(frame_bits)
+        if frame.size != self.frame_bits:
+            raise InvalidParameterError(
+                f"frame must be {self.frame_bits} bits, got {frame.size}"
+            )
+        coded = self.code.encode(frame)
+        interleaved = self._interleaver().interleave(coded)
+        return self.modulation.modulate(interleaved)
+
+    def encode(self, payload) -> np.ndarray:
+        """Encode payload bits into unit-energy channel symbols."""
+        bits = as_bits(payload)
+        if bits.size != self.payload_bits:
+            raise InvalidParameterError(
+                f"payload must be {self.payload_bits} bits, got {bits.size}"
+            )
+        return self.encode_frame_bits(self.crc.append(bits))
+
+    def decode_llrs(self, coded_llrs: np.ndarray) -> DecodedFrame:
+        """Decode from per-coded-bit LLRs (already demodulated)."""
+        llrs = np.asarray(coded_llrs, dtype=float)
+        if llrs.shape != (self.coded_bits,):
+            raise InvalidParameterError(
+                f"expected {self.coded_bits} LLRs, got shape {llrs.shape}"
+            )
+        deinterleaved = self._interleaver().deinterleave(llrs)
+        frame = self.code.decode(deinterleaved, self.frame_bits)
+        return DecodedFrame(
+            payload=self.crc.strip(frame),
+            frame_bits=frame,
+            crc_ok=self.crc.check(frame),
+        )
+
+    def demodulate(self, received: np.ndarray, complex_gain: complex,
+                   noise_power: float, *, amplitude: float = 1.0) -> np.ndarray:
+        """Soft-demodulate a received block into coded-bit LLRs."""
+        y = np.asarray(received)
+        if y.shape != (self.n_symbols,):
+            raise InvalidParameterError(
+                f"expected {self.n_symbols} symbols, got shape {y.shape}"
+            )
+        llrs = self.modulation.demodulate_llr(
+            y, complex_gain, noise_power, amplitude=amplitude
+        )
+        return llrs[: self.coded_bits]
+
+    def decode(self, received: np.ndarray, complex_gain: complex,
+               noise_power: float, *, amplitude: float = 1.0) -> DecodedFrame:
+        """Demodulate and decode a received block in one step."""
+        llrs = self.demodulate(received, complex_gain, noise_power,
+                               amplitude=amplitude)
+        return self.decode_llrs(llrs)
+
+
+def default_codec(payload_bits: int = 128) -> LinkCodec:
+    """The production configuration: CRC-16 + NASA K=7 code + BPSK."""
+    return LinkCodec(payload_bits=payload_bits)

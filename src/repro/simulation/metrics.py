@@ -1,0 +1,105 @@
+"""Error-rate and throughput accounting for simulation campaigns."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["LinkCounter", "wilson_interval", "ThroughputReport"]
+
+
+def wilson_interval(successes: int, trials: int, *,
+                    z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal approximation because simulated frame error
+    counts are often near 0 or 1, where Wald intervals collapse.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise InvalidParameterError(
+            f"invalid counts: {successes} successes of {trials} trials"
+        )
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass
+class LinkCounter:
+    """Accumulates frame and bit error statistics for one direction."""
+
+    frames: int = 0
+    frame_errors: int = 0
+    bits: int = 0
+    bit_errors: int = 0
+
+    def record(self, *, success: bool, n_bits: int, n_bit_errors: int) -> None:
+        """Account one frame."""
+        if n_bits < 0 or n_bit_errors < 0 or n_bit_errors > n_bits:
+            raise InvalidParameterError(
+                f"invalid bit counts: {n_bit_errors} errors of {n_bits} bits"
+            )
+        self.frames += 1
+        self.frame_errors += 0 if success else 1
+        self.bits += n_bits
+        self.bit_errors += n_bit_errors
+
+    @property
+    def fer(self) -> float:
+        """Frame error rate."""
+        return self.frame_errors / self.frames if self.frames else 0.0
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate."""
+        return self.bit_errors / self.bits if self.bits else 0.0
+
+    def fer_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson interval for the frame error rate."""
+        return wilson_interval(self.frame_errors, self.frames, z=z)
+
+
+@dataclass
+class ThroughputReport:
+    """Delivered-information accounting across a campaign.
+
+    Throughput is *goodput*: only payload bits of frames that were decoded
+    correctly count, divided by the total channel symbols spent — directly
+    comparable (in bits/symbol) to the analytic sum-rate bounds.
+    """
+
+    delivered_bits: int = 0
+    total_symbols: int = 0
+    per_direction: dict = field(default_factory=dict)
+
+    def record(self, direction: str, *, delivered_bits: int) -> None:
+        """Add delivered payload bits for one direction."""
+        if delivered_bits < 0:
+            raise InvalidParameterError(f"negative bits: {delivered_bits}")
+        self.delivered_bits += delivered_bits
+        self.per_direction[direction] = (
+            self.per_direction.get(direction, 0) + delivered_bits
+        )
+
+    def add_symbols(self, n_symbols: int) -> None:
+        """Account channel uses."""
+        if n_symbols < 0:
+            raise InvalidParameterError(f"negative symbol count: {n_symbols}")
+        self.total_symbols += n_symbols
+
+    @property
+    def sum_throughput(self) -> float:
+        """Total goodput in bits per channel symbol."""
+        return self.delivered_bits / self.total_symbols if self.total_symbols else 0.0
+
+    def direction_throughput(self, direction: str) -> float:
+        """Goodput of one direction in bits per channel symbol."""
+        if not self.total_symbols:
+            return 0.0
+        return self.per_direction.get(direction, 0) / self.total_symbols

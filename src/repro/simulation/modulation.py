@@ -1,0 +1,110 @@
+"""Digital modulation and soft demodulation (BPSK, QPSK with Gray mapping).
+
+Symbols are unit-energy complex numbers; transmit power is applied by the
+engine as an amplitude scale. Soft demodulators return log-likelihood
+ratios with the convention ``LLR > 0 ⇔ bit = 0 more likely``, i.e.::
+
+    LLR(b) = log P(y | b = 0) - log P(y | b = 1)
+
+computed coherently for a known complex channel gain and noise power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .bits import as_bits
+
+__all__ = ["Bpsk", "Qpsk", "hard_decisions", "Modulation"]
+
+
+def hard_decisions(llrs: np.ndarray) -> np.ndarray:
+    """Map LLRs to bits (``LLR >= 0 -> 0``, ``LLR < 0 -> 1``)."""
+    arr = np.asarray(llrs, dtype=float)
+    return (arr < 0).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class Bpsk:
+    """Binary phase-shift keying: bit 0 -> ``+1``, bit 1 -> ``-1``."""
+
+    bits_per_symbol: int = 1
+
+    def modulate(self, bits) -> np.ndarray:
+        """Bits to unit-energy complex symbols."""
+        arr = as_bits(bits)
+        return (1.0 - 2.0 * arr.astype(float)) + 0.0j
+
+    def demodulate_llr(self, received: np.ndarray, complex_gain: complex,
+                       noise_power: float, *, amplitude: float = 1.0) -> np.ndarray:
+        """Coherent LLRs: ``4 * A * Re(conj(g) y) / N0``.
+
+        Parameters
+        ----------
+        received:
+            Channel output samples.
+        complex_gain:
+            Known channel amplitude ``g`` (full CSI, per the paper).
+        noise_power:
+            Total complex noise power ``N0``.
+        amplitude:
+            Transmit amplitude ``A = sqrt(P)`` applied at the modulator.
+        """
+        if noise_power <= 0:
+            raise InvalidParameterError(f"noise power must be positive, got {noise_power}")
+        y = np.asarray(received)
+        matched = np.real(np.conj(complex_gain) * y)
+        return 4.0 * amplitude * matched / noise_power
+
+    def symbols_for_bits(self, n_bits: int) -> int:
+        """Number of channel symbols needed for ``n_bits`` coded bits."""
+        if n_bits < 0:
+            raise InvalidParameterError(f"bit count must be non-negative, got {n_bits}")
+        return n_bits
+
+
+@dataclass(frozen=True)
+class Qpsk:
+    """Gray-mapped QPSK: two bits per symbol on I and Q at ``1/sqrt(2)``."""
+
+    bits_per_symbol: int = 2
+
+    def modulate(self, bits) -> np.ndarray:
+        """Bits to unit-energy QPSK symbols; bit count must be even."""
+        arr = as_bits(bits)
+        if arr.size % 2 != 0:
+            raise InvalidParameterError(
+                f"QPSK needs an even number of bits, got {arr.size}"
+            )
+        pairs = arr.reshape(-1, 2).astype(float)
+        scale = 1.0 / math.sqrt(2.0)
+        return scale * ((1.0 - 2.0 * pairs[:, 0]) + 1j * (1.0 - 2.0 * pairs[:, 1]))
+
+    def demodulate_llr(self, received: np.ndarray, complex_gain: complex,
+                       noise_power: float, *, amplitude: float = 1.0) -> np.ndarray:
+        """Per-bit coherent LLRs, interleaved ``[I0, Q0, I1, Q1, ...]``."""
+        if noise_power <= 0:
+            raise InvalidParameterError(f"noise power must be positive, got {noise_power}")
+        y = np.asarray(received)
+        rotated = np.conj(complex_gain) * y
+        scale = 4.0 * amplitude / (noise_power * math.sqrt(2.0))
+        llr_i = scale * np.real(rotated)
+        llr_q = scale * np.imag(rotated)
+        out = np.empty(2 * y.size)
+        out[0::2] = llr_i
+        out[1::2] = llr_q
+        return out
+
+    def symbols_for_bits(self, n_bits: int) -> int:
+        """Number of channel symbols for ``n_bits`` coded bits (rounded up)."""
+        if n_bits < 0:
+            raise InvalidParameterError(f"bit count must be non-negative, got {n_bits}")
+        return (n_bits + 1) // 2
+
+
+#: Union type alias for documentation purposes.
+Modulation = Bpsk | Qpsk

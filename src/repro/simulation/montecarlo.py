@@ -1,0 +1,196 @@
+"""Monte-Carlo drivers: link-level campaigns and fading-ensemble bounds.
+
+Two complementary estimators live here:
+
+* :func:`simulate_protocol` — run the *operational* link-level system
+  (:mod:`repro.simulation.engine`) for many rounds on a fixed channel and
+  report FER/BER/goodput. This is the "does a real DF system behave like
+  the bounds say" check.
+* :func:`ergodic_sum_rate` / :func:`outage_probability` — evaluate the
+  *analytic* LP-optimal sum rates over a quasi-static fading ensemble
+  (Section IV's channel model), producing ergodic averages and outage
+  curves for every protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.fading import sample_gain_ensemble
+from ..channels.gains import LinkGains
+from ..channels.halfduplex import HalfDuplexMedium
+from ..core.capacity import optimal_sum_rate
+from ..core.gaussian import GaussianChannel
+from ..core.protocols import Protocol
+from ..exceptions import InvalidParameterError
+from .bits import random_bits
+from .engine import ProtocolEngine
+from .linkcodec import LinkCodec, default_codec
+from .metrics import LinkCounter, ThroughputReport
+
+__all__ = [
+    "SimulationReport",
+    "simulate_protocol",
+    "FadingStatistics",
+    "ergodic_sum_rate",
+    "outage_probability",
+]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Aggregated outcome of a link-level campaign.
+
+    Attributes
+    ----------
+    protocol:
+        The simulated protocol.
+    n_rounds:
+        Number of protocol rounds executed.
+    a_to_b / b_to_a:
+        Per-direction error counters.
+    throughput:
+        Goodput accounting in bits per channel symbol.
+    relay_failures:
+        Rounds in which the relay failed to decode what it needed.
+    """
+
+    protocol: Protocol
+    n_rounds: int
+    a_to_b: LinkCounter
+    b_to_a: LinkCounter
+    throughput: ThroughputReport
+
+    relay_failures: int
+
+    @property
+    def sum_goodput(self) -> float:
+        """Total delivered payload bits per channel symbol."""
+        return self.throughput.sum_throughput
+
+
+def simulate_protocol(protocol: Protocol, gains: LinkGains, power: float,
+                      n_rounds: int, rng: np.random.Generator, *,
+                      codec: LinkCodec | None = None) -> SimulationReport:
+    """Run ``n_rounds`` of the protocol and aggregate statistics.
+
+    Parameters
+    ----------
+    protocol:
+        One of DT / MABC / TDBC / HBC.
+    gains:
+        Fixed (quasi-static) link gains for the whole campaign.
+    power:
+        Per-node transmit power (linear).
+    n_rounds:
+        Campaign length.
+    rng:
+        Source of all randomness (payloads and noise).
+    codec:
+        Frame pipeline; defaults to :func:`default_codec` (128-bit
+        payloads, CRC-16, NASA K=7 code, BPSK).
+    """
+    if n_rounds < 1:
+        raise InvalidParameterError(f"need at least one round, got {n_rounds}")
+    codec = codec or default_codec()
+    medium = HalfDuplexMedium(gains=gains)
+    engine = ProtocolEngine(medium=medium, codec=codec, power=power)
+
+    a_to_b = LinkCounter()
+    b_to_a = LinkCounter()
+    throughput = ThroughputReport()
+    relay_failures = 0
+    for _ in range(n_rounds):
+        wa = random_bits(rng, codec.payload_bits)
+        wb = random_bits(rng, codec.payload_bits)
+        result = engine.run_round(protocol, wa, wb, rng)
+        a_to_b.record(success=result.success_a_to_b,
+                      n_bits=result.payload_bits,
+                      n_bit_errors=result.bit_errors_a_to_b)
+        b_to_a.record(success=result.success_b_to_a,
+                      n_bits=result.payload_bits,
+                      n_bit_errors=result.bit_errors_b_to_a)
+        throughput.add_symbols(result.n_symbols)
+        if result.success_a_to_b:
+            throughput.record("a->b", delivered_bits=result.payload_bits)
+        if result.success_b_to_a:
+            throughput.record("b->a", delivered_bits=result.payload_bits)
+        if result.relay_ok is False:
+            relay_failures += 1
+    return SimulationReport(
+        protocol=protocol,
+        n_rounds=n_rounds,
+        a_to_b=a_to_b,
+        b_to_a=b_to_a,
+        throughput=throughput,
+        relay_failures=relay_failures,
+    )
+
+
+@dataclass(frozen=True)
+class FadingStatistics:
+    """Summary of a bound evaluated over a fading ensemble.
+
+    Attributes
+    ----------
+    mean:
+        Ergodic (ensemble-average) value.
+    std_error:
+        Standard error of the mean.
+    samples:
+        The per-realization values (for quantiles/outage post-processing).
+    """
+
+    mean: float
+    std_error: float
+    samples: np.ndarray
+
+    def quantile(self, q: float) -> float:
+        """Ensemble quantile (e.g. ``q=0.05`` for 5%-outage capacity)."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.samples, q))
+
+
+def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
+                     n_draws: int, rng: np.random.Generator, *,
+                     k_factor: float = 0.0) -> FadingStatistics:
+    """Ensemble-average LP-optimal sum rate under quasi-static fading.
+
+    Each realization draws reciprocal Rayleigh/Rician gains around the
+    path-loss means, re-optimizes the phase durations (full CSI, as the
+    paper assumes), and records the optimal sum rate.
+    """
+    if n_draws < 1:
+        raise InvalidParameterError(f"need at least one draw, got {n_draws}")
+    ensemble = sample_gain_ensemble(mean_gains, n_draws, rng, k_factor=k_factor)
+    values = np.array([
+        optimal_sum_rate(protocol, GaussianChannel(gains=draw, power=power)).sum_rate
+        for draw in ensemble
+    ])
+    return FadingStatistics(
+        mean=float(values.mean()),
+        std_error=float(values.std(ddof=1) / np.sqrt(n_draws)) if n_draws > 1 else 0.0,
+        samples=values,
+    )
+
+
+def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
+                       target_sum_rate: float, n_draws: int,
+                       rng: np.random.Generator, *,
+                       k_factor: float = 0.0) -> float:
+    """Probability that the optimal sum rate falls below a target.
+
+    The quasi-static outage formulation: the channel is constant per
+    protocol execution, so a realization is "in outage" when even optimal
+    phase durations cannot support ``target_sum_rate``.
+    """
+    if target_sum_rate < 0:
+        raise InvalidParameterError(
+            f"target sum rate must be non-negative, got {target_sum_rate}"
+        )
+    stats = ergodic_sum_rate(protocol, mean_gains, power, n_draws, rng,
+                             k_factor=k_factor)
+    return float(np.mean(stats.samples < target_sum_rate))

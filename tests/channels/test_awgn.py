@@ -1,0 +1,71 @@
+"""Unit tests for repro.channels.awgn."""
+
+import numpy as np
+import pytest
+
+from repro.channels.awgn import ComplexAwgn, apply_link, apply_mac, measure_snr
+from repro.exceptions import InvalidParameterError
+
+
+class TestComplexAwgn:
+    def test_noise_power(self, rng):
+        noise = ComplexAwgn(noise_power=2.0)
+        samples = noise.sample(rng, 50000)
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(2.0, rel=0.05)
+
+    def test_circular_symmetry(self, rng):
+        noise = ComplexAwgn(noise_power=1.0)
+        samples = noise.sample(rng, 50000)
+        assert np.mean(samples.real * samples.imag) == pytest.approx(0.0, abs=0.02)
+        assert np.mean(samples.real ** 2) == pytest.approx(0.5, rel=0.1)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(InvalidParameterError):
+            ComplexAwgn(noise_power=0.0)
+
+    def test_shape(self, rng):
+        assert ComplexAwgn().sample(rng, (3, 4)).shape == (3, 4)
+
+
+class TestApplyLink:
+    def test_gain_applied(self, rng):
+        x = np.ones(10000, dtype=complex)
+        y = apply_link(x, 2.0 + 0j, ComplexAwgn(1e-12), rng)
+        assert np.allclose(y, 2.0, atol=1e-4)
+
+    def test_complex_gain_rotates(self, rng):
+        x = np.ones(100, dtype=complex)
+        y = apply_link(x, 1j, ComplexAwgn(1e-12), rng)
+        assert np.allclose(y, 1j, atol=1e-4)
+
+
+class TestApplyMac:
+    def test_superposition(self, rng):
+        xa = np.ones(1000, dtype=complex)
+        xb = -np.ones(1000, dtype=complex)
+        y = apply_mac([(xa, 1.0), (xb, 0.5)], ComplexAwgn(1e-12), rng)
+        assert np.allclose(y, 0.5, atol=1e-4)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            apply_mac([(np.ones(3), 1.0), (np.ones(4), 1.0)], ComplexAwgn(), rng)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            apply_mac([], ComplexAwgn(), rng)
+
+
+class TestMeasureSnr:
+    def test_measured_snr_tracks_truth(self, rng):
+        x = np.exp(1j * rng.uniform(0, 2 * np.pi, 20000))
+        gain = 2.0 + 0j  # signal power 4, noise power 1 -> SNR 4
+        y = apply_link(x, gain, ComplexAwgn(1.0), rng)
+        assert measure_snr(x, y, gain) == pytest.approx(4.0, rel=0.1)
+
+    def test_infinite_snr_when_noiseless(self):
+        x = np.ones(10, dtype=complex)
+        assert measure_snr(x, 3.0 * x, 3.0 + 0j) == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            measure_snr(np.ones(3), np.ones(4), 1.0)

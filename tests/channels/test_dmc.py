@@ -1,0 +1,104 @@
+"""Unit tests for repro.channels.dmc."""
+
+import numpy as np
+import pytest
+
+from repro.channels.dmc import (
+    DiscreteMemorylessChannel,
+    binary_erasure_channel,
+    binary_symmetric_channel,
+    z_channel,
+)
+from repro.exceptions import InvalidDistributionError, InvalidParameterError
+from repro.information.functions import binary_entropy
+
+
+class TestConstruction:
+    def test_valid_matrix(self):
+        dmc = DiscreteMemorylessChannel(np.array([[0.9, 0.1], [0.3, 0.7]]))
+        assert dmc.n_inputs == 2
+        assert dmc.n_outputs == 2
+
+    def test_rejects_unnormalized_rows(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteMemorylessChannel(np.array([[0.9, 0.2], [0.3, 0.7]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteMemorylessChannel(np.array([[1.1, -0.1], [0.3, 0.7]]))
+
+    def test_factories_have_expected_shapes(self):
+        assert binary_symmetric_channel(0.1).matrix.shape == (2, 2)
+        assert binary_erasure_channel(0.1).matrix.shape == (2, 3)
+        assert z_channel(0.1).matrix.shape == (2, 2)
+
+    def test_factory_domain_checks(self):
+        with pytest.raises(InvalidParameterError):
+            binary_symmetric_channel(1.5)
+        with pytest.raises(InvalidParameterError):
+            binary_erasure_channel(-0.1)
+        with pytest.raises(InvalidParameterError):
+            z_channel(2.0)
+
+
+class TestTransmission:
+    def test_noiseless_bsc_is_identity(self, rng):
+        dmc = binary_symmetric_channel(0.0)
+        x = rng.integers(0, 2, size=1000)
+        np.testing.assert_array_equal(dmc.transmit(x, rng), x)
+
+    def test_always_flipping_bsc(self, rng):
+        dmc = binary_symmetric_channel(1.0)
+        x = rng.integers(0, 2, size=1000)
+        np.testing.assert_array_equal(dmc.transmit(x, rng), 1 - x)
+
+    def test_empirical_crossover_rate(self, rng):
+        dmc = binary_symmetric_channel(0.2)
+        x = np.zeros(20000, dtype=int)
+        y = dmc.transmit(x, rng)
+        assert y.mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_erasure_symbol_frequency(self, rng):
+        dmc = binary_erasure_channel(0.3)
+        x = rng.integers(0, 2, size=20000)
+        y = dmc.transmit(x, rng)
+        assert np.mean(y == 2) == pytest.approx(0.3, abs=0.01)
+
+    def test_out_of_alphabet_input_rejected(self, rng):
+        dmc = binary_symmetric_channel(0.1)
+        with pytest.raises(InvalidParameterError):
+            dmc.transmit(np.array([0, 1, 2]), rng)
+
+
+class TestComposition:
+    def test_two_bscs_compose(self):
+        p, q = 0.1, 0.2
+        composed = binary_symmetric_channel(p).compose(binary_symmetric_channel(q))
+        effective = p * (1 - q) + (1 - p) * q
+        assert composed.matrix[0, 1] == pytest.approx(effective)
+
+    def test_incompatible_compose_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            binary_erasure_channel(0.1).compose(binary_symmetric_channel(0.1))
+
+
+class TestInformationMethods:
+    def test_bsc_capacity(self):
+        assert binary_symmetric_channel(0.11).capacity() == pytest.approx(
+            1 - binary_entropy(0.11), abs=1e-7
+        )
+
+    def test_bec_capacity(self):
+        assert binary_erasure_channel(0.25).capacity() == pytest.approx(0.75, abs=1e-7)
+
+    def test_mutual_information_at_uniform(self):
+        dmc = binary_symmetric_channel(0.11)
+        assert dmc.mutual_information([0.5, 0.5]) == pytest.approx(
+            1 - binary_entropy(0.11)
+        )
+
+    def test_capacity_upper_bounds_any_input(self):
+        dmc = z_channel(0.3)
+        capacity = dmc.capacity()
+        for p0 in (0.1, 0.4, 0.5, 0.8):
+            assert dmc.mutual_information([p0, 1 - p0]) <= capacity + 1e-9

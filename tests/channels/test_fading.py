@@ -1,0 +1,81 @@
+"""Unit tests for repro.channels.fading."""
+
+import numpy as np
+import pytest
+
+from repro.channels.fading import RayleighFading, RicianFading, sample_gain_ensemble
+from repro.channels.gains import LinkGains
+from repro.exceptions import InvalidParameterError
+
+
+class TestRayleigh:
+    def test_mean_power_matches(self, rng):
+        model = RayleighFading(mean_power=2.5)
+        draws = model.sample_power(rng, size=20000)
+        assert draws.mean() == pytest.approx(2.5, rel=0.05)
+
+    def test_complex_power_matches(self, rng):
+        model = RayleighFading(mean_power=0.5)
+        g = model.sample_complex(rng, size=20000)
+        assert np.mean(np.abs(g) ** 2) == pytest.approx(0.5, rel=0.05)
+
+    def test_power_is_exponential(self, rng):
+        # Exponential distribution: P[X > mean] = e^-1.
+        model = RayleighFading(mean_power=1.0)
+        draws = model.sample_power(rng, size=20000)
+        assert np.mean(draws > 1.0) == pytest.approx(np.exp(-1), abs=0.02)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(InvalidParameterError):
+            RayleighFading(mean_power=0.0)
+
+
+class TestRician:
+    def test_reduces_to_rayleigh_at_k_zero(self, rng):
+        model = RicianFading(mean_power=1.0, k_factor=0.0)
+        draws = model.sample_power(rng, size=20000)
+        assert draws.mean() == pytest.approx(1.0, rel=0.05)
+        assert np.mean(draws > 1.0) == pytest.approx(np.exp(-1), abs=0.02)
+
+    def test_mean_power_preserved_for_any_k(self, rng):
+        for k in (0.5, 2.0, 10.0):
+            model = RicianFading(mean_power=3.0, k_factor=k)
+            draws = model.sample_power(rng, size=20000)
+            assert draws.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_large_k_concentrates(self, rng):
+        model = RicianFading(mean_power=1.0, k_factor=1000.0)
+        draws = model.sample_power(rng, size=5000)
+        assert draws.std() < 0.1
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(InvalidParameterError):
+            RicianFading(mean_power=1.0, k_factor=-0.5)
+
+
+class TestEnsemble:
+    def test_size_and_type(self, rng):
+        mean = LinkGains.from_db(-7.0, 0.0, 5.0)
+        ensemble = sample_gain_ensemble(mean, 32, rng)
+        assert len(ensemble) == 32
+        assert all(isinstance(g, LinkGains) for g in ensemble)
+
+    def test_ensemble_means_track_pathloss(self, rng):
+        mean = LinkGains(gab=0.2, gar=1.0, gbr=3.0)
+        ensemble = sample_gain_ensemble(mean, 20000, rng)
+        gab = np.mean([g.gab for g in ensemble])
+        gar = np.mean([g.gar for g in ensemble])
+        gbr = np.mean([g.gbr for g in ensemble])
+        assert gab == pytest.approx(0.2, rel=0.05)
+        assert gar == pytest.approx(1.0, rel=0.05)
+        assert gbr == pytest.approx(3.0, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        mean = LinkGains(gab=0.2, gar=1.0, gbr=3.0)
+        e1 = sample_gain_ensemble(mean, 5, np.random.default_rng(42))
+        e2 = sample_gain_ensemble(mean, 5, np.random.default_rng(42))
+        assert e1 == e2
+
+    def test_rejects_empty_ensemble(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sample_gain_ensemble(LinkGains(1, 1, 1), 0, rng)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.channels.pathloss."""
+
+import pytest
+
+from repro.channels.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    Position,
+    RelayGeometry,
+    linear_relay_gains,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        p, q = Position(1.5, -2.0), Position(-0.5, 1.0)
+        assert p.distance_to(q) == pytest.approx(q.distance_to(p))
+
+    def test_default_y_is_zero(self):
+        assert Position(2.0).y == 0.0
+
+
+class TestLogDistancePathLoss:
+    def test_reference_gain_at_reference_distance(self):
+        law = LogDistancePathLoss(exponent=3.0, reference_distance=1.0,
+                                  reference_gain=1.0)
+        assert law.gain(1.0) == pytest.approx(1.0)
+
+    def test_power_law_decay(self):
+        law = LogDistancePathLoss(exponent=3.0)
+        assert law.gain(2.0) == pytest.approx(2.0 ** -3)
+        assert law.gain(0.5) == pytest.approx(0.5 ** -3)
+
+    def test_free_space_exponent_two(self):
+        law = FreeSpacePathLoss()
+        assert law.gain(10.0) == pytest.approx(0.01)
+
+    def test_minimum_distance_clamp(self):
+        law = LogDistancePathLoss(exponent=3.0, minimum_distance=0.1)
+        assert law.gain(0.0) == pytest.approx(law.gain(0.1))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LogDistancePathLoss().gain(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LogDistancePathLoss(exponent=0.0)
+        with pytest.raises(InvalidParameterError):
+            LogDistancePathLoss(reference_distance=-1.0)
+        with pytest.raises(InvalidParameterError):
+            LogDistancePathLoss(reference_gain=0.0)
+        with pytest.raises(InvalidParameterError):
+            LogDistancePathLoss(minimum_distance=0.0)
+
+    def test_monotone_decreasing(self):
+        law = LogDistancePathLoss(exponent=2.5)
+        gains = [law.gain(d) for d in (0.5, 1.0, 2.0, 4.0)]
+        assert all(g1 > g2 for g1, g2 in zip(gains, gains[1:]))
+
+
+class TestRelayGeometry:
+    def test_link_gains_from_positions(self):
+        geometry = RelayGeometry(
+            terminal_a=Position(0.0),
+            terminal_b=Position(1.0),
+            relay=Position(0.5),
+            path_loss=LogDistancePathLoss(exponent=3.0),
+        )
+        gains = geometry.link_gains()
+        assert gains.gab == pytest.approx(1.0)
+        assert gains.gar == pytest.approx(0.5 ** -3)
+        assert gains.gbr == pytest.approx(0.5 ** -3)
+
+
+class TestLinearRelayGains:
+    def test_direct_link_normalized(self):
+        gains = linear_relay_gains(0.7)
+        assert gains.gab == pytest.approx(1.0)
+
+    def test_midpoint_symmetric(self):
+        gains = linear_relay_gains(0.5, exponent=3.0)
+        assert gains.gar == pytest.approx(gains.gbr)
+        assert gains.gar == pytest.approx(8.0)
+
+    def test_paper_regime_when_relay_nearer_b(self):
+        assert linear_relay_gains(0.7).is_paper_regime()
+        assert not linear_relay_gains(0.3).is_paper_regime()
+
+    def test_fraction_domain(self):
+        with pytest.raises(InvalidParameterError):
+            linear_relay_gains(0.0)
+        with pytest.raises(InvalidParameterError):
+            linear_relay_gains(1.0)
+
+    def test_terminal_distance_domain(self):
+        with pytest.raises(InvalidParameterError):
+            linear_relay_gains(0.5, terminal_distance=0.0)
+
+    def test_scale_invariance_of_ratios(self):
+        near = linear_relay_gains(0.6, terminal_distance=1.0)
+        far = linear_relay_gains(0.6, terminal_distance=10.0)
+        assert near.gar / near.gab == pytest.approx(far.gar / far.gab)
+        assert near.gbr / near.gab == pytest.approx(far.gbr / far.gab)

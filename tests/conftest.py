@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels.gains import LinkGains
+from repro.core.gaussian import GaussianChannel
+from repro.information.functions import db_to_linear
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def paper_gains() -> LinkGains:
+    """The Fig. 4 gain triple: G_ab = -7 dB, G_ar = 0 dB, G_br = 5 dB."""
+    return LinkGains.from_db(-7.0, 0.0, 5.0)
+
+
+@pytest.fixture
+def channel_low(paper_gains) -> GaussianChannel:
+    """Fig. 4 top panel: P = 0 dB."""
+    return GaussianChannel(gains=paper_gains, power=db_to_linear(0.0))
+
+
+@pytest.fixture
+def channel_high(paper_gains) -> GaussianChannel:
+    """Fig. 4 bottom panel: P = 10 dB."""
+    return GaussianChannel(gains=paper_gains, power=db_to_linear(10.0))
+
+
+def random_link_gains(rng: np.random.Generator, *, low_db: float = -10.0,
+                      high_db: float = 15.0) -> LinkGains:
+    """Random reciprocal gains for property tests (shared helper)."""
+    values = rng.uniform(low_db, high_db, size=3)
+    return LinkGains.from_db(float(values[0]), float(values[1]), float(values[2]))

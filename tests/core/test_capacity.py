@@ -1,0 +1,80 @@
+"""Unit tests for the top-level capacity API."""
+
+import pytest
+
+from repro.core.capacity import (
+    achievable_region,
+    compare_protocols,
+    optimal_sum_rate,
+    outer_bound_region,
+)
+from repro.core.protocols import Protocol
+from repro.information.functions import gaussian_capacity
+
+
+class TestOptimalSumRate:
+    def test_monotone_in_power(self, channel_low, channel_high):
+        for protocol in Protocol:
+            low = optimal_sum_rate(protocol, channel_low).sum_rate
+            high = optimal_sum_rate(protocol, channel_high).sum_rate
+            assert high >= low - 1e-9
+
+    def test_hbc_dominates_special_cases(self, channel_low, channel_high):
+        for channel in (channel_low, channel_high):
+            hbc = optimal_sum_rate(Protocol.HBC, channel).sum_rate
+            mabc = optimal_sum_rate(Protocol.MABC, channel).sum_rate
+            tdbc = optimal_sum_rate(Protocol.TDBC, channel).sum_rate
+            assert hbc >= mabc - 1e-8
+            assert hbc >= tdbc - 1e-8
+
+    def test_dt_equals_direct_capacity(self, channel_high, paper_gains):
+        value = optimal_sum_rate(Protocol.DT, channel_high).sum_rate
+        assert value == pytest.approx(
+            gaussian_capacity(channel_high.power * paper_gains.gab)
+        )
+
+    def test_paper_low_snr_ordering(self, channel_low):
+        """At P = 0 dB the paper reports MABC above TDBC."""
+        mabc = optimal_sum_rate(Protocol.MABC, channel_low).sum_rate
+        tdbc = optimal_sum_rate(Protocol.TDBC, channel_low).sum_rate
+        assert mabc > tdbc
+
+
+class TestRegions:
+    def test_mabc_inner_outer_coincide(self, channel_high):
+        inner = achievable_region(Protocol.MABC, channel_high)
+        outer = outer_bound_region(Protocol.MABC, channel_high)
+        assert inner.max_sum_rate().sum_rate == pytest.approx(
+            outer.max_sum_rate().sum_rate
+        )
+
+    def test_outer_bounds_dominate_inner(self, channel_high):
+        for protocol in (Protocol.TDBC, Protocol.HBC):
+            inner = achievable_region(protocol, channel_high)
+            outer = outer_bound_region(protocol, channel_high)
+            assert outer.max_sum_rate().sum_rate >= \
+                inner.max_sum_rate().sum_rate - 1e-8
+
+
+class TestCompareProtocols:
+    def test_all_protocols_by_default(self, channel_high):
+        comparison = compare_protocols(channel_high)
+        assert set(comparison.sum_rates) == set(Protocol)
+
+    def test_best_protocol_is_argmax(self, channel_high):
+        comparison = compare_protocols(channel_high)
+        best = comparison.best_protocol()
+        best_rate = comparison.sum_rates[best].sum_rate
+        assert all(best_rate >= point.sum_rate - 1e-12
+                   for point in comparison.sum_rates.values())
+
+    def test_as_row_flattens(self, channel_high):
+        row = compare_protocols(channel_high).as_row()
+        assert set(row) == {"DT", "NAIVE4", "MABC", "TDBC", "HBC"}
+        assert all(isinstance(v, float) for v in row.values())
+
+    def test_subset_of_protocols(self, channel_high):
+        comparison = compare_protocols(
+            channel_high, protocols=(Protocol.DT, Protocol.MABC)
+        )
+        assert set(comparison.sum_rates) == {Protocol.DT, Protocol.MABC}

@@ -1,0 +1,89 @@
+"""Unit tests for LP optimization over Lemma-1 engine constraints."""
+
+import numpy as np
+import pytest
+
+from repro.channels.binary_relay import BinaryRelayChannel
+from repro.core.bounds import tdbc_outer
+from repro.core.cutset_lp import (
+    cutset_boundary,
+    cutset_max_sum_rate,
+    cutset_support_point,
+)
+from repro.core.optimize import max_sum_rate
+from repro.core.protocols import Protocol, protocol_schedule
+from repro.exceptions import InvalidParameterError
+from repro.network.cutset import GaussianMIOracle, cutset_outer_bound
+from repro.network.model import bidirectional_relay_network
+
+
+@pytest.fixture
+def gaussian_constraints(channel_high):
+    oracle = GaussianMIOracle(gains=channel_high.gains, power=channel_high.power)
+    return cutset_outer_bound(
+        bidirectional_relay_network(),
+        protocol_schedule(Protocol.TDBC),
+        oracle,
+    )
+
+
+@pytest.fixture
+def binary_constraints():
+    channel = BinaryRelayChannel(pab=0.2, par=0.05, pbr=0.02)
+    return cutset_outer_bound(
+        bidirectional_relay_network(),
+        protocol_schedule(Protocol.MABC),
+        channel.oracle(),
+    )
+
+
+class TestGaussianConsistency:
+    def test_engine_lp_matches_theorem_lp(self, gaussian_constraints,
+                                          channel_high):
+        """Optimizing engine constraints == optimizing Theorem 4 directly."""
+        engine_point = cutset_max_sum_rate(gaussian_constraints, 3)
+        theorem_point = max_sum_rate(channel_high.evaluate(tdbc_outer()))
+        assert engine_point.sum_rate == pytest.approx(theorem_point.sum_rate,
+                                                      abs=1e-7)
+
+    def test_support_point_durations_simplex(self, gaussian_constraints):
+        point = cutset_support_point(gaussian_constraints, 3, 1.0, 2.0)
+        assert sum(point.durations) == pytest.approx(1.0)
+        assert all(d >= 0 for d in point.durations)
+
+    def test_boundary_shape(self, gaussian_constraints):
+        boundary = cutset_boundary(gaussian_constraints, 3, n_points=7)
+        assert boundary.shape[1] == 2
+        assert np.all(np.diff(boundary[:, 0]) >= -1e-9)
+        assert np.all(np.diff(boundary[:, 1]) <= 1e-9)
+
+
+class TestBinaryChannel:
+    def test_sum_rate_bounded_by_one(self, binary_constraints):
+        """On the XOR MAC the relay decodes at most 1 bit/use total."""
+        point = cutset_max_sum_rate(binary_constraints, 2)
+        assert 0 < point.sum_rate <= 1.0 + 1e-9
+
+    def test_weighted_corners(self, binary_constraints):
+        ra_corner = cutset_support_point(binary_constraints, 2, 1.0, 0.0)
+        rb_corner = cutset_support_point(binary_constraints, 2, 0.0, 1.0)
+        assert ra_corner.ra >= rb_corner.ra
+        assert rb_corner.rb >= ra_corner.rb
+
+
+class TestValidation:
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cutset_max_sum_rate([], 2)
+
+    def test_zero_weights_rejected(self, binary_constraints):
+        with pytest.raises(InvalidParameterError):
+            cutset_support_point(binary_constraints, 2, 0.0, 0.0)
+
+    def test_phase_count_mismatch_rejected(self, binary_constraints):
+        with pytest.raises(InvalidParameterError):
+            cutset_max_sum_rate(binary_constraints, 3)
+
+    def test_boundary_point_count(self, binary_constraints):
+        with pytest.raises(InvalidParameterError):
+            cutset_boundary(binary_constraints, 2, n_points=1)

@@ -1,0 +1,83 @@
+"""Unit tests for the fairness analysis."""
+
+import pytest
+
+from repro.core.fairness import (
+    FairnessRow,
+    fairness_report,
+    jain_index,
+    max_equal_rate,
+)
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+
+
+class TestJainIndex:
+    def test_symmetric_is_one(self):
+        assert jain_index(1.5, 1.5) == pytest.approx(1.0)
+
+    def test_starved_direction_is_half(self):
+        assert jain_index(2.0, 0.0) == pytest.approx(0.5)
+
+    def test_origin_is_fair(self):
+        assert jain_index(0.0, 0.0) == 1.0
+
+    def test_bounds(self):
+        for ra, rb in ((0.1, 3.0), (2.0, 2.5), (5.0, 0.01)):
+            assert 0.5 <= jain_index(ra, rb) <= 1.0
+
+    def test_symmetry(self):
+        assert jain_index(1.0, 3.0) == pytest.approx(jain_index(3.0, 1.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            jain_index(-1.0, 1.0)
+
+
+class TestMaxEqualRate:
+    def test_equal_rates(self, channel_high):
+        point = max_equal_rate(Protocol.MABC, channel_high)
+        assert point.ra == pytest.approx(point.rb)
+        assert point.ra > 0
+
+    def test_below_sum_optimum(self, channel_high):
+        from repro.core.capacity import optimal_sum_rate
+
+        eq = max_equal_rate(Protocol.TDBC, channel_high)
+        best = optimal_sum_rate(Protocol.TDBC, channel_high)
+        assert eq.sum_rate <= best.sum_rate + 1e-9
+
+    def test_hbc_dominates_special_cases(self, channel_high):
+        hbc = max_equal_rate(Protocol.HBC, channel_high).ra
+        mabc = max_equal_rate(Protocol.MABC, channel_high).ra
+        tdbc = max_equal_rate(Protocol.TDBC, channel_high).ra
+        assert hbc >= mabc - 1e-8
+        assert hbc >= tdbc - 1e-8
+
+
+class TestFairnessReport:
+    def test_all_protocols_reported(self, channel_high):
+        rows = fairness_report(channel_high)
+        assert [row.protocol for row in rows] == [
+            Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC,
+            Protocol.HBC,
+        ]
+
+    def test_row_invariants(self, channel_high):
+        for row in fairness_report(channel_high):
+            assert isinstance(row, FairnessRow)
+            assert 0.5 <= row.sum_point_fairness <= 1.0
+            assert row.fairness_cost >= -1e-9
+
+    def test_dt_is_perfectly_fair(self, channel_high):
+        """DT's region is a simplex: the symmetric point loses nothing."""
+        (dt_row,) = [row for row in fairness_report(channel_high)
+                     if row.protocol is Protocol.DT]
+        assert dt_row.fairness_cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_asymmetric_channel_costs_fairness(self, channel_high):
+        """On the Fig. 4 channel (G_ar != G_br) at least one relaying
+        protocol pays a real sum-rate price for symmetry."""
+        rows = fairness_report(channel_high)
+        relay_rows = [row for row in rows if row.protocol is not Protocol.DT]
+        assert any(row.fairness_cost > 1e-3 for row in relay_rows)

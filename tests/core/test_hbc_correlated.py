@@ -1,0 +1,97 @@
+"""Unit tests for the correlated-Gaussian Theorem-6 evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import hbc_outer
+from repro.core.hbc_correlated import (
+    evaluate_hbc_outer_correlated,
+    hbc_outer_correlated_boundary,
+    hbc_outer_correlated_sum_rate,
+)
+from repro.core.optimize import max_sum_rate
+from repro.exceptions import InvalidParameterError
+from repro.information.functions import gaussian_capacity
+
+
+class TestEvaluation:
+    def test_rho_zero_matches_independent(self, channel_high):
+        independent = channel_high.evaluate(hbc_outer())
+        correlated = evaluate_hbc_outer_correlated(channel_high, 0.0)
+        for c_ind, c_cor in zip(independent.constraints,
+                                correlated.constraints):
+            assert c_ind.rates == c_cor.rates
+            assert c_ind.coefficients == pytest.approx(c_cor.coefficients)
+
+    def test_full_correlation_kills_individual_mac_terms(self, channel_high,
+                                                         paper_gains):
+        evaluated = evaluate_hbc_outer_correlated(channel_high, 1.0)
+        # The Ra constraint containing the phase-3 LINK_AR term: its
+        # phase-3 coefficient must be exactly zero at rho = 1.
+        first_ra = evaluated.constraints_for(("Ra",))[0]
+        assert first_ra.coefficients[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sum_term_grows_with_rho(self, channel_high, paper_gains):
+        p = channel_high.power
+        g = paper_gains
+        lo = evaluate_hbc_outer_correlated(channel_high, 0.0)
+        hi = evaluate_hbc_outer_correlated(channel_high, 0.8)
+        sum_lo = lo.constraints_for(("Ra", "Rb"))[0].coefficients[2]
+        sum_hi = hi.constraints_for(("Ra", "Rb"))[0].coefficients[2]
+        assert sum_hi > sum_lo
+        expected = gaussian_capacity(
+            p * g.gar + p * g.gbr + 1.6 * p * np.sqrt(g.gar * g.gbr)
+        )
+        assert sum_hi == pytest.approx(expected)
+
+    def test_rho_domain_enforced(self, channel_high):
+        with pytest.raises(InvalidParameterError):
+            evaluate_hbc_outer_correlated(channel_high, -0.1)
+        with pytest.raises(InvalidParameterError):
+            evaluate_hbc_outer_correlated(channel_high, 1.5)
+
+
+class TestUnionOverRho:
+    def test_union_dominates_independent(self, channel_high):
+        independent = max_sum_rate(channel_high.evaluate(hbc_outer())).sum_rate
+        best, best_rho = hbc_outer_correlated_sum_rate(
+            channel_high, rhos=np.linspace(0.0, 0.9, 10)
+        )
+        assert best.sum_rate >= independent - 1e-9
+        assert 0.0 <= best_rho <= 0.9
+
+    def test_boundary_sorted_and_dominating(self, channel_high):
+        boundary = hbc_outer_correlated_boundary(
+            channel_high, n_points=7, rhos=np.linspace(0.0, 0.9, 5)
+        )
+        assert np.all(np.diff(boundary[:, 0]) >= -1e-9)
+        assert np.all(np.diff(boundary[:, 1]) <= 1e-9)
+
+    def test_boundary_contains_independent_corner(self, channel_high):
+        from repro.core.optimize import support_point
+
+        boundary = hbc_outer_correlated_boundary(
+            channel_high, n_points=9, rhos=np.linspace(0.0, 0.9, 5)
+        )
+        independent = channel_high.evaluate(hbc_outer())
+        corner = support_point(independent, 1.0, 0.0)
+        # The envelope's max-Ra endpoint dominates the independent one.
+        assert boundary[-1, 0] >= corner.ra - 1e-7
+
+    def test_invalid_point_count(self, channel_high):
+        with pytest.raises(InvalidParameterError):
+            hbc_outer_correlated_boundary(channel_high, n_points=1)
+
+
+class TestPaperContext:
+    def test_hbc_achievable_within_correlated_envelope(self, channel_high):
+        """The Theorem-5 achievable sum rate sits inside the Theorem-6
+        Gaussian evaluation for every rho-grid (sanity of the extension)."""
+        from repro.core.capacity import optimal_sum_rate
+        from repro.core.protocols import Protocol
+
+        inner = optimal_sum_rate(Protocol.HBC, channel_high).sum_rate
+        outer, _rho = hbc_outer_correlated_sum_rate(
+            channel_high, rhos=np.linspace(0.0, 0.9, 7)
+        )
+        assert outer.sum_rate >= inner - 1e-8

@@ -1,0 +1,91 @@
+"""Unit tests for the naive four-phase baseline (paper Fig. 1(ii))."""
+
+import pytest
+
+from repro.core.bounds import naive4_inner, naive4_outer
+from repro.core.capacity import achievable_region, optimal_sum_rate, outer_bound_region
+from repro.core.protocols import Protocol, protocol_phases
+from repro.core.regions import region_dominates
+from repro.information.functions import gaussian_capacity
+
+
+class TestStructure:
+    def test_four_phases(self):
+        phases = protocol_phases(Protocol.NAIVE4)
+        assert len(phases) == 4
+        assert phases[0] == frozenset("a")
+        assert phases[1] == frozenset("r")
+        assert phases[2] == frozenset("b")
+        assert phases[3] == frozenset("r")
+
+    def test_inner_has_no_sum_constraint(self):
+        rates = {tuple(sorted(c.rates)) for c in naive4_inner().constraints}
+        assert ("Ra", "Rb") not in rates
+
+    def test_outer_has_sum_constraint(self):
+        rates = {tuple(sorted(c.rates)) for c in naive4_outer().constraints}
+        assert ("Ra", "Rb") in rates
+
+
+class TestAnalyticValues:
+    def test_sum_rate_closed_form(self, channel_high, paper_gains):
+        """Naive 4-phase sum rate: each direction is a 2-hop cascade.
+
+        With durations (d1, d2, d3, d4) the optimum solves two independent
+        max-min problems sharing the time budget; the symmetric split
+        between directions gives sum = harmonic combination of C_ar, C_br.
+        """
+        point = optimal_sum_rate(Protocol.NAIVE4, channel_high)
+        p = channel_high.power
+        car = gaussian_capacity(p * paper_gains.gar)
+        cbr = gaussian_capacity(p * paper_gains.gbr)
+        # Per direction, rate = t * car * cbr / (car + cbr) where t is the
+        # share of total time; both directions have identical cascades, so
+        # sum = car * cbr / (car + cbr).
+        expected = car * cbr / (car + cbr)
+        assert point.sum_rate == pytest.approx(expected, abs=1e-7)
+
+    def test_mabc_dominates_naive4(self, channel_high, channel_low):
+        """Network coding strictly beats store-and-forward relaying."""
+        for channel in (channel_high, channel_low):
+            naive = optimal_sum_rate(Protocol.NAIVE4, channel).sum_rate
+            mabc = optimal_sum_rate(Protocol.MABC, channel).sum_rate
+            assert mabc > naive + 1e-6
+
+    def test_tdbc_region_contains_naive4(self, channel_high):
+        """TDBC = naive4 + network coding + side information."""
+        naive = achievable_region(Protocol.NAIVE4, channel_high)
+        tdbc = achievable_region(Protocol.TDBC, channel_high)
+        assert region_dominates(tdbc, naive)
+
+    def test_inner_within_outer(self, channel_high):
+        inner = achievable_region(Protocol.NAIVE4, channel_high)
+        outer = outer_bound_region(Protocol.NAIVE4, channel_high)
+        assert region_dominates(outer, inner)
+
+
+class TestEngineCrossCheck:
+    def test_outer_matches_lemma1_engine(self, channel_high):
+        import numpy as np
+
+        from repro.core.protocols import protocol_schedule
+        from repro.network.cutset import GaussianMIOracle, cutset_outer_bound
+        from repro.network.model import bidirectional_relay_network
+
+        oracle = GaussianMIOracle(gains=channel_high.gains,
+                                  power=channel_high.power)
+        engine = cutset_outer_bound(
+            bidirectional_relay_network(),
+            protocol_schedule(Protocol.NAIVE4),
+            oracle,
+        )
+        engine_set = sorted(
+            (tuple(sorted(c.message_names)), tuple(np.round(c.phase_mi, 9)))
+            for c in engine
+        )
+        evaluated = channel_high.evaluate(naive4_outer())
+        hand_set = sorted(
+            (tuple(sorted(c.rates)), tuple(np.round(c.coefficients, 9)))
+            for c in evaluated.constraints
+        )
+        assert engine_set == hand_set

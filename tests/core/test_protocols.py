@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.protocols."""
+
+import pytest
+
+from repro.core.protocols import (
+    PhaseDurations,
+    Protocol,
+    describe,
+    protocol_phases,
+    protocol_schedule,
+)
+from repro.exceptions import InvalidProtocolError
+
+
+class TestProtocolEnum:
+    def test_from_name_case_insensitive(self):
+        assert Protocol.from_name("MABC") is Protocol.MABC
+        assert Protocol.from_name("  hbc ") is Protocol.HBC
+
+    def test_from_name_unknown_rejected(self):
+        with pytest.raises(InvalidProtocolError):
+            Protocol.from_name("xyz")
+
+    def test_uses_relay(self):
+        assert not Protocol.DT.uses_relay
+        assert Protocol.MABC.uses_relay
+        assert Protocol.TDBC.uses_relay
+        assert Protocol.HBC.uses_relay
+
+
+class TestPhaseTables:
+    def test_phase_counts(self):
+        assert len(protocol_phases(Protocol.DT)) == 2
+        assert len(protocol_phases(Protocol.MABC)) == 2
+        assert len(protocol_phases(Protocol.TDBC)) == 3
+        assert len(protocol_phases(Protocol.HBC)) == 4
+
+    def test_mabc_phase_structure(self):
+        phases = protocol_phases(Protocol.MABC)
+        assert phases[0] == frozenset(("a", "b"))
+        assert phases[1] == frozenset("r")
+
+    def test_hbc_contains_mabc_and_tdbc_structure(self):
+        hbc = protocol_phases(Protocol.HBC)
+        assert hbc[0] == frozenset("a")
+        assert hbc[1] == frozenset("b")
+        assert hbc[2] == frozenset(("a", "b"))
+        assert hbc[3] == frozenset("r")
+
+    def test_schedule_matches_phases(self):
+        for protocol in Protocol:
+            schedule = protocol_schedule(protocol)
+            assert schedule.n_phases == len(protocol_phases(protocol))
+            for spec, transmitters in zip(schedule.phases,
+                                          protocol_phases(protocol)):
+                assert spec.transmitters == transmitters
+
+    def test_describe_mentions_all_phases(self):
+        text = describe(Protocol.TDBC)
+        assert "TDBC" in text
+        assert "phase 3" in text
+
+
+class TestPhaseDurations:
+    def test_valid_durations(self):
+        durations = PhaseDurations([0.25, 0.75])
+        assert len(durations) == 2
+        assert durations[1] == 0.75
+        assert list(durations) == [0.25, 0.75]
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(InvalidProtocolError):
+            PhaseDurations([0.5, 0.4])
+
+    def test_must_be_nonnegative(self):
+        with pytest.raises(InvalidProtocolError):
+            PhaseDurations([1.5, -0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidProtocolError):
+            PhaseDurations([])
+
+    def test_uniform(self):
+        durations = PhaseDurations.uniform(4)
+        assert all(d == pytest.approx(0.25) for d in durations)
+
+    def test_uniform_invalid_count(self):
+        with pytest.raises(InvalidProtocolError):
+            PhaseDurations.uniform(0)
+
+    def test_for_protocol_length_check(self):
+        PhaseDurations.for_protocol(Protocol.TDBC, [0.3, 0.3, 0.4])
+        with pytest.raises(InvalidProtocolError):
+            PhaseDurations.for_protocol(Protocol.TDBC, [0.5, 0.5])
+
+    def test_zero_length_phases_allowed(self):
+        durations = PhaseDurations([0.0, 1.0])
+        assert durations[0] == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.protocols import Protocol
+from repro.core.terms import BoundConstraint, BoundKind, BoundSpec, LinearForm, MiKey
+from repro.exceptions import InvalidParameterError
+
+
+class TestLinearForm:
+    def test_coefficients_layout(self):
+        form = LinearForm([(0, MiKey.LINK_AR), (2, MiKey.LINK_BR)])
+        values = {MiKey.LINK_AR: 2.0, MiKey.LINK_BR: 3.0}
+        assert form.coefficients(3, values) == [2.0, 0.0, 3.0]
+
+    def test_repeated_phase_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearForm([(0, MiKey.LINK_AR), (0, MiKey.LINK_BR)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearForm([])
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearForm([(-1, MiKey.LINK_AR)])
+
+    def test_non_mikey_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearForm([(0, "a-r")])
+
+    def test_phase_out_of_range_detected(self):
+        form = LinearForm([(3, MiKey.LINK_AR)])
+        with pytest.raises(InvalidParameterError):
+            form.coefficients(3, {MiKey.LINK_AR: 1.0})
+
+    def test_describe(self):
+        form = LinearForm([(0, MiKey.LINK_AB), (2, MiKey.LINK_BR)])
+        assert form.describe() == "Δ1·I[a-b] + Δ3·I[b-r]"
+
+
+class TestBoundConstraint:
+    def test_valid(self):
+        constraint = BoundConstraint(("Ra", "Rb"), LinearForm([(0, MiKey.MAC_SUM)]))
+        assert constraint.describe() == "Ra + Rb <= Δ1·I[ab-r]"
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoundConstraint(("Rc",), LinearForm([(0, MiKey.LINK_AR)]))
+
+    def test_duplicate_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoundConstraint(("Ra", "Ra"), LinearForm([(0, MiKey.LINK_AR)]))
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoundConstraint((), LinearForm([(0, MiKey.LINK_AR)]))
+
+
+class TestBoundSpec:
+    def test_phase_overflow_rejected(self):
+        constraint = BoundConstraint(("Ra",), LinearForm([(5, MiKey.LINK_AR)]))
+        with pytest.raises(InvalidParameterError):
+            BoundSpec(Protocol.MABC, BoundKind.INNER, 2, (constraint,), "bad")
+
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoundSpec(Protocol.MABC, BoundKind.INNER, 2, (), "empty")
+
+    def test_describe_lists_constraints(self):
+        constraint = BoundConstraint(("Ra",), LinearForm([(0, MiKey.LINK_AR)]))
+        spec = BoundSpec(Protocol.MABC, BoundKind.INNER, 2, (constraint,), "demo")
+        text = spec.describe()
+        assert "demo" in text
+        assert "Ra <= Δ1·I[a-r]" in text

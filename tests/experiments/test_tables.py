@@ -1,0 +1,51 @@
+"""Unit tests for repro.experiments.tables."""
+
+import csv
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.tables import render_table, write_csv
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(["x", "y"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert "x" in lines[0] and "y" in lines[0]
+        assert "2.5000" in text
+        assert "0.1250" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_format(self):
+        text = render_table(["v"], [[1.23456]], float_format=".2f")
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_alignment_width(self):
+        text = render_table(["header"], [["x"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_table(["a", "b"], [[1]])
+
+    def test_non_float_cells_passthrough(self):
+        text = render_table(["name", "n"], [["MABC", 3]])
+        assert "MABC" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "nested" / "deep" / "out.csv", ["a"], [[1]])
+        assert path.exists()

@@ -1,0 +1,192 @@
+"""Unit tests for repro.information.discrete."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidDistributionError
+from repro.information.discrete import (
+    conditional_entropy,
+    conditional_mutual_information,
+    entropy,
+    joint_from_channel,
+    kl_divergence,
+    marginal,
+    mutual_information,
+    normalize_distribution,
+    product_distribution,
+    validate_distribution,
+)
+
+
+def uniform(*shape):
+    size = int(np.prod(shape))
+    return np.full(shape, 1.0 / size)
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        out = validate_distribution([0.25, 0.75])
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_distribution([-0.1, 1.1])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_distribution([0.4, 0.4])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_distribution(np.array([]))
+
+    def test_normalize_weights(self):
+        out = normalize_distribution([2.0, 6.0])
+        assert out == pytest.approx([0.25, 0.75])
+
+    def test_normalize_rejects_zero_mass(self):
+        with pytest.raises(InvalidDistributionError):
+            normalize_distribution([0.0, 0.0])
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(InvalidDistributionError):
+            normalize_distribution([-1.0, 2.0])
+
+
+class TestEntropy:
+    def test_deterministic_is_zero(self):
+        assert entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_uniform_is_log_alphabet(self):
+        assert entropy(uniform(8)) == pytest.approx(3.0)
+
+    def test_joint_uniform(self):
+        assert entropy(uniform(2, 4)) == pytest.approx(3.0)
+
+    def test_binary_matches_h2(self):
+        from repro.information.functions import binary_entropy
+
+        for p in (0.1, 0.3, 0.5):
+            assert entropy([p, 1 - p]) == pytest.approx(binary_entropy(p))
+
+
+class TestMarginal:
+    def test_independent_factorizes(self):
+        joint = product_distribution([0.3, 0.7], [0.25, 0.25, 0.5])
+        np.testing.assert_allclose(marginal(joint, [0]), [0.3, 0.7])
+        np.testing.assert_allclose(marginal(joint, [1]), [0.25, 0.25, 0.5])
+
+    def test_axis_order_respected(self):
+        joint = product_distribution([0.3, 0.7], [0.25, 0.25, 0.5])
+        swapped = marginal(joint, [1, 0])
+        assert swapped.shape == (3, 2)
+        np.testing.assert_allclose(swapped, joint.T)
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            marginal(uniform(2, 2), [0, 0])
+
+    def test_out_of_range_axis_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            marginal(uniform(2, 2), [5])
+
+
+class TestMutualInformation:
+    def test_independent_is_zero(self):
+        joint = product_distribution([0.4, 0.6], [0.2, 0.8])
+        assert mutual_information(joint, [0], [1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_variables_give_entropy(self):
+        joint = np.zeros((2, 2))
+        joint[0, 0] = 0.3
+        joint[1, 1] = 0.7
+        expected = entropy([0.3, 0.7])
+        assert mutual_information(joint, [0], [1]) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(7)
+        joint = normalize_distribution(rng.random((3, 4)))
+        assert mutual_information(joint, [0], [1]) == pytest.approx(
+            mutual_information(joint, [1], [0])
+        )
+
+    def test_bsc_mutual_information(self):
+        from repro.information.functions import binary_entropy
+
+        p = 0.11
+        joint = joint_from_channel([0.5, 0.5], [[1 - p, p], [p, 1 - p]])
+        assert mutual_information(joint, [0], [1]) == pytest.approx(
+            1.0 - binary_entropy(p)
+        )
+
+
+class TestConditionalQuantities:
+    def test_conditional_entropy_of_copy_is_zero(self):
+        joint = np.zeros((2, 2))
+        joint[0, 0] = joint[1, 1] = 0.5
+        assert conditional_entropy(joint, [0], [1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_chain_rule(self):
+        rng = np.random.default_rng(3)
+        joint = normalize_distribution(rng.random((2, 3, 2)))
+        h_xyz = entropy(joint)
+        h_x = entropy(marginal(joint, [0]))
+        h_y_given_x = conditional_entropy(joint, [1], [0])
+        h_z_given_xy = conditional_entropy(joint, [2], [0, 1])
+        assert h_xyz == pytest.approx(h_x + h_y_given_x + h_z_given_xy)
+
+    def test_overlapping_axes_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            conditional_entropy(uniform(2, 2), [0], [0])
+
+    def test_cmi_of_markov_chain_endpoint(self):
+        # X -> Y -> Z with Z = Y: I(X; Z | Y) must be 0.
+        rng = np.random.default_rng(11)
+        p_xy = normalize_distribution(rng.random((2, 2)))
+        joint = np.zeros((2, 2, 2))
+        for x in range(2):
+            for y in range(2):
+                joint[x, y, y] = p_xy[x, y]
+        assert conditional_mutual_information(joint, [0], [2], [1]) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_cmi_nonnegative_random(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            joint = normalize_distribution(rng.random((2, 3, 2)))
+            assert conditional_mutual_information(joint, [0], [1], [2]) >= 0.0
+
+
+class TestKlDivergence:
+    def test_identical_is_zero(self):
+        p = [0.2, 0.8]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            p = normalize_distribution(rng.random(4))
+            q = normalize_distribution(rng.random(4))
+            assert kl_divergence(p, q) >= 0.0
+
+    def test_infinite_on_support_mismatch(self):
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            kl_divergence([0.5, 0.5], [0.25, 0.25, 0.5])
+
+
+class TestJointFromChannel:
+    def test_rows_scale_by_input(self):
+        joint = joint_from_channel([0.25, 0.75], [[0.9, 0.1], [0.2, 0.8]])
+        np.testing.assert_allclose(joint.sum(axis=1), [0.25, 0.75])
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            joint_from_channel([0.5, 0.5], [[0.9, 0.2], [0.2, 0.8]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            joint_from_channel([1.0], [[0.5, 0.5], [0.5, 0.5]])

@@ -1,0 +1,146 @@
+"""Unit tests for repro.information.functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.information.functions import (
+    awgn_ber_bpsk,
+    binary_entropy,
+    db_to_linear,
+    gaussian_capacity,
+    inverse_binary_entropy,
+    inverse_gaussian_capacity,
+    linear_to_db,
+    q_function,
+    q_function_inverse,
+    snr_for_bpsk_ber,
+)
+
+
+class TestGaussianCapacity:
+    def test_zero_snr_gives_zero_rate(self):
+        assert gaussian_capacity(0.0) == 0.0
+
+    def test_unit_snr_gives_one_bit(self):
+        assert gaussian_capacity(1.0) == pytest.approx(1.0)
+
+    def test_snr_three_gives_two_bits(self):
+        assert gaussian_capacity(3.0) == pytest.approx(2.0)
+
+    def test_matches_log2_formula(self):
+        for snr in (0.1, 1.7, 31.6, 1e4):
+            assert gaussian_capacity(snr) == pytest.approx(math.log2(1 + snr))
+
+    def test_vectorized_input(self):
+        values = gaussian_capacity(np.array([0.0, 1.0, 3.0]))
+        assert values == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_scalar_input_returns_python_float(self):
+        assert isinstance(gaussian_capacity(2.0), float)
+
+    def test_negative_snr_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_capacity(-0.5)
+
+    def test_inverse_roundtrip(self):
+        for rate in (0.0, 0.5, 1.0, 3.7):
+            snr = inverse_gaussian_capacity(rate)
+            assert gaussian_capacity(snr) == pytest.approx(rate)
+
+    def test_inverse_rejects_negative_rate(self):
+        with pytest.raises(InvalidParameterError):
+            inverse_gaussian_capacity(-1.0)
+
+
+class TestDecibels:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_minus_three_db_is_half_ish(self):
+        assert db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_roundtrip(self):
+        for value_db in (-20.0, -7.0, 0.0, 5.0, 15.0):
+            assert linear_to_db(db_to_linear(value_db)) == pytest.approx(value_db)
+
+    def test_db_of_nonpositive_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            linear_to_db(0.0)
+        with pytest.raises(InvalidParameterError):
+            linear_to_db(-1.0)
+
+    def test_vectorized(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert out == pytest.approx([1.0, 10.0, 100.0])
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        for p in (0.05, 0.2, 0.35):
+            assert binary_entropy(p) == pytest.approx(binary_entropy(1 - p))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            binary_entropy(1.5)
+
+    def test_inverse_roundtrip(self):
+        for h in (0.0, 0.1, 0.5, 0.9, 1.0):
+            p = inverse_binary_entropy(h)
+            assert binary_entropy(p) == pytest.approx(h, abs=1e-9)
+            assert 0.0 <= p <= 0.5
+
+    def test_inverse_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            inverse_binary_entropy(1.2)
+
+
+class TestQFunction:
+    def test_at_zero_is_half(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(-3, 3, 13)
+        qs = q_function(xs)
+        assert np.all(np.diff(qs) < 0)
+
+    def test_inverse_roundtrip(self):
+        for p in (0.4, 0.1, 1e-3, 1e-6):
+            assert q_function(q_function_inverse(p)) == pytest.approx(p, rel=1e-9)
+
+    def test_inverse_domain(self):
+        with pytest.raises(InvalidParameterError):
+            q_function_inverse(0.0)
+        with pytest.raises(InvalidParameterError):
+            q_function_inverse(1.0)
+
+
+class TestBpskBer:
+    def test_known_value_at_zero_snr(self):
+        assert awgn_ber_bpsk(0.0) == pytest.approx(0.5)
+
+    def test_decreasing_in_snr(self):
+        snrs = np.array([0.1, 1.0, 4.0, 10.0])
+        bers = awgn_ber_bpsk(snrs)
+        assert np.all(np.diff(bers) < 0)
+
+    def test_snr_for_target_ber_roundtrip(self):
+        for ber in (0.1, 1e-3, 1e-5):
+            snr = snr_for_bpsk_ber(ber)
+            assert awgn_ber_bpsk(snr) == pytest.approx(ber, rel=1e-9)
+
+    def test_target_ber_domain(self):
+        with pytest.raises(InvalidParameterError):
+            snr_for_bpsk_ber(0.5)

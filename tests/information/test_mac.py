@@ -1,0 +1,121 @@
+"""Unit tests for repro.information.mac."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.information.discrete import normalize_distribution
+from repro.information.functions import gaussian_capacity
+from repro.information.mac import (
+    MacPentagon,
+    discrete_mac_pentagon,
+    gaussian_mac_pentagon,
+)
+
+
+class TestMacPentagon:
+    def test_contains_origin(self):
+        pentagon = MacPentagon(1.0, 2.0, 2.5)
+        assert pentagon.contains(0.0, 0.0)
+
+    def test_respects_sum_constraint(self):
+        pentagon = MacPentagon(1.0, 2.0, 2.5)
+        assert pentagon.contains(1.0, 1.5)
+        assert not pentagon.contains(1.0, 1.6)
+
+    def test_respects_individual_constraints(self):
+        pentagon = MacPentagon(1.0, 2.0, 2.5)
+        assert not pentagon.contains(1.1, 0.0)
+        assert not pentagon.contains(0.0, 2.1)
+
+    def test_negative_rates_outside(self):
+        pentagon = MacPentagon(1.0, 2.0, 2.5)
+        assert not pentagon.contains(-0.5, 0.5)
+
+    def test_rejects_negative_caps(self):
+        with pytest.raises(InvalidParameterError):
+            MacPentagon(-1.0, 2.0, 0.5)
+
+    def test_rejects_inconsistent_sum(self):
+        with pytest.raises(InvalidParameterError):
+            MacPentagon(1.0, 1.0, 2.5)
+
+    def test_vertices_active_sum(self):
+        pentagon = MacPentagon(1.0, 2.0, 2.5)
+        vertices = pentagon.vertices()
+        assert (0.0, 0.0) in vertices
+        assert (1.0, 0.0) in vertices
+        assert (1.0, 1.5) in vertices
+        assert (0.5, 2.0) in vertices
+        assert (0.0, 2.0) in vertices
+        assert len(vertices) == 5
+
+    def test_vertices_inactive_sum_is_rectangle(self):
+        pentagon = MacPentagon(1.0, 2.0, 3.0)
+        vertices = pentagon.vertices()
+        assert (1.0, 2.0) in vertices
+        assert len(vertices) == 4
+
+    def test_vertices_inside_region(self):
+        pentagon = MacPentagon(1.3, 0.8, 1.7)
+        for ra, rb in pentagon.vertices():
+            assert pentagon.contains(ra, rb)
+
+    def test_max_sum_rate(self):
+        assert MacPentagon(1.0, 2.0, 2.5).max_sum_rate() == pytest.approx(2.5)
+        assert MacPentagon(1.0, 2.0, 3.0).max_sum_rate() == pytest.approx(3.0)
+
+
+class TestGaussianMac:
+    def test_caps_match_capacity_formulas(self):
+        pentagon = gaussian_mac_pentagon(3.0, 1.0)
+        assert pentagon.rate1_max == pytest.approx(gaussian_capacity(3.0))
+        assert pentagon.rate2_max == pytest.approx(gaussian_capacity(1.0))
+        assert pentagon.sum_max == pytest.approx(gaussian_capacity(4.0))
+
+    def test_sum_cap_strictly_binding(self):
+        # C(s1 + s2) < C(s1) + C(s2) for positive SNRs: pentagon corner cut.
+        pentagon = gaussian_mac_pentagon(2.0, 2.0)
+        assert pentagon.sum_max < pentagon.rate1_max + pentagon.rate2_max
+
+    def test_rejects_negative_snr(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_mac_pentagon(-1.0, 1.0)
+
+    def test_zero_snr_user_degenerates(self):
+        pentagon = gaussian_mac_pentagon(0.0, 5.0)
+        assert pentagon.rate1_max == 0.0
+        assert pentagon.sum_max == pytest.approx(pentagon.rate2_max)
+
+
+class TestDiscreteMac:
+    def test_independent_binary_adders(self):
+        # Noiseless binary "orthogonal" MAC: Y = (X1, X2) encoded as 2 bits.
+        joint = np.zeros((2, 2, 4))
+        for x1 in range(2):
+            for x2 in range(2):
+                joint[x1, x2, 2 * x1 + x2] = 0.25
+        pentagon = discrete_mac_pentagon(joint)
+        assert pentagon.rate1_max == pytest.approx(1.0)
+        assert pentagon.rate2_max == pytest.approx(1.0)
+        assert pentagon.sum_max == pytest.approx(2.0)
+
+    def test_binary_adder_channel(self):
+        # Y = X1 + X2 (integer sum): classical sum capacity 1.5 bits.
+        joint = np.zeros((2, 2, 3))
+        for x1 in range(2):
+            for x2 in range(2):
+                joint[x1, x2, x1 + x2] = 0.25
+        pentagon = discrete_mac_pentagon(joint)
+        assert pentagon.sum_max == pytest.approx(1.5)
+        assert pentagon.rate1_max == pytest.approx(1.0)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            discrete_mac_pentagon(np.full((2, 2), 0.25))
+
+    def test_random_joint_produces_valid_pentagon(self):
+        rng = np.random.default_rng(9)
+        joint = normalize_distribution(rng.random((2, 3, 4)))
+        pentagon = discrete_mac_pentagon(joint)
+        assert pentagon.sum_max <= pentagon.rate1_max + pentagon.rate2_max + 1e-9

@@ -1,0 +1,102 @@
+"""Unit tests for repro.information.typicality."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.information.discrete import product_distribution
+from repro.information.typicality import (
+    empirical_log_likelihood,
+    is_jointly_typical,
+    is_weakly_typical,
+    typical_set_size,
+    typicality_probability,
+)
+
+
+class TestEmpiricalLogLikelihood:
+    def test_uniform_source(self):
+        assert empirical_log_likelihood([0.5, 0.5], [0, 1, 0, 1]) == pytest.approx(1.0)
+
+    def test_zero_probability_symbol_gives_inf(self):
+        assert empirical_log_likelihood([1.0, 0.0], [0, 1]) == float("inf")
+
+    def test_rejects_bad_symbols(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_log_likelihood([0.5, 0.5], [0, 2])
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_log_likelihood([0.5, 0.5], [])
+
+
+class TestWeakTypicality:
+    def test_uniform_everything_typical(self):
+        # For a uniform source every sequence has exactly entropy rate.
+        assert is_weakly_typical([0.25] * 4, [0, 1, 2, 3, 0], eps=1e-9)
+
+    def test_skewed_source_all_zeros_atypical(self):
+        p = [0.9, 0.1]
+        # all-ones sequence has -log2(0.1) = 3.32 bits/symbol >> H = 0.469
+        assert not is_weakly_typical(p, [1] * 10, eps=0.5)
+
+    def test_eps_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            is_weakly_typical([0.5, 0.5], [0], eps=0.0)
+
+    def test_typical_sequence_of_skewed_source(self):
+        p = [0.8, 0.2]
+        # A sequence with empirical frequency matching p is typical.
+        seq = [0] * 8 + [1] * 2
+        assert is_weakly_typical(p, seq, eps=0.05)
+
+
+class TestJointTypicality:
+    def test_independent_uniform_pair(self):
+        joint = product_distribution([0.5, 0.5], [0.5, 0.5])
+        assert is_jointly_typical(joint, [[0, 1, 0], [1, 0, 1]], eps=1e-6)
+
+    def test_correlated_pair_must_match(self):
+        joint = np.zeros((2, 2))
+        joint[0, 0] = joint[1, 1] = 0.5
+        assert is_jointly_typical(joint, [[0, 1, 0, 1], [0, 1, 0, 1]], eps=1e-6)
+        # Mismatched pair hits a zero-probability cell -> atypical.
+        assert not is_jointly_typical(joint, [[0, 1], [1, 1]], eps=1.0)
+
+    def test_sequence_count_mismatch_rejected(self):
+        joint = product_distribution([0.5, 0.5], [0.5, 0.5])
+        with pytest.raises(InvalidParameterError):
+            is_jointly_typical(joint, [[0, 1]], eps=0.1)
+
+    def test_length_mismatch_rejected(self):
+        joint = product_distribution([0.5, 0.5], [0.5, 0.5])
+        with pytest.raises(InvalidParameterError):
+            is_jointly_typical(joint, [[0, 1], [0, 1, 0]], eps=0.1)
+
+
+class TestTypicalSetCounting:
+    def test_uniform_typical_set_is_everything(self):
+        assert typical_set_size([0.5, 0.5], n=6, eps=0.01) == 64
+
+    def test_deterministic_source_single_sequence(self):
+        assert typical_set_size([1.0, 0.0], n=5, eps=0.1) == 1
+
+    def test_size_bounded_by_aep(self):
+        from repro.information.discrete import entropy
+
+        p = [0.7, 0.3]
+        n, eps = 8, 0.2
+        size = typical_set_size(p, n=n, eps=eps)
+        assert size <= 2 ** (n * (entropy(p) + eps)) + 1e-9
+
+    def test_probability_tends_to_one(self):
+        p = [0.7, 0.3]
+        probs = [typicality_probability(p, n, eps=0.35) for n in (2, 6, 10)]
+        assert probs[-1] > 0.8
+        assert probs[-1] >= probs[0] - 1e-9
+
+    def test_invalid_block_length(self):
+        with pytest.raises(InvalidParameterError):
+            typical_set_size([0.5, 0.5], n=0, eps=0.1)
+        with pytest.raises(InvalidParameterError):
+            typicality_probability([0.5, 0.5], n=0, eps=0.1)

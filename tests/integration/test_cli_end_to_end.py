@@ -1,0 +1,51 @@
+"""Integration: CLI entry points against the real experiment harness."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureCommands:
+    def test_fig4_single_panel_exits_clean(self, capsys):
+        code = main(["fig4", "--power-db", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_fig4_csv_export(self, capsys, tmp_path):
+        code = main(["fig4", "--power-db", "0", "--csv-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        assert list(tmp_path.glob("*.csv"))
+
+    def test_fig3_exits_clean(self, capsys):
+        code = main(["fig3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "placement sweep" in out
+        assert "[FAIL]" not in out
+
+
+class TestAnalysisCommands:
+    def test_region_matches_sumrate(self, capsys):
+        args = ["--power-db", "10", "--gab-db", "-7", "--gar-db", "0",
+                "--gbr-db", "5"]
+        assert main(["region", "--protocol", "hbc", "--points", "9"] + args) == 0
+        region_out = capsys.readouterr().out
+        assert main(["sumrate"] + args) == 0
+        sumrate_out = capsys.readouterr().out
+        # Both views must report the same HBC optimum (3.3313 at P=10 dB).
+        assert "3.3313" in region_out
+        assert "3.3313" in sumrate_out
+
+    def test_simulate_protocols(self, capsys):
+        for protocol in ("dt", "mabc", "tdbc", "hbc"):
+            code = main([
+                "simulate", "--protocol", protocol, "--rounds", "2",
+                "--payload-bits", "32", "--power-db", "22",
+            ])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "goodput" in out

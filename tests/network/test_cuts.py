@@ -1,0 +1,54 @@
+"""Unit tests for repro.network.cuts."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.network.cuts import cuts_with_crossing_rate, enumerate_cuts
+from repro.network.model import bidirectional_relay_network
+
+
+class TestEnumerateCuts:
+    def test_three_nodes_give_six_cuts(self):
+        cuts = list(enumerate_cuts(("a", "b", "r")))
+        assert len(cuts) == 6
+
+    def test_matches_paper_enumeration(self):
+        cuts = list(enumerate_cuts(("a", "b", "r")))
+        expected = [
+            frozenset("a"), frozenset("b"), frozenset("r"),
+            frozenset(("a", "b")), frozenset(("a", "r")), frozenset(("b", "r")),
+        ]
+        assert cuts == expected
+
+    def test_two_nodes(self):
+        cuts = list(enumerate_cuts(("a", "b")))
+        assert cuts == [frozenset("a"), frozenset("b")]
+
+    def test_counts_scale_exponentially(self):
+        assert len(list(enumerate_cuts("abcd"))) == 2 ** 4 - 2
+
+    def test_single_node_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_cuts(("a",)))
+
+
+class TestCutsWithCrossingRate:
+    def test_df_network_has_five_active_cuts(self):
+        network = bidirectional_relay_network(relay_decodes=True)
+        active = cuts_with_crossing_rate(network)
+        # All six cuts minus S={r} (the paper's N/A entry).
+        assert len(active) == 5
+        assert frozenset("r") not in {cut for cut, _ in active}
+
+    def test_non_df_network_drops_ab_cut_too(self):
+        network = bidirectional_relay_network(relay_decodes=False)
+        active = cuts_with_crossing_rate(network)
+        cuts = {cut for cut, _ in active}
+        assert frozenset(("a", "b")) not in cuts
+        assert len(active) == 4
+
+    def test_messages_attached_to_cuts(self):
+        network = bidirectional_relay_network()
+        active = dict(cuts_with_crossing_rate(network))
+        assert {m.name for m in active[frozenset("a")]} == {"Ra"}
+        assert {m.name for m in active[frozenset(("a", "b"))]} == {"Ra", "Rb"}

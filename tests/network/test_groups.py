@@ -1,0 +1,130 @@
+"""Unit tests for repro.network.groups."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.network.groups import (
+    CyclicGroup,
+    RandomBinning,
+    XorGroup,
+    relay_combine,
+    relay_resolve,
+)
+
+
+class TestCyclicGroup:
+    def test_addition_wraps(self):
+        group = CyclicGroup(5)
+        assert group.add(3, 4) == 2
+
+    def test_identity(self):
+        group = CyclicGroup(7)
+        assert group.add(4, group.identity) == 4
+
+    def test_negate_inverts(self):
+        group = CyclicGroup(7)
+        for x in range(7):
+            assert group.add(x, group.negate(x)) == group.identity
+
+    def test_subtract(self):
+        group = CyclicGroup(7)
+        assert group.subtract(2, 5) == 4
+
+    def test_membership_enforced(self):
+        group = CyclicGroup(4)
+        with pytest.raises(InvalidParameterError):
+            group.add(4, 0)
+        with pytest.raises(InvalidParameterError):
+            group.negate(-1)
+
+    def test_order_one_is_trivial(self):
+        group = CyclicGroup(1)
+        assert group.add(0, 0) == 0
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CyclicGroup(0)
+
+
+class TestXorGroup:
+    def test_xor_addition(self):
+        group = XorGroup(4)
+        assert group.add(0b1010, 0b0110) == 0b1100
+
+    def test_every_element_self_inverse(self):
+        group = XorGroup(3)
+        for x in range(group.order):
+            assert group.add(x, x) == group.identity
+
+    def test_negate_is_identity_map(self):
+        group = XorGroup(3)
+        for x in range(group.order):
+            assert group.negate(x) == x
+
+    def test_order(self):
+        assert XorGroup(5).order == 32
+
+    def test_membership_enforced(self):
+        group = XorGroup(2)
+        with pytest.raises(InvalidParameterError):
+            group.add(4, 0)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            XorGroup(0)
+
+
+class TestRelayCombineResolve:
+    def test_roundtrip_cyclic(self):
+        group = CyclicGroup(37)
+        for wa in (0, 5, 36):
+            for wb in (0, 17, 36):
+                combined = relay_combine(group, wa, wb)
+                assert relay_resolve(group, combined, wa) == wb
+                assert relay_resolve(group, combined, wb) == wa
+
+    def test_roundtrip_xor(self):
+        group = XorGroup(8)
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            wa, wb = int(rng.integers(256)), int(rng.integers(256))
+            combined = relay_combine(group, wa, wb)
+            assert relay_resolve(group, combined, wa) == wb
+            assert relay_resolve(group, combined, wb) == wa
+
+
+class TestRandomBinning:
+    def test_assignment_shape(self, rng):
+        binning = RandomBinning(100, 8, rng)
+        assert binning.assignment.shape == (100,)
+        assert set(np.unique(binning.assignment)) <= set(range(8))
+
+    def test_bin_index_consistency(self, rng):
+        binning = RandomBinning(64, 4, rng)
+        for w in range(64):
+            assert w in binning.bin_members(binning.bin_index(w))
+
+    def test_bins_partition_messages(self, rng):
+        binning = RandomBinning(50, 5, rng)
+        members = np.concatenate([binning.bin_members(i) for i in range(5)])
+        assert sorted(members.tolist()) == list(range(50))
+
+    def test_roughly_uniform_occupancy(self):
+        binning = RandomBinning(100000, 10, np.random.default_rng(123))
+        counts = np.array([binning.bin_members(i).size for i in range(10)])
+        assert counts.min() > 9000
+        assert counts.max() < 11000
+
+    def test_out_of_range_queries_rejected(self, rng):
+        binning = RandomBinning(10, 2, rng)
+        with pytest.raises(InvalidParameterError):
+            binning.bin_index(10)
+        with pytest.raises(InvalidParameterError):
+            binning.bin_members(2)
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            RandomBinning(0, 2, rng)
+        with pytest.raises(InvalidParameterError):
+            RandomBinning(2, 0, rng)

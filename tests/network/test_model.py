@@ -1,0 +1,96 @@
+"""Unit tests for repro.network.model."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.network.model import Message, NetworkModel, bidirectional_relay_network
+
+
+class TestMessage:
+    def test_valid_message(self):
+        msg = Message("Ra", "a", {"b", "r"})
+        assert msg.source == "a"
+        assert msg.destinations == frozenset({"b", "r"})
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Message("Ra", "a", set())
+
+    def test_self_destination_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Message("Ra", "a", {"a", "b"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Message("", "a", {"b"})
+
+    def test_crosses_cut_source_inside_dest_outside(self):
+        msg = Message("Ra", "a", {"b", "r"})
+        assert msg.crosses_cut(frozenset("a"))
+        assert msg.crosses_cut(frozenset(("a", "b")))  # r still outside
+        assert msg.crosses_cut(frozenset(("a", "r")))  # b still outside
+
+    def test_does_not_cross_when_source_outside(self):
+        msg = Message("Ra", "a", {"b", "r"})
+        assert not msg.crosses_cut(frozenset("b"))
+        assert not msg.crosses_cut(frozenset(("b", "r")))
+
+    def test_does_not_cross_when_all_dests_inside(self):
+        msg = Message("Ra", "a", {"b"})
+        assert not msg.crosses_cut(frozenset(("a", "b")))
+
+
+class TestNetworkModel:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NetworkModel(nodes=("a", "a"), messages=())
+
+    def test_single_node_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NetworkModel(nodes=("a",), messages=())
+
+    def test_duplicate_message_names_rejected(self):
+        msgs = (Message("R", "a", {"b"}), Message("R", "b", {"a"}))
+        with pytest.raises(InvalidParameterError):
+            NetworkModel(nodes=("a", "b"), messages=msgs)
+
+    def test_unknown_node_in_message_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NetworkModel(nodes=("a", "b"), messages=(Message("R", "a", {"x"}),))
+
+    def test_message_lookup(self):
+        network = bidirectional_relay_network()
+        assert network.message_by_name("Ra").source == "a"
+        with pytest.raises(InvalidParameterError):
+            network.message_by_name("Rx")
+
+    def test_crossing_messages_unknown_cut_rejected(self):
+        network = bidirectional_relay_network()
+        with pytest.raises(InvalidParameterError):
+            network.crossing_messages({"z"})
+
+
+class TestBidirectionalRelayNetwork:
+    def test_df_mode_cut_ab_carries_both(self):
+        network = bidirectional_relay_network(relay_decodes=True)
+        crossing = network.crossing_messages({"a", "b"})
+        assert {m.name for m in crossing} == {"Ra", "Rb"}
+
+    def test_non_df_mode_cut_ab_empty(self):
+        network = bidirectional_relay_network(relay_decodes=False)
+        assert network.crossing_messages({"a", "b"}) == ()
+
+    def test_relay_cut_carries_nothing(self):
+        for df in (True, False):
+            network = bidirectional_relay_network(relay_decodes=df)
+            assert network.crossing_messages({"r"}) == ()
+
+    def test_singleton_cuts(self):
+        network = bidirectional_relay_network()
+        assert {m.name for m in network.crossing_messages({"a"})} == {"Ra"}
+        assert {m.name for m in network.crossing_messages({"b"})} == {"Rb"}
+
+    def test_paired_cuts(self):
+        network = bidirectional_relay_network()
+        assert {m.name for m in network.crossing_messages({"a", "r"})} == {"Ra"}
+        assert {m.name for m in network.crossing_messages({"b", "r"})} == {"Rb"}

@@ -1,0 +1,72 @@
+"""Unit tests for the LP facade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InfeasibleProblemError,
+    InvalidParameterError,
+    UnboundedProblemError,
+)
+from repro.optimize.linprog import LinearProgram, solve_lp
+
+
+class TestLinearProgram:
+    def test_dimension_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinearProgram(c=[1.0, 2.0], a_ub=[[1.0]], b_ub=[1.0])
+
+    def test_matrix_without_rhs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=None)
+
+    def test_n_variables(self):
+        assert LinearProgram(c=[1.0, 2.0, 3.0]).n_variables == 3
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["scipy", "simplex"])
+    def test_both_backends_solve(self, backend):
+        problem = LinearProgram(
+            c=[-3.0, -5.0],
+            a_ub=[[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+            b_ub=[4.0, 12.0, 18.0],
+        )
+        result = solve_lp(problem, backend=backend)
+        assert result.objective == pytest.approx(-36.0)
+        assert result.backend == backend
+
+    @pytest.mark.parametrize("backend", ["scipy", "simplex"])
+    def test_infeasible_uniform_error(self, backend):
+        problem = LinearProgram(
+            c=[1.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -2.0]
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solve_lp(problem, backend=backend)
+
+    @pytest.mark.parametrize("backend", ["scipy", "simplex"])
+    def test_unbounded_uniform_error(self, backend):
+        problem = LinearProgram(c=[-1.0])
+        with pytest.raises(UnboundedProblemError):
+            solve_lp(problem, backend=backend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_lp(LinearProgram(c=[1.0]), backend="cplex")
+
+    def test_backends_agree_on_random_problems(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(2, 5))
+            problem = LinearProgram(
+                c=rng.normal(size=n),
+                a_ub=np.vstack([rng.normal(size=(2, n)), np.eye(n)]),
+                b_ub=np.concatenate([rng.uniform(1, 3, size=2), np.full(n, 4.0)]),
+                a_eq=np.ones((1, n)),
+                b_eq=[1.0],
+            )
+            scipy_result = solve_lp(problem, backend="scipy")
+            simplex_result = solve_lp(problem, backend="simplex")
+            assert scipy_result.objective == pytest.approx(
+                simplex_result.objective, abs=1e-7
+            )

@@ -1,0 +1,73 @@
+"""Unit tests for scalar search utilities."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.optimize.search import find_crossover, golden_section_maximize, grid_maximize
+
+
+class TestGoldenSection:
+    def test_parabola_peak(self):
+        result = golden_section_maximize(lambda x: -(x - 1.3) ** 2, 0.0, 3.0)
+        assert result.x == pytest.approx(1.3, abs=1e-6)
+        assert result.value == pytest.approx(0.0, abs=1e-10)
+
+    def test_boundary_maximum(self):
+        result = golden_section_maximize(lambda x: x, 0.0, 2.0)
+        assert result.x == pytest.approx(2.0, abs=1e-6)
+
+    def test_sine_peak(self):
+        result = golden_section_maximize(math.sin, 0.0, math.pi)
+        assert result.x == pytest.approx(math.pi / 2, abs=1e-6)
+
+    def test_domain_validation(self):
+        with pytest.raises(InvalidParameterError):
+            golden_section_maximize(lambda x: x, 1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            golden_section_maximize(lambda x: x, 0.0, 1.0, tol=0.0)
+
+
+class TestGridMaximize:
+    def test_finds_global_max_of_bimodal(self):
+        # Two peaks; the higher one is at x = 2.5.
+        def f(x):
+            return math.exp(-((x - 0.5) ** 2) * 8) + 1.2 * math.exp(
+                -((x - 2.5) ** 2) * 8
+            )
+
+        result = grid_maximize(f, 0.0, 3.0, n_points=61, refinements=4)
+        assert result.x == pytest.approx(2.5, abs=1e-3)
+
+    def test_refinements_tighten(self):
+        coarse = grid_maximize(lambda x: -(x - 1.234567) ** 2, 0.0, 3.0,
+                               n_points=11, refinements=0)
+        fine = grid_maximize(lambda x: -(x - 1.234567) ** 2, 0.0, 3.0,
+                             n_points=11, refinements=6)
+        assert abs(fine.x - 1.234567) <= abs(coarse.x - 1.234567) + 1e-12
+
+    def test_domain_validation(self):
+        with pytest.raises(InvalidParameterError):
+            grid_maximize(lambda x: x, 2.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            grid_maximize(lambda x: x, 0.0, 1.0, n_points=2)
+        with pytest.raises(InvalidParameterError):
+            grid_maximize(lambda x: x, 0.0, 1.0, refinements=-1)
+
+
+class TestFindCrossover:
+    def test_linear_root(self):
+        assert find_crossover(lambda x: x - 1.5, 0.0, 3.0) == pytest.approx(1.5)
+
+    def test_endpoint_roots(self):
+        assert find_crossover(lambda x: x, 0.0, 1.0) == 0.0
+        assert find_crossover(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_requires_sign_change(self):
+        with pytest.raises(InvalidParameterError):
+            find_crossover(lambda x: x + 1.0, 0.0, 1.0)
+
+    def test_nonlinear_root(self):
+        root = find_crossover(lambda x: math.cos(x), 0.0, 3.0)
+        assert root == pytest.approx(math.pi / 2, abs=1e-7)

@@ -1,0 +1,133 @@
+"""Unit tests for the from-scratch simplex solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InfeasibleProblemError,
+    InvalidParameterError,
+    UnboundedProblemError,
+)
+from repro.optimize.simplex import simplex_solve
+
+
+class TestBasicProblems:
+    def test_simple_maximization(self):
+        # max x1 + x2 s.t. x1 <= 2, x2 <= 3  -> (2, 3)
+        result = simplex_solve(
+            c=[-1.0, -1.0],
+            a_ub=[[1.0, 0.0], [0.0, 1.0]],
+            b_ub=[2.0, 3.0],
+        )
+        assert result.objective == pytest.approx(-5.0)
+        np.testing.assert_allclose(result.x, [2.0, 3.0], atol=1e-9)
+
+    def test_classic_lp(self):
+        # max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36
+        result = simplex_solve(
+            c=[-3.0, -5.0],
+            a_ub=[[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+            b_ub=[4.0, 12.0, 18.0],
+        )
+        assert result.objective == pytest.approx(-36.0)
+        np.testing.assert_allclose(result.x, [2.0, 6.0], atol=1e-8)
+
+    def test_equality_constraints(self):
+        # min x1 + 2 x2 s.t. x1 + x2 == 1 -> (1, 0)
+        result = simplex_solve(c=[1.0, 2.0], a_eq=[[1.0, 1.0]], b_eq=[1.0])
+        assert result.objective == pytest.approx(1.0)
+        np.testing.assert_allclose(result.x, [1.0, 0.0], atol=1e-9)
+
+    def test_mixed_constraints(self):
+        # max x1 s.t. x1 + x2 == 1, x1 <= 0.25
+        result = simplex_solve(
+            c=[-1.0, 0.0],
+            a_ub=[[1.0, 0.0]],
+            b_ub=[0.25],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[1.0],
+        )
+        assert result.x[0] == pytest.approx(0.25)
+        assert result.x[1] == pytest.approx(0.75)
+
+    def test_negative_rhs_normalized(self):
+        # x1 - x2 <= -1 with min x1 -> x must satisfy x2 >= x1 + 1.
+        result = simplex_solve(c=[1.0, 0.0], a_ub=[[1.0, -1.0]], b_ub=[-1.0])
+        assert result.objective == pytest.approx(0.0)
+        assert result.x[1] >= 1.0 - 1e-9
+
+    def test_unconstrained_zero_optimum(self):
+        result = simplex_solve(c=[1.0, 2.0])
+        np.testing.assert_allclose(result.x, [0.0, 0.0])
+
+
+class TestEdgeCases:
+    def test_infeasible_detected(self):
+        with pytest.raises(InfeasibleProblemError):
+            simplex_solve(
+                c=[1.0],
+                a_ub=[[1.0]],
+                b_ub=[1.0],
+                a_eq=[[1.0]],
+                b_eq=[2.0],
+            )
+
+    def test_contradictory_inequalities_infeasible(self):
+        # x <= 1 and -x <= -2 (i.e. x >= 2)
+        with pytest.raises(InfeasibleProblemError):
+            simplex_solve(c=[0.0], a_ub=[[1.0], [-1.0]], b_ub=[1.0, -2.0])
+
+    def test_unbounded_detected(self):
+        with pytest.raises(UnboundedProblemError):
+            simplex_solve(c=[-1.0], a_ub=[[-1.0]], b_ub=[0.0])
+
+    def test_unbounded_without_constraints(self):
+        with pytest.raises(UnboundedProblemError):
+            simplex_solve(c=[-1.0, 0.0])
+
+    def test_degenerate_redundant_constraints(self):
+        # Duplicate rows must not break phase 1/2 transitions.
+        result = simplex_solve(
+            c=[-1.0, -1.0],
+            a_ub=[[1.0, 1.0], [1.0, 1.0], [1.0, 0.0]],
+            b_ub=[1.0, 1.0, 1.0],
+        )
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_zero_rhs_equality(self):
+        result = simplex_solve(
+            c=[1.0, 1.0],
+            a_eq=[[1.0, -1.0]],
+            b_eq=[0.0],
+        )
+        assert result.objective == pytest.approx(0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            simplex_solve(c=[1.0, 2.0], a_ub=[[1.0]], b_ub=[1.0])
+
+    def test_empty_objective_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            simplex_solve(c=[])
+
+
+class TestAgainstScipy:
+    def test_random_feasible_problems_match_scipy(self):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(11)
+        for trial in range(25):
+            n, m = int(rng.integers(2, 6)), int(rng.integers(1, 5))
+            c = rng.normal(size=n)
+            a_ub = rng.normal(size=(m, n))
+            # Guarantee a bounded feasible region: cap every variable.
+            a_ub = np.vstack([a_ub, np.eye(n)])
+            b_ub = np.concatenate([rng.uniform(0.5, 2.0, size=m),
+                                   np.full(n, 5.0)])
+            ours = simplex_solve(c, a_ub=a_ub, b_ub=b_ub)
+            ref = linprog(c, A_ub=a_ub, b_ub=b_ub,
+                          bounds=[(0, None)] * n, method="highs")
+            assert ref.success
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-7), (
+                f"trial {trial}: simplex {ours.objective} vs scipy {ref.fun}"
+            )

@@ -1,0 +1,135 @@
+"""Property-based tests for the coding/modulation pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.bits import bits_to_int, int_to_bits, pad_bits, xor_bits
+from repro.simulation.convolutional import TEST_CODE
+from repro.simulation.crc import CRC8, CRC16_CCITT
+from repro.simulation.interleaver import BlockInterleaver, RandomInterleaver
+from repro.simulation.linkcodec import LinkCodec
+from repro.simulation.modulation import Bpsk, Qpsk, hard_decisions
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1),
+                     min_size=1, max_size=200)
+
+
+class TestBitUtilityProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 30 - 1))
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 30)) == value
+
+    @given(bit_lists)
+    def test_xor_self_annihilates(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert xor_bits(arr, arr).sum() == 0
+
+    @given(bit_lists, st.integers(min_value=0, max_value=50))
+    def test_pad_preserves_prefix(self, bits, extra):
+        arr = np.array(bits, dtype=np.uint8)
+        padded = pad_bits(arr, arr.size + extra)
+        np.testing.assert_array_equal(padded[: arr.size], arr)
+        assert padded[arr.size:].sum() == 0
+
+
+class TestCrcProperties:
+    @given(bit_lists)
+    def test_append_check_roundtrip(self, bits):
+        frame = CRC16_CCITT.append(np.array(bits, dtype=np.uint8))
+        assert CRC16_CCITT.check(frame)
+
+    @given(bit_lists, st.integers(min_value=0, max_value=10 ** 9))
+    def test_single_flip_always_detected(self, bits, position_seed):
+        frame = CRC8.append(np.array(bits, dtype=np.uint8))
+        corrupted = frame.copy()
+        corrupted[position_seed % frame.size] ^= 1
+        assert not CRC8.check(corrupted)
+
+    @given(bit_lists)
+    def test_linearity(self, bits):
+        a = np.array(bits, dtype=np.uint8)
+        b = np.roll(a, 1)
+        lhs = CRC16_CCITT.checksum(xor_bits(a, b))
+        rhs = xor_bits(CRC16_CCITT.checksum(a), CRC16_CCITT.checksum(b))
+        np.testing.assert_array_equal(lhs, rhs)
+
+
+class TestConvolutionalProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(bit_lists)
+    def test_decode_encode_identity(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        coded = TEST_CODE.encode(arr)
+        decoded = TEST_CODE.decode_hard(coded, arr.size)
+        np.testing.assert_array_equal(decoded, arr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bit_lists, st.integers(min_value=0, max_value=10 ** 9))
+    def test_single_coded_bit_error_corrected(self, bits, position_seed):
+        arr = np.array(bits, dtype=np.uint8)
+        coded = TEST_CODE.encode(arr)
+        corrupted = coded.copy()
+        corrupted[position_seed % coded.size] ^= 1
+        decoded = TEST_CODE.decode_hard(corrupted, arr.size)
+        np.testing.assert_array_equal(decoded, arr)
+
+    @given(bit_lists, bit_lists)
+    def test_linearity(self, bits_a, bits_b):
+        n = min(len(bits_a), len(bits_b))
+        a = np.array(bits_a[:n], dtype=np.uint8)
+        b = np.array(bits_b[:n], dtype=np.uint8)
+        lhs = TEST_CODE.encode(np.bitwise_xor(a, b))
+        rhs = np.bitwise_xor(TEST_CODE.encode(a), TEST_CODE.encode(b))
+        np.testing.assert_array_equal(lhs, rhs)
+
+
+class TestInterleaverProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1),
+           st.integers(min_value=1, max_value=500))
+    def test_random_interleaver_roundtrip(self, seed, length):
+        interleaver = RandomInterleaver(seed=seed)
+        data = np.arange(length)
+        out = interleaver.deinterleave(interleaver.interleave(data))
+        np.testing.assert_array_equal(out, data)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12),
+           st.data())
+    def test_block_interleaver_roundtrip(self, n_rows, n_cols, data):
+        length = data.draw(st.integers(min_value=1, max_value=n_rows * n_cols))
+        interleaver = BlockInterleaver(rows=n_rows, cols=n_cols)
+        values = np.arange(length)
+        out = interleaver.deinterleave(interleaver.interleave(values))
+        np.testing.assert_array_equal(out, values)
+
+
+class TestModulationProperties:
+    @given(bit_lists)
+    def test_bpsk_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        mod = Bpsk()
+        llrs = mod.demodulate_llr(mod.modulate(arr), 1.0 + 0j, noise_power=1.0)
+        np.testing.assert_array_equal(hard_decisions(llrs), arr)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1),
+                    min_size=2, max_size=200).filter(lambda b: len(b) % 2 == 0))
+    def test_qpsk_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        mod = Qpsk()
+        llrs = mod.demodulate_llr(mod.modulate(arr), 1.0 + 0j, noise_power=1.0)
+        np.testing.assert_array_equal(hard_decisions(llrs), arr)
+
+
+class TestLinkCodecProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=8, max_value=64),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_clean_roundtrip_any_size(self, payload_bits, seed):
+        rng = np.random.default_rng(seed)
+        codec = LinkCodec(payload_bits=payload_bits, code=TEST_CODE, crc=CRC8)
+        payload = rng.integers(0, 2, size=payload_bits, dtype=np.uint8)
+        frame = codec.decode(codec.encode(payload), 1.0 + 0j, 1e-9)
+        assert frame.crc_ok
+        np.testing.assert_array_equal(frame.payload, payload)

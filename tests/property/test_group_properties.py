@@ -1,0 +1,80 @@
+"""Property-based tests for the group algebra (network coding substrate)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.groups import CyclicGroup, XorGroup, relay_combine, relay_resolve
+
+orders = st.integers(min_value=1, max_value=10_000)
+widths = st.integers(min_value=1, max_value=24)
+
+
+@st.composite
+def cyclic_group_and_elements(draw, n_elements=3):
+    order = draw(orders)
+    elements = [draw(st.integers(min_value=0, max_value=order - 1))
+                for _ in range(n_elements)]
+    return CyclicGroup(order), elements
+
+
+@st.composite
+def xor_group_and_elements(draw, n_elements=3):
+    width = draw(widths)
+    elements = [draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+                for _ in range(n_elements)]
+    return XorGroup(width), elements
+
+
+class TestCyclicGroupLaws:
+    @given(cyclic_group_and_elements())
+    def test_associativity(self, data):
+        group, (x, y, z) = data
+        assert group.add(group.add(x, y), z) == group.add(x, group.add(y, z))
+
+    @given(cyclic_group_and_elements(n_elements=1))
+    def test_identity(self, data):
+        group, (x,) = data
+        assert group.add(x, group.identity) == x
+        assert group.add(group.identity, x) == x
+
+    @given(cyclic_group_and_elements(n_elements=1))
+    def test_inverse(self, data):
+        group, (x,) = data
+        assert group.add(x, group.negate(x)) == group.identity
+
+    @given(cyclic_group_and_elements(n_elements=2))
+    def test_commutativity(self, data):
+        group, (x, y) = data
+        assert group.add(x, y) == group.add(y, x)
+
+    @given(cyclic_group_and_elements(n_elements=2))
+    def test_relay_roundtrip(self, data):
+        """The Theorem-2 decoding step: own message + combined -> partner."""
+        group, (wa, wb) = data
+        combined = relay_combine(group, wa, wb)
+        assert relay_resolve(group, combined, wa) == wb
+        assert relay_resolve(group, combined, wb) == wa
+
+
+class TestXorGroupLaws:
+    @given(xor_group_and_elements())
+    def test_associativity(self, data):
+        group, (x, y, z) = data
+        assert group.add(group.add(x, y), z) == group.add(x, group.add(y, z))
+
+    @given(xor_group_and_elements(n_elements=1))
+    def test_self_inverse(self, data):
+        group, (x,) = data
+        assert group.add(x, x) == group.identity
+
+    @given(xor_group_and_elements(n_elements=2))
+    def test_relay_roundtrip(self, data):
+        group, (wa, wb) = data
+        combined = relay_combine(group, wa, wb)
+        assert relay_resolve(group, combined, wa) == wb
+        assert relay_resolve(group, combined, wb) == wa
+
+    @given(xor_group_and_elements(n_elements=2))
+    def test_commutativity(self, data):
+        group, (x, y) = data
+        assert group.add(x, y) == group.add(y, x)

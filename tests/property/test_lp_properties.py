@@ -1,0 +1,79 @@
+"""Property-based cross-validation of the two LP backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleProblemError, UnboundedProblemError
+from repro.optimize.linprog import LinearProgram, solve_lp
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def random_bounded_lp(seed: int) -> LinearProgram:
+    """A random LP with a bounded, non-empty feasible set.
+
+    Feasibility: x = 0 satisfies every `A x <= b` with b >= 0.
+    Boundedness: every variable is capped by an identity row.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    m = int(rng.integers(1, 5))
+    a_ub = np.vstack([rng.normal(size=(m, n)), np.eye(n)])
+    b_ub = np.concatenate([rng.uniform(0.1, 2.0, size=m),
+                           rng.uniform(0.5, 5.0, size=n)])
+    c = rng.normal(size=n)
+    return LinearProgram(c=c, a_ub=a_ub, b_ub=b_ub)
+
+
+def random_simplex_lp(seed: int) -> LinearProgram:
+    """A random LP over the probability simplex (like duration problems)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    c = rng.normal(size=n)
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    a_ub = rng.normal(size=(2, n))
+    b_ub = rng.uniform(0.5, 3.0, size=2)
+    return LinearProgram(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+
+
+class TestBackendAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_bounded_lps_agree(self, seed):
+        problem = random_bounded_lp(seed)
+        ours = solve_lp(problem, backend="simplex")
+        ref = solve_lp(problem, backend="scipy")
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_simplex_constrained_lps_agree(self, seed):
+        problem = random_simplex_lp(seed)
+        try:
+            ref = solve_lp(problem, backend="scipy")
+        except InfeasibleProblemError:
+            with pytest.raises(InfeasibleProblemError):
+                solve_lp(problem, backend="simplex")
+            return
+        ours = solve_lp(problem, backend="simplex")
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_solutions_are_feasible(self, seed):
+        problem = random_bounded_lp(seed)
+        for backend in ("simplex", "scipy"):
+            result = solve_lp(problem, backend=backend)
+            assert np.all(result.x >= -1e-9)
+            assert np.all(problem.a_ub @ result.x <= problem.b_ub + 1e-7)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_objective_matches_point(self, seed):
+        problem = random_bounded_lp(seed)
+        result = solve_lp(problem, backend="simplex")
+        assert result.objective == pytest.approx(float(problem.c @ result.x),
+                                                 abs=1e-9)

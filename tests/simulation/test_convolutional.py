@@ -1,0 +1,121 @@
+"""Unit tests for the convolutional code and Viterbi decoder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.bits import random_bits
+from repro.simulation.convolutional import NASA_CODE, TEST_CODE, ConvolutionalCode
+
+
+class TestEncoding:
+    def test_output_length(self):
+        assert TEST_CODE.n_coded_bits(10) == (10 + 2) * 2
+        assert NASA_CODE.n_coded_bits(100) == (100 + 6) * 2
+
+    def test_known_sequence_k3(self):
+        # (5, 7) code: g0 = 101, g1 = 111. Input 1 0 0 (impulse) gives the
+        # generator taps on the two output streams.
+        coded = TEST_CODE.encode([1])
+        # T = 3 steps; outputs interleaved (g0, g1) per step.
+        np.testing.assert_array_equal(coded, [1, 1, 0, 1, 1, 1])
+
+    def test_linearity(self, rng):
+        a = random_bits(rng, 20)
+        b = random_bits(rng, 20)
+        lhs = TEST_CODE.encode(np.bitwise_xor(a, b))
+        rhs = np.bitwise_xor(TEST_CODE.encode(a), TEST_CODE.encode(b))
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_zero_input_gives_zero_output(self):
+        coded = TEST_CODE.encode(np.zeros(16, dtype=np.uint8))
+        assert coded.sum() == 0
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TEST_CODE.encode([])
+
+    def test_generator_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ConvolutionalCode(generators=(0o17,), constraint_length=3)
+        with pytest.raises(InvalidParameterError):
+            ConvolutionalCode(generators=(), constraint_length=3)
+        with pytest.raises(InvalidParameterError):
+            ConvolutionalCode(generators=(0o5,), constraint_length=1)
+
+
+class TestViterbiDecoding:
+    @pytest.mark.parametrize("code", [TEST_CODE, NASA_CODE], ids=["k3", "k7"])
+    def test_noiseless_roundtrip(self, code, rng):
+        for length in (1, 8, 57):
+            bits = random_bits(rng, length)
+            coded = code.encode(bits)
+            np.testing.assert_array_equal(code.decode_hard(coded, length), bits)
+
+    def test_corrects_scattered_errors_k7(self, rng):
+        bits = random_bits(rng, 120)
+        coded = NASA_CODE.encode(bits)
+        corrupted = coded.copy()
+        # d_free = 10 for (133, 171): 4 well-separated errors are correctable.
+        for position in (5, 60, 130, 200):
+            corrupted[position] ^= 1
+        np.testing.assert_array_equal(
+            NASA_CODE.decode_hard(corrupted, 120), bits
+        )
+
+    def test_corrects_two_adjacent_errors_k3(self, rng):
+        bits = random_bits(rng, 40)
+        coded = TEST_CODE.encode(bits)
+        corrupted = coded.copy()
+        corrupted[10] ^= 1
+        corrupted[30] ^= 1
+        np.testing.assert_array_equal(TEST_CODE.decode_hard(corrupted, 40), bits)
+
+    def test_soft_beats_hard_at_moderate_noise(self):
+        """Soft-decision Viterbi must not be worse than hard-decision."""
+        rng = np.random.default_rng(99)
+        code = TEST_CODE
+        n_info, n_trials, sigma = 60, 60, 0.9
+        hard_errors = soft_errors = 0
+        for _ in range(n_trials):
+            bits = random_bits(rng, n_info)
+            coded = code.encode(bits).astype(float)
+            tx = 1.0 - 2.0 * coded
+            rx = tx + rng.normal(0.0, sigma, size=tx.shape)
+            llrs = 2.0 * rx / sigma**2
+            soft = code.decode(llrs, n_info)
+            hard = code.decode_hard((rx < 0).astype(np.uint8), n_info)
+            soft_errors += int(np.sum(soft != bits))
+            hard_errors += int(np.sum(hard != bits))
+        assert soft_errors <= hard_errors
+
+    def test_llr_length_validated(self):
+        with pytest.raises(InvalidParameterError):
+            TEST_CODE.decode(np.zeros(10), 10)
+
+    def test_decode_prefers_likely_path(self):
+        # All-zero LLRs strongly favouring 0 decode to the all-zero word.
+        n_info = 12
+        llrs = np.full(TEST_CODE.n_coded_bits(n_info), 5.0)
+        np.testing.assert_array_equal(
+            TEST_CODE.decode(llrs, n_info), np.zeros(n_info, dtype=np.uint8)
+        )
+
+
+class TestCodeProperties:
+    def test_rate(self):
+        assert TEST_CODE.n_outputs == 2
+        assert NASA_CODE.n_states == 64
+
+    def test_rate_third_code(self, rng):
+        code = ConvolutionalCode(generators=(0o5, 0o7, 0o7), constraint_length=3)
+        bits = random_bits(rng, 30)
+        coded = code.encode(bits)
+        assert coded.size == (30 + 2) * 3
+        np.testing.assert_array_equal(code.decode_hard(coded, 30), bits)
+
+    def test_trellis_tables_cached(self):
+        code = ConvolutionalCode(generators=(0o5, 0o7), constraint_length=3)
+        first = code._trellis()
+        second = code._trellis()
+        assert first is second

@@ -1,0 +1,96 @@
+"""Unit tests for repro.simulation.crc."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.bits import random_bits, xor_bits
+from repro.simulation.crc import CRC8, CRC16_CCITT, CRC32, CrcCode
+
+
+@pytest.fixture(params=[CRC8, CRC16_CCITT, CRC32],
+                ids=["crc8", "crc16", "crc32"])
+def crc(request):
+    return request.param
+
+
+class TestChecksumMechanics:
+    def test_checksum_width(self, crc, rng):
+        payload = random_bits(rng, 40)
+        assert crc.checksum(payload).shape == (crc.n_bits,)
+
+    def test_append_then_check(self, crc, rng):
+        frame = crc.append(random_bits(rng, 64))
+        assert crc.check(frame)
+
+    def test_single_bit_flip_detected(self, crc, rng):
+        frame = crc.append(random_bits(rng, 64))
+        for position in (0, 17, frame.size - 1):
+            corrupted = frame.copy()
+            corrupted[position] ^= 1
+            assert not crc.check(corrupted)
+
+    def test_burst_error_detected(self, crc, rng):
+        frame = crc.append(random_bits(rng, 64))
+        corrupted = frame.copy()
+        corrupted[10:10 + crc.n_bits // 2] ^= 1
+        assert not crc.check(corrupted)
+
+    def test_strip_returns_payload(self, crc, rng):
+        payload = random_bits(rng, 32)
+        np.testing.assert_array_equal(crc.strip(crc.append(payload)), payload)
+
+    def test_short_frame_fails_check(self, crc):
+        assert not crc.check(np.zeros(crc.n_bits - 1, dtype=np.uint8))
+
+    def test_strip_short_frame_rejected(self, crc):
+        with pytest.raises(InvalidParameterError):
+            crc.strip(np.zeros(crc.n_bits - 1, dtype=np.uint8))
+
+
+class TestLinearity:
+    """Zero-init CRCs are GF(2)-linear — the property the XOR relay relies on."""
+
+    def test_checksum_of_xor_is_xor_of_checksums(self, crc, rng):
+        for _ in range(5):
+            a = random_bits(rng, 48)
+            b = random_bits(rng, 48)
+            lhs = crc.checksum(xor_bits(a, b))
+            rhs = xor_bits(crc.checksum(a), crc.checksum(b))
+            np.testing.assert_array_equal(lhs, rhs)
+
+    def test_xor_of_valid_frames_is_valid(self, crc, rng):
+        frame_a = crc.append(random_bits(rng, 48))
+        frame_b = crc.append(random_bits(rng, 48))
+        assert crc.check(xor_bits(frame_a, frame_b))
+
+    def test_zero_payload_has_zero_checksum(self, crc):
+        assert crc.checksum(np.zeros(40, dtype=np.uint8)).sum() == 0
+
+
+class TestValidation:
+    def test_bad_polynomial_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CrcCode(polynomial=0, n_bits=8)
+        with pytest.raises(InvalidParameterError):
+            CrcCode(polynomial=1 << 8, n_bits=8)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CrcCode(polynomial=1, n_bits=0)
+
+    def test_known_crc16_vector(self):
+        # CRC-16-CCITT with zero init of the 8-bit message 0x31 ('1').
+        # Independently computed with a reference bitwise implementation.
+        bits = [0, 0, 1, 1, 0, 0, 0, 1]
+        checksum = CRC16_CCITT.checksum(bits)
+        value = int("".join(map(str, checksum)), 2)
+        assert value == 0x2672
+
+    def test_crc16_check_string(self):
+        # The classic CRC-16/XMODEM check string "123456789" -> 0x31C3.
+        bits = []
+        for ch in b"123456789":
+            bits.extend((ch >> (7 - i)) & 1 for i in range(8))
+        checksum = CRC16_CCITT.checksum(bits)
+        assert int("".join(map(str, checksum)), 2) == 0x31C3

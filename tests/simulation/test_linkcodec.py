@@ -1,0 +1,119 @@
+"""Unit tests for repro.simulation.linkcodec."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.bits import random_bits
+from repro.simulation.convolutional import TEST_CODE
+from repro.simulation.crc import CRC8
+from repro.simulation.linkcodec import LinkCodec, default_codec
+
+
+@pytest.fixture
+def codec():
+    """A small, fast codec for unit tests."""
+    return LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8)
+
+
+class TestDimensions:
+    def test_frame_bits(self, codec):
+        assert codec.frame_bits == 32 + 8
+
+    def test_coded_bits(self, codec):
+        assert codec.coded_bits == (40 + 2) * 2
+
+    def test_n_symbols_bpsk(self, codec):
+        assert codec.n_symbols == codec.coded_bits
+
+    def test_rate(self, codec):
+        assert codec.rate == pytest.approx(32 / codec.n_symbols)
+
+    def test_default_codec_dimensions(self):
+        codec = default_codec(128)
+        assert codec.frame_bits == 128 + 16
+        assert codec.coded_bits == (144 + 6) * 2
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LinkCodec(payload_bits=0)
+
+
+class TestRoundtrip:
+    def test_noiseless(self, codec, rng):
+        payload = random_bits(rng, 32)
+        symbols = codec.encode(payload)
+        frame = codec.decode(symbols, 1.0 + 0j, noise_power=1e-9)
+        assert frame.crc_ok
+        np.testing.assert_array_equal(frame.payload, payload)
+
+    def test_with_gain_and_amplitude(self, codec, rng):
+        payload = random_bits(rng, 32)
+        gain = 0.4 * np.exp(1j * 1.2)
+        amplitude = 2.5
+        received = amplitude * gain * codec.encode(payload)
+        frame = codec.decode(received, gain, noise_power=1e-9,
+                             amplitude=amplitude)
+        assert frame.crc_ok
+        np.testing.assert_array_equal(frame.payload, payload)
+
+    def test_moderate_noise_decodes(self, codec, rng):
+        payload = random_bits(rng, 32)
+        received = 3.0 * codec.encode(payload) + 0.5 * (
+            rng.normal(size=codec.n_symbols)
+            + 1j * rng.normal(size=codec.n_symbols)
+        )
+        frame = codec.decode(received, 1.0 + 0j, noise_power=0.25,
+                             amplitude=3.0)
+        assert frame.crc_ok
+        np.testing.assert_array_equal(frame.payload, payload)
+
+    def test_pure_noise_fails_crc(self, codec, rng):
+        noise = rng.normal(size=codec.n_symbols) + 1j * rng.normal(
+            size=codec.n_symbols
+        )
+        frame = codec.decode(noise, 1.0 + 0j, noise_power=1.0)
+        assert not frame.crc_ok
+
+    def test_frame_bits_roundtrip(self, codec, rng):
+        frame_bits = codec.crc.append(random_bits(rng, 32))
+        symbols = codec.encode_frame_bits(frame_bits)
+        decoded = codec.decode(symbols, 1.0 + 0j, noise_power=1e-9)
+        np.testing.assert_array_equal(decoded.frame_bits, frame_bits)
+
+
+class TestValidation:
+    def test_wrong_payload_size_rejected(self, codec, rng):
+        with pytest.raises(InvalidParameterError):
+            codec.encode(random_bits(rng, 31))
+
+    def test_wrong_frame_size_rejected(self, codec, rng):
+        with pytest.raises(InvalidParameterError):
+            codec.encode_frame_bits(random_bits(rng, 32))
+
+    def test_wrong_symbol_count_rejected(self, codec):
+        with pytest.raises(InvalidParameterError):
+            codec.decode(np.zeros(5, dtype=complex), 1.0 + 0j, 1.0)
+
+    def test_wrong_llr_count_rejected(self, codec):
+        with pytest.raises(InvalidParameterError):
+            codec.decode_llrs(np.zeros(5))
+
+
+class TestInterleaving:
+    def test_different_seeds_give_different_symbols(self, rng):
+        payload = random_bits(rng, 32)
+        codec_a = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
+                            interleaver_seed=1)
+        codec_b = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
+                            interleaver_seed=2)
+        assert not np.allclose(codec_a.encode(payload), codec_b.encode(payload))
+
+    def test_seed_mismatch_breaks_decoding(self, rng):
+        payload = random_bits(rng, 32)
+        codec_a = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
+                            interleaver_seed=1)
+        codec_b = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
+                            interleaver_seed=2)
+        frame = codec_b.decode(codec_a.encode(payload), 1.0 + 0j, 1e-9)
+        assert not frame.crc_ok

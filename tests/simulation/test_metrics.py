@@ -1,0 +1,85 @@
+"""Unit tests for repro.simulation.metrics."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.metrics import LinkCounter, ThroughputReport, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_all_successes_upper_is_one_ish(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == pytest.approx(1.0)
+        assert lo > 0.9
+
+    def test_no_successes_lower_is_zero(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == pytest.approx(0.0)
+        assert hi < 0.1
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(5, 4)
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(-1, 4)
+
+
+class TestLinkCounter:
+    def test_accumulates(self):
+        counter = LinkCounter()
+        counter.record(success=True, n_bits=100, n_bit_errors=0)
+        counter.record(success=False, n_bits=100, n_bit_errors=7)
+        assert counter.frames == 2
+        assert counter.fer == pytest.approx(0.5)
+        assert counter.ber == pytest.approx(7 / 200)
+
+    def test_empty_counter_rates_zero(self):
+        counter = LinkCounter()
+        assert counter.fer == 0.0
+        assert counter.ber == 0.0
+
+    def test_invalid_bit_counts_rejected(self):
+        counter = LinkCounter()
+        with pytest.raises(InvalidParameterError):
+            counter.record(success=True, n_bits=10, n_bit_errors=11)
+
+    def test_fer_interval(self):
+        counter = LinkCounter()
+        for _ in range(10):
+            counter.record(success=False, n_bits=10, n_bit_errors=1)
+        lo, hi = counter.fer_interval()
+        assert lo > 0.6
+
+
+class TestThroughputReport:
+    def test_goodput_accounting(self):
+        report = ThroughputReport()
+        report.add_symbols(1000)
+        report.record("a->b", delivered_bits=128)
+        report.record("b->a", delivered_bits=128)
+        assert report.sum_throughput == pytest.approx(0.256)
+        assert report.direction_throughput("a->b") == pytest.approx(0.128)
+
+    def test_empty_report(self):
+        report = ThroughputReport()
+        assert report.sum_throughput == 0.0
+        assert report.direction_throughput("a->b") == 0.0
+
+    def test_validation(self):
+        report = ThroughputReport()
+        with pytest.raises(InvalidParameterError):
+            report.record("a->b", delivered_bits=-1)
+        with pytest.raises(InvalidParameterError):
+            report.add_symbols(-5)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.simulation.modulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.bits import random_bits
+from repro.simulation.modulation import Bpsk, Qpsk, hard_decisions
+
+
+class TestBpsk:
+    def test_mapping(self):
+        symbols = Bpsk().modulate([0, 1, 0])
+        np.testing.assert_allclose(symbols, [1.0, -1.0, 1.0])
+
+    def test_unit_energy(self, rng):
+        symbols = Bpsk().modulate(random_bits(rng, 256))
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0)
+
+    def test_llr_sign_noiseless(self):
+        mod = Bpsk()
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        symbols = mod.modulate(bits)
+        llrs = mod.demodulate_llr(symbols, 1.0 + 0j, noise_power=1.0)
+        np.testing.assert_array_equal(hard_decisions(llrs), bits)
+
+    def test_llr_scales_with_snr(self):
+        mod = Bpsk()
+        symbols = mod.modulate([0])
+        weak = mod.demodulate_llr(symbols, 1.0 + 0j, noise_power=10.0)
+        strong = mod.demodulate_llr(symbols, 1.0 + 0j, noise_power=0.1)
+        assert strong[0] > weak[0] > 0
+
+    def test_llr_honours_complex_gain(self):
+        mod = Bpsk()
+        bits = np.array([0, 1], dtype=np.uint8)
+        gain = 0.7 * np.exp(1j * 2.1)
+        received = gain * mod.modulate(bits)
+        llrs = mod.demodulate_llr(received, gain, noise_power=1.0)
+        np.testing.assert_array_equal(hard_decisions(llrs), bits)
+
+    def test_amplitude_scaling(self):
+        mod = Bpsk()
+        received = 3.0 * mod.modulate([0])
+        llr = mod.demodulate_llr(received, 1.0 + 0j, noise_power=1.0,
+                                 amplitude=3.0)
+        assert llr[0] == pytest.approx(4.0 * 3.0 * 3.0)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Bpsk().demodulate_llr(np.ones(2), 1.0, noise_power=0.0)
+
+    def test_symbols_for_bits(self):
+        assert Bpsk().symbols_for_bits(7) == 7
+
+
+class TestQpsk:
+    def test_unit_energy(self, rng):
+        symbols = Qpsk().modulate(random_bits(rng, 256))
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0)
+
+    def test_gray_mapping_quadrants(self):
+        symbols = Qpsk().modulate([0, 0, 0, 1, 1, 0, 1, 1])
+        signs = np.stack([np.sign(symbols.real), np.sign(symbols.imag)], axis=1)
+        np.testing.assert_array_equal(
+            signs, [[1, 1], [1, -1], [-1, 1], [-1, -1]]
+        )
+
+    def test_odd_bit_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Qpsk().modulate([0, 1, 0])
+
+    def test_roundtrip_noiseless(self, rng):
+        mod = Qpsk()
+        bits = random_bits(rng, 128)
+        gain = 1.3 * np.exp(1j * 0.4)
+        llrs = mod.demodulate_llr(gain * mod.modulate(bits), gain,
+                                  noise_power=1e-3)
+        np.testing.assert_array_equal(hard_decisions(llrs), bits)
+
+    def test_symbols_for_bits_rounds_up(self):
+        mod = Qpsk()
+        assert mod.symbols_for_bits(8) == 4
+        assert mod.symbols_for_bits(9) == 5
+
+
+class TestHardDecisions:
+    def test_signs(self):
+        np.testing.assert_array_equal(
+            hard_decisions(np.array([2.0, -0.5, 0.0, -3.0])), [0, 1, 0, 1]
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for repro.simulation.relay (SIC + XOR forwarding)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.bits import random_bits, xor_bits
+from repro.simulation.convolutional import TEST_CODE
+from repro.simulation.crc import CRC8
+from repro.simulation.linkcodec import LinkCodec
+from repro.simulation.relay import decode_frame, sic_decode_mac, xor_forward
+
+
+@pytest.fixture
+def codec():
+    return LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8)
+
+
+def mac_received(codec, rng, *, wa, wb, gain_a, gain_b, amplitude, noise_std):
+    xa = codec.encode(wa)
+    xb = codec.encode(wb)
+    noise = noise_std * (rng.normal(size=codec.n_symbols)
+                         + 1j * rng.normal(size=codec.n_symbols)) / np.sqrt(2)
+    return amplitude * gain_a * xa + amplitude * gain_b * xb + noise
+
+
+class TestDecodeFrame:
+    def test_clean_decode(self, codec, rng):
+        payload = random_bits(rng, 32)
+        received = 2.0 * 0.8 * codec.encode(payload)
+        frame = decode_frame(codec, received, 0.8 + 0j, 1e-9, 2.0)
+        assert frame.crc_ok
+        np.testing.assert_array_equal(frame.payload, payload)
+
+
+class TestSicDecoding:
+    def test_recovers_both_with_gain_gap(self, codec, rng):
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        received = mac_received(codec, rng, wa=wa, wb=wb,
+                                gain_a=2.0, gain_b=0.7,
+                                amplitude=3.0, noise_std=0.1)
+        result = sic_decode_mac(codec, received, gain_a=2.0, gain_b=0.7,
+                                noise_power=0.01, amplitude=3.0)
+        assert result.decoded_first == "a"
+        assert result.both_ok
+        np.testing.assert_array_equal(result.frame_a.payload, wa)
+        np.testing.assert_array_equal(result.frame_b.payload, wb)
+
+    def test_order_follows_stronger_gain(self, codec, rng):
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        received = mac_received(codec, rng, wa=wa, wb=wb,
+                                gain_a=0.7, gain_b=2.0,
+                                amplitude=3.0, noise_std=0.1)
+        result = sic_decode_mac(codec, received, gain_a=0.7, gain_b=2.0,
+                                noise_power=0.01, amplitude=3.0)
+        assert result.decoded_first == "b"
+        assert result.both_ok
+        np.testing.assert_array_equal(result.frame_a.payload, wa)
+        np.testing.assert_array_equal(result.frame_b.payload, wb)
+
+    def test_equal_gains_heavy_interference_may_fail(self, codec, rng):
+        # With equal gains stage 1 sees SIR = 0 dB; failures must be
+        # *flagged* (crc_ok False), never silent.
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        received = mac_received(codec, rng, wa=wa, wb=wb,
+                                gain_a=1.0, gain_b=1.0,
+                                amplitude=1.0, noise_std=1.0)
+        result = sic_decode_mac(codec, received, gain_a=1.0, gain_b=1.0,
+                                noise_power=1.0, amplitude=1.0)
+        if not result.both_ok:
+            assert not (result.frame_a.crc_ok and result.frame_b.crc_ok)
+
+    def test_parameter_validation(self, codec):
+        y = np.zeros(codec.n_symbols, dtype=complex)
+        with pytest.raises(InvalidParameterError):
+            sic_decode_mac(codec, y, gain_a=1.0, gain_b=1.0,
+                           noise_power=0.0, amplitude=1.0)
+        with pytest.raises(InvalidParameterError):
+            sic_decode_mac(codec, y, gain_a=1.0, gain_b=1.0,
+                           noise_power=1.0, amplitude=0.0)
+
+
+class TestXorForward:
+    def test_combines_frames(self, codec, rng):
+        frame_a = codec.crc.append(random_bits(rng, 32))
+        frame_b = codec.crc.append(random_bits(rng, 32))
+        combined = xor_forward(frame_a, frame_b)
+        np.testing.assert_array_equal(combined, xor_bits(frame_a, frame_b))
+
+    def test_combined_frame_passes_crc(self, codec, rng):
+        frame_a = codec.crc.append(random_bits(rng, 32))
+        frame_b = codec.crc.append(random_bits(rng, 32))
+        assert codec.crc.check(xor_forward(frame_a, frame_b))
+
+    def test_length_mismatch_rejected(self, codec, rng):
+        with pytest.raises(InvalidParameterError):
+            xor_forward(random_bits(rng, 10), random_bits(rng, 12))

@@ -1,0 +1,118 @@
+"""Unit tests for repro.simulation.terminals."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.bits import random_bits, xor_bits
+from repro.simulation.convolutional import TEST_CODE
+from repro.simulation.crc import CRC8
+from repro.simulation.linkcodec import DecodedFrame, LinkCodec
+from repro.simulation.terminals import (
+    DecodePath,
+    arbitrate_paths,
+    resolve_via_relay,
+)
+
+
+@pytest.fixture
+def codec():
+    return LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8)
+
+
+def make_frame(codec, payload, *, crc_ok=True, corrupt=False):
+    frame_bits = codec.crc.append(payload)
+    if corrupt:
+        frame_bits = frame_bits.copy()
+        frame_bits[0] ^= 1
+    return DecodedFrame(payload=codec.crc.strip(frame_bits),
+                        frame_bits=frame_bits,
+                        crc_ok=crc_ok and codec.crc.check(frame_bits))
+
+
+class TestResolveViaRelay:
+    def test_partner_recovered(self, codec, rng):
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        own = codec.crc.append(wa)
+        partner = codec.crc.append(wb)
+        relay = make_frame(codec, codec.crc.strip(xor_bits(own, partner)))
+        relay = DecodedFrame(payload=codec.crc.strip(xor_bits(own, partner)),
+                             frame_bits=xor_bits(own, partner), crc_ok=True)
+        estimate = resolve_via_relay(relay, own, codec.crc)
+        assert estimate.crc_ok
+        assert estimate.path is DecodePath.RELAY
+        np.testing.assert_array_equal(estimate.payload, wb)
+
+    def test_corrupted_relay_flagged(self, codec, rng):
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        own = codec.crc.append(wa)
+        partner = codec.crc.append(wb)
+        bad = xor_bits(own, partner).copy()
+        bad[3] ^= 1
+        relay = DecodedFrame(payload=codec.crc.strip(bad), frame_bits=bad,
+                             crc_ok=codec.crc.check(bad))
+        estimate = resolve_via_relay(relay, own, codec.crc)
+        assert not estimate.crc_ok
+        assert estimate.path is DecodePath.FAILED
+
+
+class TestArbitration:
+    def test_relay_path_preferred(self, codec, rng):
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        own = codec.crc.append(wa)
+        relay = DecodedFrame(
+            payload=None,
+            frame_bits=xor_bits(own, codec.crc.append(wb)),
+            crc_ok=True,
+        )
+        relay = DecodedFrame(payload=codec.crc.strip(relay.frame_bits),
+                             frame_bits=relay.frame_bits, crc_ok=True)
+        direct = make_frame(codec, random_bits(rng, 32))  # valid but different
+        estimate = arbitrate_paths(codec, relay_frame=relay,
+                                   own_frame_bits=own, direct_frame=direct)
+        assert estimate.path is DecodePath.RELAY
+        np.testing.assert_array_equal(estimate.payload, wb)
+
+    def test_direct_fallback_when_relay_bad(self, codec, rng):
+        wa, wb = random_bits(rng, 32), random_bits(rng, 32)
+        own = codec.crc.append(wa)
+        bad_relay_bits = xor_bits(own, codec.crc.append(wb)).copy()
+        bad_relay_bits[1] ^= 1
+        relay = DecodedFrame(payload=codec.crc.strip(bad_relay_bits),
+                             frame_bits=bad_relay_bits,
+                             crc_ok=False)
+        direct = make_frame(codec, wb)
+        estimate = arbitrate_paths(codec, relay_frame=relay,
+                                   own_frame_bits=own, direct_frame=direct)
+        assert estimate.path is DecodePath.DIRECT
+        assert estimate.crc_ok
+        np.testing.assert_array_equal(estimate.payload, wb)
+
+    def test_both_paths_bad_reports_failure(self, codec, rng):
+        wa = random_bits(rng, 32)
+        own = codec.crc.append(wa)
+        bad_bits = codec.crc.append(random_bits(rng, 32)).copy()
+        bad_bits[0] ^= 1
+        relay = DecodedFrame(payload=codec.crc.strip(bad_bits),
+                             frame_bits=bad_bits, crc_ok=False)
+        direct = DecodedFrame(payload=codec.crc.strip(bad_bits),
+                              frame_bits=bad_bits, crc_ok=False)
+        estimate = arbitrate_paths(codec, relay_frame=relay,
+                                   own_frame_bits=own, direct_frame=direct)
+        assert estimate.path is DecodePath.FAILED
+        assert not estimate.crc_ok
+
+    def test_no_relay_uses_direct(self, codec, rng):
+        wb = random_bits(rng, 32)
+        own = codec.crc.append(random_bits(rng, 32))
+        direct = make_frame(codec, wb)
+        estimate = arbitrate_paths(codec, relay_frame=None,
+                                   own_frame_bits=own, direct_frame=direct)
+        assert estimate.path is DecodePath.DIRECT
+        np.testing.assert_array_equal(estimate.payload, wb)
+
+    def test_nothing_available_fails_gracefully(self, codec, rng):
+        own = codec.crc.append(random_bits(rng, 32))
+        estimate = arbitrate_paths(codec, relay_frame=None,
+                                   own_frame_bits=own, direct_frame=None)
+        assert estimate.path is DecodePath.FAILED
+        assert estimate.payload.shape == (32,)

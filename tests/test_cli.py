@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action for action in parser._actions
+        }
+        subparsers = actions["command"]
+        assert set(subparsers.choices) == {
+            "fig3", "fig4", "region", "sumrate", "simulate", "diagrams",
+            "sweep", "adaptive", "fairness",
+        }
+
+    def test_region_requires_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["region"])
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["region", "--protocol", "bogus"])
+
+
+class TestCommands:
+    def test_diagrams(self, capsys):
+        assert main(["diagrams"]) == 0
+        out = capsys.readouterr().out
+        assert "MABC" in out and "HBC" in out
+
+    def test_sumrate(self, capsys):
+        code = main(["sumrate", "--power-db", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best protocol" in out
+        assert "MABC" in out
+
+    def test_region(self, capsys):
+        code = main(["region", "--protocol", "mabc", "--points", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max sum rate" in out
+
+    def test_region_outer(self, capsys):
+        code = main(["region", "--protocol", "tdbc", "--outer", "--points", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outer bound" in out
+
+    def test_simulate(self, capsys):
+        code = main([
+            "simulate", "--protocol", "mabc", "--rounds", "3",
+            "--payload-bits", "32", "--power-db", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "goodput" in out
+
+    def test_simulate_dt(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "2",
+            "--payload-bits", "32", "--power-db", "25", "--gab-db", "0",
+        ])
+        assert code == 0
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--min-db", "0", "--max-db", "5",
+                     "--step-db", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "power sweep" in out
+        assert "NAIVE4" in out
+
+    def test_adaptive(self, capsys):
+        code = main(["adaptive", "--draws", "5", "--power-db", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adaptivity gain" in out
+        assert "ADAPTIVE" in out
+
+    def test_fairness(self, capsys):
+        code = main(["fairness", "--power-db", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fairness analysis" in out
+        assert "cost of symmetry" in out
+
+
+class TestSweepValidation:
+    def test_zero_step_rejected(self, capsys):
+        code = main(["sweep", "--min-db", "0", "--max-db", "5",
+                     "--step-db", "0"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "must be positive" in out
+
+    def test_inverted_range_rejected(self, capsys):
+        code = main(["sweep", "--min-db", "5", "--max-db", "0",
+                     "--step-db", "1"])
+        assert code == 2
