@@ -3,10 +3,14 @@
 Section IV's channel model is quasi-static fading with full CSI; the bounds
 are evaluated per realization and durations re-optimized. This bench
 estimates ergodic means and 10%-outage rates for every protocol at the
-Fig. 4 gains and times one Monte-Carlo evaluation.
+Fig. 4 gains, times one Monte-Carlo evaluation, and measures the campaign
+engine's vectorized executor against the serial reference — asserting both
+the >= 3x speedup and bitwise-identical output.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -58,5 +62,60 @@ def test_bench_ergodic_evaluation(benchmark):
     stats = benchmark(
         ergodic_sum_rate, Protocol.MABC, GAINS, POWER, 25,
         np.random.default_rng(23),
+    )
+    assert stats.mean > 0
+
+
+def _time_ensemble(executor: str, n_draws: int) -> tuple:
+    """Best-of-3 wall time of a full 5-protocol ensemble evaluation."""
+    timings = []
+    samples = None
+    for _ in range(3):
+        start = time.perf_counter()
+        samples = np.stack([
+            ergodic_sum_rate(protocol, GAINS, POWER, n_draws,
+                             np.random.default_rng(31),
+                             executor=executor).samples
+            for protocol in Protocol
+        ])
+        timings.append(time.perf_counter() - start)
+    return min(timings), samples
+
+
+def test_vectorized_executor_speedup_and_identity():
+    """The campaign fast path: >= 3x over serial, bitwise-identical output.
+
+    This is the acceptance gate of the campaign engine — the vectorized
+    executor batches every draw's phase-duration LP into stacked linear
+    algebra and must (a) beat the per-draw serial reference by >= 3x on the
+    paper's fading ensemble and (b) reproduce its values exactly.
+    """
+    n_draws = 400
+    serial_time, serial_samples = _time_ensemble("serial", n_draws)
+    vectorized_time, vectorized_samples = _time_ensemble("vectorized",
+                                                         n_draws)
+    speedup = serial_time / vectorized_time
+    emit(render_table(
+        ["executor", "best-of-3 [s]", "units", "units/s"],
+        [["serial", serial_time, 5 * n_draws,
+          5 * n_draws / serial_time],
+         ["vectorized", vectorized_time, 5 * n_draws,
+          5 * n_draws / vectorized_time],
+         [f"speedup {speedup:.1f}x", 0.0, 0, 0.0]],
+        title=f"abl-fading: executor comparison, {n_draws} draws x "
+              f"{len(Protocol)} protocols"))
+    assert np.array_equal(serial_samples, vectorized_samples), \
+        "vectorized executor must be bitwise-identical to serial"
+    assert speedup >= 3.0, (
+        f"vectorized executor only {speedup:.2f}x faster than serial "
+        f"({vectorized_time:.3f}s vs {serial_time:.3f}s)"
+    )
+
+
+def test_bench_vectorized_campaign_ensemble(benchmark):
+    """Time the default (vectorized) fast path on the full paper ensemble."""
+    stats = benchmark(
+        ergodic_sum_rate, Protocol.HBC, GAINS, POWER, N_DRAWS,
+        np.random.default_rng(17), executor="vectorized",
     )
     assert stats.mean > 0

@@ -1,9 +1,41 @@
-"""Shim for legacy editable installs (offline environments without `wheel`).
+"""Packaging metadata for the reproduction library.
 
-All real metadata lives in pyproject.toml's [project] table; setuptools >= 61
-reads it from there.
+Kept as a plain ``setup.py`` (no build-time dependencies beyond
+setuptools) so editable installs work in offline environments without
+``wheel``; CI installs via ``pip install -e ".[test]"`` and reproduces the
+local numpy/scipy environment from the pins below.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bidirectional-coded-cooperation",
+    version="1.1.0",
+    description=(
+        "Performance bounds for bi-directional coded cooperation "
+        "protocols: capacity regions, LP-optimal sum rates, fading "
+        "campaigns and a link-level simulator"
+    ),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+        ],
+        "lint": [
+            "ruff==0.8.4",
+        ],
+    },
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -17,6 +17,7 @@ Quickstart::
     print(f"HBC sum rate {best.sum_rate:.3f} bits at durations {best.durations.values}")
 """
 
+from .campaign import CampaignSpec, FadingSpec, run_campaign
 from .channels.gains import LinkGains
 from .core.capacity import (
     ProtocolComparison,
@@ -30,9 +31,12 @@ from .core.protocols import PhaseDurations, Protocol
 from .core.regions import RateRegion
 from .exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignSpec",
+    "FadingSpec",
+    "run_campaign",
     "LinkGains",
     "ProtocolComparison",
     "achievable_region",

@@ -1,0 +1,59 @@
+"""Batched campaign execution: sweeps and ensembles at hardware speed.
+
+This subsystem turns the library's embarrassingly parallel workloads —
+channel-quality sweeps, power sweeps, quasi-static fading ensembles —
+into declarative grids evaluated through pluggable executors:
+
+* describe the grid with a :class:`CampaignSpec`
+  (``protocols × powers × geometries × fading draws``),
+* evaluate it with :func:`run_campaign` through the serial,
+  multiprocessing or vectorized executor (all bitwise-equivalent),
+* repeated specs are served from a content-addressed on-disk cache.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, FadingSpec, run_campaign
+    from repro import LinkGains, Protocol
+
+    spec = CampaignSpec(
+        protocols=(Protocol.MABC, Protocol.TDBC, Protocol.HBC),
+        powers_db=(0.0, 10.0, 20.0),
+        gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+        fading=FadingSpec(n_draws=500, seed=7),
+    )
+    result = run_campaign(spec, executor="vectorized", cache=True)
+    print(result.ergodic_mean(Protocol.HBC, 10.0))
+"""
+
+from .cache import CampaignCache, default_cache_dir
+from .engine import CampaignResult, evaluate_ensemble, run_campaign
+from .executors import (
+    EXECUTOR_NAMES,
+    MultiprocessExecutor,
+    SerialExecutor,
+    UnitBatch,
+    VectorizedExecutor,
+    get_executor,
+)
+from .kernel import KERNEL_VERSION, batched_sum_rates
+from .spec import GRID_AXES, CampaignSpec, FadingSpec, WorkUnit
+
+__all__ = [
+    "CampaignCache",
+    "default_cache_dir",
+    "CampaignResult",
+    "evaluate_ensemble",
+    "run_campaign",
+    "EXECUTOR_NAMES",
+    "MultiprocessExecutor",
+    "SerialExecutor",
+    "UnitBatch",
+    "VectorizedExecutor",
+    "get_executor",
+    "KERNEL_VERSION",
+    "batched_sum_rates",
+    "GRID_AXES",
+    "CampaignSpec",
+    "FadingSpec",
+    "WorkUnit",
+]

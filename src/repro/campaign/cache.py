@@ -1,0 +1,104 @@
+"""On-disk content-addressed store for campaign results.
+
+Results are keyed by the campaign spec's content hash (plus the kernel
+version), so a repeated benchmark or CI run of the same grid is a cache
+hit and costs one ``np.load``. Because every executor produces bitwise
+identical values (see :mod:`repro.campaign.executors`), the key does not —
+and must not — include the executor.
+
+Layout: one ``<key>.npz`` per campaign under the cache directory,
+containing the result array and the spec's canonical JSON for post-hoc
+inspection. Writes are atomic (temp file + rename) so concurrent runs and
+interrupted processes can never serve a torn entry; unreadable entries are
+treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from zipfile import BadZipFile
+
+import numpy as np
+
+__all__ = ["CampaignCache", "default_cache_dir"]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CAMPAIGN_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The campaign cache directory.
+
+    ``$REPRO_CAMPAIGN_CACHE`` when set, otherwise
+    ``~/.cache/repro/campaigns``.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "campaigns"
+
+
+class CampaignCache:
+    """A directory of content-addressed campaign result files."""
+
+    def __init__(self, directory=None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """The entry file for a content key."""
+        return self.directory / f"{key}.npz"
+
+    def load(self, key: str) -> np.ndarray | None:
+        """The cached value array for ``key``, or ``None`` on a miss.
+
+        Corrupt or truncated entries count as misses: the caller recomputes
+        and overwrites them.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as entry:
+                return np.asarray(entry["values"])
+        except (OSError, ValueError, KeyError, BadZipFile):
+            return None
+
+    def store(self, key: str, values: np.ndarray, spec_dict: dict) -> Path:
+        """Atomically persist a result array under ``key``.
+
+        The spec's canonical JSON rides along inside the archive so cache
+        entries remain self-describing.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    values=values,
+                    spec_json=np.array(json.dumps(spec_dict, sort_keys=True)),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for entry in self.directory.glob("*.npz"):
+            entry.unlink()
+            removed += 1
+        return removed

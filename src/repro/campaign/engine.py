@@ -1,0 +1,255 @@
+"""The campaign engine: expand a spec, execute it, cache the results.
+
+:func:`run_campaign` is the one entry point every batch workload routes
+through — the Fig. 3 sweeps, the power sweeps, the fading ensembles of
+Section IV and the ``repro campaign`` CLI. It expands the declarative
+grid into per-protocol unit batches, evaluates them through a pluggable
+executor, and stores the result array in a content-addressed cache so a
+repeated spec costs one file read.
+
+:func:`evaluate_ensemble` is the lower-level building block for callers
+that already hold concrete channel realizations (e.g. the Monte-Carlo
+drivers, which own their RNG for backward compatibility).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.protocols import Protocol
+from ..exceptions import InvalidParameterError
+from ..information.functions import db_to_linear
+from .cache import CampaignCache
+from .executors import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    UnitBatch,
+    VectorizedExecutor,
+    get_executor,
+)
+from .kernel import KERNEL_VERSION
+from .spec import CampaignSpec
+
+#: Executors whose outputs are bitwise-verified against each other; only
+#: their results may be written to the shared content-addressed cache.
+#: A user-supplied executor still *reads* cache entries (they are ground
+#: truth for the spec) but must not poison them.
+_CACHE_TRUSTED_EXECUTORS = (
+    SerialExecutor,
+    MultiprocessExecutor,
+    VectorizedExecutor,
+)
+
+__all__ = ["CampaignResult", "run_campaign", "evaluate_ensemble"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The evaluated campaign grid plus execution metadata.
+
+    Attributes
+    ----------
+    spec:
+        The spec that produced the values.
+    values:
+        Optimal sum rates, shape ``(protocols, powers, gains, draws)``
+        in spec order.
+    executor_name:
+        Which executor computed the values ("cache" on a hit is *not*
+        recorded — results are executor-independent by construction).
+    from_cache:
+        Whether the values were served from the on-disk store.
+    elapsed_seconds:
+        Wall-clock time of the evaluation (or cache read).
+    """
+
+    spec: CampaignSpec
+    values: np.ndarray
+    executor_name: str
+    from_cache: bool
+    elapsed_seconds: float
+
+    def _protocol_index(self, protocol: Protocol) -> int:
+        try:
+            return self.spec.protocols.index(protocol)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{protocol} is not part of this campaign"
+            ) from None
+
+    def _power_index(self, power_db: float) -> int:
+        try:
+            return self.spec.powers_db.index(float(power_db))
+        except ValueError:
+            raise InvalidParameterError(
+                f"power {power_db} dB is not part of this campaign"
+            ) from None
+
+    def values_for(self, protocol: Protocol, power_db: float) -> np.ndarray:
+        """Sum rates of one (protocol, power) slice, shape ``(G, D)``."""
+        return self.values[
+            self._protocol_index(protocol), self._power_index(power_db)
+        ]
+
+    def ergodic_mean(self, protocol: Protocol, power_db: float) -> float:
+        """Ensemble/grid average sum rate of the slice."""
+        return float(self.values_for(protocol, power_db).mean())
+
+    def outage_rate(self, protocol: Protocol, power_db: float,
+                    epsilon: float) -> float:
+        """ε-quantile of the slice's sum-rate distribution."""
+        if not 0.0 <= epsilon <= 1.0:
+            raise InvalidParameterError(
+                f"outage level must lie in [0, 1], got {epsilon}"
+            )
+        return float(np.quantile(self.values_for(protocol, power_db), epsilon))
+
+    def summary_rows(self, *, epsilon: float = 0.1) -> list:
+        """Per (protocol, power) table rows for reports.
+
+        Columns: protocol, power [dB], ergodic mean, std error, ε-outage
+        rate, median.
+        """
+        rows = []
+        for protocol in self.spec.protocols:
+            for power_db in self.spec.powers_db:
+                samples = self.values_for(protocol, power_db).ravel()
+                std_error = (
+                    float(samples.std(ddof=1) / np.sqrt(samples.size))
+                    if samples.size > 1 else 0.0
+                )
+                rows.append([
+                    protocol.name,
+                    float(power_db),
+                    float(samples.mean()),
+                    std_error,
+                    float(np.quantile(samples, epsilon)),
+                    float(np.quantile(samples, 0.5)),
+                ])
+        return rows
+
+
+def _cache_key(spec: CampaignSpec) -> str:
+    return f"v{KERNEL_VERSION}-{spec.spec_hash()}"
+
+
+def _resolve_cache(cache):
+    """Normalize the ``cache`` argument of :func:`run_campaign`."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return CampaignCache()
+    if isinstance(cache, CampaignCache):
+        return cache
+    return CampaignCache(cache)
+
+
+def run_campaign(spec: CampaignSpec, *, executor=None, cache=None,
+                 progress=None) -> CampaignResult:
+    """Evaluate a campaign spec end to end.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to evaluate.
+    executor:
+        Executor name (``"serial"``, ``"process"``, ``"vectorized"``) or
+        instance; defaults to the vectorized fast path.
+    cache:
+        ``None``/``False`` disables caching, ``True`` uses the default
+        cache directory, and a path or :class:`CampaignCache` selects an
+        explicit store. Results are keyed by the spec hash, so any
+        executor can serve any cache entry.
+    progress:
+        Optional callable ``progress(done_units, total_units)`` invoked as
+        evaluation advances (and once on a cache hit).
+    """
+    executor = get_executor(executor)
+    store = _resolve_cache(cache)
+    key = _cache_key(spec)
+
+    started = time.perf_counter()
+    if store is not None:
+        cached = store.load(key)
+        if cached is not None and cached.shape == spec.grid_shape:
+            if progress is not None:
+                progress(spec.n_units, spec.n_units)
+            return CampaignResult(
+                spec=spec,
+                values=cached,
+                executor_name=executor.name,
+                from_cache=True,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+    gain_draws = spec.sample_gain_draws()
+    n_channels = gain_draws.shape[0] * gain_draws.shape[1]
+    flat = gain_draws.reshape(n_channels, 3)
+    batches = []
+    for protocol in spec.protocols:
+        for power_db in spec.powers_db:
+            batches.append(UnitBatch(
+                protocol=protocol,
+                gab=flat[:, 0],
+                gar=flat[:, 1],
+                gbr=flat[:, 2],
+                power=np.full(n_channels, db_to_linear(power_db)),
+            ))
+    value_arrays = executor.run(batches, progress=progress)
+    values = np.stack(value_arrays).reshape(spec.grid_shape)
+
+    if store is not None and isinstance(executor, _CACHE_TRUSTED_EXECUTORS):
+        store.store(key, values, spec.to_dict())
+    return CampaignResult(
+        spec=spec,
+        values=values,
+        executor_name=executor.name,
+        from_cache=False,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def evaluate_ensemble(protocol: Protocol, gains_ensemble, power, *,
+                      executor=None) -> np.ndarray:
+    """Optimal sum rates of one protocol over concrete channel draws.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to evaluate.
+    gains_ensemble:
+        Iterable of :class:`~repro.channels.gains.LinkGains` (or an
+        ``(n, 3)`` array of linear gains).
+    power:
+        Per-node transmit power (linear), scalar or per-draw array.
+    executor:
+        Executor name or instance; defaults to the vectorized fast path.
+
+    Returns
+    -------
+    np.ndarray
+        One optimal sum rate per draw, in draw order.
+    """
+    executor = get_executor(executor)
+    array = np.asarray([
+        (g.gab, g.gar, g.gbr) if hasattr(g, "gab") else tuple(g)
+        for g in gains_ensemble
+    ], dtype=float)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise InvalidParameterError(
+            f"expected an (n, 3) gain ensemble, got shape {array.shape}"
+        )
+    power = np.broadcast_to(
+        np.asarray(power, dtype=float), (array.shape[0],)
+    ).copy()
+    batch = UnitBatch(
+        protocol=protocol,
+        gab=array[:, 0],
+        gar=array[:, 1],
+        gbr=array[:, 2],
+        power=power,
+    )
+    return executor.run([batch])[0]

@@ -1,0 +1,238 @@
+"""Pluggable execution backends for campaign work units.
+
+Three executors share one numeric kernel
+(:func:`repro.campaign.kernel.batched_sum_rates`):
+
+* :class:`SerialExecutor` — one unit at a time, in process. The reference
+  path every other executor must reproduce bit for bit.
+* :class:`MultiprocessExecutor` — chunks units across a
+  ``multiprocessing`` pool. Each worker evaluates its chunk with exactly
+  the serial per-unit arithmetic, so results are bitwise identical to
+  serial regardless of process count or chunking.
+* :class:`VectorizedExecutor` — stacks whole batches through the kernel's
+  batched linear algebra. The kernel is elementwise along the batch axis,
+  so this too is bitwise identical to serial (asserted in the tests).
+
+Because all executors agree exactly, cached campaign results are keyed by
+the spec alone — never by how they were computed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.protocols import Protocol
+from ..exceptions import InvalidParameterError
+from .kernel import batched_sum_rates
+
+__all__ = [
+    "UnitBatch",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "VectorizedExecutor",
+    "EXECUTOR_NAMES",
+    "get_executor",
+]
+
+
+@dataclass(frozen=True)
+class UnitBatch:
+    """A contiguous run of work units sharing one protocol.
+
+    The array fields are aligned: unit ``i`` of the batch is
+    ``(protocol, gains=(gab[i], gar[i], gbr[i]), power=power[i])``.
+    """
+
+    protocol: Protocol
+    gab: np.ndarray
+    gar: np.ndarray
+    gbr: np.ndarray
+    power: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.gab.shape[0])
+
+    def slice(self, start: int, stop: int) -> "UnitBatch":
+        """The sub-batch covering units ``[start, stop)``."""
+        return UnitBatch(
+            protocol=self.protocol,
+            gab=self.gab[start:stop],
+            gar=self.gar[start:stop],
+            gbr=self.gbr[start:stop],
+            power=self.power[start:stop],
+        )
+
+
+def _evaluate_units_one_by_one(batch: UnitBatch) -> np.ndarray:
+    """Evaluate every unit of a batch with batch-of-one kernel calls.
+
+    This is the shared reference arithmetic: the serial executor calls it
+    directly and pool workers call it on their chunks, which is what makes
+    serial and multiprocess results bitwise identical by construction.
+    """
+    values = np.empty(len(batch))
+    for i in range(len(batch)):
+        values[i] = batched_sum_rates(
+            batch.protocol,
+            batch.gab[i : i + 1],
+            batch.gar[i : i + 1],
+            batch.gbr[i : i + 1],
+            batch.power[i : i + 1],
+        )[0]
+    return values
+
+
+class SerialExecutor:
+    """Evaluate units one at a time in the calling process."""
+
+    name = "serial"
+
+    def run(self, batches, progress=None) -> list:
+        """Evaluate ``batches`` and return one value array per batch."""
+        total = sum(len(batch) for batch in batches)
+        done = 0
+        results = []
+        for batch in batches:
+            values = np.empty(len(batch))
+            for i in range(len(batch)):
+                values[i] = _evaluate_units_one_by_one(batch.slice(i, i + 1))[0]
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+            results.append(values)
+        return results
+
+
+class MultiprocessExecutor:
+    """Evaluate chunks of units across a process pool.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; defaults to ``os.cpu_count()``.
+    chunksize:
+        Units per dispatched chunk; defaults to spreading each batch over
+        roughly ``4 × processes`` chunks (bounded below by 1) so progress
+        stays responsive without drowning in IPC.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: int | None = None,
+                 chunksize: int | None = None) -> None:
+        if processes is not None and processes < 1:
+            raise InvalidParameterError(
+                f"need at least one process, got {processes}"
+            )
+        if chunksize is not None and chunksize < 1:
+            raise InvalidParameterError(
+                f"chunk size must be positive, got {chunksize}"
+            )
+        self.processes = processes or os.cpu_count() or 1
+        self.chunksize = chunksize
+
+    def _chunks(self, batch: UnitBatch) -> list:
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(batch) // (4 * self.processes)))
+        return [
+            batch.slice(start, min(start + chunksize, len(batch)))
+            for start in range(0, len(batch), chunksize)
+        ]
+
+    def run(self, batches, progress=None) -> list:
+        """Evaluate ``batches`` and return one value array per batch."""
+        total = sum(len(batch) for batch in batches)
+        done = 0
+        chunks = []
+        owners = []
+        for bi, batch in enumerate(batches):
+            for chunk in self._chunks(batch):
+                chunks.append(chunk)
+                owners.append(bi)
+        with multiprocessing.Pool(processes=self.processes) as pool:
+            pieces = []
+            for piece in pool.imap(_evaluate_units_one_by_one, chunks):
+                pieces.append(piece)
+                done += piece.shape[0]
+                if progress is not None:
+                    progress(done, total)
+        results = []
+        for bi in range(len(batches)):
+            parts = [p for p, owner in zip(pieces, owners) if owner == bi]
+            results.append(np.concatenate(parts) if parts else np.zeros(0))
+        return results
+
+
+class VectorizedExecutor:
+    """Evaluate whole batches through the kernel's batched linear algebra.
+
+    Parameters
+    ----------
+    max_batch:
+        Optional upper bound on units per kernel call (memory control for
+        very large ensembles); ``None`` sends each batch in one call.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, max_batch: int | None = None) -> None:
+        if max_batch is not None and max_batch < 1:
+            raise InvalidParameterError(
+                f"batch bound must be positive, got {max_batch}"
+            )
+        self.max_batch = max_batch
+
+    def run(self, batches, progress=None) -> list:
+        """Evaluate ``batches`` and return one value array per batch."""
+        total = sum(len(batch) for batch in batches)
+        done = 0
+        results = []
+        for batch in batches:
+            step = self.max_batch or max(len(batch), 1)
+            pieces = []
+            for start in range(0, len(batch), step):
+                piece = batch.slice(start, start + step)
+                pieces.append(
+                    batched_sum_rates(
+                        piece.protocol, piece.gab, piece.gar, piece.gbr,
+                        piece.power,
+                    )
+                )
+                done += len(piece)
+                if progress is not None:
+                    progress(done, total)
+            results.append(
+                np.concatenate(pieces) if pieces else np.zeros(0)
+            )
+        return results
+
+
+#: Executor registry used by the engine and the CLI.
+EXECUTOR_NAMES = ("serial", "process", "vectorized")
+
+
+def get_executor(executor, **kwargs):
+    """Resolve an executor name (or pass through an executor instance).
+
+    ``kwargs`` are forwarded to the named executor's constructor, e.g.
+    ``get_executor("process", processes=4)``.
+    """
+    if executor is None:
+        executor = "vectorized"
+    if not isinstance(executor, str):
+        return executor
+    registry = {
+        "serial": SerialExecutor,
+        "process": MultiprocessExecutor,
+        "vectorized": VectorizedExecutor,
+    }
+    if executor not in registry:
+        raise InvalidParameterError(
+            f"unknown executor {executor!r}; available: {EXECUTOR_NAMES}"
+        )
+    return registry[executor](**kwargs)

@@ -1,0 +1,257 @@
+"""Declarative campaign specifications and their expansion into work units.
+
+A :class:`CampaignSpec` describes a full evaluation grid —
+``protocols × powers × channel geometries × fading draws`` — as plain data.
+Expansion is deterministic: the fading ensemble is drawn once from the
+spec's seed (paired across protocols and powers, so per-realization
+comparisons like "HBC dominates MABC" hold draw by draw), and the resulting
+work units are pure ``(protocol, gains, power)`` triples with no hidden
+state. That determinism is what makes the content-addressed result cache
+(:mod:`repro.campaign.cache`) sound: the spec hash fully determines the
+numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.fading import sample_gain_ensemble
+from ..channels.gains import LinkGains
+from ..channels.pathloss import linear_relay_gains
+from ..core.protocols import Protocol
+from ..exceptions import InvalidParameterError
+from ..information.functions import db_to_linear
+
+__all__ = ["FadingSpec", "CampaignSpec", "WorkUnit", "GRID_AXES"]
+
+#: Axis order of every campaign result array.
+GRID_AXES = ("protocol", "power", "gains", "draw")
+
+
+@dataclass(frozen=True)
+class FadingSpec:
+    """Quasi-static fading ensemble parameters of a campaign.
+
+    Attributes
+    ----------
+    n_draws:
+        Ensemble size per channel-geometry grid point.
+    seed:
+        Seed of the ensemble RNG; the spec owns all randomness.
+    k_factor:
+        Rician K-factor (0 = Rayleigh) shared by all links.
+    """
+
+    n_draws: int
+    seed: int = 0
+    k_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_draws < 1:
+            raise InvalidParameterError(
+                f"need at least one draw, got {self.n_draws}"
+            )
+        if self.k_factor < 0:
+            raise InvalidParameterError(
+                f"K-factor must be non-negative, got {self.k_factor}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-data form for hashing and serialization."""
+        return {
+            "n_draws": int(self.n_draws),
+            "seed": int(self.seed),
+            "k_factor": float(self.k_factor),
+        }
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One grid point: evaluate a protocol on one concrete channel.
+
+    ``index`` is the flat position in the campaign's
+    ``(protocol, power, gains, draw)`` C-order grid, so results can be
+    reassembled regardless of execution order.
+    """
+
+    index: int
+    protocol: Protocol
+    gains: LinkGains
+    power: float
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative evaluation grid over protocols, powers and channels.
+
+    Attributes
+    ----------
+    protocols:
+        Protocols to evaluate (grid axis 0).
+    powers_db:
+        Per-node transmit powers in dB (grid axis 1).
+    gains:
+        Mean channel geometries — path-loss gains of the three links
+        (grid axis 2). Use :meth:`from_placements` for a relay-position
+        sweep.
+    fading:
+        Optional quasi-static fading ensemble drawn around each geometry
+        (grid axis 3). ``None`` evaluates the means themselves
+        (``n_draws = 1``).
+    """
+
+    protocols: tuple
+    powers_db: tuple
+    gains: tuple
+    fading: FadingSpec | None = None
+
+    def __post_init__(self) -> None:
+        protocols = tuple(self.protocols)
+        powers_db = tuple(float(p) for p in self.powers_db)
+        gains = tuple(self.gains)
+        object.__setattr__(self, "protocols", protocols)
+        object.__setattr__(self, "powers_db", powers_db)
+        object.__setattr__(self, "gains", gains)
+        if not protocols:
+            raise InvalidParameterError("at least one protocol required")
+        for p in protocols:
+            if not isinstance(p, Protocol):
+                raise InvalidParameterError(f"{p!r} is not a Protocol")
+        if len(set(protocols)) != len(protocols):
+            raise InvalidParameterError(f"duplicate protocols in {protocols}")
+        if not powers_db:
+            raise InvalidParameterError("at least one power point required")
+        if not gains:
+            raise InvalidParameterError("at least one channel geometry required")
+        for g in gains:
+            if not isinstance(g, LinkGains):
+                raise InvalidParameterError(f"{g!r} is not a LinkGains")
+
+    @classmethod
+    def from_placements(cls, protocols, powers_db, n_placements: int, *,
+                        path_loss_exponent: float = 3.0,
+                        fading: FadingSpec | None = None) -> "CampaignSpec":
+        """A relay-placement sweep along the ``a``–``b`` segment.
+
+        Places the relay at ``n_placements`` evenly spaced interior
+        positions and derives the gains from the log-distance path-loss law
+        (the Fig. 3 cellular scenario).
+        """
+        if n_placements < 1:
+            raise InvalidParameterError(
+                f"need at least one placement, got {n_placements}"
+            )
+        fractions = np.linspace(0.1, 0.9, n_placements)
+        gains = tuple(
+            linear_relay_gains(float(f), exponent=path_loss_exponent)
+            for f in fractions
+        )
+        return cls(
+            protocols=tuple(protocols),
+            powers_db=tuple(powers_db),
+            gains=gains,
+            fading=fading,
+        )
+
+    @property
+    def n_draws(self) -> int:
+        """Fading draws per geometry (1 when no fading is configured)."""
+        return self.fading.n_draws if self.fading is not None else 1
+
+    @property
+    def grid_shape(self) -> tuple:
+        """Result-array shape ``(protocols, powers, gains, draws)``."""
+        return (
+            len(self.protocols),
+            len(self.powers_db),
+            len(self.gains),
+            self.n_draws,
+        )
+
+    @property
+    def n_units(self) -> int:
+        """Total number of work units in the grid."""
+        return int(np.prod(self.grid_shape))
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (stable across processes)."""
+        return {
+            "protocols": [p.value for p in self.protocols],
+            "powers_db": [float(p) for p in self.powers_db],
+            "gains": [
+                [float(g.gab), float(g.gar), float(g.gbr)] for g in self.gains
+            ],
+            "fading": self.fading.to_dict() if self.fading else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`."""
+        fading = data.get("fading")
+        return cls(
+            protocols=tuple(Protocol(p) for p in data["protocols"]),
+            powers_db=tuple(data["powers_db"]),
+            gains=tuple(LinkGains(*triple) for triple in data["gains"]),
+            fading=FadingSpec(**fading) if fading else None,
+        )
+
+    def spec_hash(self) -> str:
+        """Content hash of the spec (hex SHA-256 of its canonical JSON).
+
+        Floats are serialized via ``repr`` round-tripping inside ``json``,
+        which is exact for IEEE doubles, so two specs hash equal iff they
+        describe bit-identical grids.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def sample_gain_draws(self) -> np.ndarray:
+        """The campaign's channel realizations, shape ``(G, D, 3)``.
+
+        Geometry ``g``'s draws occupy ``[g, :, :]`` with the last axis
+        ordered ``(gab, gar, gbr)``. Without fading this is just the means
+        with ``D = 1``. Draws are paired across protocols and powers by
+        construction (those axes do not consume randomness).
+        """
+        if self.fading is None:
+            return np.array(
+                [[[g.gab, g.gar, g.gbr]] for g in self.gains]
+            )
+        rng = np.random.default_rng(self.fading.seed)
+        draws = np.empty((len(self.gains), self.fading.n_draws, 3))
+        for gi, mean in enumerate(self.gains):
+            ensemble = sample_gain_ensemble(
+                mean, self.fading.n_draws, rng,
+                k_factor=self.fading.k_factor,
+            )
+            for di, realized in enumerate(ensemble):
+                draws[gi, di] = (realized.gab, realized.gar, realized.gbr)
+        return draws
+
+    def expand(self, gain_draws: np.ndarray | None = None):
+        """Yield every :class:`WorkUnit` in C order of the grid.
+
+        ``gain_draws`` (from :meth:`sample_gain_draws`) can be passed in to
+        avoid re-sampling; it is sampled on demand otherwise.
+        """
+        if gain_draws is None:
+            gain_draws = self.sample_gain_draws()
+        index = 0
+        for protocol in self.protocols:
+            for power_db in self.powers_db:
+                power = db_to_linear(power_db)
+                for gi in range(len(self.gains)):
+                    for di in range(self.n_draws):
+                        gab, gar, gbr = gain_draws[gi, di]
+                        yield WorkUnit(
+                            index=index,
+                            protocol=protocol,
+                            gains=LinkGains(gab, gar, gbr),
+                            power=power,
+                        )
+                        index += 1

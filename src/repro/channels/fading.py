@@ -114,6 +114,11 @@ def sample_gain_ensemble(mean_gains: LinkGains, n_realizations: int,
     -------
     list[LinkGains]
         One instantaneous :class:`LinkGains` per realization.
+
+    .. note::
+       Campaign cache entries (:mod:`repro.campaign`) embed the output of
+       this sampler; any change to its RNG consumption order or draw
+       semantics must bump ``repro.campaign.kernel.KERNEL_VERSION``.
     """
     if n_realizations <= 0:
         raise InvalidParameterError(

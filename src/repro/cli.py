@@ -4,6 +4,9 @@ Subcommands
 -----------
 * ``fig3`` / ``fig4`` — regenerate the paper's evaluation figures as text
   tables, ASCII plots and optional CSVs.
+* ``campaign`` — evaluate a declarative grid (protocols × powers ×
+  geometries × fading draws) through the batched campaign engine, with
+  executor selection, progress reporting and an on-disk result cache.
 * ``region`` — trace any protocol's rate region on any channel.
 * ``sumrate`` — LP-optimal sum rates of all protocols on one channel.
 * ``simulate`` — run the operational link-level simulator.
@@ -147,6 +150,92 @@ def _cmd_diagrams(_args) -> int:
     return 0
 
 
+def _cmd_fading(args) -> int:
+    report = run_experiment("fading", executor=args.executor)
+    print(report.render())
+    return 0 if report.all_checks_pass() else 1
+
+
+def _stderr_progress():
+    """A ``progress(done, total)`` callback drawing a one-line meter."""
+    state = {"last_percent": -1}
+
+    def callback(done: int, total: int) -> None:
+        percent = int(100 * done / total) if total else 100
+        if percent != state["last_percent"]:
+            state["last_percent"] = percent
+            print(f"\r[campaign] {done}/{total} units ({percent}%)",
+                  end="" if done < total else "\n",
+                  file=sys.stderr, flush=True)
+
+    return callback
+
+
+def _parse_campaign_protocols(text: str) -> tuple:
+    if text.strip().lower() == "all":
+        return tuple(Protocol)
+    return tuple(Protocol.from_name(name) for name in text.split(","))
+
+
+def _cmd_campaign(args) -> int:
+    from .campaign import CampaignCache, CampaignSpec, FadingSpec
+    from .campaign import get_executor, run_campaign
+
+    if args.draws < 0:
+        print(f"error: --draws must be non-negative, got {args.draws}")
+        return 2
+    try:
+        protocols = _parse_campaign_protocols(args.protocols)
+        powers_db = tuple(float(p) for p in args.powers_db.split(","))
+        fading = (FadingSpec(n_draws=args.draws, seed=args.seed,
+                             k_factor=args.k_factor)
+                  if args.draws > 0 else None)
+        if args.placements:
+            spec = CampaignSpec.from_placements(
+                protocols, powers_db, args.placements,
+                path_loss_exponent=args.path_loss_exponent, fading=fading,
+            )
+        else:
+            spec = CampaignSpec(
+                protocols=protocols,
+                powers_db=powers_db,
+                gains=(LinkGains.from_db(args.gab_db, args.gar_db,
+                                         args.gbr_db),),
+                fading=fading,
+            )
+        executor_kwargs = {}
+        if args.executor == "process" and args.processes:
+            executor_kwargs["processes"] = args.processes
+        executor = get_executor(args.executor, **executor_kwargs)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+
+    cache = False if args.no_cache else CampaignCache(args.cache_dir)
+    progress = None if args.quiet else _stderr_progress()
+
+    result = run_campaign(spec, executor=executor, cache=cache,
+                          progress=progress)
+
+    geometry = (f"{args.placements} relay placements" if args.placements
+                else f"G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
+                     f"G_br={args.gbr_db:g} dB")
+    fading_note = (f"{spec.n_draws} draws/geometry (seed {args.seed}, "
+                   f"K={args.k_factor:g})" if fading else "no fading")
+    print(render_table(
+        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
+         "median"],
+        result.summary_rows(epsilon=0.1),
+        title=(f"campaign over {geometry}; {fading_note} "
+               f"— sum rates [bits/use]"),
+    ))
+    source = "cache" if result.from_cache else f"{result.executor_name} executor"
+    print(f"\n{spec.n_units} units via {source} "
+          f"in {result.elapsed_seconds:.3f} s "
+          f"(spec {spec.spec_hash()[:12]})")
+    return 0
+
+
 def _cmd_fairness(args) -> int:
     from .core.fairness import fairness_report
 
@@ -271,6 +360,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_diag = sub.add_parser("diagrams", help="print the protocol timelines")
     p_diag.set_defaults(func=_cmd_diagrams)
+
+    p_fading = sub.add_parser(
+        "fading",
+        help="regenerate the Section IV fading ensemble statistics",
+    )
+    p_fading.add_argument(
+        "--executor", default=None,
+        choices=["serial", "process", "vectorized"],
+        help="campaign executor (default vectorized)",
+    )
+    p_fading.set_defaults(func=_cmd_fading)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="evaluate a protocols × powers × geometries × draws grid",
+    )
+    p_campaign.add_argument(
+        "--protocols", default="dt,mabc,tdbc,hbc",
+        help="comma-separated protocol names, or 'all' "
+             "(default dt,mabc,tdbc,hbc)",
+    )
+    p_campaign.add_argument(
+        "--powers-db", default="10",
+        help="comma-separated transmit powers in dB (default '10')",
+    )
+    p_campaign.add_argument(
+        "--placements", type=int, default=0, metavar="N",
+        help="sweep N relay placements along the a-b segment instead of "
+             "using the --g*-db gains",
+    )
+    p_campaign.add_argument(
+        "--path-loss-exponent", type=float, default=3.0,
+        help="path-loss exponent of the placement sweep (default 3)",
+    )
+    p_campaign.add_argument(
+        "--draws", type=int, default=100,
+        help="fading draws per geometry; 0 evaluates the means "
+             "(default 100)",
+    )
+    p_campaign.add_argument("--seed", type=int, default=0,
+                            help="fading ensemble seed (default 0)")
+    p_campaign.add_argument("--k-factor", type=float, default=0.0,
+                            help="Rician K-factor (default 0 = Rayleigh)")
+    p_campaign.add_argument(
+        "--executor", default="vectorized",
+        choices=["serial", "process", "vectorized"],
+        help="execution backend (default vectorized)",
+    )
+    p_campaign.add_argument(
+        "--processes", type=int, default=0,
+        help="worker count for --executor process (default: cpu count)",
+    )
+    p_campaign.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
+             "~/.cache/repro/campaigns)",
+    )
+    p_campaign.add_argument("--no-cache", action="store_true",
+                            help="disable the result cache")
+    p_campaign.add_argument("--quiet", action="store_true",
+                            help="suppress the progress meter")
+    p_campaign.add_argument("--gab-db", type=float, default=-7.0,
+                            help="direct-link gain G_ab in dB (default -7)")
+    p_campaign.add_argument("--gar-db", type=float, default=0.0,
+                            help="a-relay gain G_ar in dB (default 0)")
+    p_campaign.add_argument("--gbr-db", type=float, default=5.0,
+                            help="b-relay gain G_br in dB (default 5)")
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     p_sweep = sub.add_parser("sweep", help="sum rates across a power sweep")
     p_sweep.add_argument("--min-db", type=float, default=-5.0)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..campaign.engine import run_campaign
+from ..campaign.spec import CampaignSpec
 from ..channels.gains import LinkGains
 from ..channels.pathloss import linear_relay_gains
 from ..core.capacity import compare_protocols
@@ -73,38 +75,78 @@ def _sum_rates(channel: GaussianChannel, backend: str) -> dict:
     return {p: point.sum_rate for p, point in comparison.sum_rates.items()}
 
 
+def _sweep_rows(sweep_values, gains_list, config: Fig3Config,
+                executor) -> tuple:
+    """One sweep as a campaign: every (protocol, geometry) in one grid."""
+    if not gains_list:
+        return ()
+    spec = CampaignSpec(protocols=PROTOCOL_ORDER,
+                        powers_db=(config.power_db,),
+                        gains=tuple(gains_list))
+    result = run_campaign(spec, executor=executor)
+    rows = []
+    for gi, (value, gains) in enumerate(zip(sweep_values, gains_list)):
+        rows.append(Fig3Row(
+            sweep_value=float(value),
+            gains=gains,
+            sum_rates={
+                p: float(result.values[pi, 0, gi, 0])
+                for pi, p in enumerate(PROTOCOL_ORDER)
+            },
+        ))
+    return tuple(rows)
+
+
 def run_fig3(config: Fig3Config = FIG3_DEFAULT, *,
-             backend: str = DEFAULT_BACKEND) -> Fig3Result:
+             backend: str = DEFAULT_BACKEND,
+             executor="vectorized") -> Fig3Result:
     """Compute both Fig. 3 sweeps.
 
     Every point solves four LPs (one per protocol) over rates and phase
-    durations jointly, exactly the optimization the paper describes.
+    durations jointly, exactly the optimization the paper describes. By
+    default both sweeps run as campaigns through the batched executor
+    (``executor``: name or instance); passing ``executor=None`` — or
+    requesting a non-default LP ``backend`` — runs the legacy per-point
+    LP loop so the backend choice is honored.
     """
-    power = config.power
+    if backend != DEFAULT_BACKEND:
+        executor = None
+    placement_gains = [
+        linear_relay_gains(float(fraction),
+                           exponent=config.path_loss_exponent)
+        for fraction in config.relay_fractions
+    ]
+    symmetric_gains = [
+        LinkGains.from_db(config.gab_db, float(gain_db), float(gain_db))
+        for gain_db in config.symmetric_gains_db
+    ]
 
-    placement_rows = []
-    for fraction in config.relay_fractions:
-        gains = linear_relay_gains(float(fraction),
-                                   exponent=config.path_loss_exponent)
-        channel = GaussianChannel(gains=gains, power=power)
-        placement_rows.append(
+    if executor is None:
+        power = config.power
+        placement_rows = tuple(
             Fig3Row(sweep_value=float(fraction), gains=gains,
-                    sum_rates=_sum_rates(channel, backend))
+                    sum_rates=_sum_rates(
+                        GaussianChannel(gains=gains, power=power), backend))
+            for fraction, gains in zip(config.relay_fractions,
+                                       placement_gains)
         )
-
-    symmetric_rows = []
-    for gain_db in config.symmetric_gains_db:
-        gains = LinkGains.from_db(config.gab_db, float(gain_db), float(gain_db))
-        channel = GaussianChannel(gains=gains, power=power)
-        symmetric_rows.append(
+        symmetric_rows = tuple(
             Fig3Row(sweep_value=float(gain_db), gains=gains,
-                    sum_rates=_sum_rates(channel, backend))
+                    sum_rates=_sum_rates(
+                        GaussianChannel(gains=gains, power=power), backend))
+            for gain_db, gains in zip(config.symmetric_gains_db,
+                                      symmetric_gains)
         )
+    else:
+        placement_rows = _sweep_rows(config.relay_fractions, placement_gains,
+                                     config, executor)
+        symmetric_rows = _sweep_rows(config.symmetric_gains_db,
+                                     symmetric_gains, config, executor)
 
     return Fig3Result(
         config=config,
-        placement_rows=tuple(placement_rows),
-        symmetric_rows=tuple(symmetric_rows),
+        placement_rows=placement_rows,
+        symmetric_rows=symmetric_rows,
     )
 
 

@@ -22,7 +22,7 @@ from ..core.capacity import achievable_region, outer_bound_region
 from ..core.protocols import Protocol
 from ..core.regions import RateRegion, region_dominates
 from ..optimize.linprog import DEFAULT_BACKEND
-from .config import FIG4_P0, FIG4_P10, Fig4Config
+from .config import Fig4Config
 
 __all__ = ["RegionTrace", "Fig4Result", "run_fig4", "fig4_shape_checks"]
 

@@ -10,6 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..campaign.engine import run_campaign
+from ..campaign.spec import CampaignSpec, FadingSpec
+from ..channels.gains import LinkGains
+from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from .ascii_plot import ascii_plot
 from .config import FIG3_DEFAULT, FIG4_P0, FIG4_P10, Fig4Config
@@ -18,7 +22,8 @@ from .fig4 import Fig4Result, fig4_shape_checks, run_fig4
 from .tables import render_table, write_csv
 
 __all__ = ["ExperimentReport", "run_experiment", "EXPERIMENT_IDS",
-           "fig3_report", "fig4_report"]
+           "fig3_report", "fig4_report", "fading_report",
+           "DEFAULT_FADING_SPEC"]
 
 
 @dataclass(frozen=True)
@@ -166,12 +171,65 @@ def fig4_report(config: Fig4Config, experiment_id: str, *,
     )
 
 
-def run_experiment(experiment_id: str) -> ExperimentReport:
-    """Run one registered experiment end to end."""
+#: The Section IV fading ensemble regenerated by the ``fading`` experiment:
+#: the Fig. 4 geometry at both panel powers under Rayleigh fading.
+DEFAULT_FADING_SPEC = CampaignSpec(
+    protocols=(Protocol.DT, Protocol.MABC, Protocol.TDBC, Protocol.HBC),
+    powers_db=(0.0, 10.0),
+    gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+    fading=FadingSpec(n_draws=200, seed=17),
+)
+
+
+def fading_report(spec: CampaignSpec = DEFAULT_FADING_SPEC, *,
+                  executor=None, cache=None) -> ExperimentReport:
+    """Ergodic/outage statistics of a fading campaign as a report.
+
+    The campaign engine evaluates the whole grid in a few batched solves;
+    ``executor`` and ``cache`` are forwarded to
+    :func:`repro.campaign.run_campaign`.
+    """
+    result = run_campaign(spec, executor=executor, cache=cache)
+    table = (
+        f"fading campaign ({spec.n_draws} draws/geometry, "
+        f"seed {spec.fading.seed if spec.fading else 'n/a'}, "
+        f"executor {result.executor_name}"
+        f"{', cached' if result.from_cache else ''}) — sum rates [bits/use]",
+        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
+         "median"],
+        result.summary_rows(epsilon=0.1),
+    )
+    checks = {}
+    if (Protocol.HBC in spec.protocols and Protocol.MABC in spec.protocols
+            and Protocol.TDBC in spec.protocols):
+        hbc_dominates = all(
+            result.ergodic_mean(Protocol.HBC, power_db)
+            >= max(result.ergodic_mean(Protocol.MABC, power_db),
+                   result.ergodic_mean(Protocol.TDBC, power_db)) - 1e-9
+            for power_db in spec.powers_db
+        )
+        checks["hbc_dominates_ergodically"] = hbc_dominates
+    return ExperimentReport(
+        experiment_id="fading",
+        description="ergodic and outage sum rates under quasi-static fading",
+        tables=(table,),
+        checks=checks,
+    )
+
+
+def run_experiment(experiment_id: str, *, executor=None) -> ExperimentReport:
+    """Run one registered experiment end to end.
+
+    ``executor`` (campaign executor name or instance) is forwarded to the
+    experiments that evaluate through the campaign engine; ``None`` keeps
+    each experiment's default.
+    """
     registry = {
-        "fig3": lambda: fig3_report(),
+        "fig3": lambda: (fig3_report() if executor is None
+                         else fig3_report(run_fig3(executor=executor))),
         "fig4a": lambda: fig4_report(FIG4_P0, "fig4a"),
         "fig4b": lambda: fig4_report(FIG4_P10, "fig4b"),
+        "fading": lambda: fading_report(executor=executor),
     }
     if experiment_id not in registry:
         raise InvalidParameterError(
@@ -181,5 +239,5 @@ def run_experiment(experiment_id: str) -> ExperimentReport:
     return registry[experiment_id]()
 
 
-#: Registered paper-artifact experiment ids.
-EXPERIMENT_IDS = ("fig3", "fig4a", "fig4b")
+#: Registered experiment ids (paper artifacts plus the fading campaign).
+EXPERIMENT_IDS = ("fig3", "fig4a", "fig4b", "fading")

@@ -10,12 +10,20 @@ sweep (Fig. 3). Downstream users invariably ask the next questions:
   paper describes qualitatively, located numerically with bisection),
 * *which protocol should I run at each operating point?*
   (:func:`winner_table`).
+
+Sweeps route through the campaign engine (:mod:`repro.campaign`): a power
+sweep is one declarative ``protocols × powers`` grid evaluated by the
+vectorized executor in a handful of batched solves. Pass ``executor=None``
+to fall back to the historical per-point LP loop with an explicit
+``backend``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..campaign.engine import run_campaign
+from ..campaign.spec import CampaignSpec
 from ..channels.gains import LinkGains
 from ..core.capacity import compare_protocols, optimal_sum_rate
 from ..core.gaussian import GaussianChannel
@@ -44,21 +52,46 @@ class PowerSweepRow:
 def power_sweep(gains: LinkGains, powers_db, *,
                 protocols=(Protocol.DT, Protocol.NAIVE4, Protocol.MABC,
                            Protocol.TDBC, Protocol.HBC),
-                backend: str = DEFAULT_BACKEND) -> list[PowerSweepRow]:
-    """Optimal sum rate of each protocol across a power sweep."""
-    powers = list(powers_db)
+                backend: str = DEFAULT_BACKEND,
+                executor="vectorized") -> list[PowerSweepRow]:
+    """Optimal sum rate of each protocol across a power sweep.
+
+    ``executor`` selects a campaign executor (name or instance); passing
+    ``None`` — or requesting a non-default LP ``backend`` — runs the
+    legacy one-LP-per-point loop so the backend choice is honored.
+    """
+    powers = [float(p) for p in powers_db]
     if not powers:
         raise InvalidParameterError("at least one power point required")
-    rows = []
-    for power_db in powers:
-        channel = GaussianChannel(gains=gains, power=db_to_linear(power_db))
-        comparison = compare_protocols(channel, protocols=protocols,
-                                       backend=backend)
-        rows.append(PowerSweepRow(
-            power_db=float(power_db),
-            sum_rates={p: pt.sum_rate for p, pt in comparison.sum_rates.items()},
-        ))
-    return rows
+    protocols = tuple(protocols)
+    if backend != DEFAULT_BACKEND:
+        executor = None
+    if executor is None:
+        rows = []
+        for power_db in powers:
+            channel = GaussianChannel(gains=gains,
+                                      power=db_to_linear(power_db))
+            comparison = compare_protocols(channel, protocols=protocols,
+                                           backend=backend)
+            rows.append(PowerSweepRow(
+                power_db=power_db,
+                sum_rates={p: pt.sum_rate
+                           for p, pt in comparison.sum_rates.items()},
+            ))
+        return rows
+    spec = CampaignSpec(protocols=protocols, powers_db=tuple(powers),
+                        gains=(gains,))
+    result = run_campaign(spec, executor=executor)
+    return [
+        PowerSweepRow(
+            power_db=power_db,
+            sum_rates={
+                p: float(result.values[pi, wi, 0, 0])
+                for pi, p in enumerate(protocols)
+            },
+        )
+        for wi, power_db in enumerate(powers)
+    ]
 
 
 def protocol_crossover_power(gains: LinkGains, first: Protocol,
@@ -87,14 +120,16 @@ def protocol_crossover_power(gains: LinkGains, first: Protocol,
 
 
 def winner_table(gains: LinkGains, powers_db, *,
-                 backend: str = DEFAULT_BACKEND) -> list[tuple]:
+                 backend: str = DEFAULT_BACKEND,
+                 executor="vectorized") -> list[tuple]:
     """``(power_db, winner_name, margin)`` rows across a power sweep.
 
     The margin is the gap (bits/use) to the runner-up — how much choosing
     the right protocol is worth at each operating point.
     """
     rows = []
-    for row in power_sweep(gains, powers_db, backend=backend):
+    for row in power_sweep(gains, powers_db, backend=backend,
+                           executor=executor):
         ordered = sorted(row.sum_rates.items(), key=lambda kv: -kv[1])
         margin = ordered[0][1] - ordered[1][1]
         rows.append((row.power_db, ordered[0][0].name, margin))

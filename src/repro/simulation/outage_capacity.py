@@ -10,6 +10,10 @@ LP optima used everywhere else:
   distribution (exactly the ε-outage capacity of the *adaptive-duration*
   scheme, since durations are re-optimized per fade);
 * :func:`OutageCurve` — the full rate-vs-outage trade-off for plotting.
+
+Ensemble evaluation routes through the campaign engine
+(:mod:`repro.campaign`); pass ``executor=None`` to fall back to the
+historical one-LP-per-draw loop with an explicit LP ``backend``.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..campaign.engine import evaluate_ensemble
 from ..channels.fading import sample_gain_ensemble
 from ..channels.gains import LinkGains
 from ..core.capacity import optimal_sum_rate
@@ -67,25 +72,40 @@ class OutageCurve:
 def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
                          power: float, n_draws: int,
                          rng: np.random.Generator, *, k_factor: float = 0.0,
-                         backend: str = DEFAULT_BACKEND) -> OutageCurve:
-    """Sample the per-fade optimal sum rate distribution of a protocol."""
+                         backend: str = DEFAULT_BACKEND,
+                         executor="vectorized") -> OutageCurve:
+    """Sample the per-fade optimal sum rate distribution of a protocol.
+
+    ``executor`` selects a campaign executor (name or instance); passing
+    ``None`` — or requesting a non-default LP ``backend`` — runs the
+    legacy per-draw LP loop so the backend choice is honored.
+    """
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
     ensemble = sample_gain_ensemble(mean_gains, n_draws, rng,
                                     k_factor=k_factor)
-    samples = np.sort([
-        optimal_sum_rate(protocol, GaussianChannel(gains=draw, power=power),
-                         backend=backend).sum_rate
-        for draw in ensemble
-    ])
-    return OutageCurve(protocol=protocol, samples=samples)
+    if backend != DEFAULT_BACKEND:
+        executor = None
+    if executor is None:
+        values = [
+            optimal_sum_rate(protocol,
+                             GaussianChannel(gains=draw, power=power),
+                             backend=backend).sum_rate
+            for draw in ensemble
+        ]
+    else:
+        values = evaluate_ensemble(protocol, ensemble, power,
+                                   executor=executor)
+    return OutageCurve(protocol=protocol, samples=np.sort(values))
 
 
 def outage_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
                     epsilon: float, n_draws: int,
                     rng: np.random.Generator, *, k_factor: float = 0.0,
-                    backend: str = DEFAULT_BACKEND) -> float:
+                    backend: str = DEFAULT_BACKEND,
+                    executor="vectorized") -> float:
     """The ε-outage sum rate of one protocol (see :class:`OutageCurve`)."""
     curve = compute_outage_curve(protocol, mean_gains, power, n_draws, rng,
-                                 k_factor=k_factor, backend=backend)
+                                 k_factor=k_factor, backend=backend,
+                                 executor=executor)
     return curve.rate_at_outage(epsilon)

@@ -1,0 +1,74 @@
+"""Unit tests for the content-addressed campaign result cache."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import CACHE_DIR_ENV, CampaignCache, default_cache_dir
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CampaignCache(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache):
+        values = np.arange(12.0).reshape(3, 4)
+        cache.store("abc123", values, {"spec": "demo"})
+        loaded = cache.load("abc123")
+        assert np.array_equal(loaded, values)
+
+    def test_missing_key_is_none(self, cache):
+        assert cache.load("nope") is None
+
+    def test_store_creates_directory(self, tmp_path):
+        cache = CampaignCache(tmp_path / "deep" / "nested")
+        cache.store("k", np.ones(2), {})
+        assert cache.load("k") is not None
+
+    def test_overwrite_replaces_entry(self, cache):
+        cache.store("k", np.ones(2), {})
+        cache.store("k", np.zeros(2), {})
+        assert np.array_equal(cache.load("k"), np.zeros(2))
+
+    def test_spec_json_rides_along(self, cache):
+        path = cache.store("k", np.ones(2), {"n_draws": 5})
+        with np.load(path) as entry:
+            assert "n_draws" in str(entry["spec_json"])
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.store("k", np.ones(2), {})
+        cache.path_for("k").write_bytes(b"not a zip archive")
+        assert cache.load("k") is None
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        cache.store("k", np.ones(2), {})
+        raw = cache.path_for("k").read_bytes()
+        cache.path_for("k").write_bytes(raw[: len(raw) // 2])
+        assert cache.load("k") is None
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.store("k", np.ones(2), {})
+        leftovers = [
+            p for p in cache.directory.iterdir() if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_clear(self, cache):
+        cache.store("k1", np.ones(2), {})
+        cache.store("k2", np.ones(2), {})
+        assert cache.clear() == 2
+        assert cache.load("k1") is None
+        assert CampaignCache(cache.directory / "missing").clear() == 0
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().name == "campaigns"

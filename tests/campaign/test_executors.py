@@ -1,0 +1,116 @@
+"""Executor equivalence: serial, multiprocessing and vectorized must agree
+bitwise on identical work, so cached results are execution-independent."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.executors import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    UnitBatch,
+    VectorizedExecutor,
+    get_executor,
+)
+from repro.campaign.spec import CampaignSpec, FadingSpec
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def seeded_batches():
+    """Per-protocol unit batches over one seeded Rayleigh ensemble."""
+    from repro.channels.gains import LinkGains
+
+    paper_gains = LinkGains.from_db(-7.0, 0.0, 5.0)
+    spec = CampaignSpec(
+        protocols=(Protocol.MABC, Protocol.TDBC, Protocol.HBC),
+        powers_db=(10.0,),
+        gains=(paper_gains,),
+        fading=FadingSpec(n_draws=24, seed=99),
+    )
+    draws = spec.sample_gain_draws().reshape(-1, 3)
+    return [
+        UnitBatch(
+            protocol=protocol,
+            gab=draws[:, 0],
+            gar=draws[:, 1],
+            gbr=draws[:, 2],
+            power=np.full(draws.shape[0], 10.0),
+        )
+        for protocol in spec.protocols
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results(seeded_batches):
+    return SerialExecutor().run(seeded_batches)
+
+
+class TestBitwiseEquivalence:
+    def test_vectorized_matches_serial(self, seeded_batches, serial_results):
+        vectorized = VectorizedExecutor().run(seeded_batches)
+        for fast, reference in zip(vectorized, serial_results):
+            assert np.array_equal(fast, reference)
+
+    def test_chunked_vectorized_matches_serial(self, seeded_batches,
+                                               serial_results):
+        chunked = VectorizedExecutor(max_batch=7).run(seeded_batches)
+        for fast, reference in zip(chunked, serial_results):
+            assert np.array_equal(fast, reference)
+
+    def test_multiprocess_matches_serial(self, seeded_batches,
+                                         serial_results):
+        pooled = MultiprocessExecutor(processes=2).run(seeded_batches)
+        for fast, reference in zip(pooled, serial_results):
+            assert np.array_equal(fast, reference)
+
+    def test_multiprocess_chunking_invariant(self, seeded_batches,
+                                             serial_results):
+        pooled = MultiprocessExecutor(processes=2,
+                                      chunksize=5).run(seeded_batches)
+        for fast, reference in zip(pooled, serial_results):
+            assert np.array_equal(fast, reference)
+
+
+class TestProgress:
+    def test_progress_reaches_total(self, seeded_batches):
+        ticks = []
+        VectorizedExecutor().run(
+            seeded_batches, progress=lambda done, total: ticks.append(
+                (done, total))
+        )
+        total = sum(len(b) for b in seeded_batches)
+        assert ticks[-1] == (total, total)
+        assert [t[0] for t in ticks] == sorted(t[0] for t in ticks)
+
+    def test_serial_progress_counts_every_unit(self, seeded_batches):
+        ticks = []
+        SerialExecutor().run(
+            seeded_batches[:1], progress=lambda done, total: ticks.append(
+                (done, total))
+        )
+        assert len(ticks) == len(seeded_batches[0])
+
+
+class TestRegistry:
+    def test_names_resolve(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("process"), MultiprocessExecutor)
+        assert isinstance(get_executor("vectorized"), VectorizedExecutor)
+        assert isinstance(get_executor(None), VectorizedExecutor)
+
+    def test_instances_pass_through(self):
+        executor = VectorizedExecutor(max_batch=3)
+        assert get_executor(executor) is executor
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_executor("gpu")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiprocessExecutor(processes=0)
+        with pytest.raises(InvalidParameterError):
+            MultiprocessExecutor(chunksize=0)
+        with pytest.raises(InvalidParameterError):
+            VectorizedExecutor(max_batch=0)

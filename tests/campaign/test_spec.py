@@ -1,0 +1,133 @@
+"""Unit tests for campaign specifications and grid expansion."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import CampaignSpec, FadingSpec, WorkUnit
+from repro.channels.gains import LinkGains
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def small_spec(paper_gains):
+    return CampaignSpec(
+        protocols=(Protocol.MABC, Protocol.HBC),
+        powers_db=(0.0, 10.0),
+        gains=(paper_gains,),
+        fading=FadingSpec(n_draws=5, seed=3),
+    )
+
+
+class TestValidation:
+    def test_empty_protocols_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(protocols=(), powers_db=(10.0,),
+                         gains=(paper_gains,))
+
+    def test_duplicate_protocols_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(protocols=(Protocol.MABC, Protocol.MABC),
+                         powers_db=(10.0,), gains=(paper_gains,))
+
+    def test_empty_powers_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(),
+                         gains=(paper_gains,))
+
+    def test_empty_gains_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(10.0,),
+                         gains=())
+
+    def test_non_gains_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(10.0,),
+                         gains=((1.0, 2.0, 3.0),))
+
+    def test_bad_fading_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FadingSpec(n_draws=0)
+        with pytest.raises(InvalidParameterError):
+            FadingSpec(n_draws=5, k_factor=-1.0)
+
+
+class TestExpansion:
+    def test_grid_shape_and_unit_count(self, small_spec):
+        assert small_spec.grid_shape == (2, 2, 1, 5)
+        assert small_spec.n_units == 20
+
+    def test_expand_yields_every_unit_in_order(self, small_spec):
+        units = list(small_spec.expand())
+        assert len(units) == small_spec.n_units
+        assert [u.index for u in units] == list(range(small_spec.n_units))
+        assert all(isinstance(u, WorkUnit) for u in units)
+        # First block is MABC at 0 dB (power 1.0 linear).
+        assert units[0].protocol is Protocol.MABC
+        assert units[0].power == pytest.approx(1.0)
+        # Second half of the grid is HBC.
+        assert units[10].protocol is Protocol.HBC
+
+    def test_draws_paired_across_protocols_and_powers(self, small_spec):
+        units = list(small_spec.expand())
+        per_block = len(small_spec.powers_db) * small_spec.n_draws
+        mabc, hbc = units[:per_block], units[per_block:]
+        for a, b in zip(mabc, hbc):
+            assert a.gains == b.gains
+
+    def test_no_fading_means_single_draw_of_means(self, paper_gains):
+        spec = CampaignSpec(protocols=(Protocol.DT,), powers_db=(10.0,),
+                            gains=(paper_gains,))
+        draws = spec.sample_gain_draws()
+        assert draws.shape == (1, 1, 3)
+        assert tuple(draws[0, 0]) == (
+            paper_gains.gab, paper_gains.gar, paper_gains.gbr
+        )
+
+    def test_sampling_is_deterministic(self, small_spec):
+        assert np.array_equal(small_spec.sample_gain_draws(),
+                              small_spec.sample_gain_draws())
+
+    def test_from_placements(self):
+        spec = CampaignSpec.from_placements(
+            (Protocol.MABC,), (10.0,), 7, fading=FadingSpec(n_draws=2)
+        )
+        assert len(spec.gains) == 7
+        assert spec.grid_shape == (1, 1, 7, 2)
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec.from_placements((Protocol.MABC,), (10.0,), 0)
+
+
+class TestHashing:
+    def test_hash_is_stable(self, small_spec, paper_gains):
+        clone = CampaignSpec(
+            protocols=(Protocol.MABC, Protocol.HBC),
+            powers_db=(0.0, 10.0),
+            gains=(paper_gains,),
+            fading=FadingSpec(n_draws=5, seed=3),
+        )
+        assert small_spec.spec_hash() == clone.spec_hash()
+
+    @pytest.mark.parametrize("change", [
+        {"protocols": (Protocol.MABC, Protocol.TDBC)},
+        {"powers_db": (0.0, 11.0)},
+        {"fading": FadingSpec(n_draws=6, seed=3)},
+        {"fading": FadingSpec(n_draws=5, seed=4)},
+        {"fading": FadingSpec(n_draws=5, seed=3, k_factor=1.0)},
+        {"fading": None},
+    ])
+    def test_any_field_change_changes_the_hash(self, small_spec,
+                                               paper_gains, change):
+        fields = {
+            "protocols": small_spec.protocols,
+            "powers_db": small_spec.powers_db,
+            "gains": small_spec.gains,
+            "fading": small_spec.fading,
+        }
+        fields.update(change)
+        assert CampaignSpec(**fields).spec_hash() != small_spec.spec_hash()
+
+    def test_dict_round_trip(self, small_spec):
+        clone = CampaignSpec.from_dict(small_spec.to_dict())
+        assert clone == small_spec
+        assert clone.spec_hash() == small_spec.spec_hash()

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.bounds import dt_capacity, hbc_inner, mabc_inner, tdbc_inner, tdbc_outer
+from repro.core.bounds import dt_capacity, mabc_inner, tdbc_outer
 from repro.core.capacity import achievable_region, outer_bound_region
 from repro.core.protocols import Protocol
 from repro.core.regions import (
-    RateRegion,
     fixed_duration_polygon,
     polygon_area,
     region_dominates,

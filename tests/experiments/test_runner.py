@@ -68,7 +68,7 @@ class TestFig4Report:
 
 class TestRegistry:
     def test_experiment_ids(self):
-        assert set(EXPERIMENT_IDS) == {"fig3", "fig4a", "fig4b"}
+        assert set(EXPERIMENT_IDS) == {"fig3", "fig4a", "fig4b", "fading"}
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(InvalidParameterError):

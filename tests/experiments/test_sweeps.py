@@ -38,6 +38,31 @@ class TestPowerSweep:
         with pytest.raises(InvalidParameterError):
             power_sweep(paper_gains, ())
 
+    def test_campaign_path_matches_legacy_lp_loop(self, paper_gains):
+        """The batched campaign route reproduces the per-point LP sweep."""
+        powers = (0.0, 7.5, 15.0)
+        fast = power_sweep(paper_gains, powers)
+        legacy = power_sweep(paper_gains, powers, executor=None)
+        for fast_row, legacy_row in zip(fast, legacy):
+            assert fast_row.power_db == legacy_row.power_db
+            for protocol, value in legacy_row.sum_rates.items():
+                assert fast_row.sum_rates[protocol] == pytest.approx(
+                    value, abs=1e-7
+                )
+
+    def test_explicit_backend_is_honored(self, paper_gains):
+        """A non-default LP backend must actually run, not be shadowed by
+        the default campaign executor."""
+        simplex = power_sweep(paper_gains, (10.0,),
+                              protocols=(Protocol.MABC,), backend="simplex")
+        default = power_sweep(paper_gains, (10.0,),
+                              protocols=(Protocol.MABC,))
+        assert simplex[0].sum_rates[Protocol.MABC] == pytest.approx(
+            default[0].sum_rates[Protocol.MABC], abs=1e-6
+        )
+        with pytest.raises(InvalidParameterError):
+            power_sweep(paper_gains, (10.0,), backend="bogus")
+
 
 class TestCrossover:
     def test_symmetric_relay_has_mabc_tdbc_crossover(self):

@@ -6,7 +6,6 @@ import pytest
 from repro.core.protocols import Protocol
 from repro.exceptions import InvalidParameterError
 from repro.simulation.outage_capacity import (
-    OutageCurve,
     compute_outage_curve,
     outage_sum_rate,
 )
@@ -73,3 +72,14 @@ class TestOutageSumRate:
     def test_draws_validated(self, paper_gains, rng):
         with pytest.raises(InvalidParameterError):
             compute_outage_curve(Protocol.DT, paper_gains, 1.0, 0, rng)
+
+    def test_campaign_path_matches_legacy_lp_loop(self, paper_gains):
+        """Campaign executor and per-draw LP loop agree draw for draw."""
+        fast = compute_outage_curve(Protocol.HBC, paper_gains, power=10.0,
+                                    n_draws=20,
+                                    rng=np.random.default_rng(21))
+        legacy = compute_outage_curve(Protocol.HBC, paper_gains, power=10.0,
+                                      n_draws=20,
+                                      rng=np.random.default_rng(21),
+                                      executor=None)
+        np.testing.assert_allclose(fast.samples, legacy.samples, atol=1e-7)

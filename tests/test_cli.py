@@ -14,7 +14,7 @@ class TestParser:
         subparsers = actions["command"]
         assert set(subparsers.choices) == {
             "fig3", "fig4", "region", "sumrate", "simulate", "diagrams",
-            "sweep", "adaptive", "fairness",
+            "sweep", "adaptive", "fairness", "fading", "campaign",
         }
 
     def test_region_requires_protocol(self):
@@ -88,6 +88,87 @@ class TestCommands:
         assert code == 0
         assert "fairness analysis" in out
         assert "cost of symmetry" in out
+
+    def test_fading(self, capsys):
+        code = main(["fading"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fading campaign" in out
+        assert "hbc_dominates_ergodically" in out
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_and_reports(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--powers-db", "0,10", "--draws", "8",
+            "--cache-dir", str(tmp_path), "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ergodic mean" in out
+        assert "vectorized executor" in out
+
+    def test_campaign_repeat_hits_cache(self, capsys, tmp_path):
+        args = ["campaign", "--powers-db", "10", "--draws", "6",
+                "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "via cache" in out
+
+    def test_campaign_placements_and_executor(self, capsys, tmp_path):
+        code = main([
+            "campaign", "--placements", "3", "--draws", "0",
+            "--protocols", "mabc,hbc", "--executor", "serial",
+            "--no-cache", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 relay placements" in out
+        assert "serial executor" in out
+
+    def test_campaign_progress_meter(self, capsys, tmp_path):
+        code = main(["campaign", "--powers-db", "10", "--draws", "5",
+                     "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[campaign]" in captured.err
+        assert "100%" in captured.err
+
+    def test_campaign_bad_protocol_rejected(self, capsys):
+        code = main(["campaign", "--protocols", "bogus", "--quiet",
+                     "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown protocol" in out
+
+    def test_campaign_bad_powers_rejected(self, capsys):
+        code = main(["campaign", "--powers-db", "ten", "--quiet",
+                     "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "error" in out
+
+    def test_campaign_bad_executor_params_rejected(self, capsys):
+        code = main(["campaign", "--executor", "process", "--processes",
+                     "-2", "--quiet", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "error" in out
+
+    def test_campaign_negative_draws_rejected(self, capsys):
+        code = main(["campaign", "--draws", "-5", "--quiet", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "non-negative" in out
+
+    def test_campaign_duplicate_protocols_rejected(self, capsys):
+        code = main(["campaign", "--protocols", "mabc,mabc", "--quiet",
+                     "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "duplicate" in out
 
 
 class TestSweepValidation:
