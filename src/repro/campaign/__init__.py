@@ -8,7 +8,12 @@ into declarative grids evaluated through pluggable executors:
   (``protocols × powers × geometries × fading draws``),
 * evaluate it with :func:`run_campaign` through the serial,
   multiprocessing or vectorized executor (all bitwise-equivalent),
-* repeated specs are served from a content-addressed on-disk cache.
+* repeated specs are served from a content-addressed on-disk cache,
+* with a cache, execution is chunk-checkpointed: interrupted campaigns
+  resume instead of restarting, ``run_campaign(spec, shard=spec.shard(i, n))``
+  splits the grid across processes/machines that share only a cache
+  directory, and :func:`gather_campaign` merges shard artifacts into a
+  result bitwise-identical to an unsharded run.
 
 Quickstart::
 
@@ -26,7 +31,7 @@ Quickstart::
 """
 
 from .cache import CampaignCache, default_cache_dir
-from .engine import CampaignResult, evaluate_ensemble, run_campaign
+from .engine import CampaignResult, evaluate_ensemble, gather_campaign, run_campaign
 from .executors import (
     EXECUTOR_NAMES,
     MultiprocessExecutor,
@@ -36,13 +41,22 @@ from .executors import (
     get_executor,
 )
 from .kernel import KERNEL_VERSION, batched_sum_rates
-from .spec import GRID_AXES, CampaignSpec, FadingSpec, WorkUnit
+from .spec import (
+    DEFAULT_CHUNK_SIZE,
+    GRID_AXES,
+    CampaignShard,
+    CampaignSpec,
+    FadingSpec,
+    WorkUnit,
+    chunk_ranges,
+)
 
 __all__ = [
     "CampaignCache",
     "default_cache_dir",
     "CampaignResult",
     "evaluate_ensemble",
+    "gather_campaign",
     "run_campaign",
     "EXECUTOR_NAMES",
     "MultiprocessExecutor",
@@ -53,6 +67,9 @@ __all__ = [
     "KERNEL_VERSION",
     "batched_sum_rates",
     "GRID_AXES",
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_ranges",
+    "CampaignShard",
     "CampaignSpec",
     "FadingSpec",
     "WorkUnit",

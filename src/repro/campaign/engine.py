@@ -1,4 +1,4 @@
-"""The campaign engine: expand a spec, execute it, cache the results.
+"""The campaign engine: expand a spec, execute it, checkpoint, cache.
 
 :func:`run_campaign` is the one entry point every batch workload routes
 through — the Fig. 3 sweeps, the power sweeps, the fading ensembles of
@@ -7,20 +7,36 @@ grid into per-protocol unit batches, evaluates them through a pluggable
 executor, and stores the result array in a content-addressed cache so a
 repeated spec costs one file read.
 
+Execution is *chunked* whenever a cache is in play: the flat grid is
+split at global chunk boundaries (:func:`repro.campaign.spec.chunk_ranges`)
+and every completed chunk is written to the cache immediately, so an
+interrupted or partially-failed campaign resumes from its checkpoints
+instead of restarting. The same mechanism makes campaigns *shardable*:
+``run_campaign(spec, shard=spec.shard(i, n))`` evaluates only shard
+``i``'s slice of the grid, independent shard processes coordinate solely
+through the shared cache directory, and :func:`gather_campaign` merges
+their chunk artifacts into a result bitwise-identical to an unsharded
+run (executors are bitwise-equivalent and chunking is elementwise, so
+how the grid was partitioned can never change the numbers).
+
 :func:`evaluate_ensemble` is the lower-level building block for callers
 that already hold concrete channel realizations (e.g. the Monte-Carlo
-drivers, which own their RNG for backward compatibility).
+drivers, which own their RNG for backward compatibility); given a cache
+it checkpoints chunks under a content hash of the realizations
+themselves, so huge ensembles are resumable too.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.protocols import Protocol
-from ..exceptions import InvalidParameterError
+from ..exceptions import IncompleteCampaignError, InvalidParameterError
 from ..information.functions import db_to_linear
 from .cache import CampaignCache
 from .executors import (
@@ -31,7 +47,7 @@ from .executors import (
     get_executor,
 )
 from .kernel import KERNEL_VERSION
-from .spec import CampaignSpec
+from .spec import DEFAULT_CHUNK_SIZE, CampaignShard, CampaignSpec, chunk_ranges
 
 #: Executors whose outputs are bitwise-verified against each other; only
 #: their results may be written to the shared content-addressed cache.
@@ -43,7 +59,12 @@ _CACHE_TRUSTED_EXECUTORS = (
     VectorizedExecutor,
 )
 
-__all__ = ["CampaignResult", "run_campaign", "evaluate_ensemble"]
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "gather_campaign",
+    "evaluate_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -56,14 +77,23 @@ class CampaignResult:
         The spec that produced the values.
     values:
         Optimal sum rates, shape ``(protocols, powers, gains, draws)``
-        in spec order.
+        in spec order. For a shard run, cells outside the shard's unit
+        range are ``NaN`` — the authoritative artifact of a shard run is
+        the chunk entries it wrote to the cache, not this array.
     executor_name:
         Which executor computed the values ("cache" on a hit is *not*
-        recorded — results are executor-independent by construction).
+        recorded — results are executor-independent by construction;
+        ``"gather"`` marks a merge of shard artifacts).
     from_cache:
-        Whether the values were served from the on-disk store.
+        Whether every evaluated cell was served from the on-disk store.
     elapsed_seconds:
         Wall-clock time of the evaluation (or cache read).
+    shard:
+        The grid slice this run evaluated (``None`` = the whole grid).
+    cells_from_cache:
+        Grid cells served from cached chunk or full entries.
+    cells_computed:
+        Grid cells freshly evaluated by the executor this run.
     """
 
     spec: CampaignSpec
@@ -71,6 +101,9 @@ class CampaignResult:
     executor_name: str
     from_cache: bool
     elapsed_seconds: float
+    shard: CampaignShard | None = None
+    cells_from_cache: int = 0
+    cells_computed: int = 0
 
     def _protocol_index(self, protocol: Protocol) -> int:
         try:
@@ -90,16 +123,13 @@ class CampaignResult:
 
     def values_for(self, protocol: Protocol, power_db: float) -> np.ndarray:
         """Sum rates of one (protocol, power) slice, shape ``(G, D)``."""
-        return self.values[
-            self._protocol_index(protocol), self._power_index(power_db)
-        ]
+        return self.values[self._protocol_index(protocol), self._power_index(power_db)]
 
     def ergodic_mean(self, protocol: Protocol, power_db: float) -> float:
         """Ensemble/grid average sum rate of the slice."""
         return float(self.values_for(protocol, power_db).mean())
 
-    def outage_rate(self, protocol: Protocol, power_db: float,
-                    epsilon: float) -> float:
+    def outage_rate(self, protocol: Protocol, power_db: float, epsilon: float) -> float:
         """ε-quantile of the slice's sum-rate distribution."""
         if not 0.0 <= epsilon <= 1.0:
             raise InvalidParameterError(
@@ -119,21 +149,33 @@ class CampaignResult:
                 samples = self.values_for(protocol, power_db).ravel()
                 std_error = (
                     float(samples.std(ddof=1) / np.sqrt(samples.size))
-                    if samples.size > 1 else 0.0
+                    if samples.size > 1
+                    else 0.0
                 )
-                rows.append([
-                    protocol.name,
-                    float(power_db),
-                    float(samples.mean()),
-                    std_error,
-                    float(np.quantile(samples, epsilon)),
-                    float(np.quantile(samples, 0.5)),
-                ])
+                rows.append(
+                    [
+                        protocol.name,
+                        float(power_db),
+                        float(samples.mean()),
+                        std_error,
+                        float(np.quantile(samples, epsilon)),
+                        float(np.quantile(samples, 0.5)),
+                    ]
+                )
         return rows
 
 
 def _cache_key(spec: CampaignSpec) -> str:
     return f"v{KERNEL_VERSION}-{spec.spec_hash()}"
+
+
+def _ensemble_key(protocol: Protocol, gains: np.ndarray, power: np.ndarray) -> str:
+    """Content key of a concrete-realization ensemble evaluation."""
+    hasher = hashlib.sha256()
+    hasher.update(protocol.value.encode("utf-8"))
+    hasher.update(np.ascontiguousarray(gains).tobytes())
+    hasher.update(np.ascontiguousarray(power).tobytes())
+    return f"v{KERNEL_VERSION}-ensemble-{hasher.hexdigest()}"
 
 
 def _resolve_cache(cache):
@@ -147,8 +189,109 @@ def _resolve_cache(cache):
     return CampaignCache(cache)
 
 
-def run_campaign(spec: CampaignSpec, *, executor=None, cache=None,
-                 progress=None) -> CampaignResult:
+def _resolve_shard(spec: CampaignSpec, shard) -> CampaignShard | None:
+    """Normalize the ``shard`` argument of :func:`run_campaign`."""
+    if shard is None:
+        return None
+    if isinstance(shard, CampaignShard):
+        if shard.spec != spec:
+            raise InvalidParameterError("shard belongs to a different spec")
+        return shard
+    index, count = shard
+    return spec.shard(int(index), int(count))
+
+
+def _offset_progress(progress, base: int, total: int):
+    """Adapt an executor's call-local progress to campaign-global counts."""
+
+    def advanced(done_in_call: int, _total_in_call: int) -> None:
+        progress(base + done_in_call, total)
+
+    return advanced
+
+
+def _grid_batches(spec, flat_gains, powers_linear, start, stop):
+    """Unit batches covering flat grid units ``[start, stop)``, in order.
+
+    The flat C-order index factors as ``(block, channel)`` where a block
+    is one ``(protocol, power)`` pair and a channel is one
+    ``(geometry, draw)`` pair, so any contiguous range decomposes into at
+    most one partial batch per block.
+    """
+    n_channels = flat_gains.shape[0]
+    batches = []
+    for block in range(start // n_channels, (stop - 1) // n_channels + 1):
+        lo = max(start, block * n_channels) - block * n_channels
+        hi = min(stop, (block + 1) * n_channels) - block * n_channels
+        pi, wi = divmod(block, len(spec.powers_db))
+        batches.append(
+            UnitBatch(
+                protocol=spec.protocols[pi],
+                gab=flat_gains[lo:hi, 0],
+                gar=flat_gains[lo:hi, 1],
+                gbr=flat_gains[lo:hi, 2],
+                power=np.full(hi - lo, powers_linear[wi]),
+            )
+        )
+    return batches
+
+
+def _run_chunked(
+    key, unit_range, batches_for, meta, store, trusted, executor, chunk_size, progress
+):
+    """Evaluate a flat unit range chunk by chunk, checkpointing each one.
+
+    Every chunk is first looked up in ``store`` (a verified hit skips the
+    executor entirely); freshly computed chunks are written back
+    immediately when the executor is cache-trusted, so an interrupted run
+    resumes from its last completed chunk. Returns
+    ``(flat_values, cells_from_cache, cells_computed)``.
+    """
+    start, stop = unit_range
+    total = stop - start
+    pieces = []
+    done = 0
+    cells_from_cache = 0
+    cells_computed = 0
+    reserve = getattr(executor, "reserve", None)
+    with ExitStack() as stack:
+        reserved = False
+        for lo, hi in chunk_ranges(start, stop, chunk_size):
+            values = store.load_chunk(key, lo, hi) if store is not None else None
+            if values is None:
+                if reserve is not None and not reserved:
+                    # Executors with per-call setup cost (e.g. a process
+                    # pool) keep it alive across the remaining chunks.
+                    stack.enter_context(reserve())
+                    reserved = True
+                sub_progress = None
+                if progress is not None:
+                    sub_progress = _offset_progress(progress, done, total)
+                value_arrays = executor.run(batches_for(lo, hi), progress=sub_progress)
+                values = np.concatenate(value_arrays)
+                cells_computed += hi - lo
+                if store is not None and trusted:
+                    store.store_chunk(key, lo, hi, values, meta)
+                done += hi - lo
+            else:
+                cells_from_cache += hi - lo
+                done += hi - lo
+                if progress is not None:
+                    progress(done, total)
+            pieces.append(values)
+    flat = np.concatenate(pieces) if pieces else np.zeros(0)
+    return flat, cells_from_cache, cells_computed
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    executor=None,
+    cache=None,
+    progress=None,
+    shard=None,
+    chunk_size=None,
+) -> CampaignResult:
     """Evaluate a campaign spec end to end.
 
     Parameters
@@ -162,58 +305,207 @@ def run_campaign(spec: CampaignSpec, *, executor=None, cache=None,
         ``None``/``False`` disables caching, ``True`` uses the default
         cache directory, and a path or :class:`CampaignCache` selects an
         explicit store. Results are keyed by the spec hash, so any
-        executor can serve any cache entry.
+        executor can serve any cache entry. With a cache, execution is
+        chunked and every completed chunk is checkpointed immediately —
+        an interrupted campaign resumes from cache instead of restarting.
     progress:
         Optional callable ``progress(done_units, total_units)`` invoked as
-        evaluation advances (and once on a cache hit).
+        evaluation advances (and once on a cache hit). For a shard run the
+        totals are shard-local.
+    shard:
+        ``None`` evaluates the whole grid. A :class:`CampaignShard` (or
+        ``(index, count)`` pair, 0-based) evaluates only that balanced
+        contiguous slice of the flat grid; combine with a shared ``cache``
+        directory and :func:`gather_campaign` to split one campaign
+        across processes or machines.
+    chunk_size:
+        Checkpoint granularity in grid cells (default
+        :data:`repro.campaign.spec.DEFAULT_CHUNK_SIZE`). Chunk boundaries
+        are aligned to the global grid, so all shards and the unsharded
+        run produce interchangeable interior chunks.
     """
     executor = get_executor(executor)
     store = _resolve_cache(cache)
+    shard = _resolve_shard(spec, shard)
+    if chunk_size is not None and chunk_size < 1:
+        raise InvalidParameterError(f"chunk size must be positive, got {chunk_size}")
     key = _cache_key(spec)
 
     started = time.perf_counter()
-    if store is not None:
+    if store is not None and (shard is None or shard.n_units > 0):
         cached = store.load(key)
         if cached is not None and cached.shape == spec.grid_shape:
+            # A verified full entry serves any slice — including a shard
+            # rerun whose chunk boundaries would not line up with the
+            # entries on disk.
+            if shard is None:
+                values = cached
+                served = spec.n_units
+            else:
+                lo, hi = shard.unit_range
+                full = np.full(spec.n_units, np.nan)
+                full[lo:hi] = cached.ravel()[lo:hi]
+                values = full.reshape(spec.grid_shape)
+                served = shard.n_units
             if progress is not None:
-                progress(spec.n_units, spec.n_units)
+                progress(served, served)
             return CampaignResult(
                 spec=spec,
-                values=cached,
+                values=values,
                 executor_name=executor.name,
                 from_cache=True,
                 elapsed_seconds=time.perf_counter() - started,
+                shard=shard,
+                cells_from_cache=served,
             )
 
-    gain_draws = spec.sample_gain_draws()
-    n_channels = gain_draws.shape[0] * gain_draws.shape[1]
-    flat = gain_draws.reshape(n_channels, 3)
-    batches = []
-    for protocol in spec.protocols:
-        for power_db in spec.powers_db:
-            batches.append(UnitBatch(
-                protocol=protocol,
-                gab=flat[:, 0],
-                gar=flat[:, 1],
-                gbr=flat[:, 2],
-                power=np.full(n_channels, db_to_linear(power_db)),
-            ))
-    value_arrays = executor.run(batches, progress=progress)
-    values = np.stack(value_arrays).reshape(spec.grid_shape)
+    flat_gains = spec.sample_gain_draws().reshape(-1, 3)
+    powers_linear = tuple(db_to_linear(p) for p in spec.powers_db)
 
-    if store is not None and isinstance(executor, _CACHE_TRUSTED_EXECUTORS):
-        store.store(key, values, spec.to_dict())
+    if shard is None and store is None and chunk_size is None:
+        # Nothing to checkpoint or resume: evaluate the grid in one pass.
+        batches = _grid_batches(spec, flat_gains, powers_linear, 0, spec.n_units)
+        value_arrays = executor.run(batches, progress=progress)
+        values = np.concatenate(value_arrays).reshape(spec.grid_shape)
+        return CampaignResult(
+            spec=spec,
+            values=values,
+            executor_name=executor.name,
+            from_cache=False,
+            elapsed_seconds=time.perf_counter() - started,
+            cells_computed=spec.n_units,
+        )
+
+    unit_range = shard.unit_range if shard is not None else (0, spec.n_units)
+    trusted = isinstance(executor, _CACHE_TRUSTED_EXECUTORS)
+
+    def batches_for(lo: int, hi: int):
+        return _grid_batches(spec, flat_gains, powers_linear, lo, hi)
+
+    flat, cells_from_cache, cells_computed = _run_chunked(
+        key,
+        unit_range,
+        batches_for,
+        spec.to_dict(),
+        store,
+        trusted,
+        executor,
+        chunk_size or DEFAULT_CHUNK_SIZE,
+        progress,
+    )
+
+    if shard is None:
+        values = flat.reshape(spec.grid_shape)
+        if store is not None and (trusted or cells_computed == 0):
+            store.store(key, values, spec.to_dict())
+    else:
+        lo, hi = unit_range
+        full = np.full(spec.n_units, np.nan)
+        full[lo:hi] = flat
+        values = full.reshape(spec.grid_shape)
+
+    total = unit_range[1] - unit_range[0]
     return CampaignResult(
         spec=spec,
         values=values,
         executor_name=executor.name,
-        from_cache=False,
+        from_cache=total > 0 and cells_computed == 0,
         elapsed_seconds=time.perf_counter() - started,
+        shard=shard,
+        cells_from_cache=cells_from_cache,
+        cells_computed=cells_computed,
     )
 
 
-def evaluate_ensemble(protocol: Protocol, gains_ensemble, power, *,
-                      executor=None) -> np.ndarray:
+def _uncovered_ranges(covered: np.ndarray):
+    """Maximal ``(start, stop)`` runs of ``False`` in a coverage mask."""
+    ranges = []
+    run_start = None
+    for index, is_covered in enumerate(covered):
+        if not is_covered and run_start is None:
+            run_start = index
+        elif is_covered and run_start is not None:
+            ranges.append((run_start, index))
+            run_start = None
+    if run_start is not None:
+        ranges.append((run_start, covered.size))
+    return tuple(ranges)
+
+
+def gather_campaign(spec: CampaignSpec, cache=True) -> CampaignResult:
+    """Merge shard chunk artifacts into the full campaign result.
+
+    Reads every verified chunk entry under the spec's content key from
+    ``cache``, reassembles the flat grid, stores the merged array as the
+    campaign's full entry (so subsequent ``run_campaign`` calls hit it
+    directly) and returns it. Because chunk entries are only ever written
+    by bitwise-verified executors and chunking is elementwise, the merged
+    result is bitwise-identical to an unsharded run of the same spec.
+
+    Raises
+    ------
+    IncompleteCampaignError
+        If the available chunks do not cover the whole grid; the
+        exception's ``missing`` attribute lists the uncovered
+        ``(start, stop)`` unit ranges.
+    """
+    store = _resolve_cache(cache)
+    if store is None:
+        raise InvalidParameterError("gather requires a cache directory")
+    key = _cache_key(spec)
+
+    started = time.perf_counter()
+    cached = store.load(key)
+    if cached is not None and cached.shape == spec.grid_shape:
+        return CampaignResult(
+            spec=spec,
+            values=cached,
+            executor_name="gather",
+            from_cache=True,
+            elapsed_seconds=time.perf_counter() - started,
+            cells_from_cache=spec.n_units,
+        )
+
+    n_units = spec.n_units
+    flat = np.zeros(n_units)
+    covered = np.zeros(n_units, dtype=bool)
+    for lo, hi, values in store.iter_chunks(key):
+        if hi > n_units:
+            continue  # stale entry from an older layout of this key
+        flat[lo:hi] = values
+        covered[lo:hi] = True
+    if not covered.all():
+        missing = _uncovered_ranges(covered)
+        ranges_text = ", ".join(f"[{lo}, {hi})" for lo, hi in missing)
+        raise IncompleteCampaignError(
+            f"campaign {spec.spec_hash()[:12]} is missing "
+            f"{int(n_units - covered.sum())} of {n_units} cells "
+            f"(units {ranges_text}); run the remaining shards first",
+            missing=missing,
+        )
+
+    values = flat.reshape(spec.grid_shape)
+    store.store(key, values, spec.to_dict())
+    return CampaignResult(
+        spec=spec,
+        values=values,
+        executor_name="gather",
+        from_cache=True,
+        elapsed_seconds=time.perf_counter() - started,
+        cells_from_cache=n_units,
+    )
+
+
+def evaluate_ensemble(
+    protocol: Protocol,
+    gains_ensemble,
+    power,
+    *,
+    executor=None,
+    cache=None,
+    chunk_size=None,
+    progress=None,
+) -> np.ndarray:
     """Optimal sum rates of one protocol over concrete channel draws.
 
     Parameters
@@ -227,6 +519,16 @@ def evaluate_ensemble(protocol: Protocol, gains_ensemble, power, *,
         Per-node transmit power (linear), scalar or per-draw array.
     executor:
         Executor name or instance; defaults to the vectorized fast path.
+    cache:
+        Optional :class:`CampaignCache` (or path / ``True``). With a
+        cache the evaluation is chunk-checkpointed under a content hash
+        of the realizations themselves, so repeated or interrupted
+        ensemble evaluations resume instead of recomputing.
+    chunk_size:
+        Checkpoint granularity in draws (default
+        :data:`repro.campaign.spec.DEFAULT_CHUNK_SIZE`).
+    progress:
+        Optional callable ``progress(done_draws, total_draws)``.
 
     Returns
     -------
@@ -234,22 +536,51 @@ def evaluate_ensemble(protocol: Protocol, gains_ensemble, power, *,
         One optimal sum rate per draw, in draw order.
     """
     executor = get_executor(executor)
-    array = np.asarray([
-        (g.gab, g.gar, g.gbr) if hasattr(g, "gab") else tuple(g)
-        for g in gains_ensemble
-    ], dtype=float)
+    if chunk_size is not None and chunk_size < 1:
+        raise InvalidParameterError(f"chunk size must be positive, got {chunk_size}")
+    array = np.asarray(
+        [
+            (g.gab, g.gar, g.gbr) if hasattr(g, "gab") else tuple(g)
+            for g in gains_ensemble
+        ],
+        dtype=float,
+    )
     if array.ndim != 2 or array.shape[1] != 3:
         raise InvalidParameterError(
             f"expected an (n, 3) gain ensemble, got shape {array.shape}"
         )
-    power = np.broadcast_to(
-        np.asarray(power, dtype=float), (array.shape[0],)
-    ).copy()
-    batch = UnitBatch(
-        protocol=protocol,
-        gab=array[:, 0],
-        gar=array[:, 1],
-        gbr=array[:, 2],
-        power=power,
+    power = np.broadcast_to(np.asarray(power, dtype=float), (array.shape[0],)).copy()
+    store = _resolve_cache(cache)
+    if store is None and chunk_size is None:
+        batch = UnitBatch(
+            protocol=protocol,
+            gab=array[:, 0],
+            gar=array[:, 1],
+            gbr=array[:, 2],
+            power=power,
+        )
+        return executor.run([batch], progress=progress)[0]
+
+    def batches_for(lo: int, hi: int):
+        return [
+            UnitBatch(
+                protocol=protocol,
+                gab=array[lo:hi, 0],
+                gar=array[lo:hi, 1],
+                gbr=array[lo:hi, 2],
+                power=power[lo:hi],
+            )
+        ]
+
+    flat, _, _ = _run_chunked(
+        _ensemble_key(protocol, array, power),
+        (0, array.shape[0]),
+        batches_for,
+        {"protocol": protocol.value, "n_units": int(array.shape[0])},
+        store,
+        isinstance(executor, _CACHE_TRUSTED_EXECUTORS),
+        executor,
+        chunk_size or DEFAULT_CHUNK_SIZE,
+        progress,
     )
-    return executor.run([batch])[0]
+    return flat

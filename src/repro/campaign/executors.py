@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -122,18 +123,16 @@ class MultiprocessExecutor:
 
     name = "process"
 
-    def __init__(self, processes: int | None = None,
-                 chunksize: int | None = None) -> None:
+    def __init__(
+        self, processes: int | None = None, chunksize: int | None = None
+    ) -> None:
         if processes is not None and processes < 1:
-            raise InvalidParameterError(
-                f"need at least one process, got {processes}"
-            )
+            raise InvalidParameterError(f"need at least one process, got {processes}")
         if chunksize is not None and chunksize < 1:
-            raise InvalidParameterError(
-                f"chunk size must be positive, got {chunksize}"
-            )
+            raise InvalidParameterError(f"chunk size must be positive, got {chunksize}")
         self.processes = processes or os.cpu_count() or 1
         self.chunksize = chunksize
+        self._pool = None
 
     def _chunks(self, batch: UnitBatch) -> list:
         chunksize = self.chunksize
@@ -144,23 +143,52 @@ class MultiprocessExecutor:
             for start in range(0, len(batch), chunksize)
         ]
 
+    @contextmanager
+    def reserve(self):
+        """Hold one worker pool open across consecutive ``run`` calls.
+
+        The engine's chunk-checkpointed loop issues one ``run`` call per
+        chunk; without a reservation every call would spawn and tear down
+        its own pool. Reentrant — only the outermost reservation owns the
+        pool's lifetime.
+        """
+        if self._pool is not None:
+            yield self
+            return
+        pool = multiprocessing.Pool(processes=self.processes)
+        self._pool = pool
+        try:
+            yield self
+        finally:
+            self._pool = None
+            pool.close()
+            pool.join()
+
+    @staticmethod
+    def _collect(pool, chunks, total, progress) -> list:
+        pieces = []
+        done = 0
+        for piece in pool.imap(_evaluate_units_one_by_one, chunks):
+            pieces.append(piece)
+            done += piece.shape[0]
+            if progress is not None:
+                progress(done, total)
+        return pieces
+
     def run(self, batches, progress=None) -> list:
         """Evaluate ``batches`` and return one value array per batch."""
         total = sum(len(batch) for batch in batches)
-        done = 0
         chunks = []
         owners = []
         for bi, batch in enumerate(batches):
             for chunk in self._chunks(batch):
                 chunks.append(chunk)
                 owners.append(bi)
-        with multiprocessing.Pool(processes=self.processes) as pool:
-            pieces = []
-            for piece in pool.imap(_evaluate_units_one_by_one, chunks):
-                pieces.append(piece)
-                done += piece.shape[0]
-                if progress is not None:
-                    progress(done, total)
+        if self._pool is not None:
+            pieces = self._collect(self._pool, chunks, total, progress)
+        else:
+            with multiprocessing.Pool(processes=self.processes) as pool:
+                pieces = self._collect(pool, chunks, total, progress)
         results = []
         for bi in range(len(batches)):
             parts = [p for p, owner in zip(pieces, owners) if owner == bi]
@@ -199,16 +227,13 @@ class VectorizedExecutor:
                 piece = batch.slice(start, start + step)
                 pieces.append(
                     batched_sum_rates(
-                        piece.protocol, piece.gab, piece.gar, piece.gbr,
-                        piece.power,
+                        piece.protocol, piece.gab, piece.gar, piece.gbr, piece.power
                     )
                 )
                 done += len(piece)
                 if progress is not None:
                     progress(done, total)
-            results.append(
-                np.concatenate(pieces) if pieces else np.zeros(0)
-            )
+            results.append(np.concatenate(pieces) if pieces else np.zeros(0))
         return results
 
 

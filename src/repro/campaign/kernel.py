@@ -148,9 +148,7 @@ def _support_candidates(n_functions: int, n_phases: int):
     for k in range(2, n_phases + 1):
         if k > n_functions:
             break
-        phase_sets = np.array(
-            list(combinations(range(n_phases), k)), dtype=np.intp
-        )
+        phase_sets = np.array(list(combinations(range(n_phases), k)), dtype=np.intp)
         function_sets = np.array(
             list(combinations(range(n_functions), k)), dtype=np.intp
         )
@@ -173,9 +171,7 @@ def _equalization_values(functions: np.ndarray) -> np.ndarray:
     # k = 1 candidates are the simplex corners: value = min_f F[n, f, l].
     corner_values = functions.min(axis=1)
     best = corner_values.max(axis=1)
-    for k, phase_sets, function_sets in _support_candidates(
-        n_functions, n_phases
-    ):
+    for k, phase_sets, function_sets in _support_candidates(n_functions, n_phases):
         n_cand = phase_sets.shape[0]
         # Equalization system per candidate: the k selected functions share
         # a common value v on the k selected phases, and durations sum to 1:

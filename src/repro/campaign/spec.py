@@ -9,6 +9,17 @@ work units are pure ``(protocol, gains, power)`` triples with no hidden
 state. That determinism is what makes the content-addressed result cache
 (:mod:`repro.campaign.cache`) sound: the spec hash fully determines the
 numbers.
+
+Two further consequences of that determinism power distributed execution
+(:mod:`repro.campaign.engine`):
+
+* the flat C-order unit space can be partitioned into balanced contiguous
+  :class:`CampaignShard` slices (``spec.shard(index, count)``) that
+  independent processes evaluate without any coordination beyond a shared
+  cache directory, and
+* any unit range can be checkpointed as chunks whose boundaries are
+  aligned to the *global* grid (:func:`chunk_ranges`), so interior chunks
+  written by a shard are interchangeable with those of an unsharded run.
 """
 
 from __future__ import annotations
@@ -26,10 +37,44 @@ from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from ..information.functions import db_to_linear
 
-__all__ = ["FadingSpec", "CampaignSpec", "WorkUnit", "GRID_AXES"]
+__all__ = [
+    "FadingSpec",
+    "CampaignSpec",
+    "CampaignShard",
+    "WorkUnit",
+    "GRID_AXES",
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_ranges",
+]
 
 #: Axis order of every campaign result array.
 GRID_AXES = ("protocol", "power", "gains", "draw")
+
+#: Default number of flat grid cells per checkpointed chunk. Small enough
+#: that an interrupted campaign loses little work, large enough that the
+#: vectorized kernel still amortizes its per-call overhead.
+DEFAULT_CHUNK_SIZE = 256
+
+
+def chunk_ranges(start: int, stop: int, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """Split the flat unit range ``[start, stop)`` into checkpoint chunks.
+
+    Boundaries land on global multiples of ``chunk_size`` (not offsets from
+    ``start``), so shards of the same spec produce interior chunks that are
+    byte-interchangeable with an unsharded run's — only the one chunk a
+    shard boundary cuts through differs. Returns ``(start, stop)`` pairs in
+    grid order; empty for an empty range.
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk size must be positive, got {chunk_size}")
+    if start < 0 or stop < start:
+        raise InvalidParameterError(f"invalid unit range [{start}, {stop})")
+    if stop == start:
+        return ()
+    bounds = [start]
+    bounds.extend(range((start // chunk_size + 1) * chunk_size, stop, chunk_size))
+    bounds.append(stop)
+    return tuple(zip(bounds[:-1], bounds[1:]))
 
 
 @dataclass(frozen=True)
@@ -52,9 +97,7 @@ class FadingSpec:
 
     def __post_init__(self) -> None:
         if self.n_draws < 1:
-            raise InvalidParameterError(
-                f"need at least one draw, got {self.n_draws}"
-            )
+            raise InvalidParameterError(f"need at least one draw, got {self.n_draws}")
         if self.k_factor < 0:
             raise InvalidParameterError(
                 f"K-factor must be non-negative, got {self.k_factor}"
@@ -132,9 +175,15 @@ class CampaignSpec:
                 raise InvalidParameterError(f"{g!r} is not a LinkGains")
 
     @classmethod
-    def from_placements(cls, protocols, powers_db, n_placements: int, *,
-                        path_loss_exponent: float = 3.0,
-                        fading: FadingSpec | None = None) -> "CampaignSpec":
+    def from_placements(
+        cls,
+        protocols,
+        powers_db,
+        n_placements: int,
+        *,
+        path_loss_exponent: float = 3.0,
+        fading: FadingSpec | None = None,
+    ) -> "CampaignSpec":
         """A relay-placement sweep along the ``a``–``b`` segment.
 
         Places the relay at ``n_placements`` evenly spaced interior
@@ -177,14 +226,22 @@ class CampaignSpec:
         """Total number of work units in the grid."""
         return int(np.prod(self.grid_shape))
 
+    def shard(self, index: int, count: int) -> "CampaignShard":
+        """Deterministic slice ``index`` of ``count`` of the flat grid.
+
+        The flat C-order unit space is partitioned into ``count`` balanced
+        contiguous ranges (sizes differ by at most one unit); the parent
+        spec rides along, so every shard artifact stays attributable to —
+        and cache-keyed by — the parent spec hash.
+        """
+        return CampaignShard(spec=self, index=index, count=count)
+
     def to_dict(self) -> dict:
         """Canonical plain-data form (stable across processes)."""
         return {
             "protocols": [p.value for p in self.protocols],
             "powers_db": [float(p) for p in self.powers_db],
-            "gains": [
-                [float(g.gab), float(g.gar), float(g.gbr)] for g in self.gains
-            ],
+            "gains": [[float(g.gab), float(g.gar), float(g.gbr)] for g in self.gains],
             "fading": self.fading.to_dict() if self.fading else None,
         }
 
@@ -206,8 +263,7 @@ class CampaignSpec:
         which is exact for IEEE doubles, so two specs hash equal iff they
         describe bit-identical grids.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def sample_gain_draws(self) -> np.ndarray:
@@ -219,14 +275,14 @@ class CampaignSpec:
         construction (those axes do not consume randomness).
         """
         if self.fading is None:
-            return np.array(
-                [[[g.gab, g.gar, g.gbr]] for g in self.gains]
-            )
+            return np.array([[[g.gab, g.gar, g.gbr]] for g in self.gains])
         rng = np.random.default_rng(self.fading.seed)
         draws = np.empty((len(self.gains), self.fading.n_draws, 3))
         for gi, mean in enumerate(self.gains):
             ensemble = sample_gain_ensemble(
-                mean, self.fading.n_draws, rng,
+                mean,
+                self.fading.n_draws,
+                rng,
                 k_factor=self.fading.k_factor,
             )
             for di, realized in enumerate(ensemble):
@@ -255,3 +311,64 @@ class CampaignSpec:
                             power=power,
                         )
                         index += 1
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """One contiguous slice of a campaign's flattened evaluation grid.
+
+    ``spec.shard(index, count)`` partitions the flat C-order unit space
+    into ``count`` balanced contiguous ranges; shard ``index`` (0-based)
+    owns ``unit_range``. Because the parent spec — and therefore its
+    content hash — rides along, independent shard processes coordinate
+    solely through the content-addressed cache directory: each writes the
+    chunks it computed under the parent key, and a gather step
+    (:func:`repro.campaign.engine.gather_campaign`) reassembles the full
+    grid bitwise-identically to an unsharded run.
+    """
+
+    spec: CampaignSpec
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise InvalidParameterError(f"need at least one shard, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise InvalidParameterError(
+                f"shard index {self.index} outside [0, {self.count})"
+            )
+
+    @property
+    def unit_range(self) -> tuple:
+        """Flat ``(start, stop)`` unit range owned by this shard."""
+        base, extra = divmod(self.spec.n_units, self.count)
+        start = self.index * base + min(self.index, extra)
+        stop = start + base + (1 if self.index < extra else 0)
+        return (start, stop)
+
+    @property
+    def start(self) -> int:
+        """First flat unit index owned by this shard."""
+        return self.unit_range[0]
+
+    @property
+    def stop(self) -> int:
+        """One past the last flat unit index owned by this shard."""
+        return self.unit_range[1]
+
+    @property
+    def n_units(self) -> int:
+        """Number of grid cells this shard evaluates."""
+        start, stop = self.unit_range
+        return stop - start
+
+    @property
+    def parent_hash(self) -> str:
+        """Content hash of the parent spec (shared by all shards)."""
+        return self.spec.spec_hash()
+
+    @property
+    def label(self) -> str:
+        """Operator-facing 1-based name, e.g. ``"shard 2/3"``."""
+        return f"shard {self.index + 1}/{self.count}"

@@ -7,6 +7,11 @@ Subcommands
 * ``campaign`` — evaluate a declarative grid (protocols × powers ×
   geometries × fading draws) through the batched campaign engine, with
   executor selection, progress reporting and an on-disk result cache.
+  ``--shard I/N`` evaluates one balanced slice of the grid so independent
+  processes/machines can split a campaign, coordinating only through the
+  shared cache directory; interrupted runs resume from cached chunks.
+* ``gather`` — merge the chunk artifacts written by shard runs into the
+  full campaign result (bitwise-identical to an unsharded run).
 * ``region`` — trace any protocol's rate region on any channel.
 * ``sumrate`` — LP-optimal sum rates of all protocols on one channel.
 * ``simulate`` — run the operational link-level simulator.
@@ -156,7 +161,7 @@ def _cmd_fading(args) -> int:
     return 0 if report.all_checks_pass() else 1
 
 
-def _stderr_progress():
+def _stderr_progress(label: str = "campaign"):
     """A ``progress(done, total)`` callback drawing a one-line meter."""
     state = {"last_percent": -1}
 
@@ -164,7 +169,7 @@ def _stderr_progress():
         percent = int(100 * done / total) if total else 100
         if percent != state["last_percent"]:
             state["last_percent"] = percent
-            print(f"\r[campaign] {done}/{total} units ({percent}%)",
+            print(f"\r[{label}] {done}/{total} cells ({percent}%)",
                   end="" if done < total else "\n",
                   file=sys.stderr, flush=True)
 
@@ -177,31 +182,69 @@ def _parse_campaign_protocols(text: str) -> tuple:
     return tuple(Protocol.from_name(name) for name in text.split(","))
 
 
-def _cmd_campaign(args) -> int:
-    from .campaign import CampaignCache, CampaignSpec, FadingSpec
-    from .campaign import get_executor, run_campaign
+def _parse_shard(text: str) -> tuple:
+    """Parse a 1-based ``--shard I/N`` value into 0-based (index, count)."""
+    parts = text.split("/")
+    if len(parts) != 2:
+        raise ValueError(f"expected --shard I/N (e.g. 2/3), got {text!r}")
+    index, count = int(parts[0]), int(parts[1])
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard {text!r} out of range; need 1 <= I <= N")
+    return index - 1, count
+
+
+def _campaign_spec_from_args(args):
+    """Build the campaign/gather grid spec from shared CLI arguments.
+
+    Raises ``ValueError`` (which :class:`InvalidParameterError` subclasses)
+    on any malformed grid parameter.
+    """
+    from .campaign import CampaignSpec, FadingSpec
 
     if args.draws < 0:
-        print(f"error: --draws must be non-negative, got {args.draws}")
-        return 2
+        raise ValueError(f"--draws must be non-negative, got {args.draws}")
+    protocols = _parse_campaign_protocols(args.protocols)
+    powers_db = tuple(float(p) for p in args.powers_db.split(","))
+    fading = (FadingSpec(n_draws=args.draws, seed=args.seed,
+                         k_factor=args.k_factor)
+              if args.draws > 0 else None)
+    if args.placements:
+        return CampaignSpec.from_placements(
+            protocols, powers_db, args.placements,
+            path_loss_exponent=args.path_loss_exponent, fading=fading,
+        )
+    return CampaignSpec(
+        protocols=protocols,
+        powers_db=powers_db,
+        gains=(LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db),),
+        fading=fading,
+    )
+
+
+def _dump_values(result, path) -> None:
+    np.save(path, result.values)
+    print(f"wrote {path}")
+
+
+def _print_campaign_summary(result, title: str) -> None:
+    print(render_table(
+        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
+         "median"],
+        result.summary_rows(epsilon=0.1),
+        title=title,
+    ))
+
+
+def _cmd_campaign(args) -> int:
+    from .campaign import CampaignCache, get_executor, run_campaign
+
     try:
-        protocols = _parse_campaign_protocols(args.protocols)
-        powers_db = tuple(float(p) for p in args.powers_db.split(","))
-        fading = (FadingSpec(n_draws=args.draws, seed=args.seed,
-                             k_factor=args.k_factor)
-                  if args.draws > 0 else None)
-        if args.placements:
-            spec = CampaignSpec.from_placements(
-                protocols, powers_db, args.placements,
-                path_loss_exponent=args.path_loss_exponent, fading=fading,
-            )
-        else:
-            spec = CampaignSpec(
-                protocols=protocols,
-                powers_db=powers_db,
-                gains=(LinkGains.from_db(args.gab_db, args.gar_db,
-                                         args.gbr_db),),
-                fading=fading,
+        spec = _campaign_spec_from_args(args)
+        shard = (spec.shard(*_parse_shard(args.shard))
+                 if args.shard else None)
+        if args.chunk_size is not None and args.chunk_size < 1:
+            raise ValueError(
+                f"--chunk-size must be positive, got {args.chunk_size}"
             )
         executor_kwargs = {}
         if args.executor == "process" and args.processes:
@@ -211,28 +254,64 @@ def _cmd_campaign(args) -> int:
         print(f"error: {error}")
         return 2
 
+    if shard is not None and args.no_cache:
+        print("error: a shard run checkpoints into the shared cache "
+              "directory; drop --no-cache")
+        return 2
+
     cache = False if args.no_cache else CampaignCache(args.cache_dir)
-    progress = None if args.quiet else _stderr_progress()
+    label = shard.label if shard is not None else "campaign"
+    progress = None if args.quiet else _stderr_progress(label)
 
     result = run_campaign(spec, executor=executor, cache=cache,
-                          progress=progress)
+                          progress=progress, shard=shard,
+                          chunk_size=args.chunk_size)
 
-    geometry = (f"{args.placements} relay placements" if args.placements
-                else f"G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
-                     f"G_br={args.gbr_db:g} dB")
-    fading_note = (f"{spec.n_draws} draws/geometry (seed {args.seed}, "
-                   f"K={args.k_factor:g})" if fading else "no fading")
-    print(render_table(
-        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
-         "median"],
-        result.summary_rows(epsilon=0.1),
-        title=(f"campaign over {geometry}; {fading_note} "
-               f"— sum rates [bits/use]"),
-    ))
+    if shard is None:
+        geometry = (f"{args.placements} relay placements" if args.placements
+                    else f"G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
+                         f"G_br={args.gbr_db:g} dB")
+        fading_note = (f"{spec.n_draws} draws/geometry (seed {args.seed}, "
+                       f"K={args.k_factor:g})" if spec.fading else "no fading")
+        _print_campaign_summary(
+            result,
+            f"campaign over {geometry}; {fading_note} — sum rates [bits/use]",
+        )
+        print()
     source = "cache" if result.from_cache else f"{result.executor_name} executor"
-    print(f"\n{spec.n_units} units via {source} "
-          f"in {result.elapsed_seconds:.3f} s "
-          f"(spec {spec.spec_hash()[:12]})")
+    done = result.cells_from_cache + result.cells_computed
+    scope = shard.n_units if shard is not None else spec.n_units
+    print(f"{label}: {done}/{scope} cells via {source} "
+          f"in {result.elapsed_seconds:.3f} s, "
+          f"{result.cells_from_cache} from cache, "
+          f"{result.cells_computed} computed")
+    print(f"spec {spec.spec_hash()}")
+    if args.dump:
+        _dump_values(result, args.dump)
+    return 0
+
+
+def _cmd_gather(args) -> int:
+    from .campaign import CampaignCache, gather_campaign
+    from .exceptions import IncompleteCampaignError
+
+    try:
+        spec = _campaign_spec_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    cache = CampaignCache(args.cache_dir)
+    try:
+        result = gather_campaign(spec, cache)
+    except IncompleteCampaignError as error:
+        print(f"error: {error}")
+        return 1
+    _print_campaign_summary(result, "gathered campaign — sum rates [bits/use]")
+    print(f"\ngathered {spec.n_units}/{spec.n_units} cells from "
+          f"{cache.directory} in {result.elapsed_seconds:.3f} s")
+    print(f"spec {spec.spec_hash()}")
+    if args.dump:
+        _dump_values(result, args.dump)
     return 0
 
 
@@ -317,6 +396,56 @@ def _cmd_adaptive(args) -> int:
     return 0
 
 
+def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid/cache arguments shared by ``campaign`` and ``gather``.
+
+    Both subcommands must describe the same spec for their content hashes
+    to line up, so the grid vocabulary is defined once.
+    """
+    parser.add_argument(
+        "--protocols", default="dt,mabc,tdbc,hbc",
+        help="comma-separated protocol names, or 'all' "
+             "(default dt,mabc,tdbc,hbc)",
+    )
+    parser.add_argument(
+        "--powers-db", default="10",
+        help="comma-separated transmit powers in dB (default '10')",
+    )
+    parser.add_argument(
+        "--placements", type=int, default=0, metavar="N",
+        help="sweep N relay placements along the a-b segment instead of "
+             "using the --g*-db gains",
+    )
+    parser.add_argument(
+        "--path-loss-exponent", type=float, default=3.0,
+        help="path-loss exponent of the placement sweep (default 3)",
+    )
+    parser.add_argument(
+        "--draws", type=int, default=100,
+        help="fading draws per geometry; 0 evaluates the means "
+             "(default 100)",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fading ensemble seed (default 0)")
+    parser.add_argument("--k-factor", type=float, default=0.0,
+                        help="Rician K-factor (default 0 = Rayleigh)")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
+             "~/.cache/repro/campaigns)",
+    )
+    parser.add_argument(
+        "--dump", default=None, metavar="PATH",
+        help="also write the raw result array to PATH via np.save",
+    )
+    parser.add_argument("--gab-db", type=float, default=-7.0,
+                        help="direct-link gain G_ab in dB (default -7)")
+    parser.add_argument("--gar-db", type=float, default=0.0,
+                        help="a-relay gain G_ar in dB (default 0)")
+    parser.add_argument("--gbr-db", type=float, default=5.0,
+                        help="b-relay gain G_br in dB (default 5)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -376,33 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="evaluate a protocols × powers × geometries × draws grid",
     )
-    p_campaign.add_argument(
-        "--protocols", default="dt,mabc,tdbc,hbc",
-        help="comma-separated protocol names, or 'all' "
-             "(default dt,mabc,tdbc,hbc)",
-    )
-    p_campaign.add_argument(
-        "--powers-db", default="10",
-        help="comma-separated transmit powers in dB (default '10')",
-    )
-    p_campaign.add_argument(
-        "--placements", type=int, default=0, metavar="N",
-        help="sweep N relay placements along the a-b segment instead of "
-             "using the --g*-db gains",
-    )
-    p_campaign.add_argument(
-        "--path-loss-exponent", type=float, default=3.0,
-        help="path-loss exponent of the placement sweep (default 3)",
-    )
-    p_campaign.add_argument(
-        "--draws", type=int, default=100,
-        help="fading draws per geometry; 0 evaluates the means "
-             "(default 100)",
-    )
-    p_campaign.add_argument("--seed", type=int, default=0,
-                            help="fading ensemble seed (default 0)")
-    p_campaign.add_argument("--k-factor", type=float, default=0.0,
-                            help="Rician K-factor (default 0 = Rayleigh)")
+    _add_campaign_grid_arguments(p_campaign)
     p_campaign.add_argument(
         "--executor", default="vectorized",
         choices=["serial", "process", "vectorized"],
@@ -413,21 +516,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for --executor process (default: cpu count)",
     )
     p_campaign.add_argument(
-        "--cache-dir", default=None,
-        help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
-             "~/.cache/repro/campaigns)",
+        "--shard", default=None, metavar="I/N",
+        help="evaluate only slice I of N (1-based) of the flat grid; "
+             "shards coordinate through the shared cache directory",
+    )
+    p_campaign.add_argument(
+        "--chunk-size", type=int, default=None, metavar="CELLS",
+        help="checkpoint granularity in grid cells (default 256)",
     )
     p_campaign.add_argument("--no-cache", action="store_true",
                             help="disable the result cache")
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress the progress meter")
-    p_campaign.add_argument("--gab-db", type=float, default=-7.0,
-                            help="direct-link gain G_ab in dB (default -7)")
-    p_campaign.add_argument("--gar-db", type=float, default=0.0,
-                            help="a-relay gain G_ar in dB (default 0)")
-    p_campaign.add_argument("--gbr-db", type=float, default=5.0,
-                            help="b-relay gain G_br in dB (default 5)")
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_gather = sub.add_parser(
+        "gather",
+        help="merge shard chunk artifacts into the full campaign result",
+    )
+    _add_campaign_grid_arguments(p_gather)
+    p_gather.set_defaults(func=_cmd_gather)
 
     p_sweep = sub.add_parser("sweep", help="sum rates across a power sweep")
     p_sweep.add_argument("--min-db", type=float, default=-5.0)

@@ -41,6 +41,20 @@ class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its iteration budget."""
 
 
+class IncompleteCampaignError(ReproError):
+    """A campaign gather found grid cells that no shard has computed yet.
+
+    Raised by :func:`repro.campaign.engine.gather_campaign` when the chunk
+    entries present in the cache do not cover the spec's full flat grid.
+    ``missing`` holds the uncovered ``(start, stop)`` unit ranges so
+    operators can tell which shards still have to run (or resume).
+    """
+
+    def __init__(self, message: str, missing=()):
+        super().__init__(message)
+        self.missing = tuple(missing)
+
+
 class SimulationError(ReproError):
     """A link-level simulation was configured inconsistently."""
 

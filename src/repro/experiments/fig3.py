@@ -76,14 +76,14 @@ def _sum_rates(channel: GaussianChannel, backend: str) -> dict:
 
 
 def _sweep_rows(sweep_values, gains_list, config: Fig3Config,
-                executor) -> tuple:
+                executor, cache) -> tuple:
     """One sweep as a campaign: every (protocol, geometry) in one grid."""
     if not gains_list:
         return ()
     spec = CampaignSpec(protocols=PROTOCOL_ORDER,
                         powers_db=(config.power_db,),
                         gains=tuple(gains_list))
-    result = run_campaign(spec, executor=executor)
+    result = run_campaign(spec, executor=executor, cache=cache)
     rows = []
     for gi, (value, gains) in enumerate(zip(sweep_values, gains_list)):
         rows.append(Fig3Row(
@@ -99,7 +99,7 @@ def _sweep_rows(sweep_values, gains_list, config: Fig3Config,
 
 def run_fig3(config: Fig3Config = FIG3_DEFAULT, *,
              backend: str = DEFAULT_BACKEND,
-             executor="vectorized") -> Fig3Result:
+             executor="vectorized", cache=None) -> Fig3Result:
     """Compute both Fig. 3 sweeps.
 
     Every point solves four LPs (one per protocol) over rates and phase
@@ -107,7 +107,10 @@ def run_fig3(config: Fig3Config = FIG3_DEFAULT, *,
     default both sweeps run as campaigns through the batched executor
     (``executor``: name or instance); passing ``executor=None`` — or
     requesting a non-default LP ``backend`` — runs the legacy per-point
-    LP loop so the backend choice is honored.
+    LP loop so the backend choice is honored. ``cache`` is forwarded to
+    :func:`repro.campaign.engine.run_campaign`: with a cache directory
+    the sweep is chunk-checkpointed, so repeated or interrupted figure
+    regenerations resume instead of recomputing.
     """
     if backend != DEFAULT_BACKEND:
         executor = None
@@ -139,9 +142,9 @@ def run_fig3(config: Fig3Config = FIG3_DEFAULT, *,
         )
     else:
         placement_rows = _sweep_rows(config.relay_fractions, placement_gains,
-                                     config, executor)
+                                     config, executor, cache)
         symmetric_rows = _sweep_rows(config.symmetric_gains_db,
-                                     symmetric_gains, config, executor)
+                                     symmetric_gains, config, executor, cache)
 
     return Fig3Result(
         config=config,

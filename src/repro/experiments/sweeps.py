@@ -53,12 +53,15 @@ def power_sweep(gains: LinkGains, powers_db, *,
                 protocols=(Protocol.DT, Protocol.NAIVE4, Protocol.MABC,
                            Protocol.TDBC, Protocol.HBC),
                 backend: str = DEFAULT_BACKEND,
-                executor="vectorized") -> list[PowerSweepRow]:
+                executor="vectorized", cache=None) -> list[PowerSweepRow]:
     """Optimal sum rate of each protocol across a power sweep.
 
     ``executor`` selects a campaign executor (name or instance); passing
     ``None`` — or requesting a non-default LP ``backend`` — runs the
     legacy one-LP-per-point loop so the backend choice is honored.
+    ``cache`` is forwarded to the campaign engine: with a cache directory
+    the sweep is chunk-checkpointed and served from the content-addressed
+    store on repetition.
     """
     powers = [float(p) for p in powers_db]
     if not powers:
@@ -81,7 +84,7 @@ def power_sweep(gains: LinkGains, powers_db, *,
         return rows
     spec = CampaignSpec(protocols=protocols, powers_db=tuple(powers),
                         gains=(gains,))
-    result = run_campaign(spec, executor=executor)
+    result = run_campaign(spec, executor=executor, cache=cache)
     return [
         PowerSweepRow(
             power_db=power_db,
@@ -121,7 +124,7 @@ def protocol_crossover_power(gains: LinkGains, first: Protocol,
 
 def winner_table(gains: LinkGains, powers_db, *,
                  backend: str = DEFAULT_BACKEND,
-                 executor="vectorized") -> list[tuple]:
+                 executor="vectorized", cache=None) -> list[tuple]:
     """``(power_db, winner_name, margin)`` rows across a power sweep.
 
     The margin is the gap (bits/use) to the runner-up — how much choosing
@@ -129,7 +132,7 @@ def winner_table(gains: LinkGains, powers_db, *,
     """
     rows = []
     for row in power_sweep(gains, powers_db, backend=backend,
-                           executor=executor):
+                           executor=executor, cache=cache):
         ordered = sorted(row.sum_rates.items(), key=lambda kv: -kv[1])
         margin = ordered[0][1] - ordered[1][1]
         rows.append((row.power_db, ordered[0][0].name, margin))

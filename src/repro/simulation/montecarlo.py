@@ -163,19 +163,25 @@ class FadingStatistics:
 def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
                      n_draws: int, rng: np.random.Generator, *,
                      k_factor: float = 0.0,
-                     executor=None) -> FadingStatistics:
+                     executor=None, cache=None,
+                     progress=None) -> FadingStatistics:
     """Ensemble-average LP-optimal sum rate under quasi-static fading.
 
     Each realization draws reciprocal Rayleigh/Rician gains around the
     path-loss means, re-optimizes the phase durations (full CSI, as the
     paper assumes), and records the optimal sum rate. The per-realization
     optimizations run through a campaign executor (``executor``: name or
-    instance, defaulting to the vectorized fast path).
+    instance, defaulting to the vectorized fast path). With a ``cache``
+    (a :class:`~repro.campaign.cache.CampaignCache`, path or ``True``)
+    the evaluation is chunk-checkpointed under a content hash of the
+    drawn realizations, so a huge ensemble interrupted mid-run resumes
+    from its checkpoints on the next call with the same RNG state.
     """
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
     ensemble = sample_gain_ensemble(mean_gains, n_draws, rng, k_factor=k_factor)
-    values = evaluate_ensemble(protocol, ensemble, power, executor=executor)
+    values = evaluate_ensemble(protocol, ensemble, power, executor=executor,
+                               cache=cache, progress=progress)
     return FadingStatistics(
         mean=float(values.mean()),
         std_error=float(values.std(ddof=1) / np.sqrt(n_draws)) if n_draws > 1 else 0.0,
@@ -186,7 +192,8 @@ def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
 def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
                        target_sum_rate: float, n_draws: int,
                        rng: np.random.Generator, *,
-                       k_factor: float = 0.0, executor=None) -> float:
+                       k_factor: float = 0.0, executor=None,
+                       cache=None) -> float:
     """Probability that the optimal sum rate falls below a target.
 
     The quasi-static outage formulation: the channel is constant per
@@ -198,5 +205,6 @@ def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
             f"target sum rate must be non-negative, got {target_sum_rate}"
         )
     stats = ergodic_sum_rate(protocol, mean_gains, power, n_draws, rng,
-                             k_factor=k_factor, executor=executor)
+                             k_factor=k_factor, executor=executor,
+                             cache=cache)
     return float(np.mean(stats.samples < target_sum_rate))

@@ -73,12 +73,16 @@ def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
                          power: float, n_draws: int,
                          rng: np.random.Generator, *, k_factor: float = 0.0,
                          backend: str = DEFAULT_BACKEND,
-                         executor="vectorized") -> OutageCurve:
+                         executor="vectorized", cache=None) -> OutageCurve:
     """Sample the per-fade optimal sum rate distribution of a protocol.
 
     ``executor`` selects a campaign executor (name or instance); passing
     ``None`` — or requesting a non-default LP ``backend`` — runs the
-    legacy per-draw LP loop so the backend choice is honored.
+    legacy per-draw LP loop so the backend choice is honored. With a
+    ``cache`` the ensemble evaluation is chunk-checkpointed under a
+    content hash of the drawn realizations (see
+    :func:`repro.campaign.engine.evaluate_ensemble`), making the
+    10⁵+-draw curves needed for outage studies resumable.
     """
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
@@ -95,7 +99,7 @@ def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
         ]
     else:
         values = evaluate_ensemble(protocol, ensemble, power,
-                                   executor=executor)
+                                   executor=executor, cache=cache)
     return OutageCurve(protocol=protocol, samples=np.sort(values))
 
 
@@ -103,9 +107,9 @@ def outage_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
                     epsilon: float, n_draws: int,
                     rng: np.random.Generator, *, k_factor: float = 0.0,
                     backend: str = DEFAULT_BACKEND,
-                    executor="vectorized") -> float:
+                    executor="vectorized", cache=None) -> float:
     """The ε-outage sum rate of one protocol (see :class:`OutageCurve`)."""
     curve = compute_outage_curve(protocol, mean_gains, power, n_draws, rng,
                                  k_factor=k_factor, backend=backend,
-                                 executor=executor)
+                                 executor=executor, cache=cache)
     return curve.rate_at_outage(epsilon)

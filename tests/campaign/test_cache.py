@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.campaign.cache import CACHE_DIR_ENV, CampaignCache, default_cache_dir
+from repro.campaign.cache import (
+    CACHE_DIR_ENV,
+    CampaignCache,
+    _digest,
+    default_cache_dir,
+)
 
 
 @pytest.fixture
@@ -49,11 +54,21 @@ class TestRobustness:
         cache.path_for("k").write_bytes(raw[: len(raw) // 2])
         assert cache.load("k") is None
 
+    def test_digest_mismatch_is_a_miss_and_discarded(self, cache):
+        path = cache.path_for("k")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(
+            path,
+            values=np.ones(2),
+            digest=np.array("0" * 64),
+            spec_json=np.array("{}"),
+        )
+        assert cache.load("k") is None
+        assert not path.exists()
+
     def test_no_temp_files_left_behind(self, cache):
         cache.store("k", np.ones(2), {})
-        leftovers = [
-            p for p in cache.directory.iterdir() if p.suffix == ".tmp"
-        ]
+        leftovers = [p for p in cache.directory.iterdir() if p.suffix == ".tmp"]
         assert leftovers == []
 
     def test_clear(self, cache):
@@ -62,6 +77,77 @@ class TestRobustness:
         assert cache.clear() == 2
         assert cache.load("k1") is None
         assert CampaignCache(cache.directory / "missing").clear() == 0
+
+
+class TestChunkEntries:
+    def test_store_then_load_chunk(self, cache):
+        values = np.arange(8.0)
+        cache.store_chunk("k", 16, 24, values, {"spec": "demo"})
+        assert np.array_equal(cache.load_chunk("k", 16, 24), values)
+        assert cache.load_chunk("k", 0, 8) is None
+        # Chunks never shadow the full-campaign entry.
+        assert cache.load("k") is None
+
+    def test_chunk_digest_mismatch_is_discarded_not_served(self, cache):
+        path = cache.chunk_path_for("k", 0, 4)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(
+            path,
+            values=np.ones(4),
+            digest=np.array("0" * 64),
+            start=np.array(0),
+            stop=np.array(4),
+            spec_json=np.array("{}"),
+        )
+        assert cache.load_chunk("k", 0, 4) is None
+        assert not path.exists()
+
+    def test_corrupted_chunk_bytes_are_discarded_not_served(self, cache):
+        path = cache.store_chunk("k", 0, 4, np.ones(4), {})
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.load_chunk("k", 0, 4) is None
+        assert not path.exists()
+
+    def test_truncated_chunk_is_discarded_not_served(self, cache):
+        path = cache.store_chunk("k", 0, 4, np.ones(4), {})
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load_chunk("k", 0, 4) is None
+        assert not path.exists()
+
+    def test_wrong_length_chunk_is_discarded(self, cache):
+        # An entry whose payload does not match its declared unit range.
+        path = cache.chunk_path_for("k", 0, 4)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        values = np.ones(3)
+        np.savez(
+            path,
+            values=values,
+            digest=np.array(_digest(values)),
+            start=np.array(0),
+            stop=np.array(4),
+            spec_json=np.array("{}"),
+        )
+        assert cache.load_chunk("k", 0, 4) is None
+        assert not path.exists()
+
+    def test_iter_chunks_yields_valid_entries_in_order(self, cache):
+        cache.store_chunk("k", 8, 12, np.full(4, 2.0), {})
+        cache.store_chunk("k", 0, 8, np.full(8, 1.0), {})
+        corrupt = cache.store_chunk("k", 12, 16, np.full(4, 3.0), {})
+        corrupt.write_bytes(b"garbage")
+        chunks = list(cache.iter_chunks("k"))
+        assert [(start, stop) for start, stop, _ in chunks] == [(0, 8), (8, 12)]
+        assert not corrupt.exists()
+        assert list(cache.iter_chunks("missing")) == []
+
+    def test_clear_removes_chunk_entries_too(self, cache):
+        cache.store("k", np.ones(2), {})
+        cache.store_chunk("k", 0, 2, np.ones(2), {})
+        cache.store_chunk("k", 2, 4, np.ones(2), {})
+        assert cache.clear() == 3
+        assert not cache.chunk_dir_for("k").exists()
 
 
 class TestDefaultDirectory:

@@ -30,15 +30,22 @@ class TestRunCampaign:
         assert result.values.shape == fading_spec.grid_shape
         assert result.executor_name == "vectorized"
         assert not result.from_cache
+        assert result.shard is None
+        assert result.cells_computed == fading_spec.n_units
+        assert result.cells_from_cache == 0
         assert np.all(result.values > 0)
 
     def test_executors_agree_bitwise_on_seeded_ensemble(self, fading_spec):
         serial = run_campaign(fading_spec, executor="serial")
         vectorized = run_campaign(fading_spec, executor="vectorized")
-        pooled = run_campaign(fading_spec,
-                              executor=MultiprocessExecutor(processes=2))
+        pooled = run_campaign(fading_spec, executor=MultiprocessExecutor(processes=2))
         assert np.array_equal(serial.values, vectorized.values)
         assert np.array_equal(serial.values, pooled.values)
+
+    def test_chunked_execution_is_bitwise_identical(self, fading_spec):
+        whole = run_campaign(fading_spec)
+        chunked = run_campaign(fading_spec, chunk_size=7)
+        assert np.array_equal(whole.values, chunked.values)
 
     def test_hbc_dominates_mabc_and_tdbc_per_draw(self, fading_spec):
         result = run_campaign(fading_spec)
@@ -66,8 +73,9 @@ class TestRunCampaign:
 
     def test_progress_reports_total_units(self, fading_spec):
         ticks = []
-        run_campaign(fading_spec,
-                     progress=lambda done, total: ticks.append((done, total)))
+        run_campaign(
+            fading_spec, progress=lambda done, total: ticks.append((done, total))
+        )
         assert ticks[-1] == (fading_spec.n_units, fading_spec.n_units)
 
 
@@ -77,7 +85,10 @@ class TestCaching:
         first = run_campaign(fading_spec, cache=cache)
         second = run_campaign(fading_spec, cache=cache)
         assert not first.from_cache
+        assert first.cells_computed == fading_spec.n_units
         assert second.from_cache
+        assert second.cells_from_cache == fading_spec.n_units
+        assert second.cells_computed == 0
         assert np.array_equal(first.values, second.values)
 
     def test_cache_shared_across_executors(self, fading_spec, tmp_path):
@@ -103,8 +114,7 @@ class TestCaching:
         hit = run_campaign(fading_spec, cache=tmp_path / "store")
         assert hit.from_cache
 
-    def test_untrusted_executor_never_writes_the_cache(self, fading_spec,
-                                                       tmp_path):
+    def test_untrusted_executor_never_writes_the_cache(self, fading_spec, tmp_path):
         """Only the bitwise-verified built-ins may populate the store."""
 
         class ApproximateExecutor:
@@ -114,18 +124,19 @@ class TestCaching:
                 return [np.zeros(len(batch)) for batch in batches]
 
         cache = CampaignCache(tmp_path)
-        run_campaign(fading_spec, executor=ApproximateExecutor(),
-                     cache=cache)
-        result = run_campaign(fading_spec, executor="vectorized",
-                              cache=cache)
+        run_campaign(fading_spec, executor=ApproximateExecutor(), cache=cache)
+        result = run_campaign(fading_spec, executor="vectorized", cache=cache)
         assert not result.from_cache
         assert np.all(result.values > 0)
 
     def test_cache_hit_reports_full_progress(self, fading_spec, tmp_path):
         run_campaign(fading_spec, cache=tmp_path)
         ticks = []
-        run_campaign(fading_spec, cache=tmp_path,
-                     progress=lambda done, total: ticks.append((done, total)))
+        run_campaign(
+            fading_spec,
+            cache=tmp_path,
+            progress=lambda done, total: ticks.append((done, total)),
+        )
         assert ticks == [(fading_spec.n_units, fading_spec.n_units)]
 
 
@@ -137,8 +148,10 @@ class TestResultAccessors:
         assert result.ergodic_mean(Protocol.HBC, 10.0) == pytest.approx(
             float(slice_.mean())
         )
-        assert (result.outage_rate(Protocol.HBC, 10.0, 0.1)
-                <= result.ergodic_mean(Protocol.HBC, 10.0) + 1e-9)
+        assert (
+            result.outage_rate(Protocol.HBC, 10.0, 0.1)
+            <= result.ergodic_mean(Protocol.HBC, 10.0) + 1e-9
+        )
         rows = result.summary_rows()
         assert len(rows) == 6
         with pytest.raises(InvalidParameterError):
@@ -166,6 +179,12 @@ class TestEvaluateEnsemble:
         values = evaluate_ensemble(Protocol.MABC, [triple, triple], 10.0)
         assert values.shape == (2,)
         assert values[0] == values[1]
+
+    def test_chunked_evaluation_is_bitwise_identical(self, paper_gains, rng):
+        ensemble = sample_gain_ensemble(paper_gains, 11, rng)
+        whole = evaluate_ensemble(Protocol.HBC, ensemble, 10.0)
+        chunked = evaluate_ensemble(Protocol.HBC, ensemble, 10.0, chunk_size=3)
+        assert np.array_equal(whole, chunked)
 
     def test_bad_shapes_rejected(self):
         with pytest.raises(InvalidParameterError):

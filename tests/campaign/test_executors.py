@@ -52,22 +52,18 @@ class TestBitwiseEquivalence:
         for fast, reference in zip(vectorized, serial_results):
             assert np.array_equal(fast, reference)
 
-    def test_chunked_vectorized_matches_serial(self, seeded_batches,
-                                               serial_results):
+    def test_chunked_vectorized_matches_serial(self, seeded_batches, serial_results):
         chunked = VectorizedExecutor(max_batch=7).run(seeded_batches)
         for fast, reference in zip(chunked, serial_results):
             assert np.array_equal(fast, reference)
 
-    def test_multiprocess_matches_serial(self, seeded_batches,
-                                         serial_results):
+    def test_multiprocess_matches_serial(self, seeded_batches, serial_results):
         pooled = MultiprocessExecutor(processes=2).run(seeded_batches)
         for fast, reference in zip(pooled, serial_results):
             assert np.array_equal(fast, reference)
 
-    def test_multiprocess_chunking_invariant(self, seeded_batches,
-                                             serial_results):
-        pooled = MultiprocessExecutor(processes=2,
-                                      chunksize=5).run(seeded_batches)
+    def test_multiprocess_chunking_invariant(self, seeded_batches, serial_results):
+        pooled = MultiprocessExecutor(processes=2, chunksize=5).run(seeded_batches)
         for fast, reference in zip(pooled, serial_results):
             assert np.array_equal(fast, reference)
 
@@ -76,8 +72,7 @@ class TestProgress:
     def test_progress_reaches_total(self, seeded_batches):
         ticks = []
         VectorizedExecutor().run(
-            seeded_batches, progress=lambda done, total: ticks.append(
-                (done, total))
+            seeded_batches, progress=lambda done, total: ticks.append((done, total))
         )
         total = sum(len(b) for b in seeded_batches)
         assert ticks[-1] == (total, total)
@@ -86,8 +81,8 @@ class TestProgress:
     def test_serial_progress_counts_every_unit(self, seeded_batches):
         ticks = []
         SerialExecutor().run(
-            seeded_batches[:1], progress=lambda done, total: ticks.append(
-                (done, total))
+            seeded_batches[:1],
+            progress=lambda done, total: ticks.append((done, total)),
         )
         assert len(ticks) == len(seeded_batches[0])
 

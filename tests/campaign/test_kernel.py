@@ -35,16 +35,15 @@ class TestAgainstLpBackend:
     def test_matches_scipy_on_random_channels(self, protocol, random_batch):
         gab, gar, gbr, power = random_batch
         fast = batched_sum_rates(protocol, gab, gar, gbr, power)
-        reference = np.array([
+        reference = [
             optimal_sum_rate(
                 protocol,
                 GaussianChannel(
-                    gains=LinkGains(gab[i], gar[i], gbr[i]),
-                    power=power[i],
+                    gains=LinkGains(gab[i], gar[i], gbr[i]), power=power[i]
                 ),
             ).sum_rate
             for i in range(gab.size)
-        ])
+        ]
         np.testing.assert_allclose(fast, reference, atol=1e-7)
 
     def test_matches_scipy_on_paper_channels(self, paper_gains):
@@ -68,8 +67,7 @@ class TestAgainstLpBackend:
         gab = np.array([0.5, 1.0, 4.0])
         ones = np.ones(3)
         values = batched_sum_rates(Protocol.DT, gab, ones, ones, 2.0)
-        np.testing.assert_allclose(values, np.log2(1.0 + 2.0 * gab),
-                                   atol=1e-12)
+        np.testing.assert_allclose(values, np.log2(1.0 + 2.0 * gab), atol=1e-12)
 
 
 class TestBatchInvariance:
@@ -77,33 +75,35 @@ class TestBatchInvariance:
         gab, gar, gbr, power = random_batch
         for protocol in Protocol:
             full = batched_sum_rates(protocol, gab, gar, gbr, power)
-            singles = np.concatenate([
+            singles = [
                 batched_sum_rates(
-                    protocol, gab[i:i + 1], gar[i:i + 1], gbr[i:i + 1],
-                    power[i:i + 1],
+                    protocol,
+                    gab[i : i + 1],
+                    gar[i : i + 1],
+                    gbr[i : i + 1],
+                    power[i : i + 1],
                 )
                 for i in range(gab.size)
-            ])
-            assert np.array_equal(full, singles)
+            ]
+            assert np.array_equal(full, np.concatenate(singles))
 
     def test_split_batches_equal_full_batch_bitwise(self, random_batch):
         gab, gar, gbr, power = random_batch
         full = batched_sum_rates(Protocol.HBC, gab, gar, gbr, power)
-        halves = np.concatenate([
-            batched_sum_rates(Protocol.HBC, gab[:30], gar[:30], gbr[:30],
-                              power[:30]),
-            batched_sum_rates(Protocol.HBC, gab[30:], gar[30:], gbr[30:],
-                              power[30:]),
-        ])
-        assert np.array_equal(full, halves)
+        first = batched_sum_rates(
+            Protocol.HBC, gab[:30], gar[:30], gbr[:30], power[:30]
+        )
+        second = batched_sum_rates(
+            Protocol.HBC, gab[30:], gar[30:], gbr[30:], power[30:]
+        )
+        assert np.array_equal(full, np.concatenate([first, second]))
 
 
 class TestInterface:
     def test_scalar_power_broadcasts(self, random_batch):
         gab, gar, gbr, _ = random_batch
         scalar = batched_sum_rates(Protocol.MABC, gab, gar, gbr, 10.0)
-        array = batched_sum_rates(Protocol.MABC, gab, gar, gbr,
-                                  np.full(gab.size, 10.0))
+        array = batched_sum_rates(Protocol.MABC, gab, gar, gbr, np.full(gab.size, 10.0))
         assert np.array_equal(scalar, array)
 
     def test_empty_batch(self):
@@ -119,8 +119,9 @@ class TestInterface:
         with pytest.raises(InvalidParameterError):
             batched_sum_rates(Protocol.MABC, one, one, one, -one)
         with pytest.raises(InvalidParameterError):
-            batched_sum_rates(Protocol.MABC, np.ones((2, 2)),
-                              np.ones((2, 2)), np.ones((2, 2)), 1.0)
+            batched_sum_rates(
+                Protocol.MABC, np.ones((2, 2)), np.ones((2, 2)), np.ones((2, 2)), 1.0
+            )
 
     def test_mi_table_matches_gaussian_channel(self, paper_gains):
         channel = GaussianChannel(gains=paper_gains, power=10.0)
@@ -131,5 +132,4 @@ class TestInterface:
             np.array([10.0]),
         )
         for ki, key in enumerate(MiKey):
-            assert table[0, ki] == pytest.approx(channel.mi_value(key),
-                                                 abs=1e-12)
+            assert table[0, ki] == pytest.approx(channel.mi_value(key), abs=1e-12)

@@ -1,10 +1,15 @@
-"""Unit tests for campaign specifications and grid expansion."""
+"""Unit tests for campaign specifications, sharding and grid expansion."""
 
 import numpy as np
 import pytest
 
-from repro.campaign.spec import CampaignSpec, FadingSpec, WorkUnit
-from repro.channels.gains import LinkGains
+from repro.campaign.spec import (
+    CampaignShard,
+    CampaignSpec,
+    FadingSpec,
+    WorkUnit,
+    chunk_ranges,
+)
 from repro.core.protocols import Protocol
 from repro.exceptions import InvalidParameterError
 
@@ -22,28 +27,31 @@ def small_spec(paper_gains):
 class TestValidation:
     def test_empty_protocols_rejected(self, paper_gains):
         with pytest.raises(InvalidParameterError):
-            CampaignSpec(protocols=(), powers_db=(10.0,),
-                         gains=(paper_gains,))
+            CampaignSpec(protocols=(), powers_db=(10.0,), gains=(paper_gains,))
 
     def test_duplicate_protocols_rejected(self, paper_gains):
         with pytest.raises(InvalidParameterError):
-            CampaignSpec(protocols=(Protocol.MABC, Protocol.MABC),
-                         powers_db=(10.0,), gains=(paper_gains,))
+            CampaignSpec(
+                protocols=(Protocol.MABC, Protocol.MABC),
+                powers_db=(10.0,),
+                gains=(paper_gains,),
+            )
 
     def test_empty_powers_rejected(self, paper_gains):
         with pytest.raises(InvalidParameterError):
-            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(),
-                         gains=(paper_gains,))
+            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(), gains=(paper_gains,))
 
     def test_empty_gains_rejected(self):
         with pytest.raises(InvalidParameterError):
-            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(10.0,),
-                         gains=())
+            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(10.0,), gains=())
 
     def test_non_gains_rejected(self):
         with pytest.raises(InvalidParameterError):
-            CampaignSpec(protocols=(Protocol.MABC,), powers_db=(10.0,),
-                         gains=((1.0, 2.0, 3.0),))
+            CampaignSpec(
+                protocols=(Protocol.MABC,),
+                powers_db=(10.0,),
+                gains=((1.0, 2.0, 3.0),),
+            )
 
     def test_bad_fading_rejected(self):
         with pytest.raises(InvalidParameterError):
@@ -76,17 +84,21 @@ class TestExpansion:
             assert a.gains == b.gains
 
     def test_no_fading_means_single_draw_of_means(self, paper_gains):
-        spec = CampaignSpec(protocols=(Protocol.DT,), powers_db=(10.0,),
-                            gains=(paper_gains,))
+        spec = CampaignSpec(
+            protocols=(Protocol.DT,), powers_db=(10.0,), gains=(paper_gains,)
+        )
         draws = spec.sample_gain_draws()
         assert draws.shape == (1, 1, 3)
         assert tuple(draws[0, 0]) == (
-            paper_gains.gab, paper_gains.gar, paper_gains.gbr
+            paper_gains.gab,
+            paper_gains.gar,
+            paper_gains.gbr,
         )
 
     def test_sampling_is_deterministic(self, small_spec):
-        assert np.array_equal(small_spec.sample_gain_draws(),
-                              small_spec.sample_gain_draws())
+        assert np.array_equal(
+            small_spec.sample_gain_draws(), small_spec.sample_gain_draws()
+        )
 
     def test_from_placements(self):
         spec = CampaignSpec.from_placements(
@@ -108,16 +120,18 @@ class TestHashing:
         )
         assert small_spec.spec_hash() == clone.spec_hash()
 
-    @pytest.mark.parametrize("change", [
-        {"protocols": (Protocol.MABC, Protocol.TDBC)},
-        {"powers_db": (0.0, 11.0)},
-        {"fading": FadingSpec(n_draws=6, seed=3)},
-        {"fading": FadingSpec(n_draws=5, seed=4)},
-        {"fading": FadingSpec(n_draws=5, seed=3, k_factor=1.0)},
-        {"fading": None},
-    ])
-    def test_any_field_change_changes_the_hash(self, small_spec,
-                                               paper_gains, change):
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"protocols": (Protocol.MABC, Protocol.TDBC)},
+            {"powers_db": (0.0, 11.0)},
+            {"fading": FadingSpec(n_draws=6, seed=3)},
+            {"fading": FadingSpec(n_draws=5, seed=4)},
+            {"fading": FadingSpec(n_draws=5, seed=3, k_factor=1.0)},
+            {"fading": None},
+        ],
+    )
+    def test_any_field_change_changes_the_hash(self, small_spec, paper_gains, change):
         fields = {
             "protocols": small_spec.protocols,
             "powers_db": small_spec.powers_db,
@@ -131,3 +145,64 @@ class TestHashing:
         clone = CampaignSpec.from_dict(small_spec.to_dict())
         assert clone == small_spec
         assert clone.spec_hash() == small_spec.spec_hash()
+
+
+class TestSharding:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 7, 20])
+    def test_partition_is_balanced_and_covers_the_grid(self, small_spec, count):
+        shards = [small_spec.shard(i, count) for i in range(count)]
+        ranges = [shard.unit_range for shard in shards]
+        # Contiguous, in order, disjoint, covering [0, n_units) exactly.
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == small_spec.n_units
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+        sizes = [shard.n_units for shard in shards]
+        assert sum(sizes) == small_spec.n_units
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_oversubscribed_partition_has_empty_tail_shards(self, small_spec):
+        shards = [small_spec.shard(i, 30) for i in range(30)]
+        assert sum(shard.n_units for shard in shards) == small_spec.n_units
+        assert shards[-1].n_units == 0
+
+    def test_parent_hash_is_preserved(self, small_spec):
+        shard = small_spec.shard(1, 3)
+        assert shard.parent_hash == small_spec.spec_hash()
+        assert shard.spec == small_spec
+        assert shard.label == "shard 2/3"
+
+    def test_invalid_shards_rejected(self, small_spec):
+        with pytest.raises(InvalidParameterError):
+            small_spec.shard(0, 0)
+        with pytest.raises(InvalidParameterError):
+            small_spec.shard(-1, 3)
+        with pytest.raises(InvalidParameterError):
+            small_spec.shard(3, 3)
+        with pytest.raises(InvalidParameterError):
+            CampaignShard(spec=small_spec, index=5, count=2)
+
+
+class TestChunkRanges:
+    def test_ranges_tile_the_request_exactly(self):
+        ranges = chunk_ranges(0, 100, 32)
+        assert ranges == ((0, 32), (32, 64), (64, 96), (96, 100))
+
+    def test_boundaries_are_globally_aligned(self):
+        # A range starting mid-chunk first closes out the global chunk, so
+        # its interior chunks coincide with an unsharded run's.
+        assert chunk_ranges(40, 100, 32) == ((40, 64), (64, 96), (96, 100))
+        assert chunk_ranges(32, 100, 32) == ((32, 64), (64, 96), (96, 100))
+
+    def test_small_and_empty_ranges(self):
+        assert chunk_ranges(5, 5, 32) == ()
+        assert chunk_ranges(5, 6, 32) == ((5, 6),)
+        assert chunk_ranges(0, 7, 100) == ((0, 7),)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            chunk_ranges(0, 10, 0)
+        with pytest.raises(InvalidParameterError):
+            chunk_ranges(-1, 10, 4)
+        with pytest.raises(InvalidParameterError):
+            chunk_ranges(10, 5, 4)

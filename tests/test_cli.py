@@ -1,5 +1,6 @@
 """Unit tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -14,7 +15,7 @@ class TestParser:
         subparsers = actions["command"]
         assert set(subparsers.choices) == {
             "fig3", "fig4", "region", "sumrate", "simulate", "diagrams",
-            "sweep", "adaptive", "fairness", "fading", "campaign",
+            "sweep", "adaptive", "fairness", "fading", "campaign", "gather",
         }
 
     def test_region_requires_protocol(self):
@@ -169,6 +170,83 @@ class TestCampaignCommand:
         out = capsys.readouterr().out
         assert code == 2
         assert "duplicate" in out
+
+    def test_campaign_prints_full_spec_hash(self, capsys):
+        code = main(["campaign", "--powers-db", "10", "--draws", "4",
+                     "--no-cache", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        hash_lines = [l for l in out.splitlines() if l.startswith("spec ")]
+        assert len(hash_lines) == 1
+        digest = hash_lines[0].split()[1]
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestShardGatherCommands:
+    GRID = ["--powers-db", "0,10", "--draws", "6", "--protocols",
+            "mabc,hbc", "--seed", "2"]
+
+    def test_shard_gather_matches_unsharded_bitwise(self, capsys, tmp_path):
+        cached = [*self.GRID, "--cache-dir", str(tmp_path / "cache")]
+        for i in (1, 2, 3):
+            assert main(["campaign", *cached, "--shard", f"{i}/3",
+                         "--chunk-size", "5", "--quiet"]) == 0
+        capsys.readouterr()
+        gathered_path = str(tmp_path / "gathered.npy")
+        assert main(["gather", *cached, "--dump", gathered_path]) == 0
+        out = capsys.readouterr().out
+        assert "gathered 24/24 cells" in out
+        assert "spec " in out
+        reference_path = str(tmp_path / "reference.npy")
+        assert main(["campaign", *self.GRID, "--no-cache", "--quiet",
+                     "--dump", reference_path]) == 0
+        gathered = np.load(gathered_path)
+        reference = np.load(reference_path)
+        assert gathered.shape == reference.shape
+        assert gathered.tobytes() == reference.tobytes()
+
+    def test_rerun_shard_reports_cache_resumption(self, capsys, tmp_path):
+        cached = [*self.GRID, "--cache-dir", str(tmp_path)]
+        shard = ["campaign", *cached, "--shard", "2/3", "--chunk-size", "5",
+                 "--quiet"]
+        assert main(shard) == 0
+        capsys.readouterr()
+        assert main(shard) == 0
+        out = capsys.readouterr().out
+        assert "shard 2/3: 8/8 cells via cache" in out
+        assert "8 from cache, 0 computed" in out
+
+    def test_gather_incomplete_campaign_fails(self, capsys, tmp_path):
+        cached = [*self.GRID, "--cache-dir", str(tmp_path)]
+        assert main(["campaign", *cached, "--shard", "1/3",
+                     "--chunk-size", "5", "--quiet"]) == 0
+        capsys.readouterr()
+        code = main(["gather", *cached])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "missing" in out
+
+    def test_bad_shard_values_rejected(self, capsys):
+        for bad in ("4/3", "0/3", "x/3", "1/0", "12"):
+            code = main(["campaign", *self.GRID, "--shard", bad, "--quiet"])
+            out = capsys.readouterr().out
+            assert code == 2, bad
+            assert "error" in out
+
+    def test_shard_with_no_cache_rejected(self, capsys):
+        code = main(["campaign", *self.GRID, "--shard", "1/2", "--no-cache",
+                     "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "--no-cache" in out
+
+    def test_bad_chunk_size_rejected(self, capsys):
+        code = main(["campaign", *self.GRID, "--chunk-size", "0",
+                     "--no-cache", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "chunk-size" in out
 
 
 class TestSweepValidation:
