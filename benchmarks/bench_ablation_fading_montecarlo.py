@@ -19,7 +19,7 @@ from conftest import emit
 from repro.channels.gains import LinkGains
 from repro.core.protocols import Protocol
 from repro.experiments.tables import render_table
-from repro.simulation.montecarlo import ergodic_sum_rate
+from repro.simulation.montecarlo import fading_sum_rate_statistics
 
 GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
 POWER = 10.0
@@ -29,7 +29,7 @@ N_DRAWS = 150
 @pytest.fixture(scope="module")
 def fading_stats():
     return {
-        protocol: ergodic_sum_rate(protocol, GAINS, POWER, N_DRAWS,
+        protocol: fading_sum_rate_statistics(protocol, GAINS, POWER, N_DRAWS,
                                    np.random.default_rng(17))
         for protocol in Protocol
     }
@@ -60,7 +60,7 @@ def test_outage_below_ergodic(fading_stats):
 
 def test_bench_ergodic_evaluation(benchmark):
     stats = benchmark(
-        ergodic_sum_rate, Protocol.MABC, GAINS, POWER, 25,
+        fading_sum_rate_statistics, Protocol.MABC, GAINS, POWER, 25,
         np.random.default_rng(23),
     )
     assert stats.mean > 0
@@ -73,7 +73,7 @@ def _time_ensemble(executor: str, n_draws: int) -> tuple:
     for _ in range(3):
         start = time.perf_counter()
         samples = np.stack([
-            ergodic_sum_rate(protocol, GAINS, POWER, n_draws,
+            fading_sum_rate_statistics(protocol, GAINS, POWER, n_draws,
                              np.random.default_rng(31),
                              executor=executor).samples
             for protocol in Protocol
@@ -115,7 +115,7 @@ def test_vectorized_executor_speedup_and_identity():
 def test_bench_vectorized_campaign_ensemble(benchmark):
     """Time the default (vectorized) fast path on the full paper ensemble."""
     stats = benchmark(
-        ergodic_sum_rate, Protocol.HBC, GAINS, POWER, N_DRAWS,
+        fading_sum_rate_statistics, Protocol.HBC, GAINS, POWER, N_DRAWS,
         np.random.default_rng(17), executor="vectorized",
     )
     assert stats.mean > 0

@@ -15,13 +15,14 @@ from repro.core.capacity import compare_protocols
 from repro.core.gaussian import GaussianChannel
 from repro.channels.pathloss import linear_relay_gains
 from repro.experiments.config import FIG3_DEFAULT, Fig3Config
-from repro.experiments.fig3 import fig3_shape_checks, run_fig3
+from repro.experiments.fig3 import fig3_result as compute_fig3
+from repro.experiments.fig3 import fig3_shape_checks
 from repro.experiments.runner import fig3_report
 
 
 @pytest.fixture(scope="module")
 def fig3_result():
-    return run_fig3(FIG3_DEFAULT)
+    return compute_fig3(FIG3_DEFAULT)
 
 
 def test_fig3_full_report(fig3_result):
@@ -55,5 +56,5 @@ def test_bench_fig3_full_placement_sweep(benchmark):
         symmetric_gains_db=(),
     )
 
-    result = benchmark(run_fig3, config)
+    result = benchmark(compute_fig3, config)
     assert len(result.placement_rows) == 9

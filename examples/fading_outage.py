@@ -22,7 +22,7 @@ from repro.channels.gains import LinkGains
 from repro.core.protocols import Protocol
 from repro.experiments.tables import render_table
 from repro.information.functions import db_to_linear
-from repro.simulation.montecarlo import ergodic_sum_rate
+from repro.simulation.montecarlo import fading_sum_rate_statistics
 
 MEAN_GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
 POWERS_DB = (0.0, 5.0, 10.0, 15.0)
@@ -35,7 +35,7 @@ def main() -> None:
         power = db_to_linear(power_db)
         rows = []
         for protocol in Protocol:
-            stats = ergodic_sum_rate(
+            stats = fading_sum_rate_statistics(
                 protocol, MEAN_GAINS, power, N_DRAWS,
                 np.random.default_rng(SEED),  # common randomness: paired
             )

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-bidirectional-coded-cooperation",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Performance bounds for bi-directional coded cooperation "
         "protocols: capacity regions, LP-optimal sum rates, fading "

@@ -15,9 +15,19 @@ Quickstart::
     region = achievable_region(Protocol.HBC, channel)
     best = region.max_sum_rate()
     print(f"HBC sum rate {best.sum_rate:.3f} bits at durations {best.durations.values}")
+
+Grid evaluation is scenario-first: declare (or name) a scenario and
+evaluate it through the facade::
+
+    from repro import evaluate, list_scenarios
+
+    print(list_scenarios())
+    result = evaluate("two-pair-round-robin")
+    print(result.objective_rows())
 """
 
-from .campaign import CampaignSpec, FadingSpec, run_campaign
+from .api import evaluate, gather
+from .campaign import CampaignSpec, FadingSpec, GridAxis, run_campaign
 from .channels.gains import LinkGains
 from .core.capacity import (
     ProtocolComparison,
@@ -30,12 +40,27 @@ from .core.gaussian import GaussianChannel
 from .core.protocols import PhaseDurations, Protocol
 from .core.regions import RateRegion
 from .exceptions import ReproError
+from .scenarios import (
+    EvaluationResult,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "evaluate",
+    "gather",
+    "EvaluationResult",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
     "CampaignSpec",
     "FadingSpec",
+    "GridAxis",
     "run_campaign",
     "LinkGains",
     "ProtocolComparison",

@@ -1,0 +1,134 @@
+"""The evaluation facade: one entry point over the campaign engine.
+
+Every batch workload in this library — figure sweeps, fading ensembles,
+power studies, multi-pair grids — is "evaluate a scenario", and
+:func:`evaluate` is the one door they all go through::
+
+    from repro.api import evaluate
+
+    result = evaluate("fig3-placement")            # by registered name
+    result = evaluate(my_scenario, cache=True)     # or a Scenario instance
+    hbc = result.ergodic_mean(Protocol.HBC, 15.0)
+
+Execution semantics (executors, content-addressed caching, chunk
+checkpointing, sharding across machines) are inherited unchanged from
+:func:`repro.campaign.engine.run_campaign`; the facade adds scenario
+resolution and labeled :class:`~repro.scenarios.result.EvaluationResult`
+values on top. :func:`gather` is the matching facade over shard-artifact
+merging, and :func:`evaluate_realizations` covers callers that already
+hold concrete channel draws (the Monte-Carlo drivers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .campaign.engine import evaluate_ensemble, gather_campaign, run_campaign
+from .core.protocols import Protocol
+from .exceptions import InvalidParameterError
+from .scenarios.base import Scenario
+from .scenarios.registry import get_scenario
+from .scenarios.result import EvaluationResult
+
+__all__ = ["evaluate", "gather", "evaluate_realizations"]
+
+
+def _resolve_scenario(scenario_or_name) -> Scenario:
+    """Accept a :class:`Scenario` or a registered scenario name."""
+    if isinstance(scenario_or_name, Scenario):
+        return scenario_or_name
+    if isinstance(scenario_or_name, str):
+        return get_scenario(scenario_or_name)
+    raise InvalidParameterError(
+        "expected a Scenario or a registered scenario name, "
+        f"got {scenario_or_name!r}"
+    )
+
+
+def evaluate(
+    scenario_or_name,
+    *,
+    executor=None,
+    cache=None,
+    shard=None,
+    chunk_size=None,
+    progress=None,
+) -> EvaluationResult:
+    """Evaluate a scenario end to end.
+
+    Parameters
+    ----------
+    scenario_or_name:
+        A :class:`~repro.scenarios.base.Scenario` or the name of a
+        registered one (see :func:`repro.scenarios.list_scenarios`).
+    executor:
+        Campaign executor name (``"serial"``, ``"process"``,
+        ``"vectorized"``) or instance; defaults to the vectorized fast
+        path. All built-in executors are bitwise-equivalent.
+    cache:
+        ``None``/``False`` disables caching, ``True`` selects the default
+        content-addressed store, a path or
+        :class:`~repro.campaign.cache.CampaignCache` an explicit one.
+        With a cache, execution is chunk-checkpointed and resumable.
+    shard:
+        ``None`` evaluates the whole grid; a
+        :class:`~repro.campaign.spec.CampaignShard` or ``(index, count)``
+        pair evaluates one balanced slice (combine with a shared cache
+        and :func:`gather`).
+    chunk_size:
+        Checkpoint granularity in grid cells.
+    progress:
+        Optional ``progress(done, total)`` callable.
+    """
+    scenario = _resolve_scenario(scenario_or_name)
+    campaign = run_campaign(
+        scenario.to_campaign_spec(),
+        executor=executor,
+        cache=cache,
+        progress=progress,
+        shard=shard,
+        chunk_size=chunk_size,
+    )
+    return EvaluationResult(scenario=scenario, campaign=campaign)
+
+
+def gather(scenario_or_name, cache=True) -> EvaluationResult:
+    """Merge a sharded scenario evaluation into its full labeled result.
+
+    The scenario-level facade over
+    :func:`repro.campaign.engine.gather_campaign`: reads every verified
+    chunk artifact written by shard runs of this scenario's grid and
+    reassembles them bitwise-identically to an unsharded evaluation.
+    """
+    scenario = _resolve_scenario(scenario_or_name)
+    campaign = gather_campaign(scenario.to_campaign_spec(), cache)
+    return EvaluationResult(scenario=scenario, campaign=campaign)
+
+
+def evaluate_realizations(
+    protocol: Protocol,
+    gains_ensemble,
+    power,
+    *,
+    executor=None,
+    cache=None,
+    chunk_size=None,
+    progress=None,
+) -> np.ndarray:
+    """Optimal sum rates of one protocol over concrete channel draws.
+
+    The facade for callers that already hold realized channels (e.g. the
+    Monte-Carlo drivers, which own their RNG): a thin door onto
+    :func:`repro.campaign.engine.evaluate_ensemble`, which checkpoints
+    under a content hash of the realizations themselves when a cache is
+    configured. Returns one optimal sum rate per draw, in draw order.
+    """
+    return evaluate_ensemble(
+        protocol,
+        gains_ensemble,
+        power,
+        executor=executor,
+        cache=cache,
+        chunk_size=chunk_size,
+        progress=progress,
+    )

@@ -42,11 +42,13 @@ from .executors import (
 )
 from .kernel import KERNEL_VERSION, batched_sum_rates
 from .spec import (
+    AXIS_OVERRIDE_KEYS,
     DEFAULT_CHUNK_SIZE,
     GRID_AXES,
     CampaignShard,
     CampaignSpec,
     FadingSpec,
+    GridAxis,
     WorkUnit,
     chunk_ranges,
 )
@@ -67,10 +69,12 @@ __all__ = [
     "KERNEL_VERSION",
     "batched_sum_rates",
     "GRID_AXES",
+    "AXIS_OVERRIDE_KEYS",
     "DEFAULT_CHUNK_SIZE",
     "chunk_ranges",
     "CampaignShard",
     "CampaignSpec",
     "FadingSpec",
+    "GridAxis",
     "WorkUnit",
 ]

@@ -37,7 +37,6 @@ import numpy as np
 
 from ..core.protocols import Protocol
 from ..exceptions import IncompleteCampaignError, InvalidParameterError
-from ..information.functions import db_to_linear
 from .cache import CampaignCache
 from .executors import (
     MultiprocessExecutor,
@@ -76,7 +75,8 @@ class CampaignResult:
     spec:
         The spec that produced the values.
     values:
-        Optimal sum rates, shape ``(protocols, powers, gains, draws)``
+        Optimal sum rates, shape ``spec.grid_shape`` — the classic
+        ``(protocols, powers, gains, draws)`` plus any extensible axes
         in spec order. For a shard run, cells outside the shard's unit
         range are ``NaN`` — the authoritative artifact of a shard run is
         the chunk entries it wrote to the cache, not this array.
@@ -122,7 +122,11 @@ class CampaignResult:
             ) from None
 
     def values_for(self, protocol: Protocol, power_db: float) -> np.ndarray:
-        """Sum rates of one (protocol, power) slice, shape ``(G, D)``."""
+        """Sum rates of one (protocol, power) slice.
+
+        Shape ``(G, D)`` for a classic spec; specs with extensible axes
+        keep those dimensions in front: ``(*extra, G, D)``.
+        """
         return self.values[self._protocol_index(protocol), self._power_index(power_db)]
 
     def ergodic_mean(self, protocol: Protocol, power_db: float) -> float:
@@ -210,27 +214,36 @@ def _offset_progress(progress, base: int, total: int):
     return advanced
 
 
-def _grid_batches(spec, flat_gains, powers_linear, start, stop):
+def _grid_batches(spec, flat_gains, start, stop):
     """Unit batches covering flat grid units ``[start, stop)``, in order.
 
     The flat C-order index factors as ``(block, channel)`` where a block
-    is one ``(protocol, power)`` pair and a channel is one
-    ``(geometry, draw)`` pair, so any contiguous range decomposes into at
-    most one partial batch per block.
+    fixes one value of every non-channel axis (protocol, power and each
+    extensible axis) and a channel is one ``(geometry, draw)`` pair, so
+    any contiguous range decomposes into at most one partial batch per
+    block. Block parameters come from :meth:`CampaignSpec.block_params`,
+    which keeps this loop agnostic of how many axes the spec declares.
     """
     n_channels = flat_gains.shape[0]
     batches = []
     for block in range(start // n_channels, (stop - 1) // n_channels + 1):
         lo = max(start, block * n_channels) - block * n_channels
         hi = min(stop, (block + 1) * n_channels) - block * n_channels
-        pi, wi = divmod(block, len(spec.powers_db))
+        protocol, power, gain_scale = spec.block_params(block)
+        gab = flat_gains[lo:hi, 0]
+        gar = flat_gains[lo:hi, 1]
+        gbr = flat_gains[lo:hi, 2]
+        if gain_scale is not None:
+            gab = gab * gain_scale[0]
+            gar = gar * gain_scale[1]
+            gbr = gbr * gain_scale[2]
         batches.append(
             UnitBatch(
-                protocol=spec.protocols[pi],
-                gab=flat_gains[lo:hi, 0],
-                gar=flat_gains[lo:hi, 1],
-                gbr=flat_gains[lo:hi, 2],
-                power=np.full(hi - lo, powers_linear[wi]),
+                protocol=protocol,
+                gab=gab,
+                gar=gar,
+                gbr=gbr,
+                power=np.full(hi - lo, power),
             )
         )
     return batches
@@ -360,11 +373,10 @@ def run_campaign(
             )
 
     flat_gains = spec.sample_gain_draws().reshape(-1, 3)
-    powers_linear = tuple(db_to_linear(p) for p in spec.powers_db)
 
     if shard is None and store is None and chunk_size is None:
         # Nothing to checkpoint or resume: evaluate the grid in one pass.
-        batches = _grid_batches(spec, flat_gains, powers_linear, 0, spec.n_units)
+        batches = _grid_batches(spec, flat_gains, 0, spec.n_units)
         value_arrays = executor.run(batches, progress=progress)
         values = np.concatenate(value_arrays).reshape(spec.grid_shape)
         return CampaignResult(
@@ -380,7 +392,7 @@ def run_campaign(
     trusted = isinstance(executor, _CACHE_TRUSTED_EXECUTORS)
 
     def batches_for(lo: int, hi: int):
-        return _grid_batches(spec, flat_gains, powers_linear, lo, hi)
+        return _grid_batches(spec, flat_gains, lo, hi)
 
     flat, cells_from_cache, cells_computed = _run_chunked(
         key,

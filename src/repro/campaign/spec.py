@@ -1,7 +1,10 @@
 """Declarative campaign specifications and their expansion into work units.
 
-A :class:`CampaignSpec` describes a full evaluation grid —
-``protocols × powers × channel geometries × fading draws`` — as plain data.
+A :class:`CampaignSpec` describes a full evaluation grid as plain data:
+the classic axes ``protocols × powers × channel geometries × fading
+draws`` plus any number of named extensible axes (:class:`GridAxis`)
+inserted between ``power`` and ``gains`` — e.g. a node-pair axis for
+multi-pair networks or a power-policy axis for backoff studies.
 Expansion is deterministic: the fading ensemble is drawn once from the
 spec's seed (paired across protocols and powers, so per-realization
 comparisons like "HBC dominates MABC" hold draw by draw), and the resulting
@@ -39,16 +42,30 @@ from ..information.functions import db_to_linear
 
 __all__ = [
     "FadingSpec",
+    "GridAxis",
     "CampaignSpec",
     "CampaignShard",
     "WorkUnit",
     "GRID_AXES",
+    "AXIS_OVERRIDE_KEYS",
     "DEFAULT_CHUNK_SIZE",
     "chunk_ranges",
 ]
 
-#: Axis order of every campaign result array.
+#: Canonical axis names of the classic campaign grid. Extensible axes
+#: (:attr:`CampaignSpec.extra_axes`) are inserted between ``power`` and
+#: ``gains``; :attr:`CampaignSpec.axes` gives the full ordered tuple.
 GRID_AXES = ("protocol", "power", "gains", "draw")
+
+#: Override keys an extensible axis value may carry. Each value of an
+#: extra axis is a mapping from these keys to per-cell parameter deltas:
+#:
+#: * ``gain_offsets_db`` — per-link ``(ab, ar, br)`` dB offsets applied to
+#:   the drawn channel gains (e.g. a node-pair axis where every pair sits
+#:   at its own geometry relative to the swept base geometry);
+#: * ``power_db_offset`` — a dB offset added to the grid's transmit power
+#:   (e.g. a power-policy axis for finite-SNR backoff studies).
+AXIS_OVERRIDE_KEYS = ("gain_offsets_db", "power_db_offset")
 
 #: Default number of flat grid cells per checkpointed chunk. Small enough
 #: that an interrupted campaign loses little work, large enough that the
@@ -112,6 +129,109 @@ class FadingSpec:
         }
 
 
+def _jsonable(value):
+    """Canonical plain-data form of an axis value (stable across runs)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    raise InvalidParameterError(
+        f"axis value {value!r} is not JSON-serializable plain data"
+    )
+
+
+@dataclass(frozen=True)
+class GridAxis:
+    """One named, ordered dimension of a campaign grid.
+
+    Attributes
+    ----------
+    name:
+        Axis name; unique within a spec and distinct from the canonical
+        :data:`GRID_AXES` names when used as an extensible axis.
+    values:
+        The axis points, in grid order. For extensible axes each value is
+        a mapping of :data:`AXIS_OVERRIDE_KEYS` to parameter deltas.
+    labels:
+        Optional operator-facing labels, aligned with ``values``;
+        ``display_labels`` falls back to ``str(value)``. Labels are
+        cosmetic: they serialize with the axis but are excluded from the
+        content hash, since they can never change the evaluated numbers.
+
+    The axis contributes to the campaign's content hash through
+    :meth:`to_dict` with ``labels=False``, which canonicalizes every
+    value to plain JSON data — two axes hash equal iff they describe
+    numerically identical grid dimensions.
+    """
+
+    name: str
+    values: tuple
+    labels: tuple | None = None
+
+    def __post_init__(self) -> None:
+        # Canonicalize values to plain JSON data up front, so equality and
+        # hashing are representation-independent (tuple vs list, numpy
+        # scalar vs float) and ``from_dict(to_dict(...))`` round-trips
+        # to an equal axis.
+        object.__setattr__(self, "values", tuple(_jsonable(v) for v in self.values))
+        if self.labels is not None:
+            object.__setattr__(
+                self, "labels", tuple(str(label) for label in self.labels)
+            )
+        if not isinstance(self.name, str) or not self.name:
+            raise InvalidParameterError(
+                f"axis name must be a non-empty string, got {self.name!r}"
+            )
+        if not self.values:
+            raise InvalidParameterError(f"axis {self.name!r} needs at least one value")
+        if self.labels is not None and len(self.labels) != len(self.values):
+            raise InvalidParameterError(
+                f"axis {self.name!r} has {len(self.values)} values but "
+                f"{len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def display_labels(self) -> tuple:
+        """The per-value labels (``str(value)`` where none were given)."""
+        if self.labels is not None:
+            return self.labels
+        return tuple(str(value) for value in self.values)
+
+    def to_dict(self, *, labels: bool = True) -> dict:
+        """Canonical plain-data form.
+
+        With ``labels=False`` the cosmetic labels are omitted — the form
+        used for content hashing, so axes that differ only in labeling
+        share cache entries (their numbers are identical by construction).
+        """
+        data = {
+            "name": self.name,
+            "values": [_jsonable(value) for value in self.values],
+        }
+        if labels:
+            data["labels"] = list(self.labels) if self.labels is not None else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridAxis":
+        """Inverse of :meth:`to_dict`."""
+        labels = data.get("labels")
+        return cls(
+            name=data["name"],
+            values=tuple(data["values"]),
+            labels=tuple(labels) if labels is not None else None,
+        )
+
+
 @dataclass(frozen=True)
 class WorkUnit:
     """One grid point: evaluate a protocol on one concrete channel.
@@ -143,22 +263,33 @@ class CampaignSpec:
         sweep.
     fading:
         Optional quasi-static fading ensemble drawn around each geometry
-        (grid axis 3). ``None`` evaluates the means themselves
-        (``n_draws = 1``).
+        (the trailing ``draw`` axis). ``None`` evaluates the means
+        themselves (``n_draws = 1``).
+    extra_axes:
+        Extensible named axes inserted between ``power`` and ``gains`` in
+        grid order. Each axis is a :class:`GridAxis` whose values are
+        mappings of :data:`AXIS_OVERRIDE_KEYS` to per-cell parameter
+        deltas (e.g. a ``pair`` axis of per-pair gain offsets, or a
+        power-policy axis of dB backoffs). Specs without extra axes keep
+        the exact classic 4-axis content hash, so existing cache entries
+        and shard artifacts survive the generalization.
     """
 
     protocols: tuple
     powers_db: tuple
     gains: tuple
     fading: FadingSpec | None = None
+    extra_axes: tuple = ()
 
     def __post_init__(self) -> None:
         protocols = tuple(self.protocols)
         powers_db = tuple(float(p) for p in self.powers_db)
         gains = tuple(self.gains)
+        extra_axes = tuple(self.extra_axes)
         object.__setattr__(self, "protocols", protocols)
         object.__setattr__(self, "powers_db", powers_db)
         object.__setattr__(self, "gains", gains)
+        object.__setattr__(self, "extra_axes", extra_axes)
         if not protocols:
             raise InvalidParameterError("at least one protocol required")
         for p in protocols:
@@ -173,6 +304,37 @@ class CampaignSpec:
         for g in gains:
             if not isinstance(g, LinkGains):
                 raise InvalidParameterError(f"{g!r} is not a LinkGains")
+        self._validate_extra_axes(extra_axes)
+
+    @staticmethod
+    def _validate_extra_axes(extra_axes: tuple) -> None:
+        seen = set(GRID_AXES)
+        for axis in extra_axes:
+            if not isinstance(axis, GridAxis):
+                raise InvalidParameterError(f"{axis!r} is not a GridAxis")
+            if axis.name in seen:
+                raise InvalidParameterError(
+                    f"duplicate or reserved axis name {axis.name!r}"
+                )
+            seen.add(axis.name)
+            for value in axis.values:
+                if not isinstance(value, dict):
+                    raise InvalidParameterError(
+                        f"axis {axis.name!r} value {value!r} must be a mapping "
+                        f"of override keys {AXIS_OVERRIDE_KEYS}"
+                    )
+                unknown = set(value) - set(AXIS_OVERRIDE_KEYS)
+                if unknown:
+                    raise InvalidParameterError(
+                        f"axis {axis.name!r} has unsupported override keys "
+                        f"{sorted(unknown)}; supported: {AXIS_OVERRIDE_KEYS}"
+                    )
+                offsets = value.get("gain_offsets_db")
+                if offsets is not None and len(tuple(offsets)) != 3:
+                    raise InvalidParameterError(
+                        f"axis {axis.name!r} gain_offsets_db must have one "
+                        f"offset per link (ab, ar, br), got {offsets!r}"
+                    )
 
     @classmethod
     def from_placements(
@@ -213,13 +375,105 @@ class CampaignSpec:
 
     @property
     def grid_shape(self) -> tuple:
-        """Result-array shape ``(protocols, powers, gains, draws)``."""
+        """Result-array shape ``(protocols, powers, *extra, gains, draws)``."""
         return (
             len(self.protocols),
             len(self.powers_db),
+            *(len(axis) for axis in self.extra_axes),
             len(self.gains),
             self.n_draws,
         )
+
+    @property
+    def axes(self) -> tuple:
+        """Every grid dimension as a named :class:`GridAxis`, in order.
+
+        Canonical axes carry their :data:`GRID_AXES` names (``gains``
+        values are ``(gab, gar, gbr)`` triples, ``draw`` values are the
+        draw indices); extensible axes appear verbatim between ``power``
+        and ``gains``.
+        """
+        return (
+            GridAxis(
+                name="protocol",
+                values=tuple(p.value for p in self.protocols),
+                labels=tuple(p.name for p in self.protocols),
+            ),
+            GridAxis(
+                name="power",
+                values=self.powers_db,
+                labels=tuple(f"{p:g} dB" for p in self.powers_db),
+            ),
+            *self.extra_axes,
+            GridAxis(
+                name="gains",
+                values=tuple((g.gab, g.gar, g.gbr) for g in self.gains),
+            ),
+            GridAxis(name="draw", values=tuple(range(self.n_draws))),
+        )
+
+    @property
+    def axis_names(self) -> tuple:
+        """Ordered names of every grid dimension."""
+        return (
+            "protocol",
+            "power",
+            *(axis.name for axis in self.extra_axes),
+            "gains",
+            "draw",
+        )
+
+    @property
+    def n_channels(self) -> int:
+        """Concrete channels per block: geometries times draws."""
+        return len(self.gains) * self.n_draws
+
+    @property
+    def block_shape(self) -> tuple:
+        """Shape of the leading block axes ``(protocols, powers, *extra)``.
+
+        The flat C-order unit index factors as ``(block, channel)``: a
+        block fixes the protocol, the transmit power and every extensible
+        axis value, a channel is one ``(geometry, draw)`` pair. This
+        factorization is what keeps the execution engine axis-agnostic.
+        """
+        return (
+            len(self.protocols),
+            len(self.powers_db),
+            *(len(axis) for axis in self.extra_axes),
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of ``(protocol, power, *extra)`` blocks in the grid."""
+        return int(np.prod(self.block_shape))
+
+    def block_params(self, block: int):
+        """Evaluation parameters of one block of the flat grid.
+
+        Returns ``(protocol, power_linear, gain_scale)`` where
+        ``gain_scale`` is either ``None`` or the per-link linear factors
+        accumulated from every extensible axis's ``gain_offsets_db``.
+        Deterministic elementwise arithmetic, so how the grid is chunked
+        or sharded can never change the evaluated numbers.
+        """
+        if not 0 <= block < self.n_blocks:
+            raise InvalidParameterError(
+                f"block index {block} outside [0, {self.n_blocks})"
+            )
+        indices = np.unravel_index(block, self.block_shape)
+        power_db = self.powers_db[indices[1]]
+        gain_scale = None
+        for axis, value_index in zip(self.extra_axes, indices[2:]):
+            value = axis.values[value_index]
+            offset = value.get("power_db_offset")
+            if offset is not None:
+                power_db = power_db + float(offset)
+            gain_offsets = value.get("gain_offsets_db")
+            if gain_offsets is not None:
+                scale = np.array([db_to_linear(float(x)) for x in gain_offsets])
+                gain_scale = scale if gain_scale is None else gain_scale * scale
+        return self.protocols[indices[0]], db_to_linear(power_db), gain_scale
 
     @property
     def n_units(self) -> int:
@@ -236,14 +490,24 @@ class CampaignSpec:
         """
         return CampaignShard(spec=self, index=index, count=count)
 
-    def to_dict(self) -> dict:
-        """Canonical plain-data form (stable across processes)."""
-        return {
+    def to_dict(self, *, labels: bool = True) -> dict:
+        """Canonical plain-data form (stable across processes).
+
+        The ``axes`` key is only present when extensible axes exist, so a
+        classic 4-axis spec serializes — and therefore hashes — exactly as
+        it did before axes became extensible (golden-hash tested).
+        ``labels=False`` is the hashing form: axis labels are cosmetic
+        and excluded from the content key.
+        """
+        data = {
             "protocols": [p.value for p in self.protocols],
             "powers_db": [float(p) for p in self.powers_db],
             "gains": [[float(g.gab), float(g.gar), float(g.gbr)] for g in self.gains],
             "fading": self.fading.to_dict() if self.fading else None,
         }
+        if self.extra_axes:
+            data["axes"] = [axis.to_dict(labels=labels) for axis in self.extra_axes]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignSpec":
@@ -254,6 +518,9 @@ class CampaignSpec:
             powers_db=tuple(data["powers_db"]),
             gains=tuple(LinkGains(*triple) for triple in data["gains"]),
             fading=FadingSpec(**fading) if fading else None,
+            extra_axes=tuple(
+                GridAxis.from_dict(axis) for axis in data.get("axes", ())
+            ),
         )
 
     def spec_hash(self) -> str:
@@ -261,9 +528,13 @@ class CampaignSpec:
 
         Floats are serialized via ``repr`` round-tripping inside ``json``,
         which is exact for IEEE doubles, so two specs hash equal iff they
-        describe bit-identical grids.
+        describe bit-identical grids. Cosmetic axis labels are excluded:
+        relabeling an axis can never change the numbers, so it must not
+        move the cache key.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        canonical = json.dumps(
+            self.to_dict(labels=False), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def sample_gain_draws(self) -> np.ndarray:
@@ -293,24 +564,30 @@ class CampaignSpec:
         """Yield every :class:`WorkUnit` in C order of the grid.
 
         ``gain_draws`` (from :meth:`sample_gain_draws`) can be passed in to
-        avoid re-sampling; it is sampled on demand otherwise.
+        avoid re-sampling; it is sampled on demand otherwise. Draws are
+        shared across extensible axes (each axis value sees the same fade,
+        transformed by its own per-link offsets), so per-realization
+        comparisons stay paired along every non-channel axis.
         """
         if gain_draws is None:
             gain_draws = self.sample_gain_draws()
         index = 0
-        for protocol in self.protocols:
-            for power_db in self.powers_db:
-                power = db_to_linear(power_db)
-                for gi in range(len(self.gains)):
-                    for di in range(self.n_draws):
-                        gab, gar, gbr = gain_draws[gi, di]
-                        yield WorkUnit(
-                            index=index,
-                            protocol=protocol,
-                            gains=LinkGains(gab, gar, gbr),
-                            power=power,
-                        )
-                        index += 1
+        for block in range(self.n_blocks):
+            protocol, power, gain_scale = self.block_params(block)
+            for gi in range(len(self.gains)):
+                for di in range(self.n_draws):
+                    gab, gar, gbr = gain_draws[gi, di]
+                    if gain_scale is not None:
+                        gab = gab * gain_scale[0]
+                        gar = gar * gain_scale[1]
+                        gbr = gbr * gain_scale[2]
+                    yield WorkUnit(
+                        index=index,
+                        protocol=protocol,
+                        gains=LinkGains(gab, gar, gbr),
+                        power=power,
+                    )
+                    index += 1
 
 
 @dataclass(frozen=True)

@@ -4,12 +4,17 @@ Subcommands
 -----------
 * ``fig3`` / ``fig4`` — regenerate the paper's evaluation figures as text
   tables, ASCII plots and optional CSVs.
+* ``scenarios`` — list the registered evaluation scenarios, or evaluate
+  one by name through the ``repro.api`` facade (``scenarios list``,
+  ``scenarios run NAME``).
 * ``campaign`` — evaluate a declarative grid (protocols × powers ×
   geometries × fading draws) through the batched campaign engine, with
   executor selection, progress reporting and an on-disk result cache.
   ``--shard I/N`` evaluates one balanced slice of the grid so independent
   processes/machines can split a campaign, coordinating only through the
   shared cache directory; interrupted runs resume from cached chunks.
+  Routed through ``repro.api.evaluate`` (the grid is wrapped as an
+  ad-hoc scenario; spec hashes are unchanged).
 * ``gather`` — merge the chunk artifacts written by shard runs into the
   full campaign result (bitwise-identical to an unsharded run).
 * ``region`` — trace any protocol's rate region on any channel.
@@ -236,10 +241,15 @@ def _print_campaign_summary(result, title: str) -> None:
 
 
 def _cmd_campaign(args) -> int:
-    from .campaign import CampaignCache, get_executor, run_campaign
+    from .api import evaluate
+    from .campaign import CampaignCache, get_executor
+    from .scenarios import Scenario
 
     try:
         spec = _campaign_spec_from_args(args)
+        scenario = Scenario.from_campaign_spec(
+            spec, name="cli-campaign",
+            description="ad-hoc grid from repro campaign arguments")
         shard = (spec.shard(*_parse_shard(args.shard))
                  if args.shard else None)
         if args.chunk_size is not None and args.chunk_size < 1:
@@ -263,9 +273,10 @@ def _cmd_campaign(args) -> int:
     label = shard.label if shard is not None else "campaign"
     progress = None if args.quiet else _stderr_progress(label)
 
-    result = run_campaign(spec, executor=executor, cache=cache,
+    evaluation = evaluate(scenario, executor=executor, cache=cache,
                           progress=progress, shard=shard,
                           chunk_size=args.chunk_size)
+    result = evaluation.campaign
 
     if shard is None:
         geometry = (f"{args.placements} relay placements" if args.placements
@@ -292,17 +303,22 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_gather(args) -> int:
-    from .campaign import CampaignCache, gather_campaign
+    from .api import gather
+    from .campaign import CampaignCache
     from .exceptions import IncompleteCampaignError
+    from .scenarios import Scenario
 
     try:
         spec = _campaign_spec_from_args(args)
+        scenario = Scenario.from_campaign_spec(
+            spec, name="cli-campaign",
+            description="ad-hoc grid from repro gather arguments")
     except ValueError as error:
         print(f"error: {error}")
         return 2
     cache = CampaignCache(args.cache_dir)
     try:
-        result = gather_campaign(spec, cache)
+        result = gather(scenario, cache)
     except IncompleteCampaignError as error:
         print(f"error: {error}")
         return 1
@@ -338,7 +354,7 @@ def _cmd_fairness(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .experiments.sweeps import power_sweep, protocol_crossover_power
+    from .experiments.sweeps import protocol_crossover_power, sweep_powers
 
     if args.step_db <= 0:
         print("error: --step-db must be positive")
@@ -349,16 +365,18 @@ def _cmd_sweep(args) -> int:
     gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
     powers = [args.min_db + i * args.step_db
               for i in range(int((args.max_db - args.min_db) / args.step_db) + 1)]
+    sweep_rows = sweep_powers(gains, powers)
+    # Columns derive from the sweep's own protocol axis, so subset sweeps
+    # can never misalign with the header.
+    protocols = list(sweep_rows[0].sum_rates)
     rows = []
-    for row in power_sweep(gains, powers):
+    for row in sweep_rows:
         ordered = [row.power_db] + [
-            row.sum_rates[p] for p in
-            (Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC,
-             Protocol.HBC)
+            row.sum_rates[p] for p in protocols
         ] + [row.winner().name]
         rows.append(ordered)
     print(render_table(
-        ["P [dB]", "DT", "NAIVE4", "MABC", "TDBC", "HBC", "best"],
+        ["P [dB]"] + [p.name for p in protocols] + ["best"],
         rows,
         title=(f"power sweep — G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
                f"G_br={args.gbr_db:g} dB"),
@@ -393,6 +411,70 @@ def _cmd_adaptive(args) -> int:
     ))
     print(f"\nadaptivity gain over best fixed protocol: "
           f"{report.adaptivity_gain:.4f} bits/use")
+    return 0
+
+
+def _cmd_scenarios_list(_args) -> int:
+    from .scenarios import get_scenario, list_scenarios
+
+    rows = []
+    for name in list_scenarios():
+        scenario = get_scenario(name)
+        spec = scenario.to_campaign_spec()
+        rows.append([
+            name,
+            ",".join(p.name for p in scenario.protocols),
+            scenario.n_pairs,
+            spec.n_units,
+            scenario.objective,
+            scenario.description,
+        ])
+    print(render_table(
+        ["scenario", "protocols", "pairs", "cells", "objective",
+         "description"],
+        rows,
+        title="registered scenarios",
+    ))
+    return 0
+
+
+def _cmd_scenarios_run(args) -> int:
+    from .api import evaluate
+    from .campaign import CampaignCache
+    from .scenarios import get_scenario
+
+    try:
+        scenario = get_scenario(args.name)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    cache = False if args.no_cache else CampaignCache(args.cache_dir)
+    progress = None if args.quiet else _stderr_progress(args.name)
+    result = evaluate(scenario, executor=args.executor, cache=cache,
+                      progress=progress)
+    spec = result.spec
+    print(render_table(
+        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
+         "median"],
+        result.summary_rows(epsilon=0.1),
+        title=(f"scenario {scenario.name}: {scenario.description} — "
+               "sum rates [bits/use]"),
+    ))
+    if scenario.objective != "sum_rate":
+        print()
+        print(render_table(
+            ["protocol", "P [dB]", f"mean {scenario.objective}"],
+            result.objective_rows(),
+            title=(f"objective {scenario.objective} over "
+                   f"{scenario.n_pairs} pairs"),
+        ))
+    source = ("cache" if result.from_cache
+              else f"{result.executor_name} executor")
+    print(f"\n{spec.n_units} cells via {source} "
+          f"in {result.elapsed_seconds:.3f} s")
+    print(f"spec {spec.spec_hash()}")
+    if args.dump:
+        _dump_values(result, args.dump)
     return 0
 
 
@@ -500,6 +582,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign executor (default vectorized)",
     )
     p_fading.set_defaults(func=_cmd_fading)
+
+    p_scenarios = sub.add_parser(
+        "scenarios",
+        help="list registered evaluation scenarios or run one by name",
+    )
+    scenario_sub = p_scenarios.add_subparsers(dest="action", required=True)
+    p_scn_list = scenario_sub.add_parser(
+        "list", help="table of every registered scenario"
+    )
+    p_scn_list.set_defaults(func=_cmd_scenarios_list)
+    p_scn_run = scenario_sub.add_parser(
+        "run", help="evaluate a registered scenario through repro.api"
+    )
+    p_scn_run.add_argument("name", help="registered scenario name")
+    p_scn_run.add_argument(
+        "--executor", default=None,
+        choices=["serial", "process", "vectorized"],
+        help="campaign executor (default vectorized)",
+    )
+    p_scn_run.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
+             "~/.cache/repro/campaigns)",
+    )
+    p_scn_run.add_argument("--no-cache", action="store_true",
+                           help="disable the result cache")
+    p_scn_run.add_argument("--quiet", action="store_true",
+                           help="suppress the progress meter")
+    p_scn_run.add_argument(
+        "--dump", default=None, metavar="PATH",
+        help="also write the raw result array to PATH via np.save",
+    )
+    p_scn_run.set_defaults(func=_cmd_scenarios_run)
 
     p_campaign = sub.add_parser(
         "campaign",

@@ -3,20 +3,23 @@
 from .ascii_plot import ascii_plot
 from .config import FIG3_DEFAULT, FIG4_P0, FIG4_P10, Fig3Config, Fig4Config
 from .diagrams import all_protocol_diagrams, phase_timeline
-from .fig3 import Fig3Result, Fig3Row, fig3_shape_checks, run_fig3
+from .fig3 import Fig3Result, Fig3Row, fig3_result, fig3_shape_checks, run_fig3
 from .fig4 import Fig4Result, RegionTrace, fig4_shape_checks, run_fig4
+from .runner import (
+    DEFAULT_FADING_SPEC,
+    EXPERIMENT_IDS,
+    ExperimentReport,
+    fading_report,
+    fig3_report,
+    fig4_report,
+    run_experiment,
+)
 from .sweeps import (
     PowerSweepRow,
     power_sweep,
     protocol_crossover_power,
+    sweep_powers,
     winner_table,
-)
-from .runner import (
-    EXPERIMENT_IDS,
-    ExperimentReport,
-    fig3_report,
-    fig4_report,
-    run_experiment,
 )
 from .tables import render_table, write_csv
 
@@ -31,20 +34,24 @@ __all__ = [
     "phase_timeline",
     "Fig3Result",
     "Fig3Row",
+    "fig3_result",
     "fig3_shape_checks",
     "run_fig3",
     "Fig4Result",
     "RegionTrace",
     "fig4_shape_checks",
     "run_fig4",
+    "DEFAULT_FADING_SPEC",
     "EXPERIMENT_IDS",
     "ExperimentReport",
+    "fading_report",
     "fig3_report",
     "fig4_report",
     "run_experiment",
     "PowerSweepRow",
     "power_sweep",
     "protocol_crossover_power",
+    "sweep_powers",
     "winner_table",
     "render_table",
     "write_csv",

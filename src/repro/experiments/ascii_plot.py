@@ -17,8 +17,15 @@ __all__ = ["ascii_plot"]
 _MARKERS = "ox+*#@%&"
 
 
-def ascii_plot(series: dict, *, width: int = 72, height: int = 22,
-               title: str = "", x_label: str = "x", y_label: str = "y") -> str:
+def ascii_plot(
+    series: dict,
+    *,
+    width: int = 72,
+    height: int = 22,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
     """Plot named series of points as ASCII art.
 
     Parameters
@@ -67,8 +74,7 @@ def ascii_plot(series: dict, *, width: int = 72, height: int = 22,
     lines.append("+" + "-" * width)
     lines.append(f" {x_label}: [{x_min:.3f}, {x_max:.3f}]")
     legend = "   ".join(
-        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
-        for i, name in enumerate(arrays)
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(arrays)
     )
     lines.append(" " + legend)
     return "\n".join(lines)

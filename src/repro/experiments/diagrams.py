@@ -36,7 +36,11 @@ def phase_timeline(protocol: Protocol, *, cell_width: int = 14) -> str:
 
 def all_protocol_diagrams() -> str:
     """Every protocol timeline, separated by blank lines (Figs. 1–2 analogue)."""
-    blocks = [phase_timeline(p) for p in
-              (Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC,
-               Protocol.HBC)]
-    return "\n\n".join(blocks)
+    protocols = (
+        Protocol.DT,
+        Protocol.NAIVE4,
+        Protocol.MABC,
+        Protocol.TDBC,
+        Protocol.HBC,
+    )
+    return "\n\n".join(phase_timeline(p) for p in protocols)

@@ -12,24 +12,37 @@ The sweep variable is reconstructed two ways (see DESIGN.md):
 Both sweeps exhibit the claims the paper attaches to the figure: the HBC
 optimum dominates MABC and TDBC everywhere and is *strictly* better in an
 intermediate regime, so HBC does not reduce to either special case.
+
+Both sweeps are the registered scenarios ``fig3-placement`` and
+``fig3-symmetric`` evaluated through the :mod:`repro.api` facade;
+:func:`fig3_result` assembles the figure artifact from those
+evaluations, and :func:`run_fig3` remains as a deprecation shim over it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from ..campaign.engine import run_campaign
-from ..campaign.spec import CampaignSpec
 from ..channels.gains import LinkGains
-from ..channels.pathloss import linear_relay_gains
 from ..core.capacity import compare_protocols
 from ..core.gaussian import GaussianChannel
 from ..core.protocols import Protocol
 from ..optimize.linprog import DEFAULT_BACKEND
 from .config import FIG3_DEFAULT, Fig3Config
 
-__all__ = ["Fig3Row", "Fig3Result", "run_fig3", "fig3_shape_checks", "PROTOCOL_ORDER"]
+__all__ = [
+    "Fig3Row",
+    "Fig3Result",
+    "fig3_result",
+    "run_fig3",
+    "fig3_shape_checks",
+    "PROTOCOL_ORDER",
+]
 
+#: Default protocol column order of the figure. Results carry their own
+#: protocol axis (``Fig3Result.protocols``); this constant is only the
+#: default for full four-protocol runs.
 PROTOCOL_ORDER = (Protocol.DT, Protocol.MABC, Protocol.TDBC, Protocol.HBC)
 
 
@@ -42,10 +55,43 @@ class Fig3Row:
     sum_rates: dict
 
     def as_table_row(self) -> list:
-        """Row for tabular reports: sweep value then per-protocol rates."""
-        return [self.sweep_value] + [
-            self.sum_rates[p] for p in PROTOCOL_ORDER
-        ]
+        """Row for tabular reports: sweep value then per-protocol rates.
+
+        Columns follow the row's own protocol order (the insertion order
+        of ``sum_rates``, which is the scenario's protocol axis), so
+        subset runs stay aligned with :meth:`Fig3Result.headers`.
+        """
+        return [self.sweep_value, *self.sum_rates.values()]
+
+
+class _HeadersDispatch:
+    """Dual-mode ``Fig3Result.headers`` accessor.
+
+    On an instance, headers derive from that run's protocol axis, so
+    subset runs can never misalign with their rows. The historical
+    class-level call (``Fig3Result.headers("x")``) survives as a
+    deprecation shim that assumes the full four-protocol figure.
+    """
+
+    def __get__(self, instance, owner):
+        if instance is None:
+
+            def class_headers(sweep_name: str) -> list:
+                warnings.warn(
+                    "calling Fig3Result.headers on the class is deprecated "
+                    "and assumes the full four-protocol figure; call "
+                    "headers() on a Fig3Result instance instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return [sweep_name] + [p.name for p in PROTOCOL_ORDER]
+
+            return class_headers
+
+        def instance_headers(sweep_name: str) -> list:
+            return [sweep_name] + [p.name for p in instance.protocols]
+
+        return instance_headers
 
 
 @dataclass(frozen=True)
@@ -55,108 +101,152 @@ class Fig3Result:
     config: Fig3Config
     placement_rows: tuple
     symmetric_rows: tuple
+    protocols: tuple = PROTOCOL_ORDER
 
-    @staticmethod
-    def headers(sweep_name: str) -> list:
-        """Table headers for one sweep."""
-        return [sweep_name] + [p.name for p in PROTOCOL_ORDER]
+    #: Table headers for one sweep, from this run's protocol axis (a
+    #: class-level call is a deprecated four-protocol shim).
+    headers = _HeadersDispatch()
+
+    def to_rows(self, rows) -> list:
+        """Table rows for one sweep, aligned with :meth:`headers`."""
+        return [
+            [row.sweep_value] + [row.sum_rates[p] for p in self.protocols]
+            for row in rows
+        ]
 
     def best_protocol_per_row(self, rows) -> list:
         """Name of the sum-rate winner at each sweep point."""
         return [
-            max(row.sum_rates, key=lambda p: row.sum_rates[p]).name
-            for row in rows
+            max(row.sum_rates, key=lambda p: row.sum_rates[p]).name for row in rows
         ]
 
 
-def _sum_rates(channel: GaussianChannel, backend: str) -> dict:
-    comparison = compare_protocols(channel, protocols=PROTOCOL_ORDER,
-                                   backend=backend)
+def _sum_rates(channel: GaussianChannel, protocols, backend: str) -> dict:
+    comparison = compare_protocols(channel, protocols=protocols, backend=backend)
     return {p: point.sum_rate for p, point in comparison.sum_rates.items()}
 
 
-def _sweep_rows(sweep_values, gains_list, config: Fig3Config,
-                executor, cache) -> tuple:
-    """One sweep as a campaign: every (protocol, geometry) in one grid."""
-    if not gains_list:
-        return ()
-    spec = CampaignSpec(protocols=PROTOCOL_ORDER,
-                        powers_db=(config.power_db,),
-                        gains=tuple(gains_list))
-    result = run_campaign(spec, executor=executor, cache=cache)
-    rows = []
-    for gi, (value, gains) in enumerate(zip(sweep_values, gains_list)):
-        rows.append(Fig3Row(
+def _legacy_rows(sweep_values, gains_list, protocols, power, backend) -> tuple:
+    """One sweep through the historical per-point LP loop."""
+    return tuple(
+        Fig3Row(
             sweep_value=float(value),
             gains=gains,
-            sum_rates={
-                p: float(result.values[pi, 0, gi, 0])
-                for pi, p in enumerate(PROTOCOL_ORDER)
-            },
-        ))
+            sum_rates=_sum_rates(
+                GaussianChannel(gains=gains, power=power), protocols, backend
+            ),
+        )
+        for value, gains in zip(sweep_values, gains_list)
+    )
+
+
+def _facade_rows(scenario, sweep_values, executor, cache) -> tuple:
+    """One sweep as a scenario evaluated through the facade."""
+    from ..api import evaluate
+
+    evaluation = evaluate(scenario, executor=executor, cache=cache)
+    rows = []
+    for gi, (value, gains) in enumerate(zip(sweep_values, evaluation.spec.gains)):
+        rows.append(
+            Fig3Row(
+                sweep_value=float(value),
+                gains=gains,
+                sum_rates={
+                    p: float(evaluation.values[pi, 0, gi, 0])
+                    for pi, p in enumerate(scenario.protocols)
+                },
+            )
+        )
     return tuple(rows)
 
 
-def run_fig3(config: Fig3Config = FIG3_DEFAULT, *,
-             backend: str = DEFAULT_BACKEND,
-             executor="vectorized", cache=None) -> Fig3Result:
+def fig3_result(
+    config: Fig3Config = FIG3_DEFAULT,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+    protocols=PROTOCOL_ORDER,
+) -> Fig3Result:
     """Compute both Fig. 3 sweeps.
 
-    Every point solves four LPs (one per protocol) over rates and phase
-    durations jointly, exactly the optimization the paper describes. By
-    default both sweeps run as campaigns through the batched executor
-    (``executor``: name or instance); passing ``executor=None`` — or
-    requesting a non-default LP ``backend`` — runs the legacy per-point
-    LP loop so the backend choice is honored. ``cache`` is forwarded to
-    :func:`repro.campaign.engine.run_campaign`: with a cache directory
-    the sweep is chunk-checkpointed, so repeated or interrupted figure
-    regenerations resume instead of recomputing.
+    Every point solves one LP per protocol over rates and phase durations
+    jointly, exactly the optimization the paper describes. By default
+    both sweeps evaluate as the ``fig3-placement`` / ``fig3-symmetric``
+    scenarios through :func:`repro.api.evaluate` (``executor``: campaign
+    executor name or instance, ``cache`` forwarded to the engine, so the
+    sweeps are chunk-checkpointed and resumable with a cache directory);
+    passing ``executor=None`` — or requesting a non-default LP
+    ``backend`` — runs the legacy per-point LP loop so the backend choice
+    is honored. ``protocols`` selects the compared protocol set; the
+    result's tables derive their columns from it.
     """
+    from ..scenarios.builtin import fig3_placement_scenario, fig3_symmetric_scenario
+
+    protocols = tuple(protocols)
     if backend != DEFAULT_BACKEND:
         executor = None
-    placement_gains = [
-        linear_relay_gains(float(fraction),
-                           exponent=config.path_loss_exponent)
-        for fraction in config.relay_fractions
-    ]
-    symmetric_gains = [
-        LinkGains.from_db(config.gab_db, float(gain_db), float(gain_db))
-        for gain_db in config.symmetric_gains_db
-    ]
 
-    if executor is None:
-        power = config.power
-        placement_rows = tuple(
-            Fig3Row(sweep_value=float(fraction), gains=gains,
-                    sum_rates=_sum_rates(
-                        GaussianChannel(gains=gains, power=power), backend))
-            for fraction, gains in zip(config.relay_fractions,
-                                       placement_gains)
-        )
-        symmetric_rows = tuple(
-            Fig3Row(sweep_value=float(gain_db), gains=gains,
-                    sum_rates=_sum_rates(
-                        GaussianChannel(gains=gains, power=power), backend))
-            for gain_db, gains in zip(config.symmetric_gains_db,
-                                      symmetric_gains)
-        )
-    else:
-        placement_rows = _sweep_rows(config.relay_fractions, placement_gains,
-                                     config, executor, cache)
-        symmetric_rows = _sweep_rows(config.symmetric_gains_db,
-                                     symmetric_gains, config, executor, cache)
+    def sweep_rows(scenario_factory, sweep_values) -> tuple:
+        if not tuple(sweep_values):
+            return ()
+        scenario = scenario_factory(config, protocols)
+        if executor is None:
+            return _legacy_rows(
+                sweep_values,
+                scenario.topology.gains,
+                protocols,
+                config.power,
+                backend,
+            )
+        return _facade_rows(scenario, sweep_values, executor, cache)
+
+    placement_rows = sweep_rows(fig3_placement_scenario, config.relay_fractions)
+    symmetric_rows = sweep_rows(fig3_symmetric_scenario, config.symmetric_gains_db)
 
     return Fig3Result(
         config=config,
         placement_rows=placement_rows,
         symmetric_rows=symmetric_rows,
+        protocols=protocols,
+    )
+
+
+def run_fig3(
+    config: Fig3Config = FIG3_DEFAULT,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+    protocols=PROTOCOL_ORDER,
+) -> Fig3Result:
+    """Deprecated alias of :func:`fig3_result`.
+
+    .. deprecated::
+        Evaluate the ``fig3-placement`` / ``fig3-symmetric`` scenarios
+        through :func:`repro.api.evaluate`, or call :func:`fig3_result`
+        for the assembled figure artifact.
+    """
+    warnings.warn(
+        "run_fig3 is deprecated; use repro.api.evaluate('fig3-placement') / "
+        "evaluate('fig3-symmetric') or repro.experiments.fig3.fig3_result",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return fig3_result(
+        config,
+        backend=backend,
+        executor=executor,
+        cache=cache,
+        protocols=protocols,
     )
 
 
 def fig3_shape_checks(result: Fig3Result, *, tol: float = 1e-7) -> dict:
     """The paper's Fig. 3 claims as named boolean checks.
 
-    Returns a mapping check-name -> bool:
+    Returns a mapping check-name -> bool; each check appears only when
+    the protocols it compares are part of the run:
 
     * ``hbc_dominates`` — HBC >= max(MABC, TDBC) at every point (HBC
       contains both as special cases);
@@ -168,32 +258,33 @@ def fig3_shape_checks(result: Fig3Result, *, tol: float = 1e-7) -> dict:
       other across the whole placement sweep (the relative-merit trade-off
       the Gaussian section is about).
     """
+    have = set(result.protocols)
     all_rows = list(result.placement_rows) + list(result.symmetric_rows)
-    hbc_dominates = all(
-        row.sum_rates[Protocol.HBC]
-        >= max(row.sum_rates[Protocol.MABC], row.sum_rates[Protocol.TDBC]) - tol
-        for row in all_rows
-    )
-    hbc_strict = any(
-        row.sum_rates[Protocol.HBC]
-        > max(row.sum_rates[Protocol.MABC], row.sum_rates[Protocol.TDBC]) + 1e-4
-        for row in all_rows
-    )
-    beats_dt = any(
-        max(row.sum_rates[p] for p in (Protocol.MABC, Protocol.TDBC, Protocol.HBC))
-        > row.sum_rates[Protocol.DT] + 1e-4
-        for row in all_rows
-    )
-    diffs = [
-        row.sum_rates[Protocol.MABC] - row.sum_rates[Protocol.TDBC]
-        for row in result.placement_rows
-    ]
-    crossover = (max(diffs) > 1e-6 and min(diffs) < -1e-6) or any(
-        abs(d) <= 1e-6 for d in diffs
-    )
-    return {
-        "hbc_dominates": hbc_dominates,
-        "hbc_strictly_better_somewhere": hbc_strict,
-        "relay_protocols_beat_dt_somewhere": beats_dt,
-        "mabc_vs_tdbc_crossover": crossover,
-    }
+    checks = {}
+    if {Protocol.HBC, Protocol.MABC, Protocol.TDBC} <= have:
+        checks["hbc_dominates"] = all(
+            row.sum_rates[Protocol.HBC]
+            >= max(row.sum_rates[Protocol.MABC], row.sum_rates[Protocol.TDBC]) - tol
+            for row in all_rows
+        )
+        checks["hbc_strictly_better_somewhere"] = any(
+            row.sum_rates[Protocol.HBC]
+            > max(row.sum_rates[Protocol.MABC], row.sum_rates[Protocol.TDBC]) + 1e-4
+            for row in all_rows
+        )
+    relay = [p for p in (Protocol.MABC, Protocol.TDBC, Protocol.HBC) if p in have]
+    if Protocol.DT in have and relay:
+        checks["relay_protocols_beat_dt_somewhere"] = any(
+            max(row.sum_rates[p] for p in relay) > row.sum_rates[Protocol.DT] + 1e-4
+            for row in all_rows
+        )
+    if {Protocol.MABC, Protocol.TDBC} <= have:
+        diffs = [
+            row.sum_rates[Protocol.MABC] - row.sum_rates[Protocol.TDBC]
+            for row in result.placement_rows
+        ]
+        crossover = max(diffs) > 1e-6 and min(diffs) < -1e-6
+        checks["mabc_vs_tdbc_crossover"] = crossover or any(
+            abs(d) <= 1e-6 for d in diffs
+        )
+    return checks

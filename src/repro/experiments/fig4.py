@@ -98,8 +98,9 @@ def run_fig4(config: Fig4Config, *, backend: str = DEFAULT_BACKEND) -> Fig4Resul
     )
 
 
-def fig4_shape_checks(low_snr: Fig4Result, high_snr: Fig4Result, *,
-                      backend: str = DEFAULT_BACKEND) -> dict:
+def fig4_shape_checks(
+    low_snr: Fig4Result, high_snr: Fig4Result, *, backend: str = DEFAULT_BACKEND
+) -> dict:
     """The paper's Fig. 4 claims as named boolean checks.
 
     * ``mabc_inner_equals_outer`` — Theorem 2 is tight: the MABC inner and

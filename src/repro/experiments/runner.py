@@ -2,7 +2,9 @@
 
 Each runner returns an :class:`ExperimentReport` — printable tables plus
 the series needed for plotting — so the CLI, the benchmarks and the tests
-all consume the same code path.
+all consume the same code path. Grid-style experiments (Fig. 3, the
+fading ensemble) evaluate their scenarios through the :mod:`repro.api`
+facade.
 """
 
 from __future__ import annotations
@@ -10,20 +12,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..campaign.engine import run_campaign
 from ..campaign.spec import CampaignSpec, FadingSpec
 from ..channels.gains import LinkGains
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from .ascii_plot import ascii_plot
 from .config import FIG3_DEFAULT, FIG4_P0, FIG4_P10, Fig4Config
-from .fig3 import Fig3Result, fig3_shape_checks, run_fig3
+from .fig3 import Fig3Result, fig3_result, fig3_shape_checks
 from .fig4 import Fig4Result, fig4_shape_checks, run_fig4
 from .tables import render_table, write_csv
 
-__all__ = ["ExperimentReport", "run_experiment", "EXPERIMENT_IDS",
-           "fig3_report", "fig4_report", "fading_report",
-           "DEFAULT_FADING_SPEC"]
+__all__ = [
+    "ExperimentReport",
+    "run_experiment",
+    "EXPERIMENT_IDS",
+    "fig3_report",
+    "fig4_report",
+    "fading_report",
+    "DEFAULT_FADING_SPEC",
+]
 
 
 @dataclass(frozen=True)
@@ -81,29 +88,31 @@ class ExperimentReport:
 
 def fig3_report(result: Fig3Result | None = None) -> ExperimentReport:
     """Build the Fig. 3 report (computing the sweeps if not supplied)."""
-    result = result or run_fig3(FIG3_DEFAULT)
+    result = result or fig3_result(FIG3_DEFAULT)
     placement_table = (
         f"Fig. 3 / placement sweep (P={result.config.power_db:g} dB, "
         f"G_ab={result.config.gab_db:g} dB, path-loss exp "
         f"{result.config.path_loss_exponent:g}) — sum rates [bits/use]",
-        Fig3Result.headers("relay position"),
-        [row.as_table_row() for row in result.placement_rows],
+        result.headers("relay position"),
+        result.to_rows(result.placement_rows),
     )
     symmetric_table = (
         f"Fig. 3 / symmetric sweep (P={result.config.power_db:g} dB, "
         f"G_ab={result.config.gab_db:g} dB) — sum rates [bits/use]",
-        Fig3Result.headers("G_ar=G_br [dB]"),
-        [row.as_table_row() for row in result.symmetric_rows],
+        result.headers("G_ar=G_br [dB]"),
+        result.to_rows(result.symmetric_rows),
     )
     series = {}
-    for protocol_index, name in enumerate(("DT", "MABC", "TDBC", "HBC")):
-        series[name] = [
-            (row.sweep_value, row.as_table_row()[1 + protocol_index])
-            for row in result.placement_rows
+    for protocol in result.protocols:
+        series[protocol.name] = [
+            (row.sweep_value, row.sum_rates[protocol]) for row in result.placement_rows
         ]
-    plot = ascii_plot(series, title="Fig. 3 (placement sweep)",
-                      x_label="relay position (fraction of a-b distance)",
-                      y_label="optimal sum rate")
+    plot = ascii_plot(
+        series,
+        title="Fig. 3 (placement sweep)",
+        x_label="relay position (fraction of a-b distance)",
+        y_label="optimal sum rate",
+    )
     return ExperimentReport(
         experiment_id="fig3",
         description="optimal achievable sum rates of DT/MABC/TDBC/HBC",
@@ -116,36 +125,44 @@ def fig3_report(result: Fig3Result | None = None) -> ExperimentReport:
 def _fig4_tables(result: Fig4Result) -> list:
     summary_rows = []
     for key, trace in result.traces.items():
-        summary_rows.append([key, trace.max_ra, trace.max_rb,
-                             trace.max_sum_rate, trace.area])
-    tables = [(
+        summary_rows.append(
+            [key, trace.max_ra, trace.max_rb, trace.max_sum_rate, trace.area]
+        )
+    summary_table = (
         f"Fig. 4 summary (P={result.config.power_db:g} dB, "
         f"G_ab={result.config.gab_db:g}, G_ar={result.config.gar_db:g}, "
         f"G_br={result.config.gbr_db:g} dB)",
         ["region", "max Ra", "max Rb", "max sum", "area"],
         summary_rows,
-    )]
+    )
     boundary_rows = []
     for key, trace in result.traces.items():
         for ra, rb in trace.boundary:
             boundary_rows.append([key, float(ra), float(rb)])
-    tables.append((
+    boundary_table = (
         "Fig. 4 boundary points",
         ["region", "Ra", "Rb"],
         boundary_rows,
-    ))
+    )
+    tables = [summary_table, boundary_table]
     if result.hbc_points_outside_both:
-        tables.append((
-            "HBC achievable points outside both MABC capacity and TDBC outer bound",
+        headline_table = (
+            "HBC achievable points outside both MABC capacity and "
+            "TDBC outer bound",
             ["Ra", "Rb"],
             [list(p) for p in result.hbc_points_outside_both],
-        ))
+        )
+        tables.append(headline_table)
     return tables
 
 
-def fig4_report(config: Fig4Config, experiment_id: str, *,
-                result: Fig4Result | None = None,
-                companion: Fig4Result | None = None) -> ExperimentReport:
+def fig4_report(
+    config: Fig4Config,
+    experiment_id: str,
+    *,
+    result: Fig4Result | None = None,
+    companion: Fig4Result | None = None,
+) -> ExperimentReport:
     """Build one Fig. 4 panel report.
 
     ``companion`` is the other panel, needed for the cross-panel shape
@@ -155,16 +172,19 @@ def fig4_report(config: Fig4Config, experiment_id: str, *,
     if companion is None:
         other_config = FIG4_P10 if config.power_db < 5 else FIG4_P0
         companion = run_fig4(other_config)
-    low, high = ((result, companion) if config.power_db < 5
-                 else (companion, result))
+    low, high = (result, companion) if config.power_db < 5 else (companion, result)
     series = {key: result.traces[key].boundary for key in result.traces}
-    plot = ascii_plot(series,
-                      title=f"Fig. 4 (P={config.power_db:g} dB)",
-                      x_label="Ra [bits/use]", y_label="Rb [bits/use]")
+    plot = ascii_plot(
+        series,
+        title=f"Fig. 4 (P={config.power_db:g} dB)",
+        x_label="Ra [bits/use]",
+        y_label="Rb [bits/use]",
+    )
     return ExperimentReport(
         experiment_id=experiment_id,
-        description=(f"achievable rate regions and outer bounds at "
-                     f"P={config.power_db:g} dB"),
+        description=(
+            f"achievable rate regions and outer bounds at P={config.power_db:g} dB"
+        ),
         tables=tuple(_fig4_tables(result)),
         plots=(plot,),
         checks=fig4_shape_checks(low, high),
@@ -172,7 +192,9 @@ def fig4_report(config: Fig4Config, experiment_id: str, *,
 
 
 #: The Section IV fading ensemble regenerated by the ``fading`` experiment:
-#: the Fig. 4 geometry at both panel powers under Rayleigh fading.
+#: the Fig. 4 geometry at both panel powers under Rayleigh fading. This is
+#: exactly the grid the registered ``fading-ensemble`` scenario lowers to
+#: (same content hash; asserted in the tests).
 DEFAULT_FADING_SPEC = CampaignSpec(
     protocols=(Protocol.DT, Protocol.MABC, Protocol.TDBC, Protocol.HBC),
     powers_db=(0.0, 10.0),
@@ -181,34 +203,51 @@ DEFAULT_FADING_SPEC = CampaignSpec(
 )
 
 
-def fading_report(spec: CampaignSpec = DEFAULT_FADING_SPEC, *,
-                  executor=None, cache=None) -> ExperimentReport:
+def fading_report(
+    spec: CampaignSpec = DEFAULT_FADING_SPEC, *, executor=None, cache=None
+) -> ExperimentReport:
     """Ergodic/outage statistics of a fading campaign as a report.
 
-    The campaign engine evaluates the whole grid in a few batched solves;
-    ``executor`` and ``cache`` are forwarded to
-    :func:`repro.campaign.run_campaign`.
+    The spec is wrapped as a scenario and evaluated through
+    :func:`repro.api.evaluate` (the default spec *is* the registered
+    ``fading-ensemble`` scenario); ``executor`` and ``cache`` are
+    forwarded to the campaign engine underneath.
     """
-    result = run_campaign(spec, executor=executor, cache=cache)
+    from ..api import evaluate
+    from ..scenarios.base import Scenario
+    from ..scenarios.registry import get_scenario
+
+    if spec == DEFAULT_FADING_SPEC:
+        scenario = get_scenario("fading-ensemble")
+    else:
+        scenario = Scenario.from_campaign_spec(
+            spec,
+            name="fading-ensemble-custom",
+            description="caller-supplied fading campaign grid",
+        )
+    result = evaluate(scenario, executor=executor, cache=cache)
+    spec = result.spec
     table = (
         f"fading campaign ({spec.n_draws} draws/geometry, "
         f"seed {spec.fading.seed if spec.fading else 'n/a'}, "
         f"executor {result.executor_name}"
         f"{', cached' if result.from_cache else ''}) — sum rates [bits/use]",
-        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
-         "median"],
+        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage", "median"],
         result.summary_rows(epsilon=0.1),
     )
     checks = {}
-    if (Protocol.HBC in spec.protocols and Protocol.MABC in spec.protocols
-            and Protocol.TDBC in spec.protocols):
-        hbc_dominates = all(
-            result.ergodic_mean(Protocol.HBC, power_db)
-            >= max(result.ergodic_mean(Protocol.MABC, power_db),
-                   result.ergodic_mean(Protocol.TDBC, power_db)) - 1e-9
-            for power_db in spec.powers_db
+    protocols = set(spec.protocols)
+    if {Protocol.HBC, Protocol.MABC, Protocol.TDBC} <= protocols:
+
+        def hbc_dominates_at(power_db: float) -> bool:
+            hbc = result.ergodic_mean(Protocol.HBC, power_db)
+            mabc = result.ergodic_mean(Protocol.MABC, power_db)
+            tdbc = result.ergodic_mean(Protocol.TDBC, power_db)
+            return hbc >= max(mabc, tdbc) - 1e-9
+
+        checks["hbc_dominates_ergodically"] = all(
+            hbc_dominates_at(power_db) for power_db in spec.powers_db
         )
-        checks["hbc_dominates_ergodically"] = hbc_dominates
     return ExperimentReport(
         experiment_id="fading",
         description="ergodic and outage sum rates under quasi-static fading",
@@ -221,20 +260,22 @@ def run_experiment(experiment_id: str, *, executor=None) -> ExperimentReport:
     """Run one registered experiment end to end.
 
     ``executor`` (campaign executor name or instance) is forwarded to the
-    experiments that evaluate through the campaign engine; ``None`` keeps
-    each experiment's default.
+    experiments that evaluate through the facade; ``None`` keeps each
+    experiment's default.
     """
     registry = {
-        "fig3": lambda: (fig3_report() if executor is None
-                         else fig3_report(run_fig3(executor=executor))),
+        "fig3": lambda: (
+            fig3_report()
+            if executor is None
+            else fig3_report(fig3_result(executor=executor))
+        ),
         "fig4a": lambda: fig4_report(FIG4_P0, "fig4a"),
         "fig4b": lambda: fig4_report(FIG4_P10, "fig4b"),
         "fading": lambda: fading_report(executor=executor),
     }
     if experiment_id not in registry:
         raise InvalidParameterError(
-            f"unknown experiment {experiment_id!r}; choose from "
-            f"{sorted(registry)}"
+            f"unknown experiment {experiment_id!r}; choose from {sorted(registry)}"
         )
     return registry[experiment_id]()
 

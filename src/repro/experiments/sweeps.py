@@ -4,15 +4,16 @@ The paper evaluates two power points (Fig. 4) and one channel-quality
 sweep (Fig. 3). Downstream users invariably ask the next questions:
 
 * *how do the protocols scale with transmit power on my channel?*
-  (:func:`power_sweep`),
+  (:func:`sweep_powers`, with :func:`power_sweep` kept as a deprecation
+  shim),
 * *at exactly which power does TDBC overtake MABC?*
   (:func:`protocol_crossover_power` — the low/high-SNR regime boundary the
   paper describes qualitatively, located numerically with bisection),
 * *which protocol should I run at each operating point?*
   (:func:`winner_table`).
 
-Sweeps route through the campaign engine (:mod:`repro.campaign`): a power
-sweep is one declarative ``protocols × powers`` grid evaluated by the
+Sweeps are power-sweep scenarios evaluated through the :mod:`repro.api`
+facade: one declarative ``protocols × powers`` grid evaluated by the
 vectorized executor in a handful of batched solves. Pass ``executor=None``
 to fall back to the historical per-point LP loop with an explicit
 ``backend``.
@@ -20,10 +21,9 @@ to fall back to the historical per-point LP loop with an explicit
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from ..campaign.engine import run_campaign
-from ..campaign.spec import CampaignSpec
 from ..channels.gains import LinkGains
 from ..core.capacity import compare_protocols, optimal_sum_rate
 from ..core.gaussian import GaussianChannel
@@ -33,8 +33,22 @@ from ..information.functions import db_to_linear
 from ..optimize.linprog import DEFAULT_BACKEND
 from ..optimize.search import find_crossover
 
-__all__ = ["PowerSweepRow", "power_sweep", "protocol_crossover_power",
-           "winner_table"]
+__all__ = [
+    "PowerSweepRow",
+    "sweep_powers",
+    "power_sweep",
+    "protocol_crossover_power",
+    "winner_table",
+]
+
+#: Default protocol set of a power sweep (every implemented protocol).
+SWEEP_PROTOCOLS = (
+    Protocol.DT,
+    Protocol.NAIVE4,
+    Protocol.MABC,
+    Protocol.TDBC,
+    Protocol.HBC,
+)
 
 
 @dataclass(frozen=True)
@@ -49,19 +63,24 @@ class PowerSweepRow:
         return max(self.sum_rates, key=lambda p: self.sum_rates[p])
 
 
-def power_sweep(gains: LinkGains, powers_db, *,
-                protocols=(Protocol.DT, Protocol.NAIVE4, Protocol.MABC,
-                           Protocol.TDBC, Protocol.HBC),
-                backend: str = DEFAULT_BACKEND,
-                executor="vectorized", cache=None) -> list[PowerSweepRow]:
+def sweep_powers(
+    gains: LinkGains,
+    powers_db,
+    *,
+    protocols=SWEEP_PROTOCOLS,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+) -> list:
     """Optimal sum rate of each protocol across a power sweep.
 
-    ``executor`` selects a campaign executor (name or instance); passing
-    ``None`` — or requesting a non-default LP ``backend`` — runs the
-    legacy one-LP-per-point loop so the backend choice is honored.
-    ``cache`` is forwarded to the campaign engine: with a cache directory
-    the sweep is chunk-checkpointed and served from the content-addressed
-    store on repetition.
+    The sweep is a power-sweep scenario evaluated through
+    :func:`repro.api.evaluate` (``executor``: campaign executor name or
+    instance; ``cache`` forwarded to the engine, so the sweep is
+    chunk-checkpointed and served from the content-addressed store on
+    repetition). Passing ``executor=None`` — or requesting a non-default
+    LP ``backend`` — runs the legacy one-LP-per-point loop so the backend
+    choice is honored.
     """
     powers = [float(p) for p in powers_db]
     if not powers:
@@ -72,24 +91,33 @@ def power_sweep(gains: LinkGains, powers_db, *,
     if executor is None:
         rows = []
         for power_db in powers:
-            channel = GaussianChannel(gains=gains,
-                                      power=db_to_linear(power_db))
-            comparison = compare_protocols(channel, protocols=protocols,
-                                           backend=backend)
-            rows.append(PowerSweepRow(
-                power_db=power_db,
-                sum_rates={p: pt.sum_rate
-                           for p, pt in comparison.sum_rates.items()},
-            ))
+            channel = GaussianChannel(gains=gains, power=db_to_linear(power_db))
+            comparison = compare_protocols(
+                channel, protocols=protocols, backend=backend
+            )
+            rows.append(
+                PowerSweepRow(
+                    power_db=power_db,
+                    sum_rates={
+                        p: pt.sum_rate for p, pt in comparison.sum_rates.items()
+                    },
+                )
+            )
         return rows
-    spec = CampaignSpec(protocols=protocols, powers_db=tuple(powers),
-                        gains=(gains,))
-    result = run_campaign(spec, executor=executor, cache=cache)
+
+    from ..api import evaluate
+    from ..scenarios.builtin import power_sweep_scenario
+
+    evaluation = evaluate(
+        power_sweep_scenario(gains, powers, protocols),
+        executor=executor,
+        cache=cache,
+    )
     return [
         PowerSweepRow(
             power_db=power_db,
             sum_rates={
-                p: float(result.values[pi, wi, 0, 0])
+                p: float(evaluation.values[pi, wi, 0, 0])
                 for pi, p in enumerate(protocols)
             },
         )
@@ -97,10 +125,47 @@ def power_sweep(gains: LinkGains, powers_db, *,
     ]
 
 
-def protocol_crossover_power(gains: LinkGains, first: Protocol,
-                             second: Protocol, *, low_db: float = -10.0,
-                             high_db: float = 30.0, tol: float = 1e-6,
-                             backend: str = DEFAULT_BACKEND) -> float | None:
+def power_sweep(
+    gains: LinkGains,
+    powers_db,
+    *,
+    protocols=SWEEP_PROTOCOLS,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+) -> list:
+    """Deprecated alias of :func:`sweep_powers`.
+
+    .. deprecated::
+        Evaluate a power-sweep scenario through
+        :func:`repro.api.evaluate`, or call :func:`sweep_powers`.
+    """
+    warnings.warn(
+        "power_sweep is deprecated; evaluate a power-sweep scenario through "
+        "repro.api.evaluate or call repro.experiments.sweeps.sweep_powers",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return sweep_powers(
+        gains,
+        powers_db,
+        protocols=protocols,
+        backend=backend,
+        executor=executor,
+        cache=cache,
+    )
+
+
+def protocol_crossover_power(
+    gains: LinkGains,
+    first: Protocol,
+    second: Protocol,
+    *,
+    low_db: float = -10.0,
+    high_db: float = 30.0,
+    tol: float = 1e-6,
+    backend: str = DEFAULT_BACKEND,
+) -> float | None:
     """The power (dB) where ``second``'s sum rate overtakes ``first``'s.
 
     Returns ``None`` when the ordering never flips on ``[low_db, high_db]``.
@@ -113,8 +178,10 @@ def protocol_crossover_power(gains: LinkGains, first: Protocol,
 
     def gap(power_db: float) -> float:
         channel = GaussianChannel(gains=gains, power=db_to_linear(power_db))
-        return (optimal_sum_rate(second, channel, backend=backend).sum_rate
-                - optimal_sum_rate(first, channel, backend=backend).sum_rate)
+        return (
+            optimal_sum_rate(second, channel, backend=backend).sum_rate
+            - optimal_sum_rate(first, channel, backend=backend).sum_rate
+        )
 
     lo_gap, hi_gap = gap(low_db), gap(high_db)
     if (lo_gap > 0) == (hi_gap > 0):
@@ -122,17 +189,23 @@ def protocol_crossover_power(gains: LinkGains, first: Protocol,
     return find_crossover(gap, low_db, high_db, tol=tol)
 
 
-def winner_table(gains: LinkGains, powers_db, *,
-                 backend: str = DEFAULT_BACKEND,
-                 executor="vectorized", cache=None) -> list[tuple]:
+def winner_table(
+    gains: LinkGains,
+    powers_db,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+) -> list:
     """``(power_db, winner_name, margin)`` rows across a power sweep.
 
     The margin is the gap (bits/use) to the runner-up — how much choosing
     the right protocol is worth at each operating point.
     """
     rows = []
-    for row in power_sweep(gains, powers_db, backend=backend,
-                           executor=executor, cache=cache):
+    for row in sweep_powers(
+        gains, powers_db, backend=backend, executor=executor, cache=cache
+    ):
         ordered = sorted(row.sum_rates.items(), key=lambda kv: -kv[1])
         margin = ordered[0][1] - ordered[1][1]
         rows.append((row.power_db, ordered[0][0].name, margin))

@@ -16,8 +16,9 @@ def _format_cell(value, float_format: str) -> str:
     return str(value)
 
 
-def render_table(headers, rows, *, float_format: str = ".4f",
-                 title: str | None = None) -> str:
+def render_table(
+    headers, rows, *, float_format: str = ".4f", title: str | None = None
+) -> str:
     """Render a list-of-rows table as aligned monospace text.
 
     Parameters

@@ -1,0 +1,152 @@
+"""Built-in scenarios: the paper's artifacts plus the first extensions.
+
+Every figure-style workload in this library is one of these scenarios
+evaluated through :func:`repro.api.evaluate`; the factories are also
+importable directly so experiments can parameterize them (e.g.
+``fig3_placement_scenario(config)`` for a custom sweep).
+
+Registered names:
+
+* ``fig3-placement`` / ``fig3-symmetric`` — the Fig. 3 sum-rate sweeps;
+* ``fig4-operating-points`` — the Fig. 4 gain triple at both panel powers;
+* ``fading-ensemble`` — the Section IV quasi-static Rayleigh ensemble;
+* ``two-pair-round-robin`` — the first multi-pair grid: two terminal
+  pairs share the relay round-robin (arXiv:1002.0123 baseline).
+"""
+
+from __future__ import annotations
+
+from ..campaign.spec import FadingSpec
+from ..channels.gains import LinkGains
+from ..channels.pathloss import linear_relay_gains
+from ..core.protocols import Protocol
+from ..experiments.config import FIG3_DEFAULT, Fig3Config
+from .base import PowerPolicy, RelayPair, Scenario, Topology
+from .registry import register_scenario
+
+__all__ = [
+    "PAPER_PROTOCOLS",
+    "fig3_placement_scenario",
+    "fig3_symmetric_scenario",
+    "fig4_operating_points_scenario",
+    "fading_ensemble_scenario",
+    "power_sweep_scenario",
+    "two_pair_round_robin_scenario",
+]
+
+#: The four protocols of the paper's figures, in figure column order.
+PAPER_PROTOCOLS = (Protocol.DT, Protocol.MABC, Protocol.TDBC, Protocol.HBC)
+
+#: The Fig. 4 gain triple (G_ab = -7 dB, G_ar = 0 dB, G_br = 5 dB).
+_PAPER_GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
+
+
+@register_scenario(name="fig3-placement")
+def fig3_placement_scenario(
+    config: Fig3Config = FIG3_DEFAULT, protocols=PAPER_PROTOCOLS
+) -> Scenario:
+    """The Fig. 3 relay-placement sweep as a scenario."""
+    gains = tuple(
+        linear_relay_gains(float(f), exponent=config.path_loss_exponent)
+        for f in config.relay_fractions
+    )
+    return Scenario(
+        name="fig3-placement",
+        description="Fig. 3 relay-placement sweep of the protocol sum rates",
+        protocols=tuple(protocols),
+        topology=Topology(
+            gains=gains,
+            gains_labels=tuple(f"{f:g}" for f in config.relay_fractions),
+        ),
+        power=PowerPolicy(powers_db=(config.power_db,)),
+    )
+
+
+@register_scenario(name="fig3-symmetric")
+def fig3_symmetric_scenario(
+    config: Fig3Config = FIG3_DEFAULT, protocols=PAPER_PROTOCOLS
+) -> Scenario:
+    """The Fig. 3 symmetric relay-gain sweep as a scenario."""
+    gains = tuple(
+        LinkGains.from_db(config.gab_db, float(g), float(g))
+        for g in config.symmetric_gains_db
+    )
+    return Scenario(
+        name="fig3-symmetric",
+        description="Fig. 3 symmetric relay-gain sweep of the protocol sum rates",
+        protocols=tuple(protocols),
+        topology=Topology(
+            gains=gains,
+            gains_labels=tuple(f"{g:g} dB" for g in config.symmetric_gains_db),
+        ),
+        power=PowerPolicy(powers_db=(config.power_db,)),
+    )
+
+
+@register_scenario(name="fig4-operating-points")
+def fig4_operating_points_scenario() -> Scenario:
+    """The Fig. 4 gain triple at both panel powers (P = 0 and 10 dB)."""
+    return Scenario(
+        name="fig4-operating-points",
+        description="Fig. 4 operating points: paper gains at P = 0 and 10 dB",
+        protocols=PAPER_PROTOCOLS,
+        topology=Topology(gains=(_PAPER_GAINS,)),
+        power=PowerPolicy(powers_db=(0.0, 10.0)),
+    )
+
+
+@register_scenario(name="fading-ensemble")
+def fading_ensemble_scenario() -> Scenario:
+    """The Section IV Rayleigh ensemble on the Fig. 4 geometry.
+
+    Lowers to exactly the campaign spec the ``fading`` experiment has
+    always evaluated (same content hash), so cached results carry over.
+    """
+    return Scenario(
+        name="fading-ensemble",
+        description="Section IV Rayleigh fading ensemble at both panel powers",
+        protocols=PAPER_PROTOCOLS,
+        topology=Topology(gains=(_PAPER_GAINS,)),
+        power=PowerPolicy(powers_db=(0.0, 10.0)),
+        fading=FadingSpec(n_draws=200, seed=17),
+    )
+
+
+def power_sweep_scenario(
+    gains: LinkGains, powers_db, protocols=PAPER_PROTOCOLS
+) -> Scenario:
+    """A transmit-power sweep on one channel geometry as a scenario."""
+    return Scenario(
+        name="power-sweep",
+        description="protocol sum rates across a transmit-power sweep",
+        protocols=tuple(protocols),
+        topology=Topology(gains=(gains,)),
+        power=PowerPolicy(powers_db=tuple(powers_db)),
+    )
+
+
+@register_scenario(name="two-pair-round-robin")
+def two_pair_round_robin_scenario() -> Scenario:
+    """Two terminal pairs sharing the relay under round-robin scheduling.
+
+    The arXiv:1002.0123 baseline: each pair keeps the paper's
+    per-pair bounds on its own geometry (pair 2 sits closer to the relay
+    and further from its partner), the relay serves the pairs in equal
+    time shares, and the network objective is the pair-axis mean of the
+    per-pair optimal sum rates.
+    """
+    return Scenario(
+        name="two-pair-round-robin",
+        description="two pairs share the relay round-robin (multi-pair baseline)",
+        protocols=PAPER_PROTOCOLS,
+        topology=Topology(
+            gains=(_PAPER_GAINS,),
+            pairs=(
+                RelayPair(label="pair-1"),
+                RelayPair(label="pair-2", gain_offsets_db=(-2.0, 3.0, -3.0)),
+            ),
+        ),
+        power=PowerPolicy(powers_db=(10.0,)),
+        fading=FadingSpec(n_draws=25, seed=11),
+        objective="round_robin_sum_rate",
+    )

@@ -1,0 +1,135 @@
+"""Labeled evaluation results: the facade's return type.
+
+An :class:`EvaluationResult` pairs the scenario that was evaluated with
+the campaign result that evaluated it, and adds axis-aware access on top
+of the raw grid: axes are addressed by *name* (``"protocol"``, ``"pair"``,
+``"gains"``, ...), labels come from the scenario where it knows better
+than the spec (pair labels, sweep labels), and the scenario's objective
+determines how the grid reduces to reported numbers (e.g. round-robin
+multi-pair scheduling reduces the ``pair`` axis by its time-share mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..campaign.engine import CampaignResult
+from ..core.protocols import Protocol
+from ..exceptions import InvalidParameterError
+from .base import Scenario
+
+__all__ = ["EvaluationResult"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """A scenario evaluation: labeled grid values plus execution metadata.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that was evaluated.
+    campaign:
+        The underlying campaign result (grid values in
+        ``spec.grid_shape`` order, cache/shard accounting, timings).
+    """
+
+    scenario: Scenario
+    campaign: CampaignResult
+
+    @property
+    def spec(self):
+        """The campaign spec the scenario lowered to."""
+        return self.campaign.spec
+
+    @property
+    def values(self) -> np.ndarray:
+        """Raw grid values, shape ``spec.grid_shape``."""
+        return self.campaign.values
+
+    @property
+    def axis_names(self) -> tuple:
+        """Ordered names of the grid dimensions."""
+        return self.spec.axis_names
+
+    @property
+    def executor_name(self) -> str:
+        """Executor that computed the values (see ``CampaignResult``)."""
+        return self.campaign.executor_name
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether every evaluated cell came from the on-disk store."""
+        return self.campaign.from_cache
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock time of the evaluation (or cache read)."""
+        return self.campaign.elapsed_seconds
+
+    def axis_index(self, name: str) -> int:
+        """Position of a named axis in the grid."""
+        try:
+            return self.axis_names.index(name)
+        except ValueError:
+            raise InvalidParameterError(
+                f"no axis {name!r}; axes are {self.axis_names}"
+            ) from None
+
+    def axis_labels(self, name: str) -> tuple:
+        """Operator-facing labels of one axis's values.
+
+        Scenario-level labels (pair labels, sweep labels) win over the
+        spec's generic ``str(value)`` fallbacks.
+        """
+        if name == "gains" and self.scenario.topology.gains_labels is not None:
+            return self.scenario.topology.gains_labels
+        position = self.axis_index(name)
+        return self.spec.axes[position].display_labels
+
+    @property
+    def pair_axis(self) -> int | None:
+        """Position of the ``pair`` axis, or ``None`` for one-pair grids."""
+        return self.axis_names.index("pair") if "pair" in self.axis_names else None
+
+    def objective_values(self) -> np.ndarray:
+        """Grid values reduced according to the scenario's objective.
+
+        ``sum_rate`` returns the grid unreduced. ``round_robin_sum_rate``
+        reduces the ``pair`` axis by its mean: under round-robin
+        scheduling the shared relay serves each of the ``K`` pairs a
+        ``1/K`` time share, so the network sum rate is
+        ``sum_k (1/K) * R_k`` — the pair-axis mean of the per-pair
+        optimal sum rates.
+        """
+        values = self.campaign.values
+        if self.scenario.objective == "round_robin_sum_rate":
+            pair_axis = self.pair_axis
+            if pair_axis is not None:
+                return values.mean(axis=pair_axis)
+        return values
+
+    def objective_rows(self) -> list:
+        """Per ``(protocol, power)`` table rows of the mean objective."""
+        reduced = self.objective_values()
+        rows = []
+        for pi, protocol in enumerate(self.spec.protocols):
+            for wi, power_db in enumerate(self.spec.powers_db):
+                rows.append(
+                    [protocol.name, float(power_db), float(reduced[pi, wi].mean())]
+                )
+        return rows
+
+    def ergodic_mean(self, protocol: Protocol, power_db: float) -> float:
+        """Ensemble/grid average sum rate of one (protocol, power) slice."""
+        return self.campaign.ergodic_mean(protocol, power_db)
+
+    def outage_rate(self, protocol: Protocol, power_db: float, epsilon: float) -> float:
+        """ε-quantile of the slice's sum-rate distribution."""
+        return self.campaign.outage_rate(protocol, power_db, epsilon)
+
+    def summary_rows(self, *, epsilon: float = 0.1) -> list:
+        """Per (protocol, power) summary rows (see ``CampaignResult``)."""
+        return self.campaign.summary_rows(epsilon=epsilon)

@@ -23,10 +23,16 @@ from .montecarlo import (
     FadingStatistics,
     SimulationReport,
     ergodic_sum_rate,
+    fading_sum_rate_statistics,
     outage_probability,
     simulate_protocol,
 )
-from .outage_capacity import OutageCurve, compute_outage_curve, outage_sum_rate
+from .outage_capacity import (
+    OutageCurve,
+    compute_outage_curve,
+    outage_sum_rate,
+    sample_outage_curve,
+)
 from .random_coding import (
     MabcRandomCodingReport,
     RandomBinaryCodebook,
@@ -73,10 +79,12 @@ __all__ = [
     "FadingStatistics",
     "SimulationReport",
     "ergodic_sum_rate",
+    "fading_sum_rate_statistics",
     "outage_probability",
     "simulate_protocol",
     "OutageCurve",
     "compute_outage_curve",
+    "sample_outage_curve",
     "outage_sum_rate",
     "MabcRandomCodingReport",
     "RandomBinaryCodebook",

@@ -11,21 +11,24 @@ Two complementary estimators live here:
   (Section IV's channel model), producing ergodic averages and outage
   curves for every protocol.
 
-The analytic estimators route through the campaign engine
-(:mod:`repro.campaign`): the ensemble is drawn here (callers own the RNG,
-as before) and the per-realization optima are evaluated by a pluggable
-executor — the batched vectorized kernel by default, many times faster
-than the historical one-LP-per-draw loop and bit-for-bit identical to the
-serial executor.
+The analytic estimators route through the :mod:`repro.api` facade
+(:func:`repro.api.evaluate_realizations`): the ensemble is drawn here
+(callers own the RNG, as before) and the per-realization optima are
+evaluated by a pluggable campaign executor — the batched vectorized
+kernel by default, many times faster than the historical
+one-LP-per-draw loop and bit-for-bit identical to the serial executor.
+:func:`ergodic_sum_rate` is kept as a deprecation shim over
+:func:`fading_sum_rate_statistics`; scenario-first callers should
+evaluate a fading scenario through :func:`repro.api.evaluate` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..campaign.engine import evaluate_ensemble
 from ..channels.fading import sample_gain_ensemble
 from ..channels.gains import LinkGains
 from ..channels.halfduplex import HalfDuplexMedium
@@ -40,6 +43,7 @@ __all__ = [
     "SimulationReport",
     "simulate_protocol",
     "FadingStatistics",
+    "fading_sum_rate_statistics",
     "ergodic_sum_rate",
     "outage_probability",
 ]
@@ -160,33 +164,61 @@ class FadingStatistics:
         return float(np.quantile(self.samples, q))
 
 
-def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
-                     n_draws: int, rng: np.random.Generator, *,
-                     k_factor: float = 0.0,
-                     executor=None, cache=None,
-                     progress=None) -> FadingStatistics:
+def fading_sum_rate_statistics(protocol: Protocol, mean_gains: LinkGains,
+                               power: float, n_draws: int,
+                               rng: np.random.Generator, *,
+                               k_factor: float = 0.0,
+                               executor=None, cache=None,
+                               progress=None) -> FadingStatistics:
     """Ensemble-average LP-optimal sum rate under quasi-static fading.
 
     Each realization draws reciprocal Rayleigh/Rician gains around the
     path-loss means, re-optimizes the phase durations (full CSI, as the
     paper assumes), and records the optimal sum rate. The per-realization
-    optimizations run through a campaign executor (``executor``: name or
-    instance, defaulting to the vectorized fast path). With a ``cache``
+    optimizations run through :func:`repro.api.evaluate_realizations`
+    (``executor``: campaign executor name or instance, defaulting to the
+    vectorized fast path). With a ``cache``
     (a :class:`~repro.campaign.cache.CampaignCache`, path or ``True``)
     the evaluation is chunk-checkpointed under a content hash of the
     drawn realizations, so a huge ensemble interrupted mid-run resumes
     from its checkpoints on the next call with the same RNG state.
     """
+    from ..api import evaluate_realizations
+
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
     ensemble = sample_gain_ensemble(mean_gains, n_draws, rng, k_factor=k_factor)
-    values = evaluate_ensemble(protocol, ensemble, power, executor=executor,
-                               cache=cache, progress=progress)
+    values = evaluate_realizations(protocol, ensemble, power, executor=executor,
+                                   cache=cache, progress=progress)
     return FadingStatistics(
         mean=float(values.mean()),
         std_error=float(values.std(ddof=1) / np.sqrt(n_draws)) if n_draws > 1 else 0.0,
         samples=values,
     )
+
+
+def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
+                     n_draws: int, rng: np.random.Generator, *,
+                     k_factor: float = 0.0,
+                     executor=None, cache=None,
+                     progress=None) -> FadingStatistics:
+    """Deprecated alias of :func:`fading_sum_rate_statistics`.
+
+    .. deprecated::
+        Evaluate a fading scenario through :func:`repro.api.evaluate`
+        (spec-owned randomness), or call
+        :func:`fading_sum_rate_statistics` for caller-owned RNGs.
+    """
+    warnings.warn(
+        "ergodic_sum_rate is deprecated; evaluate a fading scenario through "
+        "repro.api.evaluate or call fading_sum_rate_statistics",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return fading_sum_rate_statistics(protocol, mean_gains, power, n_draws,
+                                      rng, k_factor=k_factor,
+                                      executor=executor, cache=cache,
+                                      progress=progress)
 
 
 def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
@@ -204,7 +236,7 @@ def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
         raise InvalidParameterError(
             f"target sum rate must be non-negative, got {target_sum_rate}"
         )
-    stats = ergodic_sum_rate(protocol, mean_gains, power, n_draws, rng,
-                             k_factor=k_factor, executor=executor,
-                             cache=cache)
+    stats = fading_sum_rate_statistics(protocol, mean_gains, power, n_draws,
+                                       rng, k_factor=k_factor,
+                                       executor=executor, cache=cache)
     return float(np.mean(stats.samples < target_sum_rate))

@@ -11,18 +11,20 @@ LP optima used everywhere else:
   scheme, since durations are re-optimized per fade);
 * :func:`OutageCurve` — the full rate-vs-outage trade-off for plotting.
 
-Ensemble evaluation routes through the campaign engine
-(:mod:`repro.campaign`); pass ``executor=None`` to fall back to the
-historical one-LP-per-draw loop with an explicit LP ``backend``.
+Ensemble evaluation routes through the :mod:`repro.api` facade
+(:func:`repro.api.evaluate_realizations`); pass ``executor=None`` to fall
+back to the historical one-LP-per-draw loop with an explicit LP
+``backend``. :func:`compute_outage_curve` is kept as a deprecation shim
+over :func:`sample_outage_curve`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..campaign.engine import evaluate_ensemble
 from ..channels.fading import sample_gain_ensemble
 from ..channels.gains import LinkGains
 from ..core.capacity import optimal_sum_rate
@@ -31,7 +33,8 @@ from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from ..optimize.linprog import DEFAULT_BACKEND
 
-__all__ = ["OutageCurve", "compute_outage_curve", "outage_sum_rate"]
+__all__ = ["OutageCurve", "sample_outage_curve", "compute_outage_curve",
+           "outage_sum_rate"]
 
 
 @dataclass(frozen=True)
@@ -69,11 +72,11 @@ class OutageCurve:
         return float(np.mean(self.samples < target))
 
 
-def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
-                         power: float, n_draws: int,
-                         rng: np.random.Generator, *, k_factor: float = 0.0,
-                         backend: str = DEFAULT_BACKEND,
-                         executor="vectorized", cache=None) -> OutageCurve:
+def sample_outage_curve(protocol: Protocol, mean_gains: LinkGains,
+                        power: float, n_draws: int,
+                        rng: np.random.Generator, *, k_factor: float = 0.0,
+                        backend: str = DEFAULT_BACKEND,
+                        executor="vectorized", cache=None) -> OutageCurve:
     """Sample the per-fade optimal sum rate distribution of a protocol.
 
     ``executor`` selects a campaign executor (name or instance); passing
@@ -81,8 +84,8 @@ def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
     legacy per-draw LP loop so the backend choice is honored. With a
     ``cache`` the ensemble evaluation is chunk-checkpointed under a
     content hash of the drawn realizations (see
-    :func:`repro.campaign.engine.evaluate_ensemble`), making the
-    10⁵+-draw curves needed for outage studies resumable.
+    :func:`repro.api.evaluate_realizations`), making the 10⁵+-draw
+    curves needed for outage studies resumable.
     """
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
@@ -98,9 +101,34 @@ def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
             for draw in ensemble
         ]
     else:
-        values = evaluate_ensemble(protocol, ensemble, power,
-                                   executor=executor, cache=cache)
+        from ..api import evaluate_realizations
+
+        values = evaluate_realizations(protocol, ensemble, power,
+                                       executor=executor, cache=cache)
     return OutageCurve(protocol=protocol, samples=np.sort(values))
+
+
+def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
+                         power: float, n_draws: int,
+                         rng: np.random.Generator, *, k_factor: float = 0.0,
+                         backend: str = DEFAULT_BACKEND,
+                         executor="vectorized", cache=None) -> OutageCurve:
+    """Deprecated alias of :func:`sample_outage_curve`.
+
+    .. deprecated::
+        Evaluate a fading scenario through :func:`repro.api.evaluate`
+        (spec-owned randomness), or call :func:`sample_outage_curve` for
+        caller-owned RNGs.
+    """
+    warnings.warn(
+        "compute_outage_curve is deprecated; evaluate a fading scenario "
+        "through repro.api.evaluate or call sample_outage_curve",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return sample_outage_curve(protocol, mean_gains, power, n_draws, rng,
+                               k_factor=k_factor, backend=backend,
+                               executor=executor, cache=cache)
 
 
 def outage_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
@@ -109,7 +137,7 @@ def outage_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
                     backend: str = DEFAULT_BACKEND,
                     executor="vectorized", cache=None) -> float:
     """The ε-outage sum rate of one protocol (see :class:`OutageCurve`)."""
-    curve = compute_outage_curve(protocol, mean_gains, power, n_draws, rng,
-                                 k_factor=k_factor, backend=backend,
-                                 executor=executor, cache=cache)
+    curve = sample_outage_curve(protocol, mean_gains, power, n_draws, rng,
+                                k_factor=k_factor, backend=backend,
+                                executor=executor, cache=cache)
     return curve.rate_at_outage(epsilon)

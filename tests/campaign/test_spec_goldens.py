@@ -1,0 +1,160 @@
+"""Golden spec hashes: the axis refactor must not move the cache keys.
+
+The content-addressed cache, the shard artifacts and the CI
+shard-equivalence pipeline are all keyed by ``CampaignSpec.spec_hash()``.
+These hex digests were recorded from the pre-GridAxis (PR 2) spec
+implementation; if any of them changes, every existing cache entry and
+shard artifact silently becomes unreachable — treat a failure here as a
+compatibility break, not a test to update.
+"""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, FadingSpec, GridAxis
+from repro.channels.gains import LinkGains
+from repro.channels.pathloss import linear_relay_gains
+from repro.core.protocols import Protocol
+from repro.experiments.config import FIG3_DEFAULT
+
+PAPER_GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
+PAPER_PROTOCOLS = (Protocol.DT, Protocol.MABC, Protocol.TDBC, Protocol.HBC)
+
+
+def fading_ensemble_spec():
+    """The `fading` experiment's default grid (DEFAULT_FADING_SPEC)."""
+    return CampaignSpec(
+        protocols=PAPER_PROTOCOLS,
+        powers_db=(0.0, 10.0),
+        gains=(PAPER_GAINS,),
+        fading=FadingSpec(n_draws=200, seed=17),
+    )
+
+
+def fig3_placement_spec():
+    """The grid the Fig. 3 placement sweep evaluates."""
+    gains = tuple(
+        linear_relay_gains(float(f), exponent=FIG3_DEFAULT.path_loss_exponent)
+        for f in FIG3_DEFAULT.relay_fractions
+    )
+    return CampaignSpec(
+        protocols=PAPER_PROTOCOLS,
+        powers_db=(FIG3_DEFAULT.power_db,),
+        gains=gains,
+    )
+
+
+def fig3_symmetric_spec():
+    """The grid the Fig. 3 symmetric sweep evaluates."""
+    gains = tuple(
+        LinkGains.from_db(FIG3_DEFAULT.gab_db, float(g), float(g))
+        for g in FIG3_DEFAULT.symmetric_gains_db
+    )
+    return CampaignSpec(
+        protocols=PAPER_PROTOCOLS,
+        powers_db=(FIG3_DEFAULT.power_db,),
+        gains=gains,
+    )
+
+
+def ci_shard_grid_spec():
+    """The CI shard-equivalence campaign (`$CAMPAIGN_GRID` in ci.yml)."""
+    return CampaignSpec.from_placements(
+        tuple(Protocol),
+        (0.0, 10.0),
+        4,
+        fading=FadingSpec(n_draws=25, seed=3),
+    )
+
+
+def small_fading_spec():
+    return CampaignSpec(
+        protocols=(Protocol.MABC, Protocol.HBC),
+        powers_db=(0.0, 10.0),
+        gains=(PAPER_GAINS,),
+        fading=FadingSpec(n_draws=5, seed=3),
+    )
+
+
+def power_sweep_spec():
+    return CampaignSpec(
+        protocols=(
+            Protocol.DT,
+            Protocol.NAIVE4,
+            Protocol.MABC,
+            Protocol.TDBC,
+            Protocol.HBC,
+        ),
+        powers_db=(-5.0, 0.0, 5.0, 10.0),
+        gains=(PAPER_GAINS,),
+    )
+
+
+GOLDEN_HASHES = {
+    "fading-ensemble": (
+        fading_ensemble_spec,
+        "500bf1138e116705f64e12c55799920be3a51538768094b5e8955eed5f6461a4",
+    ),
+    "fig3-placement": (
+        fig3_placement_spec,
+        "f68ca5ee887e7e91b81590aea6f49e0670b5746837734e3b175f107f1241d775",
+    ),
+    "fig3-symmetric": (
+        fig3_symmetric_spec,
+        "dff40dab2e8f7cf7eb8aa3b0087941f6f8280181bb416daa70bd16e76ced1b3a",
+    ),
+    "ci-shard-grid": (
+        ci_shard_grid_spec,
+        "80582c79591ffd8ee77f9e30683c680a74751ce55597a4f77b17545d1dbc17d0",
+    ),
+    "small-fading": (
+        small_fading_spec,
+        "87226d66b494a2602f01e3c491d43e8c7977c9421ec4696f01d2377b642cb67a",
+    ),
+    "power-sweep": (
+        power_sweep_spec,
+        "28f5163570f13c0561dd520e79962a14969c9567329e2f73551eec07cf1671c8",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_HASHES))
+def test_classic_spec_hashes_are_byte_stable(name):
+    factory, expected = GOLDEN_HASHES[name]
+    assert factory().spec_hash() == expected
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_HASHES))
+def test_classic_spec_dict_has_no_axes_key(name):
+    """The serialized form of a 4-axis spec is exactly the legacy layout."""
+    factory, _ = GOLDEN_HASHES[name]
+    assert sorted(factory().to_dict()) == ["fading", "gains", "powers_db", "protocols"]
+
+
+def test_extra_axes_change_the_hash():
+    """Extensible axes are part of the content key, never silently ignored."""
+    base = small_fading_spec()
+    extended = CampaignSpec(
+        protocols=base.protocols,
+        powers_db=base.powers_db,
+        gains=base.gains,
+        fading=base.fading,
+        extra_axes=(
+            GridAxis(name="pair", values=({"gain_offsets_db": (0.0, 0.0, 0.0)},)),
+        ),
+    )
+    assert extended.spec_hash() != base.spec_hash()
+    assert "axes" in extended.to_dict()
+
+
+def test_builtin_scenarios_lower_to_the_golden_grids():
+    """Scenario lowering preserves the legacy cache keys of the figures."""
+    from repro.scenarios import fading_ensemble_scenario, fig3_placement_scenario
+
+    assert (
+        fading_ensemble_scenario().to_campaign_spec().spec_hash()
+        == GOLDEN_HASHES["fading-ensemble"][1]
+    )
+    assert (
+        fig3_placement_scenario().to_campaign_spec().spec_hash()
+        == GOLDEN_HASHES["fig3-placement"][1]
+    )

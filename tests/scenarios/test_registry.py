@@ -1,0 +1,109 @@
+"""Registry round-trip tests: register -> list -> resolve -> evaluate."""
+
+import pytest
+
+from repro.campaign.spec import FadingSpec
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+from repro.scenarios import (
+    PowerPolicy,
+    Scenario,
+    Topology,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+
+BUILTINS = (
+    "fading-ensemble",
+    "fig3-placement",
+    "fig3-symmetric",
+    "fig4-operating-points",
+    "two-pair-round-robin",
+)
+
+
+@pytest.fixture
+def scratch_scenario(paper_gains):
+    return Scenario(
+        name="scratch-test-scenario",
+        description="registry round-trip fixture",
+        protocols=(Protocol.MABC,),
+        topology=Topology(gains=(paper_gains,)),
+        power=PowerPolicy(powers_db=(10.0,)),
+        fading=FadingSpec(n_draws=2, seed=9),
+    )
+
+
+@pytest.fixture
+def clean_registry():
+    yield
+    unregister_scenario("scratch-test-scenario")
+    unregister_scenario("renamed-scenario")
+    unregister_scenario("scratch-factory")
+
+
+class TestBuiltins:
+    def test_builtins_are_registered(self):
+        names = list_scenarios()
+        for name in BUILTINS:
+            assert name in names
+
+    def test_every_builtin_resolves_and_lowers(self):
+        for name in list_scenarios():
+            scenario = get_scenario(name)
+            assert scenario.name == name
+            assert scenario.to_campaign_spec().n_units > 0
+
+
+class TestRegistration:
+    def test_register_instance_then_resolve(self, scratch_scenario, clean_registry):
+        register_scenario(scratch_scenario)
+        assert "scratch-test-scenario" in list_scenarios()
+        assert get_scenario("scratch-test-scenario") == scratch_scenario
+
+    def test_register_under_explicit_name(self, scratch_scenario, clean_registry):
+        register_scenario(scratch_scenario, name="renamed-scenario")
+        assert get_scenario("renamed-scenario") == scratch_scenario
+
+    def test_register_factory_decorator(self, scratch_scenario, clean_registry):
+        @register_scenario(name="scratch-factory")
+        def scratch_factory():
+            return scratch_scenario
+
+        assert get_scenario("scratch-factory") == scratch_scenario
+
+    def test_duplicate_name_rejected_unless_replace(
+        self, scratch_scenario, clean_registry
+    ):
+        register_scenario(scratch_scenario)
+        with pytest.raises(InvalidParameterError):
+            register_scenario(scratch_scenario)
+        register_scenario(scratch_scenario, replace=True)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_scenario("does-not-exist")
+
+    def test_non_scenario_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_scenario(42)
+
+    def test_factory_must_return_a_scenario(self, clean_registry):
+        @register_scenario(name="scratch-factory")
+        def scratch_factory():
+            return "not a scenario"
+
+        with pytest.raises(InvalidParameterError):
+            get_scenario("scratch-factory")
+
+
+class TestEvaluateByName:
+    def test_register_then_evaluate_by_name(self, scratch_scenario, clean_registry):
+        from repro.api import evaluate
+
+        register_scenario(scratch_scenario)
+        result = evaluate("scratch-test-scenario", executor="serial")
+        assert result.scenario == scratch_scenario
+        assert result.values.shape == (1, 1, 1, 2)

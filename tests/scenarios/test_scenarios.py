@@ -1,0 +1,183 @@
+"""Unit tests for the Scenario dataclasses and their campaign lowering."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, FadingSpec, GridAxis
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+from repro.scenarios import (
+    PowerPolicy,
+    RelayPair,
+    Scenario,
+    Topology,
+    two_pair_round_robin_scenario,
+)
+
+
+@pytest.fixture
+def single_pair_scenario(paper_gains):
+    return Scenario(
+        name="single",
+        description="one pair, fixed power",
+        protocols=(Protocol.MABC, Protocol.HBC),
+        topology=Topology(gains=(paper_gains,)),
+        power=PowerPolicy(powers_db=(0.0, 10.0)),
+        fading=FadingSpec(n_draws=5, seed=3),
+    )
+
+
+class TestValidation:
+    def test_bad_pair_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RelayPair(label="")
+        with pytest.raises(InvalidParameterError):
+            RelayPair(label="p", gain_offsets_db=(1.0, 2.0))
+
+    def test_duplicate_pair_labels_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            Topology(
+                gains=(paper_gains,),
+                pairs=(RelayPair(label="p"), RelayPair(label="p")),
+            )
+
+    def test_empty_topology_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            Topology(gains=())
+        with pytest.raises(InvalidParameterError):
+            Topology(gains=(paper_gains,), pairs=())
+
+    def test_mismatched_labels_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            Topology(gains=(paper_gains,), gains_labels=("a", "b"))
+        with pytest.raises(InvalidParameterError):
+            PowerPolicy(powers_db=(10.0,), offsets_db=(0.0,), offset_labels=("x", "y"))
+
+    def test_unknown_objective_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                name="bad",
+                description="",
+                protocols=(Protocol.MABC,),
+                topology=Topology(gains=(paper_gains,)),
+                objective="maximize-vibes",
+            )
+
+    def test_empty_name_rejected(self, paper_gains):
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                name="",
+                description="",
+                protocols=(Protocol.MABC,),
+                topology=Topology(gains=(paper_gains,)),
+            )
+
+
+class TestLowering:
+    def test_single_pair_lowers_to_classic_spec(self, single_pair_scenario):
+        spec = single_pair_scenario.to_campaign_spec()
+        assert spec.extra_axes == ()
+        assert spec.grid_shape == (2, 2, 1, 5)
+        # Identical to a hand-built classic spec, hash included.
+        classic = CampaignSpec(
+            protocols=(Protocol.MABC, Protocol.HBC),
+            powers_db=(0.0, 10.0),
+            gains=single_pair_scenario.topology.gains,
+            fading=FadingSpec(n_draws=5, seed=3),
+        )
+        assert spec == classic
+        assert spec.spec_hash() == classic.spec_hash()
+
+    def test_multi_pair_lowers_to_pair_axis(self, paper_gains):
+        scenario = two_pair_round_robin_scenario()
+        spec = scenario.to_campaign_spec()
+        assert spec.axis_names == ("protocol", "power", "pair", "gains", "draw")
+        pair_axis = spec.extra_axes[0]
+        assert isinstance(pair_axis, GridAxis)
+        assert pair_axis.display_labels == ("pair-1", "pair-2")
+        assert pair_axis.values[0] == {"gain_offsets_db": [0.0, 0.0, 0.0]}
+        assert pair_axis.values[1] == {"gain_offsets_db": [-2.0, 3.0, -3.0]}
+
+    def test_power_policy_lowers_to_policy_axis(self, paper_gains):
+        scenario = Scenario(
+            name="backoff",
+            description="finite-SNR backoff study",
+            protocols=(Protocol.HBC,),
+            topology=Topology(gains=(paper_gains,)),
+            power=PowerPolicy(
+                powers_db=(10.0,),
+                offsets_db=(0.0, -3.0, -6.0),
+                name="backoff",
+            ),
+        )
+        spec = scenario.to_campaign_spec()
+        assert spec.axis_names == (
+            "protocol",
+            "power",
+            "power_policy",
+            "gains",
+            "draw",
+        )
+        axis = spec.extra_axes[0]
+        assert axis.display_labels == ("+0 dB", "-3 dB", "-6 dB")
+        assert axis.values[2] == {"power_db_offset": -6.0}
+
+    def test_single_nonzero_pair_offset_still_gets_an_axis(self, paper_gains):
+        topology = Topology(
+            gains=(paper_gains,),
+            pairs=(RelayPair(label="shifted", gain_offsets_db=(0.0, 1.0, 0.0)),),
+        )
+        assert topology.pair_axis() is not None
+
+
+class TestRoundTrip:
+    def test_classic_spec_round_trips(self, single_pair_scenario):
+        spec = single_pair_scenario.to_campaign_spec()
+        clone = Scenario.from_campaign_spec(spec, name="clone")
+        assert clone.to_campaign_spec() == spec
+        assert clone.to_campaign_spec().spec_hash() == spec.spec_hash()
+
+    def test_scenario_shaped_axes_round_trip(self):
+        spec = two_pair_round_robin_scenario().to_campaign_spec()
+        clone = Scenario.from_campaign_spec(
+            spec, name="clone", objective="round_robin_sum_rate"
+        )
+        assert clone.n_pairs == 2
+        assert clone.to_campaign_spec() == spec
+        assert clone.to_campaign_spec().spec_hash() == spec.spec_hash()
+
+    def test_unlabeled_scenario_shaped_axes_round_trip(self, paper_gains):
+        spec = CampaignSpec(
+            protocols=(Protocol.MABC,),
+            powers_db=(10.0,),
+            gains=(paper_gains,),
+            extra_axes=(
+                GridAxis(
+                    name="pair",
+                    values=(
+                        {"gain_offsets_db": (0.0, 0.0, 0.0)},
+                        {"gain_offsets_db": (-1.0, 1.0, 0.0)},
+                    ),
+                ),
+                GridAxis(
+                    name="power_policy",
+                    values=({"power_db_offset": -3.0}, {"power_db_offset": 0.0}),
+                ),
+            ),
+        )
+        clone = Scenario.from_campaign_spec(spec, name="clone")
+        # Labels are synthesized, but the content hash — and therefore
+        # the cache key — is preserved (labels are excluded from it).
+        assert [pair.label for pair in clone.topology.pairs] == ["pair-1", "pair-2"]
+        assert clone.to_campaign_spec().spec_hash() == spec.spec_hash()
+
+    def test_foreign_axes_rejected(self, paper_gains):
+        spec = CampaignSpec(
+            protocols=(Protocol.MABC,),
+            powers_db=(10.0,),
+            gains=(paper_gains,),
+            extra_axes=(
+                GridAxis(name="mystery", values=({"power_db_offset": 1.0},)),
+            ),
+        )
+        with pytest.raises(InvalidParameterError):
+            Scenario.from_campaign_spec(spec, name="clone")

@@ -16,6 +16,7 @@ class TestParser:
         assert set(subparsers.choices) == {
             "fig3", "fig4", "region", "sumrate", "simulate", "diagrams",
             "sweep", "adaptive", "fairness", "fading", "campaign", "gather",
+            "scenarios",
         }
 
     def test_region_requires_protocol(self):
@@ -247,6 +248,52 @@ class TestShardGatherCommands:
         out = capsys.readouterr().out
         assert code == 2
         assert "chunk-size" in out
+
+
+class TestScenariosCommand:
+    def test_list_names_every_registered_scenario(self, capsys):
+        from repro.scenarios import list_scenarios
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in list_scenarios():
+            assert name in out
+        assert "objective" in out
+
+    def test_run_two_pair_scenario(self, capsys, tmp_path):
+        code = main(["scenarios", "run", "two-pair-round-robin",
+                     "--cache-dir", str(tmp_path), "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round_robin_sum_rate over 2 pairs" in out
+        assert "spec " in out
+
+    def test_run_repeat_hits_cache(self, capsys, tmp_path):
+        args = ["scenarios", "run", "fig4-operating-points",
+                "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "via cache" in out
+
+    def test_run_unknown_scenario_rejected(self, capsys):
+        code = main(["scenarios", "run", "bogus", "--no-cache", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown scenario" in out
+
+    def test_run_dump_writes_grid(self, capsys, tmp_path):
+        dump = str(tmp_path / "values.npy")
+        code = main(["scenarios", "run", "two-pair-round-robin", "--no-cache",
+                     "--quiet", "--dump", dump])
+        assert code == 0
+        values = np.load(dump)
+        assert values.shape == (4, 1, 2, 1, 25)
+
+    def test_scenarios_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
 
 
 class TestSweepValidation:
