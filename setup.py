@@ -18,7 +18,7 @@ setup(
     ),
     python_requires=">=3.10",
     install_requires=[
-        "numpy>=1.24",
+        "numpy>=1.25",
         "scipy>=1.10",
     ],
     extras_require={

@@ -49,6 +49,7 @@ from .spec import (
     CampaignSpec,
     FadingSpec,
     GridAxis,
+    LinkSimSpec,
     WorkUnit,
     chunk_ranges,
 )
@@ -76,5 +77,6 @@ __all__ = [
     "CampaignSpec",
     "FadingSpec",
     "GridAxis",
+    "LinkSimSpec",
     "WorkUnit",
 ]

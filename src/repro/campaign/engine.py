@@ -237,6 +237,11 @@ def _grid_batches(spec, flat_gains, start, stop):
             gab = gab * gain_scale[0]
             gar = gar * gain_scale[1]
             gbr = gbr * gain_scale[2]
+        indices = None
+        if spec.link is not None:
+            # Operational cells seed their simulations by flat grid index.
+            base = block * n_channels
+            indices = np.arange(base + lo, base + hi)
         batches.append(
             UnitBatch(
                 protocol=protocol,
@@ -244,6 +249,8 @@ def _grid_batches(spec, flat_gains, start, stop):
                 gar=gar,
                 gbr=gbr,
                 power=np.full(hi - lo, power),
+                link=spec.link,
+                indices=indices,
             )
         )
     return batches

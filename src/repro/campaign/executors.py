@@ -46,6 +46,11 @@ class UnitBatch:
 
     The array fields are aligned: unit ``i`` of the batch is
     ``(protocol, gains=(gab[i], gar[i], gbr[i]), power=power[i])``.
+
+    Operational (link-level) campaigns additionally carry the
+    :class:`~repro.campaign.spec.LinkSimSpec` and each unit's flat grid
+    index: the index seeds the unit's simulation generator, so a cell's
+    value never depends on how the grid was batched, chunked or sharded.
     """
 
     protocol: Protocol
@@ -53,6 +58,8 @@ class UnitBatch:
     gar: np.ndarray
     gbr: np.ndarray
     power: np.ndarray
+    link: object = None
+    indices: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self.gab.shape[0])
@@ -65,7 +72,30 @@ class UnitBatch:
             gar=self.gar[start:stop],
             gbr=self.gbr[start:stop],
             power=self.power[start:stop],
+            link=self.link,
+            indices=None if self.indices is None else self.indices[start:stop],
         )
+
+
+def _evaluate_link_units(batch: UnitBatch) -> np.ndarray:
+    """Operational cells: one independently seeded link campaign per unit."""
+    from ..simulation.montecarlo import batched_link_goodput
+
+    if batch.indices is None:
+        raise InvalidParameterError(
+            "operational unit batches need flat grid indices for seeding"
+        )
+    return batched_link_goodput(
+        batch.protocol,
+        batch.gab,
+        batch.gar,
+        batch.gbr,
+        batch.power,
+        n_rounds=batch.link.n_rounds,
+        seed=batch.link.seed,
+        indices=batch.indices,
+        codec=batch.link.codec(),
+    )
 
 
 def _evaluate_units_one_by_one(batch: UnitBatch) -> np.ndarray:
@@ -74,7 +104,11 @@ def _evaluate_units_one_by_one(batch: UnitBatch) -> np.ndarray:
     This is the shared reference arithmetic: the serial executor calls it
     directly and pool workers call it on their chunks, which is what makes
     serial and multiprocess results bitwise identical by construction.
+    Operational units are independently seeded by flat grid index, so the
+    same argument covers them with no per-unit slicing needed.
     """
+    if batch.link is not None:
+        return _evaluate_link_units(batch)
     values = np.empty(len(batch))
     for i in range(len(batch)):
         values[i] = batched_sum_rates(
@@ -225,11 +259,15 @@ class VectorizedExecutor:
             pieces = []
             for start in range(0, len(batch), step):
                 piece = batch.slice(start, start + step)
-                pieces.append(
-                    batched_sum_rates(
-                        piece.protocol, piece.gab, piece.gar, piece.gbr, piece.power
+                if piece.link is not None:
+                    pieces.append(_evaluate_link_units(piece))
+                else:
+                    pieces.append(
+                        batched_sum_rates(
+                            piece.protocol, piece.gab, piece.gar, piece.gbr,
+                            piece.power,
+                        )
                     )
-                )
                 done += len(piece)
                 if progress is not None:
                     progress(done, total)

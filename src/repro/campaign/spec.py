@@ -42,15 +42,28 @@ from ..information.functions import db_to_linear
 
 __all__ = [
     "FadingSpec",
+    "LinkSimSpec",
     "GridAxis",
     "CampaignSpec",
     "CampaignShard",
     "WorkUnit",
     "GRID_AXES",
     "AXIS_OVERRIDE_KEYS",
+    "LINK_CODES",
+    "LINK_CRCS",
+    "LINK_MODULATIONS",
     "DEFAULT_CHUNK_SIZE",
     "chunk_ranges",
 ]
+
+#: Convolutional codes an operational (link-level) campaign may name.
+LINK_CODES = ("nasa", "test")
+
+#: CRC codes an operational campaign may name.
+LINK_CRCS = ("crc8", "crc16-ccitt", "crc32")
+
+#: Modulations an operational campaign may name.
+LINK_MODULATIONS = ("bpsk", "qpsk")
 
 #: Canonical axis names of the classic campaign grid. Extensible axes
 #: (:attr:`CampaignSpec.extra_axes`) are inserted between ``power`` and
@@ -126,6 +139,88 @@ class FadingSpec:
             "n_draws": int(self.n_draws),
             "seed": int(self.seed),
             "k_factor": float(self.k_factor),
+        }
+
+
+@dataclass(frozen=True)
+class LinkSimSpec:
+    """Link-level simulation parameters of an *operational* campaign.
+
+    When a :class:`CampaignSpec` carries one of these, every grid cell is
+    evaluated by running the concrete decode-and-forward system
+    (:func:`repro.simulation.montecarlo.simulate_protocol`) instead of the
+    analytic LP kernel, and the cell value is the campaign's total
+    goodput in bits per channel symbol. Cell ``i`` of the flat grid seeds
+    its generator from ``(seed, i)``, so operational values — like
+    analytic ones — are a pure function of the spec, which keeps every
+    executor, chunking, sharding and the content-addressed cache bitwise
+    interchangeable.
+
+    Attributes
+    ----------
+    n_rounds:
+        Protocol rounds simulated per grid cell.
+    payload_bits:
+        Payload size per direction and round.
+    seed:
+        Base seed of the per-cell generators.
+    code / crc / modulation:
+        Named codec components (:data:`LINK_CODES`, :data:`LINK_CRCS`,
+        :data:`LINK_MODULATIONS`); the default is the production codec.
+    """
+
+    n_rounds: int
+    payload_bits: int = 128
+    seed: int = 0
+    code: str = "nasa"
+    crc: str = "crc16-ccitt"
+    modulation: str = "bpsk"
+
+    def __post_init__(self) -> None:
+        if self.n_rounds < 1:
+            raise InvalidParameterError(
+                f"need at least one round per cell, got {self.n_rounds}"
+            )
+        if self.payload_bits < 1:
+            raise InvalidParameterError(
+                f"payload must be at least one bit, got {self.payload_bits}"
+            )
+        for value, options, label in (
+            (self.code, LINK_CODES, "code"),
+            (self.crc, LINK_CRCS, "crc"),
+            (self.modulation, LINK_MODULATIONS, "modulation"),
+        ):
+            if value not in options:
+                raise InvalidParameterError(
+                    f"unknown {label} {value!r}; choose from {options}"
+                )
+
+    def codec(self):
+        """Build the named :class:`~repro.simulation.linkcodec.LinkCodec`."""
+        from ..simulation.convolutional import NASA_CODE, TEST_CODE
+        from ..simulation.crc import CRC8, CRC16_CCITT, CRC32
+        from ..simulation.linkcodec import LinkCodec
+        from ..simulation.modulation import Bpsk, Qpsk
+
+        codes = {"nasa": NASA_CODE, "test": TEST_CODE}
+        crcs = {"crc8": CRC8, "crc16-ccitt": CRC16_CCITT, "crc32": CRC32}
+        modulations = {"bpsk": Bpsk, "qpsk": Qpsk}
+        return LinkCodec(
+            payload_bits=self.payload_bits,
+            code=codes[self.code],
+            crc=crcs[self.crc],
+            modulation=modulations[self.modulation](),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data form for hashing and serialization."""
+        return {
+            "n_rounds": int(self.n_rounds),
+            "payload_bits": int(self.payload_bits),
+            "seed": int(self.seed),
+            "code": self.code,
+            "crc": self.crc,
+            "modulation": self.modulation,
         }
 
 
@@ -273,6 +368,14 @@ class CampaignSpec:
         power-policy axis of dB backoffs). Specs without extra axes keep
         the exact classic 4-axis content hash, so existing cache entries
         and shard artifacts survive the generalization.
+    link:
+        Optional :class:`LinkSimSpec` switching the campaign from the
+        analytic LP kernel to the operational link-level simulator: each
+        cell's value becomes the measured goodput (bits/symbol) of an
+        independently seeded simulation campaign. ``None`` (the default)
+        keeps the classic analytic evaluation — and, like ``extra_axes``,
+        is omitted from the serialized form, so analytic spec hashes are
+        untouched.
     """
 
     protocols: tuple
@@ -280,8 +383,11 @@ class CampaignSpec:
     gains: tuple
     fading: FadingSpec | None = None
     extra_axes: tuple = ()
+    link: LinkSimSpec | None = None
 
     def __post_init__(self) -> None:
+        if self.link is not None and not isinstance(self.link, LinkSimSpec):
+            raise InvalidParameterError(f"{self.link!r} is not a LinkSimSpec")
         protocols = tuple(self.protocols)
         powers_db = tuple(float(p) for p in self.powers_db)
         gains = tuple(self.gains)
@@ -507,12 +613,15 @@ class CampaignSpec:
         }
         if self.extra_axes:
             data["axes"] = [axis.to_dict(labels=labels) for axis in self.extra_axes]
+        if self.link is not None:
+            data["link"] = self.link.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignSpec":
         """Inverse of :meth:`to_dict`."""
         fading = data.get("fading")
+        link = data.get("link")
         return cls(
             protocols=tuple(Protocol(p) for p in data["protocols"]),
             powers_db=tuple(data["powers_db"]),
@@ -521,6 +630,7 @@ class CampaignSpec:
             extra_axes=tuple(
                 GridAxis.from_dict(axis) for axis in data.get("axes", ())
             ),
+            link=LinkSimSpec(**link) if link else None,
         )
 
     def spec_hash(self) -> str:

@@ -12,6 +12,21 @@ The returned :class:`PhaseOutput` uses ``None`` as the ``∅`` symbol: a
 transmitting node's received entry is ``None``, faithfully encoding the
 half-duplex constraint rather than silently handing transmitters a copy of
 the channel output.
+
+Batched phases
+--------------
+:meth:`HalfDuplexMedium.run_phase_rows` executes the *same* phase of many
+independent protocol rounds in one call: transmissions carry a leading
+rounds axis, and only the listeners named by the caller receive signals.
+Its noise draws follow the reproducibility policy of the batched
+simulation kernel: one contiguous standard-normal draw of shape
+``(n_rounds, n_listeners, 2, n_symbols)`` per call — listeners in the
+caller's (by convention alphabetical) order, the real parts of a round's
+noise immediately followed by its imaginary parts. Because NumPy
+generators fill output arrays sequentially in C order, splitting the
+rounds axis across any number of calls on the same ``Generator`` consumes
+exactly the same values — so per-round loops, chunked batches and one big
+batch are bit-for-bit interchangeable.
 """
 
 from __future__ import annotations
@@ -24,7 +39,12 @@ from ..exceptions import HalfDuplexViolationError, InvalidParameterError
 from .awgn import ComplexAwgn
 from .gains import LinkGains
 
-__all__ = ["HalfDuplexMedium", "PhaseOutput", "complex_gains_from_powers"]
+__all__ = [
+    "HalfDuplexMedium",
+    "PhaseOutput",
+    "PhaseRows",
+    "complex_gains_from_powers",
+]
 
 _NODES = ("a", "b", "r")
 
@@ -73,6 +93,33 @@ class PhaseOutput:
 
     def signal_at(self, node: str) -> np.ndarray:
         """The received vector at ``node``; raises if the node transmitted."""
+        if node in self.transmitters:
+            raise HalfDuplexViolationError(
+                f"node {node!r} transmitted in this phase; it has no received signal"
+            )
+        return self.received[node]
+
+
+@dataclass(frozen=True)
+class PhaseRows:
+    """Received signals of one phase run over a batch of rounds.
+
+    Attributes
+    ----------
+    received:
+        Mapping listener node -> complex ``(n_rounds, n_symbols)`` array.
+        Nodes that transmitted — or were not named as listeners — have no
+        entry at all (the batched engine only materializes the outputs a
+        protocol actually decodes).
+    transmitters:
+        The nodes that transmitted during the phase.
+    """
+
+    received: dict
+    transmitters: frozenset
+
+    def signal_at(self, node: str) -> np.ndarray:
+        """The received rows at ``node``; raises if the node transmitted."""
         if node in self.transmitters:
             raise HalfDuplexViolationError(
                 f"node {node!r} transmitted in this phase; it has no received signal"
@@ -168,3 +215,68 @@ class HalfDuplexMedium:
                 y = y + gain * np.asarray(x)
             received[node] = y
         return PhaseOutput(received=received, transmitters=tx_nodes)
+
+    def run_phase_rows(self, transmissions: dict, listeners,
+                       rng: np.random.Generator) -> PhaseRows:
+        """Execute one phase of a whole batch of rounds at once.
+
+        Parameters
+        ----------
+        transmissions:
+            Mapping node -> complex ``(n_rounds, n_symbols)`` symbol rows
+            for every transmitting node (all arrays share a shape).
+        listeners:
+            The silent nodes whose channel outputs the caller will decode,
+            in the order that fixes the noise draw (the batched engine
+            always passes them alphabetically). Listed nodes must not
+            transmit; unlisted silent nodes receive nothing.
+        rng:
+            Noise stream for this phase. One contiguous standard-normal
+            draw of shape ``(n_rounds, n_listeners, 2, n_symbols)`` is
+            consumed (see the module docstring for why that makes results
+            independent of how the rounds axis is batched).
+        """
+        for node in transmissions:
+            if node not in _NODES:
+                raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
+            if transmissions[node] is None:
+                raise HalfDuplexViolationError(
+                    f"node {node!r} listed as transmitter but supplied no signal"
+                )
+        tx_nodes = frozenset(transmissions)
+        if not tx_nodes:
+            raise InvalidParameterError("at least one node must transmit in a phase")
+        listeners = tuple(listeners)
+        if not listeners:
+            raise InvalidParameterError("at least one listener required")
+        for node in listeners:
+            if node not in _NODES:
+                raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
+            if node in tx_nodes:
+                raise HalfDuplexViolationError(
+                    f"node {node!r} cannot transmit and listen in the same phase"
+                )
+        shapes = {np.asarray(x).shape for x in transmissions.values()}
+        if len(shapes) != 1:
+            raise InvalidParameterError(
+                f"simultaneous transmissions must share a shape, got {shapes}"
+            )
+        (shape,) = shapes
+        if len(shape) != 2:
+            raise InvalidParameterError(
+                f"batched transmissions must be (rounds, symbols), got shape {shape}"
+            )
+        n_rounds, n_symbols = shape
+
+        scale = np.sqrt(self.noise.noise_power / 2.0)
+        draws = rng.normal(
+            0.0, scale, size=(n_rounds, len(listeners), 2, n_symbols)
+        )
+        received: dict = {}
+        for li, node in enumerate(listeners):
+            y = draws[:, li, 0, :] + 1j * draws[:, li, 1, :]
+            for tx, x in transmissions.items():
+                gain = self.complex_gains[frozenset((tx, node))]
+                y = y + gain * np.asarray(x)
+            received[node] = y
+        return PhaseRows(received=received, transmitters=tx_nodes)

@@ -27,6 +27,7 @@ from .builtin import (
     fig3_placement_scenario,
     fig3_symmetric_scenario,
     fig4_operating_points_scenario,
+    operational_goodput_scenario,
     power_sweep_scenario,
     two_pair_round_robin_scenario,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "fig3_placement_scenario",
     "fig3_symmetric_scenario",
     "fig4_operating_points_scenario",
+    "operational_goodput_scenario",
     "power_sweep_scenario",
     "two_pair_round_robin_scenario",
     "get_scenario",

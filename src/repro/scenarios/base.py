@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..campaign.spec import CampaignSpec, FadingSpec, GridAxis
+from ..campaign.spec import CampaignSpec, FadingSpec, GridAxis, LinkSimSpec
 from ..channels.gains import LinkGains
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
@@ -39,8 +39,14 @@ __all__ = ["RelayPair", "Topology", "PowerPolicy", "Scenario", "OBJECTIVES"]
 #: * ``round_robin_sum_rate`` — the network sum rate of a multi-pair
 #:   topology under round-robin relay scheduling: each pair is served a
 #:   ``1/K`` time share, so the objective is the mean over the ``pair``
-#:   axis of the per-pair optimal sum rates.
-OBJECTIVES = ("sum_rate", "round_robin_sum_rate")
+#:   axis of the per-pair optimal sum rates;
+#: * ``operational_goodput`` — the measured goodput (bits/symbol) of the
+#:   concrete decode-and-forward link simulator on every grid cell,
+#:   parameterized by the scenario's :class:`~repro.campaign.spec
+#:   .LinkSimSpec`. The operational counterpart of ``sum_rate``: the same
+#:   grid machinery, with the analytic kernel swapped for the batched
+#:   link-level simulation kernel.
+OBJECTIVES = ("sum_rate", "round_robin_sum_rate", "operational_goodput")
 
 
 @dataclass(frozen=True)
@@ -218,6 +224,9 @@ class Scenario:
         Quasi-static fading model; ``None`` evaluates the mean geometries.
     objective:
         One of :data:`OBJECTIVES`.
+    link:
+        Link-level simulation parameters; required by (and only valid
+        with) the ``operational_goodput`` objective.
     """
 
     name: str
@@ -227,6 +236,7 @@ class Scenario:
     power: PowerPolicy = field(default_factory=PowerPolicy)
     fading: FadingSpec | None = None
     objective: str = "sum_rate"
+    link: LinkSimSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
@@ -240,6 +250,11 @@ class Scenario:
         if self.objective not in OBJECTIVES:
             raise InvalidParameterError(
                 f"unknown objective {self.objective!r}; choose from {OBJECTIVES}"
+            )
+        if (self.objective == "operational_goodput") != (self.link is not None):
+            raise InvalidParameterError(
+                "link simulation parameters and the operational_goodput "
+                "objective go together: set both or neither"
             )
 
     @property
@@ -268,6 +283,7 @@ class Scenario:
             gains=self.topology.gains,
             fading=self.fading,
             extra_axes=tuple(extra),
+            link=self.link,
         )
 
     @classmethod
@@ -314,6 +330,10 @@ class Scenario:
                 raise InvalidParameterError(
                     f"axis {axis.name!r} cannot be expressed as a scenario"
                 )
+        if spec.link is not None and objective == "sum_rate":
+            # An operational spec's values *are* goodputs; reflect that in
+            # the default objective rather than mislabeling them.
+            objective = "operational_goodput"
         scenario = cls(
             name=name,
             description=description,
@@ -326,6 +346,7 @@ class Scenario:
             ),
             fading=spec.fading,
             objective=objective,
+            link=spec.link,
         )
         if scenario.to_campaign_spec().spec_hash() != spec.spec_hash():
             raise InvalidParameterError(

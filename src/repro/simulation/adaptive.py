@@ -66,11 +66,16 @@ class AdaptiveReport:
         return self.winner_counts.get(protocol, 0) / self.n_draws
 
 
-def adaptive_sum_rate(mean_gains: LinkGains, power: float, n_draws: int,
-                      rng: np.random.Generator, *,
-                      candidates=(Protocol.MABC, Protocol.TDBC),
-                      k_factor: float = 0.0,
-                      backend: str = DEFAULT_BACKEND) -> AdaptiveReport:
+def adaptive_sum_rate(
+    mean_gains: LinkGains,
+    power: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    candidates=(Protocol.MABC, Protocol.TDBC),
+    k_factor: float = 0.0,
+    backend: str = DEFAULT_BACKEND,
+) -> AdaptiveReport:
     """Evaluate per-fade protocol selection over a Rayleigh/Rician ensemble.
 
     Parameters
@@ -96,16 +101,14 @@ def adaptive_sum_rate(mean_gains: LinkGains, power: float, n_draws: int,
     candidates = tuple(candidates)
     if not candidates:
         raise InvalidParameterError("at least one candidate protocol required")
-    ensemble = sample_gain_ensemble(mean_gains, n_draws, rng,
-                                    k_factor=k_factor)
+    ensemble = sample_gain_ensemble(mean_gains, n_draws, rng, k_factor=k_factor)
     totals = {protocol: 0.0 for protocol in candidates}
     winner_counts = {protocol: 0 for protocol in candidates}
     adaptive_total = 0.0
     for draw in ensemble:
         channel = GaussianChannel(gains=draw, power=power)
         rates = {
-            protocol: optimal_sum_rate(protocol, channel,
-                                       backend=backend).sum_rate
+            protocol: optimal_sum_rate(protocol, channel, backend=backend).sum_rate
             for protocol in candidates
         }
         for protocol, value in rates.items():
@@ -121,11 +124,17 @@ def adaptive_sum_rate(mean_gains: LinkGains, power: float, n_draws: int,
     )
 
 
-def selection_frequencies(mean_gains: LinkGains, power: float, n_draws: int,
-                          rng: np.random.Generator, *,
-                          candidates=(Protocol.MABC, Protocol.TDBC),
-                          k_factor: float = 0.0) -> dict:
+def selection_frequencies(
+    mean_gains: LinkGains,
+    power: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    candidates=(Protocol.MABC, Protocol.TDBC),
+    k_factor: float = 0.0,
+) -> dict:
     """Protocol -> win frequency over the fading ensemble."""
-    report = adaptive_sum_rate(mean_gains, power, n_draws, rng,
-                               candidates=candidates, k_factor=k_factor)
+    report = adaptive_sum_rate(
+        mean_gains, power, n_draws, rng, candidates=candidates, k_factor=k_factor
+    )
     return {p: report.selection_frequency(p) for p in report.winner_counts}

@@ -63,10 +63,15 @@ class AsymmetricRoundResult:
     relay_ok: bool
 
 
-def run_mabc_asymmetric_round(medium: HalfDuplexMedium, codec_long: LinkCodec,
-                              codec_short: LinkCodec, power: float,
-                              payload_a, payload_b,
-                              rng: np.random.Generator) -> AsymmetricRoundResult:
+def run_mabc_asymmetric_round(
+    medium: HalfDuplexMedium,
+    codec_long: LinkCodec,
+    codec_short: LinkCodec,
+    power: float,
+    payload_a,
+    payload_b,
+    rng: np.random.Generator,
+) -> AsymmetricRoundResult:
     """One MABC exchange with ``len(payload_a) >= len(payload_b)``.
 
     Parameters
@@ -90,8 +95,7 @@ def run_mabc_asymmetric_round(medium: HalfDuplexMedium, codec_long: LinkCodec,
             "codec_long must carry the longer payload "
             f"({codec_long.payload_bits} < {codec_short.payload_bits})"
         )
-    if (codec_long.crc != codec_short.crc
-            or codec_long.code is not codec_short.code):
+    if (codec_long.crc != codec_short.crc or codec_long.code is not codec_short.code):
         raise InvalidParameterError(
             "the two codecs must share the CRC and convolutional code"
         )
@@ -115,10 +119,12 @@ def run_mabc_asymmetric_round(medium: HalfDuplexMedium, codec_long: LinkCodec,
     symbols_a = codec_long.encode_frame_bits(frame_a)
     symbols_b_short = codec_short.encode_frame_bits(frame_b)
     # b transmits a shorter burst; the tail of the MAC phase is silent.
-    symbols_b = np.concatenate([
-        symbols_b_short,
-        np.zeros(symbols_a.size - symbols_b_short.size, dtype=complex),
-    ])
+    symbols_b = np.concatenate(
+        [
+            symbols_b_short,
+            np.zeros(symbols_a.size - symbols_b_short.size, dtype=complex),
+        ],
+    )
 
     out1 = medium.run_phase({"a": amp * symbols_a, "b": amp * symbols_b}, rng)
     y_r = out1.signal_at("r")
@@ -130,47 +136,44 @@ def run_mabc_asymmetric_round(medium: HalfDuplexMedium, codec_long: LinkCodec,
     power_b = power * abs(gain_br) ** 2
     n_short = symbols_b_short.size
     if power_a >= power_b:
-        a_at_r = codec_long.decode(y_r, gain_ar, noise_power + power_b,
-                                   amplitude=amp)
-        residual = y_r - amp * gain_ar * codec_long.encode_frame_bits(
-            a_at_r.frame_bits)
-        b_at_r = codec_short.decode(residual[:n_short], gain_br,
-                                    noise_power, amplitude=amp)
+        a_at_r = codec_long.decode(y_r, gain_ar, noise_power + power_b, amplitude=amp)
+        residual = y_r - amp * gain_ar * codec_long.encode_frame_bits(a_at_r.frame_bits)
+        b_at_r = codec_short.decode(
+            residual[:n_short], gain_br, noise_power, amplitude=amp
+        )
     else:
-        b_at_r = codec_short.decode(y_r[:n_short], gain_br,
-                                    noise_power + power_a, amplitude=amp)
+        b_at_r = codec_short.decode(
+            y_r[:n_short], gain_br, noise_power + power_a, amplitude=amp
+        )
         residual = y_r.copy()
         residual[:n_short] -= amp * gain_br * codec_short.encode_frame_bits(
-            b_at_r.frame_bits)
-        a_at_r = codec_long.decode(residual, gain_ar, noise_power,
-                                   amplitude=amp)
+            b_at_r.frame_bits
+        )
+        a_at_r = codec_long.decode(residual, gain_ar, noise_power, amplitude=amp)
     relay_ok = a_at_r.crc_ok and b_at_r.crc_ok
 
     # Broadcast: embed the shorter frame into the longer one by zero
     # padding (the group-L embedding) and XOR.
-    combined = xor_bits(a_at_r.frame_bits,
-                        pad_bits(b_at_r.frame_bits, frame_a.size))
-    out2 = medium.run_phase(
-        {"r": amp * codec_long.encode_frame_bits(combined)}, rng
-    )
+    combined = xor_bits(a_at_r.frame_bits, pad_bits(b_at_r.frame_bits, frame_a.size))
+    out2 = medium.run_phase({"r": amp * codec_long.encode_frame_bits(combined)}, rng)
 
     # Terminal a: strip own frame, truncate to the short frame, CRC-check;
     # the embedding tail must come back as zeros.
-    relay_at_a = codec_long.decode(out2.signal_at("a"), gain_ar, noise_power,
-                                   amplitude=amp)
+    relay_at_a = codec_long.decode(
+        out2.signal_at("a"), gain_ar, noise_power, amplitude=amp
+    )
     partner_padded = xor_bits(relay_at_a.frame_bits, frame_a)
     short_len = frame_b.size
     frame_b_hat = partner_padded[:short_len]
     padding_clean = int(partner_padded[short_len:].sum()) == 0
-    b_ok = (relay_at_a.crc_ok and padding_clean
-            and codec_short.crc.check(frame_b_hat))
+    b_ok = (relay_at_a.crc_ok and padding_clean and codec_short.crc.check(frame_b_hat))
     wb_hat = codec_short.crc.strip(frame_b_hat)
 
     # Terminal b: pad its own frame, strip, CRC-check the long frame.
-    relay_at_b = codec_long.decode(out2.signal_at("b"), gain_br, noise_power,
-                                   amplitude=amp)
-    frame_a_hat = xor_bits(relay_at_b.frame_bits,
-                           pad_bits(frame_b, frame_a.size))
+    relay_at_b = codec_long.decode(
+        out2.signal_at("b"), gain_br, noise_power, amplitude=amp
+    )
+    frame_a_hat = xor_bits(relay_at_b.frame_bits, pad_bits(frame_b, frame_a.size))
     a_ok = relay_at_b.crc_ok and codec_long.crc.check(frame_a_hat)
     wa_hat = codec_long.crc.strip(frame_a_hat)
 

@@ -13,12 +13,14 @@ from ..exceptions import InvalidParameterError
 
 __all__ = [
     "as_bits",
+    "as_bit_rows",
     "random_bits",
     "bits_to_int",
     "int_to_bits",
     "xor_bits",
     "pad_bits",
     "hamming_distance",
+    "hamming_distance_rows",
     "bit_error_rate",
 ]
 
@@ -29,6 +31,24 @@ def as_bits(values) -> np.ndarray:
     arr = arr.astype(np.uint8, copy=True)
     if arr.ndim != 1:
         raise InvalidParameterError(f"bit arrays must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise InvalidParameterError("bit arrays may contain only 0s and 1s")
+    return arr
+
+
+def as_bit_rows(values) -> np.ndarray:
+    """Coerce a batch of equal-length bit sequences into a ``(R, n)`` array.
+
+    The 2-D counterpart of :func:`as_bits`: row ``r`` is one bit sequence.
+    This is the layout of the batched link-level simulation kernel, where
+    the leading axis ranges over protocol rounds (frames).
+    """
+    arr = np.asarray(values)
+    arr = arr.astype(np.uint8, copy=True)
+    if arr.ndim != 2:
+        raise InvalidParameterError(
+            f"bit-row batches must be 2-D, got shape {arr.shape}"
+        )
     if arr.size and not np.all((arr == 0) | (arr == 1)):
         raise InvalidParameterError("bit arrays may contain only 0s and 1s")
     return arr
@@ -55,11 +75,10 @@ def int_to_bits(value: int, width: int) -> np.ndarray:
     if width < 0:
         raise InvalidParameterError(f"width must be non-negative, got {width}")
     if value < 0 or (width < value.bit_length()):
-        raise InvalidParameterError(
-            f"value {value} does not fit in {width} bits"
-        )
-    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
-                    dtype=np.uint8)
+        raise InvalidParameterError(f"value {value} does not fit in {width} bits")
+    return np.array(
+        [(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8
+    )
 
 
 def xor_bits(x, y) -> np.ndarray:
@@ -81,9 +100,7 @@ def pad_bits(bits, length: int) -> np.ndarray:
     """Zero-pad a bit array up to ``length`` (no-op when already that long)."""
     arr = as_bits(bits)
     if length < arr.size:
-        raise InvalidParameterError(
-            f"cannot pad length {arr.size} down to {length}"
-        )
+        raise InvalidParameterError(f"cannot pad length {arr.size} down to {length}")
     if length == arr.size:
         return arr
     return np.concatenate([arr, np.zeros(length - arr.size, dtype=np.uint8)])
@@ -92,6 +109,17 @@ def pad_bits(bits, length: int) -> np.ndarray:
 def hamming_distance(x, y) -> int:
     """Number of positions where two equal-length bit arrays differ."""
     return int(xor_bits(x, y).sum())
+
+
+def hamming_distance_rows(x_rows, y_rows) -> np.ndarray:
+    """Per-row Hamming distances of two ``(R, n)`` bit batches."""
+    a, b = as_bit_rows(x_rows), as_bit_rows(y_rows)
+    if a.shape != b.shape:
+        raise InvalidParameterError(
+            f"row-wise Hamming distance needs equal shapes, got {a.shape} "
+            f"and {b.shape}"
+        )
+    return np.bitwise_xor(a, b).sum(axis=1, dtype=np.int64)
 
 
 def bit_error_rate(sent, received) -> float:

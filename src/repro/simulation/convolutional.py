@@ -13,6 +13,17 @@ Encoding is expressed as a binary convolution (numpy ``convolve`` mod 2);
 decoding is a vectorized add-compare-select over the 2^(K-1)-state trellis
 with traceback. LLR inputs use the ``LLR > 0 ⇔ bit = 0`` convention of
 :mod:`repro.simulation.modulation`.
+
+Both operations also exist batched over a leading *frames* axis
+(:meth:`ConvolutionalCode.encode_rows` / :meth:`~ConvolutionalCode
+.decode_rows`): the ACS recursion runs once over the trellis with every
+frame of the batch carried in the leading array dimension, so decoding
+``R`` frames costs one pass of ``T`` NumPy steps instead of ``R`` Python
+round trips. Every update is elementwise along that axis (the branch
+metrics are accumulated term by term in tap order on both paths), so a
+batch of ``R`` decodes is bit-for-bit identical to ``R`` one-frame
+decodes — the property the batched link-level simulation kernel relies
+on, mirroring the campaign kernel's contract.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from .bits import as_bits
+from .bits import as_bit_rows, as_bits
 
 __all__ = ["ConvolutionalCode", "NASA_CODE", "TEST_CODE"]
 
@@ -37,10 +48,51 @@ def _taps_from_octal(octal_value: int, constraint_length: int) -> np.ndarray:
             f"but constraint length is {constraint_length}"
         )
     return np.array(
-        [(octal_value >> (constraint_length - 1 - i)) & 1
-         for i in range(constraint_length)],
+        [
+            (octal_value >> (constraint_length - 1 - i)) & 1
+            for i in range(constraint_length)
+        ],
         dtype=np.uint8,
     )
+
+
+def _branch_metrics(pred_signs: np.ndarray, llrs: np.ndarray) -> np.ndarray:
+    """Per-slot branch metrics ``0.5 * sum_j signs[..., j] * llr[..., j]``.
+
+    ``pred_signs`` has shape ``(S, 2, n_outputs)``; ``llrs`` carries the
+    step's LLRs in its last axis with any leading batch shape. The sum is
+    accumulated term by term in tap order on every path (scalar and
+    batched decode share this helper), so batching can never change a
+    metric bit.
+    """
+    lead = llrs.shape[:-1]
+    signs = pred_signs.reshape((1,) * len(lead) + pred_signs.shape)
+    acc = signs[..., 0] * llrs[..., 0][..., None, None]
+    for j in range(1, pred_signs.shape[-1]):
+        acc = acc + signs[..., j] * llrs[..., j][..., None, None]
+    return 0.5 * acc
+
+
+def _combo_metrics(llrs: np.ndarray) -> np.ndarray:
+    """Branch metrics of every ±1 sign pattern, shape ``(R, 2^n_outputs)``.
+
+    ``combos[:, c]`` is ``0.5 * sum_j s_j * llr_j`` with ``s_j = -1`` when
+    bit ``j`` of ``c`` is set. Sign flips are exact and the sum is
+    accumulated in the same tap order as :func:`_branch_metrics`, so
+    gathering from this table is bit-identical to computing the metric
+    per (state, slot).
+    """
+    n_rows, n_outputs = llrs.shape
+    combos = np.empty((n_rows, 1 << n_outputs))
+    for c in range(1 << n_outputs):
+        acc = -llrs[:, 0] if c & 1 else llrs[:, 0].copy()
+        for j in range(1, n_outputs):
+            if (c >> j) & 1:
+                acc = acc - llrs[:, j]
+            else:
+                acc = acc + llrs[:, j]
+        combos[:, c] = 0.5 * acc
+    return combos
 
 
 @dataclass(frozen=True)
@@ -111,6 +163,28 @@ class ConvolutionalCode:
         stacked = np.stack(streams, axis=1)  # (T, n_outputs)
         return stacked.reshape(-1)
 
+    def encode_rows(self, bit_rows) -> np.ndarray:
+        """Encode a batch of equal-length blocks, shape ``(R, n_coded)``.
+
+        The mod-2 convolution is evaluated as an XOR accumulation of
+        tap-shifted copies of the whole batch (one NumPy op per set tap,
+        at most ``K * n_outputs`` in total), which is exactly the zero
+        padding — and therefore the zero termination — of the scalar
+        :meth:`encode`; equality is asserted in the tests.
+        """
+        info = as_bit_rows(bit_rows)
+        if info.shape[1] == 0:
+            raise InvalidParameterError("cannot encode an empty block")
+        n_rows, n_info = info.shape
+        k = self.constraint_length
+        n_steps = n_info + k - 1
+        out = np.zeros((n_rows, n_steps, self.n_outputs), dtype=np.uint8)
+        for j, g in enumerate(self.generators):
+            taps = _taps_from_octal(g, k)
+            for position in np.flatnonzero(taps):
+                out[:, position : position + n_info, j] ^= info
+        return out.reshape(n_rows, n_steps * self.n_outputs)
+
     def _trellis(self) -> dict:
         """Build (and cache) predecessor tables for the Viterbi decoder."""
         if self._tables:
@@ -144,19 +218,31 @@ class ConvolutionalCode:
 
         # Branch metric signs: +1 for coded bit 0, -1 for coded bit 1, laid
         # out per predecessor slot of each next-state for vectorized ACS.
+        # pred_combo indexes each slot's sign pattern into the 2^n_outputs
+        # possible ±LLR combinations (bit j set ⇔ coded bit j is 1), which
+        # lets the batched decoder evaluate every distinct branch metric
+        # once per trellis step and gather, instead of recomputing it per
+        # (state, slot).
         pred_signs = np.zeros((n_states, 2, self.n_outputs))
+        pred_combo = np.zeros((n_states, 2), dtype=np.int64)
         for ns in range(n_states):
             for slot in (0, 1):
                 s, b = pred_state[ns, slot], pred_bit[ns, slot]
                 pred_signs[ns, slot] = 1.0 - 2.0 * outputs[s, b]
+                pred_combo[ns, slot] = sum(
+                    int(outputs[s, b, j]) << j for j in range(self.n_outputs)
+                )
 
-        self._tables.update({
-            "next_state": next_state,
-            "outputs": outputs,
-            "pred_state": pred_state,
-            "pred_bit": pred_bit,
-            "pred_signs": pred_signs,
-        })
+        self._tables.update(
+            {
+                "next_state": next_state,
+                "outputs": outputs,
+                "pred_state": pred_state,
+                "pred_bit": pred_bit,
+                "pred_signs": pred_signs,
+                "pred_combo": pred_combo,
+            },
+        )
         return self._tables
 
     def decode(self, llrs, n_info_bits: int) -> np.ndarray:
@@ -194,7 +280,7 @@ class ConvolutionalCode:
         backptr = np.zeros((n_steps, n_states), dtype=np.int8)
         for t in range(n_steps):
             # Candidate metric for each (next_state, predecessor slot).
-            branch = 0.5 * pred_signs @ llr_steps[t]  # (n_states, 2)
+            branch = _branch_metrics(pred_signs, llr_steps[t])  # (n_states, 2)
             cand = metrics[pred_state] + branch
             choice = np.argmax(cand, axis=1)
             metrics = cand[np.arange(n_states), choice]
@@ -208,6 +294,59 @@ class ConvolutionalCode:
             decoded[t] = pred_bit[state, slot]
             state = pred_state[state, slot]
         return decoded[:n_info_bits]
+
+    def decode_rows(self, llr_rows, n_info_bits: int) -> np.ndarray:
+        """Viterbi-decode a batch of frames in one trellis pass.
+
+        ``llr_rows`` has shape ``(R, n_coded_bits(n_info_bits))``; the
+        result is the ``(R, n_info_bits)`` batch of ML information-bit
+        sequences. The add-compare-select recursion and the traceback are
+        elementwise along the leading axis (ties break toward the same
+        predecessor slot as :meth:`decode`'s ``argmax``), so row ``r``
+        equals ``decode(llr_rows[r], n_info_bits)`` bit for bit.
+        """
+        llr_arr = np.asarray(llr_rows, dtype=float)
+        expected = self.n_coded_bits(n_info_bits)
+        if llr_arr.ndim != 2 or llr_arr.shape[1] != expected:
+            raise InvalidParameterError(
+                f"expected (rows, {expected}) LLRs for {n_info_bits} info "
+                f"bits, got shape {llr_arr.shape}"
+            )
+        tables = self._trellis()
+        pred_state = tables["pred_state"]
+        pred_combo = tables["pred_combo"]
+        pred_bit = tables["pred_bit"]
+        n_rows = llr_arr.shape[0]
+        n_states = self.n_states
+        n_steps = n_info_bits + self.constraint_length - 1
+        llr_steps = llr_arr.reshape(n_rows, n_steps, self.n_outputs)
+
+        pred0, pred1 = pred_state[:, 0], pred_state[:, 1]
+        combo0, combo1 = pred_combo[:, 0], pred_combo[:, 1]
+        metrics = np.full((n_rows, n_states), -np.inf)
+        metrics[:, 0] = 0.0
+        backptr = np.zeros((n_steps, n_rows, n_states), dtype=np.int8)
+        for t in range(n_steps):
+            # All distinct branch metrics of the step: ±1 sign flips and a
+            # left-to-right sum, i.e. exactly `_branch_metrics` evaluated
+            # once per sign pattern instead of once per (state, slot).
+            combos = _combo_metrics(llr_steps[:, t, :])
+            cand0 = metrics[:, pred0] + combos[:, combo0]
+            cand1 = metrics[:, pred1] + combos[:, combo1]
+            # argmax over the two slots keeps slot 0 on ties.
+            choice = cand1 > cand0
+            metrics = np.where(choice, cand1, cand0)
+            backptr[t] = choice
+
+        # Zero-terminated: trace every row back from state 0.
+        rows = np.arange(n_rows)
+        state = np.zeros(n_rows, dtype=np.int64)
+        decoded = np.zeros((n_rows, n_steps), dtype=np.uint8)
+        for t in range(n_steps - 1, -1, -1):
+            slot = backptr[t, rows, state]
+            decoded[:, t] = pred_bit[state, slot]
+            state = pred_state[state, slot]
+        return decoded[:, :n_info_bits]
 
     def decode_hard(self, coded_bits, n_info_bits: int) -> np.ndarray:
         """Hard-decision decoding: bits mapped to ±1 pseudo-LLRs."""

@@ -6,6 +6,10 @@ residual errors after subtracting an incorrectly decoded stronger user are
 strongly correlated. A block (or seeded random) interleaver between the
 convolutional code and the modulator whitens those residuals so the
 Viterbi decoder sees approximately independent LLRs.
+
+Both interleavers permute the *last* axis of their input, so a batch of
+frames ``(n_rounds, n)`` is (de)interleaved in a single fancy-indexing
+call — the layout of the batched link-level simulation kernel.
 """
 
 from __future__ import annotations
@@ -55,16 +59,16 @@ class BlockInterleaver:
         return read_order[read_order < n]
 
     def interleave(self, values: np.ndarray) -> np.ndarray:
-        """Permute a sequence."""
+        """Permute a sequence (the last axis of a batched array)."""
         arr = np.asarray(values)
-        return arr[self.permutation(arr.shape[0])]
+        return arr[..., self.permutation(arr.shape[-1])]
 
     def deinterleave(self, values: np.ndarray) -> np.ndarray:
         """Invert :meth:`interleave`."""
         arr = np.asarray(values)
-        perm = self.permutation(arr.shape[0])
+        perm = self.permutation(arr.shape[-1])
         out = np.empty_like(arr)
-        out[perm] = arr
+        out[..., perm] = arr
         return out
 
 
@@ -87,14 +91,14 @@ class RandomInterleaver:
         return rng.permutation(n)
 
     def interleave(self, values: np.ndarray) -> np.ndarray:
-        """Permute a sequence."""
+        """Permute a sequence (the last axis of a batched array)."""
         arr = np.asarray(values)
-        return arr[self.permutation(arr.shape[0])]
+        return arr[..., self.permutation(arr.shape[-1])]
 
     def deinterleave(self, values: np.ndarray) -> np.ndarray:
         """Invert :meth:`interleave`."""
         arr = np.asarray(values)
-        perm = self.permutation(arr.shape[0])
+        perm = self.permutation(arr.shape[-1])
         out = np.empty_like(arr)
-        out[perm] = arr
+        out[..., perm] = arr
         return out

@@ -13,6 +13,15 @@ achievability proofs::
 
 Decoding inverts the pipeline from soft channel LLRs and reports CRC
 validity alongside the payload estimate.
+
+Every stage also runs batched over a leading *frames* axis (the
+``*_rows`` methods, returning :class:`DecodedFrameBatch`): a batch of
+``n_rounds`` frames moves through CRC, encoder, interleaver, modulator
+and Viterbi decoder as one ``(n_rounds, ...)`` array per stage. Each
+stage is elementwise (or a one-trellis-pass recursion) along that axis,
+so row ``r`` of a batched result is bit-identical to the scalar pipeline
+applied to frame ``r`` — the contract the batched protocol engine and
+its per-round reference implementation are tested against.
 """
 
 from __future__ import annotations
@@ -22,13 +31,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from .bits import as_bits
+from .bits import as_bit_rows, as_bits
 from .convolutional import NASA_CODE, ConvolutionalCode
 from .crc import CRC16_CCITT, CrcCode
 from .interleaver import RandomInterleaver
 from .modulation import Bpsk
 
-__all__ = ["LinkCodec", "DecodedFrame", "default_codec"]
+__all__ = ["LinkCodec", "DecodedFrame", "DecodedFrameBatch", "default_codec"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +58,36 @@ class DecodedFrame:
     payload: np.ndarray
     frame_bits: np.ndarray
     crc_ok: bool
+
+
+@dataclass(frozen=True)
+class DecodedFrameBatch:
+    """Batched counterpart of :class:`DecodedFrame`.
+
+    Attributes
+    ----------
+    payload:
+        Estimated payload bits, shape ``(n_rounds, payload_bits)``.
+    frame_bits:
+        Estimated full frames (payload + CRC), ``(n_rounds, frame_bits)``.
+    crc_ok:
+        Per-frame CRC verdicts, boolean ``(n_rounds,)``.
+    """
+
+    payload: np.ndarray
+    frame_bits: np.ndarray
+    crc_ok: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.frame_bits.shape[0])
+
+    def frame(self, index: int) -> DecodedFrame:
+        """The scalar :class:`DecodedFrame` of one round."""
+        return DecodedFrame(
+            payload=self.payload[index],
+            frame_bits=self.frame_bits[index],
+            crc_ok=bool(self.crc_ok[index]),
+        )
 
 
 @dataclass(frozen=True)
@@ -140,8 +179,14 @@ class LinkCodec:
             crc_ok=self.crc.check(frame),
         )
 
-    def demodulate(self, received: np.ndarray, complex_gain: complex,
-                   noise_power: float, *, amplitude: float = 1.0) -> np.ndarray:
+    def demodulate(
+        self,
+        received: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
         """Soft-demodulate a received block into coded-bit LLRs."""
         y = np.asarray(received)
         if y.shape != (self.n_symbols,):
@@ -153,12 +198,85 @@ class LinkCodec:
         )
         return llrs[: self.coded_bits]
 
-    def decode(self, received: np.ndarray, complex_gain: complex,
-               noise_power: float, *, amplitude: float = 1.0) -> DecodedFrame:
+    def decode(
+        self,
+        received: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> DecodedFrame:
         """Demodulate and decode a received block in one step."""
-        llrs = self.demodulate(received, complex_gain, noise_power,
-                               amplitude=amplitude)
+        llrs = self.demodulate(received, complex_gain, noise_power, amplitude=amplitude)
         return self.decode_llrs(llrs)
+
+    def encode_frame_rows(self, frame_rows) -> np.ndarray:
+        """Encode a batch of already-CRC'd frames to symbols, ``(R, n_symbols)``."""
+        frames = as_bit_rows(frame_rows)
+        if frames.shape[1] != self.frame_bits:
+            raise InvalidParameterError(
+                f"frames must be {self.frame_bits} bits, got {frames.shape[1]}"
+            )
+        coded = self.code.encode_rows(frames)
+        interleaved = self._interleaver().interleave(coded)
+        return self.modulation.modulate_rows(interleaved)
+
+    def encode_rows(self, payload_rows) -> np.ndarray:
+        """Encode a batch of payloads into channel symbols, ``(R, n_symbols)``."""
+        rows = as_bit_rows(payload_rows)
+        if rows.shape[1] != self.payload_bits:
+            raise InvalidParameterError(
+                f"payloads must be {self.payload_bits} bits, got {rows.shape[1]}"
+            )
+        return self.encode_frame_rows(self.crc.append_rows(rows))
+
+    def demodulate_rows(
+        self,
+        received_rows: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
+        """Soft-demodulate a batch of received blocks into coded-bit LLRs."""
+        y = np.asarray(received_rows)
+        if y.ndim != 2 or y.shape[1] != self.n_symbols:
+            raise InvalidParameterError(
+                f"expected (rounds, {self.n_symbols}) symbols, got shape {y.shape}"
+            )
+        llrs = self.modulation.demodulate_llr_rows(
+            y, complex_gain, noise_power, amplitude=amplitude
+        )
+        return llrs[:, : self.coded_bits]
+
+    def decode_llr_rows(self, coded_llr_rows: np.ndarray) -> DecodedFrameBatch:
+        """Decode a batch of frames from per-coded-bit LLR rows."""
+        llrs = np.asarray(coded_llr_rows, dtype=float)
+        if llrs.ndim != 2 or llrs.shape[1] != self.coded_bits:
+            raise InvalidParameterError(
+                f"expected (rounds, {self.coded_bits}) LLRs, got shape {llrs.shape}"
+            )
+        deinterleaved = self._interleaver().deinterleave(llrs)
+        frames = self.code.decode_rows(deinterleaved, self.frame_bits)
+        return DecodedFrameBatch(
+            payload=frames[:, : -self.crc.n_bits],
+            frame_bits=frames,
+            crc_ok=self.crc.check_rows(frames),
+        )
+
+    def decode_rows(
+        self,
+        received_rows: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> DecodedFrameBatch:
+        """Demodulate and decode a batch of received blocks in one step."""
+        llrs = self.demodulate_rows(
+            received_rows, complex_gain, noise_power, amplitude=amplitude
+        )
+        return self.decode_llr_rows(llrs)
 
 
 def default_codec(payload_bits: int = 128) -> LinkCodec:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from .bits import as_bits
+from .bits import as_bit_rows, as_bits
 
 __all__ = ["Bpsk", "Qpsk", "hard_decisions", "Modulation"]
 
@@ -39,8 +39,19 @@ class Bpsk:
         arr = as_bits(bits)
         return (1.0 - 2.0 * arr.astype(float)) + 0.0j
 
-    def demodulate_llr(self, received: np.ndarray, complex_gain: complex,
-                       noise_power: float, *, amplitude: float = 1.0) -> np.ndarray:
+    def modulate_rows(self, bit_rows) -> np.ndarray:
+        """Batch of bit rows to symbols, one frame per row."""
+        arr = as_bit_rows(bit_rows)
+        return (1.0 - 2.0 * arr.astype(float)) + 0.0j
+
+    def demodulate_llr(
+        self,
+        received: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
         """Coherent LLRs: ``4 * A * Re(conj(g) y) / N0``.
 
         Parameters
@@ -55,10 +66,26 @@ class Bpsk:
             Transmit amplitude ``A = sqrt(P)`` applied at the modulator.
         """
         if noise_power <= 0:
-            raise InvalidParameterError(f"noise power must be positive, got {noise_power}")
+            raise InvalidParameterError(
+                f"noise power must be positive, got {noise_power}"
+            )
         y = np.asarray(received)
         matched = np.real(np.conj(complex_gain) * y)
         return 4.0 * amplitude * matched / noise_power
+
+    def demodulate_llr_rows(
+        self,
+        received_rows: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
+        """Coherent LLRs of a symbol batch ``(R, n)`` — elementwise, so row
+        ``r`` equals ``demodulate_llr(received_rows[r], ...)`` bit for bit."""
+        return self.demodulate_llr(
+            received_rows, complex_gain, noise_power, amplitude=amplitude
+        )
 
     def symbols_for_bits(self, n_bits: int) -> int:
         """Number of channel symbols needed for ``n_bits`` coded bits."""
@@ -84,11 +111,32 @@ class Qpsk:
         scale = 1.0 / math.sqrt(2.0)
         return scale * ((1.0 - 2.0 * pairs[:, 0]) + 1j * (1.0 - 2.0 * pairs[:, 1]))
 
-    def demodulate_llr(self, received: np.ndarray, complex_gain: complex,
-                       noise_power: float, *, amplitude: float = 1.0) -> np.ndarray:
+    def modulate_rows(self, bit_rows) -> np.ndarray:
+        """Batch of bit rows to QPSK symbols, one frame per row."""
+        arr = as_bit_rows(bit_rows)
+        if arr.shape[1] % 2 != 0:
+            raise InvalidParameterError(
+                f"QPSK needs an even number of bits, got {arr.shape[1]}"
+            )
+        pairs = arr.reshape(arr.shape[0], -1, 2).astype(float)
+        scale = 1.0 / math.sqrt(2.0)
+        return scale * (
+            (1.0 - 2.0 * pairs[:, :, 0]) + 1j * (1.0 - 2.0 * pairs[:, :, 1])
+        )
+
+    def demodulate_llr(
+        self,
+        received: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
         """Per-bit coherent LLRs, interleaved ``[I0, Q0, I1, Q1, ...]``."""
         if noise_power <= 0:
-            raise InvalidParameterError(f"noise power must be positive, got {noise_power}")
+            raise InvalidParameterError(
+                f"noise power must be positive, got {noise_power}"
+            )
         y = np.asarray(received)
         rotated = np.conj(complex_gain) * y
         scale = 4.0 * amplitude / (noise_power * math.sqrt(2.0))
@@ -97,6 +145,27 @@ class Qpsk:
         out = np.empty(2 * y.size)
         out[0::2] = llr_i
         out[1::2] = llr_q
+        return out
+
+    def demodulate_llr_rows(
+        self,
+        received_rows: np.ndarray,
+        complex_gain: complex,
+        noise_power: float,
+        *,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
+        """Per-bit LLRs of a symbol batch ``(R, n)``, shape ``(R, 2n)``."""
+        if noise_power <= 0:
+            raise InvalidParameterError(
+                f"noise power must be positive, got {noise_power}"
+            )
+        y = np.asarray(received_rows)
+        rotated = np.conj(complex_gain) * y
+        scale = 4.0 * amplitude / (noise_power * math.sqrt(2.0))
+        out = np.empty((y.shape[0], 2 * y.shape[1]))
+        out[:, 0::2] = scale * np.real(rotated)
+        out[:, 1::2] = scale * np.imag(rotated)
         return out
 
     def symbols_for_bits(self, n_bits: int) -> int:

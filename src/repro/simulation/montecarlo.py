@@ -5,11 +5,28 @@ Two complementary estimators live here:
 * :func:`simulate_protocol` — run the *operational* link-level system
   (:mod:`repro.simulation.engine`) for many rounds on a fixed channel and
   report FER/BER/goodput. This is the "does a real DF system behave like
-  the bounds say" check.
+  the bounds say" check. Rounds execute through the frames-axis-batched
+  :class:`~repro.simulation.engine.BatchedProtocolEngine` by default;
+  ``method="reference"`` runs the per-round
+  :class:`~repro.simulation.engine.ProtocolEngine` loop instead, which
+  is provably — and benchmark-asserted — field-for-field identical.
 * :func:`ergodic_sum_rate` / :func:`outage_probability` — evaluate the
   *analytic* LP-optimal sum rates over a quasi-static fading ensemble
   (Section IV's channel model), producing ergodic averages and outage
   curves for every protocol.
+
+Reproducibility policy of :func:`simulate_protocol` (the fix for the
+historical payload/noise RNG coupling that blocked batching): the
+caller's ``rng`` is never drawn from directly. It spawns two independent
+child streams — payloads first, noise second. All payloads come from one
+contiguous ``(n_rounds, 2, payload_bits)`` integer draw (direction ``a``
+before ``b`` within each round); the noise stream then spawns one child
+per protocol phase, consumed as described in
+:mod:`repro.simulation.engine`. Since every draw site fills its array
+sequentially in C order, the report is a pure function of ``(protocol,
+gains, power, n_rounds, rng state, codec)`` — independent of
+``batch_size``, chunking, or whether the batched or the per-round path
+ran.
 
 The analytic estimators route through the :mod:`repro.api` facade
 (:func:`repro.api.evaluate_realizations`): the ensemble is drawn here
@@ -20,6 +37,12 @@ one-LP-per-draw loop and bit-for-bit identical to the serial executor.
 :func:`ergodic_sum_rate` is kept as a deprecation shim over
 :func:`fading_sum_rate_statistics`; scenario-first callers should
 evaluate a fading scenario through :func:`repro.api.evaluate` instead.
+
+:func:`batched_link_goodput` adapts the link-level simulator to the
+campaign engine's unit-batch contract: one cell = one independently
+seeded :func:`simulate_protocol` campaign, so operational-goodput grids
+inherit executors, chunk checkpointing, sharding and the
+content-addressed cache unchanged.
 """
 
 from __future__ import annotations
@@ -34,19 +57,26 @@ from ..channels.gains import LinkGains
 from ..channels.halfduplex import HalfDuplexMedium
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
-from .bits import random_bits
-from .engine import ProtocolEngine
+from .engine import BatchedProtocolEngine, ProtocolEngine, spawn_phase_streams
 from .linkcodec import LinkCodec, default_codec
 from .metrics import LinkCounter, ThroughputReport
 
 __all__ = [
     "SimulationReport",
     "simulate_protocol",
+    "batched_link_goodput",
+    "DEFAULT_ROUND_BATCH",
     "FadingStatistics",
     "fading_sum_rate_statistics",
     "ergodic_sum_rate",
     "outage_probability",
 ]
+
+#: Default number of rounds per batched-engine call: large enough to
+#: amortize the per-call trellis setup, small enough to keep the decoder's
+#: ``(rounds, states)`` working set cache-friendly. Results never depend
+#: on this value (see the module docstring).
+DEFAULT_ROUND_BATCH = 512
 
 
 @dataclass(frozen=True)
@@ -81,47 +111,26 @@ class SimulationReport:
         return self.throughput.sum_throughput
 
 
-def simulate_protocol(protocol: Protocol, gains: LinkGains, power: float,
-                      n_rounds: int, rng: np.random.Generator, *,
-                      codec: LinkCodec | None = None) -> SimulationReport:
-    """Run ``n_rounds`` of the protocol and aggregate statistics.
-
-    Parameters
-    ----------
-    protocol:
-        One of DT / MABC / TDBC / HBC.
-    gains:
-        Fixed (quasi-static) link gains for the whole campaign.
-    power:
-        Per-node transmit power (linear).
-    n_rounds:
-        Campaign length.
-    rng:
-        Source of all randomness (payloads and noise).
-    codec:
-        Frame pipeline; defaults to :func:`default_codec` (128-bit
-        payloads, CRC-16, NASA K=7 code, BPSK).
-    """
-    if n_rounds < 1:
-        raise InvalidParameterError(f"need at least one round, got {n_rounds}")
-    codec = codec or default_codec()
-    medium = HalfDuplexMedium(gains=gains)
-    engine = ProtocolEngine(medium=medium, codec=codec, power=power)
-
+def _simulate_reference(
+    protocol, engine: ProtocolEngine, payloads, phase_streams
+) -> SimulationReport:
+    """Per-round reference loop: scalar engine, one record per round."""
     a_to_b = LinkCounter()
     b_to_a = LinkCounter()
     throughput = ThroughputReport()
     relay_failures = 0
-    for _ in range(n_rounds):
-        wa = random_bits(rng, codec.payload_bits)
-        wb = random_bits(rng, codec.payload_bits)
-        result = engine.run_round(protocol, wa, wb, rng)
-        a_to_b.record(success=result.success_a_to_b,
-                      n_bits=result.payload_bits,
-                      n_bit_errors=result.bit_errors_a_to_b)
-        b_to_a.record(success=result.success_b_to_a,
-                      n_bits=result.payload_bits,
-                      n_bit_errors=result.bit_errors_b_to_a)
+    for wa, wb in payloads:
+        result = engine.run_round(protocol, wa, wb, phase_streams=phase_streams)
+        a_to_b.record(
+            success=result.success_a_to_b,
+            n_bits=result.payload_bits,
+            n_bit_errors=result.bit_errors_a_to_b,
+        )
+        b_to_a.record(
+            success=result.success_b_to_a,
+            n_bits=result.payload_bits,
+            n_bit_errors=result.bit_errors_b_to_a,
+        )
         throughput.add_symbols(result.n_symbols)
         if result.success_a_to_b:
             throughput.record("a->b", delivered_bits=result.payload_bits)
@@ -131,12 +140,169 @@ def simulate_protocol(protocol: Protocol, gains: LinkGains, power: float,
             relay_failures += 1
     return SimulationReport(
         protocol=protocol,
+        n_rounds=payloads.shape[0],
+        a_to_b=a_to_b,
+        b_to_a=b_to_a,
+        throughput=throughput,
+        relay_failures=relay_failures,
+    )
+
+
+def _simulate_batched(
+    protocol, engine: BatchedProtocolEngine, payloads, phase_streams, batch_size: int
+) -> SimulationReport:
+    """Batched loop: chunks of rounds through the vectorized engine."""
+    n_rounds = payloads.shape[0]
+    a_to_b = LinkCounter()
+    b_to_a = LinkCounter()
+    throughput = ThroughputReport()
+    relay_failures = 0
+    for start in range(0, n_rounds, batch_size):
+        chunk = payloads[start : start + batch_size]
+        batch = engine.run_rounds(
+            protocol, chunk[:, 0], chunk[:, 1], phase_streams=phase_streams
+        )
+        a_to_b.record_rows(
+            success=batch.success_a_to_b,
+            n_bits=batch.payload_bits,
+            n_bit_errors=batch.bit_errors_a_to_b,
+        )
+        b_to_a.record_rows(
+            success=batch.success_b_to_a,
+            n_bits=batch.payload_bits,
+            n_bit_errors=batch.bit_errors_b_to_a,
+        )
+        throughput.add_symbols(len(batch) * batch.n_symbols)
+        throughput.record_rows(
+            "a->b",
+            delivered_bits_per_frame=batch.payload_bits,
+            successes=batch.success_a_to_b,
+        )
+        throughput.record_rows(
+            "b->a",
+            delivered_bits_per_frame=batch.payload_bits,
+            successes=batch.success_b_to_a,
+        )
+        if batch.relay_ok is not None:
+            relay_failures += int((~batch.relay_ok).sum())
+    return SimulationReport(
+        protocol=protocol,
         n_rounds=n_rounds,
         a_to_b=a_to_b,
         b_to_a=b_to_a,
         throughput=throughput,
         relay_failures=relay_failures,
     )
+
+
+def simulate_protocol(
+    protocol: Protocol,
+    gains: LinkGains,
+    power: float,
+    n_rounds: int,
+    rng: np.random.Generator,
+    *,
+    codec: LinkCodec | None = None,
+    method: str = "batched",
+    batch_size: int | None = None,
+) -> SimulationReport:
+    """Run ``n_rounds`` of the protocol and aggregate statistics.
+
+    Parameters
+    ----------
+    protocol:
+        One of DT / MABC / TDBC / HBC (plus the NAIVE4 baseline).
+    gains:
+        Fixed (quasi-static) link gains for the whole campaign.
+    power:
+        Per-node transmit power (linear).
+    n_rounds:
+        Campaign length.
+    rng:
+        Root of all randomness. Spawned into independent payload and
+        noise streams per the module-level reproducibility policy, so a
+        given generator state always yields the same report regardless of
+        execution method or batch size.
+    codec:
+        Frame pipeline; defaults to :func:`default_codec` (128-bit
+        payloads, CRC-16, NASA K=7 code, BPSK).
+    method:
+        ``"batched"`` (default) runs the frames-axis-vectorized engine;
+        ``"reference"`` runs the per-round scalar loop. Both produce the
+        identical :class:`SimulationReport`.
+    batch_size:
+        Rounds per batched-engine call (default
+        :data:`DEFAULT_ROUND_BATCH`); results are independent of it.
+    """
+    if n_rounds < 1:
+        raise InvalidParameterError(f"need at least one round, got {n_rounds}")
+    if method not in ("batched", "reference"):
+        raise InvalidParameterError(
+            f"method must be 'batched' or 'reference', got {method!r}"
+        )
+    if batch_size is not None and batch_size < 1:
+        raise InvalidParameterError(f"batch size must be positive, got {batch_size}")
+    codec = codec or default_codec()
+    payload_rng, noise_rng = rng.spawn(2)
+    payloads = payload_rng.integers(
+        0, 2, size=(n_rounds, 2, codec.payload_bits), dtype=np.uint8
+    )
+    phase_streams = spawn_phase_streams(protocol, noise_rng)
+    medium = HalfDuplexMedium(gains=gains)
+    if method == "reference":
+        engine = ProtocolEngine(medium=medium, codec=codec, power=power)
+        return _simulate_reference(protocol, engine, payloads, phase_streams)
+    engine = BatchedProtocolEngine(medium=medium, codec=codec, power=power)
+    return _simulate_batched(
+        protocol, engine, payloads, phase_streams, batch_size or DEFAULT_ROUND_BATCH
+    )
+
+
+def batched_link_goodput(
+    protocol: Protocol,
+    gab,
+    gar,
+    gbr,
+    power,
+    *,
+    n_rounds: int,
+    seed: int,
+    indices,
+    codec: LinkCodec | None = None,
+) -> np.ndarray:
+    """Operational sum goodput of a batch of campaign grid cells.
+
+    The campaign-kernel adapter for the ``operational_goodput`` objective:
+    cell ``i`` runs a :func:`simulate_protocol` campaign of ``n_rounds``
+    rounds on channel ``(gab[i], gar[i], gbr[i])`` at ``power[i]`` and
+    reports its total goodput in bits/symbol. Each cell's generator is
+    seeded from ``(seed, flat unit index)``, so a cell's value depends
+    only on the spec — never on executor choice, chunking or sharding —
+    which is what makes serial, multiprocessing and vectorized campaign
+    execution (and shard + gather) bitwise interchangeable for
+    operational grids.
+    """
+    gab = np.asarray(gab, dtype=float)
+    gar = np.asarray(gar, dtype=float)
+    gbr = np.asarray(gbr, dtype=float)
+    power = np.asarray(power, dtype=float)
+    indices = np.asarray(indices)
+    if not (gab.shape == gar.shape == gbr.shape == power.shape == indices.shape):
+        raise InvalidParameterError("mismatched cell-batch shapes")
+    codec = codec or default_codec()
+    values = np.empty(gab.shape[0])
+    for i in range(gab.shape[0]):
+        cell_rng = np.random.default_rng([int(seed), int(indices[i])])
+        report = simulate_protocol(
+            protocol,
+            LinkGains(gab[i], gar[i], gbr[i]),
+            power[i],
+            n_rounds,
+            cell_rng,
+            codec=codec,
+        )
+        values[i] = report.sum_goodput
+    return values
 
 
 @dataclass(frozen=True)
@@ -164,12 +330,18 @@ class FadingStatistics:
         return float(np.quantile(self.samples, q))
 
 
-def fading_sum_rate_statistics(protocol: Protocol, mean_gains: LinkGains,
-                               power: float, n_draws: int,
-                               rng: np.random.Generator, *,
-                               k_factor: float = 0.0,
-                               executor=None, cache=None,
-                               progress=None) -> FadingStatistics:
+def fading_sum_rate_statistics(
+    protocol: Protocol,
+    mean_gains: LinkGains,
+    power: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+    executor=None,
+    cache=None,
+    progress=None,
+) -> FadingStatistics:
     """Ensemble-average LP-optimal sum rate under quasi-static fading.
 
     Each realization draws reciprocal Rayleigh/Rician gains around the
@@ -188,8 +360,9 @@ def fading_sum_rate_statistics(protocol: Protocol, mean_gains: LinkGains,
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
     ensemble = sample_gain_ensemble(mean_gains, n_draws, rng, k_factor=k_factor)
-    values = evaluate_realizations(protocol, ensemble, power, executor=executor,
-                                   cache=cache, progress=progress)
+    values = evaluate_realizations(
+        protocol, ensemble, power, executor=executor, cache=cache, progress=progress
+    )
     return FadingStatistics(
         mean=float(values.mean()),
         std_error=float(values.std(ddof=1) / np.sqrt(n_draws)) if n_draws > 1 else 0.0,
@@ -197,11 +370,18 @@ def fading_sum_rate_statistics(protocol: Protocol, mean_gains: LinkGains,
     )
 
 
-def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
-                     n_draws: int, rng: np.random.Generator, *,
-                     k_factor: float = 0.0,
-                     executor=None, cache=None,
-                     progress=None) -> FadingStatistics:
+def ergodic_sum_rate(
+    protocol: Protocol,
+    mean_gains: LinkGains,
+    power: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+    executor=None,
+    cache=None,
+    progress=None,
+) -> FadingStatistics:
     """Deprecated alias of :func:`fading_sum_rate_statistics`.
 
     .. deprecated::
@@ -215,17 +395,31 @@ def ergodic_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
         DeprecationWarning,
         stacklevel=2,
     )
-    return fading_sum_rate_statistics(protocol, mean_gains, power, n_draws,
-                                      rng, k_factor=k_factor,
-                                      executor=executor, cache=cache,
-                                      progress=progress)
+    return fading_sum_rate_statistics(
+        protocol,
+        mean_gains,
+        power,
+        n_draws,
+        rng,
+        k_factor=k_factor,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+    )
 
 
-def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
-                       target_sum_rate: float, n_draws: int,
-                       rng: np.random.Generator, *,
-                       k_factor: float = 0.0, executor=None,
-                       cache=None) -> float:
+def outage_probability(
+    protocol: Protocol,
+    mean_gains: LinkGains,
+    power: float,
+    target_sum_rate: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+    executor=None,
+    cache=None,
+) -> float:
     """Probability that the optimal sum rate falls below a target.
 
     The quasi-static outage formulation: the channel is constant per
@@ -236,7 +430,14 @@ def outage_probability(protocol: Protocol, mean_gains: LinkGains, power: float,
         raise InvalidParameterError(
             f"target sum rate must be non-negative, got {target_sum_rate}"
         )
-    stats = fading_sum_rate_statistics(protocol, mean_gains, power, n_draws,
-                                       rng, k_factor=k_factor,
-                                       executor=executor, cache=cache)
+    stats = fading_sum_rate_statistics(
+        protocol,
+        mean_gains,
+        power,
+        n_draws,
+        rng,
+        k_factor=k_factor,
+        executor=executor,
+        cache=cache,
+    )
     return float(np.mean(stats.samples < target_sum_rate))

@@ -33,8 +33,9 @@ from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from ..optimize.linprog import DEFAULT_BACKEND
 
-__all__ = ["OutageCurve", "sample_outage_curve", "compute_outage_curve",
-           "outage_sum_rate"]
+__all__ = [
+    "OutageCurve", "sample_outage_curve", "compute_outage_curve", "outage_sum_rate"
+]
 
 
 @dataclass(frozen=True)
@@ -72,11 +73,18 @@ class OutageCurve:
         return float(np.mean(self.samples < target))
 
 
-def sample_outage_curve(protocol: Protocol, mean_gains: LinkGains,
-                        power: float, n_draws: int,
-                        rng: np.random.Generator, *, k_factor: float = 0.0,
-                        backend: str = DEFAULT_BACKEND,
-                        executor="vectorized", cache=None) -> OutageCurve:
+def sample_outage_curve(
+    protocol: Protocol,
+    mean_gains: LinkGains,
+    power: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+) -> OutageCurve:
     """Sample the per-fade optimal sum rate distribution of a protocol.
 
     ``executor`` selects a campaign executor (name or instance); passing
@@ -89,30 +97,39 @@ def sample_outage_curve(protocol: Protocol, mean_gains: LinkGains,
     """
     if n_draws < 1:
         raise InvalidParameterError(f"need at least one draw, got {n_draws}")
-    ensemble = sample_gain_ensemble(mean_gains, n_draws, rng,
-                                    k_factor=k_factor)
+    ensemble = sample_gain_ensemble(mean_gains, n_draws, rng, k_factor=k_factor)
     if backend != DEFAULT_BACKEND:
         executor = None
     if executor is None:
         values = [
-            optimal_sum_rate(protocol,
-                             GaussianChannel(gains=draw, power=power),
-                             backend=backend).sum_rate
+            optimal_sum_rate(
+                protocol,
+                GaussianChannel(gains=draw, power=power),
+                backend=backend,
+            ).sum_rate
             for draw in ensemble
         ]
     else:
         from ..api import evaluate_realizations
 
-        values = evaluate_realizations(protocol, ensemble, power,
-                                       executor=executor, cache=cache)
+        values = evaluate_realizations(
+            protocol, ensemble, power, executor=executor, cache=cache
+        )
     return OutageCurve(protocol=protocol, samples=np.sort(values))
 
 
-def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
-                         power: float, n_draws: int,
-                         rng: np.random.Generator, *, k_factor: float = 0.0,
-                         backend: str = DEFAULT_BACKEND,
-                         executor="vectorized", cache=None) -> OutageCurve:
+def compute_outage_curve(
+    protocol: Protocol,
+    mean_gains: LinkGains,
+    power: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+) -> OutageCurve:
     """Deprecated alias of :func:`sample_outage_curve`.
 
     .. deprecated::
@@ -126,18 +143,42 @@ def compute_outage_curve(protocol: Protocol, mean_gains: LinkGains,
         DeprecationWarning,
         stacklevel=2,
     )
-    return sample_outage_curve(protocol, mean_gains, power, n_draws, rng,
-                               k_factor=k_factor, backend=backend,
-                               executor=executor, cache=cache)
+    return sample_outage_curve(
+        protocol,
+        mean_gains,
+        power,
+        n_draws,
+        rng,
+        k_factor=k_factor,
+        backend=backend,
+        executor=executor,
+        cache=cache,
+    )
 
 
-def outage_sum_rate(protocol: Protocol, mean_gains: LinkGains, power: float,
-                    epsilon: float, n_draws: int,
-                    rng: np.random.Generator, *, k_factor: float = 0.0,
-                    backend: str = DEFAULT_BACKEND,
-                    executor="vectorized", cache=None) -> float:
+def outage_sum_rate(
+    protocol: Protocol,
+    mean_gains: LinkGains,
+    power: float,
+    epsilon: float,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+    backend: str = DEFAULT_BACKEND,
+    executor="vectorized",
+    cache=None,
+) -> float:
     """The ε-outage sum rate of one protocol (see :class:`OutageCurve`)."""
-    curve = sample_outage_curve(protocol, mean_gains, power, n_draws, rng,
-                                k_factor=k_factor, backend=backend,
-                                executor=executor, cache=cache)
+    curve = sample_outage_curve(
+        protocol,
+        mean_gains,
+        power,
+        n_draws,
+        rng,
+        k_factor=k_factor,
+        backend=backend,
+        executor=executor,
+        cache=cache,
+    )
     return curve.rate_at_outage(epsilon)

@@ -49,14 +49,14 @@ class RandomBinaryCodebook:
 
     codewords: np.ndarray
 
-    def __init__(self, n_messages: int, block_length: int,
-                 rng: np.random.Generator) -> None:
+    def __init__(
+        self, n_messages: int, block_length: int, rng: np.random.Generator
+    ) -> None:
         if n_messages < 1:
             raise InvalidParameterError(f"need >= 1 message, got {n_messages}")
         if block_length < 1:
             raise InvalidParameterError(f"need >= 1 symbol, got {block_length}")
-        words = rng.integers(0, 2, size=(n_messages, block_length),
-                             dtype=np.uint8)
+        words = rng.integers(0, 2, size=(n_messages, block_length), dtype=np.uint8)
         object.__setattr__(self, "codewords", words)
 
     @property
@@ -111,9 +111,9 @@ class MabcRandomCodingReport:
         return max(self.error_rate_a_to_b, self.error_rate_b_to_a)
 
 
-def mabc_rate_pair_feasible(channel: BinaryRelayChannel, n_mac: int,
-                            n_broadcast: int, bits_a: int,
-                            bits_b: int) -> bool:
+def mabc_rate_pair_feasible(
+    channel: BinaryRelayChannel, n_mac: int, n_broadcast: int, bits_a: int, bits_b: int
+) -> bool:
     """Whether ``(bits_a, bits_b)`` lies inside the Theorem-2 region.
 
     Evaluates the MABC constraints on the binary channel with the given
@@ -138,10 +138,16 @@ def _bsc_noise(rng: np.random.Generator, p: float, n: int) -> np.ndarray:
     return (rng.random(n) < p).astype(np.uint8)
 
 
-def simulate_mabc_random_coding(channel: BinaryRelayChannel, *, n_mac: int,
-                                n_broadcast: int, bits_a: int, bits_b: int,
-                                n_trials: int,
-                                rng: np.random.Generator) -> MabcRandomCodingReport:
+def simulate_mabc_random_coding(
+    channel: BinaryRelayChannel,
+    *,
+    n_mac: int,
+    n_broadcast: int,
+    bits_a: int,
+    bits_b: int,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> MabcRandomCodingReport:
     """Run the Theorem-2 construction end to end ``n_trials`` times.
 
     Each trial draws fresh codebooks (the random-coding ensemble average),
@@ -185,13 +191,13 @@ def simulate_mabc_random_coding(channel: BinaryRelayChannel, *, n_mac: int,
         w_b = int(rng.integers(size_b))
 
         # Phase 1: XOR MAC into the relay; ML decoding over message pairs.
-        y_r = (book_a.codeword(w_a) ^ book_b.codeword(w_b)
-               ^ _bsc_noise(rng, p_mac, n_mac))
-        xor_words = np.bitwise_xor(book_a.codewords[:, None, :],
-                                   book_b.codewords[None, :, :])
-        distances = np.bitwise_xor(
-            xor_words, y_r[None, None, :]
-        ).sum(axis=2)
+        y_r = (
+            book_a.codeword(w_a) ^ book_b.codeword(w_b) ^ _bsc_noise(rng, p_mac, n_mac)
+        )
+        xor_words = np.bitwise_xor(
+            book_a.codewords[:, None, :], book_b.codewords[None, :, :]
+        )
+        distances = np.bitwise_xor(xor_words, y_r[None, None, :]).sum(axis=2)
         flat = int(np.argmin(distances))
         w_a_hat, w_b_hat = divmod(flat, size_b)
         relay_ok = (w_a_hat == w_a and w_b_hat == w_b)

@@ -21,9 +21,16 @@ import numpy as np
 
 from .bits import xor_bits
 from .crc import CrcCode
-from .linkcodec import DecodedFrame, LinkCodec
+from .linkcodec import DecodedFrame, DecodedFrameBatch, LinkCodec
 
-__all__ = ["DecodePath", "PartnerEstimate", "resolve_via_relay", "arbitrate_paths"]
+__all__ = [
+    "DecodePath",
+    "PartnerEstimate",
+    "PartnerEstimateRows",
+    "resolve_via_relay",
+    "arbitrate_paths",
+    "arbitrate_paths_rows",
+]
 
 
 class DecodePath(enum.Enum):
@@ -53,8 +60,9 @@ class PartnerEstimate:
     path: DecodePath
 
 
-def resolve_via_relay(relay_frame: DecodedFrame, own_frame_bits: np.ndarray,
-                      crc: CrcCode) -> PartnerEstimate:
+def resolve_via_relay(
+    relay_frame: DecodedFrame, own_frame_bits: np.ndarray, crc: CrcCode
+) -> PartnerEstimate:
     """Recover the partner's frame from the relay's XOR broadcast.
 
     ``partner = relay_estimate ⊕ own`` (both CRC-protected frames); the
@@ -70,9 +78,13 @@ def resolve_via_relay(relay_frame: DecodedFrame, own_frame_bits: np.ndarray,
     )
 
 
-def arbitrate_paths(codec: LinkCodec, *, relay_frame: DecodedFrame | None,
-                    own_frame_bits: np.ndarray,
-                    direct_frame: DecodedFrame | None) -> PartnerEstimate:
+def arbitrate_paths(
+    codec: LinkCodec,
+    *,
+    relay_frame: DecodedFrame | None,
+    own_frame_bits: np.ndarray,
+    direct_frame: DecodedFrame | None,
+) -> PartnerEstimate:
     """Combine relay-path and direct-path evidence into one estimate.
 
     Preference order:
@@ -106,4 +118,61 @@ def arbitrate_paths(codec: LinkCodec, *, relay_frame: DecodedFrame | None,
         payload=np.zeros(codec.payload_bits, dtype=np.uint8),
         crc_ok=False,
         path=DecodePath.FAILED,
+    )
+
+
+@dataclass(frozen=True)
+class PartnerEstimateRows:
+    """Batched partner estimates: one :class:`PartnerEstimate` per round.
+
+    Attributes
+    ----------
+    payload:
+        Accepted partner payload bits, shape ``(n_rounds, payload_bits)``.
+    crc_ok:
+        Whether each round's accepted estimate passed its CRC, ``(n_rounds,)``.
+    """
+
+    payload: np.ndarray
+    crc_ok: np.ndarray
+
+
+def arbitrate_paths_rows(
+    codec: LinkCodec,
+    *,
+    relay_frames: DecodedFrameBatch | None,
+    own_frame_rows: np.ndarray,
+    direct_frames: DecodedFrameBatch | None,
+) -> PartnerEstimateRows:
+    """Batched :func:`arbitrate_paths` over a rounds axis.
+
+    Applies the same preference order per round: a CRC-verified relay
+    resolution wins, then a CRC-verified direct estimate, and otherwise
+    the relay-path estimate is kept but flagged failed (or the direct one
+    when no relay evidence exists). Pure row-wise selection between the
+    two candidate payload batches, so row ``r`` equals the scalar
+    arbitration of round ``r``.
+    """
+    crc = codec.crc
+    relay_payload = None
+    relay_ok = None
+    if relay_frames is not None:
+        partner_rows = np.bitwise_xor(relay_frames.frame_bits, own_frame_rows)
+        relay_ok = relay_frames.crc_ok & crc.check_rows(partner_rows)
+        relay_payload = partner_rows[:, : -crc.n_bits]
+        if direct_frames is None:
+            return PartnerEstimateRows(payload=relay_payload, crc_ok=relay_ok)
+        use_direct = ~relay_ok & direct_frames.crc_ok
+        payload = np.where(use_direct[:, None], direct_frames.payload, relay_payload)
+        return PartnerEstimateRows(
+            payload=payload, crc_ok=relay_ok | direct_frames.crc_ok
+        )
+    if direct_frames is not None:
+        return PartnerEstimateRows(
+            payload=direct_frames.payload, crc_ok=direct_frames.crc_ok.copy()
+        )
+    n_rounds = int(np.asarray(own_frame_rows).shape[0])
+    return PartnerEstimateRows(
+        payload=np.zeros((n_rounds, codec.payload_bits), dtype=np.uint8),
+        crc_ok=np.zeros(n_rounds, dtype=bool),
     )

@@ -1,0 +1,174 @@
+"""The operational-goodput objective through the full campaign machinery.
+
+Acceptance criteria of the batched-link PR live here: an operational
+scenario must evaluate through ``repro.api.evaluate`` bitwise-identically
+across all three executors, and a sharded evaluation gathered from a
+shared cache must equal the unsharded run byte for byte.
+"""
+
+import pytest
+
+from repro.api import evaluate, gather
+from repro.campaign.cache import CampaignCache
+from repro.campaign.spec import CampaignSpec, LinkSimSpec
+from repro.channels.gains import LinkGains
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+from repro.scenarios import PowerPolicy, Scenario, Topology, list_scenarios
+
+
+@pytest.fixture(scope="module")
+def operational_scenario():
+    """A small operational grid: 2 protocols x 2 powers x 2 geometries."""
+    return Scenario(
+        name="operational-test",
+        description="operational acceptance grid",
+        protocols=(Protocol.MABC, Protocol.TDBC),
+        topology=Topology(
+            gains=(
+                LinkGains.from_db(-7.0, 0.0, 5.0),
+                LinkGains.from_db(-3.0, 3.0, 3.0),
+            ),
+        ),
+        power=PowerPolicy(powers_db=(0.0, 12.0)),
+        objective="operational_goodput",
+        link=LinkSimSpec(n_rounds=6, payload_bits=24, seed=5, code="test",
+                         crc="crc8"),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(operational_scenario):
+    return evaluate(operational_scenario, executor="serial")
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("executor", ["process", "vectorized"])
+    def test_operational_executors_bitwise_identical(
+        self, operational_scenario, reference, executor
+    ):
+        result = evaluate(operational_scenario, executor=executor)
+        assert result.values.tobytes() == reference.values.tobytes()
+
+    def test_values_are_goodputs(self, reference):
+        assert reference.values.shape == (2, 2, 2, 1)
+        assert (reference.values >= 0.0).all()
+        # At 12 dB the test codec decodes cleanly; at 0 dB it mostly
+        # fails — the grid spans the operational waterfall.
+        assert reference.values[:, 1].max() > reference.values[:, 0].min()
+
+    def test_objective_values_unreduced(self, reference):
+        assert reference.objective_values().shape == reference.values.shape
+
+
+class TestShardGatherEquivalence:
+    def test_sharded_gather_bitwise_identical_to_unsharded(
+        self, operational_scenario, reference, tmp_path
+    ):
+        cache = CampaignCache(tmp_path)
+        for index in range(3):
+            shard_run = evaluate(
+                operational_scenario,
+                shard=(index, 3),
+                cache=cache,
+                chunk_size=2,
+            )
+            assert shard_run.campaign.shard is not None
+        gathered = gather(operational_scenario, cache)
+        assert gathered.values.tobytes() == reference.values.tobytes()
+        cached = evaluate(operational_scenario, cache=cache)
+        assert cached.from_cache
+        assert cached.values.tobytes() == reference.values.tobytes()
+
+
+class TestSpecIntegration:
+    def test_registered_builtin_scenario(self):
+        assert "operational-goodput" in list_scenarios()
+
+    def test_link_spec_serialization_round_trip(self, operational_scenario):
+        spec = operational_scenario.to_campaign_spec()
+        restored = CampaignSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_link_changes_move_the_cache_key(self, operational_scenario):
+        spec = operational_scenario.to_campaign_spec()
+        other = Scenario(
+            name=operational_scenario.name,
+            description=operational_scenario.description,
+            protocols=operational_scenario.protocols,
+            topology=operational_scenario.topology,
+            power=operational_scenario.power,
+            objective="operational_goodput",
+            link=LinkSimSpec(n_rounds=7, payload_bits=24, seed=5,
+                             code="test", crc="crc8"),
+        ).to_campaign_spec()
+        assert other.spec_hash() != spec.spec_hash()
+
+    def test_analytic_spec_hash_unchanged_by_link_field(self):
+        # A spec without link must serialize without the key at all, so
+        # classic analytic hashes (and cache entries) are untouched.
+        spec = CampaignSpec(
+            protocols=(Protocol.MABC,),
+            powers_db=(10.0,),
+            gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+        )
+        assert "link" not in spec.to_dict()
+
+    def test_scenario_round_trips_through_campaign_spec(
+        self, operational_scenario
+    ):
+        spec = operational_scenario.to_campaign_spec()
+        restored = Scenario.from_campaign_spec(spec, name="restored")
+        assert restored.objective == "operational_goodput"
+        assert restored.link == operational_scenario.link
+        assert restored.to_campaign_spec().spec_hash() == spec.spec_hash()
+
+
+class TestValidation:
+    def test_objective_and_link_must_agree(self):
+        topology = Topology(gains=(LinkGains.from_db(-7.0, 0.0, 5.0),))
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                name="bad",
+                description="objective without link",
+                protocols=(Protocol.DT,),
+                topology=topology,
+                objective="operational_goodput",
+            )
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                name="bad",
+                description="link without objective",
+                protocols=(Protocol.DT,),
+                topology=topology,
+                link=LinkSimSpec(n_rounds=2),
+            )
+
+    def test_link_spec_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=0)
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=1, payload_bits=0)
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=1, code="turbo")
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=1, crc="crc64")
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=1, modulation="qam")
+
+    def test_link_spec_codec_construction(self):
+        codec = LinkSimSpec(n_rounds=1, payload_bits=16, code="test",
+                            crc="crc8", modulation="qpsk").codec()
+        assert codec.payload_bits == 16
+        assert codec.crc.n_bits == 8
+        assert codec.modulation.bits_per_symbol == 2
+
+    def test_non_link_spec_rejects_bad_type(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(
+                protocols=(Protocol.DT,),
+                powers_db=(10.0,),
+                gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+                link="not-a-spec",
+            )

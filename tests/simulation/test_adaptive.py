@@ -14,31 +14,39 @@ from repro.simulation.adaptive import (
 
 class TestAdaptiveSumRate:
     def test_adaptive_dominates_fixed(self, paper_gains):
-        report = adaptive_sum_rate(paper_gains, power=10.0, n_draws=50,
-                                   rng=np.random.default_rng(1))
+        report = adaptive_sum_rate(
+            paper_gains, power=10.0, n_draws=50, rng=np.random.default_rng(1)
+        )
         for mean in report.fixed_means.values():
             assert report.adaptive_mean >= mean - 1e-12
         assert report.adaptivity_gain >= -1e-12
 
     def test_winner_counts_partition_draws(self, paper_gains):
-        report = adaptive_sum_rate(paper_gains, power=10.0, n_draws=40,
-                                   rng=np.random.default_rng(2))
+        report = adaptive_sum_rate(
+            paper_gains, power=10.0, n_draws=40, rng=np.random.default_rng(2)
+        )
         assert sum(report.winner_counts.values()) == 40
-        assert sum(report.selection_frequency(p)
-                   for p in report.winner_counts) == pytest.approx(1.0)
+        assert sum(
+            report.selection_frequency(p) for p in report.winner_counts
+        ) == pytest.approx(1.0)
 
     def test_both_protocols_win_sometimes(self, paper_gains):
         """Fading sweeps the channel through both regimes, so the MABC/TDBC
         selection should be genuinely mixed at a mid power."""
-        report = adaptive_sum_rate(paper_gains, power=10.0, n_draws=120,
-                                   rng=np.random.default_rng(3))
+        report = adaptive_sum_rate(
+            paper_gains, power=10.0, n_draws=120, rng=np.random.default_rng(3)
+        )
         assert report.winner_counts[Protocol.MABC] > 0
         assert report.winner_counts[Protocol.TDBC] > 0
 
     def test_single_candidate_has_zero_gain(self, paper_gains):
-        report = adaptive_sum_rate(paper_gains, power=5.0, n_draws=20,
-                                   rng=np.random.default_rng(4),
-                                   candidates=(Protocol.MABC,))
+        report = adaptive_sum_rate(
+            paper_gains,
+            power=5.0,
+            n_draws=20,
+            rng=np.random.default_rng(4),
+            candidates=(Protocol.MABC,),
+        )
         assert report.adaptivity_gain == pytest.approx(0.0, abs=1e-12)
         assert report.selection_frequency(Protocol.MABC) == 1.0
 
@@ -46,7 +54,9 @@ class TestAdaptiveSumRate:
         """HBC contains the other two, so with HBC in the pool the
         adaptivity gain over fixed HBC is exactly zero."""
         report = adaptive_sum_rate(
-            paper_gains, power=10.0, n_draws=25,
+            paper_gains,
+            power=10.0,
+            n_draws=25,
             rng=np.random.default_rng(5),
             candidates=(Protocol.HBC, Protocol.MABC, Protocol.TDBC),
         )
@@ -58,25 +68,28 @@ class TestAdaptiveSumRate:
         with pytest.raises(InvalidParameterError):
             adaptive_sum_rate(paper_gains, power=1.0, n_draws=0, rng=rng)
         with pytest.raises(InvalidParameterError):
-            adaptive_sum_rate(paper_gains, power=1.0, n_draws=5, rng=rng,
-                              candidates=())
+            adaptive_sum_rate(paper_gains, power=1.0, n_draws=5, rng=rng, candidates=())
 
     def test_report_type(self, paper_gains):
-        report = adaptive_sum_rate(paper_gains, power=1.0, n_draws=5,
-                                   rng=np.random.default_rng(6))
+        report = adaptive_sum_rate(
+            paper_gains, power=1.0, n_draws=5, rng=np.random.default_rng(6)
+        )
         assert isinstance(report, AdaptiveReport)
         assert report.n_draws == 5
 
 
 class TestSelectionFrequencies:
     def test_frequencies_sum_to_one(self, paper_gains):
-        freqs = selection_frequencies(paper_gains, power=10.0, n_draws=30,
-                                      rng=np.random.default_rng(7))
+        freqs = selection_frequencies(
+            paper_gains, power=10.0, n_draws=30, rng=np.random.default_rng(7)
+        )
         assert sum(freqs.values()) == pytest.approx(1.0)
 
     def test_reproducible_with_seed(self, paper_gains):
-        a = selection_frequencies(paper_gains, power=10.0, n_draws=20,
-                                  rng=np.random.default_rng(8))
-        b = selection_frequencies(paper_gains, power=10.0, n_draws=20,
-                                  rng=np.random.default_rng(8))
+        a = selection_frequencies(
+            paper_gains, power=10.0, n_draws=20, rng=np.random.default_rng(8)
+        )
+        b = selection_frequencies(
+            paper_gains, power=10.0, n_draws=20, rng=np.random.default_rng(8)
+        )
         assert a == b

@@ -25,8 +25,9 @@ def codecs():
 def medium():
     # A clear gain gap between the two relay links so SIC has the SIR
     # margin it needs (the same requirement as the equal-length engine).
-    return HalfDuplexMedium(gains=LinkGains.from_db(-3.0, 0.0, 10.0),
-                            noise=ComplexAwgn(1e-9))
+    return HalfDuplexMedium(
+        gains=LinkGains.from_db(-3.0, 0.0, 10.0), noise=ComplexAwgn(1e-9)
+    )
 
 
 class TestCleanExchange:
@@ -34,8 +35,9 @@ class TestCleanExchange:
         long_codec, short_codec = codecs
         wa = random_bits(rng, 48)
         wb = random_bits(rng, 16)
-        result = run_mabc_asymmetric_round(medium, long_codec, short_codec,
-                                           10.0, wa, wb, rng)
+        result = run_mabc_asymmetric_round(
+            medium, long_codec, short_codec, 10.0, wa, wb, rng
+        )
         assert result.relay_ok
         assert result.success_a_to_b
         assert result.success_b_to_a
@@ -45,23 +47,35 @@ class TestCleanExchange:
     def test_payload_sizes_reported(self, codecs, medium, rng):
         long_codec, short_codec = codecs
         result = run_mabc_asymmetric_round(
-            medium, long_codec, short_codec, 10.0,
-            random_bits(rng, 48), random_bits(rng, 16), rng)
+            medium,
+            long_codec,
+            short_codec,
+            10.0,
+            random_bits(rng, 48),
+            random_bits(rng, 16),
+            rng,
+        )
         assert result.payload_bits_a == 48
         assert result.payload_bits_b == 16
 
     def test_symbols_sized_by_long_frame(self, codecs, medium, rng):
         long_codec, short_codec = codecs
         result = run_mabc_asymmetric_round(
-            medium, long_codec, short_codec, 10.0,
-            random_bits(rng, 48), random_bits(rng, 16), rng)
+            medium,
+            long_codec,
+            short_codec,
+            10.0,
+            random_bits(rng, 48),
+            random_bits(rng, 16),
+            rng,
+        )
         assert result.n_symbols == 2 * long_codec.n_symbols
 
     def test_equal_sizes_degenerate_case(self, medium, rng):
         codec = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8)
         result = run_mabc_asymmetric_round(
-            medium, codec, codec, 10.0,
-            random_bits(rng, 32), random_bits(rng, 32), rng)
+            medium, codec, codec, 10.0, random_bits(rng, 32), random_bits(rng, 32), rng
+        )
         assert result.success_a_to_b and result.success_b_to_a
 
 
@@ -73,8 +87,14 @@ class TestThroughputAdvantage:
         accounts the true payload sizes."""
         long_codec, short_codec = codecs
         result = run_mabc_asymmetric_round(
-            medium, long_codec, short_codec, 10.0,
-            random_bits(rng, 48), random_bits(rng, 16), rng)
+            medium,
+            long_codec,
+            short_codec,
+            10.0,
+            random_bits(rng, 48),
+            random_bits(rng, 16),
+            rng,
+        )
         delivered = result.payload_bits_a + result.payload_bits_b
         assert result.success_a_to_b and result.success_b_to_a
         assert delivered == 64
@@ -84,32 +104,62 @@ class TestValidation:
     def test_wrong_payload_sizes_rejected(self, codecs, medium, rng):
         long_codec, short_codec = codecs
         with pytest.raises(InvalidParameterError):
-            run_mabc_asymmetric_round(medium, long_codec, short_codec, 10.0,
-                                      random_bits(rng, 32),
-                                      random_bits(rng, 16), rng)
+            run_mabc_asymmetric_round(
+                medium,
+                long_codec,
+                short_codec,
+                10.0,
+                random_bits(rng, 32),
+                random_bits(rng, 16),
+                rng,
+            )
         with pytest.raises(InvalidParameterError):
-            run_mabc_asymmetric_round(medium, long_codec, short_codec, 10.0,
-                                      random_bits(rng, 48),
-                                      random_bits(rng, 8), rng)
+            run_mabc_asymmetric_round(
+                medium,
+                long_codec,
+                short_codec,
+                10.0,
+                random_bits(rng, 48),
+                random_bits(rng, 8),
+                rng,
+            )
 
     def test_swapped_codecs_rejected(self, codecs, medium, rng):
         long_codec, short_codec = codecs
         with pytest.raises(InvalidParameterError):
-            run_mabc_asymmetric_round(medium, short_codec, long_codec, 10.0,
-                                      random_bits(rng, 16),
-                                      random_bits(rng, 48), rng)
+            run_mabc_asymmetric_round(
+                medium,
+                short_codec,
+                long_codec,
+                10.0,
+                random_bits(rng, 16),
+                random_bits(rng, 48),
+                rng,
+            )
 
     def test_mismatched_crc_rejected(self, medium, rng):
         long_codec = LinkCodec(payload_bits=48, code=TEST_CODE, crc=CRC16_CCITT)
         short_codec = LinkCodec(payload_bits=16, code=TEST_CODE, crc=CRC8)
         with pytest.raises(InvalidParameterError):
-            run_mabc_asymmetric_round(medium, long_codec, short_codec, 10.0,
-                                      random_bits(rng, 48),
-                                      random_bits(rng, 16), rng)
+            run_mabc_asymmetric_round(
+                medium,
+                long_codec,
+                short_codec,
+                10.0,
+                random_bits(rng, 48),
+                random_bits(rng, 16),
+                rng,
+            )
 
     def test_nonpositive_power_rejected(self, codecs, medium, rng):
         long_codec, short_codec = codecs
         with pytest.raises(InvalidParameterError):
-            run_mabc_asymmetric_round(medium, long_codec, short_codec, 0.0,
-                                      random_bits(rng, 48),
-                                      random_bits(rng, 16), rng)
+            run_mabc_asymmetric_round(
+                medium,
+                long_codec,
+                short_codec,
+                0.0,
+                random_bits(rng, 48),
+                random_bits(rng, 16),
+                rng,
+            )

@@ -1,0 +1,185 @@
+"""Batched-vs-reference equivalence: the tentpole proof of this subsystem.
+
+The batched link-level kernel must reproduce the per-round reference
+implementation *exactly* — every field of every report — across all
+protocols, both shipped convolutional codes, both modulations and any
+batch size. These tests are the executable form of that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channels.gains import LinkGains
+from repro.channels.halfduplex import HalfDuplexMedium
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+from repro.simulation.convolutional import NASA_CODE, TEST_CODE
+from repro.simulation.crc import CRC8, CRC16_CCITT
+from repro.simulation.engine import (
+    PROTOCOL_PHASE_COUNTS,
+    BatchedProtocolEngine,
+    ProtocolEngine,
+    spawn_phase_streams,
+)
+from repro.simulation.linkcodec import LinkCodec
+from repro.simulation.modulation import Qpsk
+from repro.simulation.montecarlo import simulate_protocol
+
+FAST_CODEC = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8)
+NASA_CODEC = LinkCodec(payload_bits=32, code=NASA_CODE, crc=CRC16_CCITT)
+QPSK_CODEC = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8, modulation=Qpsk())
+GAINS = LinkGains.from_db(-7.0, 0.0, 5.0)
+
+#: Moderate SNR so the batch contains successes *and* failures — the
+#: regime where an arbitration or accounting mismatch would actually show.
+POWER = 1.0
+
+
+def _report_pair(
+    protocol, codec, *, n_rounds=21, seed=123, power=POWER, batch_size=None
+):
+    reference = simulate_protocol(
+        protocol,
+        GAINS,
+        power,
+        n_rounds,
+        np.random.default_rng(seed),
+        codec=codec,
+        method="reference",
+    )
+    batched = simulate_protocol(
+        protocol,
+        GAINS,
+        power,
+        n_rounds,
+        np.random.default_rng(seed),
+        codec=codec,
+        batch_size=batch_size,
+    )
+    return reference, batched
+
+
+class TestReportEquality:
+    """simulate_protocol: batched == per-round reference, field for field."""
+
+    @pytest.mark.parametrize(
+        "protocol", list(Protocol), ids=[p.value for p in Protocol]
+    )
+    @pytest.mark.parametrize(
+        "codec", [FAST_CODEC, NASA_CODEC], ids=["test-code", "nasa-code"]
+    )
+    def test_batched_equals_reference(self, protocol, codec):
+        reference, batched = _report_pair(protocol, codec)
+        assert batched == reference
+
+    @pytest.mark.parametrize(
+        "protocol", list(Protocol), ids=[p.value for p in Protocol]
+    )
+    def test_qpsk_batched_equals_reference(self, protocol):
+        reference, batched = _report_pair(protocol, QPSK_CODEC)
+        assert batched == reference
+
+    def test_mixed_outcomes_are_exercised(self):
+        """The chosen SNR produces both successes and failures (regression
+        guard: an all-success batch would vacuously pass arbitration)."""
+        reference, _ = _report_pair(Protocol.TDBC, FAST_CODEC, n_rounds=40)
+        errors = (reference.a_to_b.frame_errors + reference.b_to_a.frame_errors)
+        assert 0 < errors < 80
+
+
+class TestBatchSizeInvariance:
+    """Results are a pure function of the rng state — never of batching."""
+
+    @pytest.mark.parametrize(
+        "batch_size", [1, 7, 64], ids=["one", "prime", "over-campaign"]
+    )
+    @pytest.mark.parametrize(
+        "protocol", list(Protocol), ids=[p.value for p in Protocol]
+    )
+    def test_odd_batch_sizes(self, protocol, batch_size):
+        reference, batched = _report_pair(
+            protocol, FAST_CODEC, n_rounds=23, batch_size=batch_size
+        )
+        assert batched == reference
+
+    def test_invalid_batch_size_rejected(self, paper_gains, rng):
+        with pytest.raises(InvalidParameterError):
+            simulate_protocol(
+                Protocol.DT, paper_gains, 1.0, 2, rng, codec=FAST_CODEC, batch_size=0
+            )
+
+    def test_invalid_method_rejected(self, paper_gains, rng):
+        with pytest.raises(InvalidParameterError):
+            simulate_protocol(
+                Protocol.DT, paper_gains, 1.0, 2, rng, codec=FAST_CODEC, method="turbo"
+            )
+
+
+class TestEngineRounds:
+    """Engine-level equivalence over explicitly shared phase streams."""
+
+    @pytest.mark.parametrize(
+        "protocol", list(Protocol), ids=[p.value for p in Protocol]
+    )
+    def test_round_batch_matches_per_round_results(self, protocol):
+        n_rounds = 9
+        reference = ProtocolEngine(
+            medium=HalfDuplexMedium(gains=GAINS), codec=FAST_CODEC, power=POWER
+        )
+        batched = BatchedProtocolEngine(
+            medium=HalfDuplexMedium(gains=GAINS), codec=FAST_CODEC, power=POWER
+        )
+        root_ref = np.random.default_rng(7)
+        root_bat = np.random.default_rng(7)
+        payloads = root_ref.spawn(1)[0].integers(
+            0, 2, size=(n_rounds, 2, 32), dtype=np.uint8
+        )
+        payloads_bat = root_bat.spawn(1)[0].integers(
+            0, 2, size=(n_rounds, 2, 32), dtype=np.uint8
+        )
+        streams_ref = spawn_phase_streams(protocol, root_ref)
+        streams_bat = spawn_phase_streams(protocol, root_bat)
+        batch = batched.run_rounds(
+            protocol, payloads_bat[:, 0], payloads_bat[:, 1], phase_streams=streams_bat,
+        )
+        assert len(batch) == n_rounds
+        for index in range(n_rounds):
+            result = reference.run_round(
+                protocol,
+                payloads[index, 0],
+                payloads[index, 1],
+                phase_streams=streams_ref,
+            )
+            assert batch.round_result(index) == result
+
+    def test_phase_stream_count_validated(self):
+        engine = BatchedProtocolEngine(
+            medium=HalfDuplexMedium(gains=GAINS), codec=FAST_CODEC, power=POWER
+        )
+        payloads = np.zeros((3, 32), dtype=np.uint8)
+        streams = np.random.default_rng(0).spawn(1)
+        with pytest.raises(InvalidParameterError):
+            engine.run_rounds(Protocol.TDBC, payloads, payloads, phase_streams=streams)
+
+    def test_rng_or_streams_required(self):
+        engine = BatchedProtocolEngine(
+            medium=HalfDuplexMedium(gains=GAINS), codec=FAST_CODEC, power=POWER
+        )
+        payloads = np.zeros((3, 32), dtype=np.uint8)
+        with pytest.raises(InvalidParameterError):
+            engine.run_rounds(Protocol.DT, payloads, payloads)
+
+    def test_mismatched_round_counts_rejected(self, rng):
+        engine = BatchedProtocolEngine(
+            medium=HalfDuplexMedium(gains=GAINS), codec=FAST_CODEC, power=POWER
+        )
+        with pytest.raises(InvalidParameterError):
+            engine.run_rounds(
+                Protocol.DT,
+                np.zeros((3, 32), dtype=np.uint8),
+                np.zeros((4, 32), dtype=np.uint8),
+                rng,
+            )
+
+    def test_phase_counts_cover_all_protocols(self):
+        assert set(PROTOCOL_PHASE_COUNTS) == set(Protocol)

@@ -59,9 +59,7 @@ class TestViterbiDecoding:
         # d_free = 10 for (133, 171): 4 well-separated errors are correctable.
         for position in (5, 60, 130, 200):
             corrupted[position] ^= 1
-        np.testing.assert_array_equal(
-            NASA_CODE.decode_hard(corrupted, 120), bits
-        )
+        np.testing.assert_array_equal(NASA_CODE.decode_hard(corrupted, 120), bits)
 
     def test_corrects_two_adjacent_errors_k3(self, rng):
         bits = random_bits(rng, 40)
@@ -119,3 +117,46 @@ class TestCodeProperties:
         first = code._trellis()
         second = code._trellis()
         assert first is second
+
+
+class TestBatchedRows:
+    """Batched encode/decode must equal the scalar paths bit for bit."""
+
+    @pytest.mark.parametrize(
+        "code", [TEST_CODE, NASA_CODE], ids=["test-code", "nasa-code"]
+    )
+    @pytest.mark.parametrize("n_info", [1, 5, 32, 144])
+    def test_encode_rows_match_scalar(self, code, n_info, rng):
+        rows = np.stack([random_bits(rng, n_info) for _ in range(7)])
+        batch = code.encode_rows(rows)
+        for index in range(rows.shape[0]):
+            np.testing.assert_array_equal(batch[index], code.encode(rows[index]))
+
+    @pytest.mark.parametrize(
+        "code", [TEST_CODE, NASA_CODE], ids=["test-code", "nasa-code"]
+    )
+    @pytest.mark.parametrize("n_info", [1, 32, 144])
+    def test_decode_rows_match_scalar(self, code, n_info, rng):
+        llrs = rng.normal(0.0, 3.0, size=(7, code.n_coded_bits(n_info)))
+        batch = code.decode_rows(llrs, n_info)
+        for index in range(llrs.shape[0]):
+            np.testing.assert_array_equal(
+                batch[index], code.decode(llrs[index], n_info)
+            )
+
+    def test_rate_third_code_rows(self, rng):
+        code = ConvolutionalCode(generators=(0o5, 0o7, 0o7), constraint_length=3)
+        rows = np.stack([random_bits(rng, 20) for _ in range(5)])
+        coded = code.encode_rows(rows).astype(float)
+        decoded = code.decode_rows(1.0 - 2.0 * coded, 20)
+        np.testing.assert_array_equal(decoded, rows)
+
+    def test_decode_rows_shape_validated(self):
+        with pytest.raises(InvalidParameterError):
+            TEST_CODE.decode_rows(np.zeros((3, 10)), 10)
+        with pytest.raises(InvalidParameterError):
+            TEST_CODE.decode_rows(np.zeros(TEST_CODE.n_coded_bits(10)), 10)
+
+    def test_encode_rows_empty_block_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TEST_CODE.encode_rows(np.zeros((3, 0), dtype=np.uint8))

@@ -8,8 +8,7 @@ from repro.simulation.bits import random_bits, xor_bits
 from repro.simulation.crc import CRC8, CRC16_CCITT, CRC32, CrcCode
 
 
-@pytest.fixture(params=[CRC8, CRC16_CCITT, CRC32],
-                ids=["crc8", "crc16", "crc32"])
+@pytest.fixture(params=[CRC8, CRC16_CCITT, CRC32], ids=["crc8", "crc16", "crc32"])
 def crc(request):
     return request.param
 
@@ -68,6 +67,89 @@ class TestLinearity:
         assert crc.checksum(np.zeros(40, dtype=np.uint8)).sum() == 0
 
 
+class TestBatchedChecksums:
+    """The table-driven batch path must equal the scalar path bit for bit."""
+
+    @pytest.mark.parametrize("length", [1, 7, 8, 9, 40, 41, 144])
+    def test_checksum_rows_match_scalar(self, crc, rng, length):
+        rows = np.stack([random_bits(rng, length) for _ in range(9)])
+        batch = crc.checksum_rows(rows)
+        for index in range(rows.shape[0]):
+            np.testing.assert_array_equal(batch[index], crc.checksum(rows[index]))
+
+    def test_append_and_check_rows(self, crc, rng):
+        rows = np.stack([random_bits(rng, 48) for _ in range(6)])
+        frames = crc.append_rows(rows)
+        assert crc.check_rows(frames).all()
+        corrupted = frames.copy()
+        corrupted[2, 5] ^= 1
+        verdicts = crc.check_rows(corrupted)
+        assert not verdicts[2]
+        assert verdicts.sum() == 5
+
+    def test_short_frames_fail_check_rows(self, crc):
+        rows = np.zeros((3, crc.n_bits - 1), dtype=np.uint8)
+        assert not crc.check_rows(rows).any()
+
+    def test_narrow_crc_without_byte_table(self, rng):
+        # Widths below one byte exercise the pure bitwise update.
+        narrow = CrcCode(polynomial=0x3, n_bits=3)
+        rows = np.stack([random_bits(rng, 20) for _ in range(5)])
+        batch = narrow.checksum_rows(rows)
+        for index in range(rows.shape[0]):
+            np.testing.assert_array_equal(batch[index], narrow.checksum(rows[index]))
+
+
+class TestGoldenChecksums:
+    """Pinned outputs of the historical bit-at-a-time implementation.
+
+    The table-driven rewrite must reproduce these exactly; 0xF4 and
+    0x31C3 are also the published zero-init check values of CRC-8 and
+    CRC-16/XMODEM for ASCII "123456789".
+    """
+
+    @staticmethod
+    def _ascii_bits(message: bytes) -> list:
+        bits = []
+        for ch in message:
+            bits.extend((ch >> (7 - i)) & 1 for i in range(8))
+        return bits
+
+    @staticmethod
+    def _value(checksum: np.ndarray) -> int:
+        return int("".join(map(str, checksum)), 2)
+
+    @pytest.mark.parametrize(
+        ("code", "expected"),
+        [(CRC8, 0xF4), (CRC16_CCITT, 0x31C3), (CRC32, 0x89A1897F)],
+        ids=["crc8", "crc16", "crc32"],
+    )
+    def test_check_string(self, code, expected):
+        bits = self._ascii_bits(b"123456789")
+        assert self._value(code.checksum(bits)) == expected
+
+    @pytest.mark.parametrize(
+        ("code", "expected"),
+        [(CRC8, 0x53), (CRC16_CCITT, 0x594E), (CRC32, 0x77B21CC4)],
+        ids=["crc8", "crc16", "crc32"],
+    )
+    def test_byte_aligned_golden(self, code, expected):
+        # 40 bits drawn from default_rng(2024): the byte-table fast path
+        # alone, on a non-ASCII payload.
+        bits = np.random.default_rng(2024).integers(0, 2, size=40)
+        assert self._value(code.checksum(bits)) == expected
+
+    @pytest.mark.parametrize(
+        ("code", "expected"),
+        [(CRC8, 0xA6), (CRC16_CCITT, 0xB29C), (CRC32, 0xEF643988)],
+        ids=["crc8", "crc16", "crc32"],
+    )
+    def test_trailing_bits_golden(self, code, expected):
+        # 41 bits: five table-driven bytes plus one bitwise trailing bit.
+        bits = np.random.default_rng(2024).integers(0, 2, size=41)
+        assert self._value(code.checksum(bits)) == expected
+
+
 class TestValidation:
     def test_bad_polynomial_rejected(self):
         with pytest.raises(InvalidParameterError):
@@ -94,3 +176,38 @@ class TestValidation:
             bits.extend((ch >> (7 - i)) & 1 for i in range(8))
         checksum = CRC16_CCITT.checksum(bits)
         assert int("".join(map(str, checksum)), 2) == 0x31C3
+
+
+class TestWideRegisters:
+    """Widths past the 64-bit lane must still work (Python-int fallback)."""
+
+    #: CRC-64/ECMA-182 generator polynomial (zero-init here, like the rest).
+    CRC64 = CrcCode(polynomial=0x42F0E1EBA9EA3693, n_bits=64)
+
+    def _reference_checksum(self, crc, bits):
+        register = 0
+        top = 1 << (crc.n_bits - 1)
+        mask = (1 << crc.n_bits) - 1
+        for bit in bits:
+            feedback = ((register & top) != 0) ^ bool(bit)
+            register = (register << 1) & mask
+            if feedback:
+                register ^= crc.polynomial
+        return np.array(
+            [(register >> (crc.n_bits - 1 - i)) & 1 for i in range(crc.n_bits)],
+            dtype=np.uint8,
+        )
+
+    def test_matches_bitwise_reference(self, rng):
+        for length in (1, 40, 71):
+            bits = random_bits(rng, length)
+            np.testing.assert_array_equal(
+                self.CRC64.checksum(bits), self._reference_checksum(self.CRC64, bits)
+            )
+
+    def test_rows_append_check_and_linearity(self, rng):
+        rows = np.stack([random_bits(rng, 80) for _ in range(4)])
+        frames = self.CRC64.append_rows(rows)
+        assert self.CRC64.check_rows(frames).all()
+        combined = xor_bits(frames[0], frames[1])
+        assert self.CRC64.check(combined)

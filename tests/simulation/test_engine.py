@@ -20,8 +20,7 @@ def codec():
     return LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8)
 
 
-def make_engine(codec, *, power=10.0, noise_power=1e-6,
-                gains=None) -> ProtocolEngine:
+def make_engine(codec, *, power=10.0, noise_power=1e-6, gains=None) -> ProtocolEngine:
     gains = gains or LinkGains.from_db(-3.0, 3.0, 6.0)
     medium = HalfDuplexMedium(gains=gains, noise=ComplexAwgn(noise_power))
     return ProtocolEngine(medium=medium, codec=codec, power=power)
@@ -30,8 +29,9 @@ def make_engine(codec, *, power=10.0, noise_power=1e-6,
 class TestCleanChannelRounds:
     """At essentially zero noise every protocol must deliver both payloads."""
 
-    @pytest.mark.parametrize("protocol", list(Protocol),
-                             ids=[p.value for p in Protocol])
+    @pytest.mark.parametrize(
+        "protocol", list(Protocol), ids=[p.value for p in Protocol]
+    )
     def test_round_succeeds(self, protocol, codec, rng):
         engine = make_engine(codec)
         wa, wb = random_bits(rng, 32), random_bits(rng, 32)
@@ -53,27 +53,23 @@ class TestCleanChannelRounds:
 class TestSymbolAccounting:
     def test_dt_uses_two_frames(self, codec, rng):
         engine = make_engine(codec)
-        result = engine.run_dt_round(random_bits(rng, 32),
-                                     random_bits(rng, 32), rng)
+        result = engine.run_dt_round(random_bits(rng, 32), random_bits(rng, 32), rng)
         assert result.n_symbols == 2 * codec.n_symbols
 
     def test_mabc_uses_two_frames(self, codec, rng):
         engine = make_engine(codec)
-        result = engine.run_mabc_round(random_bits(rng, 32),
-                                       random_bits(rng, 32), rng)
+        result = engine.run_mabc_round(random_bits(rng, 32), random_bits(rng, 32), rng)
         assert result.n_symbols == 2 * codec.n_symbols
 
     def test_tdbc_uses_three_frames(self, codec, rng):
         engine = make_engine(codec)
-        result = engine.run_tdbc_round(random_bits(rng, 32),
-                                       random_bits(rng, 32), rng)
+        result = engine.run_tdbc_round(random_bits(rng, 32), random_bits(rng, 32), rng)
         assert result.n_symbols == 3 * codec.n_symbols
 
     def test_hbc_uses_five_half_frames(self, codec, rng):
         engine = make_engine(codec)
         half = engine._half_codec()
-        result = engine.run_hbc_round(random_bits(rng, 32),
-                                      random_bits(rng, 32), rng)
+        result = engine.run_hbc_round(random_bits(rng, 32), random_bits(rng, 32), rng)
         assert result.n_symbols == 5 * half.n_symbols
 
     def test_mabc_beats_tdbc_on_symbols(self, codec, rng):
@@ -133,5 +129,4 @@ class TestValidation:
     def test_unknown_protocol_rejected(self, codec, rng):
         engine = make_engine(codec)
         with pytest.raises(InvalidParameterError):
-            engine.run_round("mabc", random_bits(rng, 32),
-                             random_bits(rng, 32), rng)
+            engine.run_round("mabc", random_bits(rng, 32), random_bits(rng, 32), rng)

@@ -79,3 +79,21 @@ class TestIdentity:
     def test_negative_rejected(self):
         with pytest.raises(InvalidParameterError):
             identity_permutation(-1)
+
+
+class TestBatchedAxes:
+    """Interleavers permute the last axis, so frame batches work directly."""
+
+    @pytest.mark.parametrize(
+        "interleaver",
+        [BlockInterleaver(rows=6, cols=9), RandomInterleaver(seed=11)],
+        ids=["block", "random"],
+    )
+    def test_rows_match_scalar(self, interleaver, rng):
+        values = rng.normal(size=(5, 48))
+        batch = interleaver.interleave(values)
+        for index in range(values.shape[0]):
+            np.testing.assert_array_equal(
+                batch[index], interleaver.interleave(values[index])
+            )
+        np.testing.assert_array_equal(interleaver.deinterleave(batch), values)

@@ -52,26 +52,21 @@ class TestRoundtrip:
         gain = 0.4 * np.exp(1j * 1.2)
         amplitude = 2.5
         received = amplitude * gain * codec.encode(payload)
-        frame = codec.decode(received, gain, noise_power=1e-9,
-                             amplitude=amplitude)
+        frame = codec.decode(received, gain, noise_power=1e-9, amplitude=amplitude)
         assert frame.crc_ok
         np.testing.assert_array_equal(frame.payload, payload)
 
     def test_moderate_noise_decodes(self, codec, rng):
         payload = random_bits(rng, 32)
         received = 3.0 * codec.encode(payload) + 0.5 * (
-            rng.normal(size=codec.n_symbols)
-            + 1j * rng.normal(size=codec.n_symbols)
+            rng.normal(size=codec.n_symbols) + 1j * rng.normal(size=codec.n_symbols)
         )
-        frame = codec.decode(received, 1.0 + 0j, noise_power=0.25,
-                             amplitude=3.0)
+        frame = codec.decode(received, 1.0 + 0j, noise_power=0.25, amplitude=3.0)
         assert frame.crc_ok
         np.testing.assert_array_equal(frame.payload, payload)
 
     def test_pure_noise_fails_crc(self, codec, rng):
-        noise = rng.normal(size=codec.n_symbols) + 1j * rng.normal(
-            size=codec.n_symbols
-        )
+        noise = rng.normal(size=codec.n_symbols) + 1j * rng.normal(size=codec.n_symbols)
         frame = codec.decode(noise, 1.0 + 0j, noise_power=1.0)
         assert not frame.crc_ok
 
@@ -103,17 +98,64 @@ class TestValidation:
 class TestInterleaving:
     def test_different_seeds_give_different_symbols(self, rng):
         payload = random_bits(rng, 32)
-        codec_a = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
-                            interleaver_seed=1)
-        codec_b = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
-                            interleaver_seed=2)
+        codec_a = LinkCodec(
+            payload_bits=32, code=TEST_CODE, crc=CRC8, interleaver_seed=1
+        )
+        codec_b = LinkCodec(
+            payload_bits=32, code=TEST_CODE, crc=CRC8, interleaver_seed=2
+        )
         assert not np.allclose(codec_a.encode(payload), codec_b.encode(payload))
 
     def test_seed_mismatch_breaks_decoding(self, rng):
         payload = random_bits(rng, 32)
-        codec_a = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
-                            interleaver_seed=1)
-        codec_b = LinkCodec(payload_bits=32, code=TEST_CODE, crc=CRC8,
-                            interleaver_seed=2)
+        codec_a = LinkCodec(
+            payload_bits=32, code=TEST_CODE, crc=CRC8, interleaver_seed=1
+        )
+        codec_b = LinkCodec(
+            payload_bits=32, code=TEST_CODE, crc=CRC8, interleaver_seed=2
+        )
         frame = codec_b.decode(codec_a.encode(payload), 1.0 + 0j, 1e-9)
         assert not frame.crc_ok
+
+
+class TestBatchedPipeline:
+    """The row-batched codec must equal the scalar pipeline bit for bit."""
+
+    def test_encode_rows_match_scalar(self, codec, rng):
+        rows = np.stack([random_bits(rng, 32) for _ in range(6)])
+        batch = codec.encode_rows(rows)
+        for index in range(rows.shape[0]):
+            np.testing.assert_array_equal(batch[index], codec.encode(rows[index]))
+
+    def test_decode_rows_match_scalar(self, codec, rng):
+        gain = 0.9 + 0.2j
+        symbols = np.stack(
+            [gain * codec.encode(random_bits(rng, 32)) for _ in range(6)]
+        )
+        noisy = symbols + 0.4 * (
+            rng.normal(size=symbols.shape) + 1j * rng.normal(size=symbols.shape)
+        )
+        batch = codec.decode_rows(noisy, gain, 0.32, amplitude=1.0)
+        for index in range(noisy.shape[0]):
+            scalar = codec.decode(noisy[index], gain, 0.32, amplitude=1.0)
+            frame = batch.frame(index)
+            np.testing.assert_array_equal(frame.payload, scalar.payload)
+            np.testing.assert_array_equal(frame.frame_bits, scalar.frame_bits)
+            assert frame.crc_ok == scalar.crc_ok
+
+    def test_round_trip_rows(self, codec, rng):
+        rows = np.stack([random_bits(rng, 32) for _ in range(5)])
+        decoded = codec.decode_rows(codec.encode_rows(rows), 1.0 + 0j, 1e-9)
+        np.testing.assert_array_equal(decoded.payload, rows)
+        assert decoded.crc_ok.all()
+        assert len(decoded) == 5
+
+    def test_row_shapes_validated(self, codec):
+        with pytest.raises(InvalidParameterError):
+            codec.encode_rows(np.zeros((2, 16), dtype=np.uint8))
+        with pytest.raises(InvalidParameterError):
+            codec.encode_frame_rows(np.zeros((2, 16), dtype=np.uint8))
+        with pytest.raises(InvalidParameterError):
+            codec.demodulate_rows(np.zeros((2, 5), dtype=complex), 1.0 + 0j, 1.0)
+        with pytest.raises(InvalidParameterError):
+            codec.decode_llr_rows(np.zeros((2, 5)))

@@ -1,5 +1,6 @@
 """Unit tests for repro.simulation.metrics."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError
@@ -83,3 +84,44 @@ class TestThroughputReport:
             report.record("a->b", delivered_bits=-1)
         with pytest.raises(InvalidParameterError):
             report.add_symbols(-5)
+
+
+class TestBatchedRecords:
+    """Batched recorders must equal the per-frame record loop exactly."""
+
+    def test_link_counter_record_rows(self):
+        success = np.array([True, False, True, True, False])
+        errors = np.array([0, 3, 0, 0, 7])
+        batched = LinkCounter()
+        batched.record_rows(success=success, n_bits=32, n_bit_errors=errors)
+        looped = LinkCounter()
+        for ok, err in zip(success, errors):
+            looped.record(success=bool(ok), n_bits=32, n_bit_errors=int(err))
+        assert batched == looped
+
+    def test_link_counter_rows_validated(self):
+        counter = LinkCounter()
+        with pytest.raises(InvalidParameterError):
+            counter.record_rows(
+                success=np.array([True]), n_bits=4, n_bit_errors=np.array([5])
+            )
+        with pytest.raises(InvalidParameterError):
+            counter.record_rows(
+                success=np.array([True, False]), n_bits=4, n_bit_errors=np.array([1])
+            )
+
+    def test_throughput_record_rows(self):
+        success = np.array([True, False, True])
+        batched = ThroughputReport()
+        batched.add_symbols(3 * 100)
+        batched.record_rows("a->b", delivered_bits_per_frame=32, successes=success)
+        batched.record_rows(
+            "b->a", delivered_bits_per_frame=32, successes=np.zeros(3, dtype=bool)
+        )
+        looped = ThroughputReport()
+        for ok in success:
+            looped.add_symbols(100)
+            if ok:
+                looped.record("a->b", delivered_bits=32)
+        assert batched == looped
+        assert "b->a" not in batched.per_direction

@@ -42,8 +42,7 @@ class TestBpsk:
     def test_amplitude_scaling(self):
         mod = Bpsk()
         received = 3.0 * mod.modulate([0])
-        llr = mod.demodulate_llr(received, 1.0 + 0j, noise_power=1.0,
-                                 amplitude=3.0)
+        llr = mod.demodulate_llr(received, 1.0 + 0j, noise_power=1.0, amplitude=3.0)
         assert llr[0] == pytest.approx(4.0 * 3.0 * 3.0)
 
     def test_invalid_noise_rejected(self):
@@ -62,9 +61,7 @@ class TestQpsk:
     def test_gray_mapping_quadrants(self):
         symbols = Qpsk().modulate([0, 0, 0, 1, 1, 0, 1, 1])
         signs = np.stack([np.sign(symbols.real), np.sign(symbols.imag)], axis=1)
-        np.testing.assert_array_equal(
-            signs, [[1, 1], [1, -1], [-1, 1], [-1, -1]]
-        )
+        np.testing.assert_array_equal(signs, [[1, 1], [1, -1], [-1, 1], [-1, -1]])
 
     def test_odd_bit_count_rejected(self):
         with pytest.raises(InvalidParameterError):
@@ -74,8 +71,7 @@ class TestQpsk:
         mod = Qpsk()
         bits = random_bits(rng, 128)
         gain = 1.3 * np.exp(1j * 0.4)
-        llrs = mod.demodulate_llr(gain * mod.modulate(bits), gain,
-                                  noise_power=1e-3)
+        llrs = mod.demodulate_llr(gain * mod.modulate(bits), gain, noise_power=1e-3)
         np.testing.assert_array_equal(hard_decisions(llrs), bits)
 
     def test_symbols_for_bits_rounds_up(self):
@@ -89,3 +85,33 @@ class TestHardDecisions:
         np.testing.assert_array_equal(
             hard_decisions(np.array([2.0, -0.5, 0.0, -3.0])), [0, 1, 0, 1]
         )
+
+
+class TestBatchedRows:
+    """Row-batched modulation must equal the scalar path bit for bit."""
+
+    @pytest.mark.parametrize("mod", [Bpsk(), Qpsk()], ids=["bpsk", "qpsk"])
+    def test_modulate_rows_match_scalar(self, mod, rng):
+        rows = rng.integers(0, 2, size=(6, 24), dtype=np.uint8)
+        batch = mod.modulate_rows(rows)
+        for index in range(rows.shape[0]):
+            np.testing.assert_array_equal(batch[index], mod.modulate(rows[index]))
+
+    @pytest.mark.parametrize("mod", [Bpsk(), Qpsk()], ids=["bpsk", "qpsk"])
+    def test_demodulate_llr_rows_match_scalar(self, mod, rng):
+        gain = 0.8 - 0.3j
+        symbols = rng.normal(size=(6, 12)) + 1j * rng.normal(size=(6, 12))
+        batch = mod.demodulate_llr_rows(symbols, gain, 0.5, amplitude=2.0)
+        for index in range(symbols.shape[0]):
+            np.testing.assert_array_equal(
+                batch[index],
+                mod.demodulate_llr(symbols[index], gain, 0.5, amplitude=2.0),
+            )
+
+    def test_qpsk_rows_need_even_bits(self):
+        with pytest.raises(InvalidParameterError):
+            Qpsk().modulate_rows(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_rows_noise_power_validated(self):
+        with pytest.raises(InvalidParameterError):
+            Qpsk().demodulate_llr_rows(np.zeros((2, 4), dtype=complex), 1.0 + 0j, 0.0)

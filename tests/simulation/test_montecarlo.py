@@ -24,9 +24,14 @@ def fast_codec():
 class TestSimulateProtocol:
     def test_high_snr_campaign_is_clean(self, fast_codec, paper_gains):
         rng = np.random.default_rng(1)
-        report = simulate_protocol(Protocol.MABC, paper_gains,
-                                   power=10 ** 2.0,  # 20 dB
-                                   n_rounds=15, rng=rng, codec=fast_codec)
+        report = simulate_protocol(
+            Protocol.MABC,
+            paper_gains,
+            power=10**2.0,  # 20 dB
+            n_rounds=15,
+            rng=rng,
+            codec=fast_codec,
+        )
         assert report.a_to_b.fer == 0.0
         assert report.b_to_a.fer == 0.0
         assert report.sum_goodput > 0.0
@@ -35,22 +40,30 @@ class TestSimulateProtocol:
     def test_zero_snr_campaign_fails(self, fast_codec):
         rng = np.random.default_rng(2)
         weak = LinkGains.from_db(-30.0, -30.0, -30.0)
-        report = simulate_protocol(Protocol.TDBC, weak, power=1.0,
-                                   n_rounds=10, rng=rng, codec=fast_codec)
+        report = simulate_protocol(
+            Protocol.TDBC, weak, power=1.0, n_rounds=10, rng=rng, codec=fast_codec
+        )
         assert report.a_to_b.fer > 0.5
         assert report.sum_goodput < 0.05
 
     def test_round_count_respected(self, fast_codec, paper_gains):
         rng = np.random.default_rng(3)
-        report = simulate_protocol(Protocol.DT, paper_gains, power=100.0,
-                                   n_rounds=7, rng=rng, codec=fast_codec)
+        report = simulate_protocol(
+            Protocol.DT, paper_gains, power=100.0, n_rounds=7, rng=rng, codec=fast_codec
+        )
         assert report.n_rounds == 7
         assert report.a_to_b.frames == 7
 
     def test_invalid_rounds_rejected(self, fast_codec, paper_gains, rng):
         with pytest.raises(InvalidParameterError):
-            simulate_protocol(Protocol.DT, paper_gains, power=1.0,
-                              n_rounds=0, rng=rng, codec=fast_codec)
+            simulate_protocol(
+                Protocol.DT,
+                paper_gains,
+                power=1.0,
+                n_rounds=0,
+                rng=rng,
+                codec=fast_codec,
+            )
 
     def test_goodput_below_analytic_bound(self, fast_codec, paper_gains):
         """Operational goodput can never exceed the capacity bound."""
@@ -59,8 +72,14 @@ class TestSimulateProtocol:
 
         rng = np.random.default_rng(4)
         power = 10.0
-        report = simulate_protocol(Protocol.MABC, paper_gains, power=power,
-                                   n_rounds=10, rng=rng, codec=fast_codec)
+        report = simulate_protocol(
+            Protocol.MABC,
+            paper_gains,
+            power=power,
+            n_rounds=10,
+            rng=rng,
+            codec=fast_codec,
+        )
         bound = optimal_sum_rate(
             Protocol.MABC, GaussianChannel(gains=paper_gains, power=power)
         ).sum_rate
@@ -70,16 +89,18 @@ class TestSimulateProtocol:
 class TestFadingStatistics:
     def test_ergodic_rate_positive(self, paper_gains):
         rng = np.random.default_rng(5)
-        stats = ergodic_sum_rate(Protocol.MABC, paper_gains, power=10.0,
-                                 n_draws=40, rng=rng)
+        stats = ergodic_sum_rate(
+            Protocol.MABC, paper_gains, power=10.0, n_draws=40, rng=rng
+        )
         assert stats.mean > 0
         assert stats.std_error > 0
         assert stats.samples.shape == (40,)
 
     def test_quantile_ordering(self, paper_gains):
         rng = np.random.default_rng(6)
-        stats = ergodic_sum_rate(Protocol.MABC, paper_gains, power=10.0,
-                                 n_draws=60, rng=rng)
+        stats = ergodic_sum_rate(
+            Protocol.MABC, paper_gains, power=10.0, n_draws=60, rng=rng
+        )
         assert stats.quantile(0.1) <= stats.quantile(0.9)
         with pytest.raises(InvalidParameterError):
             stats.quantile(1.5)
@@ -93,8 +114,9 @@ class TestFadingStatistics:
         static = optimal_sum_rate(
             Protocol.MABC, GaussianChannel(gains=paper_gains, power=10.0)
         ).sum_rate
-        stats = ergodic_sum_rate(Protocol.MABC, paper_gains, power=10.0,
-                                 n_draws=40, rng=rng, k_factor=1000.0)
+        stats = ergodic_sum_rate(
+            Protocol.MABC, paper_gains, power=10.0, n_draws=40, rng=rng, k_factor=1000.0
+        )
         assert stats.mean == pytest.approx(static, rel=0.05)
 
     def test_draw_count_validated(self, paper_gains, rng):
@@ -105,18 +127,33 @@ class TestFadingStatistics:
 class TestOutage:
     def test_outage_monotone_in_target(self, paper_gains):
         rng = np.random.default_rng(8)
-        low = outage_probability(Protocol.MABC, paper_gains, power=10.0,
-                                 target_sum_rate=0.5, n_draws=60,
-                                 rng=np.random.default_rng(8))
-        high = outage_probability(Protocol.MABC, paper_gains, power=10.0,
-                                  target_sum_rate=5.0, n_draws=60,
-                                  rng=np.random.default_rng(8))
+        low = outage_probability(
+            Protocol.MABC,
+            paper_gains,
+            power=10.0,
+            target_sum_rate=0.5,
+            n_draws=60,
+            rng=np.random.default_rng(8),
+        )
+        high = outage_probability(
+            Protocol.MABC,
+            paper_gains,
+            power=10.0,
+            target_sum_rate=5.0,
+            n_draws=60,
+            rng=np.random.default_rng(8),
+        )
         assert low <= high
 
     def test_zero_target_never_in_outage(self, paper_gains):
-        outage = outage_probability(Protocol.MABC, paper_gains, power=10.0,
-                                    target_sum_rate=0.0, n_draws=30,
-                                    rng=np.random.default_rng(9))
+        outage = outage_probability(
+            Protocol.MABC,
+            paper_gains,
+            power=10.0,
+            target_sum_rate=0.0,
+            n_draws=30,
+            rng=np.random.default_rng(9),
+        )
         assert outage == 0.0
 
     def test_negative_target_rejected(self, paper_gains, rng):

@@ -16,8 +16,9 @@ def curve(paper_gains=None):
     from repro.channels.gains import LinkGains
 
     gains = LinkGains.from_db(-7.0, 0.0, 5.0)
-    return compute_outage_curve(Protocol.MABC, gains, power=10.0,
-                                n_draws=80, rng=np.random.default_rng(11))
+    return compute_outage_curve(
+        Protocol.MABC, gains, power=10.0, n_draws=80, rng=np.random.default_rng(11)
+    )
 
 
 class TestOutageCurve:
@@ -51,22 +52,41 @@ class TestOutageCurve:
 
 class TestOutageSumRate:
     def test_matches_curve_quantile(self, paper_gains):
-        value = outage_sum_rate(Protocol.MABC, paper_gains, power=10.0,
-                                epsilon=0.1, n_draws=40,
-                                rng=np.random.default_rng(12))
-        curve = compute_outage_curve(Protocol.MABC, paper_gains, power=10.0,
-                                     n_draws=40,
-                                     rng=np.random.default_rng(12))
+        value = outage_sum_rate(
+            Protocol.MABC,
+            paper_gains,
+            power=10.0,
+            epsilon=0.1,
+            n_draws=40,
+            rng=np.random.default_rng(12),
+        )
+        curve = compute_outage_curve(
+            Protocol.MABC,
+            paper_gains,
+            power=10.0,
+            n_draws=40,
+            rng=np.random.default_rng(12),
+        )
         assert value == pytest.approx(curve.rate_at_outage(0.1))
 
     def test_hbc_outage_dominates(self, paper_gains):
         """Pointwise HBC >= MABC implies quantile dominance (paired RNG)."""
-        hbc = outage_sum_rate(Protocol.HBC, paper_gains, power=10.0,
-                              epsilon=0.1, n_draws=40,
-                              rng=np.random.default_rng(13))
-        mabc = outage_sum_rate(Protocol.MABC, paper_gains, power=10.0,
-                               epsilon=0.1, n_draws=40,
-                               rng=np.random.default_rng(13))
+        hbc = outage_sum_rate(
+            Protocol.HBC,
+            paper_gains,
+            power=10.0,
+            epsilon=0.1,
+            n_draws=40,
+            rng=np.random.default_rng(13),
+        )
+        mabc = outage_sum_rate(
+            Protocol.MABC,
+            paper_gains,
+            power=10.0,
+            epsilon=0.1,
+            n_draws=40,
+            rng=np.random.default_rng(13),
+        )
         assert hbc >= mabc - 1e-9
 
     def test_draws_validated(self, paper_gains, rng):
@@ -75,11 +95,19 @@ class TestOutageSumRate:
 
     def test_campaign_path_matches_legacy_lp_loop(self, paper_gains):
         """Campaign executor and per-draw LP loop agree draw for draw."""
-        fast = compute_outage_curve(Protocol.HBC, paper_gains, power=10.0,
-                                    n_draws=20,
-                                    rng=np.random.default_rng(21))
-        legacy = compute_outage_curve(Protocol.HBC, paper_gains, power=10.0,
-                                      n_draws=20,
-                                      rng=np.random.default_rng(21),
-                                      executor=None)
+        fast = compute_outage_curve(
+            Protocol.HBC,
+            paper_gains,
+            power=10.0,
+            n_draws=20,
+            rng=np.random.default_rng(21),
+        )
+        legacy = compute_outage_curve(
+            Protocol.HBC,
+            paper_gains,
+            power=10.0,
+            n_draws=20,
+            rng=np.random.default_rng(21),
+            executor=None,
+        )
         np.testing.assert_allclose(fast.samples, legacy.samples, atol=1e-7)

@@ -48,8 +48,9 @@ class TestCodebook:
 
 class TestFeasibility:
     def test_deep_inside_is_feasible(self, clean_channel):
-        assert mabc_rate_pair_feasible(clean_channel, n_mac=64,
-                                       n_broadcast=64, bits_a=4, bits_b=4)
+        assert mabc_rate_pair_feasible(
+            clean_channel, n_mac=64, n_broadcast=64, bits_a=4, bits_b=4
+        )
 
     def test_sum_constraint_binds(self, clean_channel):
         # XOR MAC: bits_a + bits_b <= n_mac * (1 - h(p_mac)).
@@ -57,13 +58,17 @@ class TestFeasibility:
             "repro.information.functions", fromlist=["binary_entropy"]
         ).binary_entropy(clean_channel.p_mac))
         assert not mabc_rate_pair_feasible(
-            clean_channel, n_mac=64, n_broadcast=64,
-            bits_a=int(mac_cap), bits_b=int(mac_cap),
+            clean_channel,
+            n_mac=64,
+            n_broadcast=64,
+            bits_a=int(mac_cap),
+            bits_b=int(mac_cap),
         )
 
     def test_broadcast_constraint_binds(self, clean_channel):
-        assert not mabc_rate_pair_feasible(clean_channel, n_mac=1000,
-                                           n_broadcast=4, bits_a=20, bits_b=2)
+        assert not mabc_rate_pair_feasible(
+            clean_channel, n_mac=1000, n_broadcast=4, bits_a=20, bits_b=2
+        )
 
     def test_negative_inputs_rejected(self, clean_channel):
         with pytest.raises(InvalidParameterError):
@@ -73,8 +78,13 @@ class TestFeasibility:
 class TestSimulation:
     def test_inside_bound_decodes_reliably(self, clean_channel):
         report = simulate_mabc_random_coding(
-            clean_channel, n_mac=64, n_broadcast=64, bits_a=4, bits_b=4,
-            n_trials=25, rng=np.random.default_rng(3),
+            clean_channel,
+            n_mac=64,
+            n_broadcast=64,
+            bits_a=4,
+            bits_b=4,
+            n_trials=25,
+            rng=np.random.default_rng(3),
         )
         assert mabc_rate_pair_feasible(clean_channel, 64, 64, 4, 4)
         assert report.relay_error_rate <= 0.1
@@ -85,8 +95,13 @@ class TestSimulation:
         # in 48 uses: the relay pair decoding must collapse.
         noisy = BinaryRelayChannel(pab=0.4, par=0.02, pbr=0.02, p_mac=0.35)
         report = simulate_mabc_random_coding(
-            noisy, n_mac=48, n_broadcast=48, bits_a=5, bits_b=5,
-            n_trials=25, rng=np.random.default_rng(4),
+            noisy,
+            n_mac=48,
+            n_broadcast=48,
+            bits_a=5,
+            bits_b=5,
+            n_trials=25,
+            rng=np.random.default_rng(4),
         )
         assert not mabc_rate_pair_feasible(noisy, 48, 48, 5, 5)
         assert report.relay_error_rate >= 0.5
@@ -94,35 +109,62 @@ class TestSimulation:
     def test_noiseless_channel_never_errs(self):
         channel = BinaryRelayChannel(pab=0.0, par=0.0, pbr=0.0)
         report = simulate_mabc_random_coding(
-            channel, n_mac=24, n_broadcast=24, bits_a=3, bits_b=3,
-            n_trials=20, rng=np.random.default_rng(5),
+            channel,
+            n_mac=24,
+            n_broadcast=24,
+            bits_a=3,
+            bits_b=3,
+            n_trials=20,
+            rng=np.random.default_rng(5),
         )
         assert report.relay_error_rate == 0.0
         assert report.max_error_rate == 0.0
 
     def test_asymmetric_message_sizes(self, clean_channel):
         report = simulate_mabc_random_coding(
-            clean_channel, n_mac=64, n_broadcast=64, bits_a=5, bits_b=2,
-            n_trials=15, rng=np.random.default_rng(6),
+            clean_channel,
+            n_mac=64,
+            n_broadcast=64,
+            bits_a=5,
+            bits_b=2,
+            n_trials=15,
+            rng=np.random.default_rng(6),
         )
         assert isinstance(report, MabcRandomCodingReport)
         assert report.max_error_rate <= 0.2
 
     def test_validation(self, clean_channel, rng):
         with pytest.raises(InvalidParameterError):
-            simulate_mabc_random_coding(clean_channel, n_mac=8, n_broadcast=8,
-                                        bits_a=1, bits_b=1, n_trials=0,
-                                        rng=rng)
+            simulate_mabc_random_coding(
+                clean_channel,
+                n_mac=8,
+                n_broadcast=8,
+                bits_a=1,
+                bits_b=1,
+                n_trials=0,
+                rng=rng,
+            )
         with pytest.raises(InvalidParameterError):
-            simulate_mabc_random_coding(clean_channel, n_mac=8, n_broadcast=8,
-                                        bits_a=0, bits_b=1, n_trials=1,
-                                        rng=rng)
+            simulate_mabc_random_coding(
+                clean_channel,
+                n_mac=8,
+                n_broadcast=8,
+                bits_a=0,
+                bits_b=1,
+                n_trials=1,
+                rng=rng,
+            )
 
 
 class TestResourceGuard:
     def test_oversized_pair_decoder_rejected(self, clean_channel, rng):
         with pytest.raises(InvalidParameterError):
             simulate_mabc_random_coding(
-                clean_channel, n_mac=64, n_broadcast=64,
-                bits_a=14, bits_b=14, n_trials=1, rng=rng,
+                clean_channel,
+                n_mac=64,
+                n_broadcast=64,
+                bits_a=14,
+                bits_b=14,
+                n_trials=1,
+                rng=rng,
             )

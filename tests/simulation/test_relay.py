@@ -19,8 +19,11 @@ def codec():
 def mac_received(codec, rng, *, wa, wb, gain_a, gain_b, amplitude, noise_std):
     xa = codec.encode(wa)
     xb = codec.encode(wb)
-    noise = noise_std * (rng.normal(size=codec.n_symbols)
-                         + 1j * rng.normal(size=codec.n_symbols)) / np.sqrt(2)
+    noise = (
+        noise_std
+        * (rng.normal(size=codec.n_symbols) + 1j * rng.normal(size=codec.n_symbols))
+        / np.sqrt(2)
+    )
     return amplitude * gain_a * xa + amplitude * gain_b * xb + noise
 
 
@@ -36,11 +39,19 @@ class TestDecodeFrame:
 class TestSicDecoding:
     def test_recovers_both_with_gain_gap(self, codec, rng):
         wa, wb = random_bits(rng, 32), random_bits(rng, 32)
-        received = mac_received(codec, rng, wa=wa, wb=wb,
-                                gain_a=2.0, gain_b=0.7,
-                                amplitude=3.0, noise_std=0.1)
-        result = sic_decode_mac(codec, received, gain_a=2.0, gain_b=0.7,
-                                noise_power=0.01, amplitude=3.0)
+        received = mac_received(
+            codec,
+            rng,
+            wa=wa,
+            wb=wb,
+            gain_a=2.0,
+            gain_b=0.7,
+            amplitude=3.0,
+            noise_std=0.1,
+        )
+        result = sic_decode_mac(
+            codec, received, gain_a=2.0, gain_b=0.7, noise_power=0.01, amplitude=3.0
+        )
         assert result.decoded_first == "a"
         assert result.both_ok
         np.testing.assert_array_equal(result.frame_a.payload, wa)
@@ -48,11 +59,19 @@ class TestSicDecoding:
 
     def test_order_follows_stronger_gain(self, codec, rng):
         wa, wb = random_bits(rng, 32), random_bits(rng, 32)
-        received = mac_received(codec, rng, wa=wa, wb=wb,
-                                gain_a=0.7, gain_b=2.0,
-                                amplitude=3.0, noise_std=0.1)
-        result = sic_decode_mac(codec, received, gain_a=0.7, gain_b=2.0,
-                                noise_power=0.01, amplitude=3.0)
+        received = mac_received(
+            codec,
+            rng,
+            wa=wa,
+            wb=wb,
+            gain_a=0.7,
+            gain_b=2.0,
+            amplitude=3.0,
+            noise_std=0.1,
+        )
+        result = sic_decode_mac(
+            codec, received, gain_a=0.7, gain_b=2.0, noise_power=0.01, amplitude=3.0
+        )
         assert result.decoded_first == "b"
         assert result.both_ok
         np.testing.assert_array_equal(result.frame_a.payload, wa)
@@ -62,22 +81,32 @@ class TestSicDecoding:
         # With equal gains stage 1 sees SIR = 0 dB; failures must be
         # *flagged* (crc_ok False), never silent.
         wa, wb = random_bits(rng, 32), random_bits(rng, 32)
-        received = mac_received(codec, rng, wa=wa, wb=wb,
-                                gain_a=1.0, gain_b=1.0,
-                                amplitude=1.0, noise_std=1.0)
-        result = sic_decode_mac(codec, received, gain_a=1.0, gain_b=1.0,
-                                noise_power=1.0, amplitude=1.0)
+        received = mac_received(
+            codec,
+            rng,
+            wa=wa,
+            wb=wb,
+            gain_a=1.0,
+            gain_b=1.0,
+            amplitude=1.0,
+            noise_std=1.0,
+        )
+        result = sic_decode_mac(
+            codec, received, gain_a=1.0, gain_b=1.0, noise_power=1.0, amplitude=1.0
+        )
         if not result.both_ok:
             assert not (result.frame_a.crc_ok and result.frame_b.crc_ok)
 
     def test_parameter_validation(self, codec):
         y = np.zeros(codec.n_symbols, dtype=complex)
         with pytest.raises(InvalidParameterError):
-            sic_decode_mac(codec, y, gain_a=1.0, gain_b=1.0,
-                           noise_power=0.0, amplitude=1.0)
+            sic_decode_mac(
+                codec, y, gain_a=1.0, gain_b=1.0, noise_power=0.0, amplitude=1.0
+            )
         with pytest.raises(InvalidParameterError):
-            sic_decode_mac(codec, y, gain_a=1.0, gain_b=1.0,
-                           noise_power=1.0, amplitude=0.0)
+            sic_decode_mac(
+                codec, y, gain_a=1.0, gain_b=1.0, noise_power=1.0, amplitude=0.0
+            )
 
 
 class TestXorForward:

@@ -24,9 +24,11 @@ def make_frame(codec, payload, *, crc_ok=True, corrupt=False):
     if corrupt:
         frame_bits = frame_bits.copy()
         frame_bits[0] ^= 1
-    return DecodedFrame(payload=codec.crc.strip(frame_bits),
-                        frame_bits=frame_bits,
-                        crc_ok=crc_ok and codec.crc.check(frame_bits))
+    return DecodedFrame(
+        payload=codec.crc.strip(frame_bits),
+        frame_bits=frame_bits,
+        crc_ok=crc_ok and codec.crc.check(frame_bits),
+    )
 
 
 class TestResolveViaRelay:
@@ -35,8 +37,11 @@ class TestResolveViaRelay:
         own = codec.crc.append(wa)
         partner = codec.crc.append(wb)
         relay = make_frame(codec, codec.crc.strip(xor_bits(own, partner)))
-        relay = DecodedFrame(payload=codec.crc.strip(xor_bits(own, partner)),
-                             frame_bits=xor_bits(own, partner), crc_ok=True)
+        relay = DecodedFrame(
+            payload=codec.crc.strip(xor_bits(own, partner)),
+            frame_bits=xor_bits(own, partner),
+            crc_ok=True,
+        )
         estimate = resolve_via_relay(relay, own, codec.crc)
         assert estimate.crc_ok
         assert estimate.path is DecodePath.RELAY
@@ -48,8 +53,9 @@ class TestResolveViaRelay:
         partner = codec.crc.append(wb)
         bad = xor_bits(own, partner).copy()
         bad[3] ^= 1
-        relay = DecodedFrame(payload=codec.crc.strip(bad), frame_bits=bad,
-                             crc_ok=codec.crc.check(bad))
+        relay = DecodedFrame(
+            payload=codec.crc.strip(bad), frame_bits=bad, crc_ok=codec.crc.check(bad)
+        )
         estimate = resolve_via_relay(relay, own, codec.crc)
         assert not estimate.crc_ok
         assert estimate.path is DecodePath.FAILED
@@ -64,11 +70,15 @@ class TestArbitration:
             frame_bits=xor_bits(own, codec.crc.append(wb)),
             crc_ok=True,
         )
-        relay = DecodedFrame(payload=codec.crc.strip(relay.frame_bits),
-                             frame_bits=relay.frame_bits, crc_ok=True)
+        relay = DecodedFrame(
+            payload=codec.crc.strip(relay.frame_bits),
+            frame_bits=relay.frame_bits,
+            crc_ok=True,
+        )
         direct = make_frame(codec, random_bits(rng, 32))  # valid but different
-        estimate = arbitrate_paths(codec, relay_frame=relay,
-                                   own_frame_bits=own, direct_frame=direct)
+        estimate = arbitrate_paths(
+            codec, relay_frame=relay, own_frame_bits=own, direct_frame=direct
+        )
         assert estimate.path is DecodePath.RELAY
         np.testing.assert_array_equal(estimate.payload, wb)
 
@@ -77,12 +87,15 @@ class TestArbitration:
         own = codec.crc.append(wa)
         bad_relay_bits = xor_bits(own, codec.crc.append(wb)).copy()
         bad_relay_bits[1] ^= 1
-        relay = DecodedFrame(payload=codec.crc.strip(bad_relay_bits),
-                             frame_bits=bad_relay_bits,
-                             crc_ok=False)
+        relay = DecodedFrame(
+            payload=codec.crc.strip(bad_relay_bits),
+            frame_bits=bad_relay_bits,
+            crc_ok=False,
+        )
         direct = make_frame(codec, wb)
-        estimate = arbitrate_paths(codec, relay_frame=relay,
-                                   own_frame_bits=own, direct_frame=direct)
+        estimate = arbitrate_paths(
+            codec, relay_frame=relay, own_frame_bits=own, direct_frame=direct
+        )
         assert estimate.path is DecodePath.DIRECT
         assert estimate.crc_ok
         np.testing.assert_array_equal(estimate.payload, wb)
@@ -92,12 +105,15 @@ class TestArbitration:
         own = codec.crc.append(wa)
         bad_bits = codec.crc.append(random_bits(rng, 32)).copy()
         bad_bits[0] ^= 1
-        relay = DecodedFrame(payload=codec.crc.strip(bad_bits),
-                             frame_bits=bad_bits, crc_ok=False)
-        direct = DecodedFrame(payload=codec.crc.strip(bad_bits),
-                              frame_bits=bad_bits, crc_ok=False)
-        estimate = arbitrate_paths(codec, relay_frame=relay,
-                                   own_frame_bits=own, direct_frame=direct)
+        relay = DecodedFrame(
+            payload=codec.crc.strip(bad_bits), frame_bits=bad_bits, crc_ok=False
+        )
+        direct = DecodedFrame(
+            payload=codec.crc.strip(bad_bits), frame_bits=bad_bits, crc_ok=False
+        )
+        estimate = arbitrate_paths(
+            codec, relay_frame=relay, own_frame_bits=own, direct_frame=direct
+        )
         assert estimate.path is DecodePath.FAILED
         assert not estimate.crc_ok
 
@@ -105,14 +121,16 @@ class TestArbitration:
         wb = random_bits(rng, 32)
         own = codec.crc.append(random_bits(rng, 32))
         direct = make_frame(codec, wb)
-        estimate = arbitrate_paths(codec, relay_frame=None,
-                                   own_frame_bits=own, direct_frame=direct)
+        estimate = arbitrate_paths(
+            codec, relay_frame=None, own_frame_bits=own, direct_frame=direct
+        )
         assert estimate.path is DecodePath.DIRECT
         np.testing.assert_array_equal(estimate.payload, wb)
 
     def test_nothing_available_fails_gracefully(self, codec, rng):
         own = codec.crc.append(random_bits(rng, 32))
-        estimate = arbitrate_paths(codec, relay_frame=None,
-                                   own_frame_bits=own, direct_frame=None)
+        estimate = arbitrate_paths(
+            codec, relay_frame=None, own_frame_bits=own, direct_frame=None
+        )
         assert estimate.path is DecodePath.FAILED
         assert estimate.payload.shape == (32,)
