@@ -78,23 +78,30 @@ class UnitBatch:
 
 
 def _evaluate_link_units(batch: UnitBatch) -> np.ndarray:
-    """Operational cells: one independently seeded link campaign per unit."""
-    from ..simulation.montecarlo import batched_link_goodput
+    """Operational cells: independently seeded link campaigns, cells-fused.
+
+    Every cell of the batch keeps its own ``(seed, flat index)``
+    generator, but the decode arithmetic of all cells runs through one
+    fused kernel pass per wave
+    (:func:`repro.simulation.montecarlo.fused_link_values`) — bitwise
+    identical to the historical per-cell loop, benchmark-asserted. The
+    executor's batch slicing (``VectorizedExecutor.max_batch``, pool
+    chunks, the serial unit loop) therefore bounds the fused width too.
+    """
+    from ..simulation.montecarlo import fused_link_values
 
     if batch.indices is None:
         raise InvalidParameterError(
             "operational unit batches need flat grid indices for seeding"
         )
-    return batched_link_goodput(
+    return fused_link_values(
         batch.protocol,
         batch.gab,
         batch.gar,
         batch.gbr,
         batch.power,
-        n_rounds=batch.link.n_rounds,
-        seed=batch.link.seed,
+        link=batch.link,
         indices=batch.indices,
-        codec=batch.link.codec(),
     )
 
 
@@ -237,7 +244,11 @@ class VectorizedExecutor:
     ----------
     max_batch:
         Optional upper bound on units per kernel call (memory control for
-        very large ensembles); ``None`` sends each batch in one call.
+        very large ensembles); ``None`` sends each batch in one call. The
+        bound applies to operational (link-level) batches too: a fused
+        link evaluation never sees more than ``max_batch`` cells per
+        kernel call, so the cap limits the fused decoder's working set
+        exactly as it limits the analytic kernel's (regression-tested).
     """
 
     name = "vectorized"

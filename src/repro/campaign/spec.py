@@ -52,6 +52,7 @@ __all__ = [
     "LINK_CODES",
     "LINK_CRCS",
     "LINK_MODULATIONS",
+    "LINK_METRICS",
     "DEFAULT_CHUNK_SIZE",
     "chunk_ranges",
 ]
@@ -64,6 +65,9 @@ LINK_CRCS = ("crc8", "crc16-ccitt", "crc32")
 
 #: Modulations an operational campaign may name.
 LINK_MODULATIONS = ("bpsk", "qpsk")
+
+#: Cell-value metrics an operational campaign may report.
+LINK_METRICS = ("goodput", "fer")
 
 #: Canonical axis names of the classic campaign grid. Extensible axes
 #: (:attr:`CampaignSpec.extra_axes`) are inserted between ``power`` and
@@ -159,7 +163,8 @@ class LinkSimSpec:
     Attributes
     ----------
     n_rounds:
-        Protocol rounds simulated per grid cell.
+        Protocol rounds simulated per grid cell — the fixed budget, or
+        the initial wave when adaptive allocation is on.
     payload_bits:
         Payload size per direction and round.
     seed:
@@ -167,6 +172,20 @@ class LinkSimSpec:
     code / crc / modulation:
         Named codec components (:data:`LINK_CODES`, :data:`LINK_CRCS`,
         :data:`LINK_MODULATIONS`); the default is the production codec.
+    metric:
+        Cell value reported into the grid (:data:`LINK_METRICS`):
+        ``"goodput"`` (bits/symbol, the default) or ``"fer"`` (combined
+        frame error rate of both directions).
+    target_rel_error / max_rounds:
+        Optional adaptive round allocation (set both or neither): cells
+        run in the escalating spec-derived waves of
+        :func:`repro.simulation.montecarlo.wave_bounds` and stop at the
+        first boundary where the combined-FER relative standard error
+        meets the target, never exceeding ``max_rounds`` rounds. The
+        schedule is a pure function of these (hashed) fields, so
+        adaptive cell values stay cacheable and shard-stable. All three
+        optional fields serialize only when set, so pre-existing
+        operational spec hashes are untouched.
     """
 
     n_rounds: int
@@ -175,6 +194,9 @@ class LinkSimSpec:
     code: str = "nasa"
     crc: str = "crc16-ccitt"
     modulation: str = "bpsk"
+    metric: str = "goodput"
+    target_rel_error: float | None = None
+    max_rounds: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_rounds < 1:
@@ -189,11 +211,22 @@ class LinkSimSpec:
             (self.code, LINK_CODES, "code"),
             (self.crc, LINK_CRCS, "crc"),
             (self.modulation, LINK_MODULATIONS, "modulation"),
+            (self.metric, LINK_METRICS, "metric"),
         ):
             if value not in options:
                 raise InvalidParameterError(
                     f"unknown {label} {value!r}; choose from {options}"
                 )
+        if self.target_rel_error is not None or self.max_rounds is not None:
+            # One source of truth for the adaptive-budget rules: the wave
+            # schedule itself. A spec validates iff its schedule derives.
+            from ..simulation.montecarlo import wave_bounds
+
+            wave_bounds(
+                self.n_rounds,
+                target_rel_error=self.target_rel_error,
+                max_rounds=self.max_rounds,
+            )
 
     def codec(self):
         """Build the named :class:`~repro.simulation.linkcodec.LinkCodec`."""
@@ -213,8 +246,14 @@ class LinkSimSpec:
         )
 
     def to_dict(self) -> dict:
-        """Plain-data form for hashing and serialization."""
-        return {
+        """Plain-data form for hashing and serialization.
+
+        The post-fusion fields (``metric``, ``target_rel_error``,
+        ``max_rounds``) are emitted only when they deviate from the
+        defaults, so every pre-existing operational spec serializes —
+        and hashes — exactly as before (golden-tested).
+        """
+        data = {
             "n_rounds": int(self.n_rounds),
             "payload_bits": int(self.payload_bits),
             "seed": int(self.seed),
@@ -222,6 +261,12 @@ class LinkSimSpec:
             "crc": self.crc,
             "modulation": self.modulation,
         }
+        if self.metric != "goodput":
+            data["metric"] = self.metric
+        if self.target_rel_error is not None:
+            data["target_rel_error"] = float(self.target_rel_error)
+            data["max_rounds"] = int(self.max_rounds)
+        return data
 
 
 def _jsonable(value):

@@ -20,7 +20,14 @@ from .dmc import (
 )
 from .fading import RayleighFading, RicianFading, sample_gain_ensemble
 from .gains import LinkGains
-from .halfduplex import HalfDuplexMedium, PhaseOutput, complex_gains_from_powers
+from .halfduplex import (
+    FusedHalfDuplexMedium,
+    FusedPhaseStream,
+    HalfDuplexMedium,
+    PhaseOutput,
+    PhaseRows,
+    complex_gains_from_powers,
+)
 from .pathloss import (
     FreeSpacePathLoss,
     LogDistancePathLoss,
@@ -45,7 +52,10 @@ __all__ = [
     "sample_gain_ensemble",
     "LinkGains",
     "HalfDuplexMedium",
+    "FusedHalfDuplexMedium",
+    "FusedPhaseStream",
     "PhaseOutput",
+    "PhaseRows",
     "complex_gains_from_powers",
     "FreeSpacePathLoss",
     "LogDistancePathLoss",

@@ -38,18 +38,27 @@ class ComplexAwgn:
     def sample(self, rng: np.random.Generator, size) -> np.ndarray:
         """Draw complex noise samples with ``E[|Z|^2] = noise_power``."""
         scale = np.sqrt(self.noise_power / 2.0)
-        return rng.normal(0.0, scale, size=size) + 1j * rng.normal(0.0, scale, size=size)
+        return rng.normal(0.0, scale, size=size) + 1j * rng.normal(
+            0.0, scale, size=size
+        )
 
 
-def apply_link(symbols: np.ndarray, complex_gain: complex,
-               noise: ComplexAwgn, rng: np.random.Generator) -> np.ndarray:
+def apply_link(
+    symbols: np.ndarray,
+    complex_gain: complex,
+    noise: ComplexAwgn,
+    rng: np.random.Generator,
+) -> np.ndarray:
     """Single-transmitter link: ``y = g * x + z``."""
     x = np.asarray(symbols)
     return complex_gain * x + noise.sample(rng, x.shape)
 
 
-def apply_mac(symbols_by_gain: list[tuple[np.ndarray, complex]],
-              noise: ComplexAwgn, rng: np.random.Generator) -> np.ndarray:
+def apply_mac(
+    symbols_by_gain: list[tuple[np.ndarray, complex]],
+    noise: ComplexAwgn,
+    rng: np.random.Generator,
+) -> np.ndarray:
     """Multiple-access superposition: ``y = sum_i g_i x_i + z``.
 
     All symbol vectors must share a length (simultaneous transmission).
@@ -68,8 +77,9 @@ def apply_mac(symbols_by_gain: list[tuple[np.ndarray, complex]],
     return y
 
 
-def measure_snr(transmitted: np.ndarray, received: np.ndarray,
-                complex_gain: complex) -> float:
+def measure_snr(
+    transmitted: np.ndarray, received: np.ndarray, complex_gain: complex
+) -> float:
     """Empirical SNR of a received block given the known gain.
 
     Estimates noise power as the residual ``|y - g x|^2`` and signal power

@@ -78,8 +78,7 @@ class BinaryRelayChannel:
     p_mac: float | None = None
 
     def __post_init__(self) -> None:
-        for name, value in (("pab", self.pab), ("par", self.par),
-                            ("pbr", self.pbr)):
+        for name, value in (("pab", self.pab), ("par", self.par), ("pbr", self.pbr)):
             if not 0.0 <= value <= 0.5:
                 raise InvalidParameterError(
                     f"crossover {name} must lie in [0, 1/2], got {value}"
@@ -129,14 +128,17 @@ class BinaryRelayOracle:
     channel: BinaryRelayChannel
     _cache: dict = field(default_factory=dict, compare=False, repr=False)
 
-    def mutual_information(self, phase_index: int, sources: frozenset,
-                           listeners: frozenset,
-                           conditioned: frozenset) -> float:
+    def mutual_information(
+        self,
+        phase_index: int,
+        sources: frozenset,
+        listeners: frozenset,
+        conditioned: frozenset,
+    ) -> float:
         """See :class:`~repro.network.cutset.MutualInformationOracle`."""
         if not sources or not listeners:
             return 0.0
-        key = (tuple(sorted(sources)), tuple(sorted(listeners)),
-               bool(conditioned))
+        key = (tuple(sorted(sources)), tuple(sorted(listeners)), bool(conditioned))
         if key in self._cache:
             return self._cache[key]
         if len(sources) == 2:
@@ -153,8 +155,9 @@ class BinaryRelayOracle:
             value = conditional_mutual_information(joint, [0], [2], [1])
         else:
             (source,) = sources
-            crossovers = [self.channel.crossover(source, dst)
-                          for dst in sorted(listeners)]
+            crossovers = [
+                self.channel.crossover(source, dst) for dst in sorted(listeners)
+            ]
             joint = _bsc_joint(crossovers)
             value = mutual_information(joint, [0], list(range(1, joint.ndim)))
         self._cache[key] = value

@@ -40,9 +40,13 @@ class DiscreteMemorylessChannel:
     def __post_init__(self) -> None:
         w = np.asarray(self.matrix, dtype=float)
         if w.ndim != 2 or w.size == 0:
-            raise InvalidDistributionError("transition matrix must be 2-D and non-empty")
+            raise InvalidDistributionError(
+                "transition matrix must be 2-D and non-empty"
+            )
         if np.any(w < 0) or not np.allclose(w.sum(axis=1), 1.0, atol=1e-8):
-            raise InvalidDistributionError("rows of the transition matrix must be distributions")
+            raise InvalidDistributionError(
+                "rows of the transition matrix must be distributions"
+            )
         object.__setattr__(self, "matrix", w)
 
     @property
@@ -66,11 +70,14 @@ class DiscreteMemorylessChannel:
         cdf = np.cumsum(self.matrix, axis=1)
         return (u[..., None] > cdf[x]).sum(axis=-1).astype(int)
 
-    def compose(self, second: "DiscreteMemorylessChannel") -> "DiscreteMemorylessChannel":
+    def compose(
+        self, second: "DiscreteMemorylessChannel"
+    ) -> "DiscreteMemorylessChannel":
         """Cascade: this channel followed by ``second`` (output feeds input)."""
         if self.n_outputs != second.n_inputs:
             raise InvalidParameterError(
-                f"cannot cascade: {self.n_outputs} outputs into {second.n_inputs} inputs"
+                f"cannot cascade: {self.n_outputs} outputs into "
+                f"{second.n_inputs} inputs"
             )
         return DiscreteMemorylessChannel(self.matrix @ second.matrix)
 

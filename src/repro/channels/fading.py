@@ -89,9 +89,13 @@ class RicianFading:
         return np.abs(g) ** 2
 
 
-def sample_gain_ensemble(mean_gains: LinkGains, n_realizations: int,
-                         rng: np.random.Generator, *,
-                         k_factor: float = 0.0) -> list[LinkGains]:
+def sample_gain_ensemble(
+    mean_gains: LinkGains,
+    n_realizations: int,
+    rng: np.random.Generator,
+    *,
+    k_factor: float = 0.0,
+) -> list[LinkGains]:
     """Draw a quasi-static fading ensemble around mean link gains.
 
     Each realization is one protocol execution's worth of channel state:

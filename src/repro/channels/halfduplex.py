@@ -27,6 +27,18 @@ generators fill output arrays sequentially in C order, splitting the
 rounds axis across any number of calls on the same ``Generator`` consumes
 exactly the same values — so per-round loops, chunked batches and one big
 batch are bit-for-bit interchangeable.
+
+Fused phases
+------------
+:class:`FusedHalfDuplexMedium` runs the same phase of *many grid cells*
+at once: row ``c * rounds_per_cell + r`` of every array is round ``r`` of
+cell ``c``, and each link's complex gain is a per-row column so the
+superposition broadcasts every cell's own channel. Noise keeps the
+per-cell spawn policy of the campaign engine: a fused phase consumes a
+:class:`FusedPhaseStream` carrying one generator per cell, and each
+cell's block is drawn contiguously from *its* stream — exactly the draw
+the per-cell path makes — so fused campaigns are bitwise-identical to
+evaluating the cells one at a time.
 """
 
 from __future__ import annotations
@@ -41,6 +53,8 @@ from .gains import LinkGains
 
 __all__ = [
     "HalfDuplexMedium",
+    "FusedHalfDuplexMedium",
+    "FusedPhaseStream",
     "PhaseOutput",
     "PhaseRows",
     "complex_gains_from_powers",
@@ -48,10 +62,15 @@ __all__ = [
 
 _NODES = ("a", "b", "r")
 
+_LINKS = (("a", "b"), ("a", "r"), ("b", "r"))
 
-def complex_gains_from_powers(gains: LinkGains,
-                              rng: np.random.Generator | None = None,
-                              *, random_phases: bool = False) -> dict[frozenset, complex]:
+
+def complex_gains_from_powers(
+    gains: LinkGains,
+    rng: np.random.Generator | None = None,
+    *,
+    random_phases: bool = False,
+) -> dict[frozenset, complex]:
     """Lift power gains ``G_ij`` to complex amplitudes ``g_ij``.
 
     With ``random_phases=False`` the amplitudes are the positive square
@@ -61,7 +80,7 @@ def complex_gains_from_powers(gains: LinkGains,
     ``rng``; reciprocity is preserved because phases attach to links.
     """
     phases = {}
-    for pair in (("a", "b"), ("a", "r"), ("b", "r")):
+    for pair in _LINKS:
         if random_phases:
             if rng is None:
                 raise InvalidParameterError("rng required when random_phases=True")
@@ -69,9 +88,9 @@ def complex_gains_from_powers(gains: LinkGains,
         else:
             phases[frozenset(pair)] = 0.0
     return {
-        frozenset(("a", "b")): np.sqrt(gains.gab) * np.exp(1j * phases[frozenset(("a", "b"))]),
-        frozenset(("a", "r")): np.sqrt(gains.gar) * np.exp(1j * phases[frozenset(("a", "r"))]),
-        frozenset(("b", "r")): np.sqrt(gains.gbr) * np.exp(1j * phases[frozenset(("b", "r"))]),
+        frozenset(pair): np.sqrt(gains.gain(*pair))
+        * np.exp(1j * phases[frozenset(pair)])
+        for pair in _LINKS
     }
 
 
@@ -127,6 +146,94 @@ class PhaseRows:
         return self.received[node]
 
 
+@dataclass(frozen=True)
+class FusedPhaseStream:
+    """Per-cell noise streams of one protocol phase of a fused batch.
+
+    The (cells × rounds)-fused engine runs one phase of many independent
+    per-cell campaigns in a single call. Bitwise identity with the
+    per-cell path requires each cell's noise to come from *its own* phase
+    stream (campaign cells are independently seeded by flat grid index),
+    so a fused phase carries one generator per cell;
+    :meth:`FusedHalfDuplexMedium.run_phase_rows` draws each cell's block
+    contiguously from its stream and stacks the blocks along the fused
+    rows axis.
+    """
+
+    streams: tuple
+    rounds_per_cell: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "streams", tuple(self.streams))
+        if not self.streams:
+            raise InvalidParameterError("at least one cell stream required")
+        if self.rounds_per_cell < 1:
+            raise InvalidParameterError(
+                f"need at least one round per cell, got {self.rounds_per_cell}"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        """Number of grid cells fused into the batch."""
+        return len(self.streams)
+
+
+def _combine_received(draws, listeners, transmissions: dict, complex_gains) -> dict:
+    """Listener superposition: noise draws plus gain-weighted transmissions.
+
+    ``draws`` is the phase's ``(n_rows, n_listeners, 2, n_symbols)``
+    standard-normal block; each listener's output is its complex noise
+    plus every transmission weighted by the link gain (scalar for the
+    per-cell medium, a per-row column for the fused one). Shared by both
+    batched phase runners so the received-signal arithmetic — the heart
+    of the fused-vs-per-cell bitwise-identity invariant — exists exactly
+    once.
+    """
+    received: dict = {}
+    for li, node in enumerate(listeners):
+        y = draws[:, li, 0, :] + 1j * draws[:, li, 1, :]
+        for tx, x in transmissions.items():
+            gain = complex_gains[frozenset((tx, node))]
+            y = y + gain * np.asarray(x)
+        received[node] = y
+    return received
+
+
+def _validate_phase_nodes(transmissions: dict, listeners) -> tuple:
+    """Shared transmitter/listener validation of the batched phase runners."""
+    for node in transmissions:
+        if node not in _NODES:
+            raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
+        if transmissions[node] is None:
+            raise HalfDuplexViolationError(
+                f"node {node!r} listed as transmitter but supplied no signal"
+            )
+    tx_nodes = frozenset(transmissions)
+    if not tx_nodes:
+        raise InvalidParameterError("at least one node must transmit in a phase")
+    listeners = tuple(listeners)
+    if not listeners:
+        raise InvalidParameterError("at least one listener required")
+    for node in listeners:
+        if node not in _NODES:
+            raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
+        if node in tx_nodes:
+            raise HalfDuplexViolationError(
+                f"node {node!r} cannot transmit and listen in the same phase"
+            )
+    shapes = {np.asarray(x).shape for x in transmissions.values()}
+    if len(shapes) != 1:
+        raise InvalidParameterError(
+            f"simultaneous transmissions must share a shape, got {shapes}"
+        )
+    (shape,) = shapes
+    if len(shape) != 2:
+        raise InvalidParameterError(
+            f"batched transmissions must be (rounds, symbols), got shape {shape}"
+        )
+    return tx_nodes, listeners, shape
+
+
 @dataclass
 class HalfDuplexMedium:
     """A three-node half-duplex Gaussian broadcast medium.
@@ -150,10 +257,12 @@ class HalfDuplexMedium:
     def __post_init__(self) -> None:
         if self.complex_gains is None:
             self.complex_gains = complex_gains_from_powers(self.gains)
-        for pair in (("a", "b"), ("a", "r"), ("b", "r")):
+        for pair in _LINKS:
             key = frozenset(pair)
             if key not in self.complex_gains:
-                raise InvalidParameterError(f"missing complex gain for link {sorted(pair)}")
+                raise InvalidParameterError(
+                    f"missing complex gain for link {sorted(pair)}"
+                )
             amplitude = abs(self.complex_gains[key]) ** 2
             expected = self.gains.gain(*pair)
             if abs(amplitude - expected) > 1e-6 * max(1.0, expected):
@@ -189,7 +298,9 @@ class HalfDuplexMedium:
         """
         for node in transmissions:
             if node not in _NODES:
-                raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
+                raise InvalidParameterError(
+                    f"unknown node {node!r}; nodes are {_NODES}"
+                )
             if transmissions[node] is None:
                 raise HalfDuplexViolationError(
                     f"node {node!r} listed as transmitter but supplied no signal"
@@ -216,8 +327,9 @@ class HalfDuplexMedium:
             received[node] = y
         return PhaseOutput(received=received, transmitters=tx_nodes)
 
-    def run_phase_rows(self, transmissions: dict, listeners,
-                       rng: np.random.Generator) -> PhaseRows:
+    def run_phase_rows(
+        self, transmissions: dict, listeners, rng: np.random.Generator
+    ) -> PhaseRows:
         """Execute one phase of a whole batch of rounds at once.
 
         Parameters
@@ -236,47 +348,137 @@ class HalfDuplexMedium:
             consumed (see the module docstring for why that makes results
             independent of how the rounds axis is batched).
         """
-        for node in transmissions:
-            if node not in _NODES:
-                raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
-            if transmissions[node] is None:
-                raise HalfDuplexViolationError(
-                    f"node {node!r} listed as transmitter but supplied no signal"
-                )
-        tx_nodes = frozenset(transmissions)
-        if not tx_nodes:
-            raise InvalidParameterError("at least one node must transmit in a phase")
-        listeners = tuple(listeners)
-        if not listeners:
-            raise InvalidParameterError("at least one listener required")
-        for node in listeners:
-            if node not in _NODES:
-                raise InvalidParameterError(f"unknown node {node!r}; nodes are {_NODES}")
-            if node in tx_nodes:
-                raise HalfDuplexViolationError(
-                    f"node {node!r} cannot transmit and listen in the same phase"
-                )
-        shapes = {np.asarray(x).shape for x in transmissions.values()}
-        if len(shapes) != 1:
-            raise InvalidParameterError(
-                f"simultaneous transmissions must share a shape, got {shapes}"
-            )
-        (shape,) = shapes
-        if len(shape) != 2:
-            raise InvalidParameterError(
-                f"batched transmissions must be (rounds, symbols), got shape {shape}"
-            )
+        tx_nodes, listeners, shape = _validate_phase_nodes(transmissions, listeners)
         n_rounds, n_symbols = shape
 
         scale = np.sqrt(self.noise.noise_power / 2.0)
-        draws = rng.normal(
-            0.0, scale, size=(n_rounds, len(listeners), 2, n_symbols)
+        draws = rng.normal(0.0, scale, size=(n_rounds, len(listeners), 2, n_symbols))
+        received = _combine_received(
+            draws, listeners, transmissions, self.complex_gains
         )
-        received: dict = {}
-        for li, node in enumerate(listeners):
-            y = draws[:, li, 0, :] + 1j * draws[:, li, 1, :]
-            for tx, x in transmissions.items():
-                gain = self.complex_gains[frozenset((tx, node))]
-                y = y + gain * np.asarray(x)
-            received[node] = y
+        return PhaseRows(received=received, transmitters=tx_nodes)
+
+
+@dataclass
+class FusedHalfDuplexMedium:
+    """The half-duplex medium of many grid cells, fused along one rows axis.
+
+    Where :class:`HalfDuplexMedium` carries one scalar complex gain per
+    link, this medium carries one *per-row column* per link: cell ``c``'s
+    coherent amplitude ``sqrt(G)`` occupies rows
+    ``[c * rounds_per_cell, (c + 1) * rounds_per_cell)``, so the phase
+    superposition — and every downstream demodulation — broadcasts each
+    cell's own channel across its rounds. Noise draws keep the per-cell
+    stream policy (see :class:`FusedPhaseStream`), which is what makes a
+    fused evaluation bitwise-identical to running the cells one at a
+    time through :class:`HalfDuplexMedium`.
+
+    Attributes
+    ----------
+    gab / gar / gbr:
+        Per-cell power gains of the three links, shape ``(n_cells,)``.
+    rounds_per_cell:
+        Rounds fused per cell; every array row count is
+        ``n_cells * rounds_per_cell``.
+    noise:
+        Noise source at every listener (unit power by default).
+    complex_gains:
+        Derived per-link coherent amplitudes as ``(n_rows, 1)`` complex
+        columns, keyed like :attr:`HalfDuplexMedium.complex_gains`.
+    """
+
+    gab: np.ndarray
+    gar: np.ndarray
+    gbr: np.ndarray
+    rounds_per_cell: int
+    noise: ComplexAwgn = field(default_factory=ComplexAwgn)
+    complex_gains: dict = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.gab = np.atleast_1d(np.asarray(self.gab, dtype=float))
+        self.gar = np.atleast_1d(np.asarray(self.gar, dtype=float))
+        self.gbr = np.atleast_1d(np.asarray(self.gbr, dtype=float))
+        if not (self.gab.shape == self.gar.shape == self.gbr.shape):
+            raise InvalidParameterError(
+                f"mismatched per-cell gain shapes: {self.gab.shape}, "
+                f"{self.gar.shape}, {self.gbr.shape}"
+            )
+        if self.gab.ndim != 1 or self.gab.size < 1:
+            raise InvalidParameterError("per-cell gains must be a non-empty vector")
+        if self.rounds_per_cell < 1:
+            raise InvalidParameterError(
+                f"need at least one round per cell, got {self.rounds_per_cell}"
+            )
+        for name, values in (("gab", self.gab), ("gar", self.gar), ("gbr", self.gbr)):
+            if np.any(values < 0):
+                raise InvalidParameterError(f"negative power gain in {name}")
+        # Per-row coherent amplitudes: cell c's sqrt(G) repeated over its
+        # rounds, as a complex column so the engine's gain arithmetic is
+        # the scalar path's, elementwise.
+        per_link = {
+            frozenset(("a", "b")): self.gab,
+            frozenset(("a", "r")): self.gar,
+            frozenset(("b", "r")): self.gbr,
+        }
+        self.complex_gains = {
+            key: np.repeat(np.sqrt(values), self.rounds_per_cell).astype(complex)[
+                :, None
+            ]
+            for key, values in per_link.items()
+        }
+
+    @property
+    def n_cells(self) -> int:
+        """Number of fused grid cells."""
+        return int(self.gab.shape[0])
+
+    @property
+    def n_rows(self) -> int:
+        """Total fused rows: ``n_cells * rounds_per_cell``."""
+        return self.n_cells * self.rounds_per_cell
+
+    def run_phase_rows(
+        self, transmissions: dict, listeners, rng: FusedPhaseStream
+    ) -> PhaseRows:
+        """Execute one phase of every fused cell's batch of rounds at once.
+
+        The interface of :meth:`HalfDuplexMedium.run_phase_rows` with two
+        differences: arrays are ``(n_cells * rounds_per_cell, n_symbols)``
+        and ``rng`` is the phase's :class:`FusedPhaseStream`. Cell ``c``'s
+        noise block — shape ``(rounds_per_cell, n_listeners, 2,
+        n_symbols)``, the exact draw the per-cell medium makes — comes
+        contiguously from stream ``c``, so any split of the rounds axis
+        into consecutive fused calls consumes identical values per cell.
+        """
+        if not isinstance(rng, FusedPhaseStream):
+            raise InvalidParameterError(
+                "fused phases consume a FusedPhaseStream (one generator per cell)"
+            )
+        if rng.n_cells != self.n_cells or rng.rounds_per_cell != self.rounds_per_cell:
+            raise InvalidParameterError(
+                f"phase stream covers {rng.n_cells} cells x {rng.rounds_per_cell} "
+                f"rounds, medium is {self.n_cells} x {self.rounds_per_cell}"
+            )
+        tx_nodes, listeners, shape = _validate_phase_nodes(transmissions, listeners)
+        n_rows, n_symbols = shape
+        if n_rows != self.n_rows:
+            raise InvalidParameterError(
+                f"expected {self.n_rows} fused rows "
+                f"({self.n_cells} cells x {self.rounds_per_cell} rounds), "
+                f"got {n_rows}"
+            )
+
+        scale = np.sqrt(self.noise.noise_power / 2.0)
+        rounds = self.rounds_per_cell
+        draws = np.empty((self.n_cells, rounds, len(listeners), 2, n_symbols))
+        for cell, stream in enumerate(rng.streams):
+            # One contiguous draw per cell from its own stream — the same
+            # call (and therefore the same values) as the per-cell path.
+            draws[cell] = stream.normal(
+                0.0, scale, size=(rounds, len(listeners), 2, n_symbols)
+            )
+        draws = draws.reshape(n_rows, len(listeners), 2, n_symbols)
+        received = _combine_received(
+            draws, listeners, transmissions, self.complex_gains
+        )
         return PhaseRows(received=received, transmitters=tx_nodes)

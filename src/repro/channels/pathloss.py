@@ -68,7 +68,9 @@ class LogDistancePathLoss:
 
     def __post_init__(self) -> None:
         if self.exponent <= 0:
-            raise InvalidParameterError(f"exponent must be positive, got {self.exponent}")
+            raise InvalidParameterError(
+                f"exponent must be positive, got {self.exponent}"
+            )
         if self.reference_distance <= 0:
             raise InvalidParameterError(
                 f"reference distance must be positive, got {self.reference_distance}"
@@ -85,13 +87,16 @@ class LogDistancePathLoss:
     def gain(self, distance: float) -> float:
         """Linear power gain at the given distance."""
         if distance < 0:
-            raise InvalidParameterError(f"distance must be non-negative, got {distance}")
+            raise InvalidParameterError(
+                f"distance must be non-negative, got {distance}"
+            )
         d = max(distance, self.minimum_distance)
         return self.reference_gain * (d / self.reference_distance) ** (-self.exponent)
 
 
-def FreeSpacePathLoss(reference_distance: float = 1.0,
-                      reference_gain: float = 1.0) -> LogDistancePathLoss:
+def FreeSpacePathLoss(
+    reference_distance: float = 1.0, reference_gain: float = 1.0
+) -> LogDistancePathLoss:
     """Free-space propagation: a log-distance law with exponent 2."""
     return LogDistancePathLoss(
         exponent=2.0,
@@ -123,8 +128,9 @@ class RelayGeometry:
         )
 
 
-def linear_relay_gains(relay_fraction: float, *, exponent: float = 3.0,
-                       terminal_distance: float = 1.0) -> LinkGains:
+def linear_relay_gains(
+    relay_fraction: float, *, exponent: float = 3.0, terminal_distance: float = 1.0
+) -> LinkGains:
     """Gains with the relay on the ``a``–``b`` segment.
 
     ``a`` sits at 0, ``b`` at ``terminal_distance`` and the relay at

@@ -4,9 +4,13 @@ Subcommands
 -----------
 * ``fig3`` / ``fig4`` — regenerate the paper's evaluation figures as text
   tables, ASCII plots and optional CSVs.
-* ``scenarios`` — list the registered evaluation scenarios, or evaluate
-  one by name through the ``repro.api`` facade (``scenarios list``,
-  ``scenarios run NAME``).
+* ``scenarios`` — list the registered evaluation scenarios, evaluate one
+  by name through the ``repro.api`` facade (``scenarios list``,
+  ``scenarios run NAME``), or merge a sharded scenario's chunk artifacts
+  (``scenarios gather NAME``). ``scenarios run --shard I/N`` evaluates
+  one balanced slice of the scenario's grid — including operational
+  (link-level) scenarios, whose cells-fused evaluation shards exactly
+  like the analytic grids.
 * ``campaign`` — evaluate a declarative grid (protocols × powers ×
   geometries × fading draws) through the batched campaign engine, with
   executor selection, progress reporting and an on-disk result cache.
@@ -21,9 +25,11 @@ Subcommands
 * ``sumrate`` — LP-optimal sum rates of all protocols on one channel.
 * ``simulate`` — run the operational link-level simulator (the batched
   frames-axis kernel by default; ``--reference`` runs the per-round loop,
-  which produces the identical report). ``scenarios run
-  operational-goodput`` evaluates the same simulator as a campaign
-  workload with executors, caching and sharding.
+  which produces the identical report; ``--target-rel-error`` +
+  ``--max-rounds`` run escalating adaptive round waves until the FER
+  estimate meets the precision target). ``scenarios run
+  operational-goodput`` / ``operational-fading-fer`` evaluate the same
+  simulator as campaign workloads with executors, caching and sharding.
 * ``diagrams`` — print the protocol timelines (paper Figs. 1–2).
 """
 
@@ -137,11 +143,17 @@ def _cmd_simulate(args) -> int:
     protocol = Protocol.from_name(args.protocol)
     gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
     rng = np.random.default_rng(args.seed)
-    report = simulate_protocol(
-        protocol, gains, db_to_linear(args.power_db), args.rounds, rng,
-        codec=default_codec(args.payload_bits),
-        method="reference" if args.reference else "batched",
-    )
+    try:
+        report = simulate_protocol(
+            protocol, gains, db_to_linear(args.power_db), args.rounds, rng,
+            codec=default_codec(args.payload_bits),
+            method="reference" if args.reference else "batched",
+            target_rel_error=args.target_rel_error,
+            max_rounds=args.max_rounds,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
     rows = [
         ["a->b", report.a_to_b.fer, report.a_to_b.ber,
          report.throughput.direction_throughput("a->b")],
@@ -152,7 +164,7 @@ def _cmd_simulate(args) -> int:
         ["direction", "FER", "BER", "goodput [bits/symbol]"],
         rows,
         title=(f"link-level simulation: {protocol.name}, "
-               f"{args.rounds} rounds, P={args.power_db:g} dB"),
+               f"{report.n_rounds} rounds, P={args.power_db:g} dB"),
         float_format=".5f",
     ))
     print(f"\nsum goodput {report.sum_goodput:.5f} bits/symbol; "
@@ -201,6 +213,25 @@ def _parse_shard(text: str) -> tuple:
     if count < 1 or not 1 <= index <= count:
         raise ValueError(f"shard {text!r} out of range; need 1 <= I <= N")
     return index - 1, count
+
+
+def _shard_from_args(args, spec):
+    """Resolve ``--shard``/``--chunk-size``/``--no-cache`` for a spec.
+
+    Shared by ``campaign`` and ``scenarios run`` so both subcommands
+    validate and word these errors identically. Raises ``ValueError``
+    (printed as ``error: ...`` with exit code 2 by the callers) on any
+    conflict; returns the ``CampaignShard`` or ``None``.
+    """
+    shard = spec.shard(*_parse_shard(args.shard)) if args.shard else None
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise ValueError(f"--chunk-size must be positive, got {args.chunk_size}")
+    if shard is not None and args.no_cache:
+        raise ValueError(
+            "a shard run checkpoints into the shared cache directory; "
+            "drop --no-cache"
+        )
+    return shard
 
 
 def _campaign_spec_from_args(args):
@@ -255,23 +286,13 @@ def _cmd_campaign(args) -> int:
         scenario = Scenario.from_campaign_spec(
             spec, name="cli-campaign",
             description="ad-hoc grid from repro campaign arguments")
-        shard = (spec.shard(*_parse_shard(args.shard))
-                 if args.shard else None)
-        if args.chunk_size is not None and args.chunk_size < 1:
-            raise ValueError(
-                f"--chunk-size must be positive, got {args.chunk_size}"
-            )
+        shard = _shard_from_args(args, spec)
         executor_kwargs = {}
         if args.executor == "process" and args.processes:
             executor_kwargs["processes"] = args.processes
         executor = get_executor(args.executor, **executor_kwargs)
     except ValueError as error:
         print(f"error: {error}")
-        return 2
-
-    if shard is not None and args.no_cache:
-        print("error: a shard run checkpoints into the shared cache "
-              "directory; drop --no-cache")
         return 2
 
     cache = False if args.no_cache else CampaignCache(args.cache_dir)
@@ -443,6 +464,30 @@ def _cmd_scenarios_list(_args) -> int:
     return 0
 
 
+_OBJECTIVE_UNITS = {
+    "operational_goodput": "goodput [bits/symbol]",
+    "operational_fer": "frame error rate",
+}
+
+
+def _scenario_summary(result, objective):
+    """Summary table (headers, rows) with objective-appropriate columns.
+
+    Rate-like objectives report the ergodic mean and the *lower* 10%
+    quantile (the outage rate: high is good, the bad tail is low). A
+    frame error rate is a loss metric — high is bad — so its outage-
+    relevant tail is the *upper* 90% quantile, and "ergodic mean" would
+    be rate jargon.
+    """
+    if objective == "operational_fer":
+        headers = ["protocol", "P [dB]", "mean FER", "std err", "90%-tail",
+                   "median"]
+        return headers, result.summary_rows(epsilon=0.9)
+    headers = ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
+               "median"]
+    return headers, result.summary_rows(epsilon=0.1)
+
+
 def _cmd_scenarios_run(args) -> int:
     from .api import evaluate
     from .campaign import CampaignCache
@@ -450,36 +495,77 @@ def _cmd_scenarios_run(args) -> int:
 
     try:
         scenario = get_scenario(args.name)
+        spec = scenario.to_campaign_spec()
+        shard = _shard_from_args(args, spec)
     except ValueError as error:
         print(f"error: {error}")
         return 2
     cache = False if args.no_cache else CampaignCache(args.cache_dir)
-    progress = None if args.quiet else _stderr_progress(args.name)
+    label = shard.label if shard is not None else args.name
+    progress = None if args.quiet else _stderr_progress(label)
     result = evaluate(scenario, executor=args.executor, cache=cache,
-                      progress=progress)
-    spec = result.spec
-    units = ("goodput [bits/symbol]"
-             if scenario.objective == "operational_goodput"
-             else "sum rates [bits/use]")
-    print(render_table(
-        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
-         "median"],
-        result.summary_rows(epsilon=0.1),
-        title=(f"scenario {scenario.name}: {scenario.description} — "
-               f"{units}"),
-    ))
-    if scenario.objective == "round_robin_sum_rate":
-        print()
+                      progress=progress, shard=shard,
+                      chunk_size=args.chunk_size)
+    units = _OBJECTIVE_UNITS.get(scenario.objective, "sum rates [bits/use]")
+    if shard is None:
+        headers, rows = _scenario_summary(result, scenario.objective)
         print(render_table(
-            ["protocol", "P [dB]", f"mean {scenario.objective}"],
-            result.objective_rows(),
-            title=(f"objective {scenario.objective} over "
-                   f"{scenario.n_pairs} pairs"),
+            headers,
+            rows,
+            title=(f"scenario {scenario.name}: {scenario.description} — "
+                   f"{units}"),
         ))
+        if scenario.objective == "round_robin_sum_rate":
+            print()
+            print(render_table(
+                ["protocol", "P [dB]", f"mean {scenario.objective}"],
+                result.objective_rows(),
+                title=(f"objective {scenario.objective} over "
+                       f"{scenario.n_pairs} pairs"),
+            ))
+        print()
+    campaign = result.campaign
     source = ("cache" if result.from_cache
               else f"{result.executor_name} executor")
-    print(f"\n{spec.n_units} cells via {source} "
-          f"in {result.elapsed_seconds:.3f} s")
+    done = campaign.cells_from_cache + campaign.cells_computed
+    scope = shard.n_units if shard is not None else spec.n_units
+    print(f"{label}: {done}/{scope} cells via {source} "
+          f"in {result.elapsed_seconds:.3f} s, "
+          f"{campaign.cells_from_cache} from cache, "
+          f"{campaign.cells_computed} computed")
+    print(f"spec {spec.spec_hash()}")
+    if args.dump:
+        _dump_values(result, args.dump)
+    return 0
+
+
+def _cmd_scenarios_gather(args) -> int:
+    from .api import gather
+    from .campaign import CampaignCache
+    from .exceptions import IncompleteCampaignError
+    from .scenarios import get_scenario
+
+    try:
+        scenario = get_scenario(args.name)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    cache = CampaignCache(args.cache_dir)
+    try:
+        result = gather(scenario, cache)
+    except IncompleteCampaignError as error:
+        print(f"error: {error}")
+        return 1
+    spec = result.spec
+    units = _OBJECTIVE_UNITS.get(scenario.objective, "sum rates [bits/use]")
+    headers, rows = _scenario_summary(result, scenario.objective)
+    print(render_table(
+        headers,
+        rows,
+        title=f"gathered scenario {scenario.name} — {units}",
+    ))
+    print(f"\ngathered {spec.n_units}/{spec.n_units} cells from "
+          f"{cache.directory} in {result.elapsed_seconds:.3f} s")
     print(f"spec {spec.spec_hash()}")
     if args.dump:
         _dump_values(result, args.dump)
@@ -577,6 +663,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--reference", action="store_true",
                        help="run the per-round reference loop instead of "
                             "the batched kernel (identical results)")
+    p_sim.add_argument("--target-rel-error", type=float, default=None,
+                       help="adaptive budget: stop once the FER estimate's "
+                            "relative std error meets this target "
+                            "(requires --max-rounds)")
+    p_sim.add_argument("--max-rounds", type=int, default=None,
+                       help="adaptive budget: hard cap on rounds when "
+                            "--target-rel-error is set")
     _add_channel_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -613,6 +706,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign executor (default vectorized)",
     )
     p_scn_run.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="evaluate only slice I of N (1-based) of the scenario's flat "
+             "grid; shards coordinate through the shared cache directory",
+    )
+    p_scn_run.add_argument(
+        "--chunk-size", type=int, default=None, metavar="CELLS",
+        help="checkpoint granularity in grid cells (default 256)",
+    )
+    p_scn_run.add_argument(
         "--cache-dir", default=None,
         help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
              "~/.cache/repro/campaigns)",
@@ -626,6 +728,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the raw result array to PATH via np.save",
     )
     p_scn_run.set_defaults(func=_cmd_scenarios_run)
+    p_scn_gather = scenario_sub.add_parser(
+        "gather",
+        help="merge a sharded scenario's chunk artifacts into its full "
+             "result",
+    )
+    p_scn_gather.add_argument("name", help="registered scenario name")
+    p_scn_gather.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory holding the shard artifacts (default "
+             "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro/campaigns)",
+    )
+    p_scn_gather.add_argument(
+        "--dump", default=None, metavar="PATH",
+        help="also write the raw result array to PATH via np.save",
+    )
+    p_scn_gather.set_defaults(func=_cmd_scenarios_gather)
 
     p_campaign = sub.add_parser(
         "campaign",

@@ -44,9 +44,25 @@ __all__ = ["RelayPair", "Topology", "PowerPolicy", "Scenario", "OBJECTIVES"]
 #:   concrete decode-and-forward link simulator on every grid cell,
 #:   parameterized by the scenario's :class:`~repro.campaign.spec
 #:   .LinkSimSpec`. The operational counterpart of ``sum_rate``: the same
-#:   grid machinery, with the analytic kernel swapped for the batched
-#:   link-level simulation kernel.
-OBJECTIVES = ("sum_rate", "round_robin_sum_rate", "operational_goodput")
+#:   grid machinery, with the analytic kernel swapped for the cells-fused
+#:   link-level simulation kernel;
+#: * ``operational_fer`` — the measured combined frame error rate of both
+#:   directions on every grid cell (``LinkSimSpec.metric = "fer"``): the
+#:   link-level reliability counterpart of ``operational_goodput``, the
+#:   natural objective for fading FER studies with adaptive round
+#:   budgets (``LinkSimSpec.target_rel_error``).
+OBJECTIVES = (
+    "sum_rate",
+    "round_robin_sum_rate",
+    "operational_goodput",
+    "operational_fer",
+)
+
+#: Operational objectives and the :class:`LinkSimSpec` metric each reports.
+_OPERATIONAL_METRICS = {
+    "operational_goodput": "goodput",
+    "operational_fer": "fer",
+}
 
 
 @dataclass(frozen=True)
@@ -251,10 +267,16 @@ class Scenario:
             raise InvalidParameterError(
                 f"unknown objective {self.objective!r}; choose from {OBJECTIVES}"
             )
-        if (self.objective == "operational_goodput") != (self.link is not None):
+        metric = _OPERATIONAL_METRICS.get(self.objective)
+        if (metric is not None) != (self.link is not None):
             raise InvalidParameterError(
-                "link simulation parameters and the operational_goodput "
-                "objective go together: set both or neither"
+                "link simulation parameters and an operational objective "
+                "go together: set both or neither"
+            )
+        if metric is not None and self.link.metric != metric:
+            raise InvalidParameterError(
+                f"objective {self.objective!r} reports the {metric!r} metric, "
+                f"but the link spec is configured for {self.link.metric!r}"
             )
 
     @property
@@ -331,9 +353,13 @@ class Scenario:
                     f"axis {axis.name!r} cannot be expressed as a scenario"
                 )
         if spec.link is not None and objective == "sum_rate":
-            # An operational spec's values *are* goodputs; reflect that in
-            # the default objective rather than mislabeling them.
-            objective = "operational_goodput"
+            # An operational spec's values *are* its link metric; reflect
+            # that in the default objective rather than mislabeling them.
+            objective = (
+                "operational_fer"
+                if spec.link.metric == "fer"
+                else "operational_goodput"
+            )
         scenario = cls(
             name=name,
             description=description,

@@ -14,7 +14,13 @@ from .bits import (
 )
 from .convolutional import NASA_CODE, TEST_CODE, ConvolutionalCode
 from .crc import CRC8, CRC16_CCITT, CRC32, CrcCode
-from .engine import ProtocolEngine, RoundResult
+from .engine import (
+    BatchedProtocolEngine,
+    FusedCellEngine,
+    ProtocolEngine,
+    RoundBatch,
+    RoundResult,
+)
 from .interleaver import BlockInterleaver, RandomInterleaver
 from .linkcodec import DecodedFrame, LinkCodec, default_codec
 from .metrics import LinkCounter, ThroughputReport, wilson_interval
@@ -22,10 +28,14 @@ from .modulation import Bpsk, Qpsk, hard_decisions
 from .montecarlo import (
     FadingStatistics,
     SimulationReport,
+    batched_link_goodput,
     ergodic_sum_rate,
     fading_sum_rate_statistics,
+    fused_link_values,
     outage_probability,
     simulate_protocol,
+    simulate_protocol_cells,
+    wave_bounds,
 )
 from .outage_capacity import (
     OutageCurve,
@@ -64,6 +74,9 @@ __all__ = [
     "CRC32",
     "CrcCode",
     "ProtocolEngine",
+    "BatchedProtocolEngine",
+    "FusedCellEngine",
+    "RoundBatch",
     "RoundResult",
     "BlockInterleaver",
     "RandomInterleaver",
@@ -78,10 +91,14 @@ __all__ = [
     "hard_decisions",
     "FadingStatistics",
     "SimulationReport",
+    "batched_link_goodput",
     "ergodic_sum_rate",
     "fading_sum_rate_statistics",
+    "fused_link_values",
     "outage_probability",
     "simulate_protocol",
+    "simulate_protocol_cells",
+    "wave_bounds",
     "OutageCurve",
     "compute_outage_curve",
     "sample_outage_curve",

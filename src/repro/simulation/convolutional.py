@@ -323,6 +323,11 @@ class ConvolutionalCode:
 
         pred0, pred1 = pred_state[:, 0], pred_state[:, 1]
         combo0, combo1 = pred_combo[:, 0], pred_combo[:, 1]
+        # Step-major contiguous layout: each ACS step reads one contiguous
+        # (n_rows, n_outputs) slab instead of a strided gather — the same
+        # values in a cache-friendlier order, which matters once cells-fused
+        # batches push n_rows into the thousands.
+        llr_steps = np.ascontiguousarray(llr_steps.transpose(1, 0, 2))
         metrics = np.full((n_rows, n_states), -np.inf)
         metrics[:, 0] = 0.0
         backptr = np.zeros((n_steps, n_rows, n_states), dtype=np.int8)
@@ -330,7 +335,7 @@ class ConvolutionalCode:
             # All distinct branch metrics of the step: ±1 sign flips and a
             # left-to-right sum, i.e. exactly `_branch_metrics` evaluated
             # once per sign pattern instead of once per (state, slot).
-            combos = _combo_metrics(llr_steps[:, t, :])
+            combos = _combo_metrics(llr_steps[t])
             cand0 = metrics[:, pred0] + combos[:, combo0]
             cand1 = metrics[:, pred1] + combos[:, combo1]
             # argmax over the two slots keeps slot 0 on ties.

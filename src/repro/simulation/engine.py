@@ -19,7 +19,7 @@ Every round reports per-direction success, bit errors and the exact number
 of channel symbols spent, so campaign goodput (bits/symbol) is directly
 comparable to the analytic bounds.
 
-Two engines share one round semantics:
+Three engines share one round semantics:
 
 * :class:`ProtocolEngine` executes **one round at a time** through the
   scalar codec pipeline — the per-round reference implementation.
@@ -27,8 +27,14 @@ Two engines share one round semantics:
   once**: payloads, symbols, channel outputs, LLRs and frame estimates
   carry a leading ``(n_rounds, ...)`` axis, so every protocol phase is a
   handful of NumPy calls regardless of the round count.
+* :class:`FusedCellEngine` executes **all rounds of many campaign grid
+  cells at once**: the leading axis flattens to ``(n_cells ×
+  rounds_per_cell, ...)`` and the per-link gains and transmit amplitude
+  become per-row columns, so one Viterbi ACS pass, one CRC table sweep
+  and one LLR computation per phase serve every cell that shares a
+  codec.
 
-Reproducibility policy (shared by both engines, and what makes them
+Reproducibility policy (shared by all engines, and what makes them
 bit-for-bit interchangeable): a round's randomness is consumed from
 *per-phase* noise streams rather than one interleaved generator. Each
 protocol has a fixed phase count (:data:`PROTOCOL_PHASE_COUNTS`); phase
@@ -40,6 +46,26 @@ Because NumPy generators fill arrays sequentially, any split of the
 rounds axis — one big batch, chunks, or a per-round loop — consumes
 identical values, which the equivalence tests and the ablation benchmark
 assert down to the last bit of every report field.
+
+The fused engine extends the policy **across cells** without weakening
+it: every campaign grid cell keeps its own root generator (seeded by
+flat cell index), its own payload stream and its own per-phase noise
+streams; a fused phase carries one stream per cell
+(:class:`repro.channels.halfduplex.FusedPhaseStream`) and draws each
+cell's block contiguously from it. Fusing therefore changes *which
+arrays the arithmetic runs over*, never *which random values a cell
+consumes* — the property the fused ablation benchmark asserts.
+
+Wave-schedule determinism (the adaptive-round-allocation companion of
+the RNG spawn policy): when a campaign runs rounds in escalating waves
+(``target_rel_error`` in :class:`repro.campaign.spec.LinkSimSpec`), the
+wave boundaries are a pure function of the spec —
+:func:`repro.simulation.montecarlo.wave_bounds` derives them from
+``n_rounds`` and ``max_rounds`` only, never from wall-clock time,
+executor choice or fusion width. Each wave draws one contiguous payload
+block per cell at those spec-fixed boundaries, and noise streams are
+split-safe by construction, so an adaptive cell's report is as much a
+pure function of the spec as a fixed-budget cell's.
 """
 
 from __future__ import annotations
@@ -48,7 +74,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..channels.halfduplex import HalfDuplexMedium
+from ..channels.halfduplex import (
+    FusedHalfDuplexMedium,
+    FusedPhaseStream,
+    HalfDuplexMedium,
+)
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from .bits import as_bit_rows, as_bits, hamming_distance, hamming_distance_rows
@@ -61,8 +91,10 @@ __all__ = [
     "RoundBatch",
     "ProtocolEngine",
     "BatchedProtocolEngine",
+    "FusedCellEngine",
     "PROTOCOL_PHASE_COUNTS",
     "spawn_phase_streams",
+    "spawn_cell_phase_streams",
 ]
 
 #: Number of half-duplex phases — and therefore independent noise streams
@@ -83,6 +115,35 @@ def spawn_phase_streams(protocol, rng: np.random.Generator) -> tuple:
     if protocol not in PROTOCOL_PHASE_COUNTS:
         raise InvalidParameterError(f"unknown protocol {protocol!r}")
     return tuple(rng.spawn(PROTOCOL_PHASE_COUNTS[protocol]))
+
+
+def spawn_cell_phase_streams(protocol, cell_streams, rounds_per_cell: int) -> tuple:
+    """Transpose per-cell phase-stream tuples into fused per-phase streams.
+
+    ``cell_streams`` holds one :func:`spawn_phase_streams` tuple per fused
+    cell; the result is one :class:`FusedPhaseStream` per protocol phase,
+    each carrying every cell's generator for that phase — the shape the
+    fused medium consumes. Pure bookkeeping: no generator is advanced.
+    """
+    if protocol not in PROTOCOL_PHASE_COUNTS:
+        raise InvalidParameterError(f"unknown protocol {protocol!r}")
+    cell_streams = tuple(tuple(streams) for streams in cell_streams)
+    if not cell_streams:
+        raise InvalidParameterError("at least one cell required")
+    expected = PROTOCOL_PHASE_COUNTS[protocol]
+    for streams in cell_streams:
+        if len(streams) != expected:
+            raise InvalidParameterError(
+                f"{protocol} needs {expected} phase streams per cell, "
+                f"got {len(streams)}"
+            )
+    return tuple(
+        FusedPhaseStream(
+            streams=tuple(streams[phase] for streams in cell_streams),
+            rounds_per_cell=rounds_per_cell,
+        )
+        for phase in range(expected)
+    )
 
 
 @dataclass(frozen=True)
@@ -962,3 +1023,70 @@ class BatchedProtocolEngine(_LinkEngine):
         return runners[protocol](
             payload_rows_a, payload_rows_b, rng, phase_streams=phase_streams
         )
+
+
+@dataclass(frozen=True)
+class FusedCellEngine(BatchedProtocolEngine):
+    """Executes every round of *many grid cells* at once, cells × rounds.
+
+    Structurally this *is* the batched engine — it inherits all five
+    protocol bodies unchanged — but its medium is a
+    :class:`~repro.channels.halfduplex.FusedHalfDuplexMedium` whose
+    per-link complex gains are ``(n_cells * rounds_per_cell, 1)`` row
+    columns, and ``power`` is the matching per-row column, so every
+    encode, demodulate, SIC and arbitration call broadcasts each cell's
+    own SNR across the fused rows axis while the trellis recursion, the
+    CRC table sweep and the GF(2) encoder run once for the whole fused
+    batch. Phase streams must be the per-phase
+    :class:`~repro.channels.halfduplex.FusedPhaseStream` tuples built by
+    :func:`spawn_cell_phase_streams`, preserving the per-cell RNG spawn
+    policy — which is what makes a fused report bitwise-identical to the
+    per-cell batched path, cell for cell.
+    """
+
+    def __post_init__(self) -> None:
+        power = np.asarray(self.power, dtype=float)
+        if power.ndim != 2 or power.shape[1] != 1:
+            raise InvalidParameterError(
+                f"fused power must be an (n_rows, 1) column, got shape {power.shape}"
+            )
+        if not isinstance(self.medium, FusedHalfDuplexMedium):
+            raise InvalidParameterError("fused engine needs a FusedHalfDuplexMedium")
+        if power.shape[0] != self.medium.n_rows:
+            raise InvalidParameterError(
+                f"power column has {power.shape[0]} rows, "
+                f"medium has {self.medium.n_rows}"
+            )
+        if np.any(power <= 0):
+            raise InvalidParameterError("power must be positive in every cell")
+        object.__setattr__(self, "power", power)
+
+    @property
+    def _amplitude(self) -> np.ndarray:
+        return np.sqrt(self.power)
+
+    @classmethod
+    def for_cells(
+        cls,
+        codec: LinkCodec,
+        gab,
+        gar,
+        gbr,
+        power,
+        rounds_per_cell: int,
+    ) -> "FusedCellEngine":
+        """Build the engine of one fused wave over concrete grid cells.
+
+        ``gab``/``gar``/``gbr``/``power`` are per-cell vectors (``power``
+        broadcasts from a scalar); ``rounds_per_cell`` is the wave's round
+        count, shared by every cell of the wave. Construction is cheap —
+        trellis tables are cached on the code object — so drivers build a
+        fresh engine per wave.
+        """
+        gab = np.atleast_1d(np.asarray(gab, dtype=float))
+        power = np.broadcast_to(np.asarray(power, dtype=float), gab.shape).copy()
+        medium = FusedHalfDuplexMedium(
+            gab=gab, gar=gar, gbr=gbr, rounds_per_cell=rounds_per_cell
+        )
+        power_rows = np.repeat(power, rounds_per_cell)[:, None]
+        return cls(medium=medium, codec=codec, power=power_rows)

@@ -238,12 +238,28 @@ class LinkCodec:
         *,
         amplitude: float = 1.0,
     ) -> np.ndarray:
-        """Soft-demodulate a batch of received blocks into coded-bit LLRs."""
+        """Soft-demodulate a batch of received blocks into coded-bit LLRs.
+
+        ``complex_gain``, ``noise_power`` and ``amplitude`` are scalars
+        for a single-channel batch, or ``(rounds, 1)`` per-row columns
+        for a cells-fused batch where every row carries its own channel
+        (the LLR expression is elementwise either way).
+        """
         y = np.asarray(received_rows)
         if y.ndim != 2 or y.shape[1] != self.n_symbols:
             raise InvalidParameterError(
                 f"expected (rounds, {self.n_symbols}) symbols, got shape {y.shape}"
             )
+        for name, value in (
+            ("complex_gain", complex_gain),
+            ("noise_power", noise_power),
+            ("amplitude", amplitude),
+        ):
+            if np.ndim(value) and np.shape(value) != (y.shape[0], 1):
+                raise InvalidParameterError(
+                    f"per-row {name} must be a ({y.shape[0]}, 1) column, "
+                    f"got shape {np.shape(value)}"
+                )
         llrs = self.modulation.demodulate_llr_rows(
             y, complex_gain, noise_power, amplitude=amplitude
         )
@@ -272,7 +288,13 @@ class LinkCodec:
         *,
         amplitude: float = 1.0,
     ) -> DecodedFrameBatch:
-        """Demodulate and decode a batch of received blocks in one step."""
+        """Demodulate and decode a batch of received blocks in one step.
+
+        Accepts scalar or ``(rounds, 1)`` per-row channel parameters (see
+        :meth:`demodulate_rows`); the Viterbi stage is channel-agnostic,
+        so fused multi-cell batches decode in the same single trellis
+        pass as single-cell ones.
+        """
         llrs = self.demodulate_rows(
             received_rows, complex_gain, noise_power, amplitude=amplitude
         )

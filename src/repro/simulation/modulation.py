@@ -65,7 +65,7 @@ class Bpsk:
         amplitude:
             Transmit amplitude ``A = sqrt(P)`` applied at the modulator.
         """
-        if noise_power <= 0:
+        if np.any(np.asarray(noise_power) <= 0):
             raise InvalidParameterError(
                 f"noise power must be positive, got {noise_power}"
             )
@@ -82,7 +82,12 @@ class Bpsk:
         amplitude: float = 1.0,
     ) -> np.ndarray:
         """Coherent LLRs of a symbol batch ``(R, n)`` — elementwise, so row
-        ``r`` equals ``demodulate_llr(received_rows[r], ...)`` bit for bit."""
+        ``r`` equals ``demodulate_llr(received_rows[r], ...)`` bit for bit.
+
+        ``complex_gain``, ``noise_power`` and ``amplitude`` may be
+        ``(R, 1)`` per-row columns (the cells-fused layout): the identical
+        expression then broadcasts each row's own channel, so a fused row
+        equals the scalar call with that row's parameters."""
         return self.demodulate_llr(
             received_rows, complex_gain, noise_power, amplitude=amplitude
         )
@@ -133,7 +138,7 @@ class Qpsk:
         amplitude: float = 1.0,
     ) -> np.ndarray:
         """Per-bit coherent LLRs, interleaved ``[I0, Q0, I1, Q1, ...]``."""
-        if noise_power <= 0:
+        if np.any(np.asarray(noise_power) <= 0):
             raise InvalidParameterError(
                 f"noise power must be positive, got {noise_power}"
             )
@@ -155,8 +160,11 @@ class Qpsk:
         *,
         amplitude: float = 1.0,
     ) -> np.ndarray:
-        """Per-bit LLRs of a symbol batch ``(R, n)``, shape ``(R, 2n)``."""
-        if noise_power <= 0:
+        """Per-bit LLRs of a symbol batch ``(R, n)``, shape ``(R, 2n)``.
+
+        Accepts ``(R, 1)`` per-row ``complex_gain``/``noise_power``/
+        ``amplitude`` columns like :meth:`Bpsk.demodulate_llr_rows`."""
+        if np.any(np.asarray(noise_power) <= 0):
             raise InvalidParameterError(
                 f"noise power must be positive, got {noise_power}"
             )

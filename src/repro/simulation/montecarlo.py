@@ -38,15 +38,36 @@ one-LP-per-draw loop and bit-for-bit identical to the serial executor.
 :func:`fading_sum_rate_statistics`; scenario-first callers should
 evaluate a fading scenario through :func:`repro.api.evaluate` instead.
 
-:func:`batched_link_goodput` adapts the link-level simulator to the
-campaign engine's unit-batch contract: one cell = one independently
-seeded :func:`simulate_protocol` campaign, so operational-goodput grids
-inherit executors, chunk checkpointing, sharding and the
-content-addressed cache unchanged.
+:func:`simulate_protocol_cells` is the **cells-fused** driver behind
+operational campaigns: it runs every grid cell of a batch through one
+:class:`~repro.simulation.engine.FusedCellEngine` pass per wave — one
+Viterbi recursion, one CRC table sweep and one LLR computation serving
+all cells that share a codec — while each cell keeps its own root
+generator, payload stream and per-phase noise streams. Fused reports
+are therefore bitwise-identical to evaluating the cells one at a time
+with :func:`simulate_protocol`, which is what keeps every campaign
+executor, chunking, sharding and the content-addressed cache
+interchangeable. :func:`fused_link_values` adapts the fused driver to
+the campaign engine's unit-batch contract (cells seeded by flat grid
+index); the historical per-cell adapter :func:`batched_link_goodput` is
+retained as the ablation baseline.
+
+Adaptive round allocation: with ``target_rel_error``/``max_rounds`` set,
+cells run in escalating waves whose boundaries come from
+:func:`wave_bounds` — a pure function of the budget parameters, never of
+wall-clock time or execution layout — and each cell stops at the first
+spec-scheduled boundary where the relative standard error of its
+combined frame-error-rate estimate, ``sqrt((1 - p) / (n * p))``, meets
+the target (a cell with zero observed errors runs to ``max_rounds``).
+Every wave draws one contiguous payload block per cell at those fixed
+boundaries and noise streams split safely, so adaptive reports — like
+fixed-budget ones — are a pure function of the spec, independent of
+fusion width, executor choice or chunking.
 """
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass
 
@@ -57,15 +78,25 @@ from ..channels.gains import LinkGains
 from ..channels.halfduplex import HalfDuplexMedium
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
-from .engine import BatchedProtocolEngine, ProtocolEngine, spawn_phase_streams
+from .engine import (
+    BatchedProtocolEngine,
+    FusedCellEngine,
+    ProtocolEngine,
+    spawn_cell_phase_streams,
+    spawn_phase_streams,
+)
 from .linkcodec import LinkCodec, default_codec
 from .metrics import LinkCounter, ThroughputReport
 
 __all__ = [
     "SimulationReport",
     "simulate_protocol",
+    "simulate_protocol_cells",
+    "wave_bounds",
     "batched_link_goodput",
+    "fused_link_values",
     "DEFAULT_ROUND_BATCH",
+    "DEFAULT_FUSED_ROWS",
     "FadingStatistics",
     "fading_sum_rate_statistics",
     "ergodic_sum_rate",
@@ -77,6 +108,15 @@ __all__ = [
 #: ``(rounds, states)`` working set cache-friendly. Results never depend
 #: on this value (see the module docstring).
 DEFAULT_ROUND_BATCH = 512
+
+#: Default bound on fused rows (cells × rounds) per fused-engine call — a
+#: cap on the decoder's working set, analogous to
+#: :data:`DEFAULT_ROUND_BATCH` but sized to keep a fused call's symbol
+#: and metric arrays cache-resident (measured fastest around this value
+#: on the production codec). Results never depend on it: fused waves
+#: split at the cap along the rounds axis, payloads are pre-drawn per
+#: wave and noise streams split safely.
+DEFAULT_FUSED_ROWS = 512
 
 
 @dataclass(frozen=True)
@@ -109,6 +149,18 @@ class SimulationReport:
     def sum_goodput(self) -> float:
         """Total delivered payload bits per channel symbol."""
         return self.throughput.sum_throughput
+
+    @property
+    def fer(self) -> float:
+        """Combined frame error rate across both directions.
+
+        Every round attempts one frame per direction, so this pools
+        ``2 * n_rounds`` Bernoulli trials — the quantity the adaptive
+        round-allocation controller drives to its target precision.
+        """
+        frames = self.a_to_b.frames + self.b_to_a.frames
+        errors = self.a_to_b.frame_errors + self.b_to_a.frame_errors
+        return errors / frames if frames else 0.0
 
 
 def _simulate_reference(
@@ -195,6 +247,254 @@ def _simulate_batched(
     )
 
 
+def wave_bounds(
+    n_rounds: int,
+    *,
+    target_rel_error: float | None = None,
+    max_rounds: int | None = None,
+) -> tuple:
+    """Cumulative wave boundaries of one cell's round allocation.
+
+    Without a target the whole budget is one wave, ``(n_rounds,)`` —
+    exactly the classic fixed-budget campaign. With a target, waves
+    escalate geometrically (each boundary doubles the previous) from
+    ``n_rounds`` up to ``max_rounds``, so an unresolved cell's budget
+    grows by a constant factor per decision while a resolved cell stops
+    at the earliest boundary. The schedule is a **pure function of the
+    budget parameters** — both live in the spec's content hash — never of
+    wall-clock time, executor choice or fusion width, which is what keeps
+    adaptive campaign values cacheable and shard-stable.
+    """
+    if n_rounds < 1:
+        raise InvalidParameterError(f"need at least one round, got {n_rounds}")
+    if target_rel_error is None:
+        if max_rounds is not None:
+            raise InvalidParameterError(
+                "max_rounds needs target_rel_error: set both or neither"
+            )
+        return (n_rounds,)
+    if target_rel_error <= 0:
+        raise InvalidParameterError(
+            f"relative-error target must be positive, got {target_rel_error}"
+        )
+    if max_rounds is None:
+        raise InvalidParameterError(
+            "target_rel_error needs max_rounds: set both or neither"
+        )
+    if max_rounds < n_rounds:
+        raise InvalidParameterError(
+            f"max_rounds ({max_rounds}) must be >= the initial wave ({n_rounds})"
+        )
+    bounds = [int(n_rounds)]
+    while bounds[-1] < max_rounds:
+        bounds.append(min(2 * bounds[-1], int(max_rounds)))
+    return tuple(bounds)
+
+
+class _CellState:
+    """Accumulating state of one grid cell inside a fused campaign."""
+
+    __slots__ = (
+        "gains",
+        "payload_rng",
+        "phase_streams",
+        "a_to_b",
+        "b_to_a",
+        "throughput",
+        "relay_failures",
+    )
+
+    def __init__(self, gains: LinkGains, payload_rng, phase_streams) -> None:
+        self.gains = gains
+        self.payload_rng = payload_rng
+        self.phase_streams = phase_streams
+        self.a_to_b = LinkCounter()
+        self.b_to_a = LinkCounter()
+        self.throughput = ThroughputReport()
+        self.relay_failures = 0
+
+    def record(self, batch, lo: int, hi: int) -> None:
+        """Account this cell's slice of a fused :class:`RoundBatch`."""
+        self.a_to_b.record_rows(
+            success=batch.success_a_to_b[lo:hi],
+            n_bits=batch.payload_bits,
+            n_bit_errors=batch.bit_errors_a_to_b[lo:hi],
+        )
+        self.b_to_a.record_rows(
+            success=batch.success_b_to_a[lo:hi],
+            n_bits=batch.payload_bits,
+            n_bit_errors=batch.bit_errors_b_to_a[lo:hi],
+        )
+        self.throughput.add_symbols((hi - lo) * batch.n_symbols)
+        self.throughput.record_rows(
+            "a->b",
+            delivered_bits_per_frame=batch.payload_bits,
+            successes=batch.success_a_to_b[lo:hi],
+        )
+        self.throughput.record_rows(
+            "b->a",
+            delivered_bits_per_frame=batch.payload_bits,
+            successes=batch.success_b_to_a[lo:hi],
+        )
+        if batch.relay_ok is not None:
+            self.relay_failures += int((~batch.relay_ok[lo:hi]).sum())
+
+    def fer_resolved(self, target_rel_error: float) -> bool:
+        """Whether the combined-FER estimate meets the precision target.
+
+        The relative standard error of a Bernoulli proportion estimate is
+        ``sqrt((1 - p) / (n * p)) = sqrt((1 - p) / errors)``; with zero
+        observed errors the FER is unresolved at any target, so the cell
+        keeps running until ``max_rounds``.
+        """
+        errors = self.a_to_b.frame_errors + self.b_to_a.frame_errors
+        if errors == 0:
+            return False
+        frames = self.a_to_b.frames + self.b_to_a.frames
+        p = errors / frames
+        return math.sqrt((1.0 - p) / errors) <= target_rel_error
+
+    def report(self, protocol: Protocol) -> SimulationReport:
+        """The cell's final :class:`SimulationReport`."""
+        return SimulationReport(
+            protocol=protocol,
+            n_rounds=self.a_to_b.frames,
+            a_to_b=self.a_to_b,
+            b_to_a=self.b_to_a,
+            throughput=self.throughput,
+            relay_failures=self.relay_failures,
+        )
+
+
+def _run_fused_rounds(
+    protocol, codec, cells, active, payloads, start, stop, power
+) -> None:
+    """One fused engine call: rounds ``[start, stop)`` of every active cell."""
+    rounds = stop - start
+    gab = np.array([cells[c].gains.gab for c in active])
+    gar = np.array([cells[c].gains.gar for c in active])
+    gbr = np.array([cells[c].gains.gbr for c in active])
+    engine = FusedCellEngine.for_cells(
+        codec, gab, gar, gbr, power[list(active)], rounds
+    )
+    wa = np.concatenate([payloads[c][start:stop, 0] for c in active])
+    wb = np.concatenate([payloads[c][start:stop, 1] for c in active])
+    streams = spawn_cell_phase_streams(
+        protocol, (cells[c].phase_streams for c in active), rounds
+    )
+    batch = engine.run_rounds(protocol, wa, wb, phase_streams=streams)
+    for j, c in enumerate(active):
+        cells[c].record(batch, j * rounds, (j + 1) * rounds)
+
+
+def simulate_protocol_cells(
+    protocol: Protocol,
+    gains_cells,
+    power,
+    n_rounds: int,
+    rngs,
+    *,
+    codec: LinkCodec | None = None,
+    target_rel_error: float | None = None,
+    max_rounds: int | None = None,
+    row_cap: int | None = None,
+) -> list:
+    """Run one campaign per grid cell, fused into (cells × rounds) batches.
+
+    The cells-fused counterpart of :func:`simulate_protocol`: cell ``i``
+    runs on ``gains_cells[i]`` at ``power[i]`` (scalar powers broadcast)
+    with root generator ``rngs[i]``, and the returned list holds one
+    :class:`SimulationReport` per cell. Each cell's generator is spawned
+    into payload and noise streams exactly as :func:`simulate_protocol`
+    spawns its own, and the fused engine consumes every cell's streams
+    per the per-cell policy — so the reports are **bitwise-identical** to
+    calling :func:`simulate_protocol` per cell, while the decode
+    arithmetic of all cells shares single NumPy passes.
+
+    Parameters
+    ----------
+    protocol / n_rounds / codec:
+        As in :func:`simulate_protocol`; ``n_rounds`` is the fixed budget
+        per cell, or the initial wave when a target is set.
+    gains_cells / power / rngs:
+        Per-cell channel gains, transmit powers and root generators.
+    target_rel_error / max_rounds:
+        Optional adaptive round allocation (set both or neither): cells
+        run in the escalating waves of :func:`wave_bounds` and stop at
+        the first boundary where the combined-FER relative standard
+        error meets the target, never exceeding ``max_rounds`` rounds.
+    row_cap:
+        Bound on fused rows per engine call (default
+        :data:`DEFAULT_FUSED_ROWS`); a memory knob that can never change
+        results.
+    """
+    if n_rounds < 1:
+        raise InvalidParameterError(f"need at least one round, got {n_rounds}")
+    if row_cap is not None and row_cap < 1:
+        raise InvalidParameterError(f"row cap must be positive, got {row_cap}")
+    bounds = wave_bounds(
+        n_rounds, target_rel_error=target_rel_error, max_rounds=max_rounds
+    )
+    codec = codec or default_codec()
+    gains_cells = tuple(gains_cells)
+    rngs = tuple(rngs)
+    if not gains_cells:
+        raise InvalidParameterError("at least one cell required")
+    if len(rngs) != len(gains_cells):
+        raise InvalidParameterError(
+            f"{len(gains_cells)} cells but {len(rngs)} generators"
+        )
+    n_cells = len(gains_cells)
+    power = np.broadcast_to(np.asarray(power, dtype=float), (n_cells,)).copy()
+
+    cells = []
+    for gains, cell_rng in zip(gains_cells, rngs):
+        payload_rng, noise_rng = cell_rng.spawn(2)
+        cells.append(
+            _CellState(
+                gains=gains,
+                payload_rng=payload_rng,
+                phase_streams=spawn_phase_streams(protocol, noise_rng),
+            )
+        )
+
+    cap = row_cap or DEFAULT_FUSED_ROWS
+    active = list(range(n_cells))
+    previous = 0
+    for bound in bounds:
+        wave = bound - previous
+        # One contiguous payload draw per cell per wave, at the
+        # spec-fixed wave boundary — the same draw (and values) as the
+        # per-cell path, whatever the fusion width or row cap below.
+        payloads = {
+            c: cells[c].payload_rng.integers(
+                0, 2, size=(wave, 2, codec.payload_bits), dtype=np.uint8
+            )
+            for c in active
+        }
+        # Honor the row cap on both fused axes: groups of at most `cap`
+        # cells, each running at most `cap // len(group)` rounds per
+        # engine call, so no call exceeds `cap` rows. Pure execution
+        # layout — per-cell streams make results independent of it.
+        group_size = min(len(active), cap)
+        for lo in range(0, len(active), group_size):
+            group = active[lo : lo + group_size]
+            step = max(1, min(wave, cap // len(group)))
+            for start in range(0, wave, step):
+                stop = min(start + step, wave)
+                _run_fused_rounds(
+                    protocol, codec, cells, group, payloads, start, stop, power
+                )
+        previous = bound
+        if target_rel_error is not None:
+            active = [
+                c for c in active if not cells[c].fer_resolved(target_rel_error)
+            ]
+            if not active:
+                break
+    return [cell.report(protocol) for cell in cells]
+
+
 def simulate_protocol(
     protocol: Protocol,
     gains: LinkGains,
@@ -205,6 +505,8 @@ def simulate_protocol(
     codec: LinkCodec | None = None,
     method: str = "batched",
     batch_size: int | None = None,
+    target_rel_error: float | None = None,
+    max_rounds: int | None = None,
 ) -> SimulationReport:
     """Run ``n_rounds`` of the protocol and aggregate statistics.
 
@@ -233,6 +535,11 @@ def simulate_protocol(
     batch_size:
         Rounds per batched-engine call (default
         :data:`DEFAULT_ROUND_BATCH`); results are independent of it.
+    target_rel_error / max_rounds:
+        Optional adaptive round allocation (set both or neither; batched
+        method only): run the escalating waves of :func:`wave_bounds`
+        through the fused kernel and stop at the first boundary where
+        the combined-FER relative standard error meets the target.
     """
     if n_rounds < 1:
         raise InvalidParameterError(f"need at least one round, got {n_rounds}")
@@ -242,6 +549,23 @@ def simulate_protocol(
         )
     if batch_size is not None and batch_size < 1:
         raise InvalidParameterError(f"batch size must be positive, got {batch_size}")
+    if target_rel_error is not None or max_rounds is not None:
+        if method != "batched":
+            raise InvalidParameterError(
+                "adaptive round allocation runs through the fused kernel; "
+                "method must be 'batched'"
+            )
+        return simulate_protocol_cells(
+            protocol,
+            (gains,),
+            power,
+            n_rounds,
+            (rng,),
+            codec=codec,
+            target_rel_error=target_rel_error,
+            max_rounds=max_rounds,
+            row_cap=batch_size,
+        )[0]
     codec = codec or default_codec()
     payload_rng, noise_rng = rng.spawn(2)
     payloads = payload_rng.integers(
@@ -270,17 +594,17 @@ def batched_link_goodput(
     indices,
     codec: LinkCodec | None = None,
 ) -> np.ndarray:
-    """Operational sum goodput of a batch of campaign grid cells.
+    """Operational sum goodput of a batch of grid cells, one cell at a time.
 
-    The campaign-kernel adapter for the ``operational_goodput`` objective:
-    cell ``i`` runs a :func:`simulate_protocol` campaign of ``n_rounds``
-    rounds on channel ``(gab[i], gar[i], gbr[i])`` at ``power[i]`` and
-    reports its total goodput in bits/symbol. Each cell's generator is
-    seeded from ``(seed, flat unit index)``, so a cell's value depends
-    only on the spec — never on executor choice, chunking or sharding —
-    which is what makes serial, multiprocessing and vectorized campaign
-    execution (and shard + gather) bitwise interchangeable for
-    operational grids.
+    The historical (pre-fusion) campaign-kernel adapter, retained as the
+    per-cell ablation baseline: cell ``i`` runs its own
+    :func:`simulate_protocol` campaign of ``n_rounds`` rounds on channel
+    ``(gab[i], gar[i], gbr[i])`` at ``power[i]`` and reports its total
+    goodput in bits/symbol. Each cell's generator is seeded from
+    ``(seed, flat unit index)`` — the same seeding
+    :func:`fused_link_values` uses, which is why the fused fast path is
+    bitwise-identical to this loop (benchmark-asserted). Executors route
+    through the fused adapter; call this directly only as a reference.
     """
     gab = np.asarray(gab, dtype=float)
     gar = np.asarray(gar, dtype=float)
@@ -303,6 +627,55 @@ def batched_link_goodput(
         )
         values[i] = report.sum_goodput
     return values
+
+
+def fused_link_values(
+    protocol: Protocol,
+    gab,
+    gar,
+    gbr,
+    power,
+    *,
+    link,
+    indices,
+    row_cap: int | None = None,
+) -> np.ndarray:
+    """Metric values of a batch of operational grid cells, cells-fused.
+
+    The campaign-kernel adapter of the operational objectives: every cell
+    of the batch runs through one :func:`simulate_protocol_cells` call —
+    one fused decode pipeline per wave instead of one per cell — and the
+    returned value is the cell's ``link.metric`` (total goodput in
+    bits/symbol, or combined FER). Cell ``i``'s generator is seeded from
+    ``(link.seed, flat unit index)`` exactly like the per-cell path, so
+    values depend only on the spec — never on executor choice, fusion
+    width, chunking or sharding — keeping serial, multiprocessing and
+    vectorized execution (and shard + gather) bitwise interchangeable.
+    """
+    gab = np.asarray(gab, dtype=float)
+    gar = np.asarray(gar, dtype=float)
+    gbr = np.asarray(gbr, dtype=float)
+    power = np.asarray(power, dtype=float)
+    indices = np.asarray(indices)
+    if not (gab.shape == gar.shape == gbr.shape == power.shape == indices.shape):
+        raise InvalidParameterError("mismatched cell-batch shapes")
+    reports = simulate_protocol_cells(
+        protocol,
+        tuple(LinkGains(gab[i], gar[i], gbr[i]) for i in range(gab.shape[0])),
+        power,
+        link.n_rounds,
+        tuple(
+            np.random.default_rng([int(link.seed), int(indices[i])])
+            for i in range(gab.shape[0])
+        ),
+        codec=link.codec(),
+        target_rel_error=link.target_rel_error,
+        max_rounds=link.max_rounds,
+        row_cap=row_cap,
+    )
+    if link.metric == "fer":
+        return np.array([report.fer for report in reports])
+    return np.array([report.sum_goodput for report in reports])
 
 
 @dataclass(frozen=True)

@@ -123,19 +123,73 @@ class MacDecodingRows:
     frame_a, frame_b:
         Decoded frame batches of terminals ``a`` and ``b``.
     decoded_first:
-        Which terminal the first SIC stage decoded (``"a"``/``"b"``; the
-        ordering depends only on the quasi-static gains, so it is shared
-        by every round of the batch).
+        Which terminal the first SIC stage decoded. For a single-cell
+        batch the ordering depends only on the quasi-static gains, so it
+        is the shared ``"a"``/``"b"`` string; a cells-fused batch carries
+        one ``"a"``/``"b"`` entry per row (the ordering is per cell).
     """
 
     frame_a: DecodedFrameBatch
     frame_b: DecodedFrameBatch
-    decoded_first: str
+    decoded_first: str | np.ndarray
 
     @property
     def both_ok(self) -> np.ndarray:
         """Per-round conjunction of both CRC verdicts, boolean ``(R,)``."""
         return self.frame_a.crc_ok & self.frame_b.crc_ok
+
+
+def _select_frame_rows(
+    use_first: np.ndarray, first: DecodedFrameBatch, second: DecodedFrameBatch
+) -> DecodedFrameBatch:
+    """Row-wise selection between two decoded frame batches."""
+    return DecodedFrameBatch(
+        payload=np.where(use_first[:, None], first.payload, second.payload),
+        frame_bits=np.where(use_first[:, None], first.frame_bits, second.frame_bits),
+        crc_ok=np.where(use_first, first.crc_ok, second.crc_ok),
+    )
+
+
+def _sic_decode_mac_fused(
+    codec: LinkCodec,
+    y: np.ndarray,
+    *,
+    gain_a,
+    gain_b,
+    noise_power,
+    amplitude,
+) -> MacDecodingRows:
+    """Per-row SIC: every row carries its own gains/amplitude column.
+
+    The cells-fused counterpart of the scalar ordering decision: the
+    stage-1/stage-2 split is selected per row with ``np.where`` using the
+    same ``power_a >= power_b`` comparison (ties decode ``a`` first), and
+    every arithmetic expression matches the scalar path operation for
+    operation — so a fused row reproduces the scalar SIC of its cell bit
+    for bit.
+    """
+    power_a = amplitude**2 * np.abs(gain_a) ** 2
+    power_b = amplitude**2 * np.abs(gain_b) ** 2
+    strong_is_a = power_a >= power_b
+    strong_gain = np.where(strong_is_a, gain_a, gain_b)
+    weak_gain = np.where(strong_is_a, gain_b, gain_a)
+    weak_power = np.where(strong_is_a, power_b, power_a)
+
+    strong_frames = codec.decode_rows(
+        y, strong_gain, noise_power + weak_power, amplitude=amplitude
+    )
+    reencoded = codec.encode_frame_rows(strong_frames.frame_bits)
+    residual = y - amplitude * strong_gain * reencoded
+    weak_frames = codec.decode_rows(
+        residual, weak_gain, noise_power, amplitude=amplitude
+    )
+
+    first_is_a = np.broadcast_to(strong_is_a, (y.shape[0], 1))[:, 0]
+    return MacDecodingRows(
+        frame_a=_select_frame_rows(first_is_a, strong_frames, weak_frames),
+        frame_b=_select_frame_rows(~first_is_a, strong_frames, weak_frames),
+        decoded_first=np.where(first_is_a, "a", "b"),
+    )
 
 
 def sic_decode_mac_rows(
@@ -154,12 +208,27 @@ def sic_decode_mac_rows(
     received powers, and both decode stages, the re-encoding and the
     residual subtraction are elementwise along the rounds axis — so row
     ``r`` reproduces the scalar SIC of round ``r`` bit for bit.
+
+    ``gain_a``/``gain_b``/``amplitude`` may also be ``(n_rows, 1)``
+    per-row columns (the cells-fused engine's layout); the stage ordering
+    is then decided *per row* with the identical comparison, and the
+    selected-gain arithmetic stays elementwise, preserving bitwise
+    equality with the per-cell path.
     """
-    if noise_power <= 0:
+    if np.any(np.asarray(noise_power) <= 0):
         raise InvalidParameterError(f"noise power must be positive, got {noise_power}")
-    if amplitude <= 0:
+    if np.any(np.asarray(amplitude) <= 0):
         raise InvalidParameterError(f"amplitude must be positive, got {amplitude}")
     y = np.asarray(received_rows)
+    if np.ndim(gain_a) or np.ndim(gain_b) or np.ndim(amplitude):
+        return _sic_decode_mac_fused(
+            codec,
+            y,
+            gain_a=gain_a,
+            gain_b=gain_b,
+            noise_power=noise_power,
+            amplitude=amplitude,
+        )
     power_a = amplitude**2 * abs(gain_a) ** 2
     power_b = amplitude**2 * abs(gain_b) ** 2
     strong_is_a = power_a >= power_b

@@ -68,6 +68,50 @@ class TestBitwiseEquivalence:
             assert np.array_equal(fast, reference)
 
 
+@pytest.fixture(scope="module")
+def link_batch():
+    """One operational (link-level) unit batch of six fused cells."""
+    from repro.campaign.spec import LinkSimSpec
+    from repro.channels.gains import LinkGains
+
+    gains = [LinkGains.from_db(-7.0 + i, 0.0, 5.0 - i) for i in range(6)]
+    return UnitBatch(
+        protocol=Protocol.MABC,
+        gab=np.array([g.gab for g in gains]),
+        gar=np.array([g.gar for g in gains]),
+        gbr=np.array([g.gbr for g in gains]),
+        power=np.full(6, 10**1.2),
+        link=LinkSimSpec(n_rounds=4, payload_bits=24, seed=5, code="test",
+                         crc="crc8"),
+        indices=np.arange(6),
+    )
+
+
+class TestLinkBatchMemoryCap:
+    """`max_batch` must bound fused link-unit batches, not just analytic ones."""
+
+    def test_capped_vectorized_matches_serial(self, link_batch):
+        reference = SerialExecutor().run([link_batch])[0]
+        for max_batch in (1, 2, 4, None):
+            capped = VectorizedExecutor(max_batch=max_batch).run([link_batch])[0]
+            assert np.array_equal(capped, reference)
+
+    def test_cap_bounds_cells_per_fused_call(self, link_batch, monkeypatch):
+        from repro.simulation import montecarlo
+
+        widths = []
+        original = montecarlo.simulate_protocol_cells
+
+        def recording(protocol, gains_cells, *args, **kwargs):
+            widths.append(len(tuple(gains_cells)))
+            return original(protocol, gains_cells, *args, **kwargs)
+
+        monkeypatch.setattr(montecarlo, "simulate_protocol_cells", recording)
+        VectorizedExecutor(max_batch=2).run([link_batch])
+        assert widths and max(widths) <= 2
+        assert sum(widths) == len(link_batch)
+
+
 class TestProgress:
     def test_progress_reaches_total(self, seeded_batches):
         ticks = []

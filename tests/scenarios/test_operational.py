@@ -1,16 +1,19 @@
-"""The operational-goodput objective through the full campaign machinery.
+"""The operational objectives through the full campaign machinery.
 
-Acceptance criteria of the batched-link PR live here: an operational
-scenario must evaluate through ``repro.api.evaluate`` bitwise-identically
-across all three executors, and a sharded evaluation gathered from a
-shared cache must equal the unsharded run byte for byte.
+Acceptance criteria of the batched-link and fused-cells PRs live here: an
+operational scenario must evaluate through ``repro.api.evaluate``
+bitwise-identically across all three executors, a sharded evaluation
+gathered from a shared cache must equal the unsharded run byte for byte,
+and the adaptive-budget / FER extensions must not move any pre-existing
+spec hash (``metric``/``target_rel_error``/``max_rounds`` serialize only
+when set).
 """
 
 import pytest
 
 from repro.api import evaluate, gather
 from repro.campaign.cache import CampaignCache
-from repro.campaign.spec import CampaignSpec, LinkSimSpec
+from repro.campaign.spec import CampaignSpec, FadingSpec, LinkSimSpec
 from repro.channels.gains import LinkGains
 from repro.core.protocols import Protocol
 from repro.exceptions import InvalidParameterError
@@ -125,7 +128,148 @@ class TestSpecIntegration:
         assert restored.to_campaign_spec().spec_hash() == spec.spec_hash()
 
 
+@pytest.fixture(scope="module")
+def fading_fer_scenario():
+    """A small adaptive fading-FER grid spanning the test codec's waterfall."""
+    return Scenario(
+        name="fading-fer-test",
+        description="adaptive fading FER acceptance grid",
+        protocols=(Protocol.DT, Protocol.MABC),
+        topology=Topology(gains=(LinkGains.from_db(-7.0, 0.0, 5.0),)),
+        power=PowerPolicy(powers_db=(-2.0, 12.0)),
+        fading=FadingSpec(n_draws=3, seed=13),
+        objective="operational_fer",
+        link=LinkSimSpec(n_rounds=4, payload_bits=24, seed=3, code="test",
+                         crc="crc8", metric="fer", target_rel_error=0.5,
+                         max_rounds=16),
+    )
+
+
+class TestFadingFerScenario:
+    @pytest.fixture(scope="class")
+    def reference(self, fading_fer_scenario):
+        return evaluate(fading_fer_scenario, executor="serial")
+
+    @pytest.mark.parametrize("executor", ["process", "vectorized"])
+    def test_executors_bitwise_identical(
+        self, fading_fer_scenario, reference, executor
+    ):
+        result = evaluate(fading_fer_scenario, executor=executor)
+        assert result.values.tobytes() == reference.values.tobytes()
+
+    def test_values_are_frame_error_rates(self, reference):
+        assert reference.values.shape == (2, 2, 1, 3)
+        assert (reference.values >= 0.0).all()
+        assert (reference.values <= 1.0).all()
+        # Low power is error-dominated, high power mostly clean.
+        assert reference.values[:, 0].mean() > reference.values[:, 1].mean()
+
+    def test_sharded_gather_bitwise_identical(
+        self, fading_fer_scenario, reference, tmp_path
+    ):
+        cache = CampaignCache(tmp_path)
+        for index in range(3):
+            evaluate(fading_fer_scenario, shard=(index, 3), cache=cache,
+                     chunk_size=2)
+        gathered = gather(fading_fer_scenario, cache)
+        assert gathered.values.tobytes() == reference.values.tobytes()
+
+    def test_registered_builtin_scenario(self):
+        assert "operational-fading-fer" in list_scenarios()
+
+    def test_objective_values_unreduced(self, reference):
+        assert reference.objective_values().shape == reference.values.shape
+
+
+class TestAdaptiveSpecSerialization:
+    def test_defaults_serialize_exactly_as_before(self):
+        # Pre-fusion operational specs must keep their cache keys: the new
+        # fields are absent from the serialized form when defaulted.
+        data = LinkSimSpec(n_rounds=6, payload_bits=24, seed=5).to_dict()
+        assert sorted(data) == [
+            "code", "crc", "modulation", "n_rounds", "payload_bits", "seed",
+        ]
+
+    def test_adaptive_fields_serialized_only_when_set(self):
+        data = LinkSimSpec(n_rounds=6, metric="fer", target_rel_error=0.4,
+                           max_rounds=48).to_dict()
+        assert data["metric"] == "fer"
+        assert data["target_rel_error"] == 0.4
+        assert data["max_rounds"] == 48
+
+    def test_adaptive_spec_round_trips(self, fading_fer_scenario):
+        spec = fading_fer_scenario.to_campaign_spec()
+        restored = CampaignSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_adaptive_fields_move_the_cache_key(self):
+        base = LinkSimSpec(n_rounds=6)
+        spec = CampaignSpec(
+            protocols=(Protocol.MABC,),
+            powers_db=(10.0,),
+            gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+            link=base,
+        )
+        adaptive = CampaignSpec(
+            protocols=spec.protocols,
+            powers_db=spec.powers_db,
+            gains=spec.gains,
+            link=LinkSimSpec(n_rounds=6, target_rel_error=0.4, max_rounds=12),
+        )
+        fer = CampaignSpec(
+            protocols=spec.protocols,
+            powers_db=spec.powers_db,
+            gains=spec.gains,
+            link=LinkSimSpec(n_rounds=6, metric="fer"),
+        )
+        assert adaptive.spec_hash() != spec.spec_hash()
+        assert fer.spec_hash() != spec.spec_hash()
+
+    def test_link_spec_adaptive_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=4, target_rel_error=0.4)
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=4, max_rounds=16)
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=4, target_rel_error=-0.1, max_rounds=16)
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=4, target_rel_error=0.4, max_rounds=2)
+        with pytest.raises(InvalidParameterError):
+            LinkSimSpec(n_rounds=4, metric="ber")
+
+    def test_fer_scenario_round_trips_through_campaign_spec(
+        self, fading_fer_scenario
+    ):
+        spec = fading_fer_scenario.to_campaign_spec()
+        restored = Scenario.from_campaign_spec(spec, name="restored")
+        assert restored.objective == "operational_fer"
+        assert restored.link == fading_fer_scenario.link
+        assert restored.to_campaign_spec().spec_hash() == spec.spec_hash()
+
+
 class TestValidation:
+    def test_objective_metric_must_agree_with_link(self):
+        topology = Topology(gains=(LinkGains.from_db(-7.0, 0.0, 5.0),))
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                name="bad",
+                description="fer objective with goodput link",
+                protocols=(Protocol.DT,),
+                topology=topology,
+                objective="operational_fer",
+                link=LinkSimSpec(n_rounds=2),
+            )
+        with pytest.raises(InvalidParameterError):
+            Scenario(
+                name="bad",
+                description="goodput objective with fer link",
+                protocols=(Protocol.DT,),
+                topology=topology,
+                objective="operational_goodput",
+                link=LinkSimSpec(n_rounds=2, metric="fer"),
+            )
+
     def test_objective_and_link_must_agree(self):
         topology = Topology(gains=(LinkGains.from_db(-7.0, 0.0, 5.0),))
         with pytest.raises(InvalidParameterError):

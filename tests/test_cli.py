@@ -69,6 +69,25 @@ class TestCommands:
         ])
         assert code == 0
 
+    def test_simulate_adaptive_budget(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "2",
+            "--payload-bits", "32", "--power-db", "-10",
+            "--target-rel-error", "0.5", "--max-rounds", "8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rounds" in out
+
+    def test_simulate_adaptive_needs_both_flags(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "2",
+            "--payload-bits", "32", "--target-rel-error", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "max_rounds" in out
+
     def test_sweep(self, capsys):
         code = main(["sweep", "--min-db", "0", "--max-db", "5",
                      "--step-db", "5"])
@@ -294,6 +313,63 @@ class TestScenariosCommand:
     def test_scenarios_requires_action(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenarios"])
+
+
+class TestScenarioShardGather:
+    """`scenarios run --shard` + `scenarios gather` on an operational grid."""
+
+    NAME = "operational-fading-fer"
+
+    def test_sharded_scenario_gathers_bitwise_identically(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        for shard in ("1/2", "2/2"):
+            code = main(["scenarios", "run", self.NAME, "--shard", shard,
+                         "--cache-dir", cache, "--chunk-size", "4",
+                         "--quiet"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert f"shard {shard}" in out
+        gathered = str(tmp_path / "gathered.npy")
+        code = main(["scenarios", "gather", self.NAME, "--cache-dir", cache,
+                     "--dump", gathered])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gathered" in out
+        reference = str(tmp_path / "reference.npy")
+        assert main(["scenarios", "run", self.NAME, "--no-cache", "--quiet",
+                     "--dump", reference]) == 0
+        capsys.readouterr()
+        assert np.load(gathered).tobytes() == np.load(reference).tobytes()
+
+    def test_shard_requires_cache(self, capsys):
+        code = main(["scenarios", "run", self.NAME, "--shard", "1/2",
+                     "--no-cache", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "--no-cache" in out
+
+    def test_malformed_shard_rejected(self, capsys):
+        code = main(["scenarios", "run", self.NAME, "--shard", "3",
+                     "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "shard" in out
+
+    def test_gather_without_artifacts_fails(self, capsys, tmp_path):
+        code = main(["scenarios", "gather", self.NAME,
+                     "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "missing" in out
+
+    def test_fer_units_labelled(self, capsys, tmp_path):
+        code = main(["scenarios", "run", self.NAME,
+                     "--cache-dir", str(tmp_path), "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frame error rate" in out
 
 
 class TestSweepValidation:
