@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .campaign.engine import evaluate_ensemble, gather_campaign, run_campaign
+from .campaign.engine import CampaignResult, evaluate_ensemble, gather_campaign, run_campaign
 from .core.protocols import Protocol
 from .exceptions import InvalidParameterError
 from .scenarios.base import Scenario
@@ -45,6 +45,51 @@ def _resolve_scenario(scenario_or_name) -> Scenario:
     )
 
 
+def _evaluate_via_server(
+    scenario_or_name, scenario, server, *, executor, chunk_size, progress
+) -> EvaluationResult:
+    """Route an evaluation through a ``repro serve`` daemon.
+
+    The daemon owns its cache and default executor; the request forwards
+    only the per-call overrides. Served values are bitwise-identical to a
+    local run, so the returned result is interchangeable with one.
+    """
+    from .serve.client import ServeClient, ServeError
+
+    client = server if isinstance(server, ServeClient) else ServeClient(str(server))
+    executor_name = None
+    if executor is not None:
+        if not isinstance(executor, str):
+            raise InvalidParameterError(
+                "server-routed evaluation takes the executor by name, "
+                f"got {executor!r}"
+            )
+        executor_name = executor
+    served = client.evaluate(
+        scenario_or_name,
+        executor=executor_name,
+        chunk_size=chunk_size,
+        progress=progress,
+    )
+    spec = scenario.to_campaign_spec()
+    if served.values.shape != spec.grid_shape:
+        raise ServeError(
+            f"server returned shape {served.values.shape} for a grid of "
+            f"shape {spec.grid_shape}",
+            code="internal",
+        )
+    campaign = CampaignResult(
+        spec=spec,
+        values=served.values,
+        executor_name=f"serve:{served.payload.get('executor', 'unknown')}",
+        from_cache=served.served_from == "cache",
+        elapsed_seconds=served.elapsed_seconds,
+        cells_from_cache=int(served.payload.get("cells_from_cache", 0)),
+        cells_computed=int(served.payload.get("cells_computed", 0)),
+    )
+    return EvaluationResult(scenario=scenario, campaign=campaign)
+
+
 def evaluate(
     scenario_or_name,
     *,
@@ -53,6 +98,7 @@ def evaluate(
     shard=None,
     chunk_size=None,
     progress=None,
+    server=None,
 ) -> EvaluationResult:
     """Evaluate a scenario end to end.
 
@@ -63,8 +109,10 @@ def evaluate(
         registered one (see :func:`repro.scenarios.list_scenarios`).
     executor:
         Campaign executor name (``"serial"``, ``"process"``,
-        ``"vectorized"``) or instance; defaults to the vectorized fast
-        path. All built-in executors are bitwise-equivalent.
+        ``"vectorized"``, ``"async"``) or instance; defaults to the
+        vectorized fast path. All built-in executors are
+        bitwise-equivalent. With ``server=``, only names are accepted
+        (the override travels over the wire).
     cache:
         ``None``/``False`` disables caching, ``True`` selects the default
         content-addressed store, a path or
@@ -78,9 +126,32 @@ def evaluate(
     chunk_size:
         Checkpoint granularity in grid cells.
     progress:
-        Optional ``progress(done, total)`` callable.
+        Optional ``progress(done, total)`` callable. With ``server=`` it
+        receives the daemon's per-chunk progress events.
+    server:
+        ``None`` evaluates in-process. A socket path (or
+        :class:`~repro.serve.client.ServeClient`) routes the evaluation
+        through a running ``repro serve`` daemon instead: the daemon
+        owns the cache and the executor pool, deduplicates identical
+        in-flight requests, and returns values bitwise-identical to a
+        local run. Mutually exclusive with ``cache`` and ``shard``,
+        which are daemon-side concerns.
     """
     scenario = _resolve_scenario(scenario_or_name)
+    if server is not None:
+        if cache is not None or shard is not None:
+            raise InvalidParameterError(
+                "server-routed evaluation owns caching and sharding on the "
+                "daemon side; pass cache/shard only for local evaluation"
+            )
+        return _evaluate_via_server(
+            scenario_or_name,
+            scenario,
+            server,
+            executor=executor,
+            chunk_size=chunk_size,
+            progress=progress,
+        )
     campaign = run_campaign(
         scenario.to_campaign_spec(),
         executor=executor,

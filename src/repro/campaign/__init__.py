@@ -34,6 +34,7 @@ from .cache import CampaignCache, default_cache_dir
 from .engine import CampaignResult, evaluate_ensemble, gather_campaign, run_campaign
 from .executors import (
     EXECUTOR_NAMES,
+    AsyncExecutor,
     MultiprocessExecutor,
     SerialExecutor,
     UnitBatch,
@@ -62,6 +63,7 @@ __all__ = [
     "gather_campaign",
     "run_campaign",
     "EXECUTOR_NAMES",
+    "AsyncExecutor",
     "MultiprocessExecutor",
     "SerialExecutor",
     "UnitBatch",

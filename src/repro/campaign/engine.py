@@ -39,6 +39,7 @@ from ..core.protocols import Protocol
 from ..exceptions import IncompleteCampaignError, InvalidParameterError
 from .cache import CampaignCache
 from .executors import (
+    AsyncExecutor,
     MultiprocessExecutor,
     SerialExecutor,
     UnitBatch,
@@ -56,6 +57,7 @@ _CACHE_TRUSTED_EXECUTORS = (
     SerialExecutor,
     MultiprocessExecutor,
     VectorizedExecutor,
+    AsyncExecutor,
 )
 
 __all__ = [
@@ -256,6 +258,57 @@ def _grid_batches(spec, flat_gains, start, stop):
     return batches
 
 
+def _run_chunk_futures(
+    key, unit_range, batches_for, meta, store, trusted, executor, chunk_size, progress
+):
+    """Evaluate a flat unit range as concurrent chunk futures.
+
+    The chunk-future seam: every chunk missing from ``store`` is handed
+    to ``executor.run_chunks`` in one submission, results arrive in
+    completion order (whichever worker frees up first steals the next
+    chunk), and each finished chunk is checkpointed immediately — a slow
+    chunk never delays the durability of a fast one. Reassembly is by
+    chunk range, so completion order cannot change the result. Returns
+    ``(flat_values, cells_from_cache, cells_computed)``.
+    """
+    start, stop = unit_range
+    total = stop - start
+    ranges = chunk_ranges(start, stop, chunk_size)
+    values_by_range = {}
+    jobs = []
+    cells_from_cache = 0
+    for lo, hi in ranges:
+        values = store.load_chunk(key, lo, hi) if store is not None else None
+        if values is None:
+            jobs.append(((lo, hi), batches_for(lo, hi)))
+        else:
+            values_by_range[(lo, hi)] = values
+            cells_from_cache += hi - lo
+    done = cells_from_cache
+    if progress is not None and total and (done or not jobs):
+        progress(done, total)
+    cells_computed = 0
+    if jobs:
+        with ExitStack() as stack:
+            reserve = getattr(executor, "reserve", None)
+            if reserve is not None:
+                stack.enter_context(reserve())
+            for (lo, hi), values in executor.run_chunks(jobs):
+                values_by_range[(lo, hi)] = values
+                cells_computed += hi - lo
+                done += hi - lo
+                if store is not None and trusted:
+                    store.store_chunk(key, lo, hi, values, meta)
+                if progress is not None:
+                    progress(done, total)
+    flat = (
+        np.concatenate([values_by_range[r] for r in ranges])
+        if ranges
+        else np.zeros(0)
+    )
+    return flat, cells_from_cache, cells_computed
+
+
 def _run_chunked(
     key, unit_range, batches_for, meta, store, trusted, executor, chunk_size, progress
 ):
@@ -264,9 +317,24 @@ def _run_chunked(
     Every chunk is first looked up in ``store`` (a verified hit skips the
     executor entirely); freshly computed chunks are written back
     immediately when the executor is cache-trusted, so an interrupted run
-    resumes from its last completed chunk. Returns
-    ``(flat_values, cells_from_cache, cells_computed)``.
+    resumes from its last completed chunk. Executors exposing the
+    chunk-future seam (``run_chunks``) evaluate their chunks concurrently
+    via :func:`_run_chunk_futures` instead of this sequential loop —
+    either way, chunking is elementwise and the values are identical.
+    Returns ``(flat_values, cells_from_cache, cells_computed)``.
     """
+    if hasattr(executor, "run_chunks"):
+        return _run_chunk_futures(
+            key,
+            unit_range,
+            batches_for,
+            meta,
+            store,
+            trusted,
+            executor,
+            chunk_size,
+            progress,
+        )
     start, stop = unit_range
     total = stop - start
     pieces = []

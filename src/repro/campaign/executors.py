@@ -1,6 +1,6 @@
 """Pluggable execution backends for campaign work units.
 
-Three executors share one numeric kernel
+Four executors share one numeric kernel
 (:func:`repro.campaign.kernel.batched_sum_rates`):
 
 * :class:`SerialExecutor` — one unit at a time, in process. The reference
@@ -12,6 +12,12 @@ Three executors share one numeric kernel
 * :class:`VectorizedExecutor` — stacks whole batches through the kernel's
   batched linear algebra. The kernel is elementwise along the batch axis,
   so this too is bitwise identical to serial (asserted in the tests).
+* :class:`AsyncExecutor` — schedules *chunk futures* over a
+  ``concurrent.futures`` process pool: work units are claimed by whichever
+  worker frees up first (work-stealing) instead of being pre-split, and
+  the engine checkpoints each chunk the moment its future lands. Each
+  future runs the serial per-unit arithmetic, so completion order can
+  never change the numbers.
 
 Because all executors agree exactly, cached campaign results are keyed by
 the spec alone — never by how they were computed.
@@ -21,6 +27,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -35,6 +43,7 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessExecutor",
     "VectorizedExecutor",
+    "AsyncExecutor",
     "EXECUTOR_NAMES",
     "get_executor",
 ]
@@ -286,8 +295,135 @@ class VectorizedExecutor:
         return results
 
 
+def _evaluate_batch_list(batches) -> np.ndarray:
+    """Worker entry of a chunk future: serial arithmetic, concatenated.
+
+    One pickled call evaluates a whole chunk's batches with exactly the
+    per-unit reference arithmetic, so a chunk future's values are bitwise
+    identical to the serial executor's regardless of which worker ran it
+    or when it completed.
+    """
+    return np.concatenate([_evaluate_units_one_by_one(batch) for batch in batches])
+
+
+class AsyncExecutor:
+    """Schedule chunk futures over a process pool with work-stealing.
+
+    Where :class:`MultiprocessExecutor` pre-splits each ``run`` call over
+    a pool, this executor exposes the *chunk-future seam* the engine and
+    the serving daemon build on: :meth:`run_chunks` submits every pending
+    chunk as one future and yields results **in completion order**, so
+
+    * idle workers steal whichever chunk is next rather than being bound
+      to a static ``--shard I/N`` split of the grid, and
+    * the engine checkpoints each chunk the moment it lands — a slow
+      chunk never delays the durability of a fast one.
+
+    One reserved pool can be shared by many concurrent campaigns (the
+    ``repro serve`` daemon holds one open for its lifetime), in which
+    case chunks of all in-flight requests interleave across the workers.
+    Every future runs the serial per-unit arithmetic
+    (:func:`_evaluate_batch_list`), so scheduling, completion order and
+    pool size can never change the numbers.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; defaults to ``os.cpu_count()``.
+    """
+
+    name = "async"
+
+    def __init__(self, processes: int | None = None) -> None:
+        if processes is not None and processes < 1:
+            raise InvalidParameterError(f"need at least one process, got {processes}")
+        self.processes = processes or os.cpu_count() or 1
+        self._pool = None
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def reserve(self):
+        """Hold one process pool open across consecutive calls.
+
+        Reentrant and thread-safe: only the outermost reservation owns the
+        pool's lifetime, so the serving daemon can reserve once at startup
+        and let every concurrent request share the workers.
+        """
+        with self._lock:
+            if self._pool is not None:
+                owned = None
+            else:
+                owned = ProcessPoolExecutor(max_workers=self.processes)
+                self._pool = owned
+        try:
+            yield self
+        finally:
+            if owned is not None:
+                with self._lock:
+                    self._pool = None
+                owned.shutdown(wait=True)
+
+    def _submit_completions(self, pool, jobs):
+        """Submit one future per job; yield ``(tag, values)`` as they land."""
+        futures = {
+            pool.submit(_evaluate_batch_list, batches): tag for tag, batches in jobs
+        }
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                yield futures[future], future.result()
+
+    def run_chunks(self, jobs):
+        """Evaluate ``(tag, batches)`` jobs, yielding in completion order.
+
+        The engine's chunk-future seam: each job becomes one pool future
+        and is yielded as ``(tag, values)`` the moment it completes, so
+        the caller can checkpoint finished chunks while slower ones are
+        still in flight. Values per tag are bitwise identical to the
+        serial executor's for the same batches.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return
+        pool = self._pool
+        if pool is not None:
+            yield from self._submit_completions(pool, jobs)
+            return
+        with ProcessPoolExecutor(max_workers=self.processes) as own:
+            yield from self._submit_completions(own, jobs)
+
+    def run(self, batches, progress=None) -> list:
+        """Evaluate ``batches`` and return one value array per batch.
+
+        The plain-executor protocol (used for unchunked runs): each batch
+        is sliced into roughly ``4 × processes`` sub-batches which are all
+        submitted up front; workers drain them in whatever order they free
+        up, and the results reassemble in submission order.
+        """
+        total = sum(len(batch) for batch in batches)
+        jobs = []
+        for bi, batch in enumerate(batches):
+            step = max(1, -(-len(batch) // (4 * self.processes)))
+            for start in range(0, len(batch), step):
+                piece = batch.slice(start, min(start + step, len(batch)))
+                jobs.append(((bi, start), [piece]))
+        pieces = {}
+        done = 0
+        for (bi, start), values in self.run_chunks(jobs):
+            pieces[(bi, start)] = values
+            done += values.shape[0]
+            if progress is not None:
+                progress(done, total)
+        results = []
+        for bi, batch in enumerate(batches):
+            parts = [pieces[key] for key in sorted(pieces) if key[0] == bi]
+            results.append(np.concatenate(parts) if parts else np.zeros(0))
+        return results
+
+
 #: Executor registry used by the engine and the CLI.
-EXECUTOR_NAMES = ("serial", "process", "vectorized")
+EXECUTOR_NAMES = ("serial", "process", "vectorized", "async")
 
 
 def get_executor(executor, **kwargs):
@@ -304,6 +440,7 @@ def get_executor(executor, **kwargs):
         "serial": SerialExecutor,
         "process": MultiprocessExecutor,
         "vectorized": VectorizedExecutor,
+        "async": AsyncExecutor,
     }
     if executor not in registry:
         raise InvalidParameterError(

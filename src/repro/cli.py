@@ -21,6 +21,13 @@ Subcommands
   ad-hoc scenario; spec hashes are unchanged).
 * ``gather`` — merge the chunk artifacts written by shard runs into the
   full campaign result (bitwise-identical to an unsharded run).
+* ``serve`` — run the campaign daemon: a long-lived process owning a warm
+  executor pool and the content-addressed cache, answering scenario
+  evaluation requests over a Unix socket with in-flight deduplication,
+  a cache hot path, bounded backpressure and graceful shutdown.
+* ``client`` — talk to a running daemon: ``client run NAME`` evaluates a
+  registered scenario remotely, ``client ping`` / ``client stats`` /
+  ``client shutdown`` probe and administer it.
 * ``region`` — trace any protocol's rate region on any channel.
 * ``sumrate`` — LP-optimal sum rates of all protocols on one channel.
 * ``simulate`` — run the operational link-level simulator (the batched
@@ -330,7 +337,6 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_gather(args) -> int:
     from .api import gather
-    from .campaign import CampaignCache
     from .exceptions import IncompleteCampaignError
     from .scenarios import Scenario
 
@@ -342,7 +348,9 @@ def _cmd_gather(args) -> int:
     except ValueError as error:
         print(f"error: {error}")
         return 2
-    cache = CampaignCache(args.cache_dir)
+    cache = _gather_store_or_error(args)
+    if cache is None:
+        return 1
     try:
         result = gather(scenario, cache)
     except IncompleteCampaignError as error:
@@ -440,9 +448,16 @@ def _cmd_adaptive(args) -> int:
     return 0
 
 
-def _cmd_scenarios_list(_args) -> int:
+def _cmd_scenarios_list(args) -> int:
     from .scenarios import get_scenario, list_scenarios
 
+    if getattr(args, "as_json", False):
+        import json
+
+        from .scenarios.catalog import catalog_entries
+
+        print(json.dumps(catalog_entries(), indent=2))
+        return 0
     rows = []
     for name in list_scenarios():
         scenario = get_scenario(name)
@@ -541,7 +556,6 @@ def _cmd_scenarios_run(args) -> int:
 
 def _cmd_scenarios_gather(args) -> int:
     from .api import gather
-    from .campaign import CampaignCache
     from .exceptions import IncompleteCampaignError
     from .scenarios import get_scenario
 
@@ -550,7 +564,9 @@ def _cmd_scenarios_gather(args) -> int:
     except ValueError as error:
         print(f"error: {error}")
         return 2
-    cache = CampaignCache(args.cache_dir)
+    cache = _gather_store_or_error(args)
+    if cache is None:
+        return 1
     try:
         result = gather(scenario, cache)
     except IncompleteCampaignError as error:
@@ -570,6 +586,132 @@ def _cmd_scenarios_gather(args) -> int:
     if args.dump:
         _dump_values(result, args.dump)
     return 0
+
+
+def _cmd_scenarios_catalog(args) -> int:
+    from .scenarios.catalog import check_catalog, render_markdown, write_catalog
+
+    if args.check:
+        if check_catalog(args.check):
+            print(f"{args.check} matches the scenario registry")
+            return 0
+        print(
+            f"error: {args.check} is stale; regenerate it with "
+            f"'repro scenarios catalog --write {args.check}'"
+        )
+        return 1
+    if args.write:
+        print(f"wrote {write_catalog(args.write)}")
+        return 0
+    print(render_markdown(), end="")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .exceptions import ReproError
+    from .serve import ServeConfig
+    from .serve import serve as run_server
+
+    try:
+        config = ServeConfig(
+            socket_path=args.socket,
+            cache=False if args.no_cache else (args.cache_dir or True),
+            executor=args.executor,
+            processes=args.processes or None,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            chunk_size=args.chunk_size,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    print(
+        f"serving campaigns on {args.socket} "
+        f"(executor {args.executor}, max {args.max_pending} jobs in flight); "
+        "stop with Ctrl-C or 'repro client shutdown'",
+        file=sys.stderr,
+    )
+    try:
+        run_server(config)
+    except KeyboardInterrupt:
+        print("\ninterrupted; socket closed", file=sys.stderr)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.socket, timeout=args.timeout)
+    try:
+        if args.action == "ping":
+            pong = client.ping()
+            draining = " (draining)" if pong.get("draining") else ""
+            print(f"pong: protocol v{pong.get('protocol_version')}{draining}")
+        elif args.action == "stats":
+            reply = client.stats()
+            for key, value in sorted(reply.get("stats", {}).items()):
+                print(f"{key}: {value}")
+            print(f"in_flight: {reply.get('in_flight', 0)}")
+        elif args.action == "shutdown":
+            client.shutdown()
+            print("server is draining")
+        else:
+            progress = None if args.quiet else _stderr_progress(args.name)
+            served = client.evaluate(
+                args.name,
+                executor=args.executor,
+                chunk_size=args.chunk_size,
+                timeout=args.request_timeout,
+                progress=progress,
+            )
+            shape = "x".join(str(n) for n in served.values.shape)
+            print(
+                f"{args.name}: {shape} grid served from {served.served_from} "
+                f"in {served.elapsed_seconds:.3f} s server-side"
+            )
+            print(f"spec {served.spec_hash}")
+            if args.dump:
+                np.save(args.dump, served.values)
+                print(f"wrote {args.dump}")
+    except ServeError as error:
+        print(f"error [{error.code}]: {error}")
+        return 1
+    return 0
+
+
+def _gather_store_or_error(args):
+    """The gather cache store, or ``None`` after a clear operator error.
+
+    ``repro gather`` reads shard artifacts that some earlier run must
+    have written; a missing, non-directory or empty cache directory
+    means the operator pointed at the wrong place (or no shard has run),
+    which deserves a direct message instead of the generic
+    "missing N of N cells" incompleteness report.
+    """
+    from .campaign import CampaignCache
+
+    cache = CampaignCache(args.cache_dir)
+    directory = cache.directory
+    if not directory.exists():
+        print(
+            f"error: cache directory {directory} does not exist; "
+            "run the shards first or point --cache-dir at their cache"
+        )
+        return None
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory")
+        return None
+    if not any(directory.glob("*.npz")) and not any(directory.glob("*.chunks")):
+        print(
+            f"error: cache directory {directory} holds no campaign "
+            "artifacts; run the shards first or point --cache-dir at "
+            "their cache"
+        )
+        return None
+    return cache
 
 
 def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -682,7 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fading.add_argument(
         "--executor", default=None,
-        choices=["serial", "process", "vectorized"],
+        choices=["serial", "process", "vectorized", "async"],
         help="campaign executor (default vectorized)",
     )
     p_fading.set_defaults(func=_cmd_fading)
@@ -695,14 +837,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn_list = scenario_sub.add_parser(
         "list", help="table of every registered scenario"
     )
+    p_scn_list.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the catalog entries as JSON instead of a table",
+    )
     p_scn_list.set_defaults(func=_cmd_scenarios_list)
+    p_scn_catalog = scenario_sub.add_parser(
+        "catalog",
+        help="render the registry as the markdown scenario catalog",
+    )
+    catalog_mode = p_scn_catalog.add_mutually_exclusive_group()
+    catalog_mode.add_argument(
+        "--write", default=None, metavar="PATH",
+        help="regenerate the catalog page at PATH (docs/scenarios.md)",
+    )
+    catalog_mode.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="exit non-zero if the committed catalog at PATH is stale",
+    )
+    p_scn_catalog.set_defaults(func=_cmd_scenarios_catalog)
     p_scn_run = scenario_sub.add_parser(
         "run", help="evaluate a registered scenario through repro.api"
     )
     p_scn_run.add_argument("name", help="registered scenario name")
     p_scn_run.add_argument(
         "--executor", default=None,
-        choices=["serial", "process", "vectorized"],
+        choices=["serial", "process", "vectorized", "async"],
         help="campaign executor (default vectorized)",
     )
     p_scn_run.add_argument(
@@ -752,7 +912,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_grid_arguments(p_campaign)
     p_campaign.add_argument(
         "--executor", default="vectorized",
-        choices=["serial", "process", "vectorized"],
+        choices=["serial", "process", "vectorized", "async"],
         help="execution backend (default vectorized)",
     )
     p_campaign.add_argument(
@@ -780,6 +940,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_grid_arguments(p_gather)
     p_gather.set_defaults(func=_cmd_gather)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign evaluation daemon on a Unix socket",
+    )
+    p_serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix-domain socket path to listen on",
+    )
+    p_serve.add_argument(
+        "--executor", default="async",
+        choices=["serial", "process", "vectorized", "async"],
+        help="default campaign executor for served jobs (default async: "
+             "one shared worker pool, chunks steal across requests)",
+    )
+    p_serve.add_argument(
+        "--processes", type=int, default=0,
+        help="worker count of the async pool (default: cpu count)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=4,
+        help="bound on in-flight jobs; excess requests get a 'busy' "
+             "error (default 4)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline (default: none)",
+    )
+    p_serve.add_argument(
+        "--chunk-size", type=int, default=None, metavar="CELLS",
+        help="default checkpoint granularity for served jobs",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed cache directory (default "
+             "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro/campaigns)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve compute-only, without the content-addressed cache",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="talk to a running 'repro serve' daemon",
+    )
+    p_client.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix-domain socket path of the daemon",
+    )
+    p_client.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="client-side socket timeout (default: wait indefinitely)",
+    )
+    client_sub = p_client.add_subparsers(dest="action", required=True)
+    p_client_run = client_sub.add_parser(
+        "run", help="evaluate a registered scenario on the daemon"
+    )
+    p_client_run.add_argument("name", help="registered scenario name")
+    p_client_run.add_argument(
+        "--executor", default=None,
+        choices=["serial", "process", "vectorized", "async"],
+        help="override the daemon's default executor for this job",
+    )
+    p_client_run.add_argument(
+        "--chunk-size", type=int, default=None, metavar="CELLS",
+        help="override the daemon's checkpoint granularity",
+    )
+    p_client_run.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="server-side deadline for this request",
+    )
+    p_client_run.add_argument("--quiet", action="store_true",
+                              help="suppress the progress meter")
+    p_client_run.add_argument(
+        "--dump", default=None, metavar="PATH",
+        help="also write the served result array to PATH via np.save",
+    )
+    client_sub.add_parser("ping", help="liveness probe")
+    client_sub.add_parser("stats", help="serving counters and in-flight jobs")
+    client_sub.add_parser("shutdown", help="ask the daemon to drain and exit")
+    p_client.set_defaults(func=_cmd_client)
 
     p_sweep = sub.add_parser("sweep", help="sum rates across a power sweep")
     p_sweep.add_argument("--min-db", type=float, default=-5.0)

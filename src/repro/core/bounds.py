@@ -54,8 +54,9 @@ def dt_capacity() -> BoundSpec:
         BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB))),
         BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB))),
     )
-    return BoundSpec(Protocol.DT, BoundKind.INNER, 2, constraints,
-                     "Direct transmission (exact)")
+    return BoundSpec(
+        Protocol.DT, BoundKind.INNER, 2, constraints, "Direct transmission (exact)"
+    )
 
 
 def naive4_inner() -> BoundSpec:
@@ -73,8 +74,13 @@ def naive4_inner() -> BoundSpec:
         BoundConstraint(("Rb",), _form((2, MiKey.LINK_BR))),
         BoundConstraint(("Rb",), _form((3, MiKey.LINK_AR))),
     )
-    return BoundSpec(Protocol.NAIVE4, BoundKind.INNER, 4, constraints,
-                     "Naive four-phase relaying (Fig. 1(ii) baseline)")
+    return BoundSpec(
+        Protocol.NAIVE4,
+        BoundKind.INNER,
+        4,
+        constraints,
+        "Naive four-phase relaying (Fig. 1(ii) baseline)",
+    )
 
 
 def naive4_outer() -> BoundSpec:
@@ -87,16 +93,22 @@ def naive4_outer() -> BoundSpec:
     """
     constraints = (
         BoundConstraint(("Ra",), _form((0, MiKey.CUT_A_RB))),
-        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (1, MiKey.LINK_BR),
-                                       (3, MiKey.LINK_BR))),
+        BoundConstraint(
+            ("Ra",), _form((0, MiKey.LINK_AB), (1, MiKey.LINK_BR), (3, MiKey.LINK_BR))
+        ),
         BoundConstraint(("Rb",), _form((2, MiKey.CUT_B_RA))),
-        BoundConstraint(("Rb",), _form((2, MiKey.LINK_AB), (1, MiKey.LINK_AR),
-                                       (3, MiKey.LINK_AR))),
-        BoundConstraint(("Ra", "Rb"),
-                        _form((0, MiKey.LINK_AR), (2, MiKey.LINK_BR))),
+        BoundConstraint(
+            ("Rb",), _form((2, MiKey.LINK_AB), (1, MiKey.LINK_AR), (3, MiKey.LINK_AR))
+        ),
+        BoundConstraint(("Ra", "Rb"), _form((0, MiKey.LINK_AR), (2, MiKey.LINK_BR))),
     )
-    return BoundSpec(Protocol.NAIVE4, BoundKind.OUTER, 4, constraints,
-                     "Naive four-phase cut-set outer bound")
+    return BoundSpec(
+        Protocol.NAIVE4,
+        BoundKind.OUTER,
+        4,
+        constraints,
+        "Naive four-phase cut-set outer bound",
+    )
 
 
 def mabc_inner() -> BoundSpec:
@@ -115,15 +127,25 @@ def mabc_inner() -> BoundSpec:
         BoundConstraint(("Rb",), _form((1, MiKey.LINK_AR))),
         BoundConstraint(("Ra", "Rb"), _form((0, MiKey.MAC_SUM))),
     )
-    return BoundSpec(Protocol.MABC, BoundKind.INNER, 2, constraints,
-                     "MABC achievable region (Theorem 2)")
+    return BoundSpec(
+        Protocol.MABC,
+        BoundKind.INNER,
+        2,
+        constraints,
+        "MABC achievable region (Theorem 2)",
+    )
 
 
 def mabc_outer() -> BoundSpec:
     """Theorem 2 — MABC converse. Identical to the inner bound (tight)."""
     inner = mabc_inner()
-    return BoundSpec(Protocol.MABC, BoundKind.OUTER, inner.n_phases,
-                     inner.constraints, "MABC outer bound (Theorem 2, tight)")
+    return BoundSpec(
+        Protocol.MABC,
+        BoundKind.OUTER,
+        inner.n_phases,
+        inner.constraints,
+        "MABC outer bound (Theorem 2, tight)",
+    )
 
 
 def tdbc_inner() -> BoundSpec:
@@ -141,8 +163,13 @@ def tdbc_inner() -> BoundSpec:
         BoundConstraint(("Rb",), _form((1, MiKey.LINK_BR))),
         BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB), (2, MiKey.LINK_AR))),
     )
-    return BoundSpec(Protocol.TDBC, BoundKind.INNER, 3, constraints,
-                     "TDBC achievable region (Theorem 3)")
+    return BoundSpec(
+        Protocol.TDBC,
+        BoundKind.INNER,
+        3,
+        constraints,
+        "TDBC achievable region (Theorem 3)",
+    )
 
 
 def tdbc_outer() -> BoundSpec:
@@ -157,11 +184,11 @@ def tdbc_outer() -> BoundSpec:
         BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (2, MiKey.LINK_BR))),
         BoundConstraint(("Rb",), _form((1, MiKey.CUT_B_RA))),
         BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB), (2, MiKey.LINK_AR))),
-        BoundConstraint(("Ra", "Rb"),
-                        _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR))),
+        BoundConstraint(("Ra", "Rb"), _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR))),
     )
-    return BoundSpec(Protocol.TDBC, BoundKind.OUTER, 3, constraints,
-                     "TDBC outer bound (Theorem 4)")
+    return BoundSpec(
+        Protocol.TDBC, BoundKind.OUTER, 3, constraints, "TDBC outer bound (Theorem 4)"
+    )
 
 
 def hbc_inner() -> BoundSpec:
@@ -173,20 +200,22 @@ def hbc_inner() -> BoundSpec:
     contributes a sum constraint through the relay.
     """
     constraints = (
-        BoundConstraint(("Ra",),
-                        _form((0, MiKey.LINK_AR), (2, MiKey.LINK_AR))),
-        BoundConstraint(("Ra",),
-                        _form((0, MiKey.LINK_AB), (3, MiKey.LINK_BR))),
-        BoundConstraint(("Rb",),
-                        _form((1, MiKey.LINK_BR), (2, MiKey.LINK_BR))),
-        BoundConstraint(("Rb",),
-                        _form((1, MiKey.LINK_AB), (3, MiKey.LINK_AR))),
-        BoundConstraint(("Ra", "Rb"),
-                        _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR),
-                              (2, MiKey.MAC_SUM))),
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AR), (2, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (3, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_BR), (2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB), (3, MiKey.LINK_AR))),
+        BoundConstraint(
+            ("Ra", "Rb"),
+            _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR), (2, MiKey.MAC_SUM)),
+        ),
     )
-    return BoundSpec(Protocol.HBC, BoundKind.INNER, 4, constraints,
-                     "HBC achievable region (Theorem 5)")
+    return BoundSpec(
+        Protocol.HBC,
+        BoundKind.INNER,
+        4,
+        constraints,
+        "HBC achievable region (Theorem 5)",
+    )
 
 
 def hbc_outer() -> BoundSpec:
@@ -202,20 +231,22 @@ def hbc_outer() -> BoundSpec:
     plots it as a paper artifact, matching the paper).
     """
     constraints = (
-        BoundConstraint(("Ra",),
-                        _form((0, MiKey.CUT_A_RB), (2, MiKey.LINK_AR))),
-        BoundConstraint(("Ra",),
-                        _form((0, MiKey.LINK_AB), (3, MiKey.LINK_BR))),
-        BoundConstraint(("Rb",),
-                        _form((1, MiKey.CUT_B_RA), (2, MiKey.LINK_BR))),
-        BoundConstraint(("Rb",),
-                        _form((1, MiKey.LINK_AB), (3, MiKey.LINK_AR))),
-        BoundConstraint(("Ra", "Rb"),
-                        _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR),
-                              (2, MiKey.MAC_SUM))),
+        BoundConstraint(("Ra",), _form((0, MiKey.CUT_A_RB), (2, MiKey.LINK_AR))),
+        BoundConstraint(("Ra",), _form((0, MiKey.LINK_AB), (3, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.CUT_B_RA), (2, MiKey.LINK_BR))),
+        BoundConstraint(("Rb",), _form((1, MiKey.LINK_AB), (3, MiKey.LINK_AR))),
+        BoundConstraint(
+            ("Ra", "Rb"),
+            _form((0, MiKey.LINK_AR), (1, MiKey.LINK_BR), (2, MiKey.MAC_SUM)),
+        ),
     )
-    return BoundSpec(Protocol.HBC, BoundKind.OUTER, 4, constraints,
-                     "HBC outer bound (Theorem 6, independent-input proxy)")
+    return BoundSpec(
+        Protocol.HBC,
+        BoundKind.OUTER,
+        4,
+        constraints,
+        "HBC outer bound (Theorem 6, independent-input proxy)",
+    )
 
 
 #: Registry of all bound builders keyed by (protocol, kind).

@@ -35,8 +35,9 @@ __all__ = [
 ]
 
 
-def achievable_region(protocol: Protocol, channel: GaussianChannel, *,
-                      backend: str = DEFAULT_BACKEND) -> RateRegion:
+def achievable_region(
+    protocol: Protocol, channel: GaussianChannel, *, backend: str = DEFAULT_BACKEND
+) -> RateRegion:
     """The protocol's achievable (inner-bound) rate region on a channel.
 
     For DT this is the exact capacity region; for MABC it equals the
@@ -47,8 +48,9 @@ def achievable_region(protocol: Protocol, channel: GaussianChannel, *,
     return RateRegion(evaluated=channel.evaluate(spec), backend=backend)
 
 
-def outer_bound_region(protocol: Protocol, channel: GaussianChannel, *,
-                       backend: str = DEFAULT_BACKEND) -> RateRegion:
+def outer_bound_region(
+    protocol: Protocol, channel: GaussianChannel, *, backend: str = DEFAULT_BACKEND
+) -> RateRegion:
     """The protocol's outer-bound region.
 
     * DT, MABC: coincides with the achievable region (exact capacity).
@@ -60,8 +62,9 @@ def outer_bound_region(protocol: Protocol, channel: GaussianChannel, *,
     return RateRegion(evaluated=channel.evaluate(spec), backend=backend)
 
 
-def optimal_sum_rate(protocol: Protocol, channel: GaussianChannel, *,
-                     backend: str = DEFAULT_BACKEND) -> RatePoint:
+def optimal_sum_rate(
+    protocol: Protocol, channel: GaussianChannel, *, backend: str = DEFAULT_BACKEND
+) -> RatePoint:
     """LP-optimal achievable sum rate of the protocol on the channel.
 
     This is the quantity plotted in the paper's Fig. 3 (inner bounds with
@@ -86,10 +89,14 @@ class ProtocolComparison:
         return {p.name: point.sum_rate for p, point in self.sum_rates.items()}
 
 
-def compare_protocols(channel: GaussianChannel, *,
-                      protocols=(Protocol.DT, Protocol.NAIVE4, Protocol.MABC,
-                                 Protocol.TDBC, Protocol.HBC),
-                      backend: str = DEFAULT_BACKEND) -> ProtocolComparison:
+def compare_protocols(
+    channel: GaussianChannel,
+    *,
+    protocols=(
+        Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC, Protocol.HBC
+    ),
+    backend: str = DEFAULT_BACKEND,
+) -> ProtocolComparison:
     """Optimal sum rate of each protocol.
 
     Defaults to all five protocols (the paper's four plus the Fig. 1(ii)

@@ -52,9 +52,14 @@ def _assemble(constraints, n_phases: int):
     return a_ub, b_ub, a_eq, b_eq
 
 
-def cutset_support_point(constraints: list[CutConstraint], n_phases: int,
-                         mu_a: float, mu_b: float, *,
-                         backend: str = DEFAULT_BACKEND) -> RatePoint:
+def cutset_support_point(
+    constraints: list[CutConstraint],
+    n_phases: int,
+    mu_a: float,
+    mu_b: float,
+    *,
+    backend: str = DEFAULT_BACKEND,
+) -> RatePoint:
     """Maximize ``μ_a·Ra + μ_b·Rb`` over engine constraints and durations."""
     if not constraints:
         raise InvalidParameterError("at least one cut constraint required")
@@ -68,8 +73,9 @@ def cutset_support_point(constraints: list[CutConstraint], n_phases: int,
     result = solve_lp(LinearProgram(c, a_ub, b_ub, a_eq, b_eq), backend=backend)
     durations = np.clip(result.x[2:], 0.0, None)
     total = durations.sum()
-    durations = durations / total if total > 0 else np.full(n_phases,
-                                                            1.0 / n_phases)
+    durations = (
+        durations / total if total > 0 else np.full(n_phases, 1.0 / n_phases)
+    )
     return RatePoint(
         ra=float(max(result.x[0], 0.0)),
         rb=float(max(result.x[1], 0.0)),
@@ -77,16 +83,20 @@ def cutset_support_point(constraints: list[CutConstraint], n_phases: int,
     )
 
 
-def cutset_max_sum_rate(constraints: list[CutConstraint], n_phases: int, *,
-                        backend: str = DEFAULT_BACKEND) -> RatePoint:
+def cutset_max_sum_rate(
+    constraints: list[CutConstraint], n_phases: int, *, backend: str = DEFAULT_BACKEND
+) -> RatePoint:
     """The sum-rate-optimal point of a mechanically generated outer bound."""
-    return cutset_support_point(constraints, n_phases, 1.0, 1.0,
-                                backend=backend)
+    return cutset_support_point(constraints, n_phases, 1.0, 1.0, backend=backend)
 
 
-def cutset_boundary(constraints: list[CutConstraint], n_phases: int, *,
-                    n_points: int = 17,
-                    backend: str = DEFAULT_BACKEND) -> np.ndarray:
+def cutset_boundary(
+    constraints: list[CutConstraint],
+    n_phases: int,
+    *,
+    n_points: int = 17,
+    backend: str = DEFAULT_BACKEND,
+) -> np.ndarray:
     """Trace the outer-bound boundary from engine constraints."""
     if n_points < 2:
         raise InvalidParameterError(f"need at least 2 directions, got {n_points}")
@@ -94,16 +104,21 @@ def cutset_boundary(constraints: list[CutConstraint], n_phases: int, *,
     points = []
     for theta in angles:
         point = cutset_support_point(
-            constraints, n_phases,
-            max(float(np.cos(theta)), 0.0), max(float(np.sin(theta)), 0.0),
+            constraints,
+            n_phases,
+            max(float(np.cos(theta)), 0.0),
+            max(float(np.sin(theta)), 0.0),
             backend=backend,
         )
         points.append((point.ra, point.rb))
     ordered = sorted(points, key=lambda p: (p[0], -p[1]))
     deduped: list[tuple] = []
     for ra, rb in ordered:
-        if deduped and abs(ra - deduped[-1][0]) < 1e-7 \
-                and abs(rb - deduped[-1][1]) < 1e-7:
+        if (
+            deduped
+            and abs(ra - deduped[-1][0]) < 1e-7
+            and abs(rb - deduped[-1][1]) < 1e-7
+        ):
             continue
         deduped.append((float(ra), float(rb)))
     return np.asarray(deduped, dtype=float)

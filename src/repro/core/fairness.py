@@ -41,8 +41,9 @@ def jain_index(ra: float, rb: float) -> float:
     return (ra + rb) ** 2 / (2.0 * total_square)
 
 
-def max_equal_rate(protocol: Protocol, channel: GaussianChannel, *,
-                   backend: str = DEFAULT_BACKEND) -> RatePoint:
+def max_equal_rate(
+    protocol: Protocol, channel: GaussianChannel, *, backend: str = DEFAULT_BACKEND
+) -> RatePoint:
     """The best symmetric operating point ``Ra = Rb`` of a protocol."""
     evaluated = channel.evaluate(bound_for(protocol, BoundKind.INNER))
     return equal_rate_point(evaluated, backend=backend)
@@ -77,17 +78,23 @@ class FairnessRow:
         return self.sum_optimal.sum_rate - self.equal_rate.sum_rate
 
 
-def fairness_report(channel: GaussianChannel, *,
-                    protocols=(Protocol.DT, Protocol.NAIVE4, Protocol.MABC,
-                               Protocol.TDBC, Protocol.HBC),
-                    backend: str = DEFAULT_BACKEND) -> list[FairnessRow]:
+def fairness_report(
+    channel: GaussianChannel,
+    *,
+    protocols=(
+        Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC, Protocol.HBC
+    ),
+    backend: str = DEFAULT_BACKEND,
+) -> list[FairnessRow]:
     """Fairness metrics for every protocol on one channel."""
     rows = []
     for protocol in protocols:
         evaluated = channel.evaluate(bound_for(protocol, BoundKind.INNER))
-        rows.append(FairnessRow(
-            protocol=protocol,
-            sum_optimal=max_sum_rate(evaluated, backend=backend),
-            equal_rate=equal_rate_point(evaluated, backend=backend),
-        ))
+        rows.append(
+            FairnessRow(
+                protocol=protocol,
+                sum_optimal=max_sum_rate(evaluated, backend=backend),
+                equal_rate=equal_rate_point(evaluated, backend=backend),
+            )
+        )
     return rows

@@ -103,8 +103,9 @@ class GaussianChannel:
             raise InvalidParameterError(f"power must be non-negative, got {self.power}")
 
     @classmethod
-    def from_db(cls, *, power_db: float, gab_db: float, gar_db: float,
-                gbr_db: float) -> "GaussianChannel":
+    def from_db(
+        cls, *, power_db: float, gab_db: float, gar_db: float, gbr_db: float
+    ) -> "GaussianChannel":
         """Construct with every quantity in decibels."""
         return cls(
             gains=LinkGains.from_db(gab_db, gar_db, gbr_db),

@@ -62,8 +62,9 @@ def _correlated_values(channel: GaussianChannel, rho: float) -> dict:
     }
 
 
-def evaluate_hbc_outer_correlated(channel: GaussianChannel,
-                                  rho: float) -> EvaluatedBound:
+def evaluate_hbc_outer_correlated(
+    channel: GaussianChannel, rho: float
+) -> EvaluatedBound:
     """Evaluate Theorem 6 with phase-3 correlation coefficient ``rho``.
 
     ``rho = 0`` reproduces :meth:`GaussianChannel.evaluate` on
@@ -81,16 +82,16 @@ def evaluate_hbc_outer_correlated(channel: GaussianChannel,
             table = correlated if phase == _MAC_PHASE else standard
             coefficients[phase] += table[key]
         constraints.append(
-            EvaluatedConstraint(rates=constraint.rates,
-                                coefficients=tuple(coefficients))
+            EvaluatedConstraint(
+                rates=constraint.rates, coefficients=tuple(coefficients)
+            )
         )
     return EvaluatedBound(spec=spec, constraints=tuple(constraints))
 
 
-def hbc_outer_correlated_sum_rate(channel: GaussianChannel, *,
-                                  rhos=None,
-                                  backend: str = DEFAULT_BACKEND
-                                  ) -> tuple[RatePoint, float]:
+def hbc_outer_correlated_sum_rate(
+    channel: GaussianChannel, *, rhos=None, backend: str = DEFAULT_BACKEND
+) -> tuple[RatePoint, float]:
     """Max sum rate of the Theorem-6 Gaussian evaluation over ρ.
 
     Returns the best operating point and the ρ achieving it. The union
@@ -102,17 +103,22 @@ def hbc_outer_correlated_sum_rate(channel: GaussianChannel, *,
     best_point: RatePoint | None = None
     best_rho = 0.0
     for rho in rhos:
-        point = max_sum_rate(evaluate_hbc_outer_correlated(channel, float(rho)),
-                             backend=backend)
+        point = max_sum_rate(
+            evaluate_hbc_outer_correlated(channel, float(rho)), backend=backend
+        )
         if best_point is None or point.sum_rate > best_point.sum_rate:
             best_point, best_rho = point, float(rho)
     assert best_point is not None
     return best_point, best_rho
 
 
-def hbc_outer_correlated_boundary(channel: GaussianChannel, *,
-                                  n_points: int = 17, rhos=None,
-                                  backend: str = DEFAULT_BACKEND) -> np.ndarray:
+def hbc_outer_correlated_boundary(
+    channel: GaussianChannel,
+    *,
+    n_points: int = 17,
+    rhos=None,
+    backend: str = DEFAULT_BACKEND,
+) -> np.ndarray:
     """Pareto boundary of the union over ρ of the Theorem-6 evaluation.
 
     For each weight direction the best ρ on the grid is kept; the result
@@ -139,8 +145,11 @@ def hbc_outer_correlated_boundary(channel: GaussianChannel, *,
     ordered = sorted(points, key=lambda p: (p[0], -p[1]))
     deduped: list[tuple] = []
     for ra, rb in ordered:
-        if deduped and abs(ra - deduped[-1][0]) < 1e-7 \
-                and abs(rb - deduped[-1][1]) < 1e-7:
+        if (
+            deduped
+            and abs(ra - deduped[-1][0]) < 1e-7
+            and abs(rb - deduped[-1][1]) < 1e-7
+        ):
             continue
         deduped.append((float(ra), float(rb)))
     return np.asarray(deduped, dtype=float)

@@ -74,9 +74,14 @@ def _duration_simplex(n_phases: int) -> tuple[np.ndarray, np.ndarray]:
     return a_eq, b_eq
 
 
-def support_point(evaluated: EvaluatedBound, mu_a: float, mu_b: float, *,
-                  lexicographic: bool = True,
-                  backend: str = DEFAULT_BACKEND) -> RatePoint:
+def support_point(
+    evaluated: EvaluatedBound,
+    mu_a: float,
+    mu_b: float,
+    *,
+    lexicographic: bool = True,
+    backend: str = DEFAULT_BACKEND,
+) -> RatePoint:
     """Maximize ``μ_a·Ra + μ_b·Rb`` over rates *and* phase durations.
 
     With ``lexicographic=True`` (default), ties are broken by a second LP
@@ -131,14 +136,16 @@ def support_point(evaluated: EvaluatedBound, mu_a: float, mu_b: float, *,
     )
 
 
-def max_sum_rate(evaluated: EvaluatedBound, *,
-                 backend: str = DEFAULT_BACKEND) -> RatePoint:
+def max_sum_rate(
+    evaluated: EvaluatedBound, *, backend: str = DEFAULT_BACKEND
+) -> RatePoint:
     """The sum-rate-optimal operating point (``μ_a = μ_b = 1``)."""
     return support_point(evaluated, 1.0, 1.0, lexicographic=False, backend=backend)
 
 
-def equal_rate_point(evaluated: EvaluatedBound, *,
-                     backend: str = DEFAULT_BACKEND) -> RatePoint:
+def equal_rate_point(
+    evaluated: EvaluatedBound, *, backend: str = DEFAULT_BACKEND
+) -> RatePoint:
     """Maximize the symmetric rate ``t`` with ``Ra = Rb = t``.
 
     Variables are ``[t, Δ_1..Δ_L]``; each constraint ``sum(rates) <= f(Δ)``
@@ -180,8 +187,14 @@ def sum_rate_fixed_durations(evaluated: EvaluatedBound, durations) -> float:
     return float(min(caps["Ra"] + caps["Rb"], caps["Ra+Rb"]))
 
 
-def feasible_rate_pair(evaluated: EvaluatedBound, ra: float, rb: float, *,
-                       backend: str = DEFAULT_BACKEND, tol: float = 1e-9) -> bool:
+def feasible_rate_pair(
+    evaluated: EvaluatedBound,
+    ra: float,
+    rb: float,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    tol: float = 1e-9,
+) -> bool:
     """Whether ``(ra, rb)`` lies in the union-over-durations region.
 
     Solves the feasibility LP in ``Δ`` alone: find durations satisfying

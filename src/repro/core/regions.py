@@ -90,8 +90,7 @@ class RateRegion:
 
     def contains(self, ra: float, rb: float, *, tol: float = 1e-9) -> bool:
         """Membership test via a feasibility LP in the durations."""
-        return feasible_rate_pair(self.evaluated, ra, rb,
-                                  backend=self.backend, tol=tol)
+        return feasible_rate_pair(self.evaluated, ra, rb, backend=self.backend, tol=tol)
 
     def boundary(self, n_points: int = 33) -> np.ndarray:
         """Trace the Pareto frontier as an ``(n, 2)`` array of rate pairs.
@@ -115,8 +114,11 @@ class RateRegion:
         ordered = sorted(points, key=lambda p: (p[0], -p[1]))
         deduped: list[tuple] = []
         for ra, rb in ordered:
-            if deduped and abs(ra - deduped[-1][0]) < 1e-7 \
-                    and abs(rb - deduped[-1][1]) < 1e-7:
+            if (
+                deduped
+                and abs(ra - deduped[-1][0]) < 1e-7
+                and abs(rb - deduped[-1][1]) < 1e-7
+            ):
                 continue
             deduped.append((float(ra), float(rb)))
         return np.asarray(deduped, dtype=float)
@@ -141,8 +143,9 @@ class RateRegion:
         return polygon_area(self.closed_polygon(n_points))
 
 
-def region_dominates(outer: RateRegion, inner: RateRegion, *,
-                     n_points: int = 17, tol: float = 1e-6) -> bool:
+def region_dominates(
+    outer: RateRegion, inner: RateRegion, *, n_points: int = 17, tol: float = 1e-6
+) -> bool:
     """Whether ``outer`` contains every boundary point of ``inner``.
 
     Used by the tests to verify inner ⊆ outer (Theorems 3 vs 4) and the

@@ -150,8 +150,14 @@ class BoundSpec:
     constraints: tuple
     label: str
 
-    def __init__(self, protocol: Protocol, kind: BoundKind, n_phases: int,
-                 constraints, label: str) -> None:
+    def __init__(
+        self,
+        protocol: Protocol,
+        kind: BoundKind,
+        n_phases: int,
+        constraints,
+        label: str,
+    ) -> None:
         constraint_tuple = tuple(constraints)
         object.__setattr__(self, "protocol", protocol)
         object.__setattr__(self, "kind", kind)

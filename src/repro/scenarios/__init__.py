@@ -21,6 +21,7 @@ figures, the Section IV fading ensemble, and the first multi-pair grid).
 
 from . import builtin
 from .base import OBJECTIVES, PowerPolicy, RelayPair, Scenario, Topology
+from .catalog import catalog_entries, render_markdown
 from .builtin import (
     PAPER_PROTOCOLS,
     fading_ensemble_scenario,
@@ -38,8 +39,13 @@ from .registry import (
     unregister_scenario,
 )
 from .result import EvaluationResult
+from .wire import request_to_scenario, scenario_to_request
 
 __all__ = [
+    "catalog_entries",
+    "render_markdown",
+    "request_to_scenario",
+    "scenario_to_request",
     "builtin",
     "OBJECTIVES",
     "PowerPolicy",

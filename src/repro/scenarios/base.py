@@ -243,6 +243,10 @@ class Scenario:
     link:
         Link-level simulation parameters; required by (and only valid
         with) the ``operational_goodput`` objective.
+    grounding:
+        Which paper (or result) this scenario reproduces or extends —
+        pure catalog metadata: it does not affect the lowered spec, its
+        content hash, or any cache key.
     """
 
     name: str
@@ -253,12 +257,17 @@ class Scenario:
     fading: FadingSpec | None = None
     objective: str = "sum_rate"
     link: LinkSimSpec | None = None
+    grounding: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
         if not isinstance(self.name, str) or not self.name:
             raise InvalidParameterError(
                 f"scenario name must be a non-empty string, got {self.name!r}"
+            )
+        if not isinstance(self.grounding, str):
+            raise InvalidParameterError(
+                f"scenario grounding must be a string, got {self.grounding!r}"
             )
         for p in self.protocols:
             if not isinstance(p, Protocol):

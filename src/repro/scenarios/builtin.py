@@ -63,6 +63,7 @@ def fig3_placement_scenario(
     return Scenario(
         name="fig3-placement",
         description="Fig. 3 relay-placement sweep of the protocol sum rates",
+        grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Fig. 3",
         protocols=tuple(protocols),
         topology=Topology(
             gains=gains,
@@ -84,6 +85,7 @@ def fig3_symmetric_scenario(
     return Scenario(
         name="fig3-symmetric",
         description="Fig. 3 symmetric relay-gain sweep of the protocol sum rates",
+        grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Fig. 3",
         protocols=tuple(protocols),
         topology=Topology(
             gains=gains,
@@ -99,6 +101,7 @@ def fig4_operating_points_scenario() -> Scenario:
     return Scenario(
         name="fig4-operating-points",
         description="Fig. 4 operating points: paper gains at P = 0 and 10 dB",
+        grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Fig. 4",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(gains=(_PAPER_GAINS,)),
         power=PowerPolicy(powers_db=(0.0, 10.0)),
@@ -115,6 +118,7 @@ def fading_ensemble_scenario() -> Scenario:
     return Scenario(
         name="fading-ensemble",
         description="Section IV Rayleigh fading ensemble at both panel powers",
+        grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Sec. IV",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(gains=(_PAPER_GAINS,)),
         power=PowerPolicy(powers_db=(0.0, 10.0)),
@@ -129,6 +133,7 @@ def power_sweep_scenario(
     return Scenario(
         name="power-sweep",
         description="protocol sum rates across a transmit-power sweep",
+        grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Sec. III",
         protocols=tuple(protocols),
         topology=Topology(gains=(gains,)),
         power=PowerPolicy(powers_db=tuple(powers_db)),
@@ -149,6 +154,7 @@ def operational_goodput_scenario() -> Scenario:
     return Scenario(
         name="operational-goodput",
         description="measured link-level DF goodput at the paper's geometry",
+        grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007 (operational check)",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(gains=(_PAPER_GAINS,)),
         power=PowerPolicy(powers_db=(12.0,)),
@@ -175,6 +181,7 @@ def operational_fading_fer_scenario() -> Scenario:
     return Scenario(
         name="operational-fading-fer",
         description="link-level DF frame error rate over fading draws and SNR",
+        grounding="fading FER methodology of arXiv:0903.1502",
         protocols=(Protocol.DT, Protocol.MABC, Protocol.TDBC),
         topology=Topology(gains=(_PAPER_GAINS,)),
         power=PowerPolicy(powers_db=(4.0, 7.0, 10.0)),
@@ -204,6 +211,7 @@ def two_pair_round_robin_scenario() -> Scenario:
     return Scenario(
         name="two-pair-round-robin",
         description="two pairs share the relay round-robin (multi-pair baseline)",
+        grounding="multi-pair baseline of Kim, Smida & Devroye, arXiv:1002.0123",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(
             gains=(_PAPER_GAINS,),

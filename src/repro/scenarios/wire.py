@@ -1,0 +1,118 @@
+"""Scenario request wire format: how clients name work to the daemon.
+
+The ``repro serve`` daemon (:mod:`repro.serve`) accepts evaluation
+requests over a socket; the part of a request that says *what* to
+evaluate is a **scenario reference** — a plain-JSON mapping in one of two
+shapes::
+
+    {"name": "fig3-placement"}                 # a registered scenario
+    {"spec": {...}, "objective": "sum_rate",   # an inline campaign spec
+     "label": "my-adhoc-grid"}
+
+The name form resolves through the scenario registry on the *server*
+(clients need not carry the factory code). The inline form ships the
+campaign spec's canonical plain-data dict (:meth:`CampaignSpec.to_dict`)
+and is re-validated server-side by lowering it back through
+:meth:`Scenario.from_campaign_spec`, which proves the spec round-trips to
+the same content hash — so a request can never evaluate a different grid
+than the one it hashed to.
+
+Both shapes resolve to a :class:`~repro.scenarios.base.Scenario`, and the
+daemon deduplicates in-flight requests by the *lowered spec's* content
+hash: two clients asking for the same grid — one by name, one inline —
+share a single execution.
+"""
+
+from __future__ import annotations
+
+from ..campaign.spec import CampaignSpec
+from ..exceptions import InvalidParameterError
+from .base import OBJECTIVES, Scenario
+from .registry import get_scenario
+
+__all__ = ["scenario_to_request", "request_to_scenario"]
+
+#: Keys a scenario reference mapping may carry.
+_REQUEST_KEYS = frozenset({"name", "spec", "objective", "label"})
+
+#: Fallback label of an inline request that names none.
+_DEFAULT_LABEL = "wire-request"
+
+
+def scenario_to_request(scenario_or_name) -> dict:
+    """The wire form of a scenario (registered name or inline spec).
+
+    Strings become the compact name form (resolved against the server's
+    registry); :class:`Scenario` instances ship their lowered campaign
+    spec inline, so ad-hoc scenarios need no server-side registration.
+    """
+    if isinstance(scenario_or_name, str):
+        return {"name": scenario_or_name}
+    if isinstance(scenario_or_name, Scenario):
+        scenario = scenario_or_name
+        return {
+            "spec": scenario.to_campaign_spec().to_dict(),
+            "objective": scenario.objective,
+            "label": scenario.name,
+        }
+    raise InvalidParameterError(
+        "expected a Scenario or a registered scenario name, "
+        f"got {scenario_or_name!r}"
+    )
+
+
+def request_to_scenario(reference) -> Scenario:
+    """Resolve a scenario reference mapping back into a scenario.
+
+    The inverse of :func:`scenario_to_request`, applied server-side.
+    Raises :class:`~repro.exceptions.InvalidParameterError` on malformed
+    references — unknown keys, both or neither of ``name``/``spec``, an
+    unknown registered name, a spec that does not round-trip, or an
+    unsupported objective.
+    """
+    if not isinstance(reference, dict):
+        raise InvalidParameterError(
+            f"scenario reference must be a mapping, got {reference!r}"
+        )
+    unknown = set(reference) - _REQUEST_KEYS
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown scenario reference keys {sorted(unknown)}; "
+            f"supported: {sorted(_REQUEST_KEYS)}"
+        )
+    name = reference.get("name")
+    spec_data = reference.get("spec")
+    if (name is None) == (spec_data is None):
+        raise InvalidParameterError(
+            "a scenario reference carries exactly one of 'name' or 'spec'"
+        )
+    if name is not None:
+        if not isinstance(name, str):
+            raise InvalidParameterError(f"scenario name must be a string, got {name!r}")
+        return get_scenario(name)
+    if not isinstance(spec_data, dict):
+        raise InvalidParameterError(
+            f"inline scenario spec must be a mapping, got {spec_data!r}"
+        )
+    objective = reference.get("objective", "sum_rate")
+    if objective not in OBJECTIVES:
+        raise InvalidParameterError(
+            f"unknown objective {objective!r}; choose from {OBJECTIVES}"
+        )
+    label = reference.get("label", _DEFAULT_LABEL)
+    if not isinstance(label, str) or not label:
+        raise InvalidParameterError(
+            f"request label must be a non-empty string, got {label!r}"
+        )
+    try:
+        spec = CampaignSpec.from_dict(spec_data)
+    except InvalidParameterError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise InvalidParameterError(f"malformed campaign spec: {error}") from error
+    return Scenario.from_campaign_spec(
+        spec,
+        name=label,
+        description="scenario received over the serve wire protocol",
+        objective=objective,
+    )

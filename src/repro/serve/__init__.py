@@ -1,0 +1,35 @@
+"""Campaign-as-a-service: a local evaluation daemon and its client.
+
+The serving layer turns the campaign engine into a long-lived local
+service: ``repro serve`` runs a :class:`CampaignServer` on a Unix-domain
+socket — one warm executor pool, one content-addressed cache, in-flight
+request deduplication by spec hash — and :class:`ServeClient` (or
+``repro.api.evaluate(..., server=...)``) talks to it over the JSON-lines
+protocol of :mod:`repro.serve.protocol`. Served grids are
+bitwise-identical to local evaluation; see ``docs/serving.md`` for the
+protocol, the dedup/cache semantics and the failure modes.
+
+Quickstart::
+
+    repro serve --socket /tmp/repro.sock &          # the daemon
+
+    from repro.serve import ServeClient             # a client
+    client = ServeClient("/tmp/repro.sock")
+    result = client.evaluate("fig4-operating-points")
+    print(result.served_from, result.values.shape)
+"""
+
+from .client import ServeClient, ServedResult, ServeError
+from .daemon import CampaignServer, ServeConfig, serve
+from .protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = [
+    "CampaignServer",
+    "ServeConfig",
+    "serve",
+    "ServeClient",
+    "ServedResult",
+    "ServeError",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,185 @@
+"""A synchronous client for the ``repro serve`` daemon.
+
+One :class:`ServeClient` call is one connection: connect to the daemon's
+Unix socket, write the request frame, consume the event stream, return
+the terminal event's contents. Progress events are surfaced through an
+optional callback, terminal ``error`` events raise :class:`ServeError`
+carrying the daemon's error code, and result grids are reassembled into
+arrays bitwise-identical to a local evaluation (see
+:mod:`repro.serve.protocol` on why JSON is an exact float transport).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket as socket_module
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..scenarios.wire import scenario_to_request
+from .protocol import decode_frame, encode_frame, values_from_payload
+
+__all__ = ["ServeError", "ServeClient", "ServedResult"]
+
+#: Grace added to the client socket timeout over the server-side request
+#: deadline, so the server's ``timeout`` error arrives before the socket
+#: gives up.
+_TIMEOUT_GRACE_SECONDS = 5.0
+
+
+class ServeError(ReproError):
+    """The daemon answered with an error event (or the wire broke).
+
+    Attributes
+    ----------
+    code:
+        The protocol error code (see
+        :data:`repro.serve.protocol.ERROR_CODES`), or ``"disconnected"``
+        when the connection died without a terminal event.
+    """
+
+    def __init__(self, message: str, *, code: str = "disconnected") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServedResult:
+    """A daemon-evaluated grid plus its serving metadata.
+
+    Attributes
+    ----------
+    values:
+        The evaluated grid, shape ``spec.grid_shape`` — bitwise-identical
+        to a local evaluation of the same scenario.
+    payload:
+        The raw result payload (scenario name, objective, spec hash,
+        serving accounting).
+    """
+
+    def __init__(self, payload: dict) -> None:
+        self.payload = payload
+        self.values: np.ndarray = values_from_payload(payload)
+
+    @property
+    def served_from(self) -> str:
+        """``"cache"``, ``"computed"`` or ``"joined"`` (deduplicated)."""
+        return self.payload.get("served_from", "computed")
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the campaign spec that was evaluated."""
+        return self.payload.get("spec_hash", "")
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Server-side wall-clock seconds of the evaluation."""
+        return float(self.payload.get("elapsed_seconds", 0.0))
+
+
+class ServeClient:
+    """Talk to a :class:`~repro.serve.daemon.CampaignServer` socket."""
+
+    def __init__(self, socket_path: str, *, timeout: float | None = None) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._request_ids = itertools.count(1)
+
+    # -- operations ---------------------------------------------------
+
+    def evaluate(
+        self,
+        scenario_or_name,
+        *,
+        executor: str | None = None,
+        chunk_size: int | None = None,
+        timeout: float | None = None,
+        progress=None,
+    ) -> ServedResult:
+        """Evaluate a scenario on the daemon and return its grid.
+
+        ``scenario_or_name`` is a registered name or a
+        :class:`~repro.scenarios.base.Scenario` (shipped inline).
+        ``timeout`` is enforced server-side; ``progress`` receives the
+        daemon's per-chunk ``(done, total)`` ticks. Raises
+        :class:`ServeError` on any terminal error event.
+        """
+        options = {}
+        if executor is not None:
+            options["executor"] = executor
+        if chunk_size is not None:
+            options["chunk_size"] = chunk_size
+        if timeout is not None:
+            options["timeout"] = float(timeout)
+        frame = {
+            "op": "evaluate",
+            "id": self._next_id(),
+            "scenario": scenario_to_request(scenario_or_name),
+        }
+        if options:
+            frame["options"] = options
+        socket_timeout = self.timeout
+        if timeout is not None:
+            socket_timeout = float(timeout) + _TIMEOUT_GRACE_SECONDS
+        event = self._roundtrip(frame, progress=progress, timeout=socket_timeout)
+        return ServedResult(event["result"])
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the daemon's ``pong`` frame."""
+        return self._roundtrip({"op": "ping", "id": self._next_id()})
+
+    def stats(self) -> dict:
+        """The daemon's serving counters (requests, dedup, cache hits...)."""
+        return self._roundtrip({"op": "stats", "id": self._next_id()})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit; returns its ``bye`` frame."""
+        return self._roundtrip({"op": "shutdown", "id": self._next_id()})
+
+    # -- plumbing -----------------------------------------------------
+
+    def _next_id(self) -> str:
+        return f"req-{next(self._request_ids)}"
+
+    def _roundtrip(self, frame: dict, *, progress=None, timeout=None) -> dict:
+        """One request, one event stream, one terminal event."""
+        if timeout is None:
+            timeout = self.timeout
+        sock = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        try:
+            sock.settimeout(timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as error:
+                raise ServeError(
+                    f"cannot reach a server at {self.socket_path}: {error}",
+                    code="disconnected",
+                ) from error
+            sock.sendall(encode_frame(frame))
+            with sock.makefile("rb") as stream:
+                for line in stream:
+                    event = decode_frame(line)
+                    kind = event.get("event")
+                    if kind == "progress":
+                        if progress is not None:
+                            progress(event.get("done", 0), event.get("total", 0))
+                        continue
+                    if kind == "accepted":
+                        continue
+                    if kind == "error":
+                        raise ServeError(
+                            event.get("message", "request failed"),
+                            code=event.get("code", "internal"),
+                        )
+                    return event
+        except socket_module.timeout as error:
+            raise ServeError(
+                f"no response from {self.socket_path} within {timeout} s",
+                code="disconnected",
+            ) from error
+        finally:
+            sock.close()
+        raise ServeError(
+            "the server closed the connection before a terminal event",
+            code="disconnected",
+        )

@@ -1,0 +1,503 @@
+"""The ``repro serve`` daemon: campaign evaluation as a local service.
+
+One long-lived process owns the campaign machinery — a warm executor
+pool, the content-addressed cache — and answers scenario evaluation
+requests over a Unix-domain socket speaking the JSON-lines protocol of
+:mod:`repro.serve.protocol`. What the daemon adds over calling
+:func:`repro.api.evaluate` in-process:
+
+* **Request deduplication.** In-flight jobs are keyed by the lowered
+  campaign spec's content hash; a request for a grid that is already
+  being evaluated *joins* that job instead of starting a second one, and
+  both clients receive the identical result (``served_from: "joined"``
+  for the latecomer).
+* **A hot cache path.** A request whose full grid already sits in the
+  content-addressed store is answered straight from disk
+  (``served_from: "cache"``) without touching the job table.
+* **Work-stealing concurrency.** The daemon holds one reserved
+  :class:`~repro.campaign.executors.AsyncExecutor` process pool for its
+  whole lifetime; concurrent jobs submit chunk futures into the shared
+  pool, so workers drain whichever job has chunks left instead of being
+  statically partitioned per request.
+* **Graceful degradation.** The in-flight job table is bounded
+  (``max_pending``): excess evaluate requests are refused immediately
+  with a ``busy`` error rather than queueing without bound. Every
+  request can carry a deadline, enforced server-side with a ``timeout``
+  error. Shutdown stops accepting work, drains in-flight jobs for up to
+  ``drain_timeout`` seconds, then cancels stragglers.
+
+Determinism is inherited, not re-proven: jobs run through
+:func:`repro.campaign.engine.run_campaign` with a bitwise-trusted
+executor, and the wire protocol transports doubles exactly, so a served
+result is byte-identical to a local ``evaluate()`` of the same scenario.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import socket as socket_module
+from dataclasses import dataclass, field
+
+from ..campaign.cache import CampaignCache
+from ..campaign.engine import _cache_key, run_campaign
+from ..campaign.executors import AsyncExecutor, get_executor
+from ..exceptions import InvalidParameterError, ReproError
+from ..scenarios.wire import request_to_scenario
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    accepted_event,
+    decode_frame,
+    encode_frame,
+    error_event,
+    parse_request,
+    progress_event,
+    result_event,
+    result_payload,
+)
+
+__all__ = ["ServeConfig", "CampaignServer", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operator-facing daemon configuration.
+
+    Attributes
+    ----------
+    socket_path:
+        Filesystem path of the Unix-domain socket to listen on.
+    cache:
+        Cache selector as accepted by :func:`repro.campaign.run_campaign`
+        (``True`` = the default content-addressed store). The daemon is
+        most useful *with* a cache — the hot path and cross-restart reuse
+        both live there — but ``False`` runs compute-only.
+    executor:
+        Campaign executor name or instance used for jobs that do not
+        override it. The default ``"async"`` pool is what enables
+        work-stealing across concurrent requests.
+    processes:
+        Worker processes for the default ``"async"`` executor
+        (``None`` = CPU count).
+    max_pending:
+        Bound on concurrently in-flight evaluate jobs; requests beyond
+        it are refused with a ``busy`` error (backpressure).
+    request_timeout:
+        Default per-request deadline in seconds (``None`` = no deadline);
+        a request's ``timeout`` option overrides it.
+    drain_timeout:
+        Seconds shutdown waits for in-flight jobs before cancelling.
+    chunk_size:
+        Default checkpoint granularity for jobs (``None`` = engine
+        default); a request's ``chunk_size`` option overrides it.
+    """
+
+    socket_path: str
+    cache: object = True
+    executor: object = "async"
+    processes: int | None = None
+    max_pending: int = 4
+    request_timeout: float | None = None
+    drain_timeout: float = 30.0
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.socket_path:
+            raise InvalidParameterError("a socket path is required")
+        if self.max_pending < 1:
+            raise InvalidParameterError(
+                f"need room for at least one pending job, got {self.max_pending}"
+            )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise InvalidParameterError(
+                f"request timeout must be positive, got {self.request_timeout}"
+            )
+        if self.drain_timeout < 0:
+            raise InvalidParameterError(
+                f"drain timeout must be non-negative, got {self.drain_timeout}"
+            )
+
+
+class _Job:
+    """One in-flight evaluation, shared by every request that joins it."""
+
+    def __init__(self, key: str, scenario, spec) -> None:
+        self.key = key
+        self.scenario = scenario
+        self.spec = spec
+        self.subscribers: list[asyncio.Queue] = []
+        self.task: asyncio.Task | None = None
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self.subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        with contextlib.suppress(ValueError):
+            self.subscribers.remove(queue)
+
+    def publish(self, item: tuple) -> None:
+        for queue in self.subscribers:
+            queue.put_nowait(item)
+
+
+def _resolve_store(cache):
+    """Normalize the config's cache selector to a store (or ``None``)."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return CampaignCache()
+    if isinstance(cache, CampaignCache):
+        return cache
+    return CampaignCache(cache)
+
+
+def _socket_in_use(path: str) -> bool:
+    """Whether a live server is already listening on ``path``."""
+    probe = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+    try:
+        probe.settimeout(0.25)
+        probe.connect(path)
+    except OSError:
+        return False
+    else:
+        return True
+    finally:
+        probe.close()
+
+
+class CampaignServer:
+    """The asyncio Unix-socket daemon. See the module docstring."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._store = _resolve_store(config.cache)
+        if isinstance(config.executor, str) and config.executor == "async":
+            self._executor = AsyncExecutor(processes=config.processes)
+        else:
+            self._executor = get_executor(config.executor)
+        self._jobs: dict[str, _Job] = {}
+        self._connections: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._reservation: contextlib.ExitStack | None = None
+        self._closing = False
+        self.stats = {
+            "requests": 0,
+            "served_from_cache": 0,
+            "computed": 0,
+            "deduplicated": 0,
+            "rejected_busy": 0,
+            "timeouts": 0,
+            "failed": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections."""
+        path = self.config.socket_path
+        if os.path.exists(path):
+            if _socket_in_use(path):
+                raise ReproError(f"another server is already listening on {path}")
+            os.unlink(path)  # stale socket left by an unclean exit
+        self._stop_event = asyncio.Event()
+        self._reservation = contextlib.ExitStack()
+        reserve = getattr(self._executor, "reserve", None)
+        if reserve is not None:
+            # One pool for the daemon's lifetime: concurrent jobs share
+            # its workers, which is what makes work steal across requests.
+            self._reservation.enter_context(reserve())
+        try:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path
+            )
+        except OSError:
+            self._reservation.close()
+            self._reservation = None
+            raise
+
+    def request_stop(self) -> None:
+        """Begin a graceful shutdown: refuse new work, drain, exit."""
+        self._closing = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`request_stop` (or a ``shutdown`` op), then drain."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._closing = True
+            self._server.close()
+            await self._server.wait_closed()
+            await self._drain()
+            if self._reservation is not None:
+                self._reservation.close()
+                self._reservation = None
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+
+    async def _drain(self) -> None:
+        """Let in-flight work finish, bounded by ``drain_timeout``."""
+        job_tasks = [job.task for job in self._jobs.values() if job.task is not None]
+        if job_tasks:
+            await asyncio.wait(job_tasks, timeout=self.config.drain_timeout)
+        if self._connections:
+            # Results are computed; give handlers a moment to flush them.
+            await asyncio.wait(self._connections, timeout=5.0)
+        for task in [*job_tasks, *self._connections]:
+            if not task.done():
+                task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._converse(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing left to tell it
+        except asyncio.CancelledError:
+            pass  # drain-timeout cancellation; close the transport and go
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _converse(self, reader, writer) -> None:
+        """Serve one connection: one request frame in, one event stream out.
+
+        The connection closes after the terminal event rather than
+        looping for more requests: the handler's lifetime then never
+        depends on noticing the client's EOF — which can be delayed
+        indefinitely when executor worker processes forked mid-request
+        hold inherited duplicates of the connection's descriptor.
+        """
+        line = b""
+        while not line.strip():
+            try:
+                line = await reader.readline()
+            except ValueError:
+                await self._send(writer, error_event("", "invalid", "frame too long"))
+                return
+            if not line:
+                return  # client closed the connection
+        try:
+            request = parse_request(decode_frame(line))
+        except ProtocolError as error:
+            await self._send(writer, error_event("", "invalid", str(error)))
+            return
+        self.stats["requests"] += 1
+        if request.op == "ping":
+            await self._send(
+                writer,
+                {
+                    "event": "pong",
+                    "id": request.id,
+                    "protocol_version": PROTOCOL_VERSION,
+                    "draining": self._closing,
+                },
+            )
+        elif request.op == "stats":
+            await self._send(
+                writer,
+                {
+                    "event": "stats",
+                    "id": request.id,
+                    "stats": dict(self.stats),
+                    "in_flight": len(self._jobs),
+                },
+            )
+        elif request.op == "shutdown":
+            await self._send(writer, {"event": "bye", "id": request.id})
+            self.request_stop()
+        else:
+            await self._handle_evaluate(request, writer)
+
+    async def _send(self, writer, frame: dict) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    # -- evaluation ---------------------------------------------------
+
+    async def _handle_evaluate(self, request, writer) -> None:
+        rid = request.id
+        if self._closing:
+            await self._send(
+                writer,
+                error_event(rid, "shutting-down", "the server is draining"),
+            )
+            return
+        try:
+            scenario = request_to_scenario(request.scenario)
+            if request.options.get("executor") is not None:
+                get_executor(request.options["executor"])  # fail fast on bad names
+        except (InvalidParameterError, ProtocolError) as error:
+            await self._send(writer, error_event(rid, "invalid", str(error)))
+            return
+        spec = scenario.to_campaign_spec()
+        key = _cache_key(spec)
+
+        # Hot path: the full grid is already in the store — answer from
+        # disk without occupying a job slot.
+        if self._store is not None:
+            cached = await asyncio.to_thread(self._store.load, key)
+            if cached is not None and cached.shape == spec.grid_shape:
+                self.stats["served_from_cache"] += 1
+                await self._send(
+                    writer,
+                    accepted_event(
+                        rid,
+                        spec_hash=spec.spec_hash(),
+                        n_units=spec.n_units,
+                        deduplicated=False,
+                    ),
+                )
+                payload = result_payload(
+                    scenario_name=scenario.name,
+                    objective=scenario.objective,
+                    spec_hash=spec.spec_hash(),
+                    values=cached,
+                    served_from="cache",
+                    executor_name="cache",
+                    cells_from_cache=spec.n_units,
+                    cells_computed=0,
+                    elapsed_seconds=0.0,
+                )
+                await self._send(writer, result_event(rid, payload))
+                return
+
+        job = self._jobs.get(key)
+        deduplicated = job is not None
+        if job is None:
+            if len(self._jobs) >= self.config.max_pending:
+                self.stats["rejected_busy"] += 1
+                await self._send(
+                    writer,
+                    error_event(
+                        rid,
+                        "busy",
+                        f"{len(self._jobs)} jobs in flight "
+                        f"(max_pending={self.config.max_pending}); retry later",
+                    ),
+                )
+                return
+            job = _Job(key, scenario, spec)
+            self._jobs[key] = job
+            job.task = asyncio.create_task(self._run_job(job, request.options))
+        else:
+            self.stats["deduplicated"] += 1
+
+        queue = job.subscribe()
+        await self._send(
+            writer,
+            accepted_event(
+                rid,
+                spec_hash=spec.spec_hash(),
+                n_units=spec.n_units,
+                deduplicated=deduplicated,
+            ),
+        )
+        loop = asyncio.get_running_loop()
+        timeout = request.options.get("timeout", self.config.request_timeout)
+        deadline = None if timeout is None else loop.time() + float(timeout)
+        try:
+            while True:
+                remaining = None if deadline is None else deadline - loop.time()
+                if remaining is not None and remaining <= 0:
+                    raise asyncio.TimeoutError
+                item = await asyncio.wait_for(queue.get(), remaining)
+                kind = item[0]
+                if kind == "progress":
+                    await self._send(writer, progress_event(rid, item[1], item[2]))
+                elif kind == "result":
+                    payload = dict(item[1])
+                    if deduplicated:
+                        payload["served_from"] = "joined"
+                    await self._send(writer, result_event(rid, payload))
+                    return
+                else:
+                    await self._send(writer, error_event(rid, item[1], item[2]))
+                    return
+        except asyncio.TimeoutError:
+            self.stats["timeouts"] += 1
+            await self._send(
+                writer,
+                error_event(
+                    rid,
+                    "timeout",
+                    f"no result within {timeout} s; the job keeps running "
+                    "and will be served from cache when done",
+                ),
+            )
+        finally:
+            job.unsubscribe(queue)
+
+    async def _run_job(self, job: _Job, options: dict) -> None:
+        """Evaluate one job in a worker thread; publish to subscribers."""
+        loop = asyncio.get_running_loop()
+
+        def progress(done: int, total: int) -> None:
+            loop.call_soon_threadsafe(job.publish, ("progress", done, total))
+
+        try:
+            result = await asyncio.to_thread(
+                self._evaluate, job.spec, options, progress
+            )
+        except InvalidParameterError as error:
+            self.stats["failed"] += 1
+            outcome = ("error", "invalid", str(error))
+        except Exception as error:  # noqa: BLE001 - the daemon must survive jobs
+            self.stats["failed"] += 1
+            outcome = ("error", "internal", f"{type(error).__name__}: {error}")
+        else:
+            served_from = "cache" if result.from_cache else "computed"
+            self.stats["served_from_cache" if result.from_cache else "computed"] += 1
+            outcome = (
+                "result",
+                result_payload(
+                    scenario_name=job.scenario.name,
+                    objective=job.scenario.objective,
+                    spec_hash=job.spec.spec_hash(),
+                    values=result.values,
+                    served_from=served_from,
+                    executor_name=result.executor_name,
+                    cells_from_cache=result.cells_from_cache,
+                    cells_computed=result.cells_computed,
+                    elapsed_seconds=result.elapsed_seconds,
+                ),
+            )
+        # Pop before publishing (both happen without an await between
+        # them, so no subscriber can join a finished job): the next
+        # identical request starts fresh and hits the cache hot path.
+        self._jobs.pop(job.key, None)
+        job.publish(outcome)
+
+    def _evaluate(self, spec, options: dict, progress):
+        """Run one campaign synchronously (called in a worker thread)."""
+        executor = self._executor
+        if options.get("executor") is not None:
+            executor = get_executor(options["executor"])
+        return run_campaign(
+            spec,
+            executor=executor,
+            cache=self._store,
+            progress=progress,
+            chunk_size=options.get("chunk_size", self.config.chunk_size),
+        )
+
+
+def serve(config: ServeConfig) -> None:
+    """Run a campaign server to completion (blocking convenience door)."""
+    server = CampaignServer(config)
+    asyncio.run(server.serve_forever())

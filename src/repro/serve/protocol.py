@@ -1,0 +1,269 @@
+"""The serve wire protocol: JSON-lines frames over a local socket.
+
+One connection carries one conversation: the client writes a single
+request frame (one JSON object, one line), the daemon answers with a
+stream of event frames and closes the exchange with a terminal event.
+Frames are UTF-8 JSON objects separated by ``\\n``; no frame may exceed
+:data:`MAX_FRAME_BYTES`.
+
+Request frames (``op`` selects the operation)::
+
+    {"op": "evaluate", "id": "r-1", "scenario": {...}, "options": {...}}
+    {"op": "ping", "id": "r-2"}
+    {"op": "stats", "id": "r-3"}
+    {"op": "shutdown", "id": "r-4"}
+
+The ``scenario`` mapping is the scenario reference format of
+:mod:`repro.scenarios.wire` (registered name or inline campaign spec);
+``options`` may carry ``executor`` (campaign executor name),
+``chunk_size`` (checkpoint granularity) and ``timeout`` (seconds the
+client is willing to wait for the result).
+
+Event frames for an ``evaluate`` request, in order::
+
+    {"event": "accepted", "id": ..., "spec_hash": ..., "n_units": ...,
+     "deduplicated": false}
+    {"event": "progress", "id": ..., "done": 128, "total": 400}   # repeated
+    {"event": "result", "id": ..., "result": {...}}               # terminal
+
+or the terminal ``{"event": "error", "id": ..., "code": ..., "message":
+...}`` with ``code`` one of :data:`ERROR_CODES`. ``ping`` answers
+``pong``, ``stats`` answers ``stats``, ``shutdown`` answers ``bye``.
+
+Result payloads ship the grid as a flat ``values`` list plus its
+``shape``. JSON is an *exact* transport for IEEE-754 doubles here:
+Python serializes floats via ``repr`` (shortest round-trip form) and
+parses them back to the identical bits, with ``NaN``/``Infinity`` tokens
+for the non-finite values — so a served grid is bitwise-identical to the
+locally computed one, the same guarantee the executors give each other.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "ProtocolError",
+    "Request",
+    "encode_frame",
+    "decode_frame",
+    "parse_request",
+    "accepted_event",
+    "progress_event",
+    "result_event",
+    "error_event",
+    "result_payload",
+    "values_from_payload",
+]
+
+#: Version stamped into ``ping`` responses; bumped on breaking changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's encoded size (a line, including newline).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Supported request operations.
+OPS = ("evaluate", "ping", "stats", "shutdown")
+
+#: Error codes a terminal ``error`` event may carry.
+#:
+#: * ``invalid`` — malformed frame, unknown scenario, bad options;
+#: * ``busy`` — the daemon's in-flight job table is full (backpressure:
+#:   retry later or raise ``max_pending``);
+#: * ``timeout`` — the request's deadline passed before the result;
+#: * ``shutting-down`` — the daemon is draining and accepts no new work;
+#: * ``internal`` — the evaluation itself failed.
+ERROR_CODES = ("invalid", "busy", "timeout", "shutting-down", "internal")
+
+#: Keys an ``evaluate`` request's ``options`` mapping may carry.
+OPTION_KEYS = frozenset({"executor", "chunk_size", "timeout"})
+
+
+class ProtocolError(ReproError):
+    """A frame violated the serve wire protocol."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, structurally valid request frame."""
+
+    op: str
+    id: str
+    scenario: dict | None = None
+    options: dict = field(default_factory=dict)
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame to its wire form (JSON line, UTF-8)."""
+    data = json.dumps(frame, separators=(",", ":"), allow_nan=True)
+    encoded = data.encode("utf-8") + b"\n"
+    if len(encoded) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(encoded)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return encoded
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one wire line back into a frame mapping."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"frame is not valid UTF-8: {error}") from error
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
+    return frame
+
+
+def parse_request(frame: dict) -> Request:
+    """Validate a request frame's structure (not its scenario semantics).
+
+    Scenario resolution is deliberately left to the daemon — it owns the
+    registry — so this layer only guarantees shape: a known ``op``, a
+    string ``id``, a mapping ``scenario`` exactly when the op needs one,
+    and only recognized option keys with sane types.
+    """
+    op = frame.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; supported: {OPS}")
+    request_id = frame.get("id", "")
+    if not isinstance(request_id, str):
+        raise ProtocolError(f"request id must be a string, got {request_id!r}")
+    scenario = frame.get("scenario")
+    if op == "evaluate":
+        if not isinstance(scenario, dict):
+            raise ProtocolError("an evaluate request carries a 'scenario' mapping")
+    elif scenario is not None:
+        raise ProtocolError(f"op {op!r} takes no scenario")
+    options = frame.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError(f"options must be a mapping, got {options!r}")
+    unknown = set(options) - OPTION_KEYS
+    if unknown:
+        raise ProtocolError(
+            f"unknown option keys {sorted(unknown)}; supported: {sorted(OPTION_KEYS)}"
+        )
+    executor = options.get("executor")
+    if executor is not None and not isinstance(executor, str):
+        raise ProtocolError(f"option 'executor' must be a string, got {executor!r}")
+    chunk_size = options.get("chunk_size")
+    if chunk_size is not None:
+        if not isinstance(chunk_size, int) or isinstance(chunk_size, bool):
+            raise ProtocolError(
+                f"option 'chunk_size' must be an integer, got {chunk_size!r}"
+            )
+        if chunk_size < 1:
+            raise ProtocolError(
+                f"option 'chunk_size' must be positive, got {chunk_size}"
+            )
+    timeout = options.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ProtocolError(f"option 'timeout' must be a number, got {timeout!r}")
+        if timeout <= 0:
+            raise ProtocolError(f"option 'timeout' must be positive, got {timeout}")
+    return Request(op=op, id=request_id, scenario=scenario, options=dict(options))
+
+
+def accepted_event(
+    request_id: str, *, spec_hash: str, n_units: int, deduplicated: bool
+) -> dict:
+    """The daemon's first answer: the request is queued (or joined)."""
+    return {
+        "event": "accepted",
+        "id": request_id,
+        "spec_hash": spec_hash,
+        "n_units": int(n_units),
+        "deduplicated": bool(deduplicated),
+    }
+
+
+def progress_event(request_id: str, done: int, total: int) -> dict:
+    """A per-chunk progress tick: ``done`` of ``total`` grid cells."""
+    return {
+        "event": "progress",
+        "id": request_id,
+        "done": int(done),
+        "total": int(total),
+    }
+
+
+def result_event(request_id: str, payload: dict) -> dict:
+    """The terminal success event carrying the result payload."""
+    return {"event": "result", "id": request_id, "result": payload}
+
+
+def error_event(request_id: str, code: str, message: str) -> dict:
+    """The terminal failure event."""
+    if code not in ERROR_CODES:
+        raise ProtocolError(f"unknown error code {code!r}; supported: {ERROR_CODES}")
+    return {"event": "error", "id": request_id, "code": code, "message": str(message)}
+
+
+def result_payload(
+    *,
+    scenario_name: str,
+    objective: str,
+    spec_hash: str,
+    values: np.ndarray,
+    served_from: str,
+    executor_name: str,
+    cells_from_cache: int,
+    cells_computed: int,
+    elapsed_seconds: float,
+) -> dict:
+    """Build a result payload from an evaluated grid.
+
+    ``served_from`` records how the daemon satisfied the request:
+    ``"cache"`` (read straight from the content-addressed store),
+    ``"computed"`` (this request triggered the evaluation) or
+    ``"joined"`` (deduplicated onto another request's in-flight
+    evaluation).
+    """
+    array = np.asarray(values, dtype=float)
+    return {
+        "scenario": scenario_name,
+        "objective": objective,
+        "spec_hash": spec_hash,
+        "shape": list(array.shape),
+        "values": array.ravel().tolist(),
+        "served_from": served_from,
+        "executor": executor_name,
+        "cells_from_cache": int(cells_from_cache),
+        "cells_computed": int(cells_computed),
+        "elapsed_seconds": float(elapsed_seconds),
+    }
+
+
+def values_from_payload(payload: dict) -> np.ndarray:
+    """Reassemble a payload's flat value list into its grid array."""
+    try:
+        shape = tuple(int(n) for n in payload["shape"])
+        flat = payload["values"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed result payload: {error}") from error
+    array = np.asarray(flat, dtype=float)
+    expected = int(np.prod(shape)) if shape else 1
+    if array.size != expected:
+        raise ProtocolError(
+            f"payload carries {array.size} values but shape {shape} needs {expected}"
+        )
+    return array.reshape(shape)

@@ -1,0 +1,280 @@
+"""Daemon behavior: served results are bitwise-identical to local runs,
+identical in-flight requests deduplicate onto one job, hot requests come
+straight from the cache, and overload/timeout/shutdown degrade cleanly."""
+
+import asyncio
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import evaluate
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import CampaignSpec, FadingSpec
+from repro.channels.gains import LinkGains
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+from repro.scenarios import Scenario
+from repro.serve import CampaignServer, ServeClient, ServeConfig, ServeError
+
+
+@pytest.fixture()
+def start_server(tmp_path):
+    """Factory fixture: boot a daemon in a thread, tear it down after."""
+    running = []
+
+    def start(**overrides):
+        index = len(running)
+        options = {
+            "socket_path": str(tmp_path / f"serve-{index}.sock"),
+            "cache": str(tmp_path / f"cache-{index}"),
+            "processes": 2,
+        }
+        options.update(overrides)
+        config = ServeConfig(**options)
+        server = CampaignServer(config)
+        thread = threading.Thread(
+            target=lambda: asyncio.run(server.serve_forever()), daemon=True
+        )
+        thread.start()
+        client = ServeClient(config.socket_path, timeout=60)
+        deadline = time.monotonic() + 15
+        while True:
+            try:
+                client.ping()
+                break
+            except ServeError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.02)
+        running.append((server, thread, client))
+        return server, client
+
+    yield start
+    for server, thread, client in running:
+        try:
+            client.shutdown()
+        except ServeError:
+            pass
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+
+
+def _gate_evaluations(server):
+    """Block every job at the evaluation seam until the gate is set."""
+    gate = threading.Event()
+    original = server._evaluate
+
+    def gated(spec, options, progress):
+        assert gate.wait(timeout=30)
+        return original(spec, options, progress)
+
+    server._evaluate = gated
+    return gate
+
+
+def _wait_for(predicate, timeout=15):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.02)
+
+
+def _in_flight(client) -> int:
+    return client.stats()["in_flight"]
+
+
+class TestServedResults:
+    def test_bitwise_identical_to_local(self, start_server):
+        _, client = start_server()
+        served = client.evaluate("fig4-operating-points")
+        local = evaluate("fig4-operating-points")
+        assert served.served_from == "computed"
+        assert served.values.tobytes() == local.values.tobytes()
+
+    def test_second_request_hits_cache(self, start_server):
+        _, client = start_server()
+        first = client.evaluate("fig4-operating-points")
+        second = client.evaluate("fig4-operating-points")
+        assert first.served_from == "computed"
+        assert second.served_from == "cache"
+        assert second.values.tobytes() == first.values.tobytes()
+        stats = client.stats()["stats"]
+        assert stats["served_from_cache"] == 1
+        assert stats["computed"] == 1
+
+    def test_inline_scenario_with_fading(self, start_server):
+        _, client = start_server()
+        spec = CampaignSpec(
+            protocols=(Protocol.MABC, Protocol.TDBC),
+            powers_db=(0.0, 10.0),
+            gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+            fading=FadingSpec(n_draws=7, seed=13),
+        )
+        scenario = Scenario.from_campaign_spec(spec, name="adhoc-fading")
+        served = client.evaluate(scenario)
+        reference = run_campaign(spec, executor="serial")
+        assert served.values.tobytes() == reference.values.tobytes()
+        assert served.payload["scenario"] == "adhoc-fading"
+
+    def test_progress_events_stream(self, start_server):
+        _, client = start_server()
+        ticks = []
+        client.evaluate(
+            "fig4-operating-points",
+            chunk_size=2,
+            progress=lambda done, total: ticks.append((done, total)),
+        )
+        assert ticks, "expected at least one progress event"
+        assert ticks[-1][0] == ticks[-1][1]
+        dones = [done for done, _ in ticks]
+        assert dones == sorted(dones)
+
+    def test_unknown_scenario_is_invalid(self, start_server):
+        _, client = start_server()
+        with pytest.raises(ServeError) as excinfo:
+            client.evaluate("no-such-scenario")
+        assert excinfo.value.code == "invalid"
+
+    def test_bad_executor_is_invalid(self, start_server):
+        _, client = start_server()
+        with pytest.raises(ServeError) as excinfo:
+            client.evaluate("fig4-operating-points", executor="warp-drive")
+        assert excinfo.value.code == "invalid"
+
+
+class TestDeduplication:
+    def test_identical_in_flight_requests_share_one_job(self, start_server):
+        server, client = start_server()
+        gate = _gate_evaluations(server)
+        results = {}
+
+        def ask(tag):
+            worker = ServeClient(server.config.socket_path, timeout=60)
+            results[tag] = worker.evaluate("fig4-operating-points")
+
+        first = threading.Thread(target=ask, args=("first",))
+        first.start()
+        _wait_for(lambda: _in_flight(client) == 1)
+        second = threading.Thread(target=ask, args=("second",))
+        second.start()
+        _wait_for(lambda: client.stats()["stats"]["deduplicated"] == 1)
+        assert _in_flight(client) == 1  # still one job, two subscribers
+        gate.set()
+        first.join(timeout=30)
+        second.join(timeout=30)
+        served = {results["first"].served_from, results["second"].served_from}
+        assert served == {"computed", "joined"}
+        assert (
+            results["first"].values.tobytes() == results["second"].values.tobytes()
+        )
+        assert client.stats()["stats"]["computed"] == 1
+
+    def test_request_after_completion_starts_fresh(self, start_server):
+        server, client = start_server(cache=False)
+        first = client.evaluate("fig4-operating-points")
+        second = client.evaluate("fig4-operating-points")
+        # Without a cache there is no hot path and no in-flight overlap:
+        # both requests compute (and agree bitwise).
+        assert first.served_from == "computed"
+        assert second.served_from == "computed"
+        assert first.values.tobytes() == second.values.tobytes()
+
+
+class TestDegradation:
+    def test_busy_backpressure(self, start_server):
+        server, client = start_server(max_pending=1)
+        gate = _gate_evaluations(server)
+        holder = threading.Thread(
+            target=lambda: ServeClient(server.config.socket_path, timeout=60).evaluate(
+                "fig4-operating-points"
+            )
+        )
+        holder.start()
+        _wait_for(lambda: _in_flight(client) == 1)
+        with pytest.raises(ServeError) as excinfo:
+            client.evaluate("fig3-placement")
+        assert excinfo.value.code == "busy"
+        assert client.stats()["stats"]["rejected_busy"] == 1
+        gate.set()
+        holder.join(timeout=30)
+
+    def test_request_timeout(self, start_server):
+        server, client = start_server()
+        gate = _gate_evaluations(server)
+        with pytest.raises(ServeError) as excinfo:
+            client.evaluate("fig4-operating-points", timeout=0.3)
+        assert excinfo.value.code == "timeout"
+        assert client.stats()["stats"]["timeouts"] == 1
+        gate.set()
+        # The job itself keeps running and lands in the cache.
+        _wait_for(lambda: _in_flight(client) == 0)
+
+    def test_shutdown_drains_in_flight_work(self, start_server):
+        server, client = start_server()
+        gate = _gate_evaluations(server)
+        results = {}
+
+        def ask():
+            worker = ServeClient(server.config.socket_path, timeout=60)
+            results["served"] = worker.evaluate("fig4-operating-points")
+
+        inflight = threading.Thread(target=ask)
+        inflight.start()
+        _wait_for(lambda: _in_flight(client) == 1)
+        client.shutdown()
+        gate.set()
+        inflight.join(timeout=30)
+        served = results["served"]
+        local = evaluate("fig4-operating-points")
+        assert served.values.tobytes() == local.values.tobytes()
+        # The daemon is gone: new connections are refused.
+        probe = ServeClient(server.config.socket_path, timeout=5)
+        _wait_for(
+            lambda: not os.path.exists(server.config.socket_path), timeout=20
+        )
+        with pytest.raises(ServeError):
+            probe.ping()
+
+    def test_two_servers_cannot_share_a_socket(self, start_server, tmp_path):
+        server, _ = start_server()
+        clash = CampaignServer(
+            ServeConfig(socket_path=server.config.socket_path, cache=False)
+        )
+        with pytest.raises(Exception, match="already listening"):
+            asyncio.run(clash.start())
+
+
+class TestFacadeRoute:
+    def test_evaluate_server_is_bitwise_identical(self, start_server):
+        server, _ = start_server()
+        via_server = evaluate(
+            "fig4-operating-points", server=server.config.socket_path
+        )
+        local = evaluate("fig4-operating-points")
+        assert via_server.values.tobytes() == local.values.tobytes()
+        assert via_server.executor_name.startswith("serve:")
+
+    def test_server_route_owns_cache_and_shard(self, start_server, tmp_path):
+        server, _ = start_server()
+        with pytest.raises(InvalidParameterError):
+            evaluate(
+                "fig4-operating-points",
+                server=server.config.socket_path,
+                cache=tmp_path / "elsewhere",
+            )
+        with pytest.raises(InvalidParameterError):
+            evaluate(
+                "fig4-operating-points",
+                server=server.config.socket_path,
+                shard=(0, 2),
+            )
+
+    def test_server_route_accepts_client_instance(self, start_server):
+        server, client = start_server()
+        result = evaluate("fig4-operating-points", server=client)
+        assert result.values.shape == result.spec.grid_shape
+        assert not np.isnan(result.values).any()

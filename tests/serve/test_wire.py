@@ -1,0 +1,99 @@
+"""Scenario reference format: name and inline-spec forms round-trip."""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, FadingSpec
+from repro.channels.gains import LinkGains
+from repro.core.protocols import Protocol
+from repro.exceptions import InvalidParameterError
+from repro.scenarios import Scenario, get_scenario
+from repro.scenarios.wire import request_to_scenario, scenario_to_request
+
+
+@pytest.fixture()
+def scenario():
+    spec = CampaignSpec(
+        protocols=(Protocol.MABC, Protocol.HBC),
+        powers_db=(0.0, 10.0),
+        gains=(LinkGains.from_db(-7.0, 0.0, 5.0),),
+        fading=FadingSpec(n_draws=5, seed=3),
+    )
+    return Scenario.from_campaign_spec(spec, name="wire-test")
+
+
+class TestNameForm:
+    def test_string_becomes_name_reference(self):
+        assert scenario_to_request("fig4-operating-points") == {
+            "name": "fig4-operating-points"
+        }
+
+    def test_resolves_through_registry(self):
+        scenario = request_to_scenario({"name": "fig4-operating-points"})
+        assert scenario.name == "fig4-operating-points"
+        expected = get_scenario("fig4-operating-points").to_campaign_spec()
+        assert scenario.to_campaign_spec().spec_hash() == expected.spec_hash()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario({"name": "no-such-scenario"})
+
+
+class TestInlineForm:
+    def test_round_trip_preserves_spec_hash(self, scenario):
+        reference = scenario_to_request(scenario)
+        assert reference["label"] == "wire-test"
+        restored = request_to_scenario(reference)
+        assert restored.name == "wire-test"
+        assert (
+            restored.to_campaign_spec().spec_hash()
+            == scenario.to_campaign_spec().spec_hash()
+        )
+
+    def test_reference_is_json_plain(self, scenario):
+        import json
+
+        encoded = json.dumps(scenario_to_request(scenario))
+        restored = request_to_scenario(json.loads(encoded))
+        assert (
+            restored.to_campaign_spec().spec_hash()
+            == scenario.to_campaign_spec().spec_hash()
+        )
+
+    def test_objective_travels(self, scenario):
+        reference = scenario_to_request(scenario)
+        reference["objective"] = "round_robin_sum_rate"
+        assert request_to_scenario(reference).objective == "round_robin_sum_rate"
+
+
+class TestValidation:
+    def test_rejects_non_mapping(self):
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario("fig4-operating-points")
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario({"name": "x", "shard": "1/2"})
+
+    def test_rejects_both_name_and_spec(self, scenario):
+        reference = scenario_to_request(scenario)
+        reference["name"] = "fig4-operating-points"
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario(reference)
+
+    def test_rejects_neither(self):
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario({})
+
+    def test_rejects_bad_objective(self, scenario):
+        reference = scenario_to_request(scenario)
+        reference["objective"] = "maximize-vibes"
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario(reference)
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(InvalidParameterError):
+            request_to_scenario({"spec": {"protocols": ["nope"]}})
+
+    def test_rejects_non_scenario_object(self):
+        with pytest.raises(InvalidParameterError):
+            scenario_to_request(42)

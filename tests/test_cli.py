@@ -16,7 +16,7 @@ class TestParser:
         assert set(subparsers.choices) == {
             "fig3", "fig4", "region", "sumrate", "simulate", "diagrams",
             "sweep", "adaptive", "fairness", "fading", "campaign", "gather",
-            "scenarios",
+            "scenarios", "serve", "client",
         }
 
     def test_region_requires_protocol(self):
@@ -247,6 +247,19 @@ class TestShardGatherCommands:
         assert code == 1
         assert "missing" in out
 
+    def test_gather_missing_cache_directory_fails(self, capsys, tmp_path):
+        code = main(["gather", *self.GRID,
+                     "--cache-dir", str(tmp_path / "nowhere")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "does not exist" in out
+
+    def test_gather_empty_cache_directory_fails(self, capsys, tmp_path):
+        code = main(["gather", *self.GRID, "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no campaign artifacts" in out
+
     def test_bad_shard_values_rejected(self, capsys):
         for bad in ("4/3", "0/3", "x/3", "1/0", "12"):
             code = main(["campaign", *self.GRID, "--shard", bad, "--quiet"])
@@ -278,6 +291,55 @@ class TestScenariosCommand:
         for name in list_scenarios():
             assert name in out
         assert "objective" in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        import json
+
+        from repro.scenarios import list_scenarios
+
+        assert main(["scenarios", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in entries] == sorted(list_scenarios())
+        for entry in entries:
+            assert entry["axes"]
+            assert entry["objective"]
+            assert entry["grounding"]
+            assert entry["cells"] > 0
+
+    def test_catalog_prints_markdown(self, capsys):
+        assert main(["scenarios", "catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "# Scenario catalog" in out
+        assert "| scenario |" in out
+
+    def test_catalog_write_then_check_round_trips(self, capsys, tmp_path):
+        page = str(tmp_path / "scenarios.md")
+        assert main(["scenarios", "catalog", "--write", page]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "catalog", "--check", page]) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+
+    def test_catalog_check_flags_stale_page(self, capsys, tmp_path):
+        page = tmp_path / "scenarios.md"
+        page.write_text("# Scenario catalog\n\nout of date\n")
+        code = main(["scenarios", "catalog", "--check", str(page)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale" in out
+
+    def test_catalog_check_missing_page_fails(self, capsys, tmp_path):
+        code = main(["scenarios", "catalog", "--check",
+                     str(tmp_path / "absent.md")])
+        out = capsys.readouterr().out
+        assert code == 1
+
+    def test_committed_catalog_page_is_fresh(self, capsys):
+        """The checked-in docs/scenarios.md must track the registry."""
+        from pathlib import Path
+
+        page = Path(__file__).resolve().parent.parent / "docs" / "scenarios.md"
+        assert main(["scenarios", "catalog", "--check", str(page)]) == 0
 
     def test_run_two_pair_scenario(self, capsys, tmp_path):
         code = main(["scenarios", "run", "two-pair-round-robin",
@@ -360,6 +422,27 @@ class TestScenarioShardGather:
     def test_gather_without_artifacts_fails(self, capsys, tmp_path):
         code = main(["scenarios", "gather", self.NAME,
                      "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no campaign artifacts" in out
+
+    def test_gather_missing_directory_fails(self, capsys, tmp_path):
+        code = main(["scenarios", "gather", self.NAME,
+                     "--cache-dir", str(tmp_path / "never-created")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "does not exist" in out
+        assert "run the shards first" in out
+
+    def test_gather_incomplete_shard_reports_missing_ranges(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(["scenarios", "run", self.NAME, "--shard", "1/2",
+                     "--cache-dir", cache, "--chunk-size", "4",
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        code = main(["scenarios", "gather", self.NAME, "--cache-dir", cache])
         out = capsys.readouterr().out
         assert code == 1
         assert "missing" in out
