@@ -29,7 +29,7 @@ def three_pair_demo() -> Scenario:
                 RelayPair(label="far", gain_offsets_db=(-3.0, 3.0, -4.0)),
             ),
         ),
-        power=PowerPolicy(powers_db=(0.0, 10.0)),
+        power=PowerPolicy.uniform(powers_db=(0.0, 10.0)),
         fading=FadingSpec(n_draws=200, seed=42),
         objective="round_robin_sum_rate",
     )

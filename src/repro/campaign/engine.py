@@ -30,11 +30,13 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections.abc import Mapping
 from contextlib import ExitStack
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..channels.power import NodePowers
 from ..core.protocols import Protocol
 from ..exceptions import IncompleteCampaignError, InvalidParameterError
 from .cache import CampaignCache
@@ -244,13 +246,18 @@ def _grid_batches(spec, flat_gains, start, stop):
             # Operational cells seed their simulations by flat grid index.
             base = block * n_channels
             indices = np.arange(base + lo, base + hi)
+        if isinstance(power, NodePowers):
+            # Allocation blocks carry an (n, 3) per-node power batch.
+            power_array = np.tile(power.as_array(), (hi - lo, 1))
+        else:
+            power_array = np.full(hi - lo, power)
         batches.append(
             UnitBatch(
                 protocol=protocol,
                 gab=gab,
                 gar=gar,
                 gbr=gbr,
-                power=np.full(hi - lo, power),
+                power=power_array,
                 link=spec.link,
                 indices=indices,
             )
@@ -603,7 +610,11 @@ def evaluate_ensemble(
         Iterable of :class:`~repro.channels.gains.LinkGains` (or an
         ``(n, 3)`` array of linear gains).
     power:
-        Per-node transmit power (linear), scalar or per-draw array.
+        Transmit power (linear): a scalar or per-draw ``(n,)`` array
+        applies one shared power to every node; a
+        :class:`~repro.channels.power.NodePowers`, a
+        ``{"a": ..., "b": ..., "r": ...}`` mapping, or an ``(n, 3)``
+        array in ``(a, b, r)`` order gives each node its own power.
     executor:
         Executor name or instance; defaults to the vectorized fast path.
     cache:
@@ -636,7 +647,22 @@ def evaluate_ensemble(
         raise InvalidParameterError(
             f"expected an (n, 3) gain ensemble, got shape {array.shape}"
         )
-    power = np.broadcast_to(np.asarray(power, dtype=float), (array.shape[0],)).copy()
+    if isinstance(power, Mapping):
+        power = NodePowers.from_mapping(power)
+    if isinstance(power, NodePowers):
+        power = np.tile(power.as_array(), (array.shape[0], 1))
+    else:
+        power = np.asarray(power, dtype=float)
+        if power.ndim == 2:
+            if power.shape != (array.shape[0], 3):
+                raise InvalidParameterError(
+                    f"a per-node power batch must have shape "
+                    f"({array.shape[0]}, 3) in (a, b, r) order, got "
+                    f"{power.shape}"
+                )
+            power = power.copy()
+        else:
+            power = np.broadcast_to(power, (array.shape[0],)).copy()
     store = _resolve_cache(cache)
     if store is None and chunk_size is None:
         batch = UnitBatch(

@@ -31,14 +31,16 @@ multiprocessing and vectorized execution interchangeable.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from functools import lru_cache
 from itertools import combinations
 
 import numpy as np
 
+from ..channels.power import NodePowers
 from ..core.bounds import bound_for
-from ..core.protocols import Protocol
-from ..core.terms import BoundKind, MiKey
+from ..core.protocols import Protocol, protocol_phases
+from ..core.terms import BoundKind, MiKey, transmitter_for
 from ..exceptions import InvalidParameterError
 
 __all__ = ["KERNEL_VERSION", "batched_sum_rates", "mi_value_table"]
@@ -62,27 +64,129 @@ _MI_INDEX = {key: i for i, key in enumerate(_MI_KEYS)}
 _DET_FLOOR = 1e-30
 
 
+def _node_power_columns(power):
+    """Normalize a power argument to per-node columns, or ``None``.
+
+    Returns ``(pa, pb, pr)`` arrays when ``power`` expresses *asymmetric*
+    per-node powers — a :class:`~repro.channels.power.NodePowers`, a
+    ``{"a": ..., "b": ..., "r": ...}`` mapping, or an ``(n, 3)`` array in
+    ``(a, b, r)`` node order. Scalars and 1-d arrays (one shared power per
+    unit — the paper's model) return ``None`` and take the classic path.
+    """
+    if isinstance(power, Mapping):
+        power = NodePowers.from_mapping(power)
+    if isinstance(power, NodePowers):
+        return (
+            np.asarray(power.pa),
+            np.asarray(power.pb),
+            np.asarray(power.pr),
+        )
+    arr = np.asarray(power, dtype=float)
+    if arr.ndim == 2:
+        if arr.shape[1] != 3:
+            raise InvalidParameterError(
+                f"a per-node power batch must have shape (n, 3) in (a, b, r) "
+                f"order, got {arr.shape}"
+            )
+        return arr[:, 0], arr[:, 1], arr[:, 2]
+    return None
+
+
+def _mac_sum_snr(pa, pb, gar, gbr):
+    """Multiple-access sum SNR ``P_a·g_ar + P_b·g_br``.
+
+    Where the two source powers are exactly equal this is computed as the
+    classic factored form ``P·(g_ar + g_br)`` elementwise, so uniform
+    per-node powers reproduce the scalar-power kernel bit for bit.
+    """
+    return np.where(pa == pb, pa * (gar + gbr), pa * gar + pb * gbr)
+
+
 def mi_value_table(gab, gar, gbr, power) -> np.ndarray:
     """Per-unit mutual-information values for all :class:`MiKey` terms.
 
     Vectorized counterpart of :meth:`GaussianChannel.mi_values`: gains and
     power are broadcastable arrays of shape ``(n,)`` and the result has
     shape ``(n, len(MiKey))`` in ``MiKey`` declaration order.
+
+    ``power`` may also express asymmetric per-node transmit powers — a
+    :class:`~repro.channels.power.NodePowers`, a node mapping, or an
+    ``(n, 3)`` array in ``(a, b, r)`` order. Each key is then evaluated
+    under its *terminal transmitter* convention (``a`` drives ``a-r``,
+    ``a-b`` and ``a-rb``; ``b`` drives ``b-r`` and ``b-ra``; the MAC sum
+    is ``P_a·g_ar + P_b·g_br``); phase-dependent directions, e.g. the
+    relay re-using a link, are handled internally by
+    :func:`batched_sum_rates`.
     """
     gab = np.asarray(gab, dtype=float)
     gar = np.asarray(gar, dtype=float)
     gbr = np.asarray(gbr, dtype=float)
-    power = np.asarray(power, dtype=float)
-    snrs = {
-        MiKey.LINK_AR: power * gar,
-        MiKey.LINK_BR: power * gbr,
-        MiKey.LINK_AB: power * gab,
-        MiKey.MAC_SUM: power * (gar + gbr),
-        MiKey.CUT_A_RB: power * (gar + gab),
-        MiKey.CUT_B_RA: power * (gbr + gab),
-    }
+    columns = _node_power_columns(power)
+    if columns is None:
+        power = np.asarray(power, dtype=float)
+        snrs = {
+            MiKey.LINK_AR: power * gar,
+            MiKey.LINK_BR: power * gbr,
+            MiKey.LINK_AB: power * gab,
+            MiKey.MAC_SUM: power * (gar + gbr),
+            MiKey.CUT_A_RB: power * (gar + gab),
+            MiKey.CUT_B_RA: power * (gbr + gab),
+        }
+    else:
+        pa, pb, _ = columns
+        snrs = {
+            MiKey.LINK_AR: pa * gar,
+            MiKey.LINK_BR: pb * gbr,
+            MiKey.LINK_AB: pa * gab,
+            MiKey.MAC_SUM: _mac_sum_snr(pa, pb, gar, gbr),
+            MiKey.CUT_A_RB: pa * (gar + gab),
+            MiKey.CUT_B_RA: pb * (gbr + gab),
+        }
     return np.stack(
         [np.log2(1.0 + snrs[key]) for key in _MI_KEYS],
+        axis=-1,
+    )
+
+
+#: The directional MI vocabulary under asymmetric per-node powers: each
+#: ``(key, transmitter)`` pair is one distinct SNR expression. Under a
+#: scalar power the two directions of a link coincide (reciprocity), which
+#: is why the classic table needs only ``len(MiKey)`` columns.
+_DIRECTIONAL_TERMS = (
+    (MiKey.LINK_AR, "a"),
+    (MiKey.LINK_AR, "r"),
+    (MiKey.LINK_BR, "b"),
+    (MiKey.LINK_BR, "r"),
+    (MiKey.LINK_AB, "a"),
+    (MiKey.LINK_AB, "b"),
+    (MiKey.MAC_SUM, "ab"),
+    (MiKey.CUT_A_RB, "a"),
+    (MiKey.CUT_B_RA, "b"),
+)
+_DIRECTIONAL_INDEX = {term: i for i, term in enumerate(_DIRECTIONAL_TERMS)}
+
+
+def _directional_mi_table(gab, gar, gbr, pa, pb, pr) -> np.ndarray:
+    """MI values for every :data:`_DIRECTIONAL_TERMS` entry, shape ``(n, 9)``.
+
+    All expressions reduce elementwise to the classic
+    :func:`mi_value_table` columns when ``pa == pb == pr`` (the MAC sum via
+    :func:`_mac_sum_snr`), which is what makes uniform per-node powers
+    bitwise-identical to the scalar path.
+    """
+    snrs = {
+        (MiKey.LINK_AR, "a"): pa * gar,
+        (MiKey.LINK_AR, "r"): pr * gar,
+        (MiKey.LINK_BR, "b"): pb * gbr,
+        (MiKey.LINK_BR, "r"): pr * gbr,
+        (MiKey.LINK_AB, "a"): pa * gab,
+        (MiKey.LINK_AB, "b"): pb * gab,
+        (MiKey.MAC_SUM, "ab"): _mac_sum_snr(pa, pb, gar, gbr),
+        (MiKey.CUT_A_RB, "a"): pa * (gar + gab),
+        (MiKey.CUT_B_RA, "b"): pb * (gbr + gab),
+    }
+    return np.stack(
+        [np.log2(1.0 + snrs[term]) for term in _DIRECTIONAL_TERMS],
         axis=-1,
     )
 
@@ -109,6 +213,33 @@ def _bound_structure(protocol: Protocol, kind: BoundKind):
     )
 
 
+@lru_cache(maxsize=None)
+def _directional_bound_structure(protocol: Protocol, kind: BoundKind):
+    """Like :func:`_bound_structure`, with directional MI column indices.
+
+    Each ``(phase, mi_index)`` pair indexes :data:`_DIRECTIONAL_TERMS`
+    instead of :class:`MiKey`: the transmitter driving each term is
+    resolved from the protocol's phase schedule, so e.g. ``Δ2·I[a-r]`` in
+    a relay-broadcast phase draws on the *relay's* power.
+    """
+    spec = bound_for(protocol, kind)
+    phases = protocol_phases(protocol)
+    groups: dict[tuple, list] = {("Ra",): [], ("Rb",): [], ("Ra", "Rb"): []}
+    for constraint in spec.constraints:
+        key = tuple(sorted(constraint.rates))
+        terms = tuple(
+            (p, _DIRECTIONAL_INDEX[(k, transmitter_for(k, phases[p]))])
+            for p, k in constraint.form.terms
+        )
+        groups[key].append(terms)
+    return (
+        spec.n_phases,
+        tuple(groups[("Ra",)]),
+        tuple(groups[("Rb",)]),
+        tuple(groups[("Ra", "Rb")]),
+    )
+
+
 def _constraint_rows(term_groups, mi: np.ndarray, n_phases: int) -> np.ndarray:
     """Stack one rate family's constraints as ``(n, n_constraints, L)``."""
     n = mi.shape[0]
@@ -119,17 +250,20 @@ def _constraint_rows(term_groups, mi: np.ndarray, n_phases: int) -> np.ndarray:
     return rows
 
 
-def _objective_functions(protocol: Protocol, mi: np.ndarray) -> np.ndarray:
+def _objective_functions(
+    protocol: Protocol, mi: np.ndarray, *, directional: bool = False
+) -> np.ndarray:
     """The linear functions whose min over the simplex is the sum rate.
 
     The fixed-duration optimum is ``min(min_i a_i·Δ + min_j b_j·Δ,
     min_k s_k·Δ)``; since the pairwise mins distribute, this equals the min
     over the function family ``{a_i + b_j} ∪ {s_k}``. Returns shape
-    ``(n, n_functions, L)``.
+    ``(n, n_functions, L)``. With ``directional=True``, ``mi`` is a
+    :func:`_directional_mi_table` and the constraint skeleton indexes it
+    through :func:`_directional_bound_structure`.
     """
-    n_phases, ra_terms, rb_terms, sum_terms = _bound_structure(
-        protocol, BoundKind.INNER
-    )
+    structure = _directional_bound_structure if directional else _bound_structure
+    n_phases, ra_terms, rb_terms, sum_terms = structure(protocol, BoundKind.INNER)
     ra_rows = _constraint_rows(ra_terms, mi, n_phases)
     rb_rows = _constraint_rows(rb_terms, mi, n_phases)
     sum_rows = _constraint_rows(sum_terms, mi, n_phases)
@@ -219,7 +353,12 @@ def batched_sum_rates(protocol: Protocol, gab, gar, gbr, power) -> np.ndarray:
     gab, gar, gbr:
         Linear link gains, arrays of shape ``(n,)`` (scalars broadcast).
     power:
-        Per-node transmit power (linear), scalar or shape ``(n,)``.
+        Transmit power (linear). A scalar or shape-``(n,)`` array applies
+        one shared power to every node (the paper's model); a
+        :class:`~repro.channels.power.NodePowers`, a
+        ``{"a": ..., "b": ..., "r": ...}`` mapping, or an ``(n, 3)``
+        array in ``(a, b, r)`` order gives each node its own power. Equal
+        per-node powers reproduce the shared-power results bit for bit.
 
     Returns
     -------
@@ -228,11 +367,35 @@ def batched_sum_rates(protocol: Protocol, gab, gar, gbr, power) -> np.ndarray:
         ``optimal_sum_rate(protocol, GaussianChannel(gains_i, power_i))``
         up to LP tolerance, computed without any per-unit solver calls.
     """
-    gab, gar, gbr, power = np.broadcast_arrays(
+    columns = _node_power_columns(power)
+    if columns is None:
+        gab, gar, gbr, power = np.broadcast_arrays(
+            np.asarray(gab, dtype=float),
+            np.asarray(gar, dtype=float),
+            np.asarray(gbr, dtype=float),
+            np.asarray(power, dtype=float),
+        )
+        if gab.ndim != 1:
+            raise InvalidParameterError(
+                f"expected 1-d gain/power arrays, got shape {gab.shape}"
+            )
+        if gab.size == 0:
+            return np.zeros(0)
+        if np.any(gab <= 0) or np.any(gar <= 0) or np.any(gbr <= 0):
+            raise InvalidParameterError("link gains must be strictly positive")
+        if np.any(power < 0):
+            raise InvalidParameterError("power must be non-negative")
+        mi = mi_value_table(gab, gar, gbr, power)
+        functions = _objective_functions(protocol, mi)
+        return _equalization_values(functions)
+    pa, pb, pr = columns
+    gab, gar, gbr, pa, pb, pr = np.broadcast_arrays(
         np.asarray(gab, dtype=float),
         np.asarray(gar, dtype=float),
         np.asarray(gbr, dtype=float),
-        np.asarray(power, dtype=float),
+        np.asarray(pa, dtype=float),
+        np.asarray(pb, dtype=float),
+        np.asarray(pr, dtype=float),
     )
     if gab.ndim != 1:
         raise InvalidParameterError(
@@ -242,8 +405,8 @@ def batched_sum_rates(protocol: Protocol, gab, gar, gbr, power) -> np.ndarray:
         return np.zeros(0)
     if np.any(gab <= 0) or np.any(gar <= 0) or np.any(gbr <= 0):
         raise InvalidParameterError("link gains must be strictly positive")
-    if np.any(power < 0):
+    if np.any(pa < 0) or np.any(pb < 0) or np.any(pr < 0):
         raise InvalidParameterError("power must be non-negative")
-    mi = mi_value_table(gab, gar, gbr, power)
-    functions = _objective_functions(protocol, mi)
+    mi = _directional_mi_table(gab, gar, gbr, pa, pb, pr)
+    functions = _objective_functions(protocol, mi, directional=True)
     return _equalization_values(functions)

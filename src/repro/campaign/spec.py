@@ -36,6 +36,7 @@ import numpy as np
 from ..channels.fading import sample_gain_ensemble
 from ..channels.gains import LinkGains
 from ..channels.pathloss import linear_relay_gains
+from ..channels.power import NodePowers
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
 from ..information.functions import db_to_linear
@@ -81,8 +82,14 @@ GRID_AXES = ("protocol", "power", "gains", "draw")
 #:   the drawn channel gains (e.g. a node-pair axis where every pair sits
 #:   at its own geometry relative to the swept base geometry);
 #: * ``power_db_offset`` — a dB offset added to the grid's transmit power
-#:   (e.g. a power-policy axis for finite-SNR backoff studies).
-AXIS_OVERRIDE_KEYS = ("gain_offsets_db", "power_db_offset")
+#:   (e.g. a power-policy axis for finite-SNR backoff studies);
+#: * ``node_powers_db`` — per-node ``(a, b, r)`` dB offsets added to the
+#:   cell's transmit power, giving each node its own power (e.g. a
+#:   power-allocation axis splitting a sum-power budget, arXiv:0810.2746).
+#:   Cells whose accumulated offsets are present — even all-zero — take
+#:   the per-node kernel path; cells without the key keep the classic
+#:   scalar power, so allocation-free specs hash and evaluate as before.
+AXIS_OVERRIDE_KEYS = ("gain_offsets_db", "power_db_offset", "node_powers_db")
 
 #: Default number of flat grid cells per checkpointed chunk. Small enough
 #: that an interrupted campaign loses little work, large enough that the
@@ -378,13 +385,15 @@ class WorkUnit:
 
     ``index`` is the flat position in the campaign's
     ``(protocol, power, gains, draw)`` C-order grid, so results can be
-    reassembled regardless of execution order.
+    reassembled regardless of execution order. ``power`` is the classic
+    linear scalar, or a :class:`~repro.channels.power.NodePowers` when the
+    spec carries a ``node_powers_db`` allocation axis.
     """
 
     index: int
     protocol: Protocol
     gains: LinkGains
-    power: float
+    power: float | NodePowers
 
 
 @dataclass(frozen=True)
@@ -456,6 +465,15 @@ class CampaignSpec:
             if not isinstance(g, LinkGains):
                 raise InvalidParameterError(f"{g!r} is not a LinkGains")
         self._validate_extra_axes(extra_axes)
+        if self.link is not None and any(
+            "node_powers_db" in value
+            for axis in extra_axes
+            for value in axis.values
+        ):
+            raise InvalidParameterError(
+                "operational (link-level) campaigns model one shared transmit "
+                "power; node_powers_db axes require the analytic kernel"
+            )
 
     @staticmethod
     def _validate_extra_axes(extra_axes: tuple) -> None:
@@ -485,6 +503,12 @@ class CampaignSpec:
                     raise InvalidParameterError(
                         f"axis {axis.name!r} gain_offsets_db must have one "
                         f"offset per link (ab, ar, br), got {offsets!r}"
+                    )
+                node_offsets = value.get("node_powers_db")
+                if node_offsets is not None and len(tuple(node_offsets)) != 3:
+                    raise InvalidParameterError(
+                        f"axis {axis.name!r} node_powers_db must have one "
+                        f"offset per node (a, b, r), got {node_offsets!r}"
                     )
 
     @classmethod
@@ -602,11 +626,15 @@ class CampaignSpec:
     def block_params(self, block: int):
         """Evaluation parameters of one block of the flat grid.
 
-        Returns ``(protocol, power_linear, gain_scale)`` where
-        ``gain_scale`` is either ``None`` or the per-link linear factors
-        accumulated from every extensible axis's ``gain_offsets_db``.
-        Deterministic elementwise arithmetic, so how the grid is chunked
-        or sharded can never change the evaluated numbers.
+        Returns ``(protocol, power, gain_scale)`` where ``gain_scale`` is
+        either ``None`` or the per-link linear factors accumulated from
+        every extensible axis's ``gain_offsets_db``. ``power`` is the
+        classic linear scalar unless some axis set ``node_powers_db``, in
+        which case it is a :class:`~repro.channels.power.NodePowers` whose
+        node powers apply the accumulated per-node dB offsets on top of
+        the cell's base power. Deterministic elementwise arithmetic, so
+        how the grid is chunked or sharded can never change the evaluated
+        numbers.
         """
         if not 0 <= block < self.n_blocks:
             raise InvalidParameterError(
@@ -615,16 +643,32 @@ class CampaignSpec:
         indices = np.unravel_index(block, self.block_shape)
         power_db = self.powers_db[indices[1]]
         gain_scale = None
+        node_db = None
         for axis, value_index in zip(self.extra_axes, indices[2:]):
             value = axis.values[value_index]
             offset = value.get("power_db_offset")
             if offset is not None:
                 power_db = power_db + float(offset)
+            node_offsets = value.get("node_powers_db")
+            if node_offsets is not None:
+                deltas = tuple(float(x) for x in node_offsets)
+                if node_db is None:
+                    node_db = deltas
+                else:
+                    node_db = tuple(base + d for base, d in zip(node_db, deltas))
             gain_offsets = value.get("gain_offsets_db")
             if gain_offsets is not None:
                 scale = np.array([db_to_linear(float(x)) for x in gain_offsets])
                 gain_scale = scale if gain_scale is None else gain_scale * scale
-        return self.protocols[indices[0]], db_to_linear(power_db), gain_scale
+        if node_db is None:
+            power = db_to_linear(power_db)
+        else:
+            power = NodePowers(
+                pa=db_to_linear(power_db + node_db[0]),
+                pb=db_to_linear(power_db + node_db[1]),
+                pr=db_to_linear(power_db + node_db[2]),
+            )
+        return self.protocols[indices[0]], power, gain_scale
 
     @property
     def n_units(self) -> int:

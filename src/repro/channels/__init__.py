@@ -27,7 +27,9 @@ from .halfduplex import (
     PhaseOutput,
     PhaseRows,
     complex_gains_from_powers,
+    link_amplitudes,
 )
+from .power import NODE_ORDER, NodePowers, node_power
 from .pathloss import (
     FreeSpacePathLoss,
     LogDistancePathLoss,
@@ -57,6 +59,10 @@ __all__ = [
     "PhaseOutput",
     "PhaseRows",
     "complex_gains_from_powers",
+    "link_amplitudes",
+    "NODE_ORDER",
+    "NodePowers",
+    "node_power",
     "FreeSpacePathLoss",
     "LogDistancePathLoss",
     "Position",

@@ -78,11 +78,22 @@ class LinkGains:
             )
         return table[key]
 
-    def snr(self, node_i: str, node_j: str, power: float) -> float:
-        """Receive SNR ``P * G_ij`` of link ``i -> j`` at transmit power ``power``."""
-        if power < 0:
-            raise InvalidParameterError(f"power must be non-negative, got {power}")
-        return power * self.gain(node_i, node_j)
+    def snr(self, node_i: str, node_j: str, power) -> float:
+        """Receive SNR ``P_i * G_ij`` of link ``i -> j``.
+
+        ``power`` may be a scalar shared by every node (the paper's
+        model), a ``{"a": ..., "b": ..., "r": ...}`` mapping, or a
+        :class:`~repro.channels.power.NodePowers`; per-node forms use the
+        *transmitter*'s power ``P_i``.
+        """
+        from .power import node_power
+
+        transmit_power = node_power(power, node_i)
+        if transmit_power < 0:
+            raise InvalidParameterError(
+                f"power must be non-negative, got {transmit_power}"
+            )
+        return transmit_power * self.gain(node_i, node_j)
 
     def is_paper_regime(self) -> bool:
         """Whether ``G_ab <= G_ar <= G_br`` (the paper's standing assumption)."""

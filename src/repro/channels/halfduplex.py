@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import warnings
+
 from ..exceptions import HalfDuplexViolationError, InvalidParameterError
 from .awgn import ComplexAwgn
 from .gains import LinkGains
@@ -58,6 +60,7 @@ __all__ = [
     "PhaseOutput",
     "PhaseRows",
     "complex_gains_from_powers",
+    "link_amplitudes",
 ]
 
 _NODES = ("a", "b", "r")
@@ -65,7 +68,7 @@ _NODES = ("a", "b", "r")
 _LINKS = (("a", "b"), ("a", "r"), ("b", "r"))
 
 
-def complex_gains_from_powers(
+def link_amplitudes(
     gains: LinkGains,
     rng: np.random.Generator | None = None,
     *,
@@ -92,6 +95,26 @@ def complex_gains_from_powers(
         * np.exp(1j * phases[frozenset(pair)])
         for pair in _LINKS
     }
+
+
+def complex_gains_from_powers(
+    gains: LinkGains,
+    rng: np.random.Generator | None = None,
+    *,
+    random_phases: bool = False,
+) -> dict[frozenset, complex]:
+    """Deprecated alias of :func:`link_amplitudes`.
+
+    The old name collided with *transmit* powers once those became
+    per-node (the amplitudes here derive from channel power *gains*, not
+    transmit powers).
+    """
+    warnings.warn(
+        "complex_gains_from_powers is deprecated; use link_amplitudes",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return link_amplitudes(gains, rng, random_phases=random_phases)
 
 
 @dataclass(frozen=True)
@@ -256,7 +279,7 @@ class HalfDuplexMedium:
 
     def __post_init__(self) -> None:
         if self.complex_gains is None:
-            self.complex_gains = complex_gains_from_powers(self.gains)
+            self.complex_gains = link_amplitudes(self.gains)
         for pair in _LINKS:
             key = frozenset(pair)
             if key not in self.complex_gains:

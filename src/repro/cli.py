@@ -10,7 +10,9 @@ Subcommands
   (``scenarios gather NAME``). ``scenarios run --shard I/N`` evaluates
   one balanced slice of the scenario's grid — including operational
   (link-level) scenarios, whose cells-fused evaluation shards exactly
-  like the analytic grids.
+  like the analytic grids. ``scenarios run --param key=value`` forwards
+  factory parameters (sweep granularity, SNR points, seeds) to
+  parameterized scenarios.
 * ``campaign`` — evaluate a declarative grid (protocols × powers ×
   geometries × fading draws) through the batched campaign engine, with
   executor selection, progress reporting and an on-disk result cache.
@@ -68,14 +70,30 @@ def _channel_from_args(args) -> GaussianChannel:
 
 
 def _add_channel_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--power-db", type=float, default=10.0,
-                        help="per-node transmit power P in dB (default 10)")
-    parser.add_argument("--gab-db", type=float, default=-7.0,
-                        help="direct-link gain G_ab in dB (default -7)")
-    parser.add_argument("--gar-db", type=float, default=0.0,
-                        help="a-relay gain G_ar in dB (default 0)")
-    parser.add_argument("--gbr-db", type=float, default=5.0,
-                        help="b-relay gain G_br in dB (default 5)")
+    parser.add_argument(
+        "--power-db",
+        type=float,
+        default=10.0,
+        help="per-node transmit power P in dB (default 10)",
+    )
+    parser.add_argument(
+        "--gab-db",
+        type=float,
+        default=-7.0,
+        help="direct-link gain G_ab in dB (default -7)",
+    )
+    parser.add_argument(
+        "--gar-db",
+        type=float,
+        default=0.0,
+        help="a-relay gain G_ar in dB (default 0)",
+    )
+    parser.add_argument(
+        "--gbr-db",
+        type=float,
+        default=5.0,
+        help="b-relay gain G_br in dB (default 5)",
+    )
 
 
 def _cmd_fig3(args) -> int:
@@ -113,17 +131,24 @@ def _cmd_fig4(args) -> int:
 def _cmd_region(args) -> int:
     channel = _channel_from_args(args)
     protocol = Protocol.from_name(args.protocol)
-    region = (outer_bound_region(protocol, channel) if args.outer
-              else achievable_region(protocol, channel))
+    region = (
+        outer_bound_region(protocol, channel)
+        if args.outer
+        else achievable_region(protocol, channel)
+    )
     boundary = region.boundary(args.points)
     rows = [[float(ra), float(rb)] for ra, rb in boundary]
-    title = (f"{protocol.name} {'outer bound' if args.outer else 'achievable'} "
-             f"region boundary — {channel.describe()}")
+    title = (
+        f"{protocol.name} {'outer bound' if args.outer else 'achievable'} "
+        f"region boundary — {channel.describe()}"
+    )
     print(render_table(["Ra", "Rb"], rows, title=title))
     best = region.max_sum_rate()
-    print(f"\nmax sum rate {best.sum_rate:.4f} bits/use at "
-          f"Ra={best.ra:.4f}, Rb={best.rb:.4f}, "
-          f"durations={tuple(round(d, 4) for d in best.durations)}")
+    print(
+        f"\nmax sum rate {best.sum_rate:.4f} bits/use at "
+        f"Ra={best.ra:.4f}, Rb={best.rb:.4f}, "
+        f"durations={tuple(round(d, 4) for d in best.durations)}"
+    )
     return 0
 
 
@@ -132,13 +157,22 @@ def _cmd_sumrate(args) -> int:
     comparison = compare_protocols(channel)
     rows = []
     for protocol, point in comparison.sum_rates.items():
-        rows.append([protocol.name, point.sum_rate, point.ra, point.rb,
-                     str(tuple(round(d, 4) for d in point.durations))])
-    print(render_table(
-        ["protocol", "sum rate", "Ra", "Rb", "durations"],
-        rows,
-        title=f"LP-optimal sum rates — {channel.describe()}",
-    ))
+        rows.append(
+            [
+                protocol.name,
+                point.sum_rate,
+                point.ra,
+                point.rb,
+                str(tuple(round(d, 4) for d in point.durations)),
+            ]
+        )
+    print(
+        render_table(
+            ["protocol", "sum rate", "Ra", "Rb", "durations"],
+            rows,
+            title=f"LP-optimal sum rates — {channel.describe()}",
+        )
+    )
     print(f"\nbest protocol: {comparison.best_protocol().name}")
     return 0
 
@@ -152,7 +186,11 @@ def _cmd_simulate(args) -> int:
     rng = np.random.default_rng(args.seed)
     try:
         report = simulate_protocol(
-            protocol, gains, db_to_linear(args.power_db), args.rounds, rng,
+            protocol,
+            gains,
+            db_to_linear(args.power_db),
+            args.rounds,
+            rng,
             codec=default_codec(args.payload_bits),
             method="reference" if args.reference else "batched",
             target_rel_error=args.target_rel_error,
@@ -162,20 +200,34 @@ def _cmd_simulate(args) -> int:
         print(f"error: {error}")
         return 2
     rows = [
-        ["a->b", report.a_to_b.fer, report.a_to_b.ber,
-         report.throughput.direction_throughput("a->b")],
-        ["b->a", report.b_to_a.fer, report.b_to_a.ber,
-         report.throughput.direction_throughput("b->a")],
+        [
+            "a->b",
+            report.a_to_b.fer,
+            report.a_to_b.ber,
+            report.throughput.direction_throughput("a->b"),
+        ],
+        [
+            "b->a",
+            report.b_to_a.fer,
+            report.b_to_a.ber,
+            report.throughput.direction_throughput("b->a"),
+        ],
     ]
-    print(render_table(
-        ["direction", "FER", "BER", "goodput [bits/symbol]"],
-        rows,
-        title=(f"link-level simulation: {protocol.name}, "
-               f"{report.n_rounds} rounds, P={args.power_db:g} dB"),
-        float_format=".5f",
-    ))
-    print(f"\nsum goodput {report.sum_goodput:.5f} bits/symbol; "
-          f"relay failures {report.relay_failures}/{report.n_rounds}")
+    print(
+        render_table(
+            ["direction", "FER", "BER", "goodput [bits/symbol]"],
+            rows,
+            title=(
+                f"link-level simulation: {protocol.name}, "
+                f"{report.n_rounds} rounds, P={args.power_db:g} dB"
+            ),
+            float_format=".5f",
+        )
+    )
+    print(
+        f"\nsum goodput {report.sum_goodput:.5f} bits/symbol; "
+        f"relay failures {report.relay_failures}/{report.n_rounds}"
+    )
     return 0
 
 
@@ -198,9 +250,12 @@ def _stderr_progress(label: str = "campaign"):
         percent = int(100 * done / total) if total else 100
         if percent != state["last_percent"]:
             state["last_percent"] = percent
-            print(f"\r[{label}] {done}/{total} cells ({percent}%)",
-                  end="" if done < total else "\n",
-                  file=sys.stderr, flush=True)
+            print(
+                f"\r[{label}] {done}/{total} cells ({percent}%)",
+                end="" if done < total else "\n",
+                file=sys.stderr,
+                flush=True,
+            )
 
     return callback
 
@@ -220,6 +275,42 @@ def _parse_shard(text: str) -> tuple:
     if count < 1 or not 1 <= index <= count:
         raise ValueError(f"shard {text!r} out of range; need 1 <= I <= N")
     return index - 1, count
+
+
+def _coerce_param_value(text: str):
+    """Coerce a ``--param`` value: int, float, float list, else string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if "," in text:
+        try:
+            return tuple(float(part) for part in text.split(","))
+        except ValueError:
+            pass
+    return text
+
+
+def _parse_scenario_params(pairs) -> dict:
+    """Parse repeated ``--param key=value`` flags into factory kwargs.
+
+    Values coerce in order int → float → comma-separated float tuple →
+    raw string; dashes in keys map to underscores so flags can mirror
+    the CLI convention (``--param n-splits=6``). Raises ``ValueError``
+    on a malformed pair (no ``=``, empty key).
+    """
+    params = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        key = key.strip().replace("-", "_")
+        if not sep or not key:
+            raise ValueError(f"expected --param key=value, got {pair!r}")
+        params[key] = _coerce_param_value(value.strip())
+    return params
 
 
 def _shard_from_args(args, spec):
@@ -253,13 +344,18 @@ def _campaign_spec_from_args(args):
         raise ValueError(f"--draws must be non-negative, got {args.draws}")
     protocols = _parse_campaign_protocols(args.protocols)
     powers_db = tuple(float(p) for p in args.powers_db.split(","))
-    fading = (FadingSpec(n_draws=args.draws, seed=args.seed,
-                         k_factor=args.k_factor)
-              if args.draws > 0 else None)
+    fading = (
+        FadingSpec(n_draws=args.draws, seed=args.seed, k_factor=args.k_factor)
+        if args.draws > 0
+        else None
+    )
     if args.placements:
         return CampaignSpec.from_placements(
-            protocols, powers_db, args.placements,
-            path_loss_exponent=args.path_loss_exponent, fading=fading,
+            protocols,
+            powers_db,
+            args.placements,
+            path_loss_exponent=args.path_loss_exponent,
+            fading=fading,
         )
     return CampaignSpec(
         protocols=protocols,
@@ -275,12 +371,13 @@ def _dump_values(result, path) -> None:
 
 
 def _print_campaign_summary(result, title: str) -> None:
-    print(render_table(
-        ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
-         "median"],
-        result.summary_rows(epsilon=0.1),
-        title=title,
-    ))
+    print(
+        render_table(
+            ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage", "median"],
+            result.summary_rows(epsilon=0.1),
+            title=title,
+        )
+    )
 
 
 def _cmd_campaign(args) -> int:
@@ -291,8 +388,10 @@ def _cmd_campaign(args) -> int:
     try:
         spec = _campaign_spec_from_args(args)
         scenario = Scenario.from_campaign_spec(
-            spec, name="cli-campaign",
-            description="ad-hoc grid from repro campaign arguments")
+            spec,
+            name="cli-campaign",
+            description="ad-hoc grid from repro campaign arguments",
+        )
         shard = _shard_from_args(args, spec)
         executor_kwargs = {}
         if args.executor == "process" and args.processes:
@@ -306,17 +405,28 @@ def _cmd_campaign(args) -> int:
     label = shard.label if shard is not None else "campaign"
     progress = None if args.quiet else _stderr_progress(label)
 
-    evaluation = evaluate(scenario, executor=executor, cache=cache,
-                          progress=progress, shard=shard,
-                          chunk_size=args.chunk_size)
+    evaluation = evaluate(
+        scenario,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+        shard=shard,
+        chunk_size=args.chunk_size,
+    )
     result = evaluation.campaign
 
     if shard is None:
-        geometry = (f"{args.placements} relay placements" if args.placements
-                    else f"G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
-                         f"G_br={args.gbr_db:g} dB")
-        fading_note = (f"{spec.n_draws} draws/geometry (seed {args.seed}, "
-                       f"K={args.k_factor:g})" if spec.fading else "no fading")
+        geometry = (
+            f"{args.placements} relay placements"
+            if args.placements
+            else f"G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
+            f"G_br={args.gbr_db:g} dB"
+        )
+        fading_note = (
+            f"{spec.n_draws} draws/geometry (seed {args.seed}, K={args.k_factor:g})"
+            if spec.fading
+            else "no fading"
+        )
         _print_campaign_summary(
             result,
             f"campaign over {geometry}; {fading_note} — sum rates [bits/use]",
@@ -325,10 +435,12 @@ def _cmd_campaign(args) -> int:
     source = "cache" if result.from_cache else f"{result.executor_name} executor"
     done = result.cells_from_cache + result.cells_computed
     scope = shard.n_units if shard is not None else spec.n_units
-    print(f"{label}: {done}/{scope} cells via {source} "
-          f"in {result.elapsed_seconds:.3f} s, "
-          f"{result.cells_from_cache} from cache, "
-          f"{result.cells_computed} computed")
+    print(
+        f"{label}: {done}/{scope} cells via {source} "
+        f"in {result.elapsed_seconds:.3f} s, "
+        f"{result.cells_from_cache} from cache, "
+        f"{result.cells_computed} computed"
+    )
     print(f"spec {spec.spec_hash()}")
     if args.dump:
         _dump_values(result, args.dump)
@@ -343,8 +455,10 @@ def _cmd_gather(args) -> int:
     try:
         spec = _campaign_spec_from_args(args)
         scenario = Scenario.from_campaign_spec(
-            spec, name="cli-campaign",
-            description="ad-hoc grid from repro gather arguments")
+            spec,
+            name="cli-campaign",
+            description="ad-hoc grid from repro gather arguments",
+        )
     except ValueError as error:
         print(f"error: {error}")
         return 2
@@ -357,8 +471,10 @@ def _cmd_gather(args) -> int:
         print(f"error: {error}")
         return 1
     _print_campaign_summary(result, "gathered campaign — sum rates [bits/use]")
-    print(f"\ngathered {spec.n_units}/{spec.n_units} cells from "
-          f"{cache.directory} in {result.elapsed_seconds:.3f} s")
+    print(
+        f"\ngathered {spec.n_units}/{spec.n_units} cells from "
+        f"{cache.directory} in {result.elapsed_seconds:.3f} s"
+    )
     print(f"spec {spec.spec_hash()}")
     if args.dump:
         _dump_values(result, args.dump)
@@ -371,19 +487,28 @@ def _cmd_fairness(args) -> int:
     channel = _channel_from_args(args)
     rows = []
     for row in fairness_report(channel):
-        rows.append([
-            row.protocol.name,
-            row.sum_optimal.sum_rate,
-            row.sum_point_fairness,
-            row.equal_rate.ra,
-            row.fairness_cost,
-        ])
-    print(render_table(
-        ["protocol", "max sum rate", "Jain idx @ optimum",
-         "max equal rate", "cost of symmetry"],
-        rows,
-        title=f"fairness analysis — {channel.describe()}",
-    ))
+        rows.append(
+            [
+                row.protocol.name,
+                row.sum_optimal.sum_rate,
+                row.sum_point_fairness,
+                row.equal_rate.ra,
+                row.fairness_cost,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "protocol",
+                "max sum rate",
+                "Jain idx @ optimum",
+                "max equal rate",
+                "cost of symmetry",
+            ],
+            rows,
+            title=f"fairness analysis — {channel.describe()}",
+        )
+    )
     return 0
 
 
@@ -397,27 +522,38 @@ def _cmd_sweep(args) -> int:
         print("error: --max-db must be >= --min-db")
         return 2
     gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
-    powers = [args.min_db + i * args.step_db
-              for i in range(int((args.max_db - args.min_db) / args.step_db) + 1)]
+    powers = [
+        args.min_db + i * args.step_db
+        for i in range(int((args.max_db - args.min_db) / args.step_db) + 1)
+    ]
     sweep_rows = sweep_powers(gains, powers)
     # Columns derive from the sweep's own protocol axis, so subset sweeps
     # can never misalign with the header.
     protocols = list(sweep_rows[0].sum_rates)
     rows = []
     for row in sweep_rows:
-        ordered = [row.power_db] + [
-            row.sum_rates[p] for p in protocols
-        ] + [row.winner().name]
+        ordered = (
+            [row.power_db]
+            + [row.sum_rates[p] for p in protocols]
+            + [row.winner().name]
+        )
         rows.append(ordered)
-    print(render_table(
-        ["P [dB]"] + [p.name for p in protocols] + ["best"],
-        rows,
-        title=(f"power sweep — G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
-               f"G_br={args.gbr_db:g} dB"),
-    ))
+    print(
+        render_table(
+            ["P [dB]"] + [p.name for p in protocols] + ["best"],
+            rows,
+            title=(
+                f"power sweep — G_ab={args.gab_db:g}, G_ar={args.gar_db:g}, "
+                f"G_br={args.gbr_db:g} dB"
+            ),
+        )
+    )
     crossover = protocol_crossover_power(
-        gains, Protocol.MABC, Protocol.TDBC,
-        low_db=args.min_db, high_db=args.max_db,
+        gains,
+        Protocol.MABC,
+        Protocol.TDBC,
+        low_db=args.min_db,
+        high_db=args.max_db,
     )
     if crossover is None:
         print("\nno MABC/TDBC sum-rate crossover on this range")
@@ -431,20 +567,30 @@ def _cmd_adaptive(args) -> int:
 
     gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
     report = adaptive_sum_rate(
-        gains, db_to_linear(args.power_db), args.draws,
+        gains,
+        db_to_linear(args.power_db),
+        args.draws,
         np.random.default_rng(args.seed),
     )
-    rows = [[p.name, mean, report.selection_frequency(p)]
-            for p, mean in report.fixed_means.items()]
+    rows = [
+        [p.name, mean, report.selection_frequency(p)]
+        for p, mean in report.fixed_means.items()
+    ]
     rows.append(["ADAPTIVE", report.adaptive_mean, 1.0])
-    print(render_table(
-        ["strategy", "ergodic sum rate", "selection freq"],
-        rows,
-        title=(f"per-fade protocol selection — P={args.power_db:g} dB, "
-               f"{args.draws} Rayleigh draws"),
-    ))
-    print(f"\nadaptivity gain over best fixed protocol: "
-          f"{report.adaptivity_gain:.4f} bits/use")
+    print(
+        render_table(
+            ["strategy", "ergodic sum rate", "selection freq"],
+            rows,
+            title=(
+                f"per-fade protocol selection — P={args.power_db:g} dB, "
+                f"{args.draws} Rayleigh draws"
+            ),
+        )
+    )
+    print(
+        f"\nadaptivity gain over best fixed protocol: "
+        f"{report.adaptivity_gain:.4f} bits/use"
+    )
     return 0
 
 
@@ -462,20 +608,23 @@ def _cmd_scenarios_list(args) -> int:
     for name in list_scenarios():
         scenario = get_scenario(name)
         spec = scenario.to_campaign_spec()
-        rows.append([
-            name,
-            ",".join(p.name for p in scenario.protocols),
-            scenario.n_pairs,
-            spec.n_units,
-            scenario.objective,
-            scenario.description,
-        ])
-    print(render_table(
-        ["scenario", "protocols", "pairs", "cells", "objective",
-         "description"],
-        rows,
-        title="registered scenarios",
-    ))
+        rows.append(
+            [
+                name,
+                ",".join(p.name for p in scenario.protocols),
+                scenario.n_pairs,
+                spec.n_units,
+                scenario.objective,
+                scenario.description,
+            ]
+        )
+    print(
+        render_table(
+            ["scenario", "protocols", "pairs", "cells", "objective", "description"],
+            rows,
+            title="registered scenarios",
+        )
+    )
     return 0
 
 
@@ -495,11 +644,9 @@ def _scenario_summary(result, objective):
     be rate jargon.
     """
     if objective == "operational_fer":
-        headers = ["protocol", "P [dB]", "mean FER", "std err", "90%-tail",
-                   "median"]
+        headers = ["protocol", "P [dB]", "mean FER", "std err", "90%-tail", "median"]
         return headers, result.summary_rows(epsilon=0.9)
-    headers = ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage",
-               "median"]
+    headers = ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage", "median"]
     return headers, result.summary_rows(epsilon=0.1)
 
 
@@ -509,7 +656,8 @@ def _cmd_scenarios_run(args) -> int:
     from .scenarios import get_scenario
 
     try:
-        scenario = get_scenario(args.name)
+        params = _parse_scenario_params(args.param)
+        scenario = get_scenario(args.name, **params)
         spec = scenario.to_campaign_spec()
         shard = _shard_from_args(args, spec)
     except ValueError as error:
@@ -518,36 +666,47 @@ def _cmd_scenarios_run(args) -> int:
     cache = False if args.no_cache else CampaignCache(args.cache_dir)
     label = shard.label if shard is not None else args.name
     progress = None if args.quiet else _stderr_progress(label)
-    result = evaluate(scenario, executor=args.executor, cache=cache,
-                      progress=progress, shard=shard,
-                      chunk_size=args.chunk_size)
+    result = evaluate(
+        scenario,
+        executor=args.executor,
+        cache=cache,
+        progress=progress,
+        shard=shard,
+        chunk_size=args.chunk_size,
+    )
     units = _OBJECTIVE_UNITS.get(scenario.objective, "sum rates [bits/use]")
     if shard is None:
         headers, rows = _scenario_summary(result, scenario.objective)
-        print(render_table(
-            headers,
-            rows,
-            title=(f"scenario {scenario.name}: {scenario.description} — "
-                   f"{units}"),
-        ))
+        print(
+            render_table(
+                headers,
+                rows,
+                title=(f"scenario {scenario.name}: {scenario.description} — {units}"),
+            )
+        )
         if scenario.objective == "round_robin_sum_rate":
             print()
-            print(render_table(
-                ["protocol", "P [dB]", f"mean {scenario.objective}"],
-                result.objective_rows(),
-                title=(f"objective {scenario.objective} over "
-                       f"{scenario.n_pairs} pairs"),
-            ))
+            print(
+                render_table(
+                    ["protocol", "P [dB]", f"mean {scenario.objective}"],
+                    result.objective_rows(),
+                    title=(
+                        f"objective {scenario.objective} over "
+                        f"{scenario.n_pairs} pairs"
+                    ),
+                )
+            )
         print()
     campaign = result.campaign
-    source = ("cache" if result.from_cache
-              else f"{result.executor_name} executor")
+    source = "cache" if result.from_cache else f"{result.executor_name} executor"
     done = campaign.cells_from_cache + campaign.cells_computed
     scope = shard.n_units if shard is not None else spec.n_units
-    print(f"{label}: {done}/{scope} cells via {source} "
-          f"in {result.elapsed_seconds:.3f} s, "
-          f"{campaign.cells_from_cache} from cache, "
-          f"{campaign.cells_computed} computed")
+    print(
+        f"{label}: {done}/{scope} cells via {source} "
+        f"in {result.elapsed_seconds:.3f} s, "
+        f"{campaign.cells_from_cache} from cache, "
+        f"{campaign.cells_computed} computed"
+    )
     print(f"spec {spec.spec_hash()}")
     if args.dump:
         _dump_values(result, args.dump)
@@ -575,13 +734,17 @@ def _cmd_scenarios_gather(args) -> int:
     spec = result.spec
     units = _OBJECTIVE_UNITS.get(scenario.objective, "sum rates [bits/use]")
     headers, rows = _scenario_summary(result, scenario.objective)
-    print(render_table(
-        headers,
-        rows,
-        title=f"gathered scenario {scenario.name} — {units}",
-    ))
-    print(f"\ngathered {spec.n_units}/{spec.n_units} cells from "
-          f"{cache.directory} in {result.elapsed_seconds:.3f} s")
+    print(
+        render_table(
+            headers,
+            rows,
+            title=f"gathered scenario {scenario.name} — {units}",
+        )
+    )
+    print(
+        f"\ngathered {spec.n_units}/{spec.n_units} cells from "
+        f"{cache.directory} in {result.elapsed_seconds:.3f} s"
+    )
     print(f"spec {spec.spec_hash()}")
     if args.dump:
         _dump_values(result, args.dump)
@@ -721,47 +884,77 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
     to line up, so the grid vocabulary is defined once.
     """
     parser.add_argument(
-        "--protocols", default="dt,mabc,tdbc,hbc",
-        help="comma-separated protocol names, or 'all' "
-             "(default dt,mabc,tdbc,hbc)",
+        "--protocols",
+        default="dt,mabc,tdbc,hbc",
+        help="comma-separated protocol names, or 'all' (default dt,mabc,tdbc,hbc)",
     )
     parser.add_argument(
-        "--powers-db", default="10",
+        "--powers-db",
+        default="10",
         help="comma-separated transmit powers in dB (default '10')",
     )
     parser.add_argument(
-        "--placements", type=int, default=0, metavar="N",
+        "--placements",
+        type=int,
+        default=0,
+        metavar="N",
         help="sweep N relay placements along the a-b segment instead of "
-             "using the --g*-db gains",
+        "using the --g*-db gains",
     )
     parser.add_argument(
-        "--path-loss-exponent", type=float, default=3.0,
+        "--path-loss-exponent",
+        type=float,
+        default=3.0,
         help="path-loss exponent of the placement sweep (default 3)",
     )
     parser.add_argument(
-        "--draws", type=int, default=100,
-        help="fading draws per geometry; 0 evaluates the means "
-             "(default 100)",
+        "--draws",
+        type=int,
+        default=100,
+        help="fading draws per geometry; 0 evaluates the means (default 100)",
     )
-    parser.add_argument("--seed", type=int, default=0,
-                        help="fading ensemble seed (default 0)")
-    parser.add_argument("--k-factor", type=float, default=0.0,
-                        help="Rician K-factor (default 0 = Rayleigh)")
     parser.add_argument(
-        "--cache-dir", default=None,
+        "--seed",
+        type=int,
+        default=0,
+        help="fading ensemble seed (default 0)",
+    )
+    parser.add_argument(
+        "--k-factor",
+        type=float,
+        default=0.0,
+        help="Rician K-factor (default 0 = Rayleigh)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
         help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
-             "~/.cache/repro/campaigns)",
+        "~/.cache/repro/campaigns)",
     )
     parser.add_argument(
-        "--dump", default=None, metavar="PATH",
+        "--dump",
+        default=None,
+        metavar="PATH",
         help="also write the raw result array to PATH via np.save",
     )
-    parser.add_argument("--gab-db", type=float, default=-7.0,
-                        help="direct-link gain G_ab in dB (default -7)")
-    parser.add_argument("--gar-db", type=float, default=0.0,
-                        help="a-relay gain G_ar in dB (default 0)")
-    parser.add_argument("--gbr-db", type=float, default=5.0,
-                        help="b-relay gain G_br in dB (default 5)")
+    parser.add_argument(
+        "--gab-db",
+        type=float,
+        default=-7.0,
+        help="direct-link gain G_ab in dB (default -7)",
+    )
+    parser.add_argument(
+        "--gar-db",
+        type=float,
+        default=0.0,
+        help="a-relay gain G_ar in dB (default 0)",
+    )
+    parser.add_argument(
+        "--gbr-db",
+        type=float,
+        default=5.0,
+        help="b-relay gain G_br in dB (default 5)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -777,18 +970,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig3.set_defaults(func=_cmd_fig3)
 
     p_fig4 = sub.add_parser("fig4", help="regenerate the paper's Fig. 4")
-    p_fig4.add_argument("--power-db", type=float, default=None,
-                        help="panel power in dB (omit to run both panels)")
+    p_fig4.add_argument(
+        "--power-db",
+        type=float,
+        default=None,
+        help="panel power in dB (omit to run both panels)",
+    )
     p_fig4.add_argument("--csv-dir", default=None, help="also write CSV tables here")
     p_fig4.set_defaults(func=_cmd_fig4)
 
     p_region = sub.add_parser("region", help="trace a protocol's rate region")
-    p_region.add_argument("--protocol", required=True,
-                          choices=[p.value for p in Protocol])
-    p_region.add_argument("--outer", action="store_true",
-                          help="trace the outer bound instead of the inner")
-    p_region.add_argument("--points", type=int, default=17,
-                          help="number of boundary directions (default 17)")
+    p_region.add_argument(
+        "--protocol",
+        required=True,
+        choices=[p.value for p in Protocol],
+    )
+    p_region.add_argument(
+        "--outer",
+        action="store_true",
+        help="trace the outer bound instead of the inner",
+    )
+    p_region.add_argument(
+        "--points",
+        type=int,
+        default=17,
+        help="number of boundary directions (default 17)",
+    )
     _add_channel_arguments(p_region)
     p_region.set_defaults(func=_cmd_region)
 
@@ -797,21 +1004,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sumrate.set_defaults(func=_cmd_sumrate)
 
     p_sim = sub.add_parser("simulate", help="run the link-level simulator")
-    p_sim.add_argument("--protocol", required=True,
-                       choices=[p.value for p in Protocol])
+    p_sim.add_argument(
+        "--protocol",
+        required=True,
+        choices=[p.value for p in Protocol],
+    )
     p_sim.add_argument("--rounds", type=int, default=100)
     p_sim.add_argument("--payload-bits", type=int, default=128)
     p_sim.add_argument("--seed", type=int, default=0)
-    p_sim.add_argument("--reference", action="store_true",
-                       help="run the per-round reference loop instead of "
-                            "the batched kernel (identical results)")
-    p_sim.add_argument("--target-rel-error", type=float, default=None,
-                       help="adaptive budget: stop once the FER estimate's "
-                            "relative std error meets this target "
-                            "(requires --max-rounds)")
-    p_sim.add_argument("--max-rounds", type=int, default=None,
-                       help="adaptive budget: hard cap on rounds when "
-                            "--target-rel-error is set")
+    p_sim.add_argument(
+        "--reference",
+        action="store_true",
+        help="run the per-round reference loop instead of the batched "
+        "kernel (identical results)",
+    )
+    p_sim.add_argument(
+        "--target-rel-error",
+        type=float,
+        default=None,
+        help="adaptive budget: stop once the FER estimate's relative "
+        "std error meets this target (requires --max-rounds)",
+    )
+    p_sim.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="adaptive budget: hard cap on rounds when --target-rel-error is set",
+    )
     _add_channel_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -823,7 +1042,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate the Section IV fading ensemble statistics",
     )
     p_fading.add_argument(
-        "--executor", default=None,
+        "--executor",
+        default=None,
         choices=["serial", "process", "vectorized", "async"],
         help="campaign executor (default vectorized)",
     )
@@ -838,7 +1058,9 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="table of every registered scenario"
     )
     p_scn_list.add_argument(
-        "--json", dest="as_json", action="store_true",
+        "--json",
+        dest="as_json",
+        action="store_true",
         help="emit the catalog entries as JSON instead of a table",
     )
     p_scn_list.set_defaults(func=_cmd_scenarios_list)
@@ -848,11 +1070,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     catalog_mode = p_scn_catalog.add_mutually_exclusive_group()
     catalog_mode.add_argument(
-        "--write", default=None, metavar="PATH",
+        "--write",
+        default=None,
+        metavar="PATH",
         help="regenerate the catalog page at PATH (docs/scenarios.md)",
     )
     catalog_mode.add_argument(
-        "--check", default=None, metavar="PATH",
+        "--check",
+        default=None,
+        metavar="PATH",
         help="exit non-zero if the committed catalog at PATH is stale",
     )
     p_scn_catalog.set_defaults(func=_cmd_scenarios_catalog)
@@ -861,46 +1087,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scn_run.add_argument("name", help="registered scenario name")
     p_scn_run.add_argument(
-        "--executor", default=None,
+        "--executor",
+        default=None,
         choices=["serial", "process", "vectorized", "async"],
         help="campaign executor (default vectorized)",
     )
     p_scn_run.add_argument(
-        "--shard", default=None, metavar="I/N",
-        help="evaluate only slice I of N (1-based) of the scenario's flat "
-             "grid; shards coordinate through the shared cache directory",
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="forward a factory parameter to a parameterized scenario "
+        "(repeatable); values coerce int, then float, then "
+        "comma-separated floats, else string",
     )
     p_scn_run.add_argument(
-        "--chunk-size", type=int, default=None, metavar="CELLS",
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="evaluate only slice I of N (1-based) of the scenario's flat "
+        "grid; shards coordinate through the shared cache directory",
+    )
+    p_scn_run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="CELLS",
         help="checkpoint granularity in grid cells (default 256)",
     )
     p_scn_run.add_argument(
-        "--cache-dir", default=None,
+        "--cache-dir",
+        default=None,
         help="result cache directory (default $REPRO_CAMPAIGN_CACHE or "
-             "~/.cache/repro/campaigns)",
+        "~/.cache/repro/campaigns)",
     )
-    p_scn_run.add_argument("--no-cache", action="store_true",
-                           help="disable the result cache")
-    p_scn_run.add_argument("--quiet", action="store_true",
-                           help="suppress the progress meter")
     p_scn_run.add_argument(
-        "--dump", default=None, metavar="PATH",
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache",
+    )
+    p_scn_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress meter",
+    )
+    p_scn_run.add_argument(
+        "--dump",
+        default=None,
+        metavar="PATH",
         help="also write the raw result array to PATH via np.save",
     )
     p_scn_run.set_defaults(func=_cmd_scenarios_run)
     p_scn_gather = scenario_sub.add_parser(
         "gather",
-        help="merge a sharded scenario's chunk artifacts into its full "
-             "result",
+        help="merge a sharded scenario's chunk artifacts into its full result",
     )
     p_scn_gather.add_argument("name", help="registered scenario name")
     p_scn_gather.add_argument(
-        "--cache-dir", default=None,
+        "--cache-dir",
+        default=None,
         help="cache directory holding the shard artifacts (default "
-             "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro/campaigns)",
+        "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro/campaigns)",
     )
     p_scn_gather.add_argument(
-        "--dump", default=None, metavar="PATH",
+        "--dump",
+        default=None,
+        metavar="PATH",
         help="also write the raw result array to PATH via np.save",
     )
     p_scn_gather.set_defaults(func=_cmd_scenarios_gather)
@@ -911,27 +1163,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_grid_arguments(p_campaign)
     p_campaign.add_argument(
-        "--executor", default="vectorized",
+        "--executor",
+        default="vectorized",
         choices=["serial", "process", "vectorized", "async"],
         help="execution backend (default vectorized)",
     )
     p_campaign.add_argument(
-        "--processes", type=int, default=0,
+        "--processes",
+        type=int,
+        default=0,
         help="worker count for --executor process (default: cpu count)",
     )
     p_campaign.add_argument(
-        "--shard", default=None, metavar="I/N",
+        "--shard",
+        default=None,
+        metavar="I/N",
         help="evaluate only slice I of N (1-based) of the flat grid; "
-             "shards coordinate through the shared cache directory",
+        "shards coordinate through the shared cache directory",
     )
     p_campaign.add_argument(
-        "--chunk-size", type=int, default=None, metavar="CELLS",
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="CELLS",
         help="checkpoint granularity in grid cells (default 256)",
     )
-    p_campaign.add_argument("--no-cache", action="store_true",
-                            help="disable the result cache")
-    p_campaign.add_argument("--quiet", action="store_true",
-                            help="suppress the progress meter")
+    p_campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache",
+    )
+    p_campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress meter",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_gather = sub.add_parser(
@@ -946,39 +1212,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the campaign evaluation daemon on a Unix socket",
     )
     p_serve.add_argument(
-        "--socket", required=True, metavar="PATH",
+        "--socket",
+        required=True,
+        metavar="PATH",
         help="Unix-domain socket path to listen on",
     )
     p_serve.add_argument(
-        "--executor", default="async",
+        "--executor",
+        default="async",
         choices=["serial", "process", "vectorized", "async"],
         help="default campaign executor for served jobs (default async: "
-             "one shared worker pool, chunks steal across requests)",
+        "one shared worker pool, chunks steal across requests)",
     )
     p_serve.add_argument(
-        "--processes", type=int, default=0,
+        "--processes",
+        type=int,
+        default=0,
         help="worker count of the async pool (default: cpu count)",
     )
     p_serve.add_argument(
-        "--max-pending", type=int, default=4,
-        help="bound on in-flight jobs; excess requests get a 'busy' "
-             "error (default 4)",
+        "--max-pending",
+        type=int,
+        default=4,
+        help="bound on in-flight jobs; excess requests get a 'busy' error (default 4)",
     )
     p_serve.add_argument(
-        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
         help="default per-request deadline (default: none)",
     )
     p_serve.add_argument(
-        "--chunk-size", type=int, default=None, metavar="CELLS",
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="CELLS",
         help="default checkpoint granularity for served jobs",
     )
     p_serve.add_argument(
-        "--cache-dir", default=None,
+        "--cache-dir",
+        default=None,
         help="content-addressed cache directory (default "
-             "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro/campaigns)",
+        "$REPRO_CAMPAIGN_CACHE or ~/.cache/repro/campaigns)",
     )
     p_serve.add_argument(
-        "--no-cache", action="store_true",
+        "--no-cache",
+        action="store_true",
         help="serve compute-only, without the content-addressed cache",
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -988,11 +1268,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="talk to a running 'repro serve' daemon",
     )
     p_client.add_argument(
-        "--socket", required=True, metavar="PATH",
+        "--socket",
+        required=True,
+        metavar="PATH",
         help="Unix-domain socket path of the daemon",
     )
     p_client.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
         help="client-side socket timeout (default: wait indefinitely)",
     )
     client_sub = p_client.add_subparsers(dest="action", required=True)
@@ -1001,22 +1286,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_client_run.add_argument("name", help="registered scenario name")
     p_client_run.add_argument(
-        "--executor", default=None,
+        "--executor",
+        default=None,
         choices=["serial", "process", "vectorized", "async"],
         help="override the daemon's default executor for this job",
     )
     p_client_run.add_argument(
-        "--chunk-size", type=int, default=None, metavar="CELLS",
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="CELLS",
         help="override the daemon's checkpoint granularity",
     )
     p_client_run.add_argument(
-        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
         help="server-side deadline for this request",
     )
-    p_client_run.add_argument("--quiet", action="store_true",
-                              help="suppress the progress meter")
     p_client_run.add_argument(
-        "--dump", default=None, metavar="PATH",
+        "--quiet",
+        action="store_true",
+        help="suppress the progress meter",
+    )
+    p_client_run.add_argument(
+        "--dump",
+        default=None,
+        metavar="PATH",
         help="also write the served result array to PATH via np.save",
     )
     client_sub.add_parser("ping", help="liveness probe")

@@ -21,7 +21,14 @@ from dataclasses import dataclass
 from ..exceptions import InvalidParameterError
 from .protocols import Protocol
 
-__all__ = ["MiKey", "LinearForm", "BoundConstraint", "BoundSpec", "BoundKind"]
+__all__ = [
+    "MiKey",
+    "LinearForm",
+    "BoundConstraint",
+    "BoundSpec",
+    "BoundKind",
+    "transmitter_for",
+]
 
 
 class MiKey(enum.Enum):
@@ -44,6 +51,48 @@ class MiKey(enum.Enum):
     CUT_A_RB = "a-rb"
     #: Cut from ``b`` to both listeners: ``I(X_b; Y_r, Y_a)`` (SIMO).
     CUT_B_RA = "b-ra"
+
+
+#: Endpoint nodes of each single-link key; used to resolve which node is
+#: transmitting in a given phase (the other endpoint listens).
+_LINK_ENDPOINTS = {
+    MiKey.LINK_AR: frozenset({"a", "r"}),
+    MiKey.LINK_BR: frozenset({"b", "r"}),
+    MiKey.LINK_AB: frozenset({"a", "b"}),
+}
+
+
+def transmitter_for(key: MiKey, transmitters: frozenset) -> str:
+    """Node(s) whose transmit power scales an MI term in a given phase.
+
+    Under per-node (asymmetric) transmit powers, each mutual-information
+    term is driven by the power of whichever node is *sending* during the
+    phase the term is evaluated in. ``transmitters`` is the phase's
+    transmitter set from
+    :func:`repro.core.protocols.protocol_phases`. The resolution is:
+
+    - single-link keys resolve to the unique link endpoint that is
+      transmitting in the phase (an error if zero or both endpoints
+      transmit — no theorem bound ever does that);
+    - :attr:`MiKey.MAC_SUM` is the two-source multiple access sum,
+      resolved to ``"ab"``;
+    - the SIMO cut keys are driven by their source terminal:
+      :attr:`MiKey.CUT_A_RB` → ``"a"``, :attr:`MiKey.CUT_B_RA` → ``"b"``.
+    """
+    if key is MiKey.MAC_SUM:
+        return "ab"
+    if key is MiKey.CUT_A_RB:
+        return "a"
+    if key is MiKey.CUT_B_RA:
+        return "b"
+    active = _LINK_ENDPOINTS[key] & transmitters
+    if len(active) != 1:
+        raise InvalidParameterError(
+            f"cannot resolve transmitter for {key!r}: endpoints "
+            f"{sorted(_LINK_ENDPOINTS[key])} vs phase transmitters "
+            f"{sorted(transmitters)}"
+        )
+    return next(iter(active))
 
 
 class BoundKind(enum.Enum):

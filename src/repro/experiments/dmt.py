@@ -1,0 +1,156 @@
+"""Finite-SNR diversity-multiplexing curves from outage ensembles.
+
+The asymptotic diversity-multiplexing tradeoff hides everything an
+operator cares about at deployable powers; Narasimhan's finite-SNR
+refinement (followed into the bidirectional setting by arXiv:0810.2746)
+keeps the SNR in the definition::
+
+    R(r)      = r * log2(1 + SNR)          # target sum rate
+    P_out(r)  = Pr[ sum_rate < R(r) ]      # over the fading ensemble
+    d(r, SNR) = -ln(P_out(r)) / ln(SNR)    # finite-SNR diversity gain
+
+:func:`finite_snr_dmt` post-processes one ``(protocol, power)`` slice of
+a ``finite-snr-dmt`` scenario evaluation — the fading ensemble is drawn
+once by the campaign engine (cached, shardable), and every multiplexing
+gain is a pure reduction over the same samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.protocols import Protocol
+from ..exceptions import InvalidParameterError
+from ..information.functions import db_to_linear
+
+__all__ = ["DmtCurve", "finite_snr_dmt", "DEFAULT_MULTIPLEXING_GAINS"]
+
+#: Default multiplexing-gain grid: fractions of ``log2(1 + SNR)`` the
+#: two-way sum rate is asked to sustain.
+DEFAULT_MULTIPLEXING_GAINS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class DmtCurve:
+    """One protocol's finite-SNR diversity curve at one operating power.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol the curve describes.
+    power_db:
+        Operating power (dB); ``snr`` is its linear value.
+    snr:
+        Linear SNR used in both the rate target and the diversity
+        normalization.
+    multiplexing_gains:
+        The multiplexing-gain grid ``r``.
+    target_rates:
+        ``r * log2(1 + SNR)`` per grid point (bits/use).
+    outage_probabilities:
+        Empirical ``P_out`` per grid point over the fading ensemble.
+    diversity_gains:
+        ``-ln(P_out) / ln(SNR)`` per grid point; ``inf`` where the
+        ensemble recorded no outage at all.
+    n_draws:
+        Ensemble size behind the empirical probabilities.
+    """
+
+    protocol: Protocol
+    power_db: float
+    snr: float
+    multiplexing_gains: tuple
+    target_rates: tuple
+    outage_probabilities: tuple
+    diversity_gains: tuple
+    n_draws: int
+
+    def rows(self) -> list:
+        """``[r, R(r), P_out, d]`` table rows for reports."""
+        return [
+            [float(r), float(rate), float(p_out), float(d)]
+            for r, rate, p_out, d in zip(
+                self.multiplexing_gains,
+                self.target_rates,
+                self.outage_probabilities,
+                self.diversity_gains,
+            )
+        ]
+
+
+def finite_snr_dmt(
+    result,
+    protocol: Protocol,
+    power_db: float,
+    multiplexing_gains=DEFAULT_MULTIPLEXING_GAINS,
+) -> DmtCurve:
+    """Finite-SNR DMT curve of one ``(protocol, power)`` ensemble slice.
+
+    Parameters
+    ----------
+    result:
+        An :class:`~repro.scenarios.result.EvaluationResult` of a
+        fading-ensemble scenario (canonically ``finite-snr-dmt``).
+    protocol:
+        Which protocol's slice to reduce.
+    power_db:
+        Which power-axis point to reduce (must be ``> 0`` dB so that
+        ``ln(SNR) > 0`` and the diversity normalization is meaningful).
+    multiplexing_gains:
+        Positive multiplexing gains ``r`` to evaluate.
+    """
+    spec = result.spec
+    if protocol not in spec.protocols:
+        raise InvalidParameterError(
+            f"{protocol} not in the evaluated protocols {spec.protocols}"
+        )
+    if result.scenario.fading is None:
+        raise InvalidParameterError(
+            "finite-SNR DMT needs a fading ensemble; the scenario "
+            f"{result.scenario.name!r} is deterministic"
+        )
+    power_db = float(power_db)
+    if power_db <= 0.0:
+        raise InvalidParameterError(
+            f"power_db must be positive for the ln(SNR) normalization, "
+            f"got {power_db}"
+        )
+    try:
+        power_index = spec.powers_db.index(power_db)
+    except ValueError:
+        raise InvalidParameterError(
+            f"power {power_db} dB not on the grid {spec.powers_db}"
+        ) from None
+    gains = tuple(float(r) for r in multiplexing_gains)
+    if not gains or any(r <= 0.0 for r in gains):
+        raise InvalidParameterError(
+            f"multiplexing gains must be positive, got {multiplexing_gains!r}"
+        )
+    snr = db_to_linear(power_db)
+    protocol_index = spec.protocols.index(protocol)
+    samples = np.moveaxis(
+        result.values, result.axis_index("draw"), -1
+    )[protocol_index, power_index].reshape(-1)
+    target_rates = tuple(float(r) * np.log2(1.0 + snr) for r in gains)
+    outage = tuple(
+        float(np.count_nonzero(samples < rate)) / samples.size
+        for rate in target_rates
+    )
+    diversity = tuple(
+        float("inf")
+        if p_out == 0.0
+        else -float(np.log(p_out)) / float(np.log(snr)) + 0.0
+        for p_out in outage
+    )
+    return DmtCurve(
+        protocol=protocol,
+        power_db=power_db,
+        snr=float(snr),
+        multiplexing_gains=gains,
+        target_rates=tuple(float(rate) for rate in target_rates),
+        outage_probabilities=outage,
+        diversity_gains=diversity,
+        n_draws=samples.size,
+    )

@@ -49,7 +49,9 @@ class LinearProgram:
             matrix = getattr(self, name)
             vector = getattr(self, "b" + name[1:])
             if (matrix is None) != (vector is None):
-                raise InvalidParameterError(f"{name} and its rhs must be given together")
+                raise InvalidParameterError(
+                    f"{name} and its rhs must be given together"
+                )
             if matrix is not None:
                 matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
                 vector = np.atleast_1d(np.asarray(vector, dtype=float))
@@ -125,4 +127,8 @@ def solve_lp(problem: LinearProgram, *, backend: str = DEFAULT_BACKEND) -> LpRes
         raise UnboundedProblemError(f"scipy reports unbounded LP: {result.message}")
     if not result.success:  # pragma: no cover - other statuses are rare
         raise InvalidParameterError(f"scipy LP failed: {result.message}")
-    return LpResult(x=np.asarray(result.x), objective=float(result.fun), backend=backend)
+    return LpResult(
+        x=np.asarray(result.x),
+        objective=float(result.fun),
+        backend=backend,
+    )

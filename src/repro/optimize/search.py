@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["ScalarSearchResult", "golden_section_maximize", "grid_maximize", "find_crossover"]
+__all__ = [
+    "ScalarSearchResult",
+    "golden_section_maximize",
+    "grid_maximize",
+    "find_crossover",
+]
 
 _INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
 
@@ -28,9 +33,14 @@ class ScalarSearchResult:
     evaluations: int
 
 
-def golden_section_maximize(fn: Callable[[float], float], lo: float, hi: float,
-                            *, tol: float = 1e-9,
-                            max_iter: int = 200) -> ScalarSearchResult:
+def golden_section_maximize(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> ScalarSearchResult:
     """Maximize a unimodal function on ``[lo, hi]`` by golden-section search.
 
     For non-unimodal objectives the result is a local maximum; use
@@ -61,8 +71,14 @@ def golden_section_maximize(fn: Callable[[float], float], lo: float, hi: float,
     return ScalarSearchResult(x=x, value=max(fc, fd), evaluations=evaluations)
 
 
-def grid_maximize(fn: Callable[[float], float], lo: float, hi: float,
-                  *, n_points: int = 101, refinements: int = 3) -> ScalarSearchResult:
+def grid_maximize(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    n_points: int = 101,
+    refinements: int = 3,
+) -> ScalarSearchResult:
     """Maximize on ``[lo, hi]`` by iteratively refined uniform grids.
 
     Each refinement zooms into the two grid cells surrounding the incumbent
@@ -93,8 +109,14 @@ def grid_maximize(fn: Callable[[float], float], lo: float, hi: float,
     return ScalarSearchResult(x=best_x, value=best_v, evaluations=evaluations)
 
 
-def find_crossover(fn: Callable[[float], float], lo: float, hi: float,
-                   *, tol: float = 1e-9, max_iter: int = 200) -> float:
+def find_crossover(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float:
     """Find a sign change of ``fn`` on ``[lo, hi]`` by bisection.
 
     Used to locate protocol crossover points, e.g. the SNR where

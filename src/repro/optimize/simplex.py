@@ -30,7 +30,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import InfeasibleProblemError, InvalidParameterError, UnboundedProblemError
+from ..exceptions import (
+    InfeasibleProblemError,
+    InvalidParameterError,
+    UnboundedProblemError,
+)
 
 __all__ = ["SimplexSolution", "simplex_solve"]
 
@@ -55,8 +59,12 @@ def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
     basis[row] = col
 
 
-def _run_simplex(tableau: np.ndarray, basis: np.ndarray, n_cols: int,
-                 max_iter: int) -> int:
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    n_cols: int,
+    max_iter: int,
+) -> int:
     """Run simplex iterations on a tableau whose last row is the objective.
 
     The objective row stores reduced costs; we minimize, so we pivot while a
@@ -99,11 +107,15 @@ def _run_simplex(tableau: np.ndarray, basis: np.ndarray, n_cols: int,
             )
 
 
-def simplex_solve(c: np.ndarray, a_ub: np.ndarray | None = None,
-                  b_ub: np.ndarray | None = None,
-                  a_eq: np.ndarray | None = None,
-                  b_eq: np.ndarray | None = None,
-                  *, max_iter: int = 10_000) -> SimplexSolution:
+def simplex_solve(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    *,
+    max_iter: int = 10_000,
+) -> SimplexSolution:
     """Minimize ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``, ``x >= 0``.
 
     Raises
@@ -151,7 +163,9 @@ def simplex_solve(c: np.ndarray, a_ub: np.ndarray | None = None,
         # Unconstrained except x >= 0: optimum is x = 0 unless some cost is
         # negative, in which case the problem is unbounded.
         if np.any(c < -_TOL):
-            raise UnboundedProblemError("no constraints and a negative cost coefficient")
+            raise UnboundedProblemError(
+                "no constraints and a negative cost coefficient"
+            )
         return SimplexSolution(x=np.zeros(n), objective=0.0, iterations=0)
 
     # Assemble [A | slack | artificial | rhs]; one slack per <= row, one
@@ -176,7 +190,7 @@ def simplex_solve(c: np.ndarray, a_ub: np.ndarray | None = None,
         basis[i] = n + n_slack + i
 
     # Phase 1: minimize the sum of artificials.
-    tableau[-1, n + n_slack:n + n_slack + m] = 1.0
+    tableau[-1, n + n_slack : n + n_slack + m] = 1.0
     for i in range(m):
         tableau[-1] -= tableau[i]
     it1 = _run_simplex(tableau, basis, total_cols, max_iter)
@@ -199,7 +213,7 @@ def simplex_solve(c: np.ndarray, a_ub: np.ndarray | None = None,
 
     # Phase 2: restore the true objective, zero out artificial columns.
     n_usable = n + n_slack
-    tableau[:, n_usable:n_usable + m] = 0.0  # forbid artificials from re-entering
+    tableau[:, n_usable : n_usable + m] = 0.0  # forbid artificials from re-entering
     tableau[-1, :] = 0.0
     tableau[-1, :n] = c
     for i in range(m):

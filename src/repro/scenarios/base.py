@@ -24,12 +24,15 @@ backoffs applied on top of the swept base powers.
 
 from __future__ import annotations
 
+import warnings
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 from ..campaign.spec import CampaignSpec, FadingSpec, GridAxis, LinkSimSpec
 from ..channels.gains import LinkGains
 from ..core.protocols import Protocol
 from ..exceptions import InvalidParameterError
+from ..information.functions import linear_to_db
 
 __all__ = ["RelayPair", "Topology", "PowerPolicy", "Scenario", "OBJECTIVES"]
 
@@ -50,12 +53,17 @@ __all__ = ["RelayPair", "Topology", "PowerPolicy", "Scenario", "OBJECTIVES"]
 #:   directions on every grid cell (``LinkSimSpec.metric = "fer"``): the
 #:   link-level reliability counterpart of ``operational_goodput``, the
 #:   natural objective for fading FER studies with adaptive round
-#:   budgets (``LinkSimSpec.target_rel_error``).
+#:   budgets (``LinkSimSpec.target_rel_error``);
+#: * ``allocation_optimum_sum_rate`` — the best achievable sum rate over
+#:   the scenario's ``power_allocation`` axis: the per-cell LP-optimal
+#:   sum rates reduced by ``max`` along that axis, reporting the optimum
+#:   power split of every remaining grid cell (arXiv:0810.2746).
 OBJECTIVES = (
     "sum_rate",
     "round_robin_sum_rate",
     "operational_goodput",
     "operational_fer",
+    "allocation_optimum_sum_rate",
 )
 
 #: Operational objectives and the :class:`LinkSimSpec` metric each reports.
@@ -166,20 +174,43 @@ class Topology:
         )
 
 
+#: Set while a :class:`PowerPolicy` factory classmethod is constructing an
+#: instance; direct ``PowerPolicy(...)`` calls (the pre-allocation API)
+#: see the default and emit a :class:`DeprecationWarning`.
+_POLICY_FACTORY: ContextVar[bool] = ContextVar("_POLICY_FACTORY", default=False)
+
+
 @dataclass(frozen=True)
 class PowerPolicy:
-    """Transmit-power policy: base power sweep plus an optional policy axis.
+    """Transmit-power policy: base sweep, policy backoffs, allocations.
+
+    Construct through the factory classmethods — :meth:`uniform` (every
+    node at the swept power, the paper's model), :meth:`per_node`
+    (explicit per-node dB offsets) or :meth:`sum_constrained` (splits of
+    a total-power budget, arXiv:0810.2746). The bare constructor is the
+    deprecated pre-allocation API; it still works (as ``uniform``) but
+    warns.
 
     Attributes
     ----------
     powers_db:
-        Per-node base transmit powers in dB (the classic ``power`` axis).
+        Base transmit powers in dB (the classic ``power`` axis). For a
+        sum-constrained policy these are the *total* budgets.
     offsets_db:
         Policy backoffs/boosts in dB applied on top of every base power.
         More than one value (or any non-zero value) adds an extensible
         ``power_policy`` axis to the grid.
     offset_labels:
         Optional labels for the policy axis values.
+    allocations_db:
+        Optional per-node ``(a, b, r)`` dB offsets — the power-allocation
+        candidates. More than one allocation (or any non-zero one) adds
+        an extensible ``power_allocation`` axis to the grid; ``None``
+        (the default) keeps the classic one-shared-power model and the
+        classic spec hash.
+    allocation_labels:
+        Optional labels for the allocation axis values (e.g. the split
+        fractions a sum-constrained policy was built from).
     name:
         Operator-facing policy name (e.g. ``"fixed"``, ``"backoff"``).
     """
@@ -188,8 +219,18 @@ class PowerPolicy:
     offsets_db: tuple = (0.0,)
     offset_labels: tuple | None = None
     name: str = "fixed"
+    allocations_db: tuple | None = None
+    allocation_labels: tuple | None = None
 
     def __post_init__(self) -> None:
+        if not _POLICY_FACTORY.get():
+            warnings.warn(
+                "constructing PowerPolicy directly is deprecated; use "
+                "PowerPolicy.uniform, PowerPolicy.per_node or "
+                "PowerPolicy.sum_constrained",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         powers = tuple(float(p) for p in self.powers_db)
         offsets = tuple(float(x) for x in self.offsets_db)
         object.__setattr__(self, "powers_db", powers)
@@ -205,6 +246,127 @@ class PowerPolicy:
             raise InvalidParameterError("at least one power point required")
         if not offsets:
             raise InvalidParameterError("at least one policy offset required")
+        if self.allocations_db is not None:
+            allocations = tuple(
+                tuple(float(x) for x in allocation)
+                for allocation in self.allocations_db
+            )
+            object.__setattr__(self, "allocations_db", allocations)
+            if not allocations:
+                raise InvalidParameterError(
+                    "at least one power allocation required (or None)"
+                )
+            for allocation in allocations:
+                if len(allocation) != 3:
+                    raise InvalidParameterError(
+                        f"an allocation needs one dB offset per node "
+                        f"(a, b, r), got {allocation!r}"
+                    )
+        if self.allocation_labels is not None:
+            if self.allocations_db is None:
+                raise InvalidParameterError(
+                    "allocation labels require allocations"
+                )
+            labels = tuple(str(label) for label in self.allocation_labels)
+            object.__setattr__(self, "allocation_labels", labels)
+            if len(labels) != len(self.allocations_db):
+                raise InvalidParameterError(
+                    f"{len(self.allocations_db)} allocations but "
+                    f"{len(labels)} allocation labels"
+                )
+
+    @classmethod
+    def _build(cls, **kwargs) -> "PowerPolicy":
+        token = _POLICY_FACTORY.set(True)
+        try:
+            return cls(**kwargs)
+        finally:
+            _POLICY_FACTORY.reset(token)
+
+    @classmethod
+    def uniform(
+        cls,
+        powers_db=(10.0,),
+        offsets_db=(0.0,),
+        offset_labels=None,
+        *,
+        name: str = "fixed",
+    ) -> "PowerPolicy":
+        """Every node transmits at the swept power — the classic policy."""
+        return cls._build(
+            powers_db=powers_db,
+            offsets_db=offsets_db,
+            offset_labels=offset_labels,
+            name=name,
+        )
+
+    @classmethod
+    def per_node(
+        cls,
+        powers_db,
+        allocations_db=((0.0, 0.0, 0.0),),
+        labels=None,
+        *,
+        offsets_db=(0.0,),
+        offset_labels=None,
+        name: str = "per-node",
+    ) -> "PowerPolicy":
+        """Explicit per-node ``(a, b, r)`` dB offsets on the swept power."""
+        return cls._build(
+            powers_db=powers_db,
+            offsets_db=offsets_db,
+            offset_labels=offset_labels,
+            allocations_db=tuple(tuple(a) for a in allocations_db),
+            allocation_labels=labels,
+            name=name,
+        )
+
+    @classmethod
+    def sum_constrained(
+        cls,
+        total_db: float,
+        splits,
+        *,
+        labels=None,
+        name: str = "sum-constrained",
+    ) -> "PowerPolicy":
+        """Split a total power budget across the nodes (arXiv:0810.2746).
+
+        ``total_db`` is the sum-power budget; each split is a
+        ``(f_a, f_b, f_r)`` fraction triple (positive, summing to one)
+        and node ``i`` transmits at ``f_i * P_total``. Default labels
+        render the fractions, e.g. ``"1/3 1/3 1/3"``.
+        """
+        split_tuples = tuple(tuple(float(f) for f in split) for split in splits)
+        if not split_tuples:
+            raise InvalidParameterError("at least one power split required")
+        for split in split_tuples:
+            if len(split) != 3:
+                raise InvalidParameterError(
+                    f"a split needs one fraction per node (a, b, r), "
+                    f"got {split!r}"
+                )
+            if any(f <= 0 for f in split):
+                raise InvalidParameterError(
+                    f"split fractions must be positive, got {split!r}"
+                )
+            if abs(sum(split) - 1.0) > 1e-9:
+                raise InvalidParameterError(
+                    f"split fractions must sum to 1, got {split!r}"
+                )
+        allocations = tuple(
+            tuple(linear_to_db(f) for f in split) for split in split_tuples
+        )
+        if labels is None:
+            labels = tuple(
+                f"{fa:g}/{fb:g}/{fr:g}" for fa, fb, fr in split_tuples
+            )
+        return cls._build(
+            powers_db=(float(total_db),),
+            allocations_db=allocations,
+            allocation_labels=labels,
+            name=name,
+        )
 
     def policy_axis(self) -> GridAxis | None:
         """The extensible ``power_policy`` axis, or ``None`` if trivial."""
@@ -216,6 +378,32 @@ class PowerPolicy:
         return GridAxis(
             name="power_policy",
             values=tuple({"power_db_offset": x} for x in self.offsets_db),
+            labels=labels,
+        )
+
+    def allocation_axis(self) -> GridAxis | None:
+        """The extensible ``power_allocation`` axis, or ``None`` if trivial.
+
+        A single all-zero allocation is the classic shared-power model;
+        it contributes no axis, so such policies keep the classic spec
+        hash (the PR 4/5 serialize-only-when-set discipline).
+        """
+        if self.allocations_db is None:
+            return None
+        if len(self.allocations_db) == 1 and not any(self.allocations_db[0]):
+            return None
+        labels = self.allocation_labels
+        if labels is None:
+            labels = tuple(
+                "/".join(f"{x:+g}" for x in allocation) + " dB"
+                for allocation in self.allocations_db
+            )
+        return GridAxis(
+            name="power_allocation",
+            values=tuple(
+                {"node_powers_db": list(allocation)}
+                for allocation in self.allocations_db
+            ),
             labels=labels,
         )
 
@@ -253,7 +441,7 @@ class Scenario:
     description: str
     protocols: tuple
     topology: Topology
-    power: PowerPolicy = field(default_factory=PowerPolicy)
+    power: PowerPolicy = field(default_factory=PowerPolicy.uniform)
     fading: FadingSpec | None = None
     objective: str = "sum_rate"
     link: LinkSimSpec | None = None
@@ -287,6 +475,11 @@ class Scenario:
                 f"objective {self.objective!r} reports the {metric!r} metric, "
                 f"but the link spec is configured for {self.link.metric!r}"
             )
+        if self.link is not None and self.power.allocation_axis() is not None:
+            raise InvalidParameterError(
+                "operational scenarios model one shared transmit power; "
+                "power allocations require an analytic objective"
+            )
 
     @property
     def n_pairs(self) -> int:
@@ -308,6 +501,9 @@ class Scenario:
         policy_axis = self.power.policy_axis()
         if policy_axis is not None:
             extra.append(policy_axis)
+        allocation_axis = self.power.allocation_axis()
+        if allocation_axis is not None:
+            extra.append(allocation_axis)
         return CampaignSpec(
             protocols=self.protocols,
             powers_db=self.power.powers_db,
@@ -338,6 +534,8 @@ class Scenario:
         pairs = (RelayPair(label="pair-1"),)
         offsets_db = (0.0,)
         offset_labels = None
+        allocations_db = None
+        allocation_labels = None
         for axis in spec.extra_axes:
             if axis.name == "pair":
                 labels = axis.labels
@@ -357,6 +555,12 @@ class Scenario:
                     float(value.get("power_db_offset", 0.0)) for value in axis.values
                 )
                 offset_labels = axis.labels
+            elif axis.name == "power_allocation":
+                allocations_db = tuple(
+                    tuple(value.get("node_powers_db", (0.0, 0.0, 0.0)))
+                    for value in axis.values
+                )
+                allocation_labels = axis.labels
             else:
                 raise InvalidParameterError(
                     f"axis {axis.name!r} cannot be expressed as a scenario"
@@ -369,16 +573,26 @@ class Scenario:
                 if spec.link.metric == "fer"
                 else "operational_goodput"
             )
+        if allocations_db is None:
+            power = PowerPolicy.uniform(
+                powers_db=spec.powers_db,
+                offsets_db=offsets_db,
+                offset_labels=offset_labels,
+            )
+        else:
+            power = PowerPolicy.per_node(
+                spec.powers_db,
+                allocations_db,
+                labels=allocation_labels,
+                offsets_db=offsets_db,
+                offset_labels=offset_labels,
+            )
         scenario = cls(
             name=name,
             description=description,
             protocols=spec.protocols,
             topology=Topology(gains=spec.gains, pairs=pairs),
-            power=PowerPolicy(
-                powers_db=spec.powers_db,
-                offsets_db=offsets_db,
-                offset_labels=offset_labels,
-            ),
+            power=power,
             fading=spec.fading,
             objective=objective,
             link=spec.link,

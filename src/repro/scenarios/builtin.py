@@ -19,10 +19,18 @@ Registered names:
   FadingSpec-drawn geometries × an SNR sweep, evaluated by the
   cells-fused simulation kernel under adaptive round budgets (cf. the
   relay fading FER studies of arXiv:0903.1502 and the half-duplex
-  outage analysis of arXiv:cs/0506018).
+  outage analysis of arXiv:cs/0506018);
+* ``power-allocation-sweep`` — sum-power-constrained splits across a
+  relay-placement axis, reporting the optimum split per cell
+  (arXiv:0810.2746 direction);
+* ``finite-snr-dmt`` — the Rayleigh outage ensemble across an SNR sweep,
+  the raw material of finite-SNR diversity–multiplexing curves
+  (post-processed by :func:`repro.experiments.dmt.finite_snr_dmt`).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..campaign.spec import FadingSpec, LinkSimSpec
 from ..channels.gains import LinkGains
@@ -42,6 +50,9 @@ __all__ = [
     "two_pair_round_robin_scenario",
     "operational_goodput_scenario",
     "operational_fading_fer_scenario",
+    "relay_share_splits",
+    "power_allocation_sweep_scenario",
+    "finite_snr_dmt_scenario",
 ]
 
 #: The four protocols of the paper's figures, in figure column order.
@@ -69,7 +80,7 @@ def fig3_placement_scenario(
             gains=gains,
             gains_labels=tuple(f"{f:g}" for f in config.relay_fractions),
         ),
-        power=PowerPolicy(powers_db=(config.power_db,)),
+        power=PowerPolicy.uniform(powers_db=(config.power_db,)),
     )
 
 
@@ -91,7 +102,7 @@ def fig3_symmetric_scenario(
             gains=gains,
             gains_labels=tuple(f"{g:g} dB" for g in config.symmetric_gains_db),
         ),
-        power=PowerPolicy(powers_db=(config.power_db,)),
+        power=PowerPolicy.uniform(powers_db=(config.power_db,)),
     )
 
 
@@ -104,7 +115,7 @@ def fig4_operating_points_scenario() -> Scenario:
         grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Fig. 4",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(gains=(_PAPER_GAINS,)),
-        power=PowerPolicy(powers_db=(0.0, 10.0)),
+        power=PowerPolicy.uniform(powers_db=(0.0, 10.0)),
     )
 
 
@@ -121,7 +132,7 @@ def fading_ensemble_scenario() -> Scenario:
         grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Sec. IV",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(gains=(_PAPER_GAINS,)),
-        power=PowerPolicy(powers_db=(0.0, 10.0)),
+        power=PowerPolicy.uniform(powers_db=(0.0, 10.0)),
         fading=FadingSpec(n_draws=200, seed=17),
     )
 
@@ -136,7 +147,7 @@ def power_sweep_scenario(
         grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007, Sec. III",
         protocols=tuple(protocols),
         topology=Topology(gains=(gains,)),
-        power=PowerPolicy(powers_db=tuple(powers_db)),
+        power=PowerPolicy.uniform(powers_db=tuple(powers_db)),
     )
 
 
@@ -157,7 +168,7 @@ def operational_goodput_scenario() -> Scenario:
         grounding="Kim, Mitran & Tarokh, ICDCS Workshops 2007 (operational check)",
         protocols=PAPER_PROTOCOLS,
         topology=Topology(gains=(_PAPER_GAINS,)),
-        power=PowerPolicy(powers_db=(12.0,)),
+        power=PowerPolicy.uniform(powers_db=(12.0,)),
         objective="operational_goodput",
         link=LinkSimSpec(n_rounds=24, payload_bits=128, seed=0),
     )
@@ -184,7 +195,7 @@ def operational_fading_fer_scenario() -> Scenario:
         grounding="fading FER methodology of arXiv:0903.1502",
         protocols=(Protocol.DT, Protocol.MABC, Protocol.TDBC),
         topology=Topology(gains=(_PAPER_GAINS,)),
-        power=PowerPolicy(powers_db=(4.0, 7.0, 10.0)),
+        power=PowerPolicy.uniform(powers_db=(4.0, 7.0, 10.0)),
         fading=FadingSpec(n_draws=4, seed=23),
         objective="operational_fer",
         link=LinkSimSpec(
@@ -220,7 +231,95 @@ def two_pair_round_robin_scenario() -> Scenario:
                 RelayPair(label="pair-2", gain_offsets_db=(-2.0, 3.0, -3.0)),
             ),
         ),
-        power=PowerPolicy(powers_db=(10.0,)),
+        power=PowerPolicy.uniform(powers_db=(10.0,)),
         fading=FadingSpec(n_draws=25, seed=11),
         objective="round_robin_sum_rate",
+    )
+
+
+def relay_share_splits(n_splits: int = 4) -> tuple:
+    """Sum-power splits sweeping the relay's share of the budget.
+
+    The one-parameter family ``((1 - f_r) / 2, (1 - f_r) / 2, f_r)`` with
+    ``f_r`` evenly spaced in ``[1/6, 2/3]`` — sources symmetric, the relay
+    from starved to dominant. The exact uniform split ``(1/3, 1/3, 1/3)``
+    is always included (appended when the sweep misses it), so the
+    optimum over the candidates weakly dominates uniform allocation by
+    construction.
+    """
+    uniform = (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0)
+    splits = []
+    for share in np.linspace(1.0 / 6.0, 2.0 / 3.0, n_splits):
+        source_share = (1.0 - float(share)) / 2.0
+        split = (source_share, source_share, float(share))
+        # Snap near-uniform sweep points to the exact triple: in floats
+        # ``(1 - 1/3) / 2 != 1/3``, and the dominance guarantee wants
+        # uniform represented exactly, not within an ulp.
+        if max(abs(f - u) for f, u in zip(split, uniform)) < 1e-9:
+            split = uniform
+        splits.append(split)
+    if uniform not in splits:
+        splits.append(uniform)
+    return tuple(splits)
+
+
+@register_scenario(name="power-allocation-sweep")
+def power_allocation_sweep_scenario(
+    total_db: float = 16.0,
+    n_splits: int = 4,
+    n_placements: int = 5,
+    protocols=(Protocol.MABC, Protocol.TDBC, Protocol.HBC),
+) -> Scenario:
+    """Optimum split of a sum-power budget across a placement sweep.
+
+    The arXiv:0810.2746 question on the paper's protocols: with the
+    total transmit power fixed at ``total_db``, how should it be split
+    between the two sources and the relay, and how does the optimum
+    split move as the relay slides between the terminals? Every
+    candidate split is one value of the ``power_allocation`` axis; the
+    ``allocation_optimum_sum_rate`` objective reduces that axis by max,
+    and ``EvaluationResult.optimum_along("power_allocation")`` names the
+    winning split per cell.
+    """
+    fractions = np.linspace(0.2, 0.8, n_placements)
+    gains = tuple(linear_relay_gains(float(f)) for f in fractions)
+    return Scenario(
+        name="power-allocation-sweep",
+        description="optimum sum-power split across a relay-placement sweep",
+        grounding="optimum power allocation of Vaze & Heath... arXiv:0810.2746",
+        protocols=tuple(protocols),
+        topology=Topology(
+            gains=gains,
+            gains_labels=tuple(f"{f:g}" for f in fractions),
+        ),
+        power=PowerPolicy.sum_constrained(total_db, relay_share_splits(n_splits)),
+        objective="allocation_optimum_sum_rate",
+    )
+
+
+@register_scenario(name="finite-snr-dmt")
+def finite_snr_dmt_scenario(
+    snr_points_db=(5.0, 10.0, 15.0, 20.0),
+    n_draws: int = 60,
+    seed: int = 29,
+    protocols=PAPER_PROTOCOLS,
+) -> Scenario:
+    """Rayleigh outage ensembles across an SNR sweep for finite-SNR DMT.
+
+    Draws one paired quasi-static Rayleigh ensemble on the paper's
+    geometry and evaluates every protocol at each SNR point — exactly
+    the outage raw material of :func:`repro.simulation.outage_capacity
+    .sample_outage_curve`, as a cacheable campaign grid. The
+    finite-SNR diversity–multiplexing curves of arXiv:0810.2746 are
+    post-processed from the result by
+    :func:`repro.experiments.dmt.finite_snr_dmt`.
+    """
+    return Scenario(
+        name="finite-snr-dmt",
+        description="Rayleigh outage ensemble across SNR for finite-SNR DMT",
+        grounding="finite-SNR diversity-multiplexing tradeoff of arXiv:0810.2746",
+        protocols=tuple(protocols),
+        topology=Topology(gains=(_PAPER_GAINS,)),
+        power=PowerPolicy.uniform(powers_db=tuple(float(p) for p in snr_points_db)),
+        fading=FadingSpec(n_draws=int(n_draws), seed=int(seed)),
     )

@@ -15,6 +15,8 @@ and any user code::
 
 from __future__ import annotations
 
+import inspect
+
 from ..exceptions import InvalidParameterError
 from .base import Scenario
 
@@ -75,13 +77,30 @@ def unregister_scenario(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-def get_scenario(name: str) -> Scenario:
-    """Resolve a registered scenario by name."""
+def get_scenario(name: str, **params) -> Scenario:
+    """Resolve a registered scenario by name.
+
+    Keyword ``params`` are forwarded to the scenario's factory (e.g.
+    sweep granularity or SNR points of a parameterized scenario); they
+    are validated against the factory's signature up front, so a typo'd
+    or unsupported parameter fails with a clear error instead of a bare
+    ``TypeError``. Scenarios registered as ready-made instances accept
+    no parameters.
+    """
     if name not in _REGISTRY:
         raise InvalidParameterError(
             f"unknown scenario {name!r}; registered: {list_scenarios()}"
         )
-    scenario = _REGISTRY[name]()
+    factory = _REGISTRY[name]
+    if params:
+        try:
+            inspect.signature(factory).bind_partial(**params)
+        except TypeError as error:
+            raise InvalidParameterError(
+                f"scenario {name!r} does not accept parameters "
+                f"{sorted(params)}: {error}"
+            ) from None
+    scenario = factory(**params)
     if not isinstance(scenario, Scenario):
         raise InvalidParameterError(
             f"factory for {name!r} returned {scenario!r}, not a Scenario"

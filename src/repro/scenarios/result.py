@@ -94,6 +94,16 @@ class EvaluationResult:
         """Position of the ``pair`` axis, or ``None`` for one-pair grids."""
         return self.axis_names.index("pair") if "pair" in self.axis_names else None
 
+    @property
+    def allocation_axis(self) -> int | None:
+        """Position of the ``power_allocation`` axis, or ``None``."""
+        names = self.axis_names
+        return (
+            names.index("power_allocation")
+            if "power_allocation" in names
+            else None
+        )
+
     def objective_values(self) -> np.ndarray:
         """Grid values reduced according to the scenario's objective.
 
@@ -102,14 +112,36 @@ class EvaluationResult:
         scheduling the shared relay serves each of the ``K`` pairs a
         ``1/K`` time share, so the network sum rate is
         ``sum_k (1/K) * R_k`` — the pair-axis mean of the per-pair
-        optimal sum rates.
+        optimal sum rates. ``allocation_optimum_sum_rate`` reduces the
+        ``power_allocation`` axis by its max: each remaining cell reports
+        the best sum rate any candidate power split achieves.
         """
         values = self.campaign.values
         if self.scenario.objective == "round_robin_sum_rate":
             pair_axis = self.pair_axis
             if pair_axis is not None:
                 return values.mean(axis=pair_axis)
+        if self.scenario.objective == "allocation_optimum_sum_rate":
+            allocation_axis = self.allocation_axis
+            if allocation_axis is not None:
+                return values.max(axis=allocation_axis)
         return values
+
+    def optimum_along(self, name: str) -> tuple:
+        """Best value and argmax label along a named axis, per cell.
+
+        Returns ``(values, labels)``: ``values`` is the grid with axis
+        ``name`` reduced by ``max``; ``labels`` is an equally-shaped
+        object array naming the axis value that attains each maximum
+        (e.g. the optimum power split of every
+        ``(protocol, power, gains, draw)`` cell of an allocation sweep).
+        """
+        position = self.axis_index(name)
+        values = self.campaign.values
+        axis_labels = np.asarray(self.axis_labels(name), dtype=object)
+        best = values.max(axis=position)
+        labels = axis_labels[values.argmax(axis=position)]
+        return best, labels
 
     def objective_rows(self) -> list:
         """Per ``(protocol, power)`` table rows of the mean objective."""

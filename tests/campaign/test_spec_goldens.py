@@ -158,3 +158,37 @@ def test_builtin_scenarios_lower_to_the_golden_grids():
         fig3_placement_scenario().to_campaign_spec().spec_hash()
         == GOLDEN_HASHES["fig3-placement"][1]
     )
+
+
+#: Allocation-free scenarios recorded before per-node powers existed
+#: (pre-``node_powers_db``). The power-allocation work serializes its
+#: axis key only when a scenario actually sets one, so every spec below
+#: must keep hashing byte-identically — a failure here means existing
+#: cache entries and shard artifacts just became unreachable.
+GOLDEN_SCENARIO_HASHES = {
+    "fig4-operating-points": (
+        "84688700e93490a32d3aeff6128fbe8269769a15101913af33e94e0a086d8eb6"
+    ),
+    "two-pair-round-robin": (
+        "a218abc8dde52d1f7dde3552a85788beefb11c59dc9a90a04803d31da61d81e8"
+    ),
+    "operational-goodput": (
+        "965d684d8c08f2f9b904b5447a69463cc74fe9e197d5bfd97029fd3b6cbb71d5"
+    ),
+    "operational-fading-fer": (
+        "add3c2d1a6cc3e6b4422a89f24749df6f0a01d396b58dbbd2308eab842f825a5"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIO_HASHES))
+def test_allocation_free_scenario_hashes_are_byte_stable(name):
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario(name).to_campaign_spec()
+    assert spec.spec_hash() == GOLDEN_SCENARIO_HASHES[name]
+    assert not any(
+        "node_powers_db" in value
+        for axis in spec.extra_axes
+        for value in axis.values
+    )

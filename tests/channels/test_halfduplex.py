@@ -8,6 +8,7 @@ from repro.channels.gains import LinkGains
 from repro.channels.halfduplex import (
     HalfDuplexMedium,
     complex_gains_from_powers,
+    link_amplitudes,
 )
 from repro.exceptions import HalfDuplexViolationError, InvalidParameterError
 
@@ -19,18 +20,23 @@ def medium(paper_gains):
 
 class TestComplexGains:
     def test_coherent_amplitudes_match_powers(self, paper_gains):
-        cg = complex_gains_from_powers(paper_gains)
+        cg = link_amplitudes(paper_gains)
         assert abs(cg[frozenset(("a", "r"))]) ** 2 == pytest.approx(paper_gains.gar)
         assert abs(cg[frozenset(("a", "b"))]) ** 2 == pytest.approx(paper_gains.gab)
         assert abs(cg[frozenset(("b", "r"))]) ** 2 == pytest.approx(paper_gains.gbr)
 
     def test_random_phases_preserve_power(self, paper_gains, rng):
-        cg = complex_gains_from_powers(paper_gains, rng, random_phases=True)
+        cg = link_amplitudes(paper_gains, rng, random_phases=True)
         assert abs(cg[frozenset(("a", "r"))]) ** 2 == pytest.approx(paper_gains.gar)
 
     def test_random_phases_require_rng(self, paper_gains):
         with pytest.raises(InvalidParameterError):
-            complex_gains_from_powers(paper_gains, None, random_phases=True)
+            link_amplitudes(paper_gains, None, random_phases=True)
+
+    def test_old_name_warns_and_delegates(self, paper_gains):
+        with pytest.warns(DeprecationWarning, match="link_amplitudes"):
+            cg = complex_gains_from_powers(paper_gains)
+        assert cg == link_amplitudes(paper_gains)
 
 
 class TestHalfDuplexSemantics:
@@ -86,13 +92,13 @@ class TestValidation:
             )
 
     def test_inconsistent_complex_gains_rejected(self, paper_gains):
-        bad = complex_gains_from_powers(paper_gains)
+        bad = link_amplitudes(paper_gains)
         bad[frozenset(("a", "r"))] = 100.0 + 0j
         with pytest.raises(InvalidParameterError):
             HalfDuplexMedium(gains=paper_gains, complex_gains=bad)
 
     def test_missing_complex_gain_rejected(self, paper_gains):
-        partial = complex_gains_from_powers(paper_gains)
+        partial = link_amplitudes(paper_gains)
         del partial[frozenset(("a", "b"))]
         with pytest.raises(InvalidParameterError):
             HalfDuplexMedium(gains=paper_gains, complex_gains=partial)

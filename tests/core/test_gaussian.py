@@ -1,10 +1,15 @@
 """Unit tests for repro.core.gaussian."""
 
+import numpy as np
 import pytest
 
+from repro.campaign.kernel import batched_sum_rates
 from repro.channels.gains import LinkGains
+from repro.channels.power import NodePowers
 from repro.core.bounds import mabc_inner, tdbc_inner
+from repro.core.capacity import optimal_sum_rate
 from repro.core.gaussian import GaussianChannel
+from repro.core.protocols import Protocol
 from repro.core.terms import MiKey
 from repro.exceptions import InvalidParameterError
 from repro.information.functions import gaussian_capacity
@@ -119,3 +124,57 @@ class TestEvaluate:
         caps = evaluated.rate_caps((0.5, 0.5))
         assert caps["Ra"] == 0.0
         assert caps["Rb"] == 0.0
+
+
+class TestNodePowers:
+    """Per-node powers through the LP path, cross-checked against the kernel."""
+
+    def test_uniform_node_powers_match_scalar_bitwise(self, paper_gains):
+        scalar = GaussianChannel(gains=paper_gains, power=4.0)
+        per_node = GaussianChannel(gains=paper_gains, power=NodePowers.uniform(4.0))
+        for key in MiKey:
+            assert per_node.mi_value(key) == scalar.mi_value(key)
+
+    def test_mapping_power_is_normalized(self, paper_gains):
+        channel = GaussianChannel(
+            gains=paper_gains, power={"a": 1.0, "b": 2.0, "r": 3.0}
+        )
+        assert isinstance(channel.power, NodePowers)
+        assert channel.power == NodePowers(pa=1.0, pb=2.0, pr=3.0)
+
+    def test_snr_transmitter_validation(self, paper_gains):
+        channel = GaussianChannel(
+            gains=paper_gains, power=NodePowers(pa=1.0, pb=2.0, pr=3.0)
+        )
+        with pytest.raises(InvalidParameterError, match="cannot be driven"):
+            channel.snr(MiKey.LINK_AR, transmitter="b")
+
+    def test_mac_sum_splits_by_source_power(self, paper_gains):
+        channel = GaussianChannel(
+            gains=paper_gains, power=NodePowers(pa=2.0, pb=6.0, pr=1.0)
+        )
+        expected = 2.0 * paper_gains.gar + 6.0 * paper_gains.gbr
+        assert channel.snr(MiKey.MAC_SUM) == expected
+
+    @pytest.mark.parametrize("protocol", tuple(Protocol))
+    def test_asymmetric_lp_matches_the_campaign_kernel(self, protocol, paper_gains):
+        powers = NodePowers(pa=2.5, pb=7.0, pr=12.0)
+        channel = GaussianChannel(gains=paper_gains, power=powers)
+        lp_value = optimal_sum_rate(protocol, channel).sum_rate
+        kernel_value = batched_sum_rates(
+            protocol,
+            np.array([paper_gains.gab]),
+            np.array([paper_gains.gar]),
+            np.array([paper_gains.gbr]),
+            powers.as_array()[np.newaxis, :],
+        )[0]
+        assert lp_value == pytest.approx(kernel_value, abs=1e-9)
+
+    @pytest.mark.parametrize("protocol", tuple(Protocol))
+    def test_uniform_lp_matches_scalar_lp_bitwise(self, protocol, paper_gains):
+        scalar = GaussianChannel(gains=paper_gains, power=9.0)
+        per_node = GaussianChannel(gains=paper_gains, power=NodePowers.uniform(9.0))
+        assert (
+            optimal_sum_rate(protocol, per_node).sum_rate
+            == optimal_sum_rate(protocol, scalar).sum_rate
+        )

@@ -38,7 +38,7 @@ def two_pair_scenario():
         description="two-pair acceptance grid",
         protocols=(Protocol.MABC, Protocol.HBC),
         topology=gains,
-        power=PowerPolicy(powers_db=(10.0,)),
+        power=PowerPolicy.uniform(powers_db=(10.0,)),
         fading=FadingSpec(n_draws=4, seed=7),
         objective="round_robin_sum_rate",
     )

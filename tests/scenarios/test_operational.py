@@ -33,7 +33,7 @@ def operational_scenario():
                 LinkGains.from_db(-3.0, 3.0, 3.0),
             ),
         ),
-        power=PowerPolicy(powers_db=(0.0, 12.0)),
+        power=PowerPolicy.uniform(powers_db=(0.0, 12.0)),
         objective="operational_goodput",
         link=LinkSimSpec(n_rounds=6, payload_bits=24, seed=5, code="test",
                          crc="crc8"),
@@ -136,7 +136,7 @@ def fading_fer_scenario():
         description="adaptive fading FER acceptance grid",
         protocols=(Protocol.DT, Protocol.MABC),
         topology=Topology(gains=(LinkGains.from_db(-7.0, 0.0, 5.0),)),
-        power=PowerPolicy(powers_db=(-2.0, 12.0)),
+        power=PowerPolicy.uniform(powers_db=(-2.0, 12.0)),
         fading=FadingSpec(n_draws=3, seed=13),
         objective="operational_fer",
         link=LinkSimSpec(n_rounds=4, payload_bits=24, seed=3, code="test",

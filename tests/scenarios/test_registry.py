@@ -31,7 +31,7 @@ def scratch_scenario(paper_gains):
         description="registry round-trip fixture",
         protocols=(Protocol.MABC,),
         topology=Topology(gains=(paper_gains,)),
-        power=PowerPolicy(powers_db=(10.0,)),
+        power=PowerPolicy.uniform(powers_db=(10.0,)),
         fading=FadingSpec(n_draws=2, seed=9),
     )
 

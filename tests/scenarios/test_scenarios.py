@@ -21,7 +21,7 @@ def single_pair_scenario(paper_gains):
         description="one pair, fixed power",
         protocols=(Protocol.MABC, Protocol.HBC),
         topology=Topology(gains=(paper_gains,)),
-        power=PowerPolicy(powers_db=(0.0, 10.0)),
+        power=PowerPolicy.uniform(powers_db=(0.0, 10.0)),
         fading=FadingSpec(n_draws=5, seed=3),
     )
 
@@ -50,7 +50,7 @@ class TestValidation:
         with pytest.raises(InvalidParameterError):
             Topology(gains=(paper_gains,), gains_labels=("a", "b"))
         with pytest.raises(InvalidParameterError):
-            PowerPolicy(powers_db=(10.0,), offsets_db=(0.0,), offset_labels=("x", "y"))
+            PowerPolicy.uniform(powers_db=(10.0,), offsets_db=(0.0,), offset_labels=("x", "y"))
 
     def test_unknown_objective_rejected(self, paper_gains):
         with pytest.raises(InvalidParameterError):
@@ -103,7 +103,7 @@ class TestLowering:
             description="finite-SNR backoff study",
             protocols=(Protocol.HBC,),
             topology=Topology(gains=(paper_gains,)),
-            power=PowerPolicy(
+            power=PowerPolicy.uniform(
                 powers_db=(10.0,),
                 offsets_db=(0.0, -3.0, -6.0),
                 name="backoff",

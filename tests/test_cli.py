@@ -377,6 +377,42 @@ class TestScenariosCommand:
             build_parser().parse_args(["scenarios"])
 
 
+class TestScenarioParams:
+    """`scenarios run --param key=value` factory passthrough."""
+
+    def test_params_reach_the_factory(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "n_draws=6", "--param", "seed=3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spec " in out
+
+    def test_dashed_keys_map_to_underscores(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "n-draws=6"])
+        assert code == 0
+
+    def test_tuple_values_parse(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "snr_points_db=5,10",
+                     "--param", "n_draws=6"])
+        assert code == 0
+
+    def test_unknown_param_rejected(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "bogus=1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "does not accept" in out
+
+    def test_malformed_pair_rejected(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "n_draws"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "key=value" in out
+
+
 class TestScenarioShardGather:
     """`scenarios run --shard` + `scenarios gather` on an operational grid."""
 
