@@ -96,12 +96,29 @@ def _evaluate_link_units(batch: UnitBatch) -> np.ndarray:
     identical to the historical per-cell loop, benchmark-asserted. The
     executor's batch slicing (``VectorizedExecutor.max_batch``, pool
     chunks, the serial unit loop) therefore bounds the fused width too.
+
+    Cells whose link spec carries a ``TrafficSpec`` run the event-driven
+    traffic simulation instead (:func:`repro.traffic.simulator
+    .traffic_link_values`) — same seeding contract, so this one dispatch
+    point covers every executor, chunking and sharding path.
     """
     from ..simulation.montecarlo import fused_link_values
 
     if batch.indices is None:
         raise InvalidParameterError(
             "operational unit batches need flat grid indices for seeding"
+        )
+    if batch.link.traffic is not None:
+        from ..traffic.simulator import traffic_link_values
+
+        return traffic_link_values(
+            batch.protocol,
+            batch.gab,
+            batch.gar,
+            batch.gbr,
+            batch.power,
+            link=batch.link,
+            indices=batch.indices,
         )
     return fused_link_values(
         batch.protocol,

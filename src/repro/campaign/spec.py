@@ -44,6 +44,7 @@ from ..information.functions import db_to_linear
 __all__ = [
     "FadingSpec",
     "LinkSimSpec",
+    "TrafficSpec",
     "GridAxis",
     "CampaignSpec",
     "CampaignShard",
@@ -54,6 +55,9 @@ __all__ = [
     "LINK_CRCS",
     "LINK_MODULATIONS",
     "LINK_METRICS",
+    "TRAFFIC_METRICS",
+    "TRAFFIC_ARRIVALS",
+    "TRAFFIC_SCHEDULERS",
     "DEFAULT_CHUNK_SIZE",
     "chunk_ranges",
 ]
@@ -67,8 +71,20 @@ LINK_CRCS = ("crc8", "crc16-ccitt", "crc32")
 #: Modulations an operational campaign may name.
 LINK_MODULATIONS = ("bpsk", "qpsk")
 
+#: Cell-value metrics a traffic (event-driven) campaign may report; each
+#: requires a :class:`TrafficSpec` on the link spec.
+TRAFFIC_METRICS = ("latency", "stable_throughput")
+
 #: Cell-value metrics an operational campaign may report.
-LINK_METRICS = ("goodput", "fer")
+LINK_METRICS = ("goodput", "fer") + TRAFFIC_METRICS
+
+#: Arrival processes a :class:`TrafficSpec` may name
+#: (realized by :func:`repro.traffic.generators.arrival_times`).
+TRAFFIC_ARRIVALS = ("poisson", "periodic", "bursty")
+
+#: Relay scheduling disciplines a :class:`TrafficSpec` may name (kept in
+#: lockstep with :data:`repro.traffic.schedulers.SCHEDULERS`).
+TRAFFIC_SCHEDULERS = ("round-robin", "longest-queue", "opportunistic")
 
 #: Canonical axis names of the classic campaign grid. Extensible axes
 #: (:attr:`CampaignSpec.extra_axes`) are inserted between ``power`` and
@@ -154,6 +170,168 @@ class FadingSpec:
 
 
 @dataclass(frozen=True)
+class TrafficSpec:
+    """Event-driven traffic parameters of a queueing campaign cell.
+
+    When a :class:`LinkSimSpec` carries one of these, every grid cell
+    runs the discrete-event traffic simulation of
+    :func:`repro.traffic.simulator.simulate_traffic` — ``K`` terminal
+    pairs sharing the relay for ``n_rounds`` slots, with spec-seeded
+    arrivals, finite FIFO buffers, stop-and-wait ARQ and a named
+    scheduling discipline — and the cell value is the link spec's
+    traffic metric (:data:`TRAFFIC_METRICS`). All randomness descends
+    from the cell's ``(seed, flat index)`` generator through a
+    documented spawn tree, so traffic values keep the campaign engine's
+    bitwise executor/shard/cache guarantees.
+
+    Attributes
+    ----------
+    rates:
+        Per-pair arrival rate in frames per slot, applied to *each*
+        direction of the pair. Either one rate per pair or a single rate
+        shared by all pairs.
+    arrival:
+        Arrival process (:data:`TRAFFIC_ARRIVALS`).
+    scheduler:
+        Relay scheduling discipline (:data:`TRAFFIC_SCHEDULERS`).
+    buffer_frames:
+        Per-flow FIFO capacity; arrivals beyond it are buffer drops.
+    arq_limit:
+        Stop-and-wait attempt limit per frame (1 = no retransmission).
+    pair_offsets_db:
+        Per-pair ``(ab, ar, br)`` dB offsets on the cell's base
+        geometry — one triple per pair sharing the relay, the
+        arXiv:1002.0123 multi-pair layout. The pairs live *inside* the
+        cell (they contend for the same relay), unlike the analytic
+        ``pair`` grid axis whose pairs are evaluated independently.
+    burst_size:
+        Frames per burst of the ``bursty`` arrival process (serialized
+        only then).
+    latency_quantile:
+        The delivery-latency quantile the ``latency`` metric reports.
+    offered_loads:
+        Rate scale factors of the ``stable_throughput`` sweep (required
+        by — and only meaningful with — that metric).
+    knee_tolerance:
+        Delivered/offered shortfall tolerated before a load counts as
+        unstable.
+    """
+
+    rates: tuple = (0.5,)
+    arrival: str = "poisson"
+    scheduler: str = "round-robin"
+    buffer_frames: int = 16
+    arq_limit: int = 4
+    pair_offsets_db: tuple = ((0.0, 0.0, 0.0),)
+    burst_size: int = 4
+    latency_quantile: float = 0.95
+    offered_loads: tuple | None = None
+    knee_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        rates = tuple(float(r) for r in self.rates)
+        offsets = tuple(
+            tuple(float(x) for x in triple) for triple in self.pair_offsets_db
+        )
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "pair_offsets_db", offsets)
+        if self.offered_loads is not None:
+            loads = tuple(float(s) for s in self.offered_loads)
+            object.__setattr__(self, "offered_loads", loads)
+        if self.arrival not in TRAFFIC_ARRIVALS:
+            raise InvalidParameterError(
+                f"unknown arrival kind {self.arrival!r}; "
+                f"choose from {TRAFFIC_ARRIVALS}"
+            )
+        if self.scheduler not in TRAFFIC_SCHEDULERS:
+            raise InvalidParameterError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {TRAFFIC_SCHEDULERS}"
+            )
+        if not offsets:
+            raise InvalidParameterError("at least one pair required")
+        for triple in offsets:
+            if len(triple) != 3:
+                raise InvalidParameterError(
+                    f"a pair needs one dB offset per link (ab, ar, br), "
+                    f"got {triple!r}"
+                )
+        if not rates or any(r <= 0 for r in rates):
+            raise InvalidParameterError(
+                f"arrival rates must be positive, got {rates!r}"
+            )
+        if len(rates) not in (1, len(offsets)):
+            raise InvalidParameterError(
+                f"{len(offsets)} pairs need one shared rate or one rate "
+                f"each, got {len(rates)}"
+            )
+        if self.buffer_frames < 1:
+            raise InvalidParameterError(
+                f"buffer capacity must be positive, got {self.buffer_frames}"
+            )
+        if self.arq_limit < 1:
+            raise InvalidParameterError(
+                f"ARQ attempt limit must be positive, got {self.arq_limit}"
+            )
+        if self.burst_size < 1:
+            raise InvalidParameterError(
+                f"burst size must be positive, got {self.burst_size}"
+            )
+        if not 0.0 < self.latency_quantile <= 1.0:
+            raise InvalidParameterError(
+                f"latency quantile must be in (0, 1], "
+                f"got {self.latency_quantile}"
+            )
+        if not 0.0 <= self.knee_tolerance < 1.0:
+            raise InvalidParameterError(
+                f"knee tolerance must be in [0, 1), got {self.knee_tolerance}"
+            )
+        if self.offered_loads is not None:
+            if not self.offered_loads or any(s <= 0 for s in self.offered_loads):
+                raise InvalidParameterError(
+                    f"offered loads must be positive scale factors, "
+                    f"got {self.offered_loads!r}"
+                )
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of terminal pairs sharing the relay."""
+        return len(self.pair_offsets_db)
+
+    def pair_rates(self) -> tuple:
+        """Per-pair arrival rates, broadcast to one rate per pair."""
+        if len(self.rates) == self.n_pairs:
+            return self.rates
+        return self.rates * self.n_pairs
+
+    def to_dict(self) -> dict:
+        """Plain-data form for hashing and serialization.
+
+        The optional knobs (``burst_size``, ``latency_quantile``,
+        ``offered_loads`` with its tolerance) are emitted only when they
+        matter, following the serialize-only-when-set discipline: adding
+        a knob later can never move the hash of a spec that does not use
+        it.
+        """
+        data = {
+            "rates": [float(r) for r in self.rates],
+            "arrival": self.arrival,
+            "scheduler": self.scheduler,
+            "buffer_frames": int(self.buffer_frames),
+            "arq_limit": int(self.arq_limit),
+            "pair_offsets_db": [list(triple) for triple in self.pair_offsets_db],
+        }
+        if self.arrival == "bursty":
+            data["burst_size"] = int(self.burst_size)
+        if self.latency_quantile != 0.95:
+            data["latency_quantile"] = float(self.latency_quantile)
+        if self.offered_loads is not None:
+            data["offered_loads"] = [float(s) for s in self.offered_loads]
+            data["knee_tolerance"] = float(self.knee_tolerance)
+        return data
+
+
+@dataclass(frozen=True)
 class LinkSimSpec:
     """Link-level simulation parameters of an *operational* campaign.
 
@@ -181,8 +359,11 @@ class LinkSimSpec:
         :data:`LINK_MODULATIONS`); the default is the production codec.
     metric:
         Cell value reported into the grid (:data:`LINK_METRICS`):
-        ``"goodput"`` (bits/symbol, the default) or ``"fer"`` (combined
-        frame error rate of both directions).
+        ``"goodput"`` (bits/symbol, the default), ``"fer"`` (combined
+        frame error rate of both directions), or — with ``traffic``
+        set — ``"latency"`` (the configured delivery-latency quantile in
+        slots) or ``"stable_throughput"`` (the largest sustained offered
+        load in frames/slot, from the offered-load sweep).
     target_rel_error / max_rounds:
         Optional adaptive round allocation (set both or neither): cells
         run in the escalating spec-derived waves of
@@ -193,6 +374,15 @@ class LinkSimSpec:
         adaptive cell values stay cacheable and shard-stable. All three
         optional fields serialize only when set, so pre-existing
         operational spec hashes are untouched.
+    traffic:
+        Optional :class:`TrafficSpec` switching the cell evaluation from
+        bare link rounds to the event-driven traffic simulation
+        (queues, ARQ, multi-pair scheduling); ``n_rounds`` then counts
+        the slot horizon — one potential protocol round per slot.
+        Required by (and only valid with) the traffic metrics
+        (:data:`TRAFFIC_METRICS`); incompatible with adaptive round
+        budgets. Serialized only when set, so every pre-existing link
+        spec hash is untouched.
     """
 
     n_rounds: int
@@ -204,8 +394,13 @@ class LinkSimSpec:
     metric: str = "goodput"
     target_rel_error: float | None = None
     max_rounds: int | None = None
+    traffic: TrafficSpec | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.traffic, dict):
+            object.__setattr__(self, "traffic", TrafficSpec(**self.traffic))
+        if self.traffic is not None and not isinstance(self.traffic, TrafficSpec):
+            raise InvalidParameterError(f"{self.traffic!r} is not a TrafficSpec")
         if self.n_rounds < 1:
             raise InvalidParameterError(
                 f"need at least one round per cell, got {self.n_rounds}"
@@ -224,7 +419,22 @@ class LinkSimSpec:
                 raise InvalidParameterError(
                     f"unknown {label} {value!r}; choose from {options}"
                 )
+        if (self.metric in TRAFFIC_METRICS) != (self.traffic is not None):
+            raise InvalidParameterError(
+                f"traffic parameters and a traffic metric "
+                f"({TRAFFIC_METRICS}) go together: set both or neither"
+            )
+        if self.metric == "stable_throughput" and self.traffic.offered_loads is None:
+            raise InvalidParameterError(
+                "the stable_throughput metric sweeps offered loads; set "
+                "TrafficSpec.offered_loads"
+            )
         if self.target_rel_error is not None or self.max_rounds is not None:
+            if self.traffic is not None:
+                raise InvalidParameterError(
+                    "traffic campaigns run a fixed slot horizon; adaptive "
+                    "round budgets apply to bare link campaigns only"
+                )
             # One source of truth for the adaptive-budget rules: the wave
             # schedule itself. A spec validates iff its schedule derives.
             from ..simulation.montecarlo import wave_bounds
@@ -273,6 +483,8 @@ class LinkSimSpec:
         if self.target_rel_error is not None:
             data["target_rel_error"] = float(self.target_rel_error)
             data["max_rounds"] = int(self.max_rounds)
+        if self.traffic is not None:
+            data["traffic"] = self.traffic.to_dict()
         return data
 
 

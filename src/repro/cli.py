@@ -301,7 +301,10 @@ def _parse_scenario_params(pairs) -> dict:
     Values coerce in order int → float → comma-separated float tuple →
     raw string; dashes in keys map to underscores so flags can mirror
     the CLI convention (``--param n-splits=6``). Raises ``ValueError``
-    on a malformed pair (no ``=``, empty key).
+    on a malformed pair (no ``=``, empty key) and on a key given twice
+    (after dash normalization) — a silent last-wins overwrite would make
+    ``--param scheduler=a --param scheduler=b`` evaluate a different
+    scenario than the operator reviewed.
     """
     params = {}
     for pair in pairs or ():
@@ -309,6 +312,10 @@ def _parse_scenario_params(pairs) -> dict:
         key = key.strip().replace("-", "_")
         if not sep or not key:
             raise ValueError(f"expected --param key=value, got {pair!r}")
+        if key in params:
+            raise ValueError(
+                f"duplicate --param key {key!r}; each key may be given once"
+            )
         params[key] = _coerce_param_value(value.strip())
     return params
 
@@ -631,6 +638,8 @@ def _cmd_scenarios_list(args) -> int:
 _OBJECTIVE_UNITS = {
     "operational_goodput": "goodput [bits/symbol]",
     "operational_fer": "frame error rate",
+    "latency_quantiles": "delivery latency [slots]",
+    "stable_throughput": "stable offered load [frames/slot]",
 }
 
 
@@ -639,12 +648,13 @@ def _scenario_summary(result, objective):
 
     Rate-like objectives report the ergodic mean and the *lower* 10%
     quantile (the outage rate: high is good, the bad tail is low). A
-    frame error rate is a loss metric — high is bad — so its outage-
-    relevant tail is the *upper* 90% quantile, and "ergodic mean" would
-    be rate jargon.
+    frame error rate or a delivery latency is a loss metric — high is
+    bad — so its outage-relevant tail is the *upper* 90% quantile, and
+    "ergodic mean" would be rate jargon.
     """
-    if objective == "operational_fer":
-        headers = ["protocol", "P [dB]", "mean FER", "std err", "90%-tail", "median"]
+    if objective in ("operational_fer", "latency_quantiles"):
+        label = "mean FER" if objective == "operational_fer" else "mean latency"
+        headers = ["protocol", "P [dB]", label, "std err", "90%-tail", "median"]
         return headers, result.summary_rows(epsilon=0.9)
     headers = ["protocol", "P [dB]", "ergodic mean", "std err", "10%-outage", "median"]
     return headers, result.summary_rows(epsilon=0.1)

@@ -119,7 +119,9 @@ def channel_capacity(channel: np.ndarray, *, tol: float = 1e-10,
     """
     result = blahut_arimoto(channel, tol=tol, max_iter=max_iter)
     # Defensive cross-check: MI of the returned distribution must match.
-    joint = joint_from_channel(result.input_distribution, np.asarray(channel, dtype=float))
+    joint = joint_from_channel(
+        result.input_distribution, np.asarray(channel, dtype=float)
+    )
     mi = mutual_information(joint, [0], [1])
     if abs(mi - result.capacity) > 1e-6:
         raise ConvergenceError(

@@ -107,7 +107,9 @@ def marginal(p_joint: np.ndarray, keep_axes: Sequence[int]) -> np.ndarray:
         raise InvalidDistributionError(f"duplicate axes in {keep!r}")
     for axis in keep:
         if not -arr.ndim <= axis < arr.ndim:
-            raise InvalidDistributionError(f"axis {axis} out of range for ndim={arr.ndim}")
+            raise InvalidDistributionError(
+                f"axis {axis} out of range for ndim={arr.ndim}"
+            )
     keep = [axis % arr.ndim for axis in keep]
     drop = tuple(axis for axis in range(arr.ndim) if axis not in keep)
     summed = arr.sum(axis=drop)

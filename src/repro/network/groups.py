@@ -150,7 +150,9 @@ class RandomBinning:
     def bin_members(self, bin_idx: int) -> np.ndarray:
         """All messages assigned to a bin (the decoder's candidate list)."""
         if not 0 <= int(bin_idx) < self.n_bins:
-            raise InvalidParameterError(f"bin {bin_idx} outside {{0..{self.n_bins - 1}}}")
+            raise InvalidParameterError(
+                f"bin {bin_idx} outside {{0..{self.n_bins - 1}}}"
+            )
         return np.flatnonzero(self.assignment == int(bin_idx))
 
 

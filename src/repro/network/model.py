@@ -45,7 +45,9 @@ class Message:
         if not self.name:
             raise InvalidParameterError("message name must be non-empty")
         if not self.destinations:
-            raise InvalidParameterError(f"message {name!r} needs at least one destination")
+            raise InvalidParameterError(
+                f"message {name!r} needs at least one destination"
+            )
         if self.source in self.destinations:
             raise InvalidParameterError(
                 f"message {name!r} cannot be destined to its own source {source!r}"
@@ -102,7 +104,9 @@ class NetworkModel:
         """Messages whose rate appears in ``R_{S,S^c}`` for ``S = cut``."""
         cut_set = frozenset(cut)
         if not cut_set <= self.node_set:
-            raise InvalidParameterError(f"cut {sorted(cut_set)!r} contains unknown nodes")
+            raise InvalidParameterError(
+                f"cut {sorted(cut_set)!r} contains unknown nodes"
+            )
         return tuple(m for m in self.messages if m.crosses_cut(cut_set))
 
 

@@ -57,19 +57,32 @@ __all__ = ["RelayPair", "Topology", "PowerPolicy", "Scenario", "OBJECTIVES"]
 #: * ``allocation_optimum_sum_rate`` — the best achievable sum rate over
 #:   the scenario's ``power_allocation`` axis: the per-cell LP-optimal
 #:   sum rates reduced by ``max`` along that axis, reporting the optimum
-#:   power split of every remaining grid cell (arXiv:0810.2746).
+#:   power split of every remaining grid cell (arXiv:0810.2746);
+#: * ``latency_quantiles`` — the configured delivery-latency quantile
+#:   (in slots) of the event-driven traffic simulation on every grid
+#:   cell (``LinkSimSpec.metric = "latency"``): spec-seeded arrivals,
+#:   finite buffers and stop-and-wait ARQ above the link kernel;
+#: * ``stable_throughput`` — the largest sustained offered load (in
+#:   frames/slot) located by the per-cell offered-load sweep of the
+#:   traffic simulation (``LinkSimSpec.metric = "stable_throughput"``):
+#:   the throughput-knee objective of the multi-pair scheduling
+#:   comparison (arXiv:1002.0123 direction).
 OBJECTIVES = (
     "sum_rate",
     "round_robin_sum_rate",
     "operational_goodput",
     "operational_fer",
     "allocation_optimum_sum_rate",
+    "latency_quantiles",
+    "stable_throughput",
 )
 
 #: Operational objectives and the :class:`LinkSimSpec` metric each reports.
 _OPERATIONAL_METRICS = {
     "operational_goodput": "goodput",
     "operational_fer": "fer",
+    "latency_quantiles": "latency",
+    "stable_throughput": "stable_throughput",
 }
 
 
@@ -430,7 +443,8 @@ class Scenario:
         One of :data:`OBJECTIVES`.
     link:
         Link-level simulation parameters; required by (and only valid
-        with) the ``operational_goodput`` objective.
+        with) the operational and traffic objectives, whose
+        ``LinkSimSpec.metric`` must match the objective.
     grounding:
         Which paper (or result) this scenario reproduces or extends —
         pure catalog metadata: it does not affect the lowered spec, its
@@ -568,11 +582,11 @@ class Scenario:
         if spec.link is not None and objective == "sum_rate":
             # An operational spec's values *are* its link metric; reflect
             # that in the default objective rather than mislabeling them.
-            objective = (
-                "operational_fer"
-                if spec.link.metric == "fer"
-                else "operational_goodput"
-            )
+            objective = {
+                "fer": "operational_fer",
+                "latency": "latency_quantiles",
+                "stable_throughput": "stable_throughput",
+            }.get(spec.link.metric, "operational_goodput")
         if allocations_db is None:
             power = PowerPolicy.uniform(
                 powers_db=spec.powers_db,

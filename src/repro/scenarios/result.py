@@ -114,7 +114,10 @@ class EvaluationResult:
         ``sum_k (1/K) * R_k`` — the pair-axis mean of the per-pair
         optimal sum rates. ``allocation_optimum_sum_rate`` reduces the
         ``power_allocation`` axis by its max: each remaining cell reports
-        the best sum rate any candidate power split achieves.
+        the best sum rate any candidate power split achieves. The
+        operational and traffic objectives need no reduction — their
+        kernels already report one number per cell (multi-pair traffic
+        structure lives *inside* the cell, on ``TrafficSpec``).
         """
         values = self.campaign.values
         if self.scenario.objective == "round_robin_sum_rate":

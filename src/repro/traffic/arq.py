@@ -1,0 +1,71 @@
+"""Stop-and-wait ARQ with a retransmission limit.
+
+Each directed flow runs head-of-line stop-and-wait: the frame at the
+front of its FIFO is (re)transmitted whenever the scheduler serves the
+flow's pair, and leaves the queue either on success (delivered, latency
+recorded) or when its attempt count reaches the limit (ARQ drop). The
+limit counts *attempts*, so ``limit=1`` is plain unacknowledged
+transmission and ``limit=n`` allows ``n - 1`` retransmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+from .queues import FifoQueue
+
+__all__ = ["FlowTally", "StopAndWaitArq"]
+
+
+@dataclass
+class FlowTally:
+    """Mutable per-flow accounting, accumulated during a simulation.
+
+    ``latencies`` holds the delivered frames' latencies (completion time
+    minus arrival time, in slots) in delivery order.
+    """
+
+    arrivals: int = 0
+    delivered: int = 0
+    drops_buffer: int = 0
+    drops_arq: int = 0
+    attempts: int = 0
+    latencies: list = field(default_factory=list)
+
+
+class StopAndWaitArq:
+    """Head-of-line stop-and-wait ARQ shared by every flow of a run."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise InvalidParameterError(
+                f"ARQ attempt limit must be positive, got {limit}"
+            )
+        self.limit = int(limit)
+
+    def transmit(
+        self,
+        queue: FifoQueue,
+        tally: FlowTally,
+        success: bool,
+        completion_time: float,
+    ) -> str:
+        """Account one transmission attempt of the head-of-line frame.
+
+        Returns ``"delivered"``, ``"dropped"`` (attempt limit reached) or
+        ``"pending"`` (the frame stays queued for retransmission).
+        """
+        frame = queue.head()
+        frame.attempts += 1
+        tally.attempts += 1
+        if success:
+            queue.pop()
+            tally.delivered += 1
+            tally.latencies.append(float(completion_time) - frame.arrival)
+            return "delivered"
+        if frame.attempts >= self.limit:
+            queue.pop()
+            tally.drops_arq += 1
+            return "dropped"
+        return "pending"

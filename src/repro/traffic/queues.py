@@ -1,0 +1,60 @@
+"""Per-flow FIFO queues with finite buffers and drop accounting.
+
+A :class:`Frame` is one payload waiting (or retrying) at a terminal; a
+:class:`FifoQueue` holds the head-of-line discipline and the finite
+buffer. Overflow is the *caller's* drop to count — ``offer`` just
+reports admission — so buffer drops and ARQ drops land in the same
+per-flow tally (:class:`repro.traffic.arq.FlowTally`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Frame", "FifoQueue"]
+
+
+class Frame:
+    """One queued payload: its arrival time and ARQ attempt count."""
+
+    __slots__ = ("arrival", "attempts")
+
+    def __init__(self, arrival: float) -> None:
+        self.arrival = float(arrival)
+        self.attempts = 0
+
+
+class FifoQueue:
+    """A finite FIFO buffer of :class:`Frame` objects."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"buffer capacity must be positive, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._frames: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def offer(self, frame: Frame) -> bool:
+        """Admit ``frame`` unless the buffer is full; report admission."""
+        if len(self._frames) >= self.capacity:
+            return False
+        self._frames.append(frame)
+        return True
+
+    def head(self) -> Frame:
+        """The head-of-line frame (the stop-and-wait transmission)."""
+        if not self._frames:
+            raise InvalidParameterError("queue is empty")
+        return self._frames[0]
+
+    def pop(self) -> Frame:
+        """Remove and return the head-of-line frame."""
+        if not self._frames:
+            raise InvalidParameterError("queue is empty")
+        return self._frames.popleft()

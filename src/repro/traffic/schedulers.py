@@ -1,0 +1,97 @@
+"""Multi-pair relay schedulers: which pair gets the next slot.
+
+One shared relay serves ``K`` bi-directional pairs; each slot runs one
+protocol round for exactly one pair (both directions). A scheduler is a
+pure function of the slot index, the per-pair backlogs and — for the
+channel-aware discipline — the pre-seeded next-round outcomes, so every
+discipline is deterministic given the spec.
+
+* ``round-robin`` — *static equal time shares*: slot ``t`` belongs to
+  pair ``t mod K`` whether or not it has traffic (the modeling of the
+  analytic ``two-pair-round-robin`` scenario, and the baseline of
+  arXiv:1002.0123). Idle shares are wasted, which is exactly why
+  work-conserving disciplines dominate it at asymmetric loads.
+* ``longest-queue`` — work-conserving longest-queue-first: the
+  backlogged pair with the largest total backlog (ties to the lowest
+  pair index).
+* ``opportunistic`` — channel-aware (genie-aided CSI): among backlogged
+  pairs, prefer those whose next pre-seeded round outcome would deliver
+  the most head-of-line frames; break ties by backlog, then lowest
+  index. When no backlogged pair would succeed it still serves the
+  longest backlog (work-conserving), burning the bad round on the
+  fullest queue.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "SCHEDULERS",
+    "get_scheduler",
+    "RoundRobinScheduler",
+    "LongestQueueScheduler",
+    "OpportunisticScheduler",
+]
+
+
+class RoundRobinScheduler:
+    """Fixed cyclic rotation: slot ``t`` belongs to pair ``t mod K``."""
+
+    name = "round-robin"
+
+    def pick(self, slot, backlogs, peek):
+        return slot % len(backlogs)
+
+
+class LongestQueueScheduler:
+    """Work-conserving longest-queue-first (ties to the lowest index)."""
+
+    name = "longest-queue"
+
+    def pick(self, slot, backlogs, peek):
+        best = None
+        best_total = 0
+        for pair, (qa, qb) in enumerate(backlogs):
+            total = qa + qb
+            if total > best_total:
+                best, best_total = pair, total
+        return best
+
+
+class OpportunisticScheduler:
+    """Channel-aware: serve the backlogged pair whose round delivers most."""
+
+    name = "opportunistic"
+
+    def pick(self, slot, backlogs, peek):
+        best = None
+        best_key = (-1, -1)
+        for pair, (qa, qb) in enumerate(backlogs):
+            total = qa + qb
+            if total == 0:
+                continue
+            success_ab, success_ba = peek(pair)
+            wins = int(qa > 0 and success_ab) + int(qb > 0 and success_ba)
+            key = (wins, total)
+            if key > best_key:
+                best, best_key = pair, key
+        return best
+
+
+#: Scheduler registry, keyed by the names a ``TrafficSpec`` may carry
+#: (kept in lockstep with ``repro.campaign.spec.TRAFFIC_SCHEDULERS``).
+SCHEDULERS = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    LongestQueueScheduler.name: LongestQueueScheduler,
+    OpportunisticScheduler.name: OpportunisticScheduler,
+}
+
+
+def get_scheduler(name: str):
+    """Instantiate the named scheduling discipline."""
+    if name not in SCHEDULERS:
+        raise InvalidParameterError(
+            f"unknown scheduler {name!r}; choose from {tuple(SCHEDULERS)}"
+        )
+    return SCHEDULERS[name]()

@@ -1,0 +1,345 @@
+"""The traffic simulation itself, and its campaign-kernel adapter.
+
+One simulation models ``K`` bi-directional terminal pairs sharing one
+relay for ``link.n_rounds`` slots. Each slot runs at most one protocol
+round for one pair (chosen by the scheduler); each direction of the
+served pair transmits its head-of-line frame under stop-and-wait ARQ,
+with the round's per-direction decode outcomes supplied by the pair's
+pre-seeded :class:`~repro.traffic.outcomes.FrameOutcomeStream`.
+
+RNG spawn tree (the determinism contract, mirrored in
+``docs/architecture.md``)::
+
+    cell rng = default_rng([link.seed, flat index])      # campaign layer
+      ["stable_throughput" only] load j ...... rng.spawn(n_loads)[j]
+      sim rng ── outcome root, arrival root .. sim_rng.spawn(2)
+        outcome root ── pair k stream ........ outcome_root.spawn(K)[k]
+          pair stream ── payloads, noise ..... pair_rng.spawn(2)
+        arrival root ── flow (k, dir) ........ arrival_root.spawn(2K)[2k+dir]
+
+Every stream is consumed in a fixed pattern, so event order and all
+reported metrics are a pure function of the spec — independent of the
+executor, chunking, sharding, and of whether outcomes were realized
+batched or per-frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channels.gains import LinkGains
+from ..exceptions import InvalidParameterError
+from ..information.functions import db_to_linear
+from .arq import FlowTally, StopAndWaitArq
+from .events import ARRIVAL, SERVICE, EventLoop
+from .generators import arrival_times
+from .outcomes import FrameOutcomeStream
+from .queues import FifoQueue, Frame
+from .schedulers import get_scheduler
+
+__all__ = [
+    "FlowStats",
+    "TrafficReport",
+    "simulate_traffic",
+    "stable_throughput_knee",
+    "traffic_cell_value",
+    "traffic_link_values",
+]
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Frozen per-flow outcome counts of one finished simulation.
+
+    A *flow* is one direction of one pair; flows are ordered
+    ``(pair 0 a→b, pair 0 b→a, pair 1 a→b, ...)``. ``latencies`` are the
+    delivered frames' sojourn times in slots, in delivery order.
+    """
+
+    arrivals: int
+    delivered: int
+    drops_buffer: int
+    drops_arq: int
+    attempts: int
+    latencies: tuple
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Everything a finished traffic simulation measured."""
+
+    n_slots: int
+    n_pairs: int
+    flows: tuple
+    served_rounds: int
+    idle_slots: int
+
+    @property
+    def offered(self) -> int:
+        """Frames generated across all flows (admitted or not)."""
+        return sum(flow.arrivals for flow in self.flows)
+
+    @property
+    def delivered(self) -> int:
+        """Frames delivered across all flows."""
+        return sum(flow.delivered for flow in self.flows)
+
+    @property
+    def dropped(self) -> int:
+        """Frames dropped across all flows (buffer overflow + ARQ)."""
+        return sum(flow.drops_buffer + flow.drops_arq for flow in self.flows)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered frames per slot."""
+        return self.delivered / self.n_slots
+
+    def latency_quantile(self, q: float) -> float:
+        """Pooled delivery-latency quantile in slots (``inf`` if none)."""
+        if not 0.0 < q <= 1.0:
+            raise InvalidParameterError(f"quantile must be in (0, 1], got {q}")
+        pooled = [x for flow in self.flows for x in flow.latencies]
+        if not pooled:
+            return float("inf")
+        return float(np.quantile(np.array(pooled), q))
+
+
+class _TrafficSim:
+    """One simulation run: wiring between the event loop and the parts."""
+
+    def __init__(self, protocol, gains, power, *, link, rng, method, chunk):
+        traffic = link.traffic
+        self.n_slots = int(link.n_rounds)
+        offsets = traffic.pair_offsets_db
+        self.n_pairs = len(offsets)
+        codec = link.codec()
+        outcome_root, arrival_root = rng.spawn(2)
+        pair_rngs = outcome_root.spawn(self.n_pairs)
+        self.streams = []
+        for pair, pair_offsets in enumerate(offsets):
+            scale = tuple(db_to_linear(float(x)) for x in pair_offsets)
+            pair_gains = LinkGains(
+                gains.gab * scale[0],
+                gains.gar * scale[1],
+                gains.gbr * scale[2],
+            )
+            self.streams.append(
+                FrameOutcomeStream(
+                    protocol,
+                    pair_gains,
+                    power,
+                    self.n_slots,
+                    pair_rngs[pair],
+                    codec=codec,
+                    method=method,
+                    chunk=chunk,
+                )
+            )
+        self.arrival_rngs = arrival_root.spawn(2 * self.n_pairs)
+        self.queues = [
+            (FifoQueue(traffic.buffer_frames), FifoQueue(traffic.buffer_frames))
+            for _ in range(self.n_pairs)
+        ]
+        self.flows = [FlowTally() for _ in range(2 * self.n_pairs)]
+        self.arq = StopAndWaitArq(traffic.arq_limit)
+        self.scheduler = get_scheduler(traffic.scheduler)
+        self.traffic = traffic
+        self.served_rounds = 0
+        self.idle_slots = 0
+
+    def _arrive(self, pair: int, direction: int, time: float) -> None:
+        tally = self.flows[2 * pair + direction]
+        tally.arrivals += 1
+        if not self.queues[pair][direction].offer(Frame(time)):
+            tally.drops_buffer += 1
+
+    def _peek(self, pair: int) -> tuple:
+        return self.streams[pair].peek()
+
+    def _serve(self, slot: int) -> None:
+        backlogs = [(len(qa), len(qb)) for qa, qb in self.queues]
+        pair = self.scheduler.pick(slot, backlogs, self._peek)
+        if pair is None or backlogs[pair] == (0, 0):
+            self.idle_slots += 1
+            return
+        success_ab, success_ba = self.streams[pair].take()
+        self.served_rounds += 1
+        completion = float(slot + 1)
+        for direction, success in ((0, success_ab), (1, success_ba)):
+            queue = self.queues[pair][direction]
+            if len(queue):
+                self.arq.transmit(
+                    queue, self.flows[2 * pair + direction], success, completion
+                )
+
+    def run(self, rate_scale: float) -> TrafficReport:
+        rates = self.traffic.pair_rates()
+        loop = EventLoop()
+        for pair in range(self.n_pairs):
+            for direction in range(2):
+                times = arrival_times(
+                    self.traffic.arrival,
+                    rates[pair] * rate_scale,
+                    self.n_slots,
+                    self.arrival_rngs[2 * pair + direction],
+                    burst_size=self.traffic.burst_size,
+                )
+                for t in times:
+                    loop.schedule(t, ARRIVAL, self._arrive, pair, direction, t)
+        for slot in range(self.n_slots):
+            loop.schedule(float(slot), SERVICE, self._serve, slot)
+        loop.run()
+        return TrafficReport(
+            n_slots=self.n_slots,
+            n_pairs=self.n_pairs,
+            flows=tuple(
+                FlowStats(
+                    arrivals=tally.arrivals,
+                    delivered=tally.delivered,
+                    drops_buffer=tally.drops_buffer,
+                    drops_arq=tally.drops_arq,
+                    attempts=tally.attempts,
+                    latencies=tuple(tally.latencies),
+                )
+                for tally in self.flows
+            ),
+            served_rounds=self.served_rounds,
+            idle_slots=self.idle_slots,
+        )
+
+
+def simulate_traffic(
+    protocol,
+    gains: LinkGains,
+    power: float,
+    *,
+    link,
+    rng: np.random.Generator,
+    method: str = "batched",
+    chunk: int | None = None,
+    rate_scale: float = 1.0,
+) -> TrafficReport:
+    """Run one traffic simulation of ``link.traffic`` over ``link.n_rounds``.
+
+    ``gains``/``power`` are the cell's base geometry and transmit power;
+    each pair applies its own ``pair_offsets_db`` on top. ``rate_scale``
+    multiplies every flow's arrival rate (the offered-load sweep knob).
+    ``method``/``chunk`` select how link outcomes are realized — they can
+    never change the report, only the wall clock (benchmark-asserted).
+    """
+    if link.traffic is None:
+        raise InvalidParameterError("link spec carries no traffic parameters")
+    if rate_scale <= 0:
+        raise InvalidParameterError(f"rate scale must be positive, got {rate_scale}")
+    sim = _TrafficSim(
+        protocol, gains, power, link=link, rng=rng, method=method, chunk=chunk
+    )
+    return sim.run(float(rate_scale))
+
+
+def stable_throughput_knee(
+    protocol,
+    gains: LinkGains,
+    power: float,
+    *,
+    link,
+    rng: np.random.Generator,
+    method: str = "batched",
+    chunk: int | None = None,
+) -> float:
+    """The largest sustained offered load of the cell, in frames/slot.
+
+    Sweeps ``traffic.offered_loads`` (rate scale factors); a load is
+    *stable* when the system delivers at least
+    ``1 - traffic.knee_tolerance`` of the frames it generated. Each load
+    runs from its own spawned child stream, so the sweep is one more
+    spec-pure function. Returns the nominal offered rate
+    ``scale × Σ_flows rate`` of the largest stable load, or ``0.0`` when
+    none is stable.
+    """
+    traffic = link.traffic
+    nominal = 2.0 * sum(traffic.pair_rates())
+    load_rngs = rng.spawn(len(traffic.offered_loads))
+    knee = 0.0
+    for scale, load_rng in zip(traffic.offered_loads, load_rngs):
+        report = simulate_traffic(
+            protocol,
+            gains,
+            power,
+            link=link,
+            rng=load_rng,
+            method=method,
+            chunk=chunk,
+            rate_scale=scale,
+        )
+        offered = report.offered
+        stable = (
+            offered == 0
+            or report.delivered >= (1.0 - traffic.knee_tolerance) * offered
+        )
+        if stable:
+            knee = max(knee, scale * nominal)
+    return knee
+
+
+def traffic_cell_value(
+    protocol,
+    gains: LinkGains,
+    power: float,
+    *,
+    link,
+    rng: np.random.Generator,
+    method: str = "batched",
+    chunk: int | None = None,
+) -> float:
+    """One grid cell's traffic metric (``link.metric`` dispatch)."""
+    if link.metric == "stable_throughput":
+        return stable_throughput_knee(
+            protocol, gains, power, link=link, rng=rng, method=method, chunk=chunk
+        )
+    report = simulate_traffic(
+        protocol, gains, power, link=link, rng=rng, method=method, chunk=chunk
+    )
+    return report.latency_quantile(link.traffic.latency_quantile)
+
+
+def traffic_link_values(
+    protocol,
+    gab,
+    gar,
+    gbr,
+    power,
+    *,
+    link,
+    indices,
+    method: str = "batched",
+) -> np.ndarray:
+    """Metric values of a batch of traffic grid cells.
+
+    The campaign-kernel adapter of the traffic objectives — the traffic
+    counterpart of :func:`repro.simulation.montecarlo.fused_link_values`,
+    with the same seeding contract: cell ``i``'s generator is seeded from
+    ``(link.seed, flat unit index)``, so values depend only on the spec,
+    never on executor choice, batch width, chunking or sharding.
+    """
+    gab = np.asarray(gab, dtype=float)
+    gar = np.asarray(gar, dtype=float)
+    gbr = np.asarray(gbr, dtype=float)
+    power = np.asarray(power, dtype=float)
+    indices = np.asarray(indices)
+    if not (gab.shape == gar.shape == gbr.shape == power.shape == indices.shape):
+        raise InvalidParameterError("mismatched cell-batch shapes")
+    values = np.empty(gab.shape[0])
+    for i in range(gab.shape[0]):
+        rng = np.random.default_rng([int(link.seed), int(indices[i])])
+        values[i] = traffic_cell_value(
+            protocol,
+            LinkGains(gab[i], gar[i], gbr[i]),
+            float(power[i]),
+            link=link,
+            rng=rng,
+            method=method,
+        )
+    return values

@@ -412,6 +412,20 @@ class TestScenarioParams:
         assert code == 2
         assert "key=value" in out
 
+    def test_duplicate_key_rejected(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "n_draws=6", "--param", "n_draws=8"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "duplicate --param key 'n_draws'" in out
+
+    def test_duplicate_after_dash_normalization_rejected(self, capsys):
+        code = main(["scenarios", "run", "finite-snr-dmt", "--no-cache",
+                     "--quiet", "--param", "n-draws=6", "--param", "n_draws=8"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "duplicate --param key 'n_draws'" in out
+
 
 class TestScenarioShardGather:
     """`scenarios run --shard` + `scenarios gather` on an operational grid."""

@@ -1,0 +1,73 @@
+"""The deterministic event loop: ordering, clock, and validation."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.traffic import ARRIVAL, SERVICE, EventLoop
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        for t in (2.0, 0.5, 1.25):
+            loop.schedule(t, ARRIVAL, fired.append, t)
+        assert loop.run() == 3
+        assert fired == [0.5, 1.25, 2.0]
+
+    def test_priority_breaks_time_ties(self):
+        """Arrivals at time t land before the slot-t service decision."""
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, SERVICE, fired.append, "service")
+        loop.schedule(1.0, ARRIVAL, fired.append, "arrival")
+        loop.run()
+        assert fired == ["arrival", "service"]
+
+    def test_sequence_breaks_full_ties_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("first", "second", "third"):
+            loop.schedule(3.0, ARRIVAL, fired.append, tag)
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_actions_may_schedule_followups(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                loop.schedule(loop.now + 1.0, SERVICE, chain, depth + 1)
+
+        loop.schedule(0.0, SERVICE, chain, 0)
+        assert loop.run() == 4
+        assert fired == [0, 1, 2, 3]
+
+
+class TestClock:
+    def test_now_tracks_the_fired_event(self):
+        loop = EventLoop()
+        seen = []
+        for t in (0.25, 4.0):
+            loop.schedule(t, ARRIVAL, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [0.25, 4.0]
+        assert loop.now == 4.0
+
+    def test_scheduling_into_the_past_is_rejected(self):
+        loop = EventLoop()
+        loop.schedule(2.0, ARRIVAL, lambda: None)
+        loop.run()
+        with pytest.raises(InvalidParameterError):
+            loop.schedule(1.0, ARRIVAL, lambda: None)
+
+    def test_len_counts_pending_events(self):
+        loop = EventLoop()
+        assert len(loop) == 0
+        loop.schedule(1.0, ARRIVAL, lambda: None)
+        loop.schedule(2.0, ARRIVAL, lambda: None)
+        assert len(loop) == 2
+        loop.run()
+        assert len(loop) == 0

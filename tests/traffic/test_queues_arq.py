@@ -1,0 +1,73 @@
+"""Finite FIFO queues and stop-and-wait ARQ accounting."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.traffic import FifoQueue, FlowTally, Frame, StopAndWaitArq
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        queue = FifoQueue(4)
+        first, second = Frame(0.0), Frame(1.0)
+        assert queue.offer(first) and queue.offer(second)
+        assert queue.head() is first
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_offer_fails_when_full(self):
+        queue = FifoQueue(2)
+        assert queue.offer(Frame(0.0))
+        assert queue.offer(Frame(1.0))
+        assert not queue.offer(Frame(2.0))
+        assert len(queue) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            FifoQueue(0)
+
+
+class TestStopAndWaitArq:
+    def _loaded(self, arrival=0.0):
+        queue = FifoQueue(4)
+        queue.offer(Frame(arrival))
+        return queue, FlowTally()
+
+    def test_success_delivers_and_records_latency(self):
+        queue, tally = self._loaded(arrival=1.5)
+        arq = StopAndWaitArq(3)
+        assert arq.transmit(queue, tally, True, 4.0) == "delivered"
+        assert len(queue) == 0
+        assert tally.delivered == 1
+        assert tally.attempts == 1
+        assert tally.latencies == [2.5]
+
+    def test_failure_keeps_the_frame_pending(self):
+        queue, tally = self._loaded()
+        arq = StopAndWaitArq(3)
+        assert arq.transmit(queue, tally, False, 1.0) == "pending"
+        assert len(queue) == 1
+        assert tally.delivered == 0
+        assert tally.drops_arq == 0
+
+    def test_retry_budget_exhaustion_drops_the_frame(self):
+        queue, tally = self._loaded()
+        arq = StopAndWaitArq(2)
+        assert arq.transmit(queue, tally, False, 1.0) == "pending"
+        assert arq.transmit(queue, tally, False, 2.0) == "dropped"
+        assert len(queue) == 0
+        assert tally.drops_arq == 1
+        assert tally.attempts == 2
+        assert tally.latencies == []
+
+    def test_success_on_the_last_attempt_still_delivers(self):
+        queue, tally = self._loaded()
+        arq = StopAndWaitArq(2)
+        arq.transmit(queue, tally, False, 1.0)
+        assert arq.transmit(queue, tally, True, 2.0) == "delivered"
+        assert tally.delivered == 1
+        assert tally.drops_arq == 0
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            StopAndWaitArq(0)

@@ -1,0 +1,82 @@
+"""Scheduling disciplines as pure functions of slot, backlogs, outcomes."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.traffic import SCHEDULERS, get_scheduler
+
+
+def _peek_all_succeed(pair):
+    return True, True
+
+
+class TestRoundRobin:
+    def test_fixed_rotation_ignores_backlogs(self):
+        scheduler = get_scheduler("round-robin")
+        backlogs = [(0, 0), (5, 5), (1, 0)]
+        picks = [scheduler.pick(s, backlogs, _peek_all_succeed) for s in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+
+class TestLongestQueue:
+    def test_picks_the_largest_total_backlog(self):
+        scheduler = get_scheduler("longest-queue")
+        assert scheduler.pick(0, [(1, 0), (2, 3), (0, 4)], _peek_all_succeed) == 1
+
+    def test_ties_go_to_the_lowest_index(self):
+        scheduler = get_scheduler("longest-queue")
+        assert scheduler.pick(0, [(2, 1), (0, 3), (3, 0)], _peek_all_succeed) == 0
+
+    def test_all_empty_yields_none(self):
+        scheduler = get_scheduler("longest-queue")
+        assert scheduler.pick(0, [(0, 0), (0, 0)], _peek_all_succeed) is None
+
+
+class TestOpportunistic:
+    def test_prefers_deliverable_outcomes_over_backlog(self):
+        scheduler = get_scheduler("opportunistic")
+        outcomes = {0: (False, False), 1: (True, True)}
+        pick = scheduler.pick(0, [(9, 9), (1, 1)], lambda pair: outcomes[pair])
+        assert pick == 1
+
+    def test_counts_only_deliverable_directions(self):
+        """A success on an empty direction is not a win."""
+        scheduler = get_scheduler("opportunistic")
+        outcomes = {0: (True, True), 1: (True, True)}
+        pick = scheduler.pick(0, [(0, 1), (1, 1)], lambda pair: outcomes[pair])
+        assert pick == 1
+
+    def test_work_conserving_when_nothing_would_deliver(self):
+        scheduler = get_scheduler("opportunistic")
+        outcomes = {0: (False, False), 1: (False, False)}
+        pick = scheduler.pick(0, [(1, 0), (2, 2)], lambda pair: outcomes[pair])
+        assert pick == 1
+
+    def test_skips_empty_pairs_entirely(self):
+        peeked = []
+
+        def peek(pair):
+            peeked.append(pair)
+            return True, True
+
+        scheduler = get_scheduler("opportunistic")
+        assert scheduler.pick(0, [(0, 0), (1, 0)], peek) == 1
+        assert peeked == [1]
+
+    def test_all_empty_yields_none(self):
+        scheduler = get_scheduler("opportunistic")
+        assert scheduler.pick(0, [(0, 0)], _peek_all_succeed) is None
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(SCHEDULERS) == {"round-robin", "longest-queue", "opportunistic"}
+
+    def test_registry_matches_spec_constants(self):
+        from repro.campaign.spec import TRAFFIC_SCHEDULERS
+
+        assert set(TRAFFIC_SCHEDULERS) == set(SCHEDULERS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_scheduler("fifo")
