@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import time
 from collections.abc import Mapping
-from contextlib import ExitStack
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -98,6 +98,13 @@ class CampaignResult:
         Grid cells served from cached chunk or full entries.
     cells_computed:
         Grid cells freshly evaluated by the executor this run.
+    unresolved_cells:
+        Adaptive accounting: of the cells computed this run, how many
+        exhausted their ``max_rounds`` budget without meeting
+        ``target_rel_error`` (the silent-resolution bugfix). ``None``
+        when unknown — the campaign is not adaptive, every cell came
+        from cache (values alone cannot tell), or evaluation ran in
+        worker processes outside the in-process tally.
     """
 
     spec: CampaignSpec
@@ -108,6 +115,7 @@ class CampaignResult:
     shard: CampaignShard | None = None
     cells_from_cache: int = 0
     cells_computed: int = 0
+    unresolved_cells: int | None = None
 
     def _protocol_index(self, protocol: Protocol) -> int:
         try:
@@ -171,6 +179,34 @@ class CampaignResult:
                     ]
                 )
         return rows
+
+
+@contextmanager
+def _adaptive_tally(spec: CampaignSpec):
+    """Install adaptive resolution accounting when the spec calls for it."""
+    if spec.link is None or spec.link.target_rel_error is None:
+        yield None
+        return
+    from ..simulation.montecarlo import collect_adaptive_accounting
+
+    with collect_adaptive_accounting() as tally:
+        yield tally
+
+
+def _unresolved_count(tally, cells_computed: int) -> int | None:
+    """Resolve the tally into a count, or ``None`` when it cannot be known.
+
+    The tally only sees in-process evaluations; a process-pool executor
+    computes cells the tally never observes, which shows up as a
+    shortfall against ``cells_computed`` — reported as unknown rather
+    than a wrong zero. All-cache runs are unknown too: cached values
+    carry no resolution flags.
+    """
+    if tally is None or cells_computed == 0:
+        return None
+    if tally.adaptive_cells != cells_computed:
+        return None
+    return tally.unresolved_cells
 
 
 def _cache_key(spec: CampaignSpec) -> str:
@@ -459,7 +495,8 @@ def run_campaign(
     if shard is None and store is None and chunk_size is None:
         # Nothing to checkpoint or resume: evaluate the grid in one pass.
         batches = _grid_batches(spec, flat_gains, 0, spec.n_units)
-        value_arrays = executor.run(batches, progress=progress)
+        with _adaptive_tally(spec) as tally:
+            value_arrays = executor.run(batches, progress=progress)
         values = np.concatenate(value_arrays).reshape(spec.grid_shape)
         return CampaignResult(
             spec=spec,
@@ -468,6 +505,7 @@ def run_campaign(
             from_cache=False,
             elapsed_seconds=time.perf_counter() - started,
             cells_computed=spec.n_units,
+            unresolved_cells=_unresolved_count(tally, spec.n_units),
         )
 
     unit_range = shard.unit_range if shard is not None else (0, spec.n_units)
@@ -476,17 +514,18 @@ def run_campaign(
     def batches_for(lo: int, hi: int):
         return _grid_batches(spec, flat_gains, lo, hi)
 
-    flat, cells_from_cache, cells_computed = _run_chunked(
-        key,
-        unit_range,
-        batches_for,
-        spec.to_dict(),
-        store,
-        trusted,
-        executor,
-        chunk_size or DEFAULT_CHUNK_SIZE,
-        progress,
-    )
+    with _adaptive_tally(spec) as tally:
+        flat, cells_from_cache, cells_computed = _run_chunked(
+            key,
+            unit_range,
+            batches_for,
+            spec.to_dict(),
+            store,
+            trusted,
+            executor,
+            chunk_size or DEFAULT_CHUNK_SIZE,
+            progress,
+        )
 
     if shard is None:
         values = flat.reshape(spec.grid_shape)
@@ -508,6 +547,7 @@ def run_campaign(
         shard=shard,
         cells_from_cache=cells_from_cache,
         cells_computed=cells_computed,
+        unresolved_cells=_unresolved_count(tally, cells_computed),
     )
 
 

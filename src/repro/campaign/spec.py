@@ -383,6 +383,15 @@ class LinkSimSpec:
         (:data:`TRAFFIC_METRICS`); incompatible with adaptive round
         budgets. Serialized only when set, so every pre-existing link
         spec hash is untouched.
+    importance_sampling:
+        Optional
+        :class:`~repro.simulation.sampling.ImportanceSamplingSpec`
+        switching the cell evaluation to a twisted-noise proposal with
+        exact likelihood-ratio reweighting — the rare-event estimator
+        for deep-fade FER campaigns. Requires ``metric="fer"`` (the
+        weighted estimator reweights frame errors; goodput and the
+        traffic metrics have no weighted form). Serialized only when
+        set, so every pre-existing link spec hash is untouched.
     """
 
     n_rounds: int
@@ -395,12 +404,37 @@ class LinkSimSpec:
     target_rel_error: float | None = None
     max_rounds: int | None = None
     traffic: TrafficSpec | None = None
+    importance_sampling: "object | None" = None
 
     def __post_init__(self) -> None:
         if isinstance(self.traffic, dict):
             object.__setattr__(self, "traffic", TrafficSpec(**self.traffic))
         if self.traffic is not None and not isinstance(self.traffic, TrafficSpec):
             raise InvalidParameterError(f"{self.traffic!r} is not a TrafficSpec")
+        if self.importance_sampling is not None:
+            from ..simulation.sampling import ImportanceSamplingSpec
+
+            if isinstance(self.importance_sampling, dict):
+                object.__setattr__(
+                    self,
+                    "importance_sampling",
+                    ImportanceSamplingSpec(**self.importance_sampling),
+                )
+            if not isinstance(self.importance_sampling, ImportanceSamplingSpec):
+                raise InvalidParameterError(
+                    f"{self.importance_sampling!r} is not an ImportanceSamplingSpec"
+                )
+            if self.traffic is not None or self.metric in TRAFFIC_METRICS:
+                raise InvalidParameterError(
+                    "importance sampling reweights bare link rounds; it is "
+                    "incompatible with traffic coupling "
+                    f"(metric {self.metric!r})"
+                )
+            if self.metric != "fer":
+                raise InvalidParameterError(
+                    "importance sampling reweights the FER estimator; "
+                    f'metric must be "fer", got {self.metric!r}'
+                )
         if self.n_rounds < 1:
             raise InvalidParameterError(
                 f"need at least one round per cell, got {self.n_rounds}"
@@ -485,6 +519,8 @@ class LinkSimSpec:
             data["max_rounds"] = int(self.max_rounds)
         if self.traffic is not None:
             data["traffic"] = self.traffic.to_dict()
+        if self.importance_sampling is not None:
+            data["importance_sampling"] = self.importance_sampling.to_dict()
         return data
 
 

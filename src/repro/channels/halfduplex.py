@@ -39,6 +39,13 @@ per-cell spawn policy of the campaign engine: a fused phase consumes a
 cell's block is drawn contiguously from *its* stream — exactly the draw
 the per-cell path makes — so fused campaigns are bitwise-identical to
 evaluating the cells one at a time.
+
+An optional importance-sampling ``twist``
+(:class:`repro.simulation.sampling.NoiseTwist`) biases the fused noise
+*after* that identical standard draw — an affine per-cell transform
+whose exact per-row log likelihood ratio accumulates on the medium —
+so rare-event FER campaigns reweight instead of re-draw, and the RNG
+spawn/consumption contract above survives untouched.
 """
 
 from __future__ import annotations
@@ -405,9 +412,25 @@ class FusedHalfDuplexMedium:
         ``n_cells * rounds_per_cell``.
     noise:
         Noise source at every listener (unit power by default).
+    twist:
+        Optional importance-sampling proposal
+        (:class:`repro.simulation.sampling.NoiseTwist`, one
+        scale/shift pair per cell). When set, every phase draws the
+        *identical* standard block from the per-cell streams and then
+        applies the affine twist to it, appending each row's exact log
+        likelihood ratio to :attr:`phase_log_lrs` — so the RNG
+        spawn/consumption policy (and therefore every untwisted cell)
+        is untouched. ``None`` (the default) is the vanilla medium,
+        bitwise-identical to the pre-sampling kernel.
     complex_gains:
         Derived per-link coherent amplitudes as ``(n_rows, 1)`` complex
         columns, keyed like :attr:`HalfDuplexMedium.complex_gains`.
+    phase_log_lrs:
+        Phase-ordered list of per-row log likelihood ratios of target
+        over proposal, one ``(n_rows,)`` vector appended per phase run
+        on this medium (the engine runs each protocol phase exactly
+        once per batch, so the list index *is* the phase index); empty
+        without a twist.
     """
 
     gab: np.ndarray
@@ -415,7 +438,9 @@ class FusedHalfDuplexMedium:
     gbr: np.ndarray
     rounds_per_cell: int
     noise: ComplexAwgn = field(default_factory=ComplexAwgn)
+    twist: object | None = None
     complex_gains: dict = field(init=False)
+    phase_log_lrs: list = field(init=False)
 
     def __post_init__(self) -> None:
         self.gab = np.atleast_1d(np.asarray(self.gab, dtype=float))
@@ -449,6 +474,14 @@ class FusedHalfDuplexMedium:
             ]
             for key, values in per_link.items()
         }
+        if self.twist is not None and getattr(self.twist, "n_cells", None) != (
+            self.gab.shape[0]
+        ):
+            raise InvalidParameterError(
+                f"noise twist covers {getattr(self.twist, 'n_cells', '?')} cells, "
+                f"medium has {self.gab.shape[0]}"
+            )
+        self.phase_log_lrs = []
 
     @property
     def n_cells(self) -> int:
@@ -500,6 +533,27 @@ class FusedHalfDuplexMedium:
             draws[cell] = stream.normal(
                 0.0, scale, size=(rounds, len(listeners), 2, n_symbols)
             )
+        if self.twist is not None:
+            # Importance sampling twists the block *after* the identical
+            # standard draw, so stream consumption (and every untwisted
+            # cell) is byte-for-byte what the vanilla medium does.
+            signs = None
+            if self.twist.needs_signs:
+                # Noiseless in-phase aggregate per listener — the
+                # mean-shift direction that pushes each symbol toward
+                # its decision boundary.
+                signs = np.empty((n_rows, len(listeners), n_symbols))
+                for li, node in enumerate(listeners):
+                    clean = np.zeros((n_rows, n_symbols))
+                    for tx, x in transmissions.items():
+                        gain = self.complex_gains[frozenset((tx, node))]
+                        clean = clean + np.real(gain * np.asarray(x))
+                    signs[:, li, :] = np.sign(clean)
+                signs = signs.reshape(
+                    self.n_cells, rounds, len(listeners), n_symbols
+                )
+            draws, log_lr = self.twist.apply(draws, scale, signs)
+            self.phase_log_lrs.append(log_lr.reshape(-1))
         draws = draws.reshape(n_rows, len(listeners), 2, n_symbols)
         received = _combine_received(
             draws, listeners, transmissions, self.complex_gains

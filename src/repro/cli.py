@@ -177,6 +177,43 @@ def _cmd_sumrate(args) -> int:
     return 0
 
 
+def _sampling_from_args(args):
+    """Build the ``ImportanceSamplingSpec`` requested on the command line.
+
+    Returns ``None`` when no sampling flags were given. Raises
+    :class:`ValueError` on incompatible combinations so the caller's
+    usage-error path (exit code 2) handles them uniformly.
+    """
+    from .simulation.sampling import ImportanceSamplingSpec
+
+    dependents = {
+        "--is-noise-shift": args.is_noise_shift,
+        "--is-target-snr-db": args.is_target_snr_db,
+        "--is-min-ess": args.is_min_ess,
+    }
+    if args.importance_sampling is None:
+        stray = [flag for flag, value in dependents.items() if value is not None]
+        if stray:
+            verb = "requires" if len(stray) == 1 else "require"
+            raise ValueError(
+                f"{', '.join(stray)} {verb} --importance-sampling SCALE"
+            )
+        return None
+    if args.reference:
+        raise ValueError(
+            "importance sampling runs through the fused batched kernel; "
+            "it is incompatible with --reference"
+        )
+    kwargs = {"noise_scale": args.importance_sampling}
+    if args.is_noise_shift is not None:
+        kwargs["noise_shift"] = args.is_noise_shift
+    if args.is_target_snr_db is not None:
+        kwargs["target_snr_db"] = args.is_target_snr_db
+    if args.is_min_ess is not None:
+        kwargs["min_ess_fraction"] = args.is_min_ess
+    return ImportanceSamplingSpec(**kwargs)
+
+
 def _cmd_simulate(args) -> int:
     from .simulation.linkcodec import default_codec
     from .simulation.montecarlo import simulate_protocol
@@ -185,6 +222,7 @@ def _cmd_simulate(args) -> int:
     gains = LinkGains.from_db(args.gab_db, args.gar_db, args.gbr_db)
     rng = np.random.default_rng(args.seed)
     try:
+        sampling = _sampling_from_args(args)
         report = simulate_protocol(
             protocol,
             gains,
@@ -195,6 +233,7 @@ def _cmd_simulate(args) -> int:
             method="reference" if args.reference else "batched",
             target_rel_error=args.target_rel_error,
             max_rounds=args.max_rounds,
+            importance_sampling=sampling,
         )
     except ValueError as error:
         print(f"error: {error}")
@@ -228,6 +267,20 @@ def _cmd_simulate(args) -> int:
         f"\nsum goodput {report.sum_goodput:.5f} bits/symbol; "
         f"relay failures {report.relay_failures}/{report.n_rounds}"
     )
+    if report.sampling is not None:
+        counter = report.sampling
+        print(
+            f"importance sampling: weighted FER {counter.weighted_fer:.4e} "
+            f"(rel std err {counter.rel_std_error:.3f}), "
+            f"ESS {counter.ess_fraction:.3f} of {counter.frames} trials, "
+            f"max weight {counter.max_weight:.3g}"
+        )
+    if report.resolved is False:
+        print(
+            "warning: cell exhausted --max-rounds without meeting "
+            "--target-rel-error (estimate unresolved)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -717,6 +770,12 @@ def _cmd_scenarios_run(args) -> int:
         f"{campaign.cells_from_cache} from cache, "
         f"{campaign.cells_computed} computed"
     )
+    if campaign.unresolved_cells:
+        print(
+            f"warning: {campaign.unresolved_cells} adaptive cells unresolved "
+            "(exhausted max_rounds without meeting target_rel_error)",
+            file=sys.stderr,
+        )
     print(f"spec {spec.spec_hash()}")
     if args.dump:
         _dump_values(result, args.dump)
@@ -1040,6 +1099,41 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="adaptive budget: hard cap on rounds when --target-rel-error is set",
+    )
+    p_sim.add_argument(
+        "--importance-sampling",
+        type=float,
+        default=None,
+        metavar="SCALE",
+        help="rare-event mode: twist the noise proposal by this per-component "
+        "standard-deviation factor (>= 1) and reweight each frame by its "
+        "exact likelihood ratio; FER stays unbiased",
+    )
+    p_sim.add_argument(
+        "--is-noise-shift",
+        type=float,
+        default=None,
+        metavar="SHIFT",
+        help="importance sampling: mean shift (in noise std units) pushed "
+        "against the transmitted signal (requires --importance-sampling)",
+    )
+    p_sim.add_argument(
+        "--is-target-snr-db",
+        type=float,
+        default=None,
+        metavar="DB",
+        help="importance sampling: per-cell twist calibration — cells whose "
+        "best-link SNR is below this threshold fall back toward vanilla "
+        "draws (requires --importance-sampling)",
+    )
+    p_sim.add_argument(
+        "--is-min-ess",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="importance sampling: refuse to resolve adaptive cells whose "
+        "effective sample size falls below this fraction of trials "
+        "(requires --importance-sampling)",
     )
     _add_channel_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)

@@ -69,6 +69,16 @@ class EvaluationResult:
         """Wall-clock time of the evaluation (or cache read)."""
         return self.campaign.elapsed_seconds
 
+    @property
+    def unresolved_cells(self) -> int | None:
+        """Adaptive cells that exhausted ``max_rounds`` without resolving.
+
+        ``None`` when unknown (non-adaptive scenario, all-cache run, or
+        out-of-process evaluation) — see
+        :attr:`repro.campaign.engine.CampaignResult.unresolved_cells`.
+        """
+        return self.campaign.unresolved_cells
+
     def axis_index(self, name: str) -> int:
         """Position of a named axis in the grid."""
         try:

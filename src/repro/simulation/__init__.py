@@ -23,12 +23,14 @@ from .engine import (
 )
 from .interleaver import BlockInterleaver, RandomInterleaver
 from .linkcodec import DecodedFrame, LinkCodec, default_codec
-from .metrics import LinkCounter, ThroughputReport, wilson_interval
+from .metrics import LinkCounter, ThroughputReport, WeightedFerCounter, wilson_interval
 from .modulation import Bpsk, Qpsk, hard_decisions
 from .montecarlo import (
+    AdaptiveAccounting,
     FadingStatistics,
     SimulationReport,
     batched_link_goodput,
+    collect_adaptive_accounting,
     ergodic_sum_rate,
     fading_sum_rate_statistics,
     fused_link_values,
@@ -50,6 +52,7 @@ from .random_coding import (
     simulate_mabc_random_coding,
 )
 from .relay import MacDecodingResult, decode_frame, sic_decode_mac, xor_forward
+from .sampling import ImportanceSamplingSpec, NoiseTwist
 from .terminals import DecodePath, PartnerEstimate, arbitrate_paths, resolve_via_relay
 
 __all__ = [
@@ -85,13 +88,16 @@ __all__ = [
     "default_codec",
     "LinkCounter",
     "ThroughputReport",
+    "WeightedFerCounter",
     "wilson_interval",
     "Bpsk",
     "Qpsk",
     "hard_decisions",
+    "AdaptiveAccounting",
     "FadingStatistics",
     "SimulationReport",
     "batched_link_goodput",
+    "collect_adaptive_accounting",
     "ergodic_sum_rate",
     "fading_sum_rate_statistics",
     "fused_link_values",
@@ -115,4 +121,6 @@ __all__ = [
     "PartnerEstimate",
     "arbitrate_paths",
     "resolve_via_relay",
+    "ImportanceSamplingSpec",
+    "NoiseTwist",
 ]

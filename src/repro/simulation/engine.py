@@ -56,6 +56,13 @@ cell's block contiguously from it. Fusing therefore changes *which
 arrays the arithmetic runs over*, never *which random values a cell
 consumes* — the property the fused ablation benchmark asserts.
 
+Importance sampling keeps the same contract: a twisted-noise proposal
+(:mod:`repro.simulation.sampling`) biases each cell's noise as an affine
+transform applied *after* the identical per-stream standard draw, with
+the exact per-row log likelihood ratio accumulated on the fused medium.
+Stream spawning and consumption never change, so cells without a
+sampling spec remain bitwise-identical to the pre-sampling kernel.
+
 Wave-schedule determinism (the adaptive-round-allocation companion of
 the RNG spawn policy): when a campaign runs rounds in escalating waves
 (``target_rel_error`` in :class:`repro.campaign.spec.LinkSimSpec`), the
@@ -1074,6 +1081,8 @@ class FusedCellEngine(BatchedProtocolEngine):
         gbr,
         power,
         rounds_per_cell: int,
+        *,
+        sampling=None,
     ) -> "FusedCellEngine":
         """Build the engine of one fused wave over concrete grid cells.
 
@@ -1081,12 +1090,21 @@ class FusedCellEngine(BatchedProtocolEngine):
         broadcasts from a scalar); ``rounds_per_cell`` is the wave's round
         count, shared by every cell of the wave. Construction is cheap —
         trellis tables are cached on the code object — so drivers build a
-        fresh engine per wave.
+        fresh engine per wave. With a ``sampling``
+        :class:`~repro.simulation.sampling.ImportanceSamplingSpec`, the
+        medium carries the per-cell noise twist derived from the batch's
+        gain/power columns and accumulates per-row log likelihood ratios
+        (read them from ``engine.medium.log_weights`` after the wave).
         """
         gab = np.atleast_1d(np.asarray(gab, dtype=float))
         power = np.broadcast_to(np.asarray(power, dtype=float), gab.shape).copy()
+        twist = None
+        if sampling is not None:
+            # The fused campaign medium is unit-noise-power by
+            # construction (the default ComplexAwgn below).
+            twist = sampling.cell_twist(gab, gar, gbr, power, noise_power=1.0)
         medium = FusedHalfDuplexMedium(
-            gab=gab, gar=gar, gbr=gbr, rounds_per_cell=rounds_per_cell
+            gab=gab, gar=gar, gbr=gbr, rounds_per_cell=rounds_per_cell, twist=twist
         )
         power_rows = np.repeat(power, rounds_per_cell)[:, None]
         return cls(medium=medium, codec=codec, power=power_rows)

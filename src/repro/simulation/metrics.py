@@ -17,7 +17,12 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 
-__all__ = ["LinkCounter", "wilson_interval", "ThroughputReport"]
+__all__ = [
+    "LinkCounter",
+    "WeightedFerCounter",
+    "wilson_interval",
+    "ThroughputReport",
+]
 
 
 def wilson_interval(
@@ -91,6 +96,126 @@ class LinkCounter:
     def fer_interval(self, z: float = 1.96) -> tuple[float, float]:
         """Wilson interval for the frame error rate."""
         return wilson_interval(self.frame_errors, self.frames, z=z)
+
+
+@dataclass
+class WeightedFerCounter:
+    """Likelihood-ratio-weighted frame-error accounting of one cell.
+
+    The importance-sampling companion of :class:`LinkCounter`: every
+    protocol round contributes its two direction outcomes as Bernoulli
+    trials, each weighted by that direction's exact likelihood ratio
+    ``w`` (see :mod:`repro.simulation.sampling` — for the factorizing
+    protocols the two directions carry different weights). Since
+    ``E_q[w * err] = FER``, the unnormalized estimator
+    :attr:`weighted_fer` is unbiased at any sample size; :attr:`ess`
+    exposes the effective sample size that guards weight degeneracy.
+
+    Attributes
+    ----------
+    n_rounds:
+        Protocol rounds recorded (each pools two direction trials).
+    sum_weights / sum_sq_weights:
+        Per-trial weight sums ``sum w`` and ``sum w^2`` over the pooled
+        direction trials.
+    weighted_errors / weighted_sq_errors:
+        ``sum w * err`` and ``sum w^2 * err`` over the pooled trials
+        (``err`` is the trial's 0/1 frame-error indicator).
+    max_weight:
+        Largest trial weight seen — the degeneracy diagnostic.
+    """
+
+    n_rounds: int = 0
+    sum_weights: float = 0.0
+    sum_sq_weights: float = 0.0
+    weighted_errors: float = 0.0
+    weighted_sq_errors: float = 0.0
+    max_weight: float = 0.0
+
+    def record_rows(
+        self, *, log_weights_a, log_weights_b, success_a, success_b
+    ) -> None:
+        """Account a batch of rounds: per-direction log weights and outcomes."""
+        log_weights_a = np.asarray(log_weights_a, dtype=float)
+        log_weights_b = np.asarray(log_weights_b, dtype=float)
+        success_a = np.asarray(success_a, dtype=bool)
+        success_b = np.asarray(success_b, dtype=bool)
+        shapes = {
+            log_weights_a.shape,
+            log_weights_b.shape,
+            success_a.shape,
+            success_b.shape,
+        }
+        if len(shapes) != 1 or log_weights_a.ndim != 1:
+            raise InvalidParameterError(
+                f"mismatched batch shapes: {log_weights_a.shape}, "
+                f"{log_weights_b.shape}, {success_a.shape}, {success_b.shape}"
+            )
+        # A degenerate proposal can push exp() to inf; masked sums keep
+        # the accumulators NaN-free (inf * 0 never forms) so the ESS
+        # guard sees the degeneracy instead of a poisoned estimate.
+        with np.errstate(over="ignore"):
+            weights_a = np.exp(log_weights_a)
+            weights_b = np.exp(log_weights_b)
+        err_a = ~success_a
+        err_b = ~success_b
+        self.n_rounds += int(log_weights_a.size)
+        self.sum_weights += float(weights_a.sum() + weights_b.sum())
+        self.sum_sq_weights += float(
+            (weights_a * weights_a).sum() + (weights_b * weights_b).sum()
+        )
+        self.weighted_errors += float(
+            weights_a[err_a].sum() + weights_b[err_b].sum()
+        )
+        self.weighted_sq_errors += float(
+            (weights_a[err_a] ** 2).sum() + (weights_b[err_b] ** 2).sum()
+        )
+        if weights_a.size:
+            self.max_weight = max(
+                self.max_weight, float(weights_a.max()), float(weights_b.max())
+            )
+
+    @property
+    def frames(self) -> int:
+        """Pooled Bernoulli trials: two directions per round."""
+        return 2 * self.n_rounds
+
+    @property
+    def weighted_fer(self) -> float:
+        """Unbiased weighted FER: ``sum(w * err) / trials``."""
+        return self.weighted_errors / self.frames if self.frames else 0.0
+
+    @property
+    def mean_weight(self) -> float:
+        """Average trial weight (concentrates near 1 for sane proposals)."""
+        return self.sum_weights / self.frames if self.frames else 0.0
+
+    @property
+    def ess(self) -> float:
+        """Effective sample size ``(sum w)^2 / sum w^2`` over the trials."""
+        if self.sum_sq_weights <= 0 or not math.isfinite(self.sum_sq_weights):
+            return 0.0
+        return self.sum_weights * self.sum_weights / self.sum_sq_weights
+
+    @property
+    def ess_fraction(self) -> float:
+        """ESS as a fraction of the pooled trial count."""
+        return self.ess / self.frames if self.frames else 0.0
+
+    @property
+    def rel_std_error(self) -> float:
+        """Relative standard error of :attr:`weighted_fer`.
+
+        Sample-variance form over the ``2 * n_rounds`` weighted trials;
+        ``inf`` while no weighted error mass has been observed.
+        """
+        if self.weighted_errors <= 0 or self.frames < 2:
+            return math.inf
+        n = self.frames
+        variance = (self.weighted_sq_errors - self.weighted_errors**2 / n) / (n - 1)
+        if variance <= 0:
+            return 0.0
+        return math.sqrt(variance / n) / self.weighted_fer
 
 
 @dataclass

@@ -62,13 +62,27 @@ the target (a cell with zero observed errors runs to ``max_rounds``).
 Every wave draws one contiguous payload block per cell at those fixed
 boundaries and noise streams split safely, so adaptive reports — like
 fixed-budget ones — are a pure function of the spec, independent of
-fusion width, executor choice or chunking.
+fusion width, executor choice or chunking. A cell that exhausts
+``max_rounds`` without meeting the target is *surfaced*, not silent:
+its report's ``resolved`` flag is ``False`` and campaign runs tally an
+``unresolved_cells`` count through :func:`collect_adaptive_accounting`.
+
+Importance sampling (:mod:`repro.simulation.sampling`): with an
+:class:`~repro.simulation.sampling.ImportanceSamplingSpec`, every noise
+block is twisted per cell *after* the identical standard draw and each
+fused row is reweighted by its exact likelihood ratio — the FER
+estimate stays unbiased while deep-fade errors become plentiful. The
+stopping rule switches to the weighted estimator's relative standard
+error, guarded by the effective sample size so degenerate proposals
+fall back to the full budget instead of resolving on garbage.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -86,7 +100,8 @@ from .engine import (
     spawn_phase_streams,
 )
 from .linkcodec import LinkCodec, default_codec
-from .metrics import LinkCounter, ThroughputReport
+from .metrics import LinkCounter, ThroughputReport, WeightedFerCounter
+from .sampling import ImportanceSamplingSpec, direction_log_weights
 
 __all__ = [
     "SimulationReport",
@@ -95,6 +110,8 @@ __all__ = [
     "wave_bounds",
     "batched_link_goodput",
     "fused_link_values",
+    "AdaptiveAccounting",
+    "collect_adaptive_accounting",
     "DEFAULT_ROUND_BATCH",
     "DEFAULT_FUSED_ROWS",
     "FadingStatistics",
@@ -135,6 +152,18 @@ class SimulationReport:
         Goodput accounting in bits per channel symbol.
     relay_failures:
         Rounds in which the relay failed to decode what it needed.
+    sampling:
+        Likelihood-ratio-weighted FER accounting
+        (:class:`~repro.simulation.metrics.WeightedFerCounter`) when the
+        campaign ran under an importance-sampling proposal; ``None`` for
+        vanilla campaigns. When present, the per-direction counters hold
+        *proposal-biased* raw counts — :attr:`fer` reports the weighted
+        (unbiased) estimate instead.
+    resolved:
+        Adaptive-budget accounting: ``True`` if the cell met its
+        ``target_rel_error`` at a wave boundary, ``False`` if it
+        exhausted ``max_rounds`` without resolving, ``None`` for
+        fixed-budget campaigns.
     """
 
     protocol: Protocol
@@ -144,6 +173,8 @@ class SimulationReport:
     throughput: ThroughputReport
 
     relay_failures: int
+    sampling: WeightedFerCounter | None = None
+    resolved: bool | None = None
 
     @property
     def sum_goodput(self) -> float:
@@ -157,7 +188,12 @@ class SimulationReport:
         Every round attempts one frame per direction, so this pools
         ``2 * n_rounds`` Bernoulli trials — the quantity the adaptive
         round-allocation controller drives to its target precision.
+        Under importance sampling the pooled trials are reweighted by
+        their exact likelihood ratios, so the estimate stays unbiased
+        while the raw counters reflect the error-rich proposal.
         """
+        if self.sampling is not None:
+            return self.sampling.weighted_fer
         frames = self.a_to_b.frames + self.b_to_a.frames
         errors = self.a_to_b.frame_errors + self.b_to_a.frame_errors
         return errors / frames if frames else 0.0
@@ -302,9 +338,12 @@ class _CellState:
         "b_to_a",
         "throughput",
         "relay_failures",
+        "sampling",
     )
 
-    def __init__(self, gains: LinkGains, payload_rng, phase_streams) -> None:
+    def __init__(
+        self, gains: LinkGains, payload_rng, phase_streams, *, weighted: bool = False
+    ) -> None:
         self.gains = gains
         self.payload_rng = payload_rng
         self.phase_streams = phase_streams
@@ -312,9 +351,19 @@ class _CellState:
         self.b_to_a = LinkCounter()
         self.throughput = ThroughputReport()
         self.relay_failures = 0
+        self.sampling = WeightedFerCounter() if weighted else None
 
-    def record(self, batch, lo: int, hi: int) -> None:
+    def record(
+        self, batch, lo: int, hi: int, log_weights_a=None, log_weights_b=None
+    ) -> None:
         """Account this cell's slice of a fused :class:`RoundBatch`."""
+        if self.sampling is not None:
+            self.sampling.record_rows(
+                log_weights_a=log_weights_a[lo:hi],
+                log_weights_b=log_weights_b[lo:hi],
+                success_a=batch.success_a_to_b[lo:hi],
+                success_b=batch.success_b_to_a[lo:hi],
+            )
         self.a_to_b.record_rows(
             success=batch.success_a_to_b[lo:hi],
             n_bits=batch.payload_bits,
@@ -339,14 +388,30 @@ class _CellState:
         if batch.relay_ok is not None:
             self.relay_failures += int((~batch.relay_ok[lo:hi]).sum())
 
-    def fer_resolved(self, target_rel_error: float) -> bool:
+    def fer_resolved(
+        self, target_rel_error: float, min_ess_fraction: float = 0.0
+    ) -> bool:
         """Whether the combined-FER estimate meets the precision target.
 
         The relative standard error of a Bernoulli proportion estimate is
         ``sqrt((1 - p) / (n * p)) = sqrt((1 - p) / errors)``; with zero
         observed errors the FER is unresolved at any target, so the cell
         keeps running until ``max_rounds``.
+
+        Under importance sampling the stopping rule switches to the
+        weighted estimator's relative standard error
+        (:attr:`~repro.simulation.metrics.WeightedFerCounter.rel_std_error`),
+        guarded by the effective sample size: while ``ESS`` is below
+        ``min_ess_fraction`` of the pooled trials the weights are too
+        degenerate to trust and the cell may not resolve — it falls back
+        to running its full budget.
         """
+        if self.sampling is not None:
+            if self.sampling.weighted_errors <= 0:
+                return False
+            if self.sampling.ess_fraction < min_ess_fraction:
+                return False
+            return self.sampling.rel_std_error <= target_rel_error
         errors = self.a_to_b.frame_errors + self.b_to_a.frame_errors
         if errors == 0:
             return False
@@ -354,7 +419,9 @@ class _CellState:
         p = errors / frames
         return math.sqrt((1.0 - p) / errors) <= target_rel_error
 
-    def report(self, protocol: Protocol) -> SimulationReport:
+    def report(
+        self, protocol: Protocol, resolved: bool | None = None
+    ) -> SimulationReport:
         """The cell's final :class:`SimulationReport`."""
         return SimulationReport(
             protocol=protocol,
@@ -363,11 +430,13 @@ class _CellState:
             b_to_a=self.b_to_a,
             throughput=self.throughput,
             relay_failures=self.relay_failures,
+            sampling=self.sampling,
+            resolved=resolved,
         )
 
 
 def _run_fused_rounds(
-    protocol, codec, cells, active, payloads, start, stop, power
+    protocol, codec, cells, active, payloads, start, stop, power, sampling=None
 ) -> None:
     """One fused engine call: rounds ``[start, stop)`` of every active cell."""
     rounds = stop - start
@@ -375,7 +444,7 @@ def _run_fused_rounds(
     gar = np.array([cells[c].gains.gar for c in active])
     gbr = np.array([cells[c].gains.gbr for c in active])
     engine = FusedCellEngine.for_cells(
-        codec, gab, gar, gbr, power[list(active)], rounds
+        codec, gab, gar, gbr, power[list(active)], rounds, sampling=sampling
     )
     wa = np.concatenate([payloads[c][start:stop, 0] for c in active])
     wb = np.concatenate([payloads[c][start:stop, 1] for c in active])
@@ -383,8 +452,19 @@ def _run_fused_rounds(
         protocol, (cells[c].phase_streams for c in active), rounds
     )
     batch = engine.run_rounds(protocol, wa, wb, phase_streams=streams)
+    log_weights_a = log_weights_b = None
+    if sampling is not None:
+        log_weights_a, log_weights_b = direction_log_weights(
+            protocol, engine.medium.phase_log_lrs
+        )
     for j, c in enumerate(active):
-        cells[c].record(batch, j * rounds, (j + 1) * rounds)
+        cells[c].record(
+            batch,
+            j * rounds,
+            (j + 1) * rounds,
+            log_weights_a=log_weights_a,
+            log_weights_b=log_weights_b,
+        )
 
 
 def simulate_protocol_cells(
@@ -398,6 +478,7 @@ def simulate_protocol_cells(
     target_rel_error: float | None = None,
     max_rounds: int | None = None,
     row_cap: int | None = None,
+    sampling: ImportanceSamplingSpec | None = None,
 ) -> list:
     """Run one campaign per grid cell, fused into (cells × rounds) batches.
 
@@ -427,11 +508,29 @@ def simulate_protocol_cells(
         Bound on fused rows per engine call (default
         :data:`DEFAULT_FUSED_ROWS`); a memory knob that can never change
         results.
+    sampling:
+        Optional :class:`~repro.simulation.sampling.ImportanceSamplingSpec`:
+        noise draws are twisted per cell (after the identical standard
+        draws, so vanilla cells are untouched), rows are reweighted by
+        their exact likelihood ratios, and the adaptive stopping rule
+        switches to the weighted estimator's relative standard error
+        with the spec's effective-sample-size guard.
+
+    Returns
+    -------
+    list of :class:`SimulationReport`, one per cell, in cell order. With
+    an adaptive budget each report's ``resolved`` flag records whether
+    the cell met its target (``False`` = exhausted ``max_rounds``
+    unresolved — surfaced, not silent).
     """
     if n_rounds < 1:
         raise InvalidParameterError(f"need at least one round, got {n_rounds}")
     if row_cap is not None and row_cap < 1:
         raise InvalidParameterError(f"row cap must be positive, got {row_cap}")
+    if sampling is not None and not isinstance(sampling, ImportanceSamplingSpec):
+        raise InvalidParameterError(
+            f"{sampling!r} is not an ImportanceSamplingSpec"
+        )
     bounds = wave_bounds(
         n_rounds, target_rel_error=target_rel_error, max_rounds=max_rounds
     )
@@ -455,6 +554,7 @@ def simulate_protocol_cells(
                 gains=gains,
                 payload_rng=payload_rng,
                 phase_streams=spawn_phase_streams(protocol, noise_rng),
+                weighted=sampling is not None,
             )
         )
 
@@ -483,16 +583,35 @@ def simulate_protocol_cells(
             for start in range(0, wave, step):
                 stop = min(start + step, wave)
                 _run_fused_rounds(
-                    protocol, codec, cells, group, payloads, start, stop, power
+                    protocol,
+                    codec,
+                    cells,
+                    group,
+                    payloads,
+                    start,
+                    stop,
+                    power,
+                    sampling=sampling,
                 )
         previous = bound
         if target_rel_error is not None:
+            min_ess = sampling.min_ess_fraction if sampling is not None else 0.0
             active = [
-                c for c in active if not cells[c].fer_resolved(target_rel_error)
+                c
+                for c in active
+                if not cells[c].fer_resolved(target_rel_error, min_ess)
             ]
             if not active:
                 break
-    return [cell.report(protocol) for cell in cells]
+    if target_rel_error is None:
+        return [cell.report(protocol) for cell in cells]
+    # Cells still active exhausted max_rounds without meeting the target
+    # — surfaced on the report instead of resolving silently.
+    unresolved = set(active)
+    return [
+        cells[c].report(protocol, resolved=c not in unresolved)
+        for c in range(n_cells)
+    ]
 
 
 def simulate_protocol(
@@ -507,6 +626,7 @@ def simulate_protocol(
     batch_size: int | None = None,
     target_rel_error: float | None = None,
     max_rounds: int | None = None,
+    importance_sampling: ImportanceSamplingSpec | None = None,
 ) -> SimulationReport:
     """Run ``n_rounds`` of the protocol and aggregate statistics.
 
@@ -540,6 +660,12 @@ def simulate_protocol(
         method only): run the escalating waves of :func:`wave_bounds`
         through the fused kernel and stop at the first boundary where
         the combined-FER relative standard error meets the target.
+    importance_sampling:
+        Optional :class:`~repro.simulation.sampling.ImportanceSamplingSpec`
+        (batched method only): run the campaign under a twisted-noise
+        proposal with exact likelihood-ratio reweighting; the report's
+        ``fer`` is then the weighted (unbiased) estimate and its
+        ``sampling`` counter carries ESS/weight diagnostics.
     """
     if n_rounds < 1:
         raise InvalidParameterError(f"need at least one round, got {n_rounds}")
@@ -549,11 +675,15 @@ def simulate_protocol(
         )
     if batch_size is not None and batch_size < 1:
         raise InvalidParameterError(f"batch size must be positive, got {batch_size}")
-    if target_rel_error is not None or max_rounds is not None:
+    if (
+        target_rel_error is not None
+        or max_rounds is not None
+        or importance_sampling is not None
+    ):
         if method != "batched":
             raise InvalidParameterError(
-                "adaptive round allocation runs through the fused kernel; "
-                "method must be 'batched'"
+                "adaptive round allocation and importance sampling run "
+                "through the fused kernel; method must be 'batched'"
             )
         return simulate_protocol_cells(
             protocol,
@@ -565,6 +695,7 @@ def simulate_protocol(
             target_rel_error=target_rel_error,
             max_rounds=max_rounds,
             row_cap=batch_size,
+            sampling=importance_sampling,
         )[0]
     codec = codec or default_codec()
     payload_rng, noise_rng = rng.spawn(2)
@@ -629,6 +760,57 @@ def batched_link_goodput(
     return values
 
 
+class AdaptiveAccounting:
+    """In-process tally of adaptive-cell resolution across fused batches.
+
+    Installed by :func:`collect_adaptive_accounting`; every
+    :func:`fused_link_values` call running in the installing process
+    reports how many of its cells ran under an adaptive budget and how
+    many exhausted ``max_rounds`` unresolved. Out-of-process executors
+    (process pools) evaluate in workers that never see the tally — the
+    campaign engine detects the shortfall by comparing
+    :attr:`adaptive_cells` against its computed-cell count and reports
+    the unresolved count as unknown rather than wrong.
+    """
+
+    def __init__(self) -> None:
+        self.adaptive_cells = 0
+        self.unresolved_cells = 0
+        self._lock = threading.Lock()
+
+    def note_reports(self, reports) -> None:
+        """Tally the resolution flags of one fused batch's reports."""
+        adaptive = sum(1 for report in reports if report.resolved is not None)
+        unresolved = sum(1 for report in reports if report.resolved is False)
+        with self._lock:
+            self.adaptive_cells += adaptive
+            self.unresolved_cells += unresolved
+
+
+_ADAPTIVE_TALLY: AdaptiveAccounting | None = None
+
+
+@contextmanager
+def collect_adaptive_accounting():
+    """Collect adaptive resolution accounting from enclosed evaluations.
+
+    Yields an :class:`AdaptiveAccounting` that every in-process
+    :func:`fused_link_values` call inside the ``with`` block reports to
+    (thread-safe, so the vectorized, serial and async executors are all
+    covered). Used by :func:`repro.campaign.engine.run_campaign` to
+    surface an ``unresolved_cells`` count without widening the
+    executors' bare-value-array contract.
+    """
+    global _ADAPTIVE_TALLY
+    tally = AdaptiveAccounting()
+    previous = _ADAPTIVE_TALLY
+    _ADAPTIVE_TALLY = tally
+    try:
+        yield tally
+    finally:
+        _ADAPTIVE_TALLY = previous
+
+
 def fused_link_values(
     protocol: Protocol,
     gab,
@@ -672,7 +854,11 @@ def fused_link_values(
         target_rel_error=link.target_rel_error,
         max_rounds=link.max_rounds,
         row_cap=row_cap,
+        sampling=link.importance_sampling,
     )
+    tally = _ADAPTIVE_TALLY
+    if tally is not None:
+        tally.note_reports(reports)
     if link.metric == "fer":
         return np.array([report.fer for report in reports])
     return np.array([report.sum_goodput for report in reports])

@@ -192,3 +192,68 @@ def test_allocation_free_scenario_hashes_are_byte_stable(name):
         for axis in spec.extra_axes
         for value in axis.values
     )
+
+
+# --- Importance sampling: serialize only when set ------------------------
+#
+# ``LinkSimSpec.importance_sampling`` joined the spec after every golden
+# above was recorded. It must serialize *only when set* — a vanilla spec's
+# dict (and therefore every hash above) is byte-identical to the pre-IS
+# layout — while an IS-bearing spec folds the proposal into its content
+# key so biased and vanilla campaigns can never share cache entries.
+
+
+def test_vanilla_link_spec_dict_has_no_sampling_key():
+    from repro.campaign.spec import LinkSimSpec
+
+    link = LinkSimSpec(n_rounds=8, payload_bits=16, seed=1, metric="fer")
+    assert "importance_sampling" not in link.to_dict()
+
+
+def test_importance_sampling_serializes_defaults_sparsely():
+    from repro.campaign.spec import LinkSimSpec
+    from repro.simulation.sampling import ImportanceSamplingSpec
+
+    link = LinkSimSpec(
+        n_rounds=8,
+        payload_bits=16,
+        seed=1,
+        metric="fer",
+        importance_sampling=ImportanceSamplingSpec(noise_scale=1.1),
+    )
+    assert link.to_dict()["importance_sampling"] == {"noise_scale": 1.1}
+
+
+def test_importance_sampling_changes_the_hash():
+    from repro.campaign.spec import LinkSimSpec
+    from repro.simulation.sampling import ImportanceSamplingSpec
+
+    def spec_with(link):
+        return CampaignSpec(
+            protocols=(Protocol.DT,),
+            powers_db=(0.0,),
+            gains=(PAPER_GAINS,),
+            link=link,
+        )
+
+    vanilla = spec_with(LinkSimSpec(n_rounds=8, payload_bits=16, seed=1, metric="fer"))
+    biased = spec_with(
+        LinkSimSpec(
+            n_rounds=8,
+            payload_bits=16,
+            seed=1,
+            metric="fer",
+            importance_sampling=ImportanceSamplingSpec(noise_scale=1.1),
+        )
+    )
+    assert vanilla.spec_hash() != biased.spec_hash()
+
+
+def test_deepfade_scenario_hash_is_byte_stable():
+    """The first IS-bearing golden, recorded when the scenario shipped."""
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario("operational-deepfade-fer").to_campaign_spec()
+    assert spec.spec_hash() == (
+        "f83162ec1ba9212cbf0459dc0de902bbb6d3bcbc3f941d43c50695374aebed12"
+    )

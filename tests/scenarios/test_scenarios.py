@@ -50,7 +50,9 @@ class TestValidation:
         with pytest.raises(InvalidParameterError):
             Topology(gains=(paper_gains,), gains_labels=("a", "b"))
         with pytest.raises(InvalidParameterError):
-            PowerPolicy.uniform(powers_db=(10.0,), offsets_db=(0.0,), offset_labels=("x", "y"))
+            PowerPolicy.uniform(
+                powers_db=(10.0,), offsets_db=(0.0,), offset_labels=("x", "y")
+            )
 
     def test_unknown_objective_rejected(self, paper_gains):
         with pytest.raises(InvalidParameterError):

@@ -128,9 +128,9 @@ class TestFusedEquivalence:
         rows_seen = []
         original = montecarlo.FusedCellEngine.for_cells.__func__
 
-        def recording(cls, codec, gab, gar, gbr, power, rounds_per_cell):
+        def recording(cls, codec, gab, gar, gbr, power, rounds_per_cell, **kwargs):
             rows_seen.append(len(np.atleast_1d(gab)) * rounds_per_cell)
-            return original(cls, codec, gab, gar, gbr, power, rounds_per_cell)
+            return original(cls, codec, gab, gar, gbr, power, rounds_per_cell, **kwargs)
 
         monkeypatch.setattr(
             montecarlo.FusedCellEngine, "for_cells", classmethod(recording)

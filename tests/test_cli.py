@@ -88,6 +88,56 @@ class TestCommands:
         assert code == 2
         assert "max_rounds" in out
 
+    def test_simulate_importance_sampling(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "64",
+            "--payload-bits", "16", "--power-db", "-8", "--gab-db", "0",
+            "--importance-sampling", "1.05", "--is-noise-shift", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "weighted FER" in out
+        assert "ESS" in out
+
+    def test_simulate_importance_sampling_warns_unresolved(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "4",
+            "--payload-bits", "16", "--power-db", "25",
+            "--target-rel-error", "0.1", "--max-rounds", "8",
+            "--importance-sampling", "1.01",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "unresolved" in captured.err
+
+    def test_simulate_is_flags_need_importance_sampling(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "2",
+            "--payload-bits", "16", "--is-noise-shift", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "--importance-sampling" in out
+
+    def test_simulate_is_incompatible_with_reference(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "2",
+            "--payload-bits", "16", "--importance-sampling", "1.1",
+            "--reference",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "--reference" in out
+
+    def test_simulate_is_rejects_bad_scale(self, capsys):
+        code = main([
+            "simulate", "--protocol", "dt", "--rounds", "2",
+            "--payload-bits", "16", "--importance-sampling", "-2.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "noise_scale" in out
+
     def test_sweep(self, capsys):
         code = main(["sweep", "--min-db", "0", "--max-db", "5",
                      "--step-db", "5"])
@@ -363,6 +413,14 @@ class TestScenariosCommand:
         out = capsys.readouterr().out
         assert code == 2
         assert "unknown scenario" in out
+
+    def test_run_deepfade_warns_about_unresolved_cells(self, capsys):
+        code = main(["scenarios", "run", "operational-deepfade-fer",
+                     "--no-cache", "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "spec " in captured.out
+        assert "3 adaptive cells unresolved" in captured.err
 
     def test_run_dump_writes_grid(self, capsys, tmp_path):
         dump = str(tmp_path / "values.npy")
