@@ -27,8 +27,9 @@ evaluate it through the facade::
 """
 
 from .api import evaluate, gather
-from .campaign import CampaignSpec, FadingSpec, GridAxis, run_campaign
+from .campaign import CampaignSpec, FadingSpec, GridAxis, RetryPolicy, run_campaign
 from .channels.gains import LinkGains
+from .faults import FaultPlan, FaultRule
 from .core.capacity import (
     ProtocolComparison,
     achievable_region,
@@ -60,7 +61,10 @@ __all__ = [
     "register_scenario",
     "CampaignSpec",
     "FadingSpec",
+    "FaultPlan",
+    "FaultRule",
     "GridAxis",
+    "RetryPolicy",
     "run_campaign",
     "LinkGains",
     "ProtocolComparison",

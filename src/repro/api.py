@@ -86,6 +86,8 @@ def _evaluate_via_server(
         elapsed_seconds=served.elapsed_seconds,
         cells_from_cache=int(served.payload.get("cells_from_cache", 0)),
         cells_computed=int(served.payload.get("cells_computed", 0)),
+        chunk_retries=int(served.payload.get("chunk_retries", 0)),
+        pool_rebuilds=int(served.payload.get("pool_rebuilds", 0)),
     )
     return EvaluationResult(scenario=scenario, campaign=campaign)
 

@@ -31,10 +31,17 @@ Quickstart::
 """
 
 from .cache import CampaignCache, default_cache_dir
-from .engine import CampaignResult, evaluate_ensemble, gather_campaign, run_campaign
+from .engine import (
+    CampaignResult,
+    RetryPolicy,
+    evaluate_ensemble,
+    gather_campaign,
+    run_campaign,
+)
 from .executors import (
     EXECUTOR_NAMES,
     AsyncExecutor,
+    ChunkFailure,
     MultiprocessExecutor,
     SerialExecutor,
     UnitBatch,
@@ -59,11 +66,13 @@ __all__ = [
     "CampaignCache",
     "default_cache_dir",
     "CampaignResult",
+    "RetryPolicy",
     "evaluate_ensemble",
     "gather_campaign",
     "run_campaign",
     "EXECUTOR_NAMES",
     "AsyncExecutor",
+    "ChunkFailure",
     "MultiprocessExecutor",
     "SerialExecutor",
     "UnitBatch",

@@ -68,6 +68,19 @@ class CampaignCache:
 
     def __init__(self, directory=None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
+        self._fault_injector = None
+
+    def with_injector(self, injector) -> "CampaignCache":
+        """A view of this store whose writes consult a fault injector.
+
+        Chaos-testing seam: the engine wraps the store per run so
+        ``torn-write`` rules can sabotage entry writes deterministically.
+        The returned view shares the directory; the original store stays
+        fault-free.
+        """
+        view = CampaignCache(self.directory)
+        view._fault_injector = injector
+        return view
 
     def path_for(self, key: str) -> Path:
         """The full-campaign entry file for a content key."""
@@ -82,7 +95,17 @@ class CampaignCache:
         return self.chunk_dir_for(key) / f"units-{start:010d}-{stop:010d}.npz"
 
     def _write_entry(self, path: Path, arrays: dict) -> Path:
-        """Atomically write an ``.npz`` entry (temp file + rename)."""
+        """Atomically write an ``.npz`` entry (temp file + rename).
+
+        The entry only ever becomes visible through ``os.replace`` of a
+        fully-written temp file, so no reader — concurrent or subsequent —
+        can observe a half-written entry at the final path.  An armed
+        fault injector can sabotage the write for chaos tests:
+        ``crash`` discards the temp file before publication (a writer
+        killed mid-write), ``corrupt`` truncates the entry *after*
+        publication (bit rot / torn copy), which digest verification must
+        catch on the next read.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{path.stem[:16]}-", suffix=".tmp"
@@ -90,7 +113,21 @@ class CampaignCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **arrays)
+            fault = (
+                self._fault_injector.cache_write(path.name)
+                if self._fault_injector is not None
+                else None
+            )
+            if fault is not None and fault.mode == "crash":
+                os.unlink(tmp_name)
+                return path
             os.replace(tmp_name, path)
+            if fault is not None:
+                try:
+                    data = path.read_bytes()
+                    path.write_bytes(data[: max(1, len(data) // 2)])
+                except OSError:
+                    pass  # a concurrent reader already discarded the entry
         except BaseException:
             try:
                 os.unlink(tmp_name)

@@ -31,17 +31,26 @@ from __future__ import annotations
 import hashlib
 import time
 from collections.abc import Mapping
+from concurrent.futures import BrokenExecutor
 from contextlib import ExitStack, contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..channels.power import NodePowers
 from ..core.protocols import Protocol
-from ..exceptions import IncompleteCampaignError, InvalidParameterError
+from ..exceptions import (
+    CampaignTimeoutError,
+    ChunkRetryExhaustedError,
+    IncompleteCampaignError,
+    InvalidParameterError,
+    RetryableChunkError,
+)
+from ..faults import FaultInjector, FaultPlan, FaultToken
 from .cache import CampaignCache
 from .executors import (
     AsyncExecutor,
+    ChunkFailure,
     MultiprocessExecutor,
     SerialExecutor,
     UnitBatch,
@@ -64,10 +73,92 @@ _CACHE_TRUSTED_EXECUTORS = (
 
 __all__ = [
     "CampaignResult",
+    "RetryPolicy",
     "run_campaign",
     "gather_campaign",
     "evaluate_ensemble",
 ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine retries chunks that fail *retryably*.
+
+    Retryable means :class:`~repro.exceptions.RetryableChunkError` or a
+    broken process pool (:class:`concurrent.futures.BrokenExecutor`);
+    every other exception is fatal and propagates on the first occurrence.
+    The backoff before attempt ``k+1`` is the capped, deterministic
+    ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds — no jitter, so
+    a replayed campaign retries on an identical schedule.  When the budget
+    runs out the engine raises
+    :class:`~repro.exceptions.ChunkRetryExhaustedError` naming the chunk;
+    chunks that already completed stay checkpointed in the cache.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"need at least one attempt, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0.0 or self.backoff_cap < 0.0:
+            raise InvalidParameterError("backoff times must be >= 0")
+
+    def delay(self, failures: int) -> float:
+        """Seconds to wait after the ``failures``-th consecutive failure."""
+        if failures < 1:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * 2 ** (failures - 1))
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Failures the engine is allowed to retry; everything else is fatal.
+_RETRYABLE_ERRORS = (RetryableChunkError, BrokenExecutor)
+
+
+@dataclass
+class _ExecutionContext:
+    """Per-run fault, retry and deadline state threaded through chunk loops."""
+
+    plan: FaultPlan | None = None
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    deadline: float | None = None
+    chunk_retries: int = 0
+
+
+def _resolve_retry(retry) -> RetryPolicy:
+    """Normalize the ``retry`` argument of :func:`run_campaign`."""
+    if retry is None:
+        return DEFAULT_RETRY_POLICY
+    if isinstance(retry, RetryPolicy):
+        return retry
+    return RetryPolicy(max_attempts=int(retry))
+
+
+def _check_deadline(ctx: _ExecutionContext, completed: int, total: int):
+    """Abort at a chunk boundary once the campaign deadline has passed."""
+    if ctx.deadline is not None and time.monotonic() >= ctx.deadline:
+        raise CampaignTimeoutError(
+            f"campaign deadline exceeded with {completed} of {total} cells "
+            "evaluated; completed chunks are checkpointed, so rerunning "
+            "resumes from them",
+            completed=completed,
+            total=total,
+        )
+
+
+def _retry_exhausted(chunk, failures: int, error) -> ChunkRetryExhaustedError:
+    lo, hi = chunk
+    return ChunkRetryExhaustedError(
+        f"chunk [{lo}, {hi}) still failing after {failures} attempts; "
+        f"last error: {error}",
+        chunk=chunk,
+        attempts=failures,
+    )
 
 
 @dataclass(frozen=True)
@@ -105,6 +196,16 @@ class CampaignResult:
         when unknown — the campaign is not adaptive, every cell came
         from cache (values alone cannot tell), or evaluation ran in
         worker processes outside the in-process tally.
+    chunk_retries:
+        Chunk dispatches that failed retryably and were re-dispatched
+        this run (transient chunk errors, broken pools). Zero on a
+        fault-free run; values are unaffected either way — a retried
+        chunk recomputes the exact same numbers.
+    pool_rebuilds:
+        Broken process pools the executor replaced during this run (a
+        dead worker breaks a ``concurrent.futures`` pool permanently).
+        Completed chunks are never recomputed by a rebuild — they are
+        already checkpointed in the cache.
     """
 
     spec: CampaignSpec
@@ -116,6 +217,8 @@ class CampaignResult:
     cells_from_cache: int = 0
     cells_computed: int = 0
     unresolved_cells: int | None = None
+    chunk_retries: int = 0
+    pool_rebuilds: int = 0
 
     def _protocol_index(self, protocol: Protocol) -> int:
         try:
@@ -302,7 +405,16 @@ def _grid_batches(spec, flat_gains, start, stop):
 
 
 def _run_chunk_futures(
-    key, unit_range, batches_for, meta, store, trusted, executor, chunk_size, progress
+    key,
+    unit_range,
+    batches_for,
+    meta,
+    store,
+    trusted,
+    executor,
+    chunk_size,
+    progress,
+    ctx=None,
 ):
     """Evaluate a flat unit range as concurrent chunk futures.
 
@@ -311,39 +423,76 @@ def _run_chunk_futures(
     completion order (whichever worker frees up first steals the next
     chunk), and each finished chunk is checkpointed immediately — a slow
     chunk never delays the durability of a fast one. Reassembly is by
-    chunk range, so completion order cannot change the result. Returns
-    ``(flat_values, cells_from_cache, cells_computed)``.
+    chunk range, so completion order cannot change the result.
+
+    Failed chunks arrive as :class:`ChunkFailure` outcomes: retryable
+    ones (transient chunk errors, a broken pool — by then healed by the
+    executor) are re-submitted in the next round with per-chunk attempt
+    accounting and deterministic backoff, everything else propagates
+    immediately.  Chunks that completed before a failure stay
+    checkpointed either way.  Returns ``(flat_values, cells_from_cache,
+    cells_computed)``.
     """
+    if ctx is None:
+        ctx = _ExecutionContext()
     start, stop = unit_range
     total = stop - start
     ranges = chunk_ranges(start, stop, chunk_size)
     values_by_range = {}
-    jobs = []
+    pending = []
     cells_from_cache = 0
     for lo, hi in ranges:
         values = store.load_chunk(key, lo, hi) if store is not None else None
         if values is None:
-            jobs.append(((lo, hi), batches_for(lo, hi)))
+            pending.append((lo, hi))
         else:
             values_by_range[(lo, hi)] = values
             cells_from_cache += hi - lo
     done = cells_from_cache
-    if progress is not None and total and (done or not jobs):
+    if progress is not None and total and (done or not pending):
         progress(done, total)
     cells_computed = 0
-    if jobs:
+    failures: dict[tuple, int] = {}
+    if pending:
         with ExitStack() as stack:
             reserve = getattr(executor, "reserve", None)
             if reserve is not None:
                 stack.enter_context(reserve())
-            for (lo, hi), values in executor.run_chunks(jobs):
-                values_by_range[(lo, hi)] = values
-                cells_computed += hi - lo
-                done += hi - lo
-                if store is not None and trusted:
-                    store.store_chunk(key, lo, hi, values, meta)
-                if progress is not None:
-                    progress(done, total)
+            while pending:
+                _check_deadline(ctx, done, total)
+                jobs = []
+                for tag in pending:
+                    if ctx.plan is None:
+                        jobs.append((tag, batches_for(*tag)))
+                    else:
+                        token = FaultToken(ctx.plan, tag, failures.get(tag, 0))
+                        jobs.append((tag, batches_for(*tag), token))
+                retry_tags = []
+                for tag, outcome in executor.run_chunks(jobs):
+                    if isinstance(outcome, ChunkFailure):
+                        error = outcome.error
+                        if not isinstance(error, _RETRYABLE_ERRORS):
+                            raise error
+                        count = failures.get(tag, 0) + 1
+                        failures[tag] = count
+                        if count >= ctx.policy.max_attempts:
+                            raise _retry_exhausted(tag, count, error) from error
+                        ctx.chunk_retries += 1
+                        retry_tags.append(tag)
+                        continue
+                    lo, hi = tag
+                    values_by_range[tag] = outcome
+                    cells_computed += hi - lo
+                    done += hi - lo
+                    if store is not None and trusted:
+                        store.store_chunk(key, lo, hi, outcome, meta)
+                    if progress is not None:
+                        progress(done, total)
+                pending = retry_tags
+                if pending:
+                    delay = ctx.policy.delay(max(failures[t] for t in pending))
+                    if delay > 0.0:
+                        time.sleep(delay)
     flat = (
         np.concatenate([values_by_range[r] for r in ranges])
         if ranges
@@ -352,8 +501,51 @@ def _run_chunk_futures(
     return flat, cells_from_cache, cells_computed
 
 
+def _run_chunk_with_retry(executor, batches_for, chunk, sub_progress, ctx):
+    """One chunk through ``executor.run``, retrying retryable failures.
+
+    Fault injection is armed per attempt: pool executors receive a
+    picklable :class:`FaultToken` (so the fault fires inside the worker),
+    in-process executors get the engine-side ``chunk_guard``.  Backoff is
+    the policy's deterministic schedule; exhaustion raises a single typed
+    :class:`ChunkRetryExhaustedError` naming the chunk.
+    """
+    lo, hi = chunk
+    failures = 0
+    in_worker = getattr(executor, "supports_fault_injection", False)
+    while True:
+        try:
+            kwargs = {}
+            if ctx.plan is not None:
+                if in_worker:
+                    kwargs["fault"] = FaultToken(ctx.plan, chunk, failures)
+                else:
+                    ctx.plan.chunk_guard(chunk, failures)
+            value_arrays = executor.run(
+                batches_for(lo, hi), progress=sub_progress, **kwargs
+            )
+            return np.concatenate(value_arrays)
+        except _RETRYABLE_ERRORS as error:
+            failures += 1
+            if failures >= ctx.policy.max_attempts:
+                raise _retry_exhausted(chunk, failures, error) from error
+            ctx.chunk_retries += 1
+            delay = ctx.policy.delay(failures)
+            if delay > 0.0:
+                time.sleep(delay)
+
+
 def _run_chunked(
-    key, unit_range, batches_for, meta, store, trusted, executor, chunk_size, progress
+    key,
+    unit_range,
+    batches_for,
+    meta,
+    store,
+    trusted,
+    executor,
+    chunk_size,
+    progress,
+    ctx=None,
 ):
     """Evaluate a flat unit range chunk by chunk, checkpointing each one.
 
@@ -364,7 +556,8 @@ def _run_chunked(
     chunk-future seam (``run_chunks``) evaluate their chunks concurrently
     via :func:`_run_chunk_futures` instead of this sequential loop —
     either way, chunking is elementwise and the values are identical.
-    Returns ``(flat_values, cells_from_cache, cells_computed)``.
+    Retry, deadline and fault-injection state ride in ``ctx``.  Returns
+    ``(flat_values, cells_from_cache, cells_computed)``.
     """
     if hasattr(executor, "run_chunks"):
         return _run_chunk_futures(
@@ -377,7 +570,10 @@ def _run_chunked(
             executor,
             chunk_size,
             progress,
+            ctx,
         )
+    if ctx is None:
+        ctx = _ExecutionContext()
     start, stop = unit_range
     total = stop - start
     pieces = []
@@ -390,6 +586,7 @@ def _run_chunked(
         for lo, hi in chunk_ranges(start, stop, chunk_size):
             values = store.load_chunk(key, lo, hi) if store is not None else None
             if values is None:
+                _check_deadline(ctx, done, total)
                 if reserve is not None and not reserved:
                     # Executors with per-call setup cost (e.g. a process
                     # pool) keep it alive across the remaining chunks.
@@ -398,8 +595,9 @@ def _run_chunked(
                 sub_progress = None
                 if progress is not None:
                     sub_progress = _offset_progress(progress, done, total)
-                value_arrays = executor.run(batches_for(lo, hi), progress=sub_progress)
-                values = np.concatenate(value_arrays)
+                values = _run_chunk_with_retry(
+                    executor, batches_for, (lo, hi), sub_progress, ctx
+                )
                 cells_computed += hi - lo
                 if store is not None and trusted:
                     store.store_chunk(key, lo, hi, values, meta)
@@ -422,6 +620,9 @@ def run_campaign(
     progress=None,
     shard=None,
     chunk_size=None,
+    fault_plan=None,
+    retry=None,
+    deadline=None,
 ) -> CampaignResult:
     """Evaluate a campaign spec end to end.
 
@@ -454,12 +655,36 @@ def run_campaign(
         :data:`repro.campaign.spec.DEFAULT_CHUNK_SIZE`). Chunk boundaries
         are aligned to the global grid, so all shards and the unsharded
         run produce interchangeable interior chunks.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` arming deterministic
+        fault injection for this run (chaos testing only); defaults to
+        the plan in the ``REPRO_FAULT_PLAN`` environment variable, or
+        none. Injected faults never change values — a faulted run either
+        completes bitwise-identical to the fault-free run or raises one
+        typed error.
+    retry:
+        :class:`RetryPolicy` (or a bare ``max_attempts`` int) governing
+        chunk retries on transient failures; defaults to three attempts
+        with capped deterministic exponential backoff.
+    deadline:
+        Optional ``time.monotonic()`` timestamp after which the run
+        aborts at the next chunk boundary with
+        :class:`~repro.exceptions.CampaignTimeoutError`. Completed chunks
+        stay checkpointed, and a fully-cached spec is still served even
+        past the deadline (reads are cheap; only fresh compute is cut).
     """
     executor = get_executor(executor)
     store = _resolve_cache(cache)
     shard = _resolve_shard(spec, shard)
     if chunk_size is not None and chunk_size < 1:
         raise InvalidParameterError(f"chunk size must be positive, got {chunk_size}")
+    plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    ctx = _ExecutionContext(
+        plan=plan, policy=_resolve_retry(retry), deadline=deadline
+    )
+    if plan is not None and store is not None and plan.has("torn-write"):
+        store = store.with_injector(FaultInjector(plan))
+    rebuilds_before = getattr(executor, "pool_rebuilds", 0)
     key = _cache_key(spec)
 
     started = time.perf_counter()
@@ -492,8 +717,15 @@ def run_campaign(
 
     flat_gains = spec.sample_gain_draws().reshape(-1, 3)
 
-    if shard is None and store is None and chunk_size is None:
-        # Nothing to checkpoint or resume: evaluate the grid in one pass.
+    if (
+        shard is None
+        and store is None
+        and chunk_size is None
+        and plan is None
+        and deadline is None
+    ):
+        # Nothing to checkpoint, resume, inject or abort: evaluate the
+        # grid in one pass.
         batches = _grid_batches(spec, flat_gains, 0, spec.n_units)
         with _adaptive_tally(spec) as tally:
             value_arrays = executor.run(batches, progress=progress)
@@ -525,6 +757,7 @@ def run_campaign(
             executor,
             chunk_size or DEFAULT_CHUNK_SIZE,
             progress,
+            ctx,
         )
 
     if shard is None:
@@ -548,6 +781,8 @@ def run_campaign(
         cells_from_cache=cells_from_cache,
         cells_computed=cells_computed,
         unresolved_cells=_unresolved_count(tally, cells_computed),
+        chunk_retries=ctx.chunk_retries,
+        pool_rebuilds=getattr(executor, "pool_rebuilds", 0) - rebuilds_before,
     )
 
 

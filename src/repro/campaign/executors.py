@@ -6,9 +6,9 @@ Four executors share one numeric kernel
 * :class:`SerialExecutor` — one unit at a time, in process. The reference
   path every other executor must reproduce bit for bit.
 * :class:`MultiprocessExecutor` — chunks units across a
-  ``multiprocessing`` pool. Each worker evaluates its chunk with exactly
-  the serial per-unit arithmetic, so results are bitwise identical to
-  serial regardless of process count or chunking.
+  ``concurrent.futures`` process pool. Each worker evaluates its chunk
+  with exactly the serial per-unit arithmetic, so results are bitwise
+  identical to serial regardless of process count or chunking.
 * :class:`VectorizedExecutor` — stacks whole batches through the kernel's
   batched linear algebra. The kernel is elementwise along the batch axis,
   so this too is bitwise identical to serial (asserted in the tests).
@@ -21,14 +21,25 @@ Four executors share one numeric kernel
 
 Because all executors agree exactly, cached campaign results are keyed by
 the spec alone — never by how they were computed.
+
+Both pool executors are *self-healing*: a dead worker (OOM kill, signal,
+``os._exit``) breaks a ``concurrent.futures`` pool permanently, so when a
+reserved pool surfaces :class:`concurrent.futures.BrokenExecutor` the
+executor swaps in a fresh pool (counted in ``pool_rebuilds``) and reports
+the failed chunks to the engine, which re-dispatches only those — completed
+chunks are already checkpointed in the cache and are never recomputed.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import threading
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -40,6 +51,7 @@ from .kernel import batched_sum_rates
 
 __all__ = [
     "UnitBatch",
+    "ChunkFailure",
     "SerialExecutor",
     "MultiprocessExecutor",
     "VectorizedExecutor",
@@ -47,6 +59,27 @@ __all__ = [
     "EXECUTOR_NAMES",
     "get_executor",
 ]
+
+
+class ChunkFailure:
+    """A chunk job's failure, yielded by ``run_chunks`` in place of values.
+
+    The chunk-future seam reports per-chunk outcomes rather than raising
+    mid-iteration: the caller learns *which* chunk failed (its tag arrives
+    with the failure) and can retry exactly that chunk while other chunks'
+    results keep streaming in.  ``error`` is the underlying exception —
+    :class:`~repro.exceptions.RetryableChunkError` and
+    :class:`concurrent.futures.BrokenExecutor` are safe to retry, anything
+    else is fatal.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+    def __repr__(self) -> str:
+        return f"ChunkFailure({self.error!r})"
 
 
 @dataclass(frozen=True)
@@ -175,7 +208,80 @@ class SerialExecutor:
         return results
 
 
-class MultiprocessExecutor:
+class _SelfHealingPoolMixin:
+    """Reserved-pool lifecycle shared by the two process-pool executors.
+
+    A ``concurrent.futures`` pool whose worker dies is *permanently* broken
+    — every subsequent future raises :class:`BrokenExecutor`.  Reservations
+    are counted (reentrant and thread-safe; the outermost one owns the
+    pool's lifetime), and :meth:`_heal` swaps a broken reserved pool for a
+    fresh one so the next dispatch round runs on live workers.  The swap is
+    identity-guarded: concurrent failures on the same pool trigger exactly
+    one rebuild, tallied in ``pool_rebuilds``.
+    """
+
+    def _init_pool_state(self):
+        self._pool = None
+        self._lock = threading.Lock()
+        self._reservations = 0
+        #: Broken pools replaced over this executor's lifetime.  The engine
+        #: snapshots it around a campaign to report per-run rebuilds.
+        self.pool_rebuilds = 0
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.processes)
+
+    @contextmanager
+    def reserve(self):
+        """Hold one worker pool open across consecutive calls.
+
+        The engine's chunk-checkpointed loop issues one dispatch per chunk;
+        without a reservation every dispatch would spawn and tear down its
+        own pool.  Reentrant and thread-safe — only the outermost
+        reservation owns the pool's lifetime, so the serving daemon can
+        reserve once at startup and let every concurrent request share the
+        workers.  Exit tears down whatever pool is current, including one
+        swapped in by :meth:`_heal`.
+        """
+        with self._lock:
+            outermost = self._reservations == 0
+            self._reservations += 1
+            if outermost:
+                self._pool = self._make_pool()
+        try:
+            yield self
+        finally:
+            closing = None
+            with self._lock:
+                self._reservations -= 1
+                if self._reservations == 0:
+                    closing, self._pool = self._pool, None
+            if closing is not None:
+                closing.shutdown(wait=True)
+
+    def _reserved_pool(self):
+        with self._lock:
+            return self._pool
+
+    def _heal(self, broken) -> bool:
+        """Replace ``broken`` with a fresh pool if it is still the one.
+
+        Returns whether a rebuild happened.  The identity check makes the
+        call idempotent: many in-flight futures of one broken pool all
+        report the breakage, but only the first caller rebuilds.  Unreserved
+        (per-call) pools are never healed — the next call builds a fresh
+        pool anyway.
+        """
+        with self._lock:
+            if broken is None or self._pool is not broken:
+                return False
+            self._pool = self._make_pool()
+            self.pool_rebuilds += 1
+        broken.shutdown(wait=False)
+        return True
+
+
+class MultiprocessExecutor(_SelfHealingPoolMixin):
     """Evaluate chunks of units across a process pool.
 
     Parameters
@@ -189,6 +295,7 @@ class MultiprocessExecutor:
     """
 
     name = "process"
+    supports_fault_injection = True
 
     def __init__(
         self, processes: int | None = None, chunksize: int | None = None
@@ -199,7 +306,7 @@ class MultiprocessExecutor:
             raise InvalidParameterError(f"chunk size must be positive, got {chunksize}")
         self.processes = processes or os.cpu_count() or 1
         self.chunksize = chunksize
-        self._pool = None
+        self._init_pool_state()
 
     def _chunks(self, batch: UnitBatch) -> list:
         chunksize = self.chunksize
@@ -210,40 +317,32 @@ class MultiprocessExecutor:
             for start in range(0, len(batch), chunksize)
         ]
 
-    @contextmanager
-    def reserve(self):
-        """Hold one worker pool open across consecutive ``run`` calls.
-
-        The engine's chunk-checkpointed loop issues one ``run`` call per
-        chunk; without a reservation every call would spawn and tear down
-        its own pool. Reentrant — only the outermost reservation owns the
-        pool's lifetime.
-        """
-        if self._pool is not None:
-            yield self
-            return
-        pool = multiprocessing.Pool(processes=self.processes)
-        self._pool = pool
+    def _collect(self, pool, chunks, total, progress, fault) -> list:
         try:
-            yield self
-        finally:
-            self._pool = None
-            pool.close()
-            pool.join()
+            futures = [
+                pool.submit(_evaluate_pool_chunk, chunk, fault) for chunk in chunks
+            ]
+            pieces = []
+            done = 0
+            for future in futures:
+                piece = future.result()
+                pieces.append(piece)
+                done += piece.shape[0]
+                if progress is not None:
+                    progress(done, total)
+            return pieces
+        except BrokenExecutor:
+            self._heal(pool)
+            raise
 
-    @staticmethod
-    def _collect(pool, chunks, total, progress) -> list:
-        pieces = []
-        done = 0
-        for piece in pool.imap(_evaluate_units_one_by_one, chunks):
-            pieces.append(piece)
-            done += piece.shape[0]
-            if progress is not None:
-                progress(done, total)
-        return pieces
+    def run(self, batches, progress=None, fault=None) -> list:
+        """Evaluate ``batches`` and return one value array per batch.
 
-    def run(self, batches, progress=None) -> list:
-        """Evaluate ``batches`` and return one value array per batch."""
+        ``fault`` is an optional :class:`repro.faults.FaultToken` forwarded
+        into every worker invocation of this call (the engine arms it per
+        chunk attempt).  A broken pool is healed before the failure
+        propagates, so the engine's retry lands on live workers.
+        """
         total = sum(len(batch) for batch in batches)
         chunks = []
         owners = []
@@ -251,11 +350,12 @@ class MultiprocessExecutor:
             for chunk in self._chunks(batch):
                 chunks.append(chunk)
                 owners.append(bi)
-        if self._pool is not None:
-            pieces = self._collect(self._pool, chunks, total, progress)
+        reserved = self._reserved_pool()
+        if reserved is not None:
+            pieces = self._collect(reserved, chunks, total, progress, fault)
         else:
-            with multiprocessing.Pool(processes=self.processes) as pool:
-                pieces = self._collect(pool, chunks, total, progress)
+            with self._make_pool() as pool:
+                pieces = self._collect(pool, chunks, total, progress, fault)
         results = []
         for bi in range(len(batches)):
             parts = [p for p, owner in zip(pieces, owners) if owner == bi]
@@ -312,18 +412,33 @@ class VectorizedExecutor:
         return results
 
 
-def _evaluate_batch_list(batches) -> np.ndarray:
+def _evaluate_pool_chunk(chunk: UnitBatch, fault=None) -> np.ndarray:
+    """Worker entry of :class:`MultiprocessExecutor`: one chunk, serially.
+
+    ``fault`` is an armed :class:`repro.faults.FaultToken` (or ``None``);
+    applying it first means injected worker deaths and transient errors hit
+    before any arithmetic, exactly like a crash on entry would.
+    """
+    if fault is not None:
+        fault.apply(in_worker=True)
+    return _evaluate_units_one_by_one(chunk)
+
+
+def _evaluate_batch_list(batches, fault=None) -> np.ndarray:
     """Worker entry of a chunk future: serial arithmetic, concatenated.
 
     One pickled call evaluates a whole chunk's batches with exactly the
     per-unit reference arithmetic, so a chunk future's values are bitwise
     identical to the serial executor's regardless of which worker ran it
-    or when it completed.
+    or when it completed.  ``fault`` (an optional
+    :class:`repro.faults.FaultToken`) is applied before evaluation.
     """
+    if fault is not None:
+        fault.apply(in_worker=True)
     return np.concatenate([_evaluate_units_one_by_one(batch) for batch in batches])
 
 
-class AsyncExecutor:
+class AsyncExecutor(_SelfHealingPoolMixin):
     """Schedule chunk futures over a process pool with work-stealing.
 
     Where :class:`MultiprocessExecutor` pre-splits each ``run`` call over
@@ -350,64 +465,67 @@ class AsyncExecutor:
     """
 
     name = "async"
+    supports_fault_injection = True
 
     def __init__(self, processes: int | None = None) -> None:
         if processes is not None and processes < 1:
             raise InvalidParameterError(f"need at least one process, got {processes}")
         self.processes = processes or os.cpu_count() or 1
-        self._pool = None
-        self._lock = threading.Lock()
-
-    @contextmanager
-    def reserve(self):
-        """Hold one process pool open across consecutive calls.
-
-        Reentrant and thread-safe: only the outermost reservation owns the
-        pool's lifetime, so the serving daemon can reserve once at startup
-        and let every concurrent request share the workers.
-        """
-        with self._lock:
-            if self._pool is not None:
-                owned = None
-            else:
-                owned = ProcessPoolExecutor(max_workers=self.processes)
-                self._pool = owned
-        try:
-            yield self
-        finally:
-            if owned is not None:
-                with self._lock:
-                    self._pool = None
-                owned.shutdown(wait=True)
+        self._init_pool_state()
 
     def _submit_completions(self, pool, jobs):
-        """Submit one future per job; yield ``(tag, values)`` as they land."""
-        futures = {
-            pool.submit(_evaluate_batch_list, batches): tag for tag, batches in jobs
-        }
+        """Submit one future per job; yield per-job outcomes as they land.
+
+        A job whose future raises yields ``(tag, ChunkFailure(error))``
+        instead of aborting the whole round — other chunks' values keep
+        streaming, and the caller retries exactly the failed tags.  A
+        broken pool is healed immediately (identity-guarded, so the many
+        failures one dead worker causes rebuild only once).
+        """
+        futures = {}
+        for job in jobs:
+            tag, batches, *rest = job
+            fault = rest[0] if rest else None
+            try:
+                futures[pool.submit(_evaluate_batch_list, batches, fault)] = tag
+            except BrokenExecutor as error:
+                self._heal(pool)
+                yield tag, ChunkFailure(error)
         pending = set(futures)
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
-                yield futures[future], future.result()
+                tag = futures[future]
+                try:
+                    values = future.result()
+                except BrokenExecutor as error:
+                    self._heal(pool)
+                    yield tag, ChunkFailure(error)
+                except Exception as error:
+                    yield tag, ChunkFailure(error)
+                else:
+                    yield tag, values
 
     def run_chunks(self, jobs):
-        """Evaluate ``(tag, batches)`` jobs, yielding in completion order.
+        """Evaluate chunk jobs, yielding outcomes in completion order.
 
-        The engine's chunk-future seam: each job becomes one pool future
-        and is yielded as ``(tag, values)`` the moment it completes, so
-        the caller can checkpoint finished chunks while slower ones are
-        still in flight. Values per tag are bitwise identical to the
-        serial executor's for the same batches.
+        The engine's chunk-future seam: each job — ``(tag, batches)`` or
+        ``(tag, batches, fault_token)`` — becomes one pool future and is
+        yielded as ``(tag, values)`` the moment it completes, so the caller
+        can checkpoint finished chunks while slower ones are still in
+        flight.  A failed job yields ``(tag, ChunkFailure(error))`` rather
+        than raising, so one bad chunk never discards its siblings' finished
+        work.  Values per tag are bitwise identical to the serial
+        executor's for the same batches.
         """
         jobs = list(jobs)
         if not jobs:
             return
-        pool = self._pool
+        pool = self._reserved_pool()
         if pool is not None:
             yield from self._submit_completions(pool, jobs)
             return
-        with ProcessPoolExecutor(max_workers=self.processes) as own:
+        with self._make_pool() as own:
             yield from self._submit_completions(own, jobs)
 
     def run(self, batches, progress=None) -> list:
@@ -428,6 +546,8 @@ class AsyncExecutor:
         pieces = {}
         done = 0
         for (bi, start), values in self.run_chunks(jobs):
+            if isinstance(values, ChunkFailure):
+                raise values.error
             pieces[(bi, start)] = values
             done += values.shape[0]
             if progress is not None:

@@ -28,8 +28,11 @@ Subcommands
   evaluation requests over a Unix socket with in-flight deduplication,
   a cache hot path, bounded backpressure and graceful shutdown.
 * ``client`` — talk to a running daemon: ``client run NAME`` evaluates a
-  registered scenario remotely, ``client ping`` / ``client stats`` /
-  ``client shutdown`` probe and administer it.
+  registered scenario remotely (transparently retrying transient
+  failures — see ``--retries``), ``client ping`` / ``client stats`` /
+  ``client health`` / ``client shutdown`` probe and administer it.
+  When no daemon is listening at ``--socket`` the client exits with
+  status 2 and a clear "daemon not running" message.
 * ``region`` — trace any protocol's rate region on any channel.
 * ``sumrate`` — LP-optimal sum rates of all protocols on one channel.
 * ``simulate`` — run the operational link-level simulator (the batched
@@ -876,7 +879,7 @@ def _cmd_serve(args) -> int:
 def _cmd_client(args) -> int:
     from .serve import ServeClient, ServeError
 
-    client = ServeClient(args.socket, timeout=args.timeout)
+    client = ServeClient(args.socket, timeout=args.timeout, retries=args.retries)
     try:
         if args.action == "ping":
             pong = client.ping()
@@ -887,6 +890,19 @@ def _cmd_client(args) -> int:
             for key, value in sorted(reply.get("stats", {}).items()):
                 print(f"{key}: {value}")
             print(f"in_flight: {reply.get('in_flight', 0)}")
+        elif args.action == "health":
+            reply = client.health()
+            status = reply.get("status", "unknown")
+            print(f"status: {status}")
+            for key in ("in_flight", "max_pending", "executor", "pool_rebuilds"):
+                if key in reply:
+                    print(f"{key}: {reply[key]}")
+            faults = reply.get("faults_injected") or {}
+            if faults:
+                for key, value in sorted(faults.items()):
+                    print(f"fault {key}: {value}")
+            for key, value in sorted(reply.get("stats", {}).items()):
+                print(f"{key}: {value}")
         elif args.action == "shutdown":
             client.shutdown()
             print("server is draining")
@@ -909,6 +925,12 @@ def _cmd_client(args) -> int:
                 np.save(args.dump, served.values)
                 print(f"wrote {args.dump}")
     except ServeError as error:
+        if error.code == "unreachable":
+            # No daemon is listening: an operator problem, not a request
+            # problem — distinct exit status, no traceback.  The message
+            # already reads "daemon not running at PATH (...)".
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(f"error [{error.code}]: {error}")
         return 1
     return 0
@@ -1384,6 +1406,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="client-side socket timeout (default: wait indefinitely)",
     )
+    p_client.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "retry retryable failures (dropped connection, busy daemon) up "
+            "to N times with exponential backoff; safe because identical "
+            "requests dedup server-side (default: 2)"
+        ),
+    )
     client_sub = p_client.add_subparsers(dest="action", required=True)
     p_client_run = client_sub.add_parser(
         "run", help="evaluate a registered scenario on the daemon"
@@ -1422,6 +1455,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_sub.add_parser("ping", help="liveness probe")
     client_sub.add_parser("stats", help="serving counters and in-flight jobs")
+    client_sub.add_parser(
+        "health", help="pool, queue and fault-injection counters"
+    )
     client_sub.add_parser("shutdown", help="ask the daemon to drain and exit")
     p_client.set_defaults(func=_cmd_client)
 

@@ -55,6 +55,47 @@ class IncompleteCampaignError(ReproError):
         self.missing = tuple(missing)
 
 
+class RetryableChunkError(ReproError):
+    """A chunk evaluation failed in a way that is safe to retry.
+
+    The campaign engine re-dispatches chunks whose failure derives from this
+    class (or from :class:`concurrent.futures.BrokenExecutor`) with capped
+    exponential backoff.  Every other exception is fatal and propagates
+    unchanged: retrying would mask a real defect rather than a transient
+    fault.  Completed chunks are already checkpointed in the cache, so a
+    retry never recomputes finished work.
+    """
+
+
+class ChunkRetryExhaustedError(ReproError):
+    """A chunk kept failing retryably until the retry budget ran out.
+
+    ``chunk`` holds the failing ``(start, stop)`` unit range and ``attempts``
+    the number of attempts made; the final underlying failure is chained as
+    ``__cause__``.  Chunks completed before the exhaustion remain
+    checkpointed, so rerunning the campaign resumes rather than restarts.
+    """
+
+    def __init__(self, message: str, *, chunk=None, attempts: int = 0):
+        super().__init__(message)
+        self.chunk = tuple(chunk) if chunk is not None else None
+        self.attempts = int(attempts)
+
+
+class CampaignTimeoutError(ReproError):
+    """A campaign's deadline expired before every grid cell was evaluated.
+
+    ``completed``/``total`` count grid cells at the moment of the abort.
+    The abort happens at a chunk boundary, so everything already computed is
+    checkpointed in the cache and a rerun resumes from it.
+    """
+
+    def __init__(self, message: str, *, completed: int = 0, total: int = 0):
+        super().__init__(message)
+        self.completed = int(completed)
+        self.total = int(total)
+
+
 class SimulationError(ReproError):
     """A link-level simulation was configured inconsistently."""
 

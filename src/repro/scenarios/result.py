@@ -70,6 +70,16 @@ class EvaluationResult:
         return self.campaign.elapsed_seconds
 
     @property
+    def chunk_retries(self) -> int:
+        """Transient chunk failures that were retried during this run."""
+        return self.campaign.chunk_retries
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Worker pools rebuilt after dying mid-run (self-healing)."""
+        return self.campaign.pool_rebuilds
+
+    @property
     def unresolved_cells(self) -> int | None:
         """Adaptive cells that exhausted ``max_rounds`` without resolving.
 

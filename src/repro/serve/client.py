@@ -7,18 +7,29 @@ optional callback, terminal ``error`` events raise :class:`ServeError`
 carrying the daemon's error code, and result grids are reassembled into
 arrays bitwise-identical to a local evaluation (see
 :mod:`repro.serve.protocol` on why JSON is an exact float transport).
+
+With ``retries > 0`` the client transparently reconnects and re-sends
+after *retryable* failures — a connection that died mid-stream, a torn
+frame, or a terminal error the daemon flagged ``retryable`` (e.g.
+``busy``).  Re-sending an identical request is safe by construction:
+requests dedup on the spec's cache key server-side, so a retry joins the
+still-running job or reads the finished result from the cache — it can
+never fork a second divergent evaluation.  A *refused connection* is not
+retried: no daemon is listening, and that needs an operator, not
+patience.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket as socket_module
+import time
 
 import numpy as np
 
 from ..exceptions import ReproError
 from ..scenarios.wire import scenario_to_request
-from .protocol import decode_frame, encode_frame, values_from_payload
+from .protocol import ProtocolError, decode_frame, encode_frame, values_from_payload
 
 __all__ = ["ServeError", "ServeClient", "ServedResult"]
 
@@ -26,6 +37,10 @@ __all__ = ["ServeError", "ServeClient", "ServedResult"]
 #: deadline, so the server's ``timeout`` error arrives before the socket
 #: gives up.
 _TIMEOUT_GRACE_SECONDS = 5.0
+
+#: Client-side codes whose failures default to retryable.  ``unreachable``
+#: (connection refused — no daemon) is deliberately NOT here.
+_RETRYABLE_CLIENT_CODES = frozenset({"disconnected", "busy"})
 
 
 class ServeError(ReproError):
@@ -35,13 +50,27 @@ class ServeError(ReproError):
     ----------
     code:
         The protocol error code (see
-        :data:`repro.serve.protocol.ERROR_CODES`), or ``"disconnected"``
-        when the connection died without a terminal event.
+        :data:`repro.serve.protocol.ERROR_CODES`), ``"disconnected"``
+        when the connection died without a terminal event, or
+        ``"unreachable"`` when no daemon accepted the connection at all.
+    retryable:
+        Whether re-sending the identical request is a sensible recovery.
+        Server error events carry the flag explicitly; client-detected
+        failures default by code (:data:`_RETRYABLE_CLIENT_CODES`).
     """
 
-    def __init__(self, message: str, *, code: str = "disconnected") -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "disconnected",
+        retryable: bool | None = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        if retryable is None:
+            retryable = code in _RETRYABLE_CLIENT_CODES
+        self.retryable = bool(retryable)
 
 
 class ServedResult:
@@ -78,11 +107,41 @@ class ServedResult:
 
 
 class ServeClient:
-    """Talk to a :class:`~repro.serve.daemon.CampaignServer` socket."""
+    """Talk to a :class:`~repro.serve.daemon.CampaignServer` socket.
 
-    def __init__(self, socket_path: str, *, timeout: float | None = None) -> None:
+    Parameters
+    ----------
+    socket_path:
+        The daemon's Unix-domain socket.
+    timeout:
+        Client-side socket timeout in seconds (``None`` = block).
+    retries:
+        How many times a *retryable* failure is retried by reconnecting
+        and re-sending the identical request (safe — see the module
+        docstring).  The default 0 preserves strict one-shot semantics;
+        the CLI front door passes 2.
+    backoff_base / backoff_cap:
+        Deterministic exponential backoff between retries:
+        ``min(cap, base * 2**(k-1))`` seconds after the ``k``-th failure.
+        No jitter — retry schedules replay exactly.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ReproError(f"retries must be >= 0, got {retries}")
         self.socket_path = socket_path
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
         self._request_ids = itertools.count(1)
 
     # -- operations ---------------------------------------------------
@@ -132,6 +191,10 @@ class ServeClient:
         """The daemon's serving counters (requests, dedup, cache hits...)."""
         return self._roundtrip({"op": "stats", "id": self._next_id()})
 
+    def health(self) -> dict:
+        """The daemon's liveness snapshot: pool, queue and fault counters."""
+        return self._roundtrip({"op": "health", "id": self._next_id()})
+
     def shutdown(self) -> dict:
         """Ask the daemon to drain and exit; returns its ``bye`` frame."""
         return self._roundtrip({"op": "shutdown", "id": self._next_id()})
@@ -142,6 +205,27 @@ class ServeClient:
         return f"req-{next(self._request_ids)}"
 
     def _roundtrip(self, frame: dict, *, progress=None, timeout=None) -> dict:
+        """One request through the retry loop; returns the terminal event.
+
+        Each attempt is a fresh connection sending the identical frame.
+        Only failures marked retryable are retried, up to ``self.retries``
+        times, with the deterministic backoff schedule; a retried
+        evaluate's progress ticks restart from the daemon's current state
+        (usually further along — completed chunks are checkpointed).
+        """
+        failures = 0
+        while True:
+            try:
+                return self._attempt(frame, progress=progress, timeout=timeout)
+            except ServeError as error:
+                if not error.retryable or failures >= self.retries:
+                    raise
+                failures += 1
+                delay = min(self.backoff_cap, self.backoff_base * 2 ** (failures - 1))
+                if delay > 0.0:
+                    time.sleep(delay)
+
+    def _attempt(self, frame: dict, *, progress=None, timeout=None) -> dict:
         """One request, one event stream, one terminal event."""
         if timeout is None:
             timeout = self.timeout
@@ -151,14 +235,24 @@ class ServeClient:
             try:
                 sock.connect(self.socket_path)
             except OSError as error:
+                # Nobody listening (missing/stale socket, refused
+                # connection): not retryable — start the daemon first.
                 raise ServeError(
-                    f"cannot reach a server at {self.socket_path}: {error}",
-                    code="disconnected",
+                    f"daemon not running at {self.socket_path} ({error})",
+                    code="unreachable",
                 ) from error
             sock.sendall(encode_frame(frame))
             with sock.makefile("rb") as stream:
                 for line in stream:
-                    event = decode_frame(line)
+                    try:
+                        event = decode_frame(line)
+                    except ProtocolError as error:
+                        # A torn frame: the server died (or the injected
+                        # chaos plan severed the socket) mid-write.
+                        raise ServeError(
+                            f"malformed frame from {self.socket_path}: {error}",
+                            code="disconnected",
+                        ) from error
                     kind = event.get("event")
                     if kind == "progress":
                         if progress is not None:
@@ -170,11 +264,17 @@ class ServeClient:
                         raise ServeError(
                             event.get("message", "request failed"),
                             code=event.get("code", "internal"),
+                            retryable=event.get("retryable"),
                         )
                     return event
         except socket_module.timeout as error:
             raise ServeError(
                 f"no response from {self.socket_path} within {timeout} s",
+                code="disconnected",
+            ) from error
+        except OSError as error:
+            raise ServeError(
+                f"connection to {self.socket_path} failed mid-stream: {error}",
                 code="disconnected",
             ) from error
         finally:

@@ -38,12 +38,14 @@ import asyncio
 import contextlib
 import os
 import socket as socket_module
+import time
 from dataclasses import dataclass, field
 
 from ..campaign.cache import CampaignCache
 from ..campaign.engine import _cache_key, run_campaign
 from ..campaign.executors import AsyncExecutor, get_executor
-from ..exceptions import InvalidParameterError, ReproError
+from ..exceptions import CampaignTimeoutError, InvalidParameterError, ReproError
+from ..faults import FaultInjector, FaultPlan
 from ..scenarios.wire import request_to_scenario
 from .protocol import (
     PROTOCOL_VERSION,
@@ -172,13 +174,21 @@ def _socket_in_use(path: str) -> bool:
 class CampaignServer:
     """The asyncio Unix-socket daemon. See the module docstring."""
 
-    def __init__(self, config: ServeConfig) -> None:
+    def __init__(self, config: ServeConfig, fault_plan: FaultPlan | None = None):
         self.config = config
         self._store = _resolve_store(config.cache)
         if isinstance(config.executor, str) and config.executor == "async":
             self._executor = AsyncExecutor(processes=config.processes)
         else:
             self._executor = get_executor(config.executor)
+        # Chaos-testing seam: an armed plan injects engine faults into
+        # jobs and socket faults into outbound frames.  Defaults to the
+        # REPRO_FAULT_PLAN environment variable so subprocess tests can
+        # arm a daemon without new CLI surface.
+        self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self._faults = (
+            FaultInjector(self._fault_plan) if self._fault_plan is not None else None
+        )
         self._jobs: dict[str, _Job] = {}
         self._connections: set[asyncio.Task] = set()
         self._server: asyncio.base_events.Server | None = None
@@ -193,6 +203,8 @@ class CampaignServer:
             "rejected_busy": 0,
             "timeouts": 0,
             "failed": 0,
+            "chunk_retries": 0,
+            "pool_rebuilds": 0,
         }
 
     # -- lifecycle ----------------------------------------------------
@@ -318,15 +330,70 @@ class CampaignServer:
                     "in_flight": len(self._jobs),
                 },
             )
+        elif request.op == "health":
+            await self._send(writer, self._health_frame(request.id))
         elif request.op == "shutdown":
             await self._send(writer, {"event": "bye", "id": request.id})
             self.request_stop()
         else:
             await self._handle_evaluate(request, writer)
 
+    def _health_frame(self, request_id: str) -> dict:
+        """One liveness snapshot: pool, queue and fault-recovery counters."""
+        executor = self._executor
+        return {
+            "event": "health",
+            "id": request_id,
+            "status": "draining" if self._closing else "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "in_flight": len(self._jobs),
+            "max_pending": self.config.max_pending,
+            "executor": getattr(executor, "name", type(executor).__name__),
+            "processes": getattr(executor, "processes", None),
+            "pool_rebuilds": getattr(executor, "pool_rebuilds", 0),
+            "cache": self._store is not None,
+            "faults_injected": dict(self._faults.fired) if self._faults else {},
+            "stats": dict(self.stats),
+        }
+
     async def _send(self, writer, frame: dict) -> None:
+        if self._faults is not None:
+            await self._inject_socket_fault(writer, frame)
         writer.write(encode_frame(frame))
         await writer.drain()
+
+    async def _inject_socket_fault(self, writer, frame: dict) -> None:
+        """Apply an armed socket fault rule to one outbound frame.
+
+        ``socket-delay`` just sleeps; ``socket-drop`` writes roughly half
+        the encoded frame before severing; ``socket-close`` severs before
+        any byte.  Severing raises ``ConnectionResetError``, which rides
+        the same handling as a genuinely vanished client — the connection
+        closes mid-stream and the client sees a torn or missing frame.
+        """
+        action = self._faults.socket_event(str(frame.get("event", "")))
+        if action is None:
+            return
+        kind, rule = action
+        if kind == "socket-delay":
+            await asyncio.sleep(rule.delay_seconds)
+            return
+        if kind == "socket-drop":
+            data = encode_frame(frame)
+            writer.write(data[: max(1, len(data) // 2)])
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+        # A transport-level shutdown sends the FIN immediately even when
+        # pool workers forked mid-request hold inherited duplicates of
+        # this connection's descriptor — without it the client would only
+        # notice the severed stream at its socket timeout.
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket_module.SHUT_RDWR)
+        raise ConnectionResetError(
+            f"injected {kind} before {frame.get('event')!r} frame"
+        )
 
     # -- evaluation ---------------------------------------------------
 
@@ -424,20 +491,29 @@ class CampaignServer:
                     payload = dict(item[1])
                     if deduplicated:
                         payload["served_from"] = "joined"
+                        payload["chunk_retries"] = 0
+                        payload["pool_rebuilds"] = 0
                     await self._send(writer, result_event(rid, payload))
                     return
                 else:
-                    await self._send(writer, error_event(rid, item[1], item[2]))
+                    await self._send(
+                        writer,
+                        error_event(rid, item[1], item[2], retryable=item[3]),
+                    )
                     return
         except asyncio.TimeoutError:
             self.stats["timeouts"] += 1
             await self._send(
                 writer,
+                # Retryable: an identical re-request joins the still-running
+                # job (or hits the cache once it lands) — it never forks a
+                # divergent second evaluation.
                 error_event(
                     rid,
                     "timeout",
                     f"no result within {timeout} s; the job keeps running "
                     "and will be served from cache when done",
+                    retryable=True,
                 ),
             )
         finally:
@@ -454,15 +530,22 @@ class CampaignServer:
             result = await asyncio.to_thread(
                 self._evaluate, job.spec, options, progress
             )
+        except CampaignTimeoutError as error:
+            # The propagated deadline stopped the chunk loop; completed
+            # chunks are checkpointed, so with a cache a retry resumes.
+            self.stats["timeouts"] += 1
+            outcome = ("error", "timeout", str(error), self._store is not None)
         except InvalidParameterError as error:
             self.stats["failed"] += 1
-            outcome = ("error", "invalid", str(error))
+            outcome = ("error", "invalid", str(error), False)
         except Exception as error:  # noqa: BLE001 - the daemon must survive jobs
             self.stats["failed"] += 1
-            outcome = ("error", "internal", f"{type(error).__name__}: {error}")
+            outcome = ("error", "internal", f"{type(error).__name__}: {error}", False)
         else:
             served_from = "cache" if result.from_cache else "computed"
             self.stats["served_from_cache" if result.from_cache else "computed"] += 1
+            self.stats["chunk_retries"] += result.chunk_retries
+            self.stats["pool_rebuilds"] += result.pool_rebuilds
             outcome = (
                 "result",
                 result_payload(
@@ -475,6 +558,8 @@ class CampaignServer:
                     cells_from_cache=result.cells_from_cache,
                     cells_computed=result.cells_computed,
                     elapsed_seconds=result.elapsed_seconds,
+                    chunk_retries=result.chunk_retries,
+                    pool_rebuilds=result.pool_rebuilds,
                 ),
             )
         # Pop before publishing (both happen without an await between
@@ -484,16 +569,27 @@ class CampaignServer:
         job.publish(outcome)
 
     def _evaluate(self, spec, options: dict, progress):
-        """Run one campaign synchronously (called in a worker thread)."""
+        """Run one campaign synchronously (called in a worker thread).
+
+        The request's timeout propagates into the chunk loop as a
+        monotonic deadline: the engine aborts between chunks once it
+        passes, so an abandoned request stops consuming pool workers
+        instead of computing to completion for nobody.  Completed chunks
+        stay checkpointed — a retry resumes from them.
+        """
         executor = self._executor
         if options.get("executor") is not None:
             executor = get_executor(options["executor"])
+        timeout = options.get("timeout", self.config.request_timeout)
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
         return run_campaign(
             spec,
             executor=executor,
             cache=self._store,
             progress=progress,
             chunk_size=options.get("chunk_size", self.config.chunk_size),
+            fault_plan=self._fault_plan,
+            deadline=deadline,
         )
 
 

@@ -11,7 +11,8 @@ Request frames (``op`` selects the operation)::
     {"op": "evaluate", "id": "r-1", "scenario": {...}, "options": {...}}
     {"op": "ping", "id": "r-2"}
     {"op": "stats", "id": "r-3"}
-    {"op": "shutdown", "id": "r-4"}
+    {"op": "health", "id": "r-4"}
+    {"op": "shutdown", "id": "r-5"}
 
 The ``scenario`` mapping is the scenario reference format of
 :mod:`repro.scenarios.wire` (registered name or inline campaign spec);
@@ -27,8 +28,13 @@ Event frames for an ``evaluate`` request, in order::
     {"event": "result", "id": ..., "result": {...}}               # terminal
 
 or the terminal ``{"event": "error", "id": ..., "code": ..., "message":
-...}`` with ``code`` one of :data:`ERROR_CODES`. ``ping`` answers
-``pong``, ``stats`` answers ``stats``, ``shutdown`` answers ``bye``.
+..., "retryable": ...}`` with ``code`` one of :data:`ERROR_CODES` and
+``retryable`` telling the client whether an identical re-request is a
+sensible recovery (safe by construction: identical requests dedup on the
+spec's cache key, so a retry joins or re-reads, never recomputes
+divergently). ``ping`` answers ``pong``, ``stats`` answers ``stats``,
+``health`` answers ``health`` (a liveness/fault-counter snapshot) and
+``shutdown`` answers ``bye``.
 
 Result payloads ship the grid as a flat ``values`` list plus its
 ``shape``. JSON is an *exact* transport for IEEE-754 doubles here:
@@ -52,6 +58,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "OPS",
     "ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "ProtocolError",
     "Request",
     "encode_frame",
@@ -72,7 +79,7 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 #: Supported request operations.
-OPS = ("evaluate", "ping", "stats", "shutdown")
+OPS = ("evaluate", "ping", "stats", "health", "shutdown")
 
 #: Error codes a terminal ``error`` event may carry.
 #:
@@ -83,6 +90,12 @@ OPS = ("evaluate", "ping", "stats", "shutdown")
 #: * ``shutting-down`` — the daemon is draining and accepts no new work;
 #: * ``internal`` — the evaluation itself failed.
 ERROR_CODES = ("invalid", "busy", "timeout", "shutting-down", "internal")
+
+#: Codes whose default ``retryable`` flag is true: the failure is a
+#: transient condition of the daemon (load), not of the request.  The
+#: daemon may override per event — e.g. a ``timeout`` becomes retryable
+#: when the aborted campaign left checkpoints a retry would resume from.
+RETRYABLE_ERROR_CODES = frozenset({"busy"})
 
 #: Keys an ``evaluate`` request's ``options`` mapping may carry.
 OPTION_KEYS = frozenset({"executor", "chunk_size", "timeout"})
@@ -211,11 +224,27 @@ def result_event(request_id: str, payload: dict) -> dict:
     return {"event": "result", "id": request_id, "result": payload}
 
 
-def error_event(request_id: str, code: str, message: str) -> dict:
-    """The terminal failure event."""
+def error_event(
+    request_id: str, code: str, message: str, *, retryable: bool | None = None
+) -> dict:
+    """The terminal failure event.
+
+    ``retryable`` defaults from the code (:data:`RETRYABLE_ERROR_CODES`);
+    pass an explicit value when the daemon knows better — the structured
+    flag is what lets clients retry transient failures without having to
+    pattern-match message text.
+    """
     if code not in ERROR_CODES:
         raise ProtocolError(f"unknown error code {code!r}; supported: {ERROR_CODES}")
-    return {"event": "error", "id": request_id, "code": code, "message": str(message)}
+    if retryable is None:
+        retryable = code in RETRYABLE_ERROR_CODES
+    return {
+        "event": "error",
+        "id": request_id,
+        "code": code,
+        "message": str(message),
+        "retryable": bool(retryable),
+    }
 
 
 def result_payload(
@@ -229,6 +258,8 @@ def result_payload(
     cells_from_cache: int,
     cells_computed: int,
     elapsed_seconds: float,
+    chunk_retries: int = 0,
+    pool_rebuilds: int = 0,
 ) -> dict:
     """Build a result payload from an evaluated grid.
 
@@ -236,7 +267,9 @@ def result_payload(
     ``"cache"`` (read straight from the content-addressed store),
     ``"computed"`` (this request triggered the evaluation) or
     ``"joined"`` (deduplicated onto another request's in-flight
-    evaluation).
+    evaluation).  ``chunk_retries``/``pool_rebuilds`` carry the engine's
+    fault-recovery accounting for the computing run (zero for cache and
+    joined serves — recovery happened, if at all, on the computing side).
     """
     array = np.asarray(values, dtype=float)
     return {
@@ -250,6 +283,8 @@ def result_payload(
         "cells_from_cache": int(cells_from_cache),
         "cells_computed": int(cells_computed),
         "elapsed_seconds": float(elapsed_seconds),
+        "chunk_retries": int(chunk_retries),
+        "pool_rebuilds": int(pool_rebuilds),
     }
 
 

@@ -1,0 +1,151 @@
+"""Torn and corrupted cache writes: atomicity plus verification win.
+
+Entry writes are atomic (temp file + ``os.replace``), so a writer dying
+mid-write publishes *nothing*; entries that do land carry a SHA-256
+digest, so post-publication corruption is detected, discarded and
+recomputed — never served.  The ``torn-write`` fault rules drive both
+failure modes deterministically through the real write path.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import CampaignCache
+from repro.campaign.engine import _cache_key, run_campaign
+from repro.campaign.spec import CampaignSpec, FadingSpec
+from repro.core.protocols import Protocol
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+
+@pytest.fixture
+def spec(paper_gains):
+    return CampaignSpec(
+        protocols=(Protocol.MABC, Protocol.TDBC),
+        powers_db=(0.0, 10.0),
+        gains=(paper_gains,),
+        fading=FadingSpec(n_draws=12, seed=11),
+    )
+
+
+@pytest.fixture
+def reference(spec):
+    return run_campaign(spec, executor="vectorized")
+
+
+def chunk_entry_site(start, stop):
+    """The cache-write site string of a chunk entry file."""
+    return f"units-{start:010d}-{stop:010d}"
+
+
+class TestTornWriteModes:
+    def test_crash_mode_publishes_nothing(self, spec, reference, tmp_path):
+        cache = CampaignCache(tmp_path)
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    kind="torn-write", site=chunk_entry_site(0, 16), mode="crash"
+                ),
+            )
+        )
+        result = run_campaign(
+            spec, executor="serial", cache=cache, chunk_size=16, fault_plan=plan
+        )
+        # The in-memory result never depended on the store.
+        assert result.values.tobytes() == reference.values.tobytes()
+        key = _cache_key(spec)
+        # Atomicity: the sabotaged chunk simply does not exist — no torn
+        # file at the final path, while its siblings all landed.
+        assert not cache.chunk_path_for(key, 0, 16).exists()
+        assert cache.chunk_path_for(key, 16, 32).exists()
+        # A rerun recomputes exactly the missing chunk.
+        cache.path_for(key).unlink()
+        rerun = run_campaign(spec, cache=cache, chunk_size=16)
+        assert rerun.cells_computed == 16
+        assert rerun.cells_from_cache == spec.n_units - 16
+        assert rerun.values.tobytes() == reference.values.tobytes()
+
+    def test_corrupt_mode_is_detected_and_recomputed(self, spec, reference, tmp_path):
+        cache = CampaignCache(tmp_path)
+        plan = FaultPlan(
+            rules=(FaultRule(kind="torn-write", site=chunk_entry_site(16, 32)),)
+        )
+        run_campaign(
+            spec, executor="serial", cache=cache, chunk_size=16, fault_plan=plan
+        )
+        key = _cache_key(spec)
+        # The entry landed, but truncated: verification must refuse it.
+        assert cache.chunk_path_for(key, 16, 32).exists()
+        assert cache.load_chunk(key, 16, 32) is None
+        assert not cache.chunk_path_for(key, 16, 32).exists()  # discarded
+        cache.path_for(key).unlink()
+        rerun = run_campaign(spec, cache=cache, chunk_size=16)
+        assert rerun.values.tobytes() == reference.values.tobytes()
+
+    def test_injector_counts_fired_rules(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        injector = FaultInjector(
+            FaultPlan(rules=(FaultRule(kind="torn-write", mode="crash"),))
+        )
+        sabotaged = cache.with_injector(injector)
+        values = np.arange(4.0)
+        sabotaged.store_chunk("key", 0, 4, values, {})
+        assert injector.fired == {"torn-write": 1}
+        # times=1: the second write of the same entry goes through clean.
+        sabotaged.store_chunk("key", 0, 4, values, {})
+        assert injector.fired == {"torn-write": 1}
+        assert np.array_equal(cache.load_chunk("key", 0, 4), values)
+
+    def test_original_store_stays_fault_free(self, tmp_path):
+        cache = CampaignCache(tmp_path)
+        injector = FaultInjector(
+            FaultPlan(rules=(FaultRule(kind="torn-write", times=None),))
+        )
+        cache.with_injector(injector)  # the view is discarded
+        values = np.arange(4.0)
+        cache.store_chunk("key", 0, 4, values, {})
+        assert np.array_equal(cache.load_chunk("key", 0, 4), values)
+
+
+class TestConcurrentCorruptedStore:
+    def test_two_executors_racing_a_corrupting_store_converge(
+        self, spec, reference, tmp_path
+    ):
+        """Satellite guarantee: shared store + constant corruption of fresh
+        writes, two concurrent runs — both results bitwise-identical."""
+        # Every chunk entry either run publishes is immediately truncated,
+        # so any cross-read must be caught by digest verification.
+        plan = FaultPlan(
+            rules=(FaultRule(kind="torn-write", site="units-", times=None),)
+        )
+        results = {}
+        errors = []
+
+        def race(tag, executor):
+            try:
+                results[tag] = run_campaign(
+                    spec,
+                    executor=executor,
+                    cache=tmp_path,
+                    chunk_size=16,
+                    fault_plan=plan,
+                )
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=race, args=("serial", "serial")),
+            threading.Thread(target=race, args=("vectorized", "vectorized")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert results["serial"].values.tobytes() == reference.values.tobytes()
+        assert results["vectorized"].values.tobytes() == reference.values.tobytes()
+        # The store self-repairs once the chaos stops: a clean rerun
+        # converges too (recomputing whatever was left corrupted).
+        rerun = run_campaign(spec, cache=tmp_path, chunk_size=16)
+        assert rerun.values.tobytes() == reference.values.tobytes()

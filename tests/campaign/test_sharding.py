@@ -223,14 +223,14 @@ class TestResumption:
     def test_process_pool_is_reused_across_chunks(self, spec, tmp_path, monkeypatch):
         from repro.campaign import executors as executors_module
 
-        real_pool = executors_module.multiprocessing.Pool
+        real_pool = executors_module.ProcessPoolExecutor
         created = []
 
         def counting_pool(*args, **kwargs):
             created.append(1)
             return real_pool(*args, **kwargs)
 
-        monkeypatch.setattr(executors_module.multiprocessing, "Pool", counting_pool)
+        monkeypatch.setattr(executors_module, "ProcessPoolExecutor", counting_pool)
         executor = executors_module.MultiprocessExecutor(processes=2)
         result = run_campaign(spec, executor=executor, cache=tmp_path, chunk_size=16)
         assert result.cells_computed == spec.n_units

@@ -42,30 +42,37 @@ class TestChannel:
 class TestOracle:
     def test_empty_sets_zero(self, channel):
         oracle = channel.oracle()
-        assert oracle.mutual_information(0, frozenset(), frozenset("r"),
-                                         frozenset()) == 0.0
+        assert (
+            oracle.mutual_information(0, frozenset(), frozenset("r"), frozenset())
+            == 0.0
+        )
 
     def test_single_link_is_bsc_capacity(self, channel):
         oracle = channel.oracle()
-        value = oracle.mutual_information(0, frozenset("a"), frozenset("r"),
-                                          frozenset())
+        value = oracle.mutual_information(
+            0, frozenset("a"), frozenset("r"), frozenset()
+        )
         assert value == pytest.approx(1 - binary_entropy(0.05))
 
     def test_simo_cut_exceeds_single_link(self, channel):
         oracle = channel.oracle()
-        simo = oracle.mutual_information(0, frozenset("a"),
-                                         frozenset(("r", "b")), frozenset())
-        single = oracle.mutual_information(0, frozenset("a"), frozenset("r"),
-                                           frozenset())
+        simo = oracle.mutual_information(
+            0, frozenset("a"), frozenset(("r", "b")), frozenset()
+        )
+        single = oracle.mutual_information(
+            0, frozenset("a"), frozenset("r"), frozenset()
+        )
         assert simo > single
 
     def test_xor_mac_sum_equals_individual(self, channel):
         """On the XOR MAC, I(Xa,Xb;Yr) = I(Xa;Yr|Xb) = 1 - h(p_mac)."""
         oracle = channel.oracle()
-        sum_term = oracle.mutual_information(0, frozenset(("a", "b")),
-                                             frozenset("r"), frozenset())
-        individual = oracle.mutual_information(0, frozenset("a"),
-                                               frozenset("r"), frozenset("b"))
+        sum_term = oracle.mutual_information(
+            0, frozenset(("a", "b")), frozenset("r"), frozenset()
+        )
+        individual = oracle.mutual_information(
+            0, frozenset("a"), frozenset("r"), frozenset("b")
+        )
         expected = 1 - binary_entropy(channel.p_mac)
         assert sum_term == pytest.approx(expected)
         assert individual == pytest.approx(expected)
@@ -74,8 +81,9 @@ class TestOracle:
         """With a distinct MAC noise, conditioning must use p_mac, not par."""
         channel = BinaryRelayChannel(pab=0.2, par=0.05, pbr=0.02, p_mac=0.15)
         oracle = channel.oracle()
-        value = oracle.mutual_information(0, frozenset("a"), frozenset("r"),
-                                          frozenset("b"))
+        value = oracle.mutual_information(
+            0, frozenset("a"), frozenset("r"), frozenset("b")
+        )
         assert value == pytest.approx(1 - binary_entropy(0.15))
 
     def test_cache_hits(self, channel):
@@ -88,8 +96,9 @@ class TestOracle:
 
 
 class TestEngineIntegration:
-    @pytest.mark.parametrize("protocol", [Protocol.MABC, Protocol.TDBC,
-                                          Protocol.HBC, Protocol.NAIVE4])
+    @pytest.mark.parametrize(
+        "protocol", [Protocol.MABC, Protocol.TDBC, Protocol.HBC, Protocol.NAIVE4]
+    )
     def test_engine_generates_constraints(self, channel, protocol):
         constraints = cutset_outer_bound(
             bidirectional_relay_network(),

@@ -26,8 +26,9 @@ class TestPosition:
 
 class TestLogDistancePathLoss:
     def test_reference_gain_at_reference_distance(self):
-        law = LogDistancePathLoss(exponent=3.0, reference_distance=1.0,
-                                  reference_gain=1.0)
+        law = LogDistancePathLoss(
+            exponent=3.0, reference_distance=1.0, reference_gain=1.0
+        )
         assert law.gain(1.0) == pytest.approx(1.0)
 
     def test_power_law_decay(self):

@@ -82,9 +82,7 @@ class TestTheorem34Structure:
 
     def test_tdbc_outer_sum_constraint(self):
         grouped = constraint_map(tdbc_outer())
-        assert grouped[("Ra", "Rb")] == [
-            ((0, MiKey.LINK_AR), (1, MiKey.LINK_BR))
-        ]
+        assert grouped[("Ra", "Rb")] == [((0, MiKey.LINK_AR), (1, MiKey.LINK_BR))]
 
 
 class TestTheorem56Structure:

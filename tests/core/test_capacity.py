@@ -65,8 +65,10 @@ class TestCompareProtocols:
         comparison = compare_protocols(channel_high)
         best = comparison.best_protocol()
         best_rate = comparison.sum_rates[best].sum_rate
-        assert all(best_rate >= point.sum_rate - 1e-12
-                   for point in comparison.sum_rates.values())
+        assert all(
+            best_rate >= point.sum_rate - 1e-12
+            for point in comparison.sum_rates.values()
+        )
 
     def test_as_row_flattens(self, channel_high):
         row = compare_protocols(channel_high).as_row()

@@ -38,13 +38,11 @@ def binary_constraints():
 
 
 class TestGaussianConsistency:
-    def test_engine_lp_matches_theorem_lp(self, gaussian_constraints,
-                                          channel_high):
+    def test_engine_lp_matches_theorem_lp(self, gaussian_constraints, channel_high):
         """Optimizing engine constraints == optimizing Theorem 4 directly."""
         engine_point = cutset_max_sum_rate(gaussian_constraints, 3)
         theorem_point = max_sum_rate(channel_high.evaluate(tdbc_outer()))
-        assert engine_point.sum_rate == pytest.approx(theorem_point.sum_rate,
-                                                      abs=1e-7)
+        assert engine_point.sum_rate == pytest.approx(theorem_point.sum_rate, abs=1e-7)
 
     def test_support_point_durations_simplex(self, gaussian_constraints):
         point = cutset_support_point(gaussian_constraints, 3, 1.0, 2.0)

@@ -59,7 +59,10 @@ class TestFairnessReport:
     def test_all_protocols_reported(self, channel_high):
         rows = fairness_report(channel_high)
         assert [row.protocol for row in rows] == [
-            Protocol.DT, Protocol.NAIVE4, Protocol.MABC, Protocol.TDBC,
+            Protocol.DT,
+            Protocol.NAIVE4,
+            Protocol.MABC,
+            Protocol.TDBC,
             Protocol.HBC,
         ]
 
@@ -71,8 +74,9 @@ class TestFairnessReport:
 
     def test_dt_is_perfectly_fair(self, channel_high):
         """DT's region is a simplex: the symmetric point loses nothing."""
-        (dt_row,) = [row for row in fairness_report(channel_high)
-                     if row.protocol is Protocol.DT]
+        (dt_row,) = [
+            row for row in fairness_report(channel_high) if row.protocol is Protocol.DT
+        ]
         assert dt_row.fairness_cost == pytest.approx(0.0, abs=1e-9)
 
     def test_asymmetric_channel_costs_fairness(self, channel_high):

@@ -51,8 +51,9 @@ class TestMiValues:
 
 class TestConstruction:
     def test_from_db(self):
-        channel = GaussianChannel.from_db(power_db=10.0, gab_db=-7.0,
-                                          gar_db=0.0, gbr_db=5.0)
+        channel = GaussianChannel.from_db(
+            power_db=10.0, gab_db=-7.0, gar_db=0.0, gbr_db=5.0
+        )
         assert channel.power == pytest.approx(10.0)
         assert channel.gains.gar == pytest.approx(1.0)
 

@@ -18,13 +18,13 @@ class TestEvaluation:
     def test_rho_zero_matches_independent(self, channel_high):
         independent = channel_high.evaluate(hbc_outer())
         correlated = evaluate_hbc_outer_correlated(channel_high, 0.0)
-        for c_ind, c_cor in zip(independent.constraints,
-                                correlated.constraints):
+        for c_ind, c_cor in zip(independent.constraints, correlated.constraints):
             assert c_ind.rates == c_cor.rates
             assert c_ind.coefficients == pytest.approx(c_cor.coefficients)
 
-    def test_full_correlation_kills_individual_mac_terms(self, channel_high,
-                                                         paper_gains):
+    def test_full_correlation_kills_individual_mac_terms(
+        self, channel_high, paper_gains
+    ):
         evaluated = evaluate_hbc_outer_correlated(channel_high, 1.0)
         # The Ra constraint containing the phase-3 LINK_AR term: its
         # phase-3 coefficient must be exactly zero at rho = 1.

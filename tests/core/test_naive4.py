@@ -72,8 +72,7 @@ class TestEngineCrossCheck:
         from repro.network.cutset import GaussianMIOracle, cutset_outer_bound
         from repro.network.model import bidirectional_relay_network
 
-        oracle = GaussianMIOracle(gains=channel_high.gains,
-                                  power=channel_high.power)
+        oracle = GaussianMIOracle(gains=channel_high.gains, power=channel_high.power)
         engine = cutset_outer_bound(
             bidirectional_relay_network(),
             protocol_schedule(Protocol.NAIVE4),

@@ -43,8 +43,7 @@ class TestSupportPoint:
         evaluated = channel_high.evaluate(tdbc_inner())
         scipy_point = support_point(evaluated, 1.0, 1.0, backend="scipy")
         simplex_point = support_point(evaluated, 1.0, 1.0, backend="simplex")
-        assert scipy_point.sum_rate == pytest.approx(simplex_point.sum_rate,
-                                                     abs=1e-7)
+        assert scipy_point.sum_rate == pytest.approx(simplex_point.sum_rate, abs=1e-7)
 
 
 class TestMaxSumRate:
@@ -76,8 +75,7 @@ class TestMaxSumRate:
             if d1 + d2 > 1.0 + 1e-12:
                 continue
             durations = (d1, d2, 1.0 - d1 - d2)
-            grid_best = max(grid_best,
-                            sum_rate_fixed_durations(evaluated, durations))
+            grid_best = max(grid_best, sum_rate_fixed_durations(evaluated, durations))
         assert lp_value >= grid_best - 1e-9
         assert lp_value == pytest.approx(grid_best, abs=5e-2)
 

@@ -51,8 +51,7 @@ class TestPhaseTables:
         for protocol in Protocol:
             schedule = protocol_schedule(protocol)
             assert schedule.n_phases == len(protocol_phases(protocol))
-            for spec, transmitters in zip(schedule.phases,
-                                          protocol_phases(protocol)):
+            for spec, transmitters in zip(schedule.phases, protocol_phases(protocol)):
                 assert spec.transmitters == transmitters
 
     def test_describe_mentions_all_phases(self):

@@ -35,8 +35,10 @@ class TestFixedDurationPolygon:
     def test_degenerate_duration_collapses(self, channel_high):
         evaluated = channel_high.evaluate(mabc_inner())
         vertices = fixed_duration_polygon(evaluated, (1.0, 0.0))
-        assert all(ra == pytest.approx(0.0) and rb == pytest.approx(0.0)
-                   for ra, rb in vertices)
+        assert all(
+            ra == pytest.approx(0.0) and rb == pytest.approx(0.0)
+            for ra, rb in vertices
+        )
 
 
 class TestPolygonArea:

@@ -575,3 +575,21 @@ class TestSweepValidation:
         code = main(["sweep", "--min-db", "5", "--max-db", "0",
                      "--step-db", "1"])
         assert code == 2
+
+
+class TestClientCommand:
+    def test_missing_daemon_exits_2_with_clear_message(self, capsys, tmp_path):
+        socket_path = str(tmp_path / "nobody-home.sock")
+        code = main(["client", "--socket", socket_path, "ping"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert f"daemon not running at {socket_path}" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_run_against_missing_daemon_exits_2(self, capsys, tmp_path):
+        socket_path = str(tmp_path / "stale.sock")
+        code = main(["client", "--socket", socket_path, "run",
+                     "fig4-operating-points", "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "daemon not running" in captured.err
